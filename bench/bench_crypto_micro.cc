@@ -1,0 +1,188 @@
+// Microbenchmarks (google-benchmark) of the from-scratch cryptographic
+// substrate: hashing, symmetric crypto, big-integer/field arithmetic, the
+// Tate pairing, and full IBE operations at both test- and production-sized
+// parameters. These measure *real* CPU cost (the simulation cost model
+// charges the paper's published constants instead — see DESIGN.md).
+
+#include <benchmark/benchmark.h>
+
+#include "src/cryptocore/aes.h"
+#include "src/cryptocore/hmac.h"
+#include "src/cryptocore/keywrap.h"
+#include "src/cryptocore/sha256.h"
+#include "src/ibe/bf_ibe.h"
+#include "src/ibe/pairing.h"
+#include "src/wire/binary_codec.h"
+#include "src/wire/xmlrpc.h"
+
+namespace keypad {
+namespace {
+
+void BM_Sha256_4KiB(benchmark::State& state) {
+  Bytes data(4096, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Sha256_4KiB);
+
+void BM_HmacSha256_1KiB(benchmark::State& state) {
+  Bytes key(32, 1);
+  Bytes data(1024, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_HmacSha256_1KiB);
+
+void BM_Aes256Ctr_4KiB(benchmark::State& state) {
+  auto aes = Aes256::Create(Bytes(32, 3));
+  Bytes iv(16, 4);
+  Bytes data(4096, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes->CtrXor(iv, 0, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Aes256Ctr_4KiB);
+
+void BM_KeyWrapUnwrap(benchmark::State& state) {
+  SecureRandom rng(uint64_t{1});
+  Bytes kek(32, 6);
+  Bytes key(32, 7);
+  for (auto _ : state) {
+    Bytes blob = WrapKey(kek, key, rng);
+    benchmark::DoNotOptimize(UnwrapKey(kek, blob));
+  }
+}
+BENCHMARK(BM_KeyWrapUnwrap);
+
+void BM_BigIntModMul(benchmark::State& state) {
+  const PairingParams& params = DefaultPairingParams();
+  SecureRandom rng(uint64_t{2});
+  BigInt a = BigInt::RandomBelow(rng, params.p);
+  BigInt b = BigInt::RandomBelow(rng, params.p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::ModMul(a, b, params.p));
+  }
+}
+BENCHMARK(BM_BigIntModMul);
+
+void BM_BigIntModInverse(benchmark::State& state) {
+  const PairingParams& params = DefaultPairingParams();
+  SecureRandom rng(uint64_t{3});
+  BigInt a = BigInt::RandomBelow(rng, params.p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::ModInverse(a, params.p));
+  }
+}
+BENCHMARK(BM_BigIntModInverse);
+
+void BM_EcScalarMul(benchmark::State& state) {
+  const PairingParams& params = DefaultPairingParams();
+  SecureRandom rng(uint64_t{4});
+  BigInt k = BigInt::RandomBelow(rng, params.q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EcScalarMul(k, params.g, params.p));
+  }
+}
+BENCHMARK(BM_EcScalarMul);
+
+void BM_TatePairing_512(benchmark::State& state) {
+  const PairingParams& params = DefaultPairingParams();
+  EcPoint q = HashToPoint("bench-id", params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TatePairing(params.g, q, params));
+  }
+}
+BENCHMARK(BM_TatePairing_512);
+
+void BM_TatePairing_256(benchmark::State& state) {
+  const PairingParams& params = TestPairingParams();
+  EcPoint q = HashToPoint("bench-id", params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TatePairing(params.g, q, params));
+  }
+}
+BENCHMARK(BM_TatePairing_256);
+
+void BM_IbeEncrypt_512(benchmark::State& state) {
+  const PairingParams& params = DefaultPairingParams();
+  SecureRandom rng(uint64_t{5});
+  IbePkg pkg(params, rng);
+  Bytes payload(64, 8);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IbeEncrypt(pkg.public_params(),
+                                        "dir/file|" + std::to_string(i++),
+                                        payload, rng));
+  }
+}
+BENCHMARK(BM_IbeEncrypt_512);
+
+void BM_IbeDecrypt_512(benchmark::State& state) {
+  const PairingParams& params = DefaultPairingParams();
+  SecureRandom rng(uint64_t{6});
+  IbePkg pkg(params, rng);
+  IbeCiphertext ct =
+      IbeEncrypt(pkg.public_params(), "id", Bytes(64, 9), rng);
+  IbePrivateKey key = pkg.Extract("id");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IbeDecrypt(pkg.public_params(), key, ct));
+  }
+}
+BENCHMARK(BM_IbeDecrypt_512);
+
+void BM_IbeExtract_512(benchmark::State& state) {
+  const PairingParams& params = DefaultPairingParams();
+  SecureRandom rng(uint64_t{7});
+  IbePkg pkg(params, rng);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.Extract("dir/file|" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_IbeExtract_512);
+
+// --- Marshalling ablation: the paper attributes Keypad's LAN-visible cost
+// to XML-RPC marshalling; compare against the compact binary codec on a
+// representative key.get exchange.
+
+WireValue TypicalKeyResponse() {
+  WireValue::Struct s;
+  s.emplace("demand", WireValue(Bytes(32, 0xAA)));
+  WireValue::Array prefetched;
+  for (int i = 0; i < 8; ++i) {
+    WireValue::Struct entry;
+    entry.emplace("id", WireValue(Bytes(24, static_cast<uint8_t>(i))));
+    entry.emplace("key", WireValue(Bytes(32, static_cast<uint8_t>(i))));
+    prefetched.push_back(WireValue(std::move(entry)));
+  }
+  s.emplace("prefetched", WireValue(std::move(prefetched)));
+  return WireValue(std::move(s));
+}
+
+void BM_Marshal_XmlRpc(benchmark::State& state) {
+  WireValue value = TypicalKeyResponse();
+  for (auto _ : state) {
+    std::string xml = EncodeXmlRpcResponse(value);
+    benchmark::DoNotOptimize(DecodeXmlRpcResponse(xml));
+  }
+}
+BENCHMARK(BM_Marshal_XmlRpc);
+
+void BM_Marshal_Binary(benchmark::State& state) {
+  WireValue value = TypicalKeyResponse();
+  for (auto _ : state) {
+    Bytes encoded = BinaryEncode(value);
+    benchmark::DoNotOptimize(BinaryDecode(encoded));
+  }
+}
+BENCHMARK(BM_Marshal_Binary);
+
+}  // namespace
+}  // namespace keypad
+
+BENCHMARK_MAIN();

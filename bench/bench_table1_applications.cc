@@ -1,0 +1,120 @@
+// Table 1: typical application performance over Keypad — 16 tasks across
+// OpenOffice, Firefox, Thunderbird, and Evince, on EncFS and on Keypad at
+// five network profiles, each with warm and cold key caches.
+//
+// Keypad configuration matches the paper's defaults: 100 s key expiration,
+// 3rd-miss directory prefetch, IBE enabled.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/workload/office.h"
+
+namespace keypad {
+namespace {
+
+// Runs all 16 tasks sequentially against one deployment, returning per-task
+// seconds. Warm: run immediately after a priming pass; cold: after cache
+// expiry.
+struct TaskTimes {
+  std::vector<double> warm;
+  std::vector<double> cold;
+};
+
+TaskTimes RunKeypadTasks(const NetworkProfile& profile) {
+  DeploymentOptions options;
+  options.profile = profile;
+  options.config.texp = SimDuration::Seconds(100);
+  options.config.prefetch = PrefetchPolicy::FullDirOnNthMiss(3);
+  options.config.ibe_enabled = true;
+  options.ibe_group = &BenchPairingParams();
+  Deployment dep(options);
+  OfficeWorkloads office = MakeOfficeWorkloads(/*seed=*/7);
+  TraceRunner runner(&dep.fs(), &dep.queue());
+  TraceRunResult setup = runner.Run(office.setup);
+  if (setup.failures != 0) {
+    std::fprintf(stderr, "office setup failed: %s\n",
+                 setup.first_failure.ToString().c_str());
+    std::abort();
+  }
+
+  TaskTimes times;
+  for (const auto& task : office.tasks) {
+    // Cold: everything expired.
+    dep.queue().AdvanceBy(SimDuration::Seconds(202));
+    dep.queue().RunUntilIdle();
+    SimTime t0 = dep.queue().Now();
+    runner.Run(task.trace);
+    times.cold.push_back((dep.queue().Now() - t0).seconds_f());
+
+    // Warm: immediately repeat (keys cached). Tasks are written to be
+    // repeatable; metadata ops re-run on fresh names where needed is not
+    // modeled, so failures inside the repeat are tolerated for timing.
+    t0 = dep.queue().Now();
+    runner.Run(task.trace);
+    times.warm.push_back((dep.queue().Now() - t0).seconds_f());
+  }
+  return times;
+}
+
+std::vector<double> RunEncFsTasks() {
+  EventQueue queue;
+  BlockDevice device;
+  auto fs = EncFs::Format(&device, &queue, /*rng_seed=*/3, "pw", {});
+  OfficeWorkloads office = MakeOfficeWorkloads(/*seed=*/7);
+  TraceRunner runner(fs->get(), &queue);
+  runner.Run(office.setup);
+  std::vector<double> out;
+  for (const auto& task : office.tasks) {
+    SimTime t0 = queue.Now();
+    runner.Run(task.trace);
+    out.push_back((queue.Now() - t0).seconds_f());
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace keypad
+
+int main() {
+  using namespace keypad;
+  using namespace keypad::bench;
+  PrintHeader("Table 1: application tasks — EncFS vs Keypad (warm|cold), s");
+
+  OfficeWorkloads office = MakeOfficeWorkloads(/*seed=*/7);
+  std::vector<double> encfs = RunEncFsTasks();
+
+  std::vector<NetworkProfile> profiles = AllEvaluationProfiles();
+  std::vector<TaskTimes> keypad_times;
+  keypad_times.reserve(profiles.size());
+  for (const auto& profile : profiles) {
+    keypad_times.push_back(RunKeypadTasks(profile));
+  }
+
+  std::printf("%-13s %-14s %6s |", "app", "task", "EncFS");
+  for (const auto& profile : profiles) {
+    std::printf(" %13s |", profile.name.c_str());
+  }
+  std::printf(" %11s\n", "paper(3G)");
+  std::printf("%-13s %-14s %6s |", "", "", "");
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    std::printf(" %13s |", "warm | cold");
+  }
+  std::printf(" %11s\n", "encfs/cold");
+
+  for (size_t t = 0; t < office.tasks.size(); ++t) {
+    const auto& task = office.tasks[t];
+    std::printf("%-13s %-14s %6.1f |", task.application.c_str(),
+                task.task.c_str(), encfs[t]);
+    for (size_t p = 0; p < profiles.size(); ++p) {
+      std::printf(" %5.1f | %5.1f |", keypad_times[p].warm[t],
+                  keypad_times[p].cold[t]);
+    }
+    std::printf(" %4.1f | %4.1f\n", task.paper_encfs_seconds,
+                task.paper_keypad_3g_cold_seconds);
+  }
+  std::printf(
+      "\npaper's reading: Keypad ≈ EncFS on LAN/WLAN; noticeable slowdowns\n"
+      "only on cellular networks, mostly after cold caches.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// The forensic analysis tool (the paper ships this as "a simple Python
+// tool; given a Tloss timestamp and an expiration time Texp, the tool
+// reconstructs a full-fidelity audit report of all accesses after
+// Tloss − Texp, including full path names and access timestamps").
+//
+// This example builds a device history with several distinct situations —
+// pre-loss activity, an exposure-window access, post-loss thief reads with
+// prefetch noise, a bogus metadata injection — and then runs the auditor
+// at multiple (Tloss, Texp) settings to show how the report reads.
+//
+// Build & run:  cmake --build build && ./build/examples/audit_tool
+
+#include <cstdio>
+
+#include "src/keypad/coverage.h"
+#include "src/keypad/deployment.h"
+
+using namespace keypad;
+
+namespace {
+
+void PrintReport(const char* title, const AuditReport& report) {
+  std::printf("\n=== %s ===\n%s", title, report.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  DeploymentOptions options;
+  options.profile = BroadbandProfile();
+  options.config.texp = SimDuration::Seconds(100);
+  options.config.prefetch = PrefetchPolicy::FullDirOnNthMiss(3);
+  options.config.ibe_enabled = true;
+  options.config.coverage = CoverHomeAndTmp();
+  options.device_id = "audited-laptop";
+  Deployment dep(options);
+  auto& fs = dep.fs();
+
+  // --- History: normal use. --------------------------------------------------
+  fs.Mkdir("/home").ok();
+  fs.Mkdir("/home/finance").ok();
+  for (int i = 0; i < 5; ++i) {
+    std::string path = "/home/finance/statement" + std::to_string(i) + ".pdf";
+    fs.Create(path).ok();
+    fs.WriteAll(path, BytesOf("account data")).ok();
+  }
+  fs.Create("/home/todo.txt").ok();
+  fs.WriteAll("/home/todo.txt", BytesOf("buy milk")).ok();
+  dep.queue().AdvanceBy(SimDuration::Hours(1));
+
+  // The owner reads one statement 40 s before losing the laptop: that key
+  // sits in memory at Tloss (the exposure window).
+  fs.ReadAll("/home/finance/statement0.pdf").status();
+  dep.queue().AdvanceBy(SimDuration::Seconds(40));
+  SimTime t_loss = dep.queue().Now();
+
+  // --- The thief: reads three statements (prefetch pulls the rest), then
+  // injects a bogus binding to muddy the metadata.
+  dep.queue().AdvanceBy(SimDuration::Minutes(30));
+  RawDeviceAttacker thief = dep.MakeAttacker();
+  auto creds = thief.StealCredentials();
+  auto clients = dep.MakeAttackerClients(*creds);
+  auto thief_fs = thief.MountOnline(clients->services, options.config);
+  for (int i = 0; i < 3; ++i) {
+    (*thief_fs)
+        ->ReadAll("/home/finance/statement" + std::to_string(i) + ".pdf")
+        .status();
+  }
+  // He also injects a bogus binding for a file he read, hoping to confuse
+  // the analyst about what "statement0" was.
+  AuditId target =
+      (*thief_fs)->ReadHeaderOf("/home/finance/statement0.pdf")->audit_id;
+  dep.metadata_service()
+      .RegisterFileBinding(dep.device_id(), target, DirId{},
+                           "bogus_name.tmp", /*is_rename=*/true)
+      .status();
+
+  // --- The analyst's view. ------------------------------------------------------
+  auto report = dep.auditor().BuildReport(dep.device_id(), t_loss,
+                                          options.config.texp);
+  PrintReport("Report at the true Tloss (Texp = 100 s)", *report);
+  std::printf(
+      "reading: the 3 statements the thief read are demand-accessed; the\n"
+      "other finance files are prefetch-only candidates; statement0 also\n"
+      "appears because its key was in memory at Tloss (exposure window);\n"
+      "the bogus binding shows up as a *post-loss* path, clearly separated\n"
+      "from the trusted pre-loss name.\n");
+
+  // A cautious analyst who is unsure of Tloss widens the window.
+  auto wide = dep.auditor().BuildReport(
+      dep.device_id(), t_loss - SimDuration::Hours(1), options.config.texp);
+  PrintReport("Conservative report (Tloss assumed 1 h earlier)", *wide);
+
+  // And if nothing had been touched, the report is affirmatively clean —
+  // the paper's key selling point over silent encryption.
+  auto clean = dep.auditor().BuildReport(
+      dep.device_id(), dep.queue().Now() + SimDuration::Hours(1),
+      options.config.texp);
+  PrintReport("Report for a window with no accesses", *clean);
+  return 0;
+}

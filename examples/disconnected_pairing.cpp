@@ -1,0 +1,69 @@
+// The paired-device architecture (§3.5, Figure 4): a phone over Bluetooth
+// extends the audit services so a laptop keeps working — auditable — on a
+// plane.
+//
+// Build & run:  cmake --build build && ./build/examples/disconnected_pairing
+
+#include <cstdio>
+
+#include "src/keypad/deployment.h"
+
+using namespace keypad;
+
+int main() {
+  DeploymentOptions options;
+  options.profile = CellularProfile();  // The phone's uplink: 3G.
+  options.paired_phone = true;
+  options.config.ibe_enabled = false;
+  options.device_id = "travel-laptop";
+  Deployment dep(options);
+  KeypadFs& fs = dep.fs();
+
+  // At the gate (online): work on a trip report. The phone forwards to the
+  // services and hoards the keys it sees.
+  fs.Mkdir("/trip").ok();
+  fs.Create("/trip/report.odt").ok();
+  fs.WriteAll("/trip/report.odt", BytesOf("day 1: arrived")).ok();
+  std::printf("online: phone hoard holds %zu key(s)\n",
+              dep.phone()->hoard_size());
+
+  // Wheels up: the phone loses its uplink; Bluetooth stays.
+  dep.phone()->SetUplinkConnected(false);
+  std::printf("\n--- airplane mode ---\n");
+
+  // Reads are served from the phone's hoard...
+  dep.queue().AdvanceBy(fs.config().texp * 2 + SimDuration::Seconds(2));
+  auto read = fs.ReadAll("/trip/report.odt");
+  std::printf("read over Bluetooth from the hoard: %s\n",
+              read.ok() ? "ok" : read.status().ToString().c_str());
+
+  // ...and even new files work: the phone mints the remote key as a
+  // trusted service extension and journals everything.
+  Status created = fs.Create("/trip/expenses.xls");
+  fs.WriteAll("/trip/expenses.xls", BytesOf("taxi: 40eur")).ok();
+  std::printf("create while disconnected: %s\n", created.ToString().c_str());
+  std::printf("phone journals: %zu key entries, %zu metadata entries\n",
+              dep.phone()->key_journal_size(),
+              dep.phone()->meta_journal_size());
+
+  // Without the phone this create would have failed outright:
+  std::printf(
+      "(without a paired phone, Keypad refuses un-registrable creates)\n");
+
+  // Landing: uplink returns, journals upload in bulk.
+  dep.queue().AdvanceBy(SimDuration::Hours(2));
+  dep.phone()->SetUplinkConnected(true);
+  std::printf("\n--- landed: journals uploaded ---\n");
+  std::printf("key service now has %zu log entries; journals empty: %s\n",
+              dep.key_service().log().size(),
+              dep.phone()->key_journal_size() == 0 ? "yes" : "no");
+
+  // The audit trail covers the offline period, original timestamps intact.
+  auto report = dep.auditor().BuildReport(
+      dep.device_id(), SimTime::Epoch(), fs.config().texp);
+  std::printf("\naudit view of the whole trip:\n%s", report->ToString().c_str());
+  std::printf(
+      "\nif the laptop alone had been stolen mid-flight, the phone (still\n"
+      "with its owner) would have supplied this same journal: no audit gap.\n");
+  return 0;
+}

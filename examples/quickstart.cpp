@@ -1,0 +1,57 @@
+// Quickstart: the smallest complete Keypad deployment.
+//
+// Sets up the two audit services, formats a Keypad volume on a simulated
+// laptop, stores and reads a file, and shows the audit trail the key
+// service accumulated along the way — the paper's core loop in ~60 lines
+// of application code.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/keypad/deployment.h"
+
+using namespace keypad;
+
+int main() {
+  // One call wires the whole Figure-2 topology: client device, EncFS-based
+  // Keypad volume, key service, metadata service, and a simulated network.
+  DeploymentOptions options;
+  options.profile = BroadbandProfile();   // 25 ms RTT to the services.
+  options.config.texp = SimDuration::Seconds(100);  // Key cache lifetime.
+  options.config.ibe_enabled = true;      // Async metadata registration.
+  options.device_id = "quickstart-laptop";
+  Deployment dep(options);
+
+  KeypadFs& fs = dep.fs();
+
+  // Use it like any file system. Under the hood: each file gets a random
+  // data key, wrapped under a remote key that only the key service holds.
+  if (!fs.Mkdir("/home").ok() ||
+      !fs.Create("/home/diary.txt").ok() ||
+      !fs.WriteAll("/home/diary.txt", BytesOf("Dear diary, ...")).ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  auto contents = fs.ReadAll("/home/diary.txt");
+  std::printf("read back: \"%s\"\n", StringOf(*contents).c_str());
+
+  // Let the asynchronous registrations settle, then look at the audit log.
+  dep.queue().RunUntilIdle();
+  std::printf("\nkey-service audit log (%zu entries):\n",
+              dep.key_service().log().size());
+  for (const auto& entry : dep.key_service().log().entries()) {
+    auto path = dep.metadata_service().ResolvePath(
+        dep.device_id(), entry.audit_id, dep.queue().Now());
+    std::printf("  t=%8.3fs  %-8s  %s\n", entry.timestamp.seconds_f(),
+                std::string(AccessOpName(entry.op)).c_str(),
+                path.ok() ? path->c_str() : "(no binding)");
+  }
+
+  // The forensic view: nothing is compromised while the device is safe.
+  auto report = dep.auditor().BuildReport(
+      dep.device_id(), dep.queue().Now(), options.config.texp);
+  std::printf("\n%s", report->ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Runs every bench binary, teeing combined output.
+set -u
+out="${1:-/root/repo/bench_output.txt}"
+: > "$out"
+for b in /root/repo/build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a "$out"
+  if [[ "$(basename "$b")" == "bench_crypto_micro" ]]; then
+    "$b" --benchmark_min_time=0.2 >> "$out" 2>&1
+  else
+    "$b" >> "$out" 2>&1
+  fi
+  echo >> "$out"
+done
+echo "ALL BENCHES DONE" | tee -a "$out"

@@ -1,0 +1,49 @@
+#include "src/blockdev/block_device.h"
+
+namespace keypad {
+
+Result<Bytes> BlockDevice::ReadObject(const ObjectId& id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFoundError("block device: no object " + id.ToHex());
+  }
+  ++reads_;
+  return it->second;
+}
+
+void BlockDevice::WriteObject(const ObjectId& id, Bytes data) {
+  ++writes_;
+  objects_[id] = std::move(data);
+}
+
+Status BlockDevice::DeleteObject(const ObjectId& id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFoundError("block device: no object " + id.ToHex());
+  }
+  objects_.erase(it);
+  return Status::Ok();
+}
+
+bool BlockDevice::HasObject(const ObjectId& id) const {
+  return objects_.find(id) != objects_.end();
+}
+
+std::vector<ObjectId> BlockDevice::ListObjects() const {
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, data] : objects_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+size_t BlockDevice::TotalBytes() const {
+  size_t total = superblock_.size();
+  for (const auto& [id, data] : objects_) {
+    total += data.size();
+  }
+  return total;
+}
+
+}  // namespace keypad

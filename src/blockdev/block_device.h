@@ -1,0 +1,60 @@
+// Virtual block device: a named object store standing in for the laptop or
+// USB stick's raw storage.
+//
+// The file systems above it (plain "ext3" mode, EncFS mode, Keypad) store
+// directory and file objects here. The device supports Snapshot(), which
+// models an attacker imaging the disk (or physically extracting it) —
+// security tests run attacks against snapshots to prove that what is *on
+// the medium* is protected, independent of any software gate.
+
+#ifndef SRC_BLOCKDEV_BLOCK_DEVICE_H_
+#define SRC_BLOCKDEV_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/ids.h"
+#include "src/util/result.h"
+
+namespace keypad {
+
+// 128-bit object names.
+using ObjectId = FixedId<16>;
+
+class BlockDevice {
+ public:
+  BlockDevice() = default;
+
+  // Superblock: a single well-known slot holding volume parameters.
+  const Bytes& ReadSuperblock() const { return superblock_; }
+  void WriteSuperblock(Bytes data) { superblock_ = std::move(data); }
+
+  Result<Bytes> ReadObject(const ObjectId& id) const;
+  void WriteObject(const ObjectId& id, Bytes data);
+  Status DeleteObject(const ObjectId& id);
+  bool HasObject(const ObjectId& id) const;
+  std::vector<ObjectId> ListObjects() const;
+
+  // Deep copy — the attacker's disk image.
+  BlockDevice Snapshot() const { return *this; }
+
+  // Total bytes stored across objects and superblock.
+  size_t TotalBytes() const;
+  size_t ObjectCount() const { return objects_.size(); }
+
+  // I/O statistics (object-granularity).
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  Bytes superblock_;
+  std::map<ObjectId, Bytes> objects_;
+  mutable uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_BLOCKDEV_BLOCK_DEVICE_H_

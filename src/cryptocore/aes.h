@@ -1,0 +1,50 @@
+// AES-256 (FIPS 197) with CTR mode, from scratch.
+//
+// CTR only needs the forward cipher, so no inverse cipher is implemented.
+// Used for: file-content encryption (per-file 256-bit data keys K_D_F),
+// key wrapping of K_D_F under the remote key K_R_F, deterministic name
+// encryption, and the secure channel.
+
+#ifndef SRC_CRYPTOCORE_AES_H_
+#define SRC_CRYPTOCORE_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace keypad {
+
+class Aes256 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kIvSize = 16;
+
+  // Key must be exactly 32 bytes.
+  static Result<Aes256> Create(const Bytes& key);
+
+  // Encrypts one 16-byte block in place-compatible fashion (out may be in).
+  void EncryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+  // CTR-mode keystream XOR: encryption and decryption are the same
+  // operation. `iv` is the 16-byte initial counter block; `offset` selects
+  // the keystream position so random-access reads/writes line up.
+  void CtrXor(const Bytes& iv, uint64_t offset, const uint8_t* in, size_t len,
+              uint8_t* out) const;
+  Bytes CtrXor(const Bytes& iv, uint64_t offset, const Bytes& in) const;
+
+ private:
+  Aes256() = default;
+  void ExpandKey(const uint8_t key[kKeySize]);
+
+  static constexpr int kRounds = 14;
+  // 15 round keys of 4 words each.
+  std::array<uint32_t, 4 * (kRounds + 1)> round_keys_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_CRYPTOCORE_AES_H_

@@ -1,0 +1,19 @@
+// ChaCha20 block function (RFC 8439), from scratch. Backs the SecureRandom
+// DRBG in secure_random.h.
+
+#ifndef SRC_CRYPTOCORE_CHACHA20_H_
+#define SRC_CRYPTOCORE_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+namespace keypad {
+
+// Computes one 64-byte ChaCha20 block for (key, counter, nonce).
+// key: 32 bytes; nonce: 12 bytes.
+void ChaCha20Block(const uint8_t key[32], uint32_t counter,
+                   const uint8_t nonce[12], uint8_t out[64]);
+
+}  // namespace keypad
+
+#endif  // SRC_CRYPTOCORE_CHACHA20_H_

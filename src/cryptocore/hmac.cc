@@ -1,0 +1,95 @@
+#include "src/cryptocore/hmac.h"
+
+#include <cstring>
+
+namespace keypad {
+
+namespace {
+constexpr size_t kBlockSize = 64;
+
+void XorPad(uint8_t pad[kBlockSize], const Bytes& key, uint8_t v) {
+  uint8_t key_block[kBlockSize] = {0};
+  if (key.size() > kBlockSize) {
+    Sha256::Digest d = Sha256::Hash(key);
+    std::memcpy(key_block, d.data(), d.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    pad[i] = key_block[i] ^ v;
+  }
+}
+}  // namespace
+
+Bytes HmacSha256(const Bytes& key, const Bytes& data) {
+  uint8_t ipad[kBlockSize], opad[kBlockSize];
+  XorPad(ipad, key, 0x36);
+  XorPad(opad, key, 0x5c);
+
+  Sha256 inner;
+  inner.Update(ipad, kBlockSize);
+  inner.Update(data);
+  Sha256::Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, kBlockSize);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  Sha256::Digest d = outer.Finish();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes HmacSha256(const Bytes& key, std::string_view data) {
+  return HmacSha256(key, BytesOf(data));
+}
+
+Bytes Hkdf(const Bytes& ikm, const Bytes& salt, std::string_view info,
+           size_t out_len) {
+  Bytes prk = HmacSha256(salt, ikm);
+  Bytes out;
+  Bytes t;
+  uint8_t counter = 1;
+  while (out.size() < out_len) {
+    Bytes block = t;
+    Append(block, info);
+    block.push_back(counter++);
+    t = HmacSha256(prk, block);
+    Append(out, t);
+  }
+  out.resize(out_len);
+  return out;
+}
+
+Bytes PasswordKdf(std::string_view password, const Bytes& salt,
+                  uint32_t iterations, size_t out_len) {
+  Bytes pw = BytesOf(password);
+  // PBKDF2 block 1: U1 = HMAC(pw, salt || INT(1)); Ui = HMAC(pw, U(i-1)).
+  Bytes block = salt;
+  AppendU32Be(block, 1);
+  Bytes u = HmacSha256(pw, block);
+  Bytes acc = u;
+  for (uint32_t i = 1; i < iterations; ++i) {
+    u = HmacSha256(pw, u);
+    for (size_t j = 0; j < acc.size(); ++j) {
+      acc[j] ^= u[j];
+    }
+  }
+  if (out_len <= acc.size()) {
+    acc.resize(out_len);
+    return acc;
+  }
+  // Stretch with HKDF if more than one hash of output is needed.
+  return Hkdf(acc, salt, "keypad-pbkdf-stretch", out_len);
+}
+
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff |= a[i] ^ b[i];
+  }
+  return diff == 0;
+}
+
+}  // namespace keypad

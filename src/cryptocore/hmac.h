@@ -1,0 +1,34 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869), from scratch.
+//
+// Used for: message authentication on the secure channel, PBKDF for the
+// EncFS volume key, and key derivation throughout.
+
+#ifndef SRC_CRYPTOCORE_HMAC_H_
+#define SRC_CRYPTOCORE_HMAC_H_
+
+#include <string_view>
+
+#include "src/cryptocore/sha256.h"
+#include "src/util/bytes.h"
+
+namespace keypad {
+
+// HMAC-SHA256 of `data` under `key`.
+Bytes HmacSha256(const Bytes& key, const Bytes& data);
+Bytes HmacSha256(const Bytes& key, std::string_view data);
+
+// HKDF-SHA256: extract-then-expand to `out_len` bytes.
+Bytes Hkdf(const Bytes& ikm, const Bytes& salt, std::string_view info,
+           size_t out_len);
+
+// Simple iterated-HMAC password-based KDF (PBKDF2-HMAC-SHA256 with a single
+// block), used to derive the EncFS volume key from the user's password.
+Bytes PasswordKdf(std::string_view password, const Bytes& salt,
+                  uint32_t iterations, size_t out_len);
+
+// Constant-time equality check for MACs and keys.
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b);
+
+}  // namespace keypad
+
+#endif  // SRC_CRYPTOCORE_HMAC_H_

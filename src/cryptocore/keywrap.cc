@@ -1,0 +1,55 @@
+#include "src/cryptocore/keywrap.h"
+
+#include "src/cryptocore/aes.h"
+#include "src/cryptocore/hmac.h"
+
+namespace keypad {
+
+namespace {
+constexpr size_t kIvLen = 16;
+constexpr size_t kMacLen = 32;
+
+struct WrapKeys {
+  Bytes enc;
+  Bytes mac;
+};
+
+WrapKeys DeriveWrapKeys(const Bytes& kek) {
+  Bytes okm = Hkdf(kek, /*salt=*/{}, "kp-keywrap", 64);
+  WrapKeys keys;
+  keys.enc.assign(okm.begin(), okm.begin() + 32);
+  keys.mac.assign(okm.begin() + 32, okm.end());
+  return keys;
+}
+}  // namespace
+
+Bytes WrapKey(const Bytes& kek, const Bytes& key_material, SecureRandom& rng) {
+  WrapKeys keys = DeriveWrapKeys(kek);
+  Bytes blob = rng.NextBytes(kIvLen);
+  auto aes = Aes256::Create(keys.enc);
+  Bytes iv(blob.begin(), blob.begin() + kIvLen);
+  Bytes ct = aes->CtrXor(iv, 0, key_material);
+  Append(blob, ct);
+  Bytes mac = HmacSha256(keys.mac, blob);
+  Append(blob, mac);
+  return blob;
+}
+
+Result<Bytes> UnwrapKey(const Bytes& kek, const Bytes& blob) {
+  if (blob.size() < kIvLen + kMacLen) {
+    return DataLossError("keywrap: blob too short");
+  }
+  WrapKeys keys = DeriveWrapKeys(kek);
+  size_t body_len = blob.size() - kMacLen;
+  Bytes body(blob.begin(), blob.begin() + static_cast<long>(body_len));
+  Bytes mac(blob.begin() + static_cast<long>(body_len), blob.end());
+  if (!ConstantTimeEquals(HmacSha256(keys.mac, body), mac)) {
+    return DataLossError("keywrap: MAC mismatch");
+  }
+  Bytes iv(body.begin(), body.begin() + kIvLen);
+  Bytes ct(body.begin() + kIvLen, body.end());
+  auto aes = Aes256::Create(keys.enc);
+  return aes->CtrXor(iv, 0, ct);
+}
+
+}  // namespace keypad

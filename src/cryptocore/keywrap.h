@@ -1,0 +1,24 @@
+// Authenticated key wrapping: protects a key under a key-encryption key.
+// Used by Keypad to store the per-file data key K_D_F in the file header
+// encrypted under the remote key K_R_F (§4, Figure 5a).
+//
+// Blob format: iv(16) || ct || hmac(32), AES-256-CTR + HMAC-SHA256
+// (encrypt-then-MAC; enc/mac keys derived from the KEK by HKDF).
+
+#ifndef SRC_CRYPTOCORE_KEYWRAP_H_
+#define SRC_CRYPTOCORE_KEYWRAP_H_
+
+#include "src/cryptocore/secure_random.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace keypad {
+
+Bytes WrapKey(const Bytes& kek, const Bytes& key_material, SecureRandom& rng);
+
+// kDataLoss on MAC failure (wrong KEK or tampered blob).
+Result<Bytes> UnwrapKey(const Bytes& kek, const Bytes& blob);
+
+}  // namespace keypad
+
+#endif  // SRC_CRYPTOCORE_KEYWRAP_H_

@@ -1,0 +1,63 @@
+#include "src/cryptocore/secure_random.h"
+
+#include <cstring>
+
+#include "src/cryptocore/chacha20.h"
+#include "src/cryptocore/sha256.h"
+
+namespace keypad {
+
+SecureRandom::SecureRandom(const Bytes& seed) {
+  Sha256::Digest d = Sha256::Hash(seed);
+  std::memcpy(key_, d.data(), 32);
+}
+
+SecureRandom::SecureRandom(uint64_t seed) {
+  Bytes b;
+  AppendU64Be(b, seed);
+  Append(b, "keypad-secure-random-seed");
+  Sha256::Digest d = Sha256::Hash(b);
+  std::memcpy(key_, d.data(), 32);
+}
+
+void SecureRandom::Refill() {
+  static const uint8_t kNonce[12] = {'k', 'p', 'd', 'r', 'n', 'g',
+                                     0,   0,   0,   0,   0,   0};
+  ChaCha20Block(key_, counter_++, kNonce, block_);
+  block_pos_ = 0;
+}
+
+void SecureRandom::Fill(uint8_t* out, size_t len) {
+  while (len > 0) {
+    if (block_pos_ == 64) {
+      Refill();
+    }
+    size_t n = 64 - block_pos_;
+    if (n > len) {
+      n = len;
+    }
+    std::memcpy(out, block_ + block_pos_, n);
+    block_pos_ += n;
+    out += n;
+    len -= n;
+  }
+}
+
+Bytes SecureRandom::NextBytes(size_t len) {
+  Bytes out(len);
+  Fill(out.data(), len);
+  return out;
+}
+
+uint64_t SecureRandom::NextU64() {
+  uint8_t buf[8];
+  Fill(buf, 8);
+  return ReadU64Be(buf);
+}
+
+SecureRandom SecureRandom::Fork() {
+  Bytes child_seed = NextBytes(32);
+  return SecureRandom(child_seed);
+}
+
+}  // namespace keypad

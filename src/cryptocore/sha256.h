@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for: audit-log hash chains, HMAC/HKDF, IBE hash-to-point and
+// key-derivation hashes, name-encryption IVs.
+
+#ifndef SRC_CRYPTOCORE_SHA256_H_
+#define SRC_CRYPTOCORE_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/util/bytes.h"
+
+namespace keypad {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  // Streaming interface.
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(std::string_view data) {
+    Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+  Digest Finish();
+
+  // One-shot helpers.
+  static Digest Hash(const Bytes& data);
+  static Digest Hash(std::string_view data);
+  static Bytes HashBytes(const Bytes& data);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_CRYPTOCORE_SHA256_H_

@@ -1,0 +1,669 @@
+#include "src/encfs/encfs.h"
+
+#include <algorithm>
+
+#include "src/cryptocore/aes.h"
+#include "src/cryptocore/hmac.h"
+#include "src/util/strings.h"
+#include "src/wire/binary_codec.h"
+#include "src/wire/value.h"
+
+namespace keypad {
+
+namespace {
+constexpr size_t kHeaderIvLen = 16;
+constexpr size_t kHeaderMacLen = 32;
+}  // namespace
+
+// --- Construction / key derivation. -----------------------------------------
+
+EncFs::EncFs(BlockDevice* device, EventQueue* queue, uint64_t rng_seed,
+             Options options)
+    : device_(device), queue_(queue), rng_(rng_seed), options_(options) {}
+
+void EncFs::DeriveKeys(std::string_view password, const Bytes& salt) {
+  Bytes vk = PasswordKdf(password, salt, options_.kdf_iterations, 32);
+  keys_.header_enc = Hkdf(vk, salt, "encfs-header-enc", 32);
+  keys_.header_mac = Hkdf(vk, salt, "encfs-header-mac", 32);
+  keys_.name_enc = Hkdf(vk, salt, "encfs-name-enc", 32);
+  keys_.name_iv = Hkdf(vk, salt, "encfs-name-iv", 32);
+  SecureZero(vk);
+}
+
+Status EncFs::InitFormat(std::string_view password) {
+  Bytes salt = rng_.NextBytes(16);
+  DeriveKeys(password, salt);
+
+  root_obj_ = ObjectId::Random(rng_);
+  root_dir_id_ = DirId::Random(rng_);
+  DirObject root;
+  root.dir_id = root_dir_id_;
+  KP_RETURN_IF_ERROR(WriteDirObject(root_obj_, root));
+
+  WireValue::Struct sb;
+  sb.emplace("salt", WireValue(salt));
+  sb.emplace("iters",
+             WireValue(static_cast<int64_t>(options_.kdf_iterations)));
+  sb.emplace("check",
+             WireValue(HmacSha256(keys_.header_mac, "encfs-volume-check")));
+  sb.emplace("root_obj", WireValue(root_obj_.ToBytes()));
+  sb.emplace("root_dir", WireValue(root_dir_id_.ToBytes()));
+  sb.emplace("encrypt", WireValue(options_.encrypt));
+  device_->WriteSuperblock(BinaryEncode(WireValue(std::move(sb))));
+  return Status::Ok();
+}
+
+Status EncFs::InitMount(std::string_view password) {
+  KP_ASSIGN_OR_RETURN(WireValue sb, BinaryDecode(device_->ReadSuperblock()));
+  KP_ASSIGN_OR_RETURN(WireValue salt_v, sb.Field("salt"));
+  KP_ASSIGN_OR_RETURN(Bytes salt, salt_v.AsBytes());
+  KP_ASSIGN_OR_RETURN(WireValue iters_v, sb.Field("iters"));
+  KP_ASSIGN_OR_RETURN(int64_t iters, iters_v.AsInt());
+  KP_ASSIGN_OR_RETURN(WireValue encrypt_v, sb.Field("encrypt"));
+  KP_ASSIGN_OR_RETURN(bool encrypt, encrypt_v.AsBool());
+
+  options_.kdf_iterations = static_cast<uint32_t>(iters);
+  options_.encrypt = encrypt;
+  DeriveKeys(password, salt);
+
+  KP_ASSIGN_OR_RETURN(WireValue check_v, sb.Field("check"));
+  KP_ASSIGN_OR_RETURN(Bytes check, check_v.AsBytes());
+  if (!ConstantTimeEquals(
+          check, HmacSha256(keys_.header_mac, "encfs-volume-check"))) {
+    return PermissionDeniedError("encfs: wrong volume password");
+  }
+
+  KP_ASSIGN_OR_RETURN(WireValue root_obj_v, sb.Field("root_obj"));
+  KP_ASSIGN_OR_RETURN(Bytes root_obj_bytes, root_obj_v.AsBytes());
+  KP_ASSIGN_OR_RETURN(root_obj_, ObjectId::FromBytes(root_obj_bytes));
+  KP_ASSIGN_OR_RETURN(WireValue root_dir_v, sb.Field("root_dir"));
+  KP_ASSIGN_OR_RETURN(Bytes root_dir_bytes, root_dir_v.AsBytes());
+  KP_ASSIGN_OR_RETURN(root_dir_id_, DirId::FromBytes(root_dir_bytes));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<EncFs>> EncFs::Format(BlockDevice* device,
+                                             EventQueue* queue,
+                                             uint64_t rng_seed,
+                                             std::string_view password,
+                                             Options options) {
+  auto fs =
+      std::unique_ptr<EncFs>(new EncFs(device, queue, rng_seed, options));
+  KP_RETURN_IF_ERROR(fs->InitFormat(password));
+  return fs;
+}
+
+Result<std::unique_ptr<EncFs>> EncFs::Mount(BlockDevice* device,
+                                            EventQueue* queue,
+                                            uint64_t rng_seed,
+                                            std::string_view password,
+                                            Options options) {
+  auto fs =
+      std::unique_ptr<EncFs>(new EncFs(device, queue, rng_seed, options));
+  KP_RETURN_IF_ERROR(fs->InitMount(password));
+  return fs;
+}
+
+// --- Name encryption. --------------------------------------------------------
+
+EncFs::RawDirEntry EncFs::MakeEntry(const std::string& name, bool is_dir,
+                                    const ObjectId& obj) const {
+  RawDirEntry entry;
+  entry.is_dir = is_dir;
+  entry.obj = obj;
+  if (!options_.encrypt) {
+    entry.name_ct = BytesOf(name);
+    return entry;
+  }
+  // Deterministic IV from the name so lookups can recompute the ciphertext.
+  Bytes iv_material = HmacSha256(keys_.name_iv, name);
+  entry.iv.assign(iv_material.begin(), iv_material.begin() + 16);
+  auto aes = Aes256::Create(keys_.name_enc);
+  entry.name_ct = aes->CtrXor(entry.iv, 0, BytesOf(name));
+  return entry;
+}
+
+Result<std::string> EncFs::DecryptEntryName(const RawDirEntry& entry) const {
+  if (!options_.encrypt) {
+    return StringOf(entry.name_ct);
+  }
+  auto aes = Aes256::Create(keys_.name_enc);
+  return StringOf(aes->CtrXor(entry.iv, 0, entry.name_ct));
+}
+
+size_t EncFs::FindEntry(const DirObject& dir, const std::string& name,
+                        bool* is_dir) const {
+  RawDirEntry probe = MakeEntry(name, false, ObjectId{});
+  for (size_t i = 0; i < dir.entries.size(); ++i) {
+    if (dir.entries[i].name_ct == probe.name_ct &&
+        dir.entries[i].iv == probe.iv) {
+      if (is_dir != nullptr) {
+        *is_dir = dir.entries[i].is_dir;
+      }
+      return i;
+    }
+  }
+  return kNpos;
+}
+
+// --- Directory objects. -------------------------------------------------------
+
+Bytes EncFs::SerializeDirObject(const DirObject& dir) const {
+  WireValue::Array entries;
+  for (const auto& entry : dir.entries) {
+    WireValue::Struct e;
+    e.emplace("iv", WireValue(entry.iv));
+    e.emplace("n", WireValue(entry.name_ct));
+    e.emplace("d", WireValue(entry.is_dir));
+    e.emplace("o", WireValue(entry.obj.ToBytes()));
+    entries.push_back(WireValue(std::move(e)));
+  }
+  WireValue::Struct s;
+  s.emplace("id", WireValue(dir.dir_id.ToBytes()));
+  s.emplace("entries", WireValue(std::move(entries)));
+  return BinaryEncode(WireValue(std::move(s)));
+}
+
+Result<EncFs::DirObject> EncFs::ParseDirObject(const Bytes& data) const {
+  KP_ASSIGN_OR_RETURN(WireValue value, BinaryDecode(data));
+  DirObject dir;
+  KP_ASSIGN_OR_RETURN(WireValue id_v, value.Field("id"));
+  KP_ASSIGN_OR_RETURN(Bytes id_bytes, id_v.AsBytes());
+  KP_ASSIGN_OR_RETURN(dir.dir_id, DirId::FromBytes(id_bytes));
+  KP_ASSIGN_OR_RETURN(WireValue entries_v, value.Field("entries"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array entries, entries_v.AsArray());
+  for (const auto& e : entries) {
+    RawDirEntry entry;
+    KP_ASSIGN_OR_RETURN(WireValue iv_v, e.Field("iv"));
+    KP_ASSIGN_OR_RETURN(entry.iv, iv_v.AsBytes());
+    KP_ASSIGN_OR_RETURN(WireValue n_v, e.Field("n"));
+    KP_ASSIGN_OR_RETURN(entry.name_ct, n_v.AsBytes());
+    KP_ASSIGN_OR_RETURN(WireValue d_v, e.Field("d"));
+    KP_ASSIGN_OR_RETURN(entry.is_dir, d_v.AsBool());
+    KP_ASSIGN_OR_RETURN(WireValue o_v, e.Field("o"));
+    KP_ASSIGN_OR_RETURN(Bytes o_bytes, o_v.AsBytes());
+    KP_ASSIGN_OR_RETURN(entry.obj, ObjectId::FromBytes(o_bytes));
+    dir.entries.push_back(std::move(entry));
+  }
+  return dir;
+}
+
+Status EncFs::WriteDirObject(const ObjectId& obj, const DirObject& dir) {
+  device_->WriteObject(obj, SerializeDirObject(dir));
+  return Status::Ok();
+}
+
+// --- Path resolution. ---------------------------------------------------------
+
+Result<EncFs::DirHandle> EncFs::ResolveDir(const std::string& path) const {
+  if (!IsValidPath(path)) {
+    return InvalidArgumentError("encfs: bad path: " + path);
+  }
+  DirHandle handle;
+  handle.obj = root_obj_;
+  KP_ASSIGN_OR_RETURN(Bytes root_data, device_->ReadObject(root_obj_));
+  KP_ASSIGN_OR_RETURN(handle.dir, ParseDirObject(root_data));
+
+  for (const auto& component : PathComponents(path)) {
+    bool is_dir = false;
+    size_t idx = FindEntry(handle.dir, component, &is_dir);
+    if (idx == kNpos) {
+      return NotFoundError("encfs: no such directory: " + path);
+    }
+    if (!is_dir) {
+      return InvalidArgumentError("encfs: not a directory: " + path);
+    }
+    handle.obj = handle.dir.entries[idx].obj;
+    KP_ASSIGN_OR_RETURN(Bytes data, device_->ReadObject(handle.obj));
+    KP_ASSIGN_OR_RETURN(handle.dir, ParseDirObject(data));
+  }
+  return handle;
+}
+
+Result<EncFs::ResolvedFile> EncFs::ResolveFile(const std::string& path) const {
+  ResolvedFile resolved;
+  KP_ASSIGN_OR_RETURN(resolved.parent, ResolveDir(PathDirname(path)));
+  resolved.name = PathBasename(path);
+  bool is_dir = false;
+  size_t idx = FindEntry(resolved.parent.dir, resolved.name, &is_dir);
+  if (idx == kNpos) {
+    return NotFoundError("encfs: no such file: " + path);
+  }
+  if (is_dir) {
+    return InvalidArgumentError("encfs: is a directory: " + path);
+  }
+  resolved.obj = resolved.parent.dir.entries[idx].obj;
+  return resolved;
+}
+
+// --- Header sealing. ----------------------------------------------------------
+
+Bytes EncFs::SealHeader(const FileHeader& header) const {
+  Bytes serialized = header.Serialize();
+  if (!options_.encrypt) {
+    return serialized;
+  }
+  Bytes blob = rng_.NextBytes(kHeaderIvLen);
+  auto aes = Aes256::Create(keys_.header_enc);
+  Bytes iv(blob.begin(), blob.begin() + kHeaderIvLen);
+  Bytes ct = aes->CtrXor(iv, 0, serialized);
+  Append(blob, ct);
+  Bytes mac = HmacSha256(keys_.header_mac, blob);
+  Append(blob, mac);
+  return blob;
+}
+
+Result<FileHeader> EncFs::OpenHeader(const Bytes& blob) const {
+  if (!options_.encrypt) {
+    return FileHeader::Deserialize(blob);
+  }
+  if (blob.size() < kHeaderIvLen + kHeaderMacLen) {
+    return DataLossError("encfs: header blob too short");
+  }
+  size_t body_len = blob.size() - kHeaderMacLen;
+  Bytes body(blob.begin(), blob.begin() + static_cast<long>(body_len));
+  Bytes mac(blob.begin() + static_cast<long>(body_len), blob.end());
+  if (!ConstantTimeEquals(HmacSha256(keys_.header_mac, body), mac)) {
+    return DataLossError("encfs: header MAC mismatch");
+  }
+  Bytes iv(body.begin(), body.begin() + kHeaderIvLen);
+  Bytes ct(body.begin() + kHeaderIvLen, body.end());
+  auto aes = Aes256::Create(keys_.header_enc);
+  return FileHeader::Deserialize(aes->CtrXor(iv, 0, ct));
+}
+
+// --- File objects. ------------------------------------------------------------
+
+Result<EncFs::FileObject> EncFs::ReadFileObject(const ObjectId& obj) const {
+  KP_ASSIGN_OR_RETURN(Bytes data, device_->ReadObject(obj));
+  if (data.size() < 4) {
+    return DataLossError("encfs: truncated file object");
+  }
+  uint32_t header_len = ReadU32Be(data.data());
+  if (data.size() < 4 + header_len) {
+    return DataLossError("encfs: truncated file header");
+  }
+  FileObject file;
+  Bytes header_blob(data.begin() + 4, data.begin() + 4 + header_len);
+  KP_ASSIGN_OR_RETURN(file.header, OpenHeader(header_blob));
+  file.content.assign(data.begin() + 4 + header_len, data.end());
+  return file;
+}
+
+void EncFs::WriteFileObject(const ObjectId& obj, const FileObject& file) {
+  Bytes header_blob = SealHeader(file.header);
+  Bytes data;
+  AppendU32Be(data, static_cast<uint32_t>(header_blob.size()));
+  Append(data, header_blob);
+  Append(data, file.content);
+  device_->WriteObject(obj, std::move(data));
+}
+
+Bytes EncFs::SealBlob(const Bytes& plaintext) {
+  if (!options_.encrypt) {
+    return plaintext;
+  }
+  Bytes blob = rng_.NextBytes(kHeaderIvLen);
+  auto aes = Aes256::Create(keys_.header_enc);
+  Bytes iv(blob.begin(), blob.begin() + kHeaderIvLen);
+  Bytes ct = aes->CtrXor(iv, 0, plaintext);
+  Append(blob, ct);
+  Bytes mac = HmacSha256(keys_.header_mac, blob);
+  Append(blob, mac);
+  return blob;
+}
+
+Result<Bytes> EncFs::OpenBlob(const Bytes& blob) const {
+  if (!options_.encrypt) {
+    return blob;
+  }
+  if (blob.size() < kHeaderIvLen + kHeaderMacLen) {
+    return DataLossError("encfs: sealed blob too short");
+  }
+  size_t body_len = blob.size() - kHeaderMacLen;
+  Bytes body(blob.begin(), blob.begin() + static_cast<long>(body_len));
+  Bytes mac(blob.begin() + static_cast<long>(body_len), blob.end());
+  if (!ConstantTimeEquals(HmacSha256(keys_.header_mac, body), mac)) {
+    return DataLossError("encfs: sealed blob MAC mismatch");
+  }
+  Bytes iv(body.begin(), body.begin() + kHeaderIvLen);
+  Bytes ct(body.begin() + kHeaderIvLen, body.end());
+  auto aes = Aes256::Create(keys_.header_enc);
+  return aes->CtrXor(iv, 0, ct);
+}
+
+Result<FileHeader> EncFs::ReadHeaderAt(const ObjectId& obj) const {
+  KP_ASSIGN_OR_RETURN(FileObject file, ReadFileObject(obj));
+  return file.header;
+}
+
+Status EncFs::WriteHeaderAt(const ObjectId& obj, const FileHeader& header) {
+  KP_ASSIGN_OR_RETURN(FileObject file, ReadFileObject(obj));
+  file.header = header;
+  WriteFileObject(obj, file);
+  return Status::Ok();
+}
+
+Result<FileHeader> EncFs::ReadHeaderOf(const std::string& path) const {
+  KP_ASSIGN_OR_RETURN(ResolvedFile resolved, ResolveFile(path));
+  return ReadHeaderAt(resolved.obj);
+}
+
+Status EncFs::RewriteHeaderForTesting(const std::string& path,
+                                      const FileHeader& header) {
+  KP_ASSIGN_OR_RETURN(ResolvedFile resolved, ResolveFile(path));
+  return WriteHeaderAt(resolved.obj, header);
+}
+
+// --- Default hooks (plain EncFS behaviour). -----------------------------------
+
+Result<Bytes> EncFs::ProvisionNewFile(const std::string& /*path*/,
+                                      const DirId& /*dir_id*/,
+                                      FileHeader* header) {
+  // The data key lives in the header, protected only by the volume key —
+  // exactly EncFS's trust model.
+  Bytes data_key = rng_.NextBytes(32);
+  header->key_blob = data_key;
+  header->keypad_protected = false;
+  return data_key;
+}
+
+Result<Bytes> EncFs::UnlockDataKey(const std::string& path,
+                                   const DirId& /*dir_id*/,
+                                   FileHeader* header, bool* /*header_dirty*/) {
+  if (header->keypad_protected) {
+    // A vanilla EncFS mount cannot produce the data key for a
+    // Keypad-protected file: the blob in the header is wrapped under a key
+    // that only the key service can supply.
+    return FailedPreconditionError(
+        "encfs: file is keypad-protected; remote key required: " + path);
+  }
+  return header->key_blob;
+}
+
+Status EncFs::OnRenameFile(const std::string&, const std::string&,
+                           const DirId&, const DirId&, const std::string&,
+                           FileHeader*, bool*) {
+  return Status::Ok();
+}
+Status EncFs::OnMkdir(const std::string&, const DirId&, const DirId&,
+                      const std::string&) {
+  return Status::Ok();
+}
+Status EncFs::OnRenameDir(const DirId&, const DirId&, const std::string&) {
+  return Status::Ok();
+}
+Status EncFs::OnUnlink(const std::string&, const FileHeader&) {
+  return Status::Ok();
+}
+
+// --- Vfs operations. -----------------------------------------------------------
+
+void EncFs::ChargeBytes(SimDuration base, SimDuration per_kib, size_t bytes) {
+  int64_t kib = static_cast<int64_t>((bytes + 1023) / 1024);
+  Charge(base + per_kib * kib);
+}
+
+Status EncFs::Create(const std::string& path) {
+  Charge(options_.costs.metadata_base);
+  if (!IsValidPath(path) || path == "/") {
+    return InvalidArgumentError("encfs: bad path: " + path);
+  }
+  KP_ASSIGN_OR_RETURN(DirHandle parent, ResolveDir(PathDirname(path)));
+  std::string name = PathBasename(path);
+  if (name.empty()) {
+    return InvalidArgumentError("encfs: bad file name");
+  }
+  if (FindEntry(parent.dir, name) != kNpos) {
+    return AlreadyExistsError("encfs: exists: " + path);
+  }
+
+  FileObject file;
+  file.header.version = 1;
+  file.header.data_iv = rng_.NextBytes(16);
+  file.header.length = 0;
+  KP_ASSIGN_OR_RETURN(Bytes data_key,
+                      ProvisionNewFile(path, parent.dir.dir_id,
+                                       &file.header));
+  SecureZero(data_key);  // Not needed for an empty file.
+
+  ObjectId obj = ObjectId::Random(rng_);
+  WriteFileObject(obj, file);
+  parent.dir.entries.push_back(MakeEntry(name, /*is_dir=*/false, obj));
+  return WriteDirObject(parent.obj, parent.dir);
+}
+
+Result<Bytes> EncFs::Read(const std::string& path, uint64_t offset,
+                          size_t len) {
+  ChargeBytes(options_.costs.read_base, options_.costs.read_per_kib, len);
+  KP_ASSIGN_OR_RETURN(ResolvedFile resolved, ResolveFile(path));
+  KP_ASSIGN_OR_RETURN(FileObject file, ReadFileObject(resolved.obj));
+
+  bool header_dirty = false;
+  KP_ASSIGN_OR_RETURN(Bytes data_key,
+                      UnlockDataKey(path, resolved.parent.dir.dir_id,
+                                    &file.header, &header_dirty));
+  if (header_dirty) {
+    KP_RETURN_IF_ERROR(WriteHeaderAt(resolved.obj, file.header));
+  }
+
+  if (offset >= file.header.length) {
+    return Bytes{};
+  }
+  size_t end = static_cast<size_t>(
+      std::min<uint64_t>(file.header.length, offset + len));
+  Bytes ct(file.content.begin() + static_cast<long>(offset),
+           file.content.begin() + static_cast<long>(end));
+  if (!options_.encrypt || data_key.empty()) {
+    return ct;
+  }
+  auto aes = Aes256::Create(data_key);
+  if (!aes.ok()) {
+    return aes.status();
+  }
+  return aes->CtrXor(file.header.data_iv, offset, ct);
+}
+
+Status EncFs::Write(const std::string& path, uint64_t offset,
+                    const Bytes& data) {
+  ChargeBytes(options_.costs.write_base, options_.costs.write_per_kib,
+              data.size());
+  KP_ASSIGN_OR_RETURN(ResolvedFile resolved, ResolveFile(path));
+  KP_ASSIGN_OR_RETURN(FileObject file, ReadFileObject(resolved.obj));
+
+  bool header_dirty = false;
+  KP_ASSIGN_OR_RETURN(Bytes data_key,
+                      UnlockDataKey(path, resolved.parent.dir.dir_id,
+                                    &file.header, &header_dirty));
+  (void)header_dirty;  // The object is rewritten below regardless.
+
+  bool crypt = options_.encrypt && !data_key.empty();
+  Result<Aes256> aes = crypt ? Aes256::Create(data_key)
+                             : Result<Aes256>(UnimplementedError("unused"));
+  if (crypt && !aes.ok()) {
+    return aes.status();
+  }
+
+  uint64_t end = offset + data.size();
+  if (end > file.header.length) {
+    // Zero-fill any gap [length, offset), then extend.
+    size_t old_len = static_cast<size_t>(file.header.length);
+    file.content.resize(static_cast<size_t>(end), 0);
+    if (offset > old_len && crypt) {
+      Bytes zeros(static_cast<size_t>(offset) - old_len, 0);
+      Bytes gap_ct = aes->CtrXor(file.header.data_iv, old_len, zeros);
+      std::copy(gap_ct.begin(), gap_ct.end(),
+                file.content.begin() + static_cast<long>(old_len));
+    }
+    file.header.length = end;
+  }
+  if (crypt) {
+    Bytes ct = aes->CtrXor(file.header.data_iv, offset, data);
+    std::copy(ct.begin(), ct.end(),
+              file.content.begin() + static_cast<long>(offset));
+  } else {
+    std::copy(data.begin(), data.end(),
+              file.content.begin() + static_cast<long>(offset));
+  }
+  WriteFileObject(resolved.obj, file);
+  return Status::Ok();
+}
+
+Status EncFs::Mkdir(const std::string& path) {
+  Charge(options_.costs.metadata_base);
+  if (!IsValidPath(path) || path == "/") {
+    return InvalidArgumentError("encfs: bad path: " + path);
+  }
+  KP_ASSIGN_OR_RETURN(DirHandle parent, ResolveDir(PathDirname(path)));
+  std::string name = PathBasename(path);
+  if (name.empty()) {
+    return InvalidArgumentError("encfs: bad directory name");
+  }
+  if (FindEntry(parent.dir, name) != kNpos) {
+    return AlreadyExistsError("encfs: exists: " + path);
+  }
+
+  DirObject dir;
+  dir.dir_id = DirId::Random(rng_);
+  ObjectId obj = ObjectId::Random(rng_);
+  KP_RETURN_IF_ERROR(WriteDirObject(obj, dir));
+  parent.dir.entries.push_back(MakeEntry(name, /*is_dir=*/true, obj));
+  KP_RETURN_IF_ERROR(WriteDirObject(parent.obj, parent.dir));
+  return OnMkdir(path, dir.dir_id, parent.dir.dir_id, name);
+}
+
+Status EncFs::Rename(const std::string& from, const std::string& to) {
+  Charge(options_.costs.metadata_base);
+  if (!IsValidPath(from) || !IsValidPath(to) || from == "/" || to == "/") {
+    return InvalidArgumentError("encfs: bad path");
+  }
+  if (PathIsWithin(to, from)) {
+    // Moving a directory beneath itself would orphan the subtree.
+    return InvalidArgumentError("encfs: cannot move a path under itself");
+  }
+  KP_ASSIGN_OR_RETURN(DirHandle from_parent, ResolveDir(PathDirname(from)));
+  std::string from_name = PathBasename(from);
+  bool is_dir = false;
+  size_t from_idx = FindEntry(from_parent.dir, from_name, &is_dir);
+  if (from_idx == kNpos) {
+    return NotFoundError("encfs: no such file: " + from);
+  }
+  ObjectId obj = from_parent.dir.entries[from_idx].obj;
+
+  KP_ASSIGN_OR_RETURN(DirHandle to_parent, ResolveDir(PathDirname(to)));
+  std::string to_name = PathBasename(to);
+  if (to_name.empty()) {
+    return InvalidArgumentError("encfs: bad destination name");
+  }
+  if (FindEntry(to_parent.dir, to_name) != kNpos) {
+    return AlreadyExistsError("encfs: destination exists: " + to);
+  }
+
+  // Same-directory rename must mutate one DirObject, not two copies.
+  bool same_dir = from_parent.obj == to_parent.obj;
+  DirHandle& target = same_dir ? from_parent : to_parent;
+
+  from_parent.dir.entries.erase(from_parent.dir.entries.begin() +
+                                static_cast<long>(from_idx));
+  target.dir.entries.push_back(MakeEntry(to_name, is_dir, obj));
+  KP_RETURN_IF_ERROR(WriteDirObject(from_parent.obj, from_parent.dir));
+  if (!same_dir) {
+    KP_RETURN_IF_ERROR(WriteDirObject(to_parent.obj, to_parent.dir));
+  }
+
+  if (is_dir) {
+    KP_ASSIGN_OR_RETURN(Bytes dir_data, device_->ReadObject(obj));
+    KP_ASSIGN_OR_RETURN(DirObject dir, ParseDirObject(dir_data));
+    return OnRenameDir(dir.dir_id, target.dir.dir_id, to_name);
+  }
+
+  KP_ASSIGN_OR_RETURN(FileHeader header, ReadHeaderAt(obj));
+  bool header_dirty = false;
+  KP_RETURN_IF_ERROR(OnRenameFile(from, to, from_parent.dir.dir_id,
+                                  target.dir.dir_id, to_name, &header,
+                                  &header_dirty));
+  if (header_dirty) {
+    KP_RETURN_IF_ERROR(WriteHeaderAt(obj, header));
+  }
+  return Status::Ok();
+}
+
+Status EncFs::Unlink(const std::string& path) {
+  Charge(options_.costs.metadata_base);
+  KP_ASSIGN_OR_RETURN(ResolvedFile resolved, ResolveFile(path));
+  KP_ASSIGN_OR_RETURN(FileHeader header, ReadHeaderAt(resolved.obj));
+  KP_RETURN_IF_ERROR(OnUnlink(path, header));
+
+  size_t idx = FindEntry(resolved.parent.dir, resolved.name);
+  resolved.parent.dir.entries.erase(resolved.parent.dir.entries.begin() +
+                                    static_cast<long>(idx));
+  KP_RETURN_IF_ERROR(WriteDirObject(resolved.parent.obj, resolved.parent.dir));
+  return device_->DeleteObject(resolved.obj);
+}
+
+Status EncFs::Rmdir(const std::string& path) {
+  Charge(options_.costs.metadata_base);
+  if (path == "/") {
+    return InvalidArgumentError("encfs: cannot remove root");
+  }
+  KP_ASSIGN_OR_RETURN(DirHandle parent, ResolveDir(PathDirname(path)));
+  std::string name = PathBasename(path);
+  bool is_dir = false;
+  size_t idx = FindEntry(parent.dir, name, &is_dir);
+  if (idx == kNpos) {
+    return NotFoundError("encfs: no such directory: " + path);
+  }
+  if (!is_dir) {
+    return InvalidArgumentError("encfs: not a directory: " + path);
+  }
+  ObjectId obj = parent.dir.entries[idx].obj;
+  KP_ASSIGN_OR_RETURN(Bytes dir_data, device_->ReadObject(obj));
+  KP_ASSIGN_OR_RETURN(DirObject dir, ParseDirObject(dir_data));
+  if (!dir.entries.empty()) {
+    return FailedPreconditionError("encfs: directory not empty: " + path);
+  }
+  parent.dir.entries.erase(parent.dir.entries.begin() +
+                           static_cast<long>(idx));
+  KP_RETURN_IF_ERROR(WriteDirObject(parent.obj, parent.dir));
+  return device_->DeleteObject(obj);
+}
+
+Result<std::vector<DirEntry>> EncFs::Readdir(const std::string& path) {
+  Charge(options_.costs.stat_base);
+  KP_ASSIGN_OR_RETURN(DirHandle handle, ResolveDir(path));
+  std::vector<DirEntry> out;
+  out.reserve(handle.dir.entries.size());
+  for (const auto& raw : handle.dir.entries) {
+    DirEntry entry;
+    KP_ASSIGN_OR_RETURN(entry.name, DecryptEntryName(raw));
+    entry.is_dir = raw.is_dir;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Result<StatInfo> EncFs::Stat(const std::string& path) {
+  Charge(options_.costs.stat_base);
+  if (path == "/") {
+    StatInfo info;
+    info.is_dir = true;
+    return info;
+  }
+  KP_ASSIGN_OR_RETURN(DirHandle parent, ResolveDir(PathDirname(path)));
+  bool is_dir = false;
+  size_t idx = FindEntry(parent.dir, PathBasename(path), &is_dir);
+  if (idx == kNpos) {
+    return NotFoundError("encfs: no such path: " + path);
+  }
+  StatInfo info;
+  info.is_dir = is_dir;
+  info.mtime = queue_->Now();
+  if (!is_dir) {
+    KP_ASSIGN_OR_RETURN(FileHeader header,
+                        ReadHeaderAt(parent.dir.entries[idx].obj));
+    info.size = header.length;
+  }
+  return info;
+}
+
+}  // namespace keypad

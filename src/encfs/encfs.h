@@ -1,0 +1,210 @@
+// EncFS-like block-level encrypted file system over a BlockDevice — the
+// substrate Keypad extends (§4: "Our client-side Keypad file system is an
+// extension of EncFS, an open-source block-level encrypted file system").
+//
+// Two modes:
+//  * encrypt=true (EncFS baseline): a volume key derived from the user's
+//    password protects file headers and file/directory names; each file's
+//    content is encrypted with a per-file data key stored in its (encrypted)
+//    header. This models EncFS faithfully: everything on the medium is
+//    ciphertext, and the password is the single point of failure.
+//  * encrypt=false ("ext3" baseline): same structure, no cryptography, used
+//    for the unencrypted comparisons in §5.
+//
+// Keypad subclasses this FS and overrides the protected hooks: per-file key
+// provisioning/unlocking becomes remote-key-service traffic, and namespace
+// mutations trigger metadata-service registration and IBE locking.
+
+#ifndef SRC_ENCFS_ENCFS_H_
+#define SRC_ENCFS_ENCFS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/blockdev/block_device.h"
+#include "src/cryptocore/secure_random.h"
+#include "src/encfs/file_header.h"
+#include "src/encfs/fs_cost.h"
+#include "src/encfs/vfs.h"
+#include "src/sim/event_queue.h"
+#include "src/util/ids.h"
+
+namespace keypad {
+
+class EncFs : public Vfs {
+ public:
+  struct Options {
+    FsCostModel costs = FsCostModel::EncFs();
+    bool encrypt = true;
+    uint32_t kdf_iterations = 1000;
+  };
+
+  // Formats a fresh volume on `device` (overwrites everything).
+  static Result<std::unique_ptr<EncFs>> Format(BlockDevice* device,
+                                               EventQueue* queue,
+                                               uint64_t rng_seed,
+                                               std::string_view password,
+                                               Options options);
+  // Mounts an existing volume; kPermissionDenied on a wrong password.
+  static Result<std::unique_ptr<EncFs>> Mount(BlockDevice* device,
+                                              EventQueue* queue,
+                                              uint64_t rng_seed,
+                                              std::string_view password,
+                                              Options options);
+
+  // --- Vfs interface. -------------------------------------------------------
+  Status Create(const std::string& path) override;
+  Result<Bytes> Read(const std::string& path, uint64_t offset,
+                     size_t len) override;
+  Status Write(const std::string& path, uint64_t offset,
+               const Bytes& data) override;
+  Status Mkdir(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Unlink(const std::string& path) override;
+  Status Rmdir(const std::string& path) override;
+  Result<std::vector<DirEntry>> Readdir(const std::string& path) override;
+  Result<StatInfo> Stat(const std::string& path) override;
+
+  const DirId& root_dir_id() const { return root_dir_id_; }
+  EventQueue* queue() const { return queue_; }
+  BlockDevice* device() const { return device_; }
+
+  // Reads a file's header without touching content or keys (used by the
+  // auditor/attacker toolkit and by prefetching, which needs audit IDs of
+  // directory siblings).
+  Result<FileHeader> ReadHeaderOf(const std::string& path) const;
+
+  // Test hook: replaces a file's header verbatim (security tests use it to
+  // simulate foreign header states).
+  Status RewriteHeaderForTesting(const std::string& path,
+                                 const FileHeader& header);
+
+  // Generic volume-key AEAD for auxiliary on-device state (Keypad stores
+  // its service credentials in a sealed object; whoever holds the volume
+  // password — owner or thief — can open it). iv || ct || mac framing.
+  Bytes SealBlob(const Bytes& plaintext);
+  Result<Bytes> OpenBlob(const Bytes& blob) const;
+
+ protected:
+  EncFs(BlockDevice* device, EventQueue* queue, uint64_t rng_seed,
+        Options options);
+
+  // Factory bodies, reusable by subclasses: lay down / open the volume.
+  Status InitFormat(std::string_view password);
+  Status InitMount(std::string_view password);
+
+  // --- Hook points for Keypad. ---------------------------------------------
+
+  // Provision keys for a file being created in directory `dir_id`. The
+  // default fills header->key_blob with a fresh random data key (protected
+  // only by the header encryption) and returns that key. Keypad instead
+  // registers a remote key + metadata binding (the creation barrier) and
+  // stores Wrap(K_R, K_D).
+  virtual Result<Bytes> ProvisionNewFile(const std::string& path,
+                                         const DirId& dir_id,
+                                         FileHeader* header);
+  // Recover the cleartext data key for a content access. Default: read it
+  // from the header (plain EncFS). Keypad: consult the key cache / key
+  // service; may rewrite the header (set *header_dirty) when clearing an
+  // IBE lock.
+  virtual Result<Bytes> UnlockDataKey(const std::string& path,
+                                      const DirId& dir_id, FileHeader* header,
+                                      bool* header_dirty);
+  // Namespace-change hooks; defaults are no-ops. `header` may be rewritten
+  // (IBE locking) — set *header_dirty.
+  virtual Status OnRenameFile(const std::string& from, const std::string& to,
+                              const DirId& old_dir_id,
+                              const DirId& new_dir_id,
+                              const std::string& new_name, FileHeader* header,
+                              bool* header_dirty);
+  virtual Status OnMkdir(const std::string& path, const DirId& dir_id,
+                         const DirId& parent_id, const std::string& name);
+  virtual Status OnRenameDir(const DirId& dir_id, const DirId& new_parent_id,
+                             const std::string& new_name);
+  virtual Status OnUnlink(const std::string& path, const FileHeader& header);
+
+  // --- Internals shared with subclasses. ------------------------------------
+
+  struct RawDirEntry {
+    Bytes iv;
+    Bytes name_ct;
+    bool is_dir = false;
+    ObjectId obj;
+  };
+  struct DirObject {
+    DirId dir_id;
+    std::vector<RawDirEntry> entries;
+  };
+  struct DirHandle {
+    ObjectId obj;
+    DirObject dir;
+  };
+  struct ResolvedFile {
+    DirHandle parent;
+    std::string name;
+    ObjectId obj;
+  };
+
+  Result<DirHandle> ResolveDir(const std::string& path) const;
+  Result<ResolvedFile> ResolveFile(const std::string& path) const;
+  Result<FileHeader> ReadHeaderAt(const ObjectId& obj) const;
+  // Rewrites the header in place, preserving content bytes.
+  Status WriteHeaderAt(const ObjectId& obj, const FileHeader& header);
+
+  SecureRandom& rng() { return rng_; }
+  const FsCostModel& costs() const { return options_.costs; }
+  void Charge(SimDuration d) { queue_->AdvanceBy(d); }
+  void ChargeBytes(SimDuration base, SimDuration per_kib, size_t bytes);
+  bool encrypted() const { return options_.encrypt; }
+
+ private:
+  struct VolumeKeys {
+    Bytes header_enc;
+    Bytes header_mac;
+    Bytes name_enc;
+    Bytes name_iv;
+  };
+
+  void DeriveKeys(std::string_view password, const Bytes& salt);
+
+  // Name encryption (deterministic per name so lookups work).
+  RawDirEntry MakeEntry(const std::string& name, bool is_dir,
+                        const ObjectId& obj) const;
+  Result<std::string> DecryptEntryName(const RawDirEntry& entry) const;
+  // Finds an entry matching `name`; returns entries().end()-style index or
+  // npos.
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  size_t FindEntry(const DirObject& dir, const std::string& name,
+                   bool* is_dir = nullptr) const;
+
+  Bytes SerializeDirObject(const DirObject& dir) const;
+  Result<DirObject> ParseDirObject(const Bytes& data) const;
+  Status WriteDirObject(const ObjectId& obj, const DirObject& dir);
+
+  Bytes SealHeader(const FileHeader& header) const;
+  Result<FileHeader> OpenHeader(const Bytes& blob) const;
+
+  // File object layout: u32 header_blob_len || header_blob || content_ct.
+  struct FileObject {
+    FileHeader header;
+    Bytes content;  // Ciphertext (or plaintext in plain mode).
+  };
+  Result<FileObject> ReadFileObject(const ObjectId& obj) const;
+  void WriteFileObject(const ObjectId& obj, const FileObject& file);
+
+  BlockDevice* device_;
+  EventQueue* queue_;
+  // Mutable: const read paths consume randomness for fresh header IVs.
+  mutable SecureRandom rng_;
+  Options options_;
+  VolumeKeys keys_;
+  ObjectId root_obj_;
+  DirId root_dir_id_;
+
+  friend class RawDeviceAttacker;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_ENCFS_ENCFS_H_

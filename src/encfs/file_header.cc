@@ -1,0 +1,43 @@
+#include "src/encfs/file_header.h"
+
+#include "src/wire/binary_codec.h"
+#include "src/wire/value.h"
+
+namespace keypad {
+
+Bytes FileHeader::Serialize() const {
+  WireValue::Struct s;
+  s.emplace("v", WireValue(static_cast<int64_t>(version)));
+  s.emplace("kp", WireValue(keypad_protected));
+  s.emplace("ibe", WireValue(ibe_locked));
+  s.emplace("id", WireValue(audit_id.ToBytes()));
+  s.emplace("iv", WireValue(data_iv));
+  s.emplace("key", WireValue(key_blob));
+  s.emplace("len", WireValue(static_cast<int64_t>(length)));
+  return BinaryEncode(WireValue(std::move(s)));
+}
+
+Result<FileHeader> FileHeader::Deserialize(const Bytes& data) {
+  KP_ASSIGN_OR_RETURN(WireValue value, BinaryDecode(data));
+  FileHeader header;
+  KP_ASSIGN_OR_RETURN(WireValue v, value.Field("v"));
+  KP_ASSIGN_OR_RETURN(int64_t version, v.AsInt());
+  header.version = static_cast<uint32_t>(version);
+  KP_ASSIGN_OR_RETURN(WireValue kp, value.Field("kp"));
+  KP_ASSIGN_OR_RETURN(header.keypad_protected, kp.AsBool());
+  KP_ASSIGN_OR_RETURN(WireValue ibe, value.Field("ibe"));
+  KP_ASSIGN_OR_RETURN(header.ibe_locked, ibe.AsBool());
+  KP_ASSIGN_OR_RETURN(WireValue id, value.Field("id"));
+  KP_ASSIGN_OR_RETURN(Bytes id_bytes, id.AsBytes());
+  KP_ASSIGN_OR_RETURN(header.audit_id, AuditId::FromBytes(id_bytes));
+  KP_ASSIGN_OR_RETURN(WireValue iv, value.Field("iv"));
+  KP_ASSIGN_OR_RETURN(header.data_iv, iv.AsBytes());
+  KP_ASSIGN_OR_RETURN(WireValue key, value.Field("key"));
+  KP_ASSIGN_OR_RETURN(header.key_blob, key.AsBytes());
+  KP_ASSIGN_OR_RETURN(WireValue len, value.Field("len"));
+  KP_ASSIGN_OR_RETURN(int64_t length, len.AsInt());
+  header.length = static_cast<uint64_t>(length);
+  return header;
+}
+
+}  // namespace keypad

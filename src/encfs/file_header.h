@@ -1,0 +1,42 @@
+// On-disk file header (paper Figure 5).
+//
+// The header rides at the front of every file object, encrypted under the
+// volume header key (derived from the user's password) and MAC'd. Contents:
+//
+//   normal Keypad file (Fig. 5a):          IBE-locked file (Fig. 5b):
+//     audit id  ID_F                          audit id  ID_F
+//     key_blob = Wrap(K_R_F, K_D_F)           key_blob = IBE-Enc(identity,
+//     data IV                                             Wrap(K_R_F, K_D_F))
+//     length                                  data IV, length
+//
+// In plain-EncFS mode key_blob holds the data key directly — the volume
+// password is then the only protection, which is exactly the baseline the
+// paper improves on.
+
+#ifndef SRC_ENCFS_FILE_HEADER_H_
+#define SRC_ENCFS_FILE_HEADER_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+#include "src/util/ids.h"
+#include "src/util/result.h"
+
+namespace keypad {
+
+struct FileHeader {
+  uint32_t version = 1;
+  bool keypad_protected = false;
+  bool ibe_locked = false;
+  AuditId audit_id;  // All-zero unless keypad_protected.
+  Bytes data_iv;     // 16-byte CTR IV for the content.
+  Bytes key_blob;    // Mode-dependent (see file comment).
+  uint64_t length = 0;
+
+  Bytes Serialize() const;
+  static Result<FileHeader> Deserialize(const Bytes& data);
+};
+
+}  // namespace keypad
+
+#endif  // SRC_ENCFS_FILE_HEADER_H_

@@ -1,0 +1,60 @@
+// Virtual CPU cost model for local file-system operations.
+//
+// Constants are calibrated to the paper's measurements (§5.1):
+//  * EncFS read with warm caches: 0.337 ms; write: ~0.45 ms (Fig. 6a's
+//    EncFS components).
+//  * ext3 is ~1.8x faster than EncFS on the Apache compile
+//    (63 s vs 112 s) across a mix of ops — modeled with proportionally
+//    smaller per-op constants (no encryption work).
+// Each operation charges base + per_kilobyte * ceil(bytes/1024) of virtual
+// time on the event queue.
+
+#ifndef SRC_ENCFS_FS_COST_H_
+#define SRC_ENCFS_FS_COST_H_
+
+#include "src/sim/time.h"
+
+namespace keypad {
+
+struct FsCostModel {
+  SimDuration read_base;
+  SimDuration write_base;
+  SimDuration metadata_base;   // create/rename/mkdir/unlink.
+  SimDuration stat_base;       // stat/readdir.
+  SimDuration read_per_kib;    // Added per KiB read.
+  SimDuration write_per_kib;   // Added per KiB written (crypto + FUSE
+                               // write-path cost dominates in EncFS).
+
+  // Plain "ext3" baseline: no crypto in the data path. Calibrated so the
+  // Apache-compile trace totals ~63 s (paper's ext3 anchor).
+  static FsCostModel Ext3() {
+    FsCostModel m;
+    m.read_base = SimDuration::Micros(180);
+    m.write_base = SimDuration::Micros(250);
+    m.metadata_base = SimDuration::Micros(450);
+    m.stat_base = SimDuration::Micros(60);
+    m.read_per_kib = SimDuration::Micros(6);
+    m.write_per_kib = SimDuration::Micros(12);
+    return m;
+  }
+
+  // EncFS-like FUSE encrypted FS. The paper's microbench shows a 0.337 ms
+  // warm read, but its own compile anchors (63 s ext3 vs 112 s EncFS over
+  // 75,744 content ops) imply ~1 ms of FUSE+crypto cost per averaged
+  // content op; we keep the microbench base and put the difference in the
+  // per-KiB rates, favouring the compile anchors that drive Figs. 7/8/10.
+  static FsCostModel EncFs() {
+    FsCostModel m;
+    m.read_base = SimDuration::Micros(400);
+    m.write_base = SimDuration::Micros(550);
+    m.metadata_base = SimDuration::Micros(850);
+    m.stat_base = SimDuration::Micros(110);
+    m.read_per_kib = SimDuration::Micros(150);
+    m.write_per_kib = SimDuration::Micros(300);
+    return m;
+  }
+};
+
+}  // namespace keypad
+
+#endif  // SRC_ENCFS_FS_COST_H_

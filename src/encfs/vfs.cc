@@ -1,0 +1,21 @@
+#include "src/encfs/vfs.h"
+
+namespace keypad {
+
+Result<Bytes> Vfs::ReadAll(const std::string& path) {
+  KP_ASSIGN_OR_RETURN(StatInfo info, Stat(path));
+  if (info.is_dir) {
+    return InvalidArgumentError("vfs: is a directory: " + path);
+  }
+  return Read(path, 0, static_cast<size_t>(info.size));
+}
+
+Status Vfs::WriteAll(const std::string& path, const Bytes& data) {
+  auto stat = Stat(path);
+  if (!stat.ok()) {
+    KP_RETURN_IF_ERROR(Create(path));
+  }
+  return Write(path, 0, data);
+}
+
+}  // namespace keypad

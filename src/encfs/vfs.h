@@ -1,0 +1,59 @@
+// The file-system interface shared by every FS in the evaluation: the plain
+// ("ext3") baseline, the EncFS-like encrypted baseline, Keypad, and the
+// NFS-like networked baseline. Workload traces are replayed against this
+// interface; benches time operations on the virtual clock around each call.
+//
+// Paths are absolute within the volume ("/dir/file"). Operations are
+// synchronous from the caller's perspective; implementations charge virtual
+// CPU/network time on the shared event queue before returning.
+
+#ifndef SRC_ENCFS_VFS_H_
+#define SRC_ENCFS_VFS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace keypad {
+
+struct DirEntry {
+  std::string name;
+  bool is_dir = false;
+};
+
+struct StatInfo {
+  bool is_dir = false;
+  uint64_t size = 0;
+  SimTime mtime;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  // Creates an empty file; parent directory must exist.
+  virtual Status Create(const std::string& path) = 0;
+  virtual Result<Bytes> Read(const std::string& path, uint64_t offset,
+                             size_t len) = 0;
+  virtual Status Write(const std::string& path, uint64_t offset,
+                       const Bytes& data) = 0;
+  virtual Status Mkdir(const std::string& path) = 0;
+  // Renames a file or directory; destination parent must exist, destination
+  // name must be free.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status Unlink(const std::string& path) = 0;
+  virtual Status Rmdir(const std::string& path) = 0;
+  virtual Result<std::vector<DirEntry>> Readdir(const std::string& path) = 0;
+  virtual Result<StatInfo> Stat(const std::string& path) = 0;
+
+  // Convenience wrappers.
+  Result<Bytes> ReadAll(const std::string& path);
+  Status WriteAll(const std::string& path, const Bytes& data);
+};
+
+}  // namespace keypad
+
+#endif  // SRC_ENCFS_VFS_H_

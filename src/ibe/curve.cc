@@ -1,0 +1,369 @@
+#include "src/ibe/curve.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "src/cryptocore/sha256.h"
+#include "src/util/logging.h"
+
+namespace keypad {
+
+namespace {
+
+// y^2 = x^3 + x  =>  rhs(x) = x^3 + x.
+BigInt CurveRhs(const BigInt& x, const BigInt& p) {
+  BigInt x2 = BigInt::ModMul(x, x, p);
+  BigInt x3 = BigInt::ModMul(x2, x, p);
+  return BigInt::ModAdd(x3, x, p);
+}
+
+// Legendre symbol via Euler's criterion; returns 1, -1 (as p-1 check), or 0.
+bool IsQuadraticResidue(const BigInt& v, const BigInt& p) {
+  if (v.IsZero()) {
+    return true;
+  }
+  BigInt e = BigInt::Sub(p, BigInt::One()).ShiftRight(1);
+  return BigInt::ModExp(v, e, p).IsOne();
+}
+
+// Square root for p ≡ 3 (mod 4): v^((p+1)/4). Caller must ensure v is a QR.
+BigInt SqrtMod(const BigInt& v, const BigInt& p) {
+  BigInt e = BigInt::Add(p, BigInt::One()).ShiftRight(2);
+  return BigInt::ModExp(v, e, p);
+}
+
+}  // namespace
+
+bool IsOnCurve(const EcPoint& pt, const PairingParams& params) {
+  if (pt.infinity) {
+    return true;
+  }
+  const BigInt& p = params.p;
+  BigInt lhs = BigInt::ModMul(pt.y, pt.y, p);
+  return lhs == CurveRhs(pt.x, p);
+}
+
+EcPoint EcNegate(const EcPoint& a, const BigInt& p) {
+  if (a.infinity) {
+    return a;
+  }
+  return {a.x, BigInt::ModSub(BigInt::Zero(), a.y, p), false};
+}
+
+EcPoint EcDouble(const EcPoint& a, const BigInt& p) {
+  if (a.infinity || a.y.IsZero()) {
+    return EcPoint::Infinity();
+  }
+  // lambda = (3x^2 + 1) / (2y)   (curve coefficient a = 1).
+  BigInt x2 = BigInt::ModMul(a.x, a.x, p);
+  BigInt num = BigInt::ModAdd(BigInt::ModAdd(x2, BigInt::ModAdd(x2, x2, p), p),
+                              BigInt::One(), p);
+  BigInt denom = BigInt::ModAdd(a.y, a.y, p);
+  auto denom_inv = BigInt::ModInverse(denom, p);
+  assert(denom_inv.ok());
+  BigInt lambda = BigInt::ModMul(num, *denom_inv, p);
+
+  BigInt x3 = BigInt::ModSub(BigInt::ModMul(lambda, lambda, p),
+                             BigInt::ModAdd(a.x, a.x, p), p);
+  BigInt y3 = BigInt::ModSub(
+      BigInt::ModMul(lambda, BigInt::ModSub(a.x, x3, p), p), a.y, p);
+  return {x3, y3, false};
+}
+
+EcPoint EcAdd(const EcPoint& a, const EcPoint& b, const BigInt& p) {
+  if (a.infinity) {
+    return b;
+  }
+  if (b.infinity) {
+    return a;
+  }
+  if (a.x == b.x) {
+    if (a.y == b.y) {
+      return EcDouble(a, p);
+    }
+    return EcPoint::Infinity();  // b == -a.
+  }
+  BigInt num = BigInt::ModSub(b.y, a.y, p);
+  BigInt denom = BigInt::ModSub(b.x, a.x, p);
+  auto denom_inv = BigInt::ModInverse(denom, p);
+  assert(denom_inv.ok());
+  BigInt lambda = BigInt::ModMul(num, *denom_inv, p);
+
+  BigInt x3 = BigInt::ModSub(
+      BigInt::ModSub(BigInt::ModMul(lambda, lambda, p), a.x, p), b.x, p);
+  BigInt y3 = BigInt::ModSub(
+      BigInt::ModMul(lambda, BigInt::ModSub(a.x, x3, p), p), a.y, p);
+  return {x3, y3, false};
+}
+
+namespace {
+
+// Jacobian projective point: x = X/Z^2, y = Y/Z^3. Scalar multiplication in
+// Jacobian coordinates avoids the per-step modular inversion of affine
+// arithmetic (one inversion total, at the end).
+struct JacPoint {
+  BigInt x;
+  BigInt y;
+  BigInt z;  // Zero => point at infinity.
+
+  bool IsInfinity() const { return z.IsZero(); }
+};
+
+JacPoint JacFromAffine(const EcPoint& pt) {
+  if (pt.infinity) {
+    return {BigInt::Zero(), BigInt::One(), BigInt::Zero()};
+  }
+  return {pt.x, pt.y, BigInt::One()};
+}
+
+// Doubling for curve y^2 = x^3 + a x + b with a = 1.
+JacPoint JacDouble(const JacPoint& pt, const BigInt& p) {
+  if (pt.IsInfinity() || pt.y.IsZero()) {
+    return {BigInt::Zero(), BigInt::One(), BigInt::Zero()};
+  }
+  BigInt y2 = BigInt::ModMul(pt.y, pt.y, p);
+  BigInt s = BigInt::ModMul(BigInt::FromU64(4),
+                            BigInt::ModMul(pt.x, y2, p), p);
+  BigInt z2 = BigInt::ModMul(pt.z, pt.z, p);
+  BigInt z4 = BigInt::ModMul(z2, z2, p);
+  BigInt x2 = BigInt::ModMul(pt.x, pt.x, p);
+  // M = 3 X^2 + a Z^4, a = 1.
+  BigInt m = BigInt::ModAdd(
+      BigInt::ModMul(BigInt::FromU64(3), x2, p), z4, p);
+  BigInt x3 = BigInt::ModSub(BigInt::ModMul(m, m, p),
+                             BigInt::ModAdd(s, s, p), p);
+  BigInt y4 = BigInt::ModMul(y2, y2, p);
+  BigInt y3 = BigInt::ModSub(
+      BigInt::ModMul(m, BigInt::ModSub(s, x3, p), p),
+      BigInt::ModMul(BigInt::FromU64(8), y4, p), p);
+  BigInt z3 = BigInt::ModMul(BigInt::ModAdd(pt.y, pt.y, p), pt.z, p);
+  return {std::move(x3), std::move(y3), std::move(z3)};
+}
+
+// Mixed addition: Jacobian + affine.
+JacPoint JacAddAffine(const JacPoint& a, const EcPoint& b, const BigInt& p) {
+  if (b.infinity) {
+    return a;
+  }
+  if (a.IsInfinity()) {
+    return JacFromAffine(b);
+  }
+  BigInt z2 = BigInt::ModMul(a.z, a.z, p);
+  BigInt u2 = BigInt::ModMul(b.x, z2, p);
+  BigInt s2 = BigInt::ModMul(b.y, BigInt::ModMul(z2, a.z, p), p);
+  BigInt h = BigInt::ModSub(u2, a.x, p);
+  BigInt r = BigInt::ModSub(s2, a.y, p);
+  if (h.IsZero()) {
+    if (r.IsZero()) {
+      return JacDouble(a, p);
+    }
+    return {BigInt::Zero(), BigInt::One(), BigInt::Zero()};  // a + (-a).
+  }
+  BigInt h2 = BigInt::ModMul(h, h, p);
+  BigInt h3 = BigInt::ModMul(h2, h, p);
+  BigInt v = BigInt::ModMul(a.x, h2, p);
+  BigInt x3 = BigInt::ModSub(
+      BigInt::ModSub(BigInt::ModMul(r, r, p), h3, p),
+      BigInt::ModAdd(v, v, p), p);
+  BigInt y3 = BigInt::ModSub(
+      BigInt::ModMul(r, BigInt::ModSub(v, x3, p), p),
+      BigInt::ModMul(a.y, h3, p), p);
+  BigInt z3 = BigInt::ModMul(a.z, h, p);
+  return {std::move(x3), std::move(y3), std::move(z3)};
+}
+
+EcPoint JacToAffine(const JacPoint& pt, const BigInt& p) {
+  if (pt.IsInfinity()) {
+    return EcPoint::Infinity();
+  }
+  auto z_inv = BigInt::ModInverse(pt.z, p);
+  assert(z_inv.ok());
+  BigInt z_inv2 = BigInt::ModMul(*z_inv, *z_inv, p);
+  EcPoint out;
+  out.x = BigInt::ModMul(pt.x, z_inv2, p);
+  out.y = BigInt::ModMul(pt.y, BigInt::ModMul(z_inv2, *z_inv, p), p);
+  out.infinity = false;
+  return out;
+}
+
+}  // namespace
+
+EcPoint EcScalarMul(const BigInt& k, const EcPoint& pt, const BigInt& p) {
+  if (k.IsZero() || pt.infinity) {
+    return EcPoint::Infinity();
+  }
+  JacPoint result{BigInt::Zero(), BigInt::One(), BigInt::Zero()};
+  int bits = k.BitLength();
+  for (int i = bits - 1; i >= 0; --i) {
+    result = JacDouble(result, p);
+    if (k.Bit(i)) {
+      result = JacAddAffine(result, pt, p);
+    }
+  }
+  return JacToAffine(result, p);
+}
+
+EcPoint HashToPoint(std::string_view id, const PairingParams& params) {
+  const BigInt& p = params.p;
+  for (uint32_t counter = 0;; ++counter) {
+    // x = H("kp-ibe-h1" || counter || id) expanded to field width, mod p.
+    Bytes seed;
+    Append(seed, "kp-ibe-h1");
+    AppendU32Be(seed, counter);
+    Append(seed, id);
+    Bytes wide;
+    // Expand to FieldBytes()+8 bytes via counter-mode hashing so the value
+    // is statistically uniform mod p.
+    uint32_t block = 0;
+    while (wide.size() < params.FieldBytes() + 8) {
+      Bytes in = seed;
+      AppendU32Be(in, block++);
+      Sha256::Digest d = Sha256::Hash(in);
+      wide.insert(wide.end(), d.begin(), d.end());
+    }
+    BigInt x = BigInt::Mod(BigInt::FromBytesBe(wide), p);
+    BigInt rhs = CurveRhs(x, p);
+    if (rhs.IsZero() || !IsQuadraticResidue(rhs, p)) {
+      continue;
+    }
+    BigInt y = SqrtMod(rhs, p);
+    // Use the hash to pick the sign of y deterministically.
+    if ((wide.back() & 1) != 0) {
+      y = BigInt::ModSub(BigInt::Zero(), y, p);
+    }
+    EcPoint candidate{x, y, false};
+    EcPoint q = EcScalarMul(params.cofactor, candidate, p);
+    if (q.infinity) {
+      continue;
+    }
+    return q;
+  }
+}
+
+Result<PairingParams> GeneratePairingParams(SecureRandom& rng, int p_bits,
+                                            int q_bits) {
+  if (p_bits < q_bits + 8 || q_bits < 32) {
+    return InvalidArgumentError("pairing params: bad bit sizes");
+  }
+  // Find prime q.
+  BigInt q;
+  while (true) {
+    q = BigInt::RandomBits(rng, q_bits);
+    if (!q.IsOdd()) {
+      q = BigInt::Add(q, BigInt::One());
+    }
+    if (BigInt::IsProbablePrime(q, rng, 24)) {
+      break;
+    }
+  }
+
+  // Find c such that p = 12*q*c - 1 is prime with the requested bit length.
+  BigInt twelve_q = BigInt::Mul(BigInt::FromU64(12), q);
+  int c_bits = p_bits - twelve_q.BitLength() + 1;
+  if (c_bits < 1) {
+    return InvalidArgumentError("pairing params: q too large for p");
+  }
+  BigInt p, cofactor;
+  while (true) {
+    BigInt c = BigInt::RandomBits(rng, c_bits);
+    p = BigInt::Sub(BigInt::Mul(twelve_q, c), BigInt::One());
+    if (p.BitLength() != p_bits) {
+      continue;
+    }
+    if (!BigInt::IsProbablePrime(p, rng, 4)) {
+      continue;
+    }
+    if (!BigInt::IsProbablePrime(p, rng, 24)) {
+      continue;
+    }
+    cofactor = BigInt::Mul(BigInt::FromU64(12), c);
+    break;
+  }
+  // p = 12qc - 1 ≡ 3 (mod 4) by construction.
+  assert(p.Bit(0) && p.Bit(1));
+
+  PairingParams params;
+  params.p = p;
+  params.q = q;
+  params.cofactor = cofactor;
+  // Derive a generator deterministically from the parameters.
+  params.g = HashToPoint("keypad-pairing-generator", params);
+  // Sanity: generator must have exact order q.
+  if (!EcScalarMul(q, params.g, p).infinity) {
+    return InternalError("pairing params: generator order check failed");
+  }
+  return params;
+}
+
+namespace {
+const PairingParams* NewParamsOrDie(uint64_t seed, int p_bits, int q_bits) {
+  SecureRandom rng(seed);
+  auto params = GeneratePairingParams(rng, p_bits, q_bits);
+  if (!params.ok()) {
+    KP_LOG(kError) << "pairing parameter generation failed: "
+                   << params.status();
+    abort();
+  }
+  return new PairingParams(std::move(*params));
+}
+}  // namespace
+
+const PairingParams& DefaultPairingParams() {
+  static const PairingParams* params =
+      NewParamsOrDie(/*seed=*/0x4B455950414431ull, /*p_bits=*/512,
+                     /*q_bits=*/160);
+  return *params;
+}
+
+const PairingParams& TestPairingParams() {
+  static const PairingParams* params =
+      NewParamsOrDie(/*seed=*/0x4B455950414432ull, /*p_bits=*/256,
+                     /*q_bits=*/150);
+  return *params;
+}
+
+const PairingParams& BenchPairingParams() {
+  static const PairingParams* params =
+      NewParamsOrDie(/*seed=*/0x4B455950414433ull, /*p_bits=*/192,
+                     /*q_bits=*/96);
+  return *params;
+}
+
+Bytes SerializePoint(const EcPoint& pt, const PairingParams& params) {
+  Bytes out;
+  if (pt.infinity) {
+    out.push_back(0);
+    out.resize(1 + 2 * params.FieldBytes(), 0);
+    return out;
+  }
+  out.push_back(1);
+  Bytes x = pt.x.ToBytesBe(params.FieldBytes());
+  Bytes y = pt.y.ToBytesBe(params.FieldBytes());
+  Append(out, x);
+  Append(out, y);
+  return out;
+}
+
+Result<EcPoint> DeserializePoint(const Bytes& data,
+                                 const PairingParams& params) {
+  size_t fb = params.FieldBytes();
+  if (data.size() != 1 + 2 * fb) {
+    return InvalidArgumentError("point: bad length");
+  }
+  if (data[0] == 0) {
+    return EcPoint::Infinity();
+  }
+  if (data[0] != 1) {
+    return InvalidArgumentError("point: bad marker");
+  }
+  EcPoint pt;
+  pt.x = BigInt::FromBytesBe(Bytes(data.begin() + 1, data.begin() + 1 + fb));
+  pt.y = BigInt::FromBytesBe(Bytes(data.begin() + 1 + fb, data.end()));
+  pt.infinity = false;
+  if (pt.x >= params.p || pt.y >= params.p || !IsOnCurve(pt, params)) {
+    return InvalidArgumentError("point: not on curve");
+  }
+  return pt;
+}
+
+}  // namespace keypad

@@ -1,0 +1,103 @@
+#include "src/ibe/pairing.h"
+
+#include <cassert>
+
+namespace keypad {
+
+namespace {
+
+// State for Miller's loop: the running point V plus per-step line slopes.
+// Evaluates the line through points of E(F_p) at the distorted point
+// φ(Q) = (−x_Q, i·y_Q). With x̃ = −x_Q ∈ F_p the line value is
+//   l(φQ) = i·y_Q − y_V − λ(x̃ − x_V)
+// whose real part is −(y_V + λ(x̃ − x_V)) and imaginary part is y_Q.
+Fp2 LineValue(const BigInt& lambda, const EcPoint& v, const BigInt& x_tilde,
+              const BigInt& y_q, const BigInt& p) {
+  BigInt t = BigInt::ModSub(x_tilde, v.x, p);
+  BigInt real = BigInt::ModSub(
+      BigInt::Zero(), BigInt::ModAdd(v.y, BigInt::ModMul(lambda, t, p), p), p);
+  return Fp2{real, y_q};
+}
+
+// Doubles `v` returning the tangent slope; v.y must be non-zero (holds for
+// points of odd prime order).
+EcPoint DoubleWithSlope(const EcPoint& v, const BigInt& p, BigInt* lambda) {
+  BigInt x2 = BigInt::ModMul(v.x, v.x, p);
+  BigInt num = BigInt::ModAdd(
+      BigInt::ModAdd(x2, BigInt::ModAdd(x2, x2, p), p), BigInt::One(), p);
+  BigInt denom = BigInt::ModAdd(v.y, v.y, p);
+  auto inv = BigInt::ModInverse(denom, p);
+  assert(inv.ok());
+  *lambda = BigInt::ModMul(num, *inv, p);
+  BigInt x3 = BigInt::ModSub(BigInt::ModMul(*lambda, *lambda, p),
+                             BigInt::ModAdd(v.x, v.x, p), p);
+  BigInt y3 = BigInt::ModSub(
+      BigInt::ModMul(*lambda, BigInt::ModSub(v.x, x3, p), p), v.y, p);
+  return {x3, y3, false};
+}
+
+// Adds distinct-x points returning the chord slope.
+EcPoint AddWithSlope(const EcPoint& a, const EcPoint& b, const BigInt& p,
+                     BigInt* lambda) {
+  BigInt num = BigInt::ModSub(b.y, a.y, p);
+  BigInt denom = BigInt::ModSub(b.x, a.x, p);
+  auto inv = BigInt::ModInverse(denom, p);
+  assert(inv.ok());
+  *lambda = BigInt::ModMul(num, *inv, p);
+  BigInt x3 = BigInt::ModSub(
+      BigInt::ModSub(BigInt::ModMul(*lambda, *lambda, p), a.x, p), b.x, p);
+  BigInt y3 = BigInt::ModSub(
+      BigInt::ModMul(*lambda, BigInt::ModSub(a.x, x3, p), p), a.y, p);
+  return {x3, y3, false};
+}
+
+}  // namespace
+
+Fp2 TatePairing(const EcPoint& pt_p, const EcPoint& pt_q,
+                const PairingParams& params) {
+  if (pt_p.infinity || pt_q.infinity) {
+    return Fp2::One();
+  }
+  const BigInt& p = params.p;
+  const BigInt& q = params.q;
+
+  // Distorted evaluation point φ(Q) = (−x_Q, i·y_Q).
+  BigInt x_tilde = BigInt::ModSub(BigInt::Zero(), pt_q.x, p);
+  const BigInt& y_q = pt_q.y;
+
+  Fp2 f = Fp2::One();
+  EcPoint v = pt_p;
+  BigInt lambda;
+
+  int bits = q.BitLength();
+  for (int i = bits - 2; i >= 0; --i) {
+    // f <- f^2 * l_{V,V}(φQ); V <- 2V.
+    f = Fp2Square(f, p);
+    EcPoint doubled = DoubleWithSlope(v, p, &lambda);
+    f = Fp2Mul(f, LineValue(lambda, v, x_tilde, y_q, p), p);
+    v = doubled;
+
+    if (q.Bit(i)) {
+      // f <- f * l_{V,P}(φQ); V <- V + P.
+      if (v.x == pt_p.x) {
+        // V == −P (the final addition): the chord is the vertical line,
+        // whose value lies in F_p and dies in the final exponentiation.
+        v = EcPoint::Infinity();
+      } else {
+        EcPoint added = AddWithSlope(v, pt_p, p, &lambda);
+        f = Fp2Mul(f, LineValue(lambda, v, x_tilde, y_q, p), p);
+        v = added;
+      }
+    }
+  }
+  // After processing all bits V = [q]P = O, reached via the vertical-skip
+  // above on the last addition.
+  assert(v.infinity);
+
+  // Final exponentiation: f^((p^2−1)/q) = (f^(p−1))^((p+1)/q).
+  // Frobenius: f^p = conj(f) for p ≡ 3 (mod 4), so f^(p−1) = conj(f)/f.
+  Fp2 g = Fp2Mul(Fp2Conjugate(f, p), Fp2Inverse(f, p), p);
+  return Fp2Pow(g, params.cofactor, p);
+}
+
+}  // namespace keypad

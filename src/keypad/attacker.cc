@@ -1,0 +1,59 @@
+#include "src/keypad/attacker.h"
+
+#include "src/util/strings.h"
+
+namespace keypad {
+
+RawDeviceAttacker::RawDeviceAttacker(BlockDevice snapshot,
+                                     std::string password, EventQueue* queue)
+    : snapshot_(std::move(snapshot)),
+      password_(std::move(password)),
+      queue_(queue) {}
+
+Result<EncFs*> RawDeviceAttacker::VanillaMount() {
+  if (vanilla_ == nullptr) {
+    // The attacker's own EncFS implementation: plain password mount. The
+    // FS cost model is irrelevant to the attacker; defaults are fine.
+    KP_ASSIGN_OR_RETURN(vanilla_,
+                        EncFs::Mount(&snapshot_, queue_, /*rng_seed=*/0xBAD,
+                                     password_, EncFs::Options{}));
+  }
+  return vanilla_.get();
+}
+
+Result<std::vector<std::string>> RawDeviceAttacker::ListAllPaths() {
+  KP_ASSIGN_OR_RETURN(EncFs * fs, VanillaMount());
+  std::vector<std::string> out;
+  std::vector<std::string> stack = {"/"};
+  while (!stack.empty()) {
+    std::string dir = stack.back();
+    stack.pop_back();
+    KP_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, fs->Readdir(dir));
+    for (const auto& entry : entries) {
+      std::string path = PathJoin(dir, entry.name);
+      out.push_back(path);
+      if (entry.is_dir) {
+        stack.push_back(path);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Bytes> RawDeviceAttacker::ReadFileOffline(const std::string& path) {
+  KP_ASSIGN_OR_RETURN(EncFs * fs, VanillaMount());
+  return fs->ReadAll(path);
+}
+
+Result<KeypadFs::Credentials> RawDeviceAttacker::StealCredentials() {
+  KP_ASSIGN_OR_RETURN(EncFs * fs, VanillaMount());
+  return KeypadFs::LoadCredentials(fs);
+}
+
+Result<std::unique_ptr<KeypadFs>> RawDeviceAttacker::MountOnline(
+    KeypadFs::Services services, KeypadConfig config) {
+  return KeypadFs::Mount(&snapshot_, queue_, /*rng_seed=*/0xBAD2, password_,
+                         EncFs::Options{}, std::move(config), services);
+}
+
+}  // namespace keypad

@@ -1,0 +1,63 @@
+// Attacker toolkit for security tests and the thief-workload benches
+// (§5.2, §6).
+//
+// Models the paper's strongest attacker: full physical access to the device
+// (disk image via BlockDevice::Snapshot), knowledge of the volume password
+// (the sticky-note scenario), custom software (this code *is* the custom
+// software — it parses the on-disk formats directly through the same
+// library a thief could write), and the ability to talk to — or stay away
+// from — the network. What it cannot do is decrypt a protected file without
+// either the key service (which logs) or the metadata service (which logs
+// and demands the true pathname).
+
+#ifndef SRC_KEYPAD_ATTACKER_H_
+#define SRC_KEYPAD_ATTACKER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/keypad/keypad_fs.h"
+
+namespace keypad {
+
+class RawDeviceAttacker {
+ public:
+  // Takes ownership of a disk snapshot. `queue` is the shared simulation
+  // queue; the services/links are those of the deployment (the attacker
+  // uses his own hardware but the same internet).
+  RawDeviceAttacker(BlockDevice snapshot, std::string password,
+                    EventQueue* queue);
+
+  // --- Offline attacks (no network; e.g. extracted drive in a lab). -------
+
+  // Enumerates the namespace. Works with the password alone (EncFS level).
+  Result<std::vector<std::string>> ListAllPaths();
+  // Attempts to read file content using only the device + password.
+  // Succeeds only for files outside Keypad's protection domain.
+  Result<Bytes> ReadFileOffline(const std::string& path);
+  // Extracts the sealed service credentials (the thief can, since they are
+  // protected only by the volume password).
+  Result<KeypadFs::Credentials> StealCredentials();
+
+  // --- Online attacks (thief connects the device/his clone to the net). ---
+
+  // Mounts the snapshot as a Keypad volume with the stolen credentials and
+  // the given service clients; every protected access will hit the audit
+  // services exactly like a legitimate mount.
+  Result<std::unique_ptr<KeypadFs>> MountOnline(KeypadFs::Services services,
+                                                KeypadConfig config = {});
+
+  BlockDevice* snapshot() { return &snapshot_; }
+
+ private:
+  Result<EncFs*> VanillaMount();
+
+  BlockDevice snapshot_;
+  std::string password_;
+  EventQueue* queue_;
+  std::unique_ptr<EncFs> vanilla_;  // Lazily mounted.
+};
+
+}  // namespace keypad
+
+#endif  // SRC_KEYPAD_ATTACKER_H_

@@ -1,0 +1,79 @@
+// Keypad client configuration and cost model.
+//
+// Cost constants come from the paper's component measurements (Fig. 6):
+//  * key-cache hit adds ~0.01 ms over base EncFS ("a file read with a
+//    cached key is only 0.01 ms slower than the base EncFS read");
+//  * a key-cache miss adds Keypad client+server processing of ~0.5 ms
+//    (XML-RPC marshalling) plus the network RTT — the marshalling charge
+//    lives in RpcOptions::client_overhead and the RPC server's
+//    service_time;
+//  * IBE locking costs ~25.3 ms of client CPU (Fig. 6b's "25.299" label),
+//    which is why IBE only pays off when RTT > ~25 ms (Fig. 8a crossover).
+
+#ifndef SRC_KEYPAD_CONFIG_H_
+#define SRC_KEYPAD_CONFIG_H_
+
+#include <functional>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace keypad {
+
+struct KeypadCostModel {
+  // Cache lookup + data-key unwrap on a hit.
+  SimDuration cache_hit = SimDuration::Micros(10);
+  // Client-side IBE encryption of the key blob (lock).
+  SimDuration ibe_lock = SimDuration::FromMillisF(25.299);
+  // Background IBE decryption + header rewrite (unlock).
+  SimDuration ibe_unlock = SimDuration::FromMillisF(12.0);
+  // Header rewrite (clearing a lock, installing a wrapped key).
+  SimDuration header_rewrite = SimDuration::Micros(200);
+};
+
+struct PrefetchPolicy {
+  enum class Kind {
+    kNone,
+    // Prefetch `random_count` random same-directory keys on every miss.
+    kRandomFromDir,
+    // Prefetch the whole directory's keys on the Nth miss in that
+    // directory (the prototype's default, N = 3).
+    kFullDirOnNthMiss,
+  };
+  Kind kind = Kind::kFullDirOnNthMiss;
+  int nth_miss = 3;
+  int random_count = 4;
+
+  static PrefetchPolicy None() { return {Kind::kNone, 0, 0}; }
+  static PrefetchPolicy RandomFromDir(int count = 4) {
+    return {Kind::kRandomFromDir, 0, count};
+  }
+  static PrefetchPolicy FullDirOnNthMiss(int n = 3) {
+    return {Kind::kFullDirOnNthMiss, n, 0};
+  }
+};
+
+struct KeypadConfig {
+  // Key-cache expiration time Texp (paper default for evaluation: 100 s).
+  SimDuration texp = SimDuration::Seconds(100);
+  // Grace window for files with in-flight metadata updates (paper: 1 s).
+  SimDuration grace = SimDuration::Seconds(1);
+  PrefetchPolicy prefetch = PrefetchPolicy::FullDirOnNthMiss(3);
+  bool ibe_enabled = true;
+  // Partial coverage (§3.6): nullptr means every file is protected;
+  // otherwise only paths for which this returns true are audited.
+  std::function<bool(const std::string&)> coverage;
+  KeypadCostModel costs;
+  // Retries for lost asynchronous registrations.
+  int registration_retries = 3;
+  SimDuration retry_backoff = SimDuration::Seconds(5);
+  // Assured delete: destroy the remote key when a file is unlinked, making
+  // any lingering ciphertext (backups, disk images) permanently
+  // unreadable. Off by default — it also removes the *owner's* ability to
+  // recover the file, and the key's audit history loses its subject.
+  bool destroy_keys_on_unlink = false;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_KEYPAD_CONFIG_H_

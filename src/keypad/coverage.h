@@ -1,0 +1,66 @@
+// Coverage-policy helpers for partial protection (§3.6).
+//
+// "One reasonable protection policy is to track accesses to any file in
+// crucial directories, such as the user's home and temporary directory
+// (e.g., /home and /tmp on Linux)." These helpers build such predicates
+// for KeypadConfig::coverage.
+
+#ifndef SRC_KEYPAD_COVERAGE_H_
+#define SRC_KEYPAD_COVERAGE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/util/strings.h"
+
+namespace keypad {
+
+using CoveragePolicy = std::function<bool(const std::string&)>;
+
+// Protects everything under any of the given directory prefixes.
+inline CoveragePolicy CoverDirectories(std::vector<std::string> prefixes) {
+  return [prefixes = std::move(prefixes)](const std::string& path) {
+    for (const auto& prefix : prefixes) {
+      if (PathIsWithin(path, prefix)) {
+        return true;
+      }
+    }
+    return false;
+  };
+}
+
+// The paper's suggested default: home and temporary directories.
+inline CoveragePolicy CoverHomeAndTmp() {
+  return CoverDirectories({"/home", "/tmp"});
+}
+
+// Protects everything except the given directories (e.g. exclude binaries,
+// libraries, and configuration: "/usr", "/lib", "/etc").
+inline CoveragePolicy CoverAllExcept(std::vector<std::string> excluded) {
+  return [excluded = std::move(excluded)](const std::string& path) {
+    for (const auto& prefix : excluded) {
+      if (PathIsWithin(path, prefix)) {
+        return false;
+      }
+    }
+    return true;
+  };
+}
+
+// Protects files whose name carries one of the given extensions (".pdf",
+// ".xls", ...) anywhere in the volume — a content-type-driven policy.
+inline CoveragePolicy CoverExtensions(std::vector<std::string> extensions) {
+  return [extensions = std::move(extensions)](const std::string& path) {
+    for (const auto& ext : extensions) {
+      if (EndsWith(path, ext)) {
+        return true;
+      }
+    }
+    return false;
+  };
+}
+
+}  // namespace keypad
+
+#endif  // SRC_KEYPAD_COVERAGE_H_

@@ -1,0 +1,181 @@
+#include "src/keypad/deployment.h"
+
+#include <cstdlib>
+
+#include "src/cryptocore/hmac.h"
+#include "src/util/logging.h"
+
+namespace keypad {
+
+namespace {
+constexpr SimDuration kServiceTime = SimDuration::Micros(150);
+}  // namespace
+
+Deployment::Deployment(DeploymentOptions options)
+    : options_(std::move(options)),
+      key_service_(&queue_, options_.seed ^ 0x1111),
+      key_rpc_server_(&queue_, kServiceTime),
+      meta_rpc_server_(&queue_, kServiceTime),
+      client_link_(&queue_,
+                   options_.paired_phone ? BluetoothProfile()
+                                         : options_.profile,
+                   options_.seed ^ 0x2222),
+      phone_uplink_(&queue_, options_.profile, options_.seed ^ 0x3333),
+      auditor_(&key_service_, nullptr) {
+  const PairingParams* group = options_.ibe_group != nullptr
+                                   ? options_.ibe_group
+                                   : &TestPairingParams();
+  metadata_service_ = std::make_unique<MetadataService>(
+      &queue_, options_.seed ^ 0x4444, *group);
+  auditor_ = ForensicAuditor(&key_service_, metadata_service_.get());
+
+  key_service_.BindRpc(&key_rpc_server_);
+  metadata_service_->BindRpc(&meta_rpc_server_);
+
+  Bytes key_secret = key_service_.RegisterDevice(options_.device_id);
+  Bytes meta_secret = metadata_service_->RegisterDevice(options_.device_id);
+
+  if (options_.paired_phone) {
+    // Phone -> services over the chosen profile.
+    phone_key_rpc_ = std::make_unique<RpcClient>(&queue_, &phone_uplink_,
+                                                 &key_rpc_server_);
+    phone_meta_rpc_ = std::make_unique<RpcClient>(&queue_, &phone_uplink_,
+                                                  &meta_rpc_server_);
+    phone_key_client_ = std::make_unique<KeyServiceClient>(
+        phone_key_rpc_.get(), options_.device_id, key_secret);
+    phone_meta_client_ = std::make_unique<MetadataServiceClient>(
+        phone_meta_rpc_.get(), options_.device_id, meta_secret);
+    phone_ = std::make_unique<PhoneProxy>(
+        &queue_, &phone_uplink_, phone_key_client_.get(),
+        phone_meta_client_.get(), options_.device_id, key_secret, meta_secret,
+        options_.phone_options);
+    // Laptop -> phone over Bluetooth.
+    key_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
+                                           phone_->server());
+    meta_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
+                                            phone_->server());
+  } else {
+    key_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
+                                           &key_rpc_server_);
+    meta_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
+                                            &meta_rpc_server_);
+  }
+  key_client_ = std::make_unique<KeyServiceClient>(
+      key_rpc_.get(), options_.device_id, key_secret);
+  meta_client_ = std::make_unique<MetadataServiceClient>(
+      meta_rpc_.get(), options_.device_id, meta_secret);
+
+  if (options_.secure_channel && !options_.paired_phone) {
+    // Channel roots are derived from the per-service device secrets, so
+    // both ends (and a thief holding the device) can construct them.
+    SimDuration rotation = options_.config.texp;
+    Bytes key_root = Hkdf(key_secret, /*salt=*/{}, "kp-channel-root", 32);
+    Bytes meta_root = Hkdf(meta_secret, /*salt=*/{}, "kp-channel-root", 32);
+    channel_client_rng_ =
+        std::make_unique<SecureRandom>(options_.seed ^ 0x6666);
+    channel_server_rng_ =
+        std::make_unique<SecureRandom>(options_.seed ^ 0x7777);
+    key_channel_client_ = std::make_unique<SecureChannel>(key_root, rotation);
+    key_channel_server_ = std::make_unique<SecureChannel>(key_root, rotation);
+    meta_channel_client_ =
+        std::make_unique<SecureChannel>(meta_root, rotation);
+    meta_channel_server_ =
+        std::make_unique<SecureChannel>(meta_root, rotation);
+
+    key_rpc_->EnableChannelSecurity(key_channel_client_.get(),
+                                    options_.device_id,
+                                    channel_client_rng_.get());
+    meta_rpc_->EnableChannelSecurity(meta_channel_client_.get(),
+                                     options_.device_id,
+                                     channel_client_rng_.get());
+    key_rpc_server_.EnableChannelSecurity(
+        [this](const std::string& device_id) -> SecureChannel* {
+          return device_id == options_.device_id ? key_channel_server_.get()
+                                                 : nullptr;
+        },
+        channel_server_rng_.get());
+    meta_rpc_server_.EnableChannelSecurity(
+        [this](const std::string& device_id) -> SecureChannel* {
+          return device_id == options_.device_id
+                     ? meta_channel_server_.get()
+                     : nullptr;
+        },
+        channel_server_rng_.get());
+  }
+
+  KeypadFs::Services services;
+  services.key = key_client_.get();
+  services.meta = meta_client_.get();
+  services.ibe = &metadata_service_->ibe_params();
+
+  auto fs = KeypadFs::Format(&device_, &queue_, options_.seed ^ 0x5555,
+                             options_.password, options_.fs_options,
+                             options_.config, services);
+  if (!fs.ok()) {
+    KP_LOG(kError) << "deployment: format failed: " << fs.status();
+    abort();
+  }
+  fs_ = std::move(*fs);
+
+  // Persist the service credentials on-device (sealed under the volume
+  // key), as the real client must to survive remounts — and as the paper's
+  // threat model assumes a thief with the password can recover them.
+  KeypadFs::Credentials creds;
+  creds.device_id = options_.device_id;
+  creds.key_secret = key_secret;
+  creds.meta_secret = meta_secret;
+  Status stored = fs_->StoreCredentials(creds);
+  if (!stored.ok()) {
+    KP_LOG(kError) << "deployment: credential store failed: " << stored;
+    abort();
+  }
+}
+
+Deployment::~Deployment() = default;
+
+void Deployment::ReportDeviceLost() {
+  Status key_status = key_service_.DisableDevice(options_.device_id);
+  Status meta_status = metadata_service_->DisableDevice(options_.device_id);
+  if (!key_status.ok() || !meta_status.ok()) {
+    KP_LOG(kWarning) << "report-lost: " << key_status << " / " << meta_status;
+  }
+}
+
+RawDeviceAttacker Deployment::MakeAttacker() {
+  return RawDeviceAttacker(device_.Snapshot(), options_.password, &queue_);
+}
+
+Result<Deployment::AttackerClients> Deployment::MakeAttackerClients(
+    const KeypadFs::Credentials& creds) {
+  AttackerClients clients;
+  clients.key_rpc = std::make_unique<RpcClient>(&queue_, &client_link_,
+                                                &key_rpc_server_);
+  clients.meta_rpc = std::make_unique<RpcClient>(&queue_, &client_link_,
+                                                 &meta_rpc_server_);
+  clients.key = std::make_unique<KeyServiceClient>(
+      clients.key_rpc.get(), creds.device_id, creds.key_secret);
+  clients.meta = std::make_unique<MetadataServiceClient>(
+      clients.meta_rpc.get(), creds.device_id, creds.meta_secret);
+  if (options_.secure_channel && !options_.paired_phone) {
+    SimDuration rotation = options_.config.texp;
+    clients.channel_rng = std::make_unique<SecureRandom>(
+        options_.seed ^ 0x8888);
+    clients.key_channel = std::make_unique<SecureChannel>(
+        Hkdf(creds.key_secret, /*salt=*/{}, "kp-channel-root", 32), rotation);
+    clients.meta_channel = std::make_unique<SecureChannel>(
+        Hkdf(creds.meta_secret, /*salt=*/{}, "kp-channel-root", 32),
+        rotation);
+    clients.key_rpc->EnableChannelSecurity(clients.key_channel.get(),
+                                           creds.device_id,
+                                           clients.channel_rng.get());
+    clients.meta_rpc->EnableChannelSecurity(clients.meta_channel.get(),
+                                            creds.device_id,
+                                            clients.channel_rng.get());
+  }
+  clients.services.key = clients.key.get();
+  clients.services.meta = clients.meta.get();
+  clients.services.ibe = &metadata_service_->ibe_params();
+  return clients;
+}
+
+}  // namespace keypad

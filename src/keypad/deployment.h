@@ -1,0 +1,141 @@
+// Deployment: one-stop wiring of a complete Keypad installation inside the
+// simulation — client device, EncFS/Keypad volume, both audit services with
+// their RPC servers, network links, optional paired phone, and the forensic
+// auditor. Tests, benches, and examples all build on this.
+//
+// Topology (matching Figure 2 / Figure 4 of the paper):
+//
+//   KeypadFs ──rpc──> [link: LAN/.../3G] ──> KeyService
+//            ──rpc──> [same link]        ──> MetadataService
+//   or, paired:
+//   KeypadFs ──rpc──> [Bluetooth] ──> PhoneProxy ──rpc──> [cellular] ──> services
+
+#ifndef SRC_KEYPAD_DEPLOYMENT_H_
+#define SRC_KEYPAD_DEPLOYMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/keypad/attacker.h"
+#include "src/keypad/forensics.h"
+#include "src/keypad/keypad_fs.h"
+#include "src/keypad/paired_device.h"
+#include "src/keyservice/key_service.h"
+#include "src/metaservice/metadata_service.h"
+#include "src/net/link.h"
+#include "src/net/profile.h"
+
+namespace keypad {
+
+struct DeploymentOptions {
+  NetworkProfile profile = CellularProfile();
+  KeypadConfig config;
+  EncFs::Options fs_options;  // Defaults to EncFS costs, encryption on.
+  // Pairing group for IBE. Benches and tests default to the fast 256-bit
+  // test group; pass &DefaultPairingParams() for 512-bit strength.
+  const PairingParams* ibe_group = nullptr;
+  uint64_t seed = 42;
+  std::string device_id = "laptop-1";
+  std::string password = "correct horse battery staple";
+  // Adds a paired phone: the laptop talks to it over Bluetooth and the
+  // phone reaches the services over `profile`.
+  bool paired_phone = false;
+  PhoneProxy::Options phone_options;
+  // Transport encryption (§6): client↔service traffic sealed under
+  // per-device session keys that ratchet every Texp. Not supported
+  // together with the phone proxy (the phone would need to re-seal).
+  bool secure_channel = false;
+};
+
+class Deployment {
+ public:
+  explicit Deployment(DeploymentOptions options);
+  ~Deployment();
+
+  EventQueue& queue() { return queue_; }
+  KeypadFs& fs() { return *fs_; }
+  KeyService& key_service() { return key_service_; }
+  MetadataService& metadata_service() { return *metadata_service_; }
+  ForensicAuditor& auditor() { return auditor_; }
+  PhoneProxy* phone() { return phone_.get(); }
+  BlockDevice& device() { return device_; }
+  const std::string& device_id() const { return options_.device_id; }
+  const DeploymentOptions& options() const { return options_; }
+
+  // The laptop's network link (to the services, or to the phone when
+  // paired). Disconnect it to model offline operation or theft isolation.
+  NetworkLink& client_link() { return client_link_; }
+  // The phone's uplink (only meaningful when paired).
+  NetworkLink& phone_uplink() { return phone_uplink_; }
+
+  // Total bytes Keypad moved over the client link (bandwidth accounting).
+  uint64_t ClientBytesSent() const { return client_link_.bytes_sent(); }
+
+  // --- Theft workflow helpers. ----------------------------------------------
+
+  // Owner-side response to a reported loss: disables the device at both
+  // services (remote data control).
+  void ReportDeviceLost();
+  // Disk image for an attacker.
+  RawDeviceAttacker MakeAttacker();
+  // Builds the attacker's own service clients (stolen credentials) so an
+  // online attack can run against this deployment's services.
+  struct AttackerClients {
+    std::unique_ptr<RpcClient> key_rpc;
+    std::unique_ptr<RpcClient> meta_rpc;
+    std::unique_ptr<KeyServiceClient> key;
+    std::unique_ptr<MetadataServiceClient> meta;
+    // When the deployment runs sealed channels, the thief derives the same
+    // channel roots from the stolen secrets.
+    std::unique_ptr<SecureRandom> channel_rng;
+    std::unique_ptr<SecureChannel> key_channel;
+    std::unique_ptr<SecureChannel> meta_channel;
+    KeypadFs::Services services;
+  };
+  Result<AttackerClients> MakeAttackerClients(
+      const KeypadFs::Credentials& creds);
+
+ private:
+  DeploymentOptions options_;
+  EventQueue queue_;
+  BlockDevice device_;
+
+  // Services and their RPC servers.
+  KeyService key_service_;
+  std::unique_ptr<MetadataService> metadata_service_;
+  RpcServer key_rpc_server_;
+  RpcServer meta_rpc_server_;
+
+  // Links.
+  NetworkLink client_link_;   // Laptop -> services (or -> phone).
+  NetworkLink phone_uplink_;  // Phone -> services.
+
+  // Phone-side plumbing (paired mode).
+  std::unique_ptr<RpcClient> phone_key_rpc_;
+  std::unique_ptr<RpcClient> phone_meta_rpc_;
+  std::unique_ptr<KeyServiceClient> phone_key_client_;
+  std::unique_ptr<MetadataServiceClient> phone_meta_client_;
+  std::unique_ptr<PhoneProxy> phone_;
+
+  // Transport-encryption state (secure_channel mode): per-service channel
+  // pairs plus the RNGs that supply nonces.
+  std::unique_ptr<SecureRandom> channel_client_rng_;
+  std::unique_ptr<SecureRandom> channel_server_rng_;
+  std::unique_ptr<SecureChannel> key_channel_client_;
+  std::unique_ptr<SecureChannel> key_channel_server_;
+  std::unique_ptr<SecureChannel> meta_channel_client_;
+  std::unique_ptr<SecureChannel> meta_channel_server_;
+
+  // Laptop-side plumbing.
+  std::unique_ptr<RpcClient> key_rpc_;
+  std::unique_ptr<RpcClient> meta_rpc_;
+  std::unique_ptr<KeyServiceClient> key_client_;
+  std::unique_ptr<MetadataServiceClient> meta_client_;
+  std::unique_ptr<KeypadFs> fs_;
+
+  ForensicAuditor auditor_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_KEYPAD_DEPLOYMENT_H_

@@ -1,0 +1,285 @@
+#include "src/keypad/forensics.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/keyservice/auth.h"
+
+namespace keypad {
+
+bool AuditReport::Compromised(const AuditId& id) const {
+  for (const auto& entry : compromised) {
+    if (entry.audit_id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream out;
+  out << "Audit report (Tloss=" << t_loss.seconds_f()
+      << "s, cutoff=" << cutoff.seconds_f() << "s)\n";
+  out << "  key log chain: " << (key_log_verified ? "VERIFIED" : "BROKEN")
+      << ", metadata log chain: "
+      << (metadata_log_verified ? "VERIFIED" : "BROKEN") << "\n";
+  out << "  compromised files: " << compromised.size() << " ("
+      << demand_accessed_count << " demand-accessed, " << prefetch_only_count
+      << " prefetch-only), denied post-revocation attempts: "
+      << denied_attempts << "\n";
+  for (const auto& entry : compromised) {
+    out << "    " << (entry.path_at_loss.empty() ? "<unbound>"
+                                                 : entry.path_at_loss);
+    if (!entry.post_loss_paths.empty()) {
+      out << " (post-loss bindings:";
+      for (const auto& p : entry.post_loss_paths) {
+        out << " " << p;
+      }
+      out << ")";
+    }
+    out << " — " << entry.accesses.size() << " access(es)";
+    if (entry.prefetch_only) {
+      out << " [prefetch only]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+struct HistoryItem {
+  MetadataOp op;
+  std::string name;
+  DirId dir_id;
+  SimTime client_time;
+};
+
+// Shared classification core used by both the in-process and the remote
+// auditor: groups key-service records per audit ID, resolves trusted and
+// post-loss pathnames, and classifies prefetch-only entries.
+AuditReport BuildFromData(
+    SimTime t_loss, SimDuration texp,
+    const std::vector<AuditLogEntry>& entries,
+    const std::function<Result<std::string>(const AuditId&, SimTime)>&
+        resolve_path,
+    const std::function<std::vector<HistoryItem>(const AuditId&)>& history) {
+  AuditReport report;
+  report.t_loss = t_loss;
+  report.cutoff = t_loss - texp;
+  report.key_log_verified = true;
+  report.metadata_log_verified = true;
+
+  std::map<AuditId, AuditReportEntry> by_id;
+  // Latest trusted eviction per file: the client reported securely erasing
+  // the cached key (hibernation/shutdown, §6). Only the *service-side*
+  // timestamp is trusted for the pre-loss test — a thief holding the
+  // device credentials could upload journal entries with forged client
+  // times, but he cannot make the service have appended them in the past.
+  std::map<AuditId, SimTime> evicted_at;
+  for (const auto& entry : entries) {
+    if (entry.op == AccessOp::kDenied) {
+      if (entry.client_time >= t_loss) {
+        ++report.denied_attempts;
+      }
+      continue;
+    }
+    if (entry.op == AccessOp::kEviction) {
+      if (entry.timestamp < t_loss) {
+        SimTime& at = evicted_at[entry.audit_id];
+        at = std::max(at, entry.timestamp);
+      }
+      continue;
+    }
+    if (entry.op == AccessOp::kRevoke || entry.op == AccessOp::kDestroy) {
+      // Control records: a revoked or destroyed key cannot leak after the
+      // fact.
+      continue;
+    }
+    AuditReportEntry& file = by_id[entry.audit_id];
+    file.audit_id = entry.audit_id;
+    file.accesses.push_back(AuditedAccess{entry.client_time, entry.op});
+    if (entry.client_time >= t_loss) {
+      file.accessed_after_loss = true;
+    }
+  }
+
+  // A file whose only exposure is a cached key inside the window is clean
+  // if a trusted eviction followed its last key fetch: the key was gone
+  // from memory before the device was lost.
+  for (auto it = by_id.begin(); it != by_id.end();) {
+    const AuditReportEntry& file = it->second;
+    auto evicted = evicted_at.find(it->first);
+    bool erased_before_loss =
+        !file.accessed_after_loss && evicted != evicted_at.end() &&
+        std::all_of(file.accesses.begin(), file.accesses.end(),
+                    [&](const AuditedAccess& access) {
+                      return access.when < evicted->second;
+                    });
+    it = erased_before_loss ? by_id.erase(it) : std::next(it);
+  }
+
+  for (auto& [id, file] : by_id) {
+    // Trusted path: metadata as the user last registered it, at Tloss.
+    auto path = resolve_path(id, t_loss);
+    if (path.ok()) {
+      file.path_at_loss = *path;
+    }
+    // Post-loss registrations (thief unlock registrations / bogus binds).
+    for (const auto& record : history(id)) {
+      if (record.client_time >= t_loss &&
+          record.op != MetadataOp::kSetAttr) {
+        auto post_path = resolve_path(id, record.client_time);
+        // A bogus binding may name a directory that never existed; surface
+        // the raw leaf name rather than dropping the evidence.
+        std::string shown = post_path.ok()
+                                ? *post_path
+                                : "<unresolvable dir " +
+                                      record.dir_id.ToHex().substr(0, 8) +
+                                      ">/" + record.name;
+        if (file.post_loss_paths.empty() ||
+            file.post_loss_paths.back() != shown) {
+          file.post_loss_paths.push_back(shown);
+        }
+      }
+    }
+    file.prefetch_only = !file.accesses.empty();
+    for (const auto& access : file.accesses) {
+      if (access.op != AccessOp::kPrefetch) {
+        file.prefetch_only = false;
+        break;
+      }
+    }
+    if (file.prefetch_only) {
+      ++report.prefetch_only_count;
+    } else {
+      ++report.demand_accessed_count;
+    }
+  }
+
+  report.compromised.reserve(by_id.size());
+  for (auto& [id, file] : by_id) {
+    report.compromised.push_back(std::move(file));
+  }
+  std::sort(report.compromised.begin(), report.compromised.end(),
+            [](const AuditReportEntry& a, const AuditReportEntry& b) {
+              return a.accesses.back().when > b.accesses.back().when;
+            });
+  return report;
+}
+
+}  // namespace
+
+Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
+                                                 SimTime t_loss,
+                                                 SimDuration texp) const {
+  // Trust nothing until the chains check out.
+  if (!key_service_->log().Verify().ok() ||
+      !metadata_service_->log().Verify().ok()) {
+    AuditReport report;
+    report.t_loss = t_loss;
+    report.cutoff = t_loss - texp;
+    report.key_log_verified = key_service_->log().Verify().ok();
+    report.metadata_log_verified = metadata_service_->log().Verify().ok();
+    return Result<AuditReport>(std::move(report));
+  }
+
+  std::vector<AuditLogEntry> entries;
+  for (const auto& entry : key_service_->LogSince(t_loss - texp)) {
+    if (entry.device_id == device_id) {
+      entries.push_back(entry);
+    }
+  }
+  return BuildFromData(
+      t_loss, texp, entries,
+      [&](const AuditId& id, SimTime as_of) {
+        return metadata_service_->ResolvePath(device_id, id, as_of);
+      },
+      [&](const AuditId& id) {
+        std::vector<HistoryItem> out;
+        for (const auto& record : metadata_service_->HistoryOf(device_id, id)) {
+          out.push_back(HistoryItem{record.op, record.name, record.dir_id,
+                                    record.client_time});
+        }
+        return out;
+      });
+}
+
+Result<AuditReport> RemoteAuditor::BuildReport(SimTime t_loss,
+                                               SimDuration texp) const {
+  // Fetch this device's log slice; the service verifies its chain before
+  // serving (a fault here means a broken chain or an outage).
+  WireValue::Array payload;
+  payload.push_back(WireValue((t_loss - texp).nanos()));
+  auto log_result = key_rpc_->Call(
+      "audit.key_log_since",
+      FrameAuthedCall(device_id_, key_secret_, "audit.key_log_since",
+                      std::move(payload)));
+  if (!log_result.ok()) {
+    return log_result.status();
+  }
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_entries, log_result->AsArray());
+  std::vector<AuditLogEntry> entries;
+  for (const auto& raw : raw_entries) {
+    KP_ASSIGN_OR_RETURN(AuditLogEntry entry, AuditLogEntry::FromWire(raw));
+    entries.push_back(std::move(entry));
+  }
+
+  auto resolve = [this](const AuditId& id,
+                        SimTime as_of) -> Result<std::string> {
+    WireValue::Array params;
+    params.push_back(WireValue(id.ToBytes()));
+    params.push_back(WireValue(as_of.nanos()));
+    auto result = meta_rpc_->Call(
+        "audit.resolve_path",
+        FrameAuthedCall(device_id_, meta_secret_, "audit.resolve_path",
+                        std::move(params)));
+    if (!result.ok()) {
+      return result.status();
+    }
+    return result->AsString();
+  };
+  auto history = [this](const AuditId& id) {
+    std::vector<HistoryItem> out;
+    WireValue::Array params;
+    params.push_back(WireValue(id.ToBytes()));
+    auto result = meta_rpc_->Call(
+        "audit.history",
+        FrameAuthedCall(device_id_, meta_secret_, "audit.history",
+                        std::move(params)));
+    if (!result.ok()) {
+      return out;
+    }
+    auto raw_items = result->AsArray();
+    if (!raw_items.ok()) {
+      return out;
+    }
+    for (const auto& raw : *raw_items) {
+      HistoryItem item;
+      auto op = raw.Field("op");
+      auto name = raw.Field("name");
+      auto dir = raw.Field("dir");
+      auto cts = raw.Field("cts");
+      if (!op.ok() || !name.ok() || !dir.ok() || !cts.ok()) {
+        continue;
+      }
+      item.op = static_cast<MetadataOp>(op->AsInt().value_or(0));
+      item.name = name->AsString().value_or("");
+      auto dir_bytes = dir->AsBytes();
+      if (dir_bytes.ok()) {
+        auto dir_id = DirId::FromBytes(*dir_bytes);
+        if (dir_id.ok()) {
+          item.dir_id = *dir_id;
+        }
+      }
+      item.client_time = SimTime(cts->AsInt().value_or(0));
+      out.push_back(std::move(item));
+    }
+    return out;
+  };
+
+  return BuildFromData(t_loss, texp, entries, resolve, history);
+}
+
+}  // namespace keypad

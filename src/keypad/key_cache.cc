@@ -1,0 +1,152 @@
+#include "src/keypad/key_cache.h"
+
+namespace keypad {
+
+KeyCache::KeyCache(EventQueue* queue, SimDuration texp)
+    : queue_(queue),
+      texp_(texp),
+      integral_reset_time_(queue->Now()),
+      last_change_(queue->Now()) {}
+
+KeyCache::~KeyCache() {
+  for (auto& [id, entry] : entries_) {
+    queue_->Cancel(entry.expiry_event);
+    SecureZero(entry.key);
+  }
+}
+
+void KeyCache::Accumulate() {
+  SimTime now = queue_->Now();
+  size_time_integral_ +=
+      static_cast<double>(entries_.size()) * (now - last_change_).seconds_f();
+  last_change_ = now;
+}
+
+std::optional<Bytes> KeyCache::Lookup(const AuditId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  it->second.used_since_fetch = true;
+  ++hits_;
+  return it->second.key;
+}
+
+bool KeyCache::Contains(const AuditId& id) const {
+  return entries_.find(id) != entries_.end();
+}
+
+void KeyCache::Insert(const AuditId& id, Bytes key) {
+  Accumulate();
+  ++insertions_;
+  auto [it, inserted] = entries_.try_emplace(id);
+  Entry& entry = it->second;
+  if (!inserted) {
+    queue_->Cancel(entry.expiry_event);
+    SecureZero(entry.key);
+  }
+  entry.key = std::move(key);
+  entry.expires_at = queue_->Now() + texp_;
+  entry.used_since_fetch = false;
+  entry.refreshing = false;
+  entry.expiry_event =
+      queue_->Schedule(entry.expires_at, [this, id] { OnExpiry(id); });
+}
+
+void KeyCache::OnExpiry(const AuditId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return;
+  }
+  Entry& entry = it->second;
+  entry.expiry_event = EventQueue::kInvalidEvent;
+
+  if (entry.used_since_fetch && refresh_ && !entry.refreshing) {
+    // The key was in use during its lifetime: refresh it in the background
+    // (the key service logs a kRefresh access). The key stays usable while
+    // the refresh is in flight so in-use files never hiccup.
+    entry.refreshing = true;
+    entry.used_since_fetch = false;
+    ++refreshes_started_;
+    refresh_(id, [this, id](Result<Bytes> result) {
+      auto it2 = entries_.find(id);
+      if (it2 == entries_.end()) {
+        return;  // Erased meanwhile (revocation, hibernation).
+      }
+      if (!result.ok()) {
+        Erase(id);
+        return;
+      }
+      Entry& e = it2->second;
+      e.refreshing = false;
+      SecureZero(e.key);
+      e.key = std::move(*result);
+      e.expires_at = queue_->Now() + texp_;
+      queue_->Cancel(e.expiry_event);
+      e.expiry_event =
+          queue_->Schedule(e.expires_at, [this, id] { OnExpiry(id); });
+    });
+    return;
+  }
+  Erase(id);
+}
+
+void KeyCache::Erase(const AuditId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return;
+  }
+  Accumulate();
+  queue_->Cancel(it->second.expiry_event);
+  SecureZero(it->second.key);
+  entries_.erase(it);
+}
+
+std::vector<AuditId> KeyCache::Clear() {
+  Accumulate();
+  std::vector<AuditId> erased;
+  erased.reserve(entries_.size());
+  for (auto& [id, entry] : entries_) {
+    queue_->Cancel(entry.expiry_event);
+    SecureZero(entry.key);
+    erased.push_back(id);
+  }
+  entries_.clear();
+  return erased;
+}
+
+std::vector<AuditId> KeyCache::CurrentKeys() const {
+  std::vector<AuditId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+double KeyCache::AverageSizeSince(SimTime since) const {
+  SimTime start = since > integral_reset_time_ ? since : integral_reset_time_;
+  SimTime now = queue_->Now();
+  double window = (now - start).seconds_f();
+  if (window <= 0) {
+    return static_cast<double>(entries_.size());
+  }
+  // size_time_integral_ covers [integral_reset_time_, last_change_]; add the
+  // tail at current size. For since > reset time this is an approximation
+  // only if the caller reset stats later than `since`; benches reset first.
+  double integral = size_time_integral_ +
+                    static_cast<double>(entries_.size()) *
+                        (now - last_change_).seconds_f();
+  return integral / window;
+}
+
+void KeyCache::ResetStats() {
+  hits_ = 0;
+  insertions_ = 0;
+  refreshes_started_ = 0;
+  size_time_integral_ = 0;
+  integral_reset_time_ = queue_->Now();
+  last_change_ = queue_->Now();
+}
+
+}  // namespace keypad

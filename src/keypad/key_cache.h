@@ -1,0 +1,98 @@
+// Client-side cache of remote keys K_R_F with expiration and in-use refresh
+// (§3.3, §4 "Key Expiration").
+//
+// Semantics from the paper:
+//  * Every cached key expires Texp after it was (re)fetched; a background
+//    purger securely erases expired keys.
+//  * If the key was reused during its expiration period, the purger
+//    re-requests it from the key service (producing an audit record). If
+//    the response arrives, the expiration is extended; otherwise the key is
+//    removed. Thus keys never expire while in use, absent network failures.
+//  * The set of keys in memory at T_loss is exactly what the forensic
+//    auditor must assume compromised; the cache keeps a time-integral of
+//    its size so Fig. 11's "average number of in-memory keys" is exact.
+
+#ifndef SRC_KEYPAD_KEY_CACHE_H_
+#define SRC_KEYPAD_KEY_CACHE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/util/bytes.h"
+#include "src/util/ids.h"
+#include "src/util/result.h"
+
+namespace keypad {
+
+class KeyCache {
+ public:
+  // `refresh` re-fetches a key asynchronously; it reports the new key (or
+  // failure) through the callback. May be empty (no refresh; keys simply
+  // expire), which tests use for strict-expiry behaviour.
+  using RefreshFn = std::function<void(
+      const AuditId&, std::function<void(Result<Bytes>)>)>;
+
+  KeyCache(EventQueue* queue, SimDuration texp);
+  ~KeyCache();
+
+  void set_refresh(RefreshFn refresh) { refresh_ = std::move(refresh); }
+  SimDuration texp() const { return texp_; }
+  void set_texp(SimDuration texp) { texp_ = texp; }
+
+  // Returns the key and marks the entry used (which arms the in-use
+  // refresh at expiry).
+  std::optional<Bytes> Lookup(const AuditId& id);
+  bool Contains(const AuditId& id) const;
+
+  void Insert(const AuditId& id, Bytes key);
+
+  // Securely erases one key.
+  void Erase(const AuditId& id);
+  // Securely erases everything (hibernation / shutdown). Returns the IDs
+  // erased so the caller can send eviction notices.
+  std::vector<AuditId> Clear();
+
+  size_t size() const { return entries_.size(); }
+  std::vector<AuditId> CurrentKeys() const;
+
+  // --- Statistics. ----------------------------------------------------------
+  uint64_t hits() const { return hits_; }
+  uint64_t insertions() const { return insertions_; }
+  uint64_t refreshes_started() const { return refreshes_started_; }
+  // Time-average of size() over [since, now].
+  double AverageSizeSince(SimTime since) const;
+  void ResetStats();
+
+ private:
+  struct Entry {
+    Bytes key;
+    SimTime expires_at;
+    bool used_since_fetch = false;
+    bool refreshing = false;
+    EventQueue::EventId expiry_event = EventQueue::kInvalidEvent;
+  };
+
+  void OnExpiry(const AuditId& id);
+  void Accumulate();  // Folds size()*dt into the integral.
+
+  EventQueue* queue_;
+  SimDuration texp_;
+  RefreshFn refresh_;
+  std::map<AuditId, Entry> entries_;
+
+  uint64_t hits_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t refreshes_started_ = 0;
+
+  // Integral of size() over time for exact averages.
+  SimTime integral_reset_time_;
+  SimTime last_change_;
+  double size_time_integral_ = 0;  // In (keys * seconds).
+};
+
+}  // namespace keypad
+
+#endif  // SRC_KEYPAD_KEY_CACHE_H_

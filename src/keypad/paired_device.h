@@ -1,0 +1,101 @@
+// Paired-device architecture (§3.5, Figure 4): a phone on a short-range
+// Bluetooth link acts as a transparent extension of the key and metadata
+// services.
+//
+// The laptop's Keypad talks its normal RPC protocol — but to the phone's
+// server over Bluetooth instead of the internet. The phone:
+//  * hoards recently used keys and serves them locally (a caching proxy
+//    that hides cellular RTTs — Fig. 8b);
+//  * when its uplink is connected, forwards misses upstream and immediately
+//    uploads a journal record for every hoard-served access, so the
+//    services' logs stay complete;
+//  * when disconnected, serves from the hoard, locally generates remote
+//    keys for new files, and journals every access/creation/namespace
+//    event; on reconnection it uploads the journals in bulk.
+//
+// Auditing: if only the laptop is lost, the phone (still with the user)
+// plus the service logs give a full audit trail. If both are lost, the
+// hoard's contents bound the extra exposure (directory granularity).
+
+#ifndef SRC_KEYPAD_PAIRED_DEVICE_H_
+#define SRC_KEYPAD_PAIRED_DEVICE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/keypad/key_cache.h"
+#include "src/keyservice/key_service_client.h"
+#include "src/metaservice/metadata_service_client.h"
+#include "src/rpc/rpc.h"
+
+namespace keypad {
+
+class PhoneProxy {
+ public:
+  struct Options {
+    // How long hoarded keys are kept. Long by design: the phone is assumed
+    // to stay with the user (and its loss is accounted for in auditing).
+    SimDuration hoard_ttl = SimDuration::Hours(1);
+    SimDuration service_time = SimDuration::Micros(200);
+  };
+
+  // `uplink` is the phone's own internet link (cellular/WiFi);
+  // `key_upstream`/`meta_upstream` are client stubs over that link.
+  // `key_secret`/`meta_secret` authenticate the laptop's frames (the phone
+  // is paired, so it shares the device credentials).
+  PhoneProxy(EventQueue* queue, NetworkLink* uplink,
+             KeyServiceClient* key_upstream,
+             MetadataServiceClient* meta_upstream, std::string device_id,
+             Bytes key_secret, Bytes meta_secret,
+             Options options);
+
+  // The server the laptop's Bluetooth RPC clients target.
+  RpcServer* server() { return &server_; }
+
+  bool online() const { return online_; }
+  // Connecting flushes the journals upstream (blocking) and reconnects the
+  // uplink; disconnecting severs it.
+  void SetUplinkConnected(bool connected);
+
+  // Exposure accounting for the both-devices-lost case.
+  std::vector<AuditId> HoardedKeys() const { return hoard_.CurrentKeys(); }
+  size_t hoard_size() const { return hoard_.size(); }
+  size_t key_journal_size() const { return key_journal_.size(); }
+  size_t meta_journal_size() const { return meta_journal_.size(); }
+
+  struct Stats {
+    uint64_t served_from_hoard = 0;
+    uint64_t forwarded_upstream = 0;
+    uint64_t offline_creates = 0;
+    uint64_t journal_entries_uploaded = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void BindHandlers();
+  void JournalKeyAccess(const AuditId& id, AccessOp op);
+  void FlushJournals();
+
+  EventQueue* queue_;
+  NetworkLink* uplink_;
+  KeyServiceClient* key_upstream_;
+  MetadataServiceClient* meta_upstream_;
+  std::string device_id_;
+  Bytes key_secret_;
+  Bytes meta_secret_;
+  Options options_;
+
+  RpcServer server_;
+  KeyCache hoard_;
+  SecureRandom local_rng_;
+  bool online_ = true;
+
+  std::vector<KeyServiceClient::JournalEntry> key_journal_;
+  std::vector<MetadataServiceClient::JournalRecord> meta_journal_;
+  Stats stats_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_KEYPAD_PAIRED_DEVICE_H_

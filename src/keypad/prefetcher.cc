@@ -1,0 +1,45 @@
+#include "src/keypad/prefetcher.h"
+
+#include <algorithm>
+
+namespace keypad {
+
+std::vector<AuditId> Prefetcher::OnMiss(
+    const std::string& dir_path, const AuditId& missed_id,
+    const std::function<std::vector<AuditId>()>& list_siblings) {
+  std::vector<AuditId> out;
+  switch (policy_.kind) {
+    case PrefetchPolicy::Kind::kNone:
+      return out;
+
+    case PrefetchPolicy::Kind::kRandomFromDir: {
+      std::vector<AuditId> siblings = list_siblings();
+      siblings.erase(std::remove(siblings.begin(), siblings.end(), missed_id),
+                     siblings.end());
+      rng_.Shuffle(siblings);
+      size_t take = std::min<size_t>(
+          siblings.size(), static_cast<size_t>(policy_.random_count));
+      out.assign(siblings.begin(), siblings.begin() + static_cast<long>(take));
+      break;
+    }
+
+    case PrefetchPolicy::Kind::kFullDirOnNthMiss: {
+      int& count = miss_counts_[dir_path];
+      ++count;
+      if (count < policy_.nth_miss) {
+        return out;
+      }
+      count = 0;  // Re-arm: a later scan of the same dir re-triggers.
+      out = list_siblings();
+      out.erase(std::remove(out.begin(), out.end(), missed_id), out.end());
+      break;
+    }
+  }
+  if (!out.empty()) {
+    ++prefetch_batches_;
+    keys_prefetched_ += out.size();
+  }
+  return out;
+}
+
+}  // namespace keypad

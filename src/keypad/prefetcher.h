@@ -1,0 +1,59 @@
+// Directory-key prefetch policies (§3.3, §4 "Key Prefetching").
+//
+// The prototype's default is "full-directory-prefetch on the 3rd miss":
+// per-directory miss counters detect a scanning workload; once a directory
+// accumulates N key-cache misses, the keys for all its files are fetched in
+// the same round trip as the triggering demand fetch. Prefetches are never
+// recursive, bounding false positives to one directory (§5.2). A random
+// policy is kept for the ablation comparison the paper mentions.
+
+#ifndef SRC_KEYPAD_PREFETCHER_H_
+#define SRC_KEYPAD_PREFETCHER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/keypad/config.h"
+#include "src/sim/random.h"
+#include "src/util/ids.h"
+
+namespace keypad {
+
+class Prefetcher {
+ public:
+  Prefetcher(PrefetchPolicy policy, uint64_t rng_seed)
+      : policy_(policy), rng_(rng_seed) {}
+
+  const PrefetchPolicy& policy() const { return policy_; }
+  void set_policy(PrefetchPolicy policy) { policy_ = policy; }
+
+  // Called on a key-cache miss for a file in `dir_path`. Returns the audit
+  // IDs to prefetch alongside the demand fetch (possibly empty).
+  // `list_siblings` enumerates the protected files in the directory lazily
+  // (it costs local header reads, so it only runs when the policy fires).
+  std::vector<AuditId> OnMiss(
+      const std::string& dir_path, const AuditId& missed_id,
+      const std::function<std::vector<AuditId>()>& list_siblings);
+
+  void Reset() { miss_counts_.clear(); }
+
+  uint64_t prefetch_batches() const { return prefetch_batches_; }
+  uint64_t keys_prefetched() const { return keys_prefetched_; }
+  void ResetStats() {
+    prefetch_batches_ = 0;
+    keys_prefetched_ = 0;
+  }
+
+ private:
+  PrefetchPolicy policy_;
+  SimRandom rng_;
+  std::map<std::string, int> miss_counts_;
+  uint64_t prefetch_batches_ = 0;
+  uint64_t keys_prefetched_ = 0;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_KEYPAD_PREFETCHER_H_

@@ -1,0 +1,137 @@
+#include "src/keyservice/audit_log.h"
+
+#include "src/cryptocore/sha256.h"
+
+namespace keypad {
+
+std::string_view AccessOpName(AccessOp op) {
+  switch (op) {
+    case AccessOp::kCreate:
+      return "create";
+    case AccessOp::kDemandFetch:
+      return "fetch";
+    case AccessOp::kPrefetch:
+      return "prefetch";
+    case AccessOp::kRefresh:
+      return "refresh";
+    case AccessOp::kEviction:
+      return "evict";
+    case AccessOp::kRevoke:
+      return "revoke";
+    case AccessOp::kDestroy:
+      return "destroy";
+    case AccessOp::kDenied:
+      return "denied";
+  }
+  return "unknown";
+}
+
+WireValue AuditLogEntry::ToWire() const {
+  WireValue::Struct s;
+  s.emplace("seq", WireValue(static_cast<int64_t>(seq)));
+  s.emplace("ts", WireValue(timestamp.nanos()));
+  s.emplace("cts", WireValue(client_time.nanos()));
+  s.emplace("device", WireValue(device_id));
+  s.emplace("audit_id", WireValue(audit_id.ToBytes()));
+  s.emplace("op", WireValue(static_cast<int64_t>(op)));
+  s.emplace("prev_hash", WireValue(prev_hash));
+  s.emplace("hash", WireValue(entry_hash));
+  return WireValue(std::move(s));
+}
+
+Result<AuditLogEntry> AuditLogEntry::FromWire(const WireValue& value) {
+  AuditLogEntry entry;
+  KP_ASSIGN_OR_RETURN(WireValue seq, value.Field("seq"));
+  KP_ASSIGN_OR_RETURN(int64_t seq_int, seq.AsInt());
+  entry.seq = static_cast<uint64_t>(seq_int);
+  KP_ASSIGN_OR_RETURN(WireValue ts, value.Field("ts"));
+  KP_ASSIGN_OR_RETURN(int64_t ts_int, ts.AsInt());
+  entry.timestamp = SimTime(ts_int);
+  KP_ASSIGN_OR_RETURN(WireValue cts, value.Field("cts"));
+  KP_ASSIGN_OR_RETURN(int64_t cts_int, cts.AsInt());
+  entry.client_time = SimTime(cts_int);
+  KP_ASSIGN_OR_RETURN(WireValue device, value.Field("device"));
+  KP_ASSIGN_OR_RETURN(entry.device_id, device.AsString());
+  KP_ASSIGN_OR_RETURN(WireValue id, value.Field("audit_id"));
+  KP_ASSIGN_OR_RETURN(Bytes id_bytes, id.AsBytes());
+  KP_ASSIGN_OR_RETURN(entry.audit_id, AuditId::FromBytes(id_bytes));
+  KP_ASSIGN_OR_RETURN(WireValue op, value.Field("op"));
+  KP_ASSIGN_OR_RETURN(int64_t op_int, op.AsInt());
+  entry.op = static_cast<AccessOp>(op_int);
+  KP_ASSIGN_OR_RETURN(WireValue prev, value.Field("prev_hash"));
+  KP_ASSIGN_OR_RETURN(entry.prev_hash, prev.AsBytes());
+  KP_ASSIGN_OR_RETURN(WireValue hash, value.Field("hash"));
+  KP_ASSIGN_OR_RETURN(entry.entry_hash, hash.AsBytes());
+  return entry;
+}
+
+Bytes AuditLog::HashEntry(const AuditLogEntry& entry) {
+  Bytes material = entry.prev_hash;
+  AppendU64Be(material, entry.seq);
+  AppendU64Be(material, static_cast<uint64_t>(entry.timestamp.nanos()));
+  AppendU64Be(material, static_cast<uint64_t>(entry.client_time.nanos()));
+  keypad::Append(material, entry.device_id);
+  keypad::Append(material, entry.audit_id.ToBytes());
+  material.push_back(static_cast<uint8_t>(entry.op));
+  return Sha256::HashBytes(material);
+}
+
+uint64_t AuditLog::Append(SimTime timestamp, const std::string& device_id,
+                          const AuditId& audit_id, AccessOp op) {
+  return Append(timestamp, timestamp, device_id, audit_id, op);
+}
+
+uint64_t AuditLog::Append(SimTime timestamp, SimTime client_time,
+                          const std::string& device_id,
+                          const AuditId& audit_id, AccessOp op) {
+  AuditLogEntry entry;
+  entry.seq = entries_.size();
+  entry.timestamp = timestamp;
+  entry.client_time = client_time;
+  entry.device_id = device_id;
+  entry.audit_id = audit_id;
+  entry.op = op;
+  entry.prev_hash =
+      entries_.empty() ? Bytes(32, 0) : entries_.back().entry_hash;
+  entry.entry_hash = HashEntry(entry);
+  entries_.push_back(std::move(entry));
+  return entries_.back().seq;
+}
+
+std::vector<AuditLogEntry> AuditLog::EntriesSince(SimTime since) const {
+  std::vector<AuditLogEntry> out;
+  for (const auto& entry : entries_) {
+    // Filter on when the access actually happened: for journal-uploaded
+    // entries that is client_time, which may precede the append time.
+    if (entry.client_time >= since) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+Status AuditLog::Verify() const {
+  Bytes prev(32, 0);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const auto& entry = entries_[i];
+    if (entry.seq != i) {
+      return DataLossError("audit log: sequence gap at " + std::to_string(i));
+    }
+    if (entry.prev_hash != prev) {
+      return DataLossError("audit log: chain break at " + std::to_string(i));
+    }
+    if (entry.entry_hash != HashEntry(entry)) {
+      return DataLossError("audit log: hash mismatch at " + std::to_string(i));
+    }
+    prev = entry.entry_hash;
+  }
+  return Status::Ok();
+}
+
+void AuditLog::CorruptEntryForTesting(size_t index) {
+  if (index < entries_.size()) {
+    entries_[index].device_id += "-tampered";
+  }
+}
+
+}  // namespace keypad

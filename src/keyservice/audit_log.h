@@ -1,0 +1,91 @@
+// Hash-chained, append-only audit log.
+//
+// Every key-service operation (key creation, key fetch, prefetch batch,
+// eviction notice, revocation) appends one entry. Entries are chained:
+// entry_hash = SHA-256(prev_hash || canonical-serialization), which makes
+// any in-place tampering, deletion, or reordering detectable by Verify().
+// The paper requires that "the adversary cannot tamper with the contents of
+// the audit log" (§2); the chain plus the service's trusted storage provide
+// that, and the auditor re-verifies the chain before trusting a log.
+
+#ifndef SRC_KEYSERVICE_AUDIT_LOG_H_
+#define SRC_KEYSERVICE_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/util/bytes.h"
+#include "src/util/ids.h"
+#include "src/util/result.h"
+#include "src/wire/value.h"
+
+namespace keypad {
+
+// What kind of access produced the entry. Distinguishing kDemandFetch from
+// kPrefetch lets the forensic auditor report prefetch-induced false
+// positives separately (§5.2) — but both are "the key left the service".
+enum class AccessOp {
+  kCreate = 0,
+  kDemandFetch = 1,
+  kPrefetch = 2,
+  kRefresh = 3,    // Cache-expiry refresh of an in-use key.
+  kEviction = 4,   // Client reported erasing the key (e.g. hibernation).
+  kRevoke = 5,
+  kDestroy = 6,
+  kDenied = 7,  // Fetch attempted after revocation — forensically valuable.
+};
+
+std::string_view AccessOpName(AccessOp op);
+
+struct AuditLogEntry {
+  uint64_t seq = 0;
+  SimTime timestamp;  // Service-side append time (authoritative for order).
+  // When the entry was journaled on a paired device and uploaded later,
+  // the time the access actually happened on the client; otherwise equals
+  // timestamp.
+  SimTime client_time;
+  std::string device_id;
+  AuditId audit_id;
+  AccessOp op = AccessOp::kDemandFetch;
+  Bytes prev_hash;
+  Bytes entry_hash;
+
+  WireValue ToWire() const;
+  static Result<AuditLogEntry> FromWire(const WireValue& value);
+};
+
+class AuditLog {
+ public:
+  // Appends an entry, filling seq and the hash chain. Returns the sequence
+  // number assigned. `client_time` defaults to `timestamp`; journal uploads
+  // pass the original access time.
+  uint64_t Append(SimTime timestamp, const std::string& device_id,
+                  const AuditId& audit_id, AccessOp op);
+  uint64_t Append(SimTime timestamp, SimTime client_time,
+                  const std::string& device_id, const AuditId& audit_id,
+                  AccessOp op);
+
+  const std::vector<AuditLogEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  // Entries with timestamp >= since (the auditor's Tloss − Texp cutoff).
+  std::vector<AuditLogEntry> EntriesSince(SimTime since) const;
+
+  // Recomputes the hash chain; kDataLoss on any mismatch.
+  Status Verify() const;
+
+  // Test hook: simulates an attacker with storage access mutating entry i.
+  // (Verify() must subsequently fail.)
+  void CorruptEntryForTesting(size_t index);
+
+ private:
+  static Bytes HashEntry(const AuditLogEntry& entry);
+
+  std::vector<AuditLogEntry> entries_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_KEYSERVICE_AUDIT_LOG_H_

@@ -1,0 +1,50 @@
+#include "src/keyservice/auth.h"
+
+#include "src/cryptocore/hmac.h"
+#include "src/wire/binary_codec.h"
+
+namespace keypad {
+
+Bytes ComputeAuthTag(const Bytes& device_secret, const std::string& method,
+                     const WireValue::Array& payload) {
+  Bytes material = BytesOf(method);
+  Bytes encoded = BinaryEncode(WireValue(payload));
+  Append(material, encoded);
+  return HmacSha256(device_secret, material);
+}
+
+WireValue::Array FrameAuthedCall(const std::string& device_id,
+                                 const Bytes& device_secret,
+                                 const std::string& method,
+                                 WireValue::Array payload) {
+  WireValue::Array params;
+  params.reserve(payload.size() + 2);
+  params.push_back(WireValue(device_id));
+  params.push_back(WireValue(ComputeAuthTag(device_secret, method, payload)));
+  for (auto& p : payload) {
+    params.push_back(std::move(p));
+  }
+  return params;
+}
+
+Result<AuthedCall> SplitAuthedCall(const WireValue::Array& params) {
+  if (params.size() < 2) {
+    return InvalidArgumentError("authed call: missing frame");
+  }
+  AuthedCall call;
+  KP_ASSIGN_OR_RETURN(call.device_id, params[0].AsString());
+  KP_ASSIGN_OR_RETURN(call.tag, params[1].AsBytes());
+  call.payload.assign(params.begin() + 2, params.end());
+  return call;
+}
+
+Status VerifyAuthTag(const Bytes& device_secret, const std::string& method,
+                     const AuthedCall& call) {
+  Bytes expected = ComputeAuthTag(device_secret, method, call.payload);
+  if (!ConstantTimeEquals(expected, call.tag)) {
+    return PermissionDeniedError("authed call: bad tag");
+  }
+  return Status::Ok();
+}
+
+}  // namespace keypad

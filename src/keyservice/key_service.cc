@@ -1,0 +1,468 @@
+#include "src/keyservice/key_service.h"
+
+#include "src/keyservice/auth.h"
+#include "src/wire/binary_codec.h"
+
+namespace keypad {
+
+KeyService::KeyService(EventQueue* queue, uint64_t rng_seed)
+    : queue_(queue), rng_(rng_seed) {}
+
+Bytes KeyService::RegisterDevice(const std::string& device_id) {
+  DeviceRecord record;
+  record.secret = rng_.NextBytes(32);
+  devices_[device_id] = record;
+  return record.secret;
+}
+
+Status KeyService::DisableDevice(const std::string& device_id) {
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return NotFoundError("key service: unknown device " + device_id);
+  }
+  it->second.disabled = true;
+  // One revocation record marks the control action in the audit trail.
+  log_.Append(queue_->Now(), device_id, AuditId{}, AccessOp::kRevoke);
+  return Status::Ok();
+}
+
+Status KeyService::EnableDevice(const std::string& device_id) {
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return NotFoundError("key service: unknown device " + device_id);
+  }
+  it->second.disabled = false;
+  return Status::Ok();
+}
+
+bool KeyService::IsDeviceDisabled(const std::string& device_id) const {
+  auto it = devices_.find(device_id);
+  return it != devices_.end() && it->second.disabled;
+}
+
+Result<Bytes> KeyService::DeviceSecret(const std::string& device_id) const {
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return NotFoundError("key service: unknown device " + device_id);
+  }
+  return it->second.secret;
+}
+
+Status KeyService::CheckDevice(const std::string& device_id,
+                               const AuditId& audit_id) {
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return PermissionDeniedError("key service: unregistered device");
+  }
+  if (it->second.disabled) {
+    // The attempt itself is forensically valuable: log it, then refuse.
+    log_.Append(queue_->Now(), device_id, audit_id, AccessOp::kDenied);
+    return PermissionDeniedError("key service: device disabled");
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> KeyService::CreateKey(const std::string& device_id,
+                                    const AuditId& audit_id) {
+  KP_RETURN_IF_ERROR(CheckDevice(device_id, audit_id));
+  KeyMapKey map_key(device_id, audit_id);
+  if (keys_.count(map_key) > 0) {
+    return AlreadyExistsError("key service: audit id already bound");
+  }
+  KeyRecord record;
+  record.key = rng_.NextBytes(kRemoteKeyLen);
+  // Durably log *before* responding (paper §3.1).
+  log_.Append(queue_->Now(), device_id, audit_id, AccessOp::kCreate);
+  keys_.emplace(map_key, record);
+  return record.key;
+}
+
+Result<Bytes> KeyService::GetKey(const std::string& device_id,
+                                 const AuditId& audit_id, AccessOp op) {
+  KP_RETURN_IF_ERROR(CheckDevice(device_id, audit_id));
+  auto it = keys_.find(KeyMapKey(device_id, audit_id));
+  if (it == keys_.end()) {
+    return NotFoundError("key service: no such key");
+  }
+  if (it->second.disabled) {
+    log_.Append(queue_->Now(), device_id, audit_id, AccessOp::kDenied);
+    return PermissionDeniedError("key service: key disabled");
+  }
+  log_.Append(queue_->Now(), device_id, audit_id, op);
+  return it->second.key;
+}
+
+Result<std::vector<std::pair<AuditId, Bytes>>> KeyService::GetKeys(
+    const std::string& device_id, const std::vector<AuditId>& audit_ids,
+    AccessOp op) {
+  KP_RETURN_IF_ERROR(
+      CheckDevice(device_id, audit_ids.empty() ? AuditId{} : audit_ids[0]));
+  std::vector<std::pair<AuditId, Bytes>> out;
+  for (const auto& id : audit_ids) {
+    auto it = keys_.find(KeyMapKey(device_id, id));
+    if (it == keys_.end() || it->second.disabled) {
+      continue;
+    }
+    log_.Append(queue_->Now(), device_id, id, op);
+    out.emplace_back(id, it->second.key);
+  }
+  return out;
+}
+
+Result<KeyService::GroupFetchResult> KeyService::FetchGroup(
+    const std::string& device_id, const AuditId& demand_id,
+    const std::vector<AuditId>& prefetch_ids) {
+  GroupFetchResult result;
+  KP_ASSIGN_OR_RETURN(result.demand_key,
+                      GetKey(device_id, demand_id, AccessOp::kDemandFetch));
+  for (const auto& id : prefetch_ids) {
+    if (id == demand_id) {
+      continue;
+    }
+    auto it = keys_.find(KeyMapKey(device_id, id));
+    if (it == keys_.end() || it->second.disabled) {
+      continue;
+    }
+    log_.Append(queue_->Now(), device_id, id, AccessOp::kPrefetch);
+    result.prefetched.emplace_back(id, it->second.key);
+  }
+  return result;
+}
+
+Status KeyService::UploadJournal(const std::string& device_id,
+                                 const std::vector<JournalEntry>& entries) {
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return PermissionDeniedError("key service: unregistered device");
+  }
+  if (it->second.disabled) {
+    return PermissionDeniedError("key service: device disabled");
+  }
+  for (const auto& entry : entries) {
+    if (entry.op == AccessOp::kCreate && !entry.key.empty()) {
+      KeyMapKey map_key(device_id, entry.audit_id);
+      if (keys_.count(map_key) == 0) {
+        KeyRecord record;
+        record.key = entry.key;
+        keys_.emplace(map_key, record);
+      }
+    }
+    log_.Append(queue_->Now(), entry.client_time, device_id, entry.audit_id,
+                entry.op);
+  }
+  return Status::Ok();
+}
+
+Status KeyService::NoteEviction(const std::string& device_id,
+                                const AuditId& audit_id) {
+  KP_RETURN_IF_ERROR(CheckDevice(device_id, audit_id));
+  log_.Append(queue_->Now(), device_id, audit_id, AccessOp::kEviction);
+  return Status::Ok();
+}
+
+Status KeyService::DisableKey(const std::string& device_id,
+                              const AuditId& audit_id) {
+  auto it = keys_.find(KeyMapKey(device_id, audit_id));
+  if (it == keys_.end()) {
+    return NotFoundError("key service: no such key");
+  }
+  it->second.disabled = true;
+  log_.Append(queue_->Now(), device_id, audit_id, AccessOp::kRevoke);
+  return Status::Ok();
+}
+
+Status KeyService::DestroyKey(const std::string& device_id,
+                              const AuditId& audit_id) {
+  auto it = keys_.find(KeyMapKey(device_id, audit_id));
+  if (it == keys_.end()) {
+    return NotFoundError("key service: no such key");
+  }
+  SecureZero(it->second.key);
+  keys_.erase(it);
+  log_.Append(queue_->Now(), device_id, audit_id, AccessOp::kDestroy);
+  return Status::Ok();
+}
+
+Bytes KeyService::Snapshot() const {
+  WireValue::Struct snapshot;
+
+  WireValue::Array devices;
+  for (const auto& [id, record] : devices_) {
+    WireValue::Struct d;
+    d.emplace("id", WireValue(id));
+    d.emplace("secret", WireValue(record.secret));
+    d.emplace("disabled", WireValue(record.disabled));
+    devices.push_back(WireValue(std::move(d)));
+  }
+  snapshot.emplace("devices", WireValue(std::move(devices)));
+
+  WireValue::Array keys;
+  for (const auto& [map_key, record] : keys_) {
+    WireValue::Struct k;
+    k.emplace("device", WireValue(map_key.first));
+    k.emplace("id", WireValue(map_key.second.ToBytes()));
+    k.emplace("key", WireValue(record.key));
+    k.emplace("disabled", WireValue(record.disabled));
+    keys.push_back(WireValue(std::move(k)));
+  }
+  snapshot.emplace("keys", WireValue(std::move(keys)));
+
+  WireValue::Array log_entries;
+  for (const auto& entry : log_.entries()) {
+    log_entries.push_back(entry.ToWire());
+  }
+  snapshot.emplace("log", WireValue(std::move(log_entries)));
+  return BinaryEncode(WireValue(std::move(snapshot)));
+}
+
+Status KeyService::Restore(const Bytes& snapshot) {
+  KP_ASSIGN_OR_RETURN(WireValue value, BinaryDecode(snapshot));
+
+  // Rebuild the log first and verify its chain before touching anything.
+  KP_ASSIGN_OR_RETURN(WireValue log_value, value.Field("log"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_log, log_value.AsArray());
+  AuditLog restored_log;
+  for (const auto& raw : raw_log) {
+    KP_ASSIGN_OR_RETURN(AuditLogEntry entry, AuditLogEntry::FromWire(raw));
+    restored_log.Append(entry.timestamp, entry.client_time, entry.device_id,
+                        entry.audit_id, entry.op);
+  }
+  // Append recomputed the chain from the entry contents; if the snapshot
+  // was tampered with, its recorded final digest won't match ours.
+  if (!raw_log.empty()) {
+    KP_ASSIGN_OR_RETURN(AuditLogEntry last,
+                        AuditLogEntry::FromWire(raw_log.back()));
+    if (restored_log.entries().back().entry_hash != last.entry_hash) {
+      return DataLossError("key service: snapshot log chain mismatch");
+    }
+  }
+
+  std::map<std::string, DeviceRecord> devices;
+  KP_ASSIGN_OR_RETURN(WireValue devices_value, value.Field("devices"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_devices, devices_value.AsArray());
+  for (const auto& raw : raw_devices) {
+    KP_ASSIGN_OR_RETURN(WireValue id_v, raw.Field("id"));
+    KP_ASSIGN_OR_RETURN(std::string id, id_v.AsString());
+    DeviceRecord record;
+    KP_ASSIGN_OR_RETURN(WireValue secret_v, raw.Field("secret"));
+    KP_ASSIGN_OR_RETURN(record.secret, secret_v.AsBytes());
+    KP_ASSIGN_OR_RETURN(WireValue disabled_v, raw.Field("disabled"));
+    KP_ASSIGN_OR_RETURN(record.disabled, disabled_v.AsBool());
+    devices.emplace(std::move(id), std::move(record));
+  }
+
+  std::map<KeyMapKey, KeyRecord> keys;
+  KP_ASSIGN_OR_RETURN(WireValue keys_value, value.Field("keys"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_keys, keys_value.AsArray());
+  for (const auto& raw : raw_keys) {
+    KP_ASSIGN_OR_RETURN(WireValue device_v, raw.Field("device"));
+    KP_ASSIGN_OR_RETURN(std::string device, device_v.AsString());
+    KP_ASSIGN_OR_RETURN(WireValue id_v, raw.Field("id"));
+    KP_ASSIGN_OR_RETURN(Bytes id_bytes, id_v.AsBytes());
+    KP_ASSIGN_OR_RETURN(AuditId id, AuditId::FromBytes(id_bytes));
+    KeyRecord record;
+    KP_ASSIGN_OR_RETURN(WireValue key_v, raw.Field("key"));
+    KP_ASSIGN_OR_RETURN(record.key, key_v.AsBytes());
+    KP_ASSIGN_OR_RETURN(WireValue disabled_v, raw.Field("disabled"));
+    KP_ASSIGN_OR_RETURN(record.disabled, disabled_v.AsBool());
+    keys.emplace(KeyMapKey(std::move(device), id), std::move(record));
+  }
+
+  devices_ = std::move(devices);
+  keys_ = std::move(keys);
+  log_ = std::move(restored_log);
+  return Status::Ok();
+}
+
+void KeyService::BindRpc(RpcServer* server) {
+  // Authenticates the frame, then dispatches to `fn(device, payload)`.
+  auto authed = [this](const std::string& method,
+                       auto fn) -> RpcServer::Handler {
+    return [this, method, fn](const WireValue::Array& params)
+               -> Result<WireValue> {
+      KP_ASSIGN_OR_RETURN(AuthedCall call, SplitAuthedCall(params));
+      auto it = devices_.find(call.device_id);
+      if (it == devices_.end()) {
+        return PermissionDeniedError("key service: unregistered device");
+      }
+      KP_RETURN_IF_ERROR(VerifyAuthTag(it->second.secret, method, call));
+      return fn(call.device_id, call.payload);
+    };
+  };
+
+  server->RegisterMethod(
+      "key.create",
+      authed("key.create",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 1) {
+                 return InvalidArgumentError("key.create: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(Bytes id_bytes, payload[0].AsBytes());
+               KP_ASSIGN_OR_RETURN(AuditId id, AuditId::FromBytes(id_bytes));
+               KP_ASSIGN_OR_RETURN(Bytes key, CreateKey(device, id));
+               return WireValue(std::move(key));
+             }));
+
+  server->RegisterMethod(
+      "key.get",
+      authed("key.get",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 2) {
+                 return InvalidArgumentError("key.get: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(Bytes id_bytes, payload[0].AsBytes());
+               KP_ASSIGN_OR_RETURN(AuditId id, AuditId::FromBytes(id_bytes));
+               KP_ASSIGN_OR_RETURN(int64_t op_int, payload[1].AsInt());
+               KP_ASSIGN_OR_RETURN(
+                   Bytes key, GetKey(device, id, static_cast<AccessOp>(op_int)));
+               return WireValue(std::move(key));
+             }));
+
+  server->RegisterMethod(
+      "key.get_batch",
+      authed("key.get_batch",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 1) {
+                 return InvalidArgumentError("key.get_batch: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(WireValue::Array ids, payload[0].AsArray());
+               std::vector<AuditId> audit_ids;
+               for (const auto& id_value : ids) {
+                 KP_ASSIGN_OR_RETURN(Bytes id_bytes, id_value.AsBytes());
+                 KP_ASSIGN_OR_RETURN(AuditId id,
+                                     AuditId::FromBytes(id_bytes));
+                 audit_ids.push_back(id);
+               }
+               KP_ASSIGN_OR_RETURN(auto pairs, GetKeys(device, audit_ids));
+               WireValue::Array out;
+               for (auto& [id, key] : pairs) {
+                 WireValue::Struct entry;
+                 entry.emplace("id", WireValue(id.ToBytes()));
+                 entry.emplace("key", WireValue(std::move(key)));
+                 out.push_back(WireValue(std::move(entry)));
+               }
+               return WireValue(std::move(out));
+             }));
+
+  server->RegisterMethod(
+      "key.evict",
+      authed("key.evict",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 1) {
+                 return InvalidArgumentError("key.evict: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(Bytes id_bytes, payload[0].AsBytes());
+               KP_ASSIGN_OR_RETURN(AuditId id, AuditId::FromBytes(id_bytes));
+               KP_RETURN_IF_ERROR(NoteEviction(device, id));
+               return WireValue(true);
+             }));
+
+  // Audit surface (the owner/IT console or the drive maker's web service).
+  // Authenticated with the device secret: whoever can audit a device can
+  // already act for it administratively in this model.
+  server->RegisterMethod(
+      "audit.key_log_since",
+      authed("audit.key_log_since",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 1) {
+                 return InvalidArgumentError("audit.key_log_since: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(int64_t since_ns, payload[0].AsInt());
+               KP_RETURN_IF_ERROR(log_.Verify());
+               WireValue::Array out;
+               for (const auto& entry : log_.EntriesSince(SimTime(since_ns))) {
+                 if (entry.device_id == device) {
+                   out.push_back(entry.ToWire());
+                 }
+               }
+               return WireValue(std::move(out));
+             }));
+
+  server->RegisterMethod(
+      "key.destroy",
+      authed("key.destroy",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 1) {
+                 return InvalidArgumentError("key.destroy: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(Bytes id_bytes, payload[0].AsBytes());
+               KP_ASSIGN_OR_RETURN(AuditId id, AuditId::FromBytes(id_bytes));
+               KP_RETURN_IF_ERROR(DestroyKey(device, id));
+               return WireValue(true);
+             }));
+
+  server->RegisterMethod(
+      "key.fetch_group",
+      authed("key.fetch_group",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 2) {
+                 return InvalidArgumentError("key.fetch_group: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(Bytes demand_bytes, payload[0].AsBytes());
+               KP_ASSIGN_OR_RETURN(AuditId demand_id,
+                                   AuditId::FromBytes(demand_bytes));
+               KP_ASSIGN_OR_RETURN(WireValue::Array ids, payload[1].AsArray());
+               std::vector<AuditId> prefetch_ids;
+               for (const auto& id_value : ids) {
+                 KP_ASSIGN_OR_RETURN(Bytes id_bytes, id_value.AsBytes());
+                 KP_ASSIGN_OR_RETURN(AuditId id,
+                                     AuditId::FromBytes(id_bytes));
+                 prefetch_ids.push_back(id);
+               }
+               KP_ASSIGN_OR_RETURN(GroupFetchResult group,
+                                   FetchGroup(device, demand_id,
+                                              prefetch_ids));
+               WireValue::Struct out;
+               out.emplace("demand", WireValue(std::move(group.demand_key)));
+               WireValue::Array prefetched;
+               for (auto& [id, key] : group.prefetched) {
+                 WireValue::Struct entry;
+                 entry.emplace("id", WireValue(id.ToBytes()));
+                 entry.emplace("key", WireValue(std::move(key)));
+                 prefetched.push_back(WireValue(std::move(entry)));
+               }
+               out.emplace("prefetched", WireValue(std::move(prefetched)));
+               return WireValue(std::move(out));
+             }));
+
+  server->RegisterMethod(
+      "key.upload_journal",
+      authed("key.upload_journal",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 1) {
+                 return InvalidArgumentError("key.upload_journal: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(WireValue::Array raw, payload[0].AsArray());
+               std::vector<JournalEntry> entries;
+               for (const auto& e : raw) {
+                 JournalEntry entry;
+                 KP_ASSIGN_OR_RETURN(WireValue id_v, e.Field("id"));
+                 KP_ASSIGN_OR_RETURN(Bytes id_bytes, id_v.AsBytes());
+                 KP_ASSIGN_OR_RETURN(entry.audit_id,
+                                     AuditId::FromBytes(id_bytes));
+                 KP_ASSIGN_OR_RETURN(WireValue op_v, e.Field("op"));
+                 KP_ASSIGN_OR_RETURN(int64_t op_int, op_v.AsInt());
+                 entry.op = static_cast<AccessOp>(op_int);
+                 KP_ASSIGN_OR_RETURN(WireValue ts_v, e.Field("ts"));
+                 KP_ASSIGN_OR_RETURN(int64_t ts_int, ts_v.AsInt());
+                 entry.client_time = SimTime(ts_int);
+                 if (e.HasField("key")) {
+                   KP_ASSIGN_OR_RETURN(WireValue key_v, e.Field("key"));
+                   KP_ASSIGN_OR_RETURN(entry.key, key_v.AsBytes());
+                 }
+                 entries.push_back(std::move(entry));
+               }
+               KP_RETURN_IF_ERROR(UploadJournal(device, entries));
+               return WireValue(true);
+             }));
+}
+
+}  // namespace keypad

@@ -1,0 +1,138 @@
+// The remote key service (Figure 2 of the paper).
+//
+// Maintains the mapping audit-ID → remote key K_R_F, durably logging every
+// key operation before responding — the core mechanism that entangles file
+// access with audit logging. Also implements remote data control: disabling
+// a device (or a single key) makes every subsequent fetch fail, and
+// destroying a key erases it permanently (assured delete).
+//
+// The service sees only opaque IDs and keys, never pathnames — the privacy
+// split between the key and metadata services (§3.1).
+
+#ifndef SRC_KEYSERVICE_KEY_SERVICE_H_
+#define SRC_KEYSERVICE_KEY_SERVICE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cryptocore/secure_random.h"
+#include "src/keyservice/audit_log.h"
+#include "src/rpc/rpc.h"
+#include "src/sim/event_queue.h"
+#include "src/util/ids.h"
+#include "src/util/result.h"
+
+namespace keypad {
+
+class KeyService {
+ public:
+  static constexpr size_t kRemoteKeyLen = 32;
+
+  KeyService(EventQueue* queue, uint64_t rng_seed);
+
+  // --- Administrative API (runs over a trusted path, e.g. the IT
+  //     department's console or the drive maker's web service). ------------
+
+  // Registers a device and returns its authentication secret.
+  Bytes RegisterDevice(const std::string& device_id);
+  // Remote data control: every key fetch for this device now fails.
+  Status DisableDevice(const std::string& device_id);
+  Status EnableDevice(const std::string& device_id);
+  bool IsDeviceDisabled(const std::string& device_id) const;
+
+  // --- Client API (exposed over RPC; see BindRpc). ------------------------
+
+  // Creates and stores a fresh remote key bound to `audit_id`; logs kCreate.
+  // Fails kAlreadyExists if the ID is taken.
+  Result<Bytes> CreateKey(const std::string& device_id,
+                          const AuditId& audit_id);
+  // Logs the access, then returns the key. `op` distinguishes demand
+  // fetches, prefetches, and cache-refreshes in the log.
+  Result<Bytes> GetKey(const std::string& device_id, const AuditId& audit_id,
+                       AccessOp op = AccessOp::kDemandFetch);
+  // Batch fetch for directory prefetching: one network round trip, one log
+  // entry per ID. IDs that don't exist are skipped (no error).
+  Result<std::vector<std::pair<AuditId, Bytes>>> GetKeys(
+      const std::string& device_id, const std::vector<AuditId>& audit_ids,
+      AccessOp op = AccessOp::kPrefetch);
+  // Combined demand fetch + directory prefetch in one round trip: the
+  // demand ID is logged kDemandFetch, the rest kPrefetch. The demand key
+  // must exist; missing prefetch IDs are skipped.
+  struct GroupFetchResult {
+    Bytes demand_key;
+    std::vector<std::pair<AuditId, Bytes>> prefetched;
+  };
+  Result<GroupFetchResult> FetchGroup(const std::string& device_id,
+                                      const AuditId& demand_id,
+                                      const std::vector<AuditId>& prefetch_ids);
+
+  // Paired-device support: a journaled access/creation uploaded after the
+  // fact. For kCreate entries `key` carries the phone-generated remote key
+  // (stored if the ID is new). Entries are appended with the original
+  // client timestamps.
+  struct JournalEntry {
+    AuditId audit_id;
+    AccessOp op = AccessOp::kDemandFetch;
+    SimTime client_time;
+    Bytes key;  // Only for kCreate.
+  };
+  Status UploadJournal(const std::string& device_id,
+                       const std::vector<JournalEntry>& entries);
+
+  // Client reports that it securely erased a cached key (e.g. hibernation).
+  Status NoteEviction(const std::string& device_id, const AuditId& audit_id);
+  // Disables a single file's key.
+  Status DisableKey(const std::string& device_id, const AuditId& audit_id);
+  // Permanently destroys key material (assured delete).
+  Status DestroyKey(const std::string& device_id, const AuditId& audit_id);
+
+  // --- Audit API. ---------------------------------------------------------
+
+  const AuditLog& log() const { return log_; }
+  std::vector<AuditLogEntry> LogSince(SimTime since) const {
+    return log_.EntriesSince(since);
+  }
+
+  // Per-device secret lookup (used by client stubs inside the simulation
+  // at registration time).
+  Result<Bytes> DeviceSecret(const std::string& device_id) const;
+
+  // Registers RPC handlers (key.create, key.get, key.get_batch, key.evict)
+  // on `server`. Handlers authenticate the device tag before acting.
+  void BindRpc(RpcServer* server);
+
+  // Durable backup (§6: the services "routinely back up their state").
+  // The snapshot carries devices, keys, and the full audit log; Restore
+  // verifies the log's hash chain before accepting it.
+  Bytes Snapshot() const;
+  Status Restore(const Bytes& snapshot);
+
+  // Number of keys currently stored (destroyed keys excluded).
+  size_t key_count() const { return keys_.size(); }
+
+ private:
+  struct DeviceRecord {
+    Bytes secret;
+    bool disabled = false;
+  };
+  struct KeyRecord {
+    Bytes key;
+    bool disabled = false;
+  };
+  using KeyMapKey = std::pair<std::string, AuditId>;
+
+  // Checks registration + revocation; logs denied attempts.
+  Status CheckDevice(const std::string& device_id, const AuditId& audit_id);
+
+  EventQueue* queue_;
+  SecureRandom rng_;
+  std::map<std::string, DeviceRecord> devices_;
+  std::map<KeyMapKey, KeyRecord> keys_;
+  AuditLog log_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_KEYSERVICE_KEY_SERVICE_H_

@@ -1,0 +1,259 @@
+#include "src/keyservice/key_service_client.h"
+
+#include "src/keyservice/auth.h"
+
+namespace keypad {
+
+Result<Bytes> KeyServiceClient::CreateKey(const AuditId& audit_id) {
+  WireValue::Array payload;
+  payload.push_back(WireValue(audit_id.ToBytes()));
+  auto result = rpc_->Call(
+      "key.create", FrameAuthedCall(device_id_, device_secret_, "key.create",
+                                    std::move(payload)));
+  if (!result.ok()) {
+    return result.status();
+  }
+  return result->AsBytes();
+}
+
+void KeyServiceClient::CreateKeyAsync(
+    const AuditId& audit_id, std::function<void(Result<Bytes>)> done) {
+  WireValue::Array payload;
+  payload.push_back(WireValue(audit_id.ToBytes()));
+  rpc_->CallAsync(
+      "key.create",
+      FrameAuthedCall(device_id_, device_secret_, "key.create",
+                      std::move(payload)),
+      [done = std::move(done)](Result<WireValue> result) {
+        if (!result.ok()) {
+          done(result.status());
+          return;
+        }
+        done(result->AsBytes());
+      });
+}
+
+Result<Bytes> KeyServiceClient::GetKey(const AuditId& audit_id, AccessOp op) {
+  WireValue::Array payload;
+  payload.push_back(WireValue(audit_id.ToBytes()));
+  payload.push_back(WireValue(static_cast<int64_t>(op)));
+  auto result = rpc_->Call(
+      "key.get",
+      FrameAuthedCall(device_id_, device_secret_, "key.get",
+                      std::move(payload)));
+  if (!result.ok()) {
+    return result.status();
+  }
+  return result->AsBytes();
+}
+
+void KeyServiceClient::GetKeyAsync(const AuditId& audit_id, AccessOp op,
+                                   std::function<void(Result<Bytes>)> done) {
+  WireValue::Array payload;
+  payload.push_back(WireValue(audit_id.ToBytes()));
+  payload.push_back(WireValue(static_cast<int64_t>(op)));
+  rpc_->CallAsync(
+      "key.get",
+      FrameAuthedCall(device_id_, device_secret_, "key.get",
+                      std::move(payload)),
+      [done = std::move(done)](Result<WireValue> result) {
+        if (!result.ok()) {
+          done(result.status());
+          return;
+        }
+        done(result->AsBytes());
+      });
+}
+
+Result<std::vector<std::pair<AuditId, Bytes>>> KeyServiceClient::GetKeys(
+    const std::vector<AuditId>& audit_ids) {
+  WireValue::Array ids;
+  for (const auto& id : audit_ids) {
+    ids.push_back(WireValue(id.ToBytes()));
+  }
+  WireValue::Array payload;
+  payload.push_back(WireValue(std::move(ids)));
+  auto result = rpc_->Call(
+      "key.get_batch",
+      FrameAuthedCall(device_id_, device_secret_, "key.get_batch",
+                      std::move(payload)));
+  if (!result.ok()) {
+    return result.status();
+  }
+  KP_ASSIGN_OR_RETURN(WireValue::Array entries, result->AsArray());
+  std::vector<std::pair<AuditId, Bytes>> out;
+  for (const auto& entry : entries) {
+    KP_ASSIGN_OR_RETURN(WireValue id_value, entry.Field("id"));
+    KP_ASSIGN_OR_RETURN(Bytes id_bytes, id_value.AsBytes());
+    KP_ASSIGN_OR_RETURN(AuditId id, AuditId::FromBytes(id_bytes));
+    KP_ASSIGN_OR_RETURN(WireValue key_value, entry.Field("key"));
+    KP_ASSIGN_OR_RETURN(Bytes key, key_value.AsBytes());
+    out.emplace_back(id, std::move(key));
+  }
+  return out;
+}
+
+namespace {
+Result<KeyServiceClient::GroupFetch> ParseGroupFetch(
+    const WireValue& result) {
+  KeyServiceClient::GroupFetch out;
+  KP_ASSIGN_OR_RETURN(WireValue demand, result.Field("demand"));
+  KP_ASSIGN_OR_RETURN(out.demand_key, demand.AsBytes());
+  KP_ASSIGN_OR_RETURN(WireValue prefetched, result.Field("prefetched"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array entries, prefetched.AsArray());
+  for (const auto& entry : entries) {
+    KP_ASSIGN_OR_RETURN(WireValue id_value, entry.Field("id"));
+    KP_ASSIGN_OR_RETURN(Bytes id_bytes, id_value.AsBytes());
+    KP_ASSIGN_OR_RETURN(AuditId id, AuditId::FromBytes(id_bytes));
+    KP_ASSIGN_OR_RETURN(WireValue key_value, entry.Field("key"));
+    KP_ASSIGN_OR_RETURN(Bytes key, key_value.AsBytes());
+    out.prefetched.emplace_back(id, std::move(key));
+  }
+  return out;
+}
+
+WireValue::Array GroupFetchPayload(const AuditId& demand_id,
+                                   const std::vector<AuditId>& prefetch_ids) {
+  WireValue::Array ids;
+  for (const auto& id : prefetch_ids) {
+    ids.push_back(WireValue(id.ToBytes()));
+  }
+  WireValue::Array payload;
+  payload.push_back(WireValue(demand_id.ToBytes()));
+  payload.push_back(WireValue(std::move(ids)));
+  return payload;
+}
+
+Result<std::vector<std::pair<AuditId, Bytes>>> ParseKeyPairs(
+    const WireValue& result) {
+  KP_ASSIGN_OR_RETURN(WireValue::Array entries, result.AsArray());
+  std::vector<std::pair<AuditId, Bytes>> out;
+  for (const auto& entry : entries) {
+    KP_ASSIGN_OR_RETURN(WireValue id_value, entry.Field("id"));
+    KP_ASSIGN_OR_RETURN(Bytes id_bytes, id_value.AsBytes());
+    KP_ASSIGN_OR_RETURN(AuditId id, AuditId::FromBytes(id_bytes));
+    KP_ASSIGN_OR_RETURN(WireValue key_value, entry.Field("key"));
+    KP_ASSIGN_OR_RETURN(Bytes key, key_value.AsBytes());
+    out.emplace_back(id, std::move(key));
+  }
+  return out;
+}
+}  // namespace
+
+Result<KeyServiceClient::GroupFetch> KeyServiceClient::FetchGroup(
+    const AuditId& demand_id, const std::vector<AuditId>& prefetch_ids) {
+  auto result = rpc_->Call(
+      "key.fetch_group",
+      FrameAuthedCall(device_id_, device_secret_, "key.fetch_group",
+                      GroupFetchPayload(demand_id, prefetch_ids)));
+  if (!result.ok()) {
+    return result.status();
+  }
+  return ParseGroupFetch(*result);
+}
+
+void KeyServiceClient::FetchGroupAsync(
+    const AuditId& demand_id, const std::vector<AuditId>& prefetch_ids,
+    std::function<void(Result<GroupFetch>)> done) {
+  rpc_->CallAsync(
+      "key.fetch_group",
+      FrameAuthedCall(device_id_, device_secret_, "key.fetch_group",
+                      GroupFetchPayload(demand_id, prefetch_ids)),
+      [done = std::move(done)](Result<WireValue> result) {
+        if (!result.ok()) {
+          done(result.status());
+          return;
+        }
+        done(ParseGroupFetch(*result));
+      });
+}
+
+void KeyServiceClient::GetKeysAsync(
+    const std::vector<AuditId>& audit_ids,
+    std::function<void(Result<std::vector<std::pair<AuditId, Bytes>>>)>
+        done) {
+  WireValue::Array ids;
+  for (const auto& id : audit_ids) {
+    ids.push_back(WireValue(id.ToBytes()));
+  }
+  WireValue::Array payload;
+  payload.push_back(WireValue(std::move(ids)));
+  rpc_->CallAsync(
+      "key.get_batch",
+      FrameAuthedCall(device_id_, device_secret_, "key.get_batch",
+                      std::move(payload)),
+      [done = std::move(done)](Result<WireValue> result) {
+        if (!result.ok()) {
+          done(result.status());
+          return;
+        }
+        done(ParseKeyPairs(*result));
+      });
+}
+
+namespace {
+WireValue::Array JournalPayload(
+    const std::vector<KeyServiceClient::JournalEntry>& entries) {
+  WireValue::Array raw;
+  for (const auto& entry : entries) {
+    WireValue::Struct e;
+    e.emplace("id", WireValue(entry.audit_id.ToBytes()));
+    e.emplace("op", WireValue(entry.op));
+    e.emplace("ts", WireValue(entry.client_time.nanos()));
+    if (!entry.key.empty()) {
+      e.emplace("key", WireValue(entry.key));
+    }
+    raw.push_back(WireValue(std::move(e)));
+  }
+  WireValue::Array payload;
+  payload.push_back(WireValue(std::move(raw)));
+  return payload;
+}
+}  // namespace
+
+Status KeyServiceClient::UploadJournal(
+    const std::vector<JournalEntry>& entries) {
+  auto result = rpc_->Call(
+      "key.upload_journal",
+      FrameAuthedCall(device_id_, device_secret_, "key.upload_journal",
+                      JournalPayload(entries)));
+  return result.status();
+}
+
+void KeyServiceClient::UploadJournalAsync(
+    const std::vector<JournalEntry>& entries,
+    std::function<void(Status)> done) {
+  rpc_->CallAsync(
+      "key.upload_journal",
+      FrameAuthedCall(device_id_, device_secret_, "key.upload_journal",
+                      JournalPayload(entries)),
+      [done = std::move(done)](Result<WireValue> result) {
+        done(result.status());
+      });
+}
+
+void KeyServiceClient::DestroyKeyAsync(const AuditId& audit_id,
+                                       std::function<void(Status)> done) {
+  WireValue::Array payload;
+  payload.push_back(WireValue(audit_id.ToBytes()));
+  rpc_->CallAsync("key.destroy",
+                  FrameAuthedCall(device_id_, device_secret_, "key.destroy",
+                                  std::move(payload)),
+                  [done = std::move(done)](Result<WireValue> result) {
+                    done(result.status());
+                  });
+}
+
+void KeyServiceClient::NoteEvictionAsync(const AuditId& audit_id) {
+  WireValue::Array payload;
+  payload.push_back(WireValue(audit_id.ToBytes()));
+  rpc_->CallAsync("key.evict",
+                  FrameAuthedCall(device_id_, device_secret_, "key.evict",
+                                  std::move(payload)),
+                  [](Result<WireValue>) {
+                    // Best-effort: a lost eviction notice only means the
+                    // auditor over-reports exposure, never under-reports.
+                  });
+}
+
+}  // namespace keypad

@@ -1,0 +1,125 @@
+#include "src/metaservice/metadata_log.h"
+
+#include "src/cryptocore/sha256.h"
+
+namespace keypad {
+
+std::string_view MetadataOpName(MetadataOp op) {
+  switch (op) {
+    case MetadataOp::kCreateFile:
+      return "create";
+    case MetadataOp::kRenameFile:
+      return "rename";
+    case MetadataOp::kMkdir:
+      return "mkdir";
+    case MetadataOp::kRenameDir:
+      return "renamedir";
+    case MetadataOp::kSetAttr:
+      return "setattr";
+  }
+  return "unknown";
+}
+
+Bytes MetadataLog::HashRecord(const MetadataRecord& record) {
+  Bytes material = record.prev_hash;
+  AppendU64Be(material, record.seq);
+  AppendU64Be(material, static_cast<uint64_t>(record.timestamp.nanos()));
+  AppendU64Be(material, static_cast<uint64_t>(record.client_time.nanos()));
+  keypad::Append(material, record.device_id);
+  material.push_back(static_cast<uint8_t>(record.op));
+  keypad::Append(material, record.audit_id.ToBytes());
+  keypad::Append(material, record.dir_id.ToBytes());
+  keypad::Append(material, record.parent_dir_id.ToBytes());
+  keypad::Append(material, record.name);
+  keypad::Append(material, record.attr);
+  return Sha256::HashBytes(material);
+}
+
+uint64_t MetadataLog::Append(SimTime timestamp, MetadataRecord record) {
+  record.seq = records_.size();
+  record.timestamp = timestamp;
+  if (record.client_time == SimTime()) {
+    record.client_time = timestamp;
+  }
+  record.prev_hash =
+      records_.empty() ? Bytes(32, 0) : records_.back().entry_hash;
+  record.entry_hash = HashRecord(record);
+  records_.push_back(std::move(record));
+  return records_.back().seq;
+}
+
+std::vector<MetadataRecord> MetadataLog::HistoryOf(
+    const std::string& device_id, const AuditId& audit_id) const {
+  std::vector<MetadataRecord> out;
+  for (const auto& record : records_) {
+    if (record.device_id == device_id && record.audit_id == audit_id &&
+        (record.op == MetadataOp::kCreateFile ||
+         record.op == MetadataOp::kRenameFile ||
+         record.op == MetadataOp::kSetAttr)) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+std::optional<MetadataRecord> MetadataLog::LatestBinding(
+    const std::string& device_id, const AuditId& audit_id,
+    SimTime as_of) const {
+  std::optional<MetadataRecord> latest;
+  for (const auto& record : records_) {
+    if (record.client_time > as_of) {
+      continue;
+    }
+    if (record.device_id == device_id && record.audit_id == audit_id &&
+        (record.op == MetadataOp::kCreateFile ||
+         record.op == MetadataOp::kRenameFile)) {
+      latest = record;
+    }
+  }
+  return latest;
+}
+
+std::optional<MetadataRecord> MetadataLog::LatestDirBinding(
+    const std::string& device_id, const DirId& dir_id, SimTime as_of) const {
+  std::optional<MetadataRecord> latest;
+  for (const auto& record : records_) {
+    if (record.client_time > as_of) {
+      continue;
+    }
+    if (record.device_id == device_id && record.dir_id == dir_id &&
+        (record.op == MetadataOp::kMkdir ||
+         record.op == MetadataOp::kRenameDir)) {
+      latest = record;
+    }
+  }
+  return latest;
+}
+
+Status MetadataLog::Verify() const {
+  Bytes prev(32, 0);
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const auto& record = records_[i];
+    if (record.seq != i) {
+      return DataLossError("metadata log: sequence gap at " +
+                           std::to_string(i));
+    }
+    if (record.prev_hash != prev) {
+      return DataLossError("metadata log: chain break at " +
+                           std::to_string(i));
+    }
+    if (record.entry_hash != HashRecord(record)) {
+      return DataLossError("metadata log: hash mismatch at " +
+                           std::to_string(i));
+    }
+    prev = record.entry_hash;
+  }
+  return Status::Ok();
+}
+
+void MetadataLog::CorruptRecordForTesting(size_t index) {
+  if (index < records_.size()) {
+    records_[index].name += "-tampered";
+  }
+}
+
+}  // namespace keypad

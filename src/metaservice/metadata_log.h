@@ -1,0 +1,82 @@
+// Append-only, hash-chained metadata log.
+//
+// The metadata service records every namespace event (file create, file
+// rename, mkdir, directory rename, attribute change) as an immutable
+// record. A rename appends a record — it never rewrites history — so "a
+// thief cannot overwrite the user's metadata with bogus information after
+// theft" (§3.1): post-theft records accumulate *after* the genuine ones and
+// are distinguishable by timestamp.
+
+#ifndef SRC_METASERVICE_METADATA_LOG_H_
+#define SRC_METASERVICE_METADATA_LOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/util/bytes.h"
+#include "src/util/ids.h"
+#include "src/util/result.h"
+
+namespace keypad {
+
+enum class MetadataOp {
+  kCreateFile = 0,
+  kRenameFile = 1,
+  kMkdir = 2,
+  kRenameDir = 3,
+  kSetAttr = 4,
+};
+
+std::string_view MetadataOpName(MetadataOp op);
+
+struct MetadataRecord {
+  uint64_t seq = 0;
+  SimTime timestamp;   // Service-side append time.
+  SimTime client_time; // Original client-side time for journal uploads.
+  std::string device_id;
+  MetadataOp op = MetadataOp::kCreateFile;
+  AuditId audit_id;      // File records; zero for directory records.
+  DirId dir_id;          // Containing dir (file ops) or the dir itself.
+  DirId parent_dir_id;   // Directory records only.
+  std::string name;      // New leaf name.
+  std::string attr;      // kSetAttr payload ("key=value").
+  Bytes prev_hash;
+  Bytes entry_hash;
+};
+
+class MetadataLog {
+ public:
+  uint64_t Append(SimTime timestamp, MetadataRecord record);
+
+  const std::vector<MetadataRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  // All records for one file's audit ID, oldest first.
+  std::vector<MetadataRecord> HistoryOf(const std::string& device_id,
+                                        const AuditId& audit_id) const;
+
+  // The latest (dir, name) binding for a file as of `as_of` (inclusive).
+  std::optional<MetadataRecord> LatestBinding(const std::string& device_id,
+                                              const AuditId& audit_id,
+                                              SimTime as_of) const;
+
+  // The latest (parent, name) binding for a directory as of `as_of`.
+  std::optional<MetadataRecord> LatestDirBinding(const std::string& device_id,
+                                                 const DirId& dir_id,
+                                                 SimTime as_of) const;
+
+  Status Verify() const;
+  void CorruptRecordForTesting(size_t index);
+
+ private:
+  static Bytes HashRecord(const MetadataRecord& record);
+
+  std::vector<MetadataRecord> records_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_METASERVICE_METADATA_LOG_H_

@@ -1,0 +1,374 @@
+#include "src/metaservice/metadata_service.h"
+
+#include "src/keyservice/auth.h"
+#include "src/util/strings.h"
+
+namespace keypad {
+
+std::string IbeIdentityFor(const DirId& dir_id, const std::string& name,
+                           const AuditId& audit_id) {
+  return dir_id.ToHex() + "/" + name + "|" + audit_id.ToHex();
+}
+
+MetadataService::MetadataService(EventQueue* queue, uint64_t rng_seed,
+                                 const PairingParams& group)
+    : queue_(queue), rng_(rng_seed), pkg_(group, rng_) {}
+
+Bytes MetadataService::RegisterDevice(const std::string& device_id) {
+  DeviceRecord record;
+  record.secret = rng_.NextBytes(32);
+  devices_[device_id] = record;
+  return record.secret;
+}
+
+Result<Bytes> MetadataService::DeviceSecret(
+    const std::string& device_id) const {
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return NotFoundError("metadata service: unknown device " + device_id);
+  }
+  return it->second.secret;
+}
+
+Status MetadataService::DisableDevice(const std::string& device_id) {
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return NotFoundError("metadata service: unknown device " + device_id);
+  }
+  it->second.disabled = true;
+  return Status::Ok();
+}
+
+Status MetadataService::EnableDevice(const std::string& device_id) {
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return NotFoundError("metadata service: unknown device " + device_id);
+  }
+  it->second.disabled = false;
+  return Status::Ok();
+}
+
+bool MetadataService::IsDeviceDisabled(const std::string& device_id) const {
+  auto it = devices_.find(device_id);
+  return it != devices_.end() && it->second.disabled;
+}
+
+Status MetadataService::CheckDevice(const std::string& device_id) const {
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return PermissionDeniedError("metadata service: unregistered device");
+  }
+  if (it->second.disabled) {
+    return PermissionDeniedError("metadata service: device disabled");
+  }
+  return Status::Ok();
+}
+
+Status MetadataService::UploadJournal(
+    const std::string& device_id, const std::vector<JournalRecord>& records) {
+  KP_RETURN_IF_ERROR(CheckDevice(device_id));
+  for (const auto& journal : records) {
+    MetadataRecord record;
+    record.device_id = device_id;
+    record.op = journal.op;
+    record.audit_id = journal.audit_id;
+    record.dir_id = journal.dir_id;
+    record.parent_dir_id = journal.parent_dir_id;
+    record.name = journal.name;
+    record.client_time = journal.client_time;
+    log_.Append(queue_->Now(), std::move(record));
+  }
+  return Status::Ok();
+}
+
+Status MetadataService::RegisterRoot(const std::string& device_id,
+                                     const DirId& root_id) {
+  KP_RETURN_IF_ERROR(CheckDevice(device_id));
+  roots_[device_id] = root_id;
+  MetadataRecord record;
+  record.device_id = device_id;
+  record.op = MetadataOp::kMkdir;
+  record.dir_id = root_id;
+  record.parent_dir_id = root_id;  // Root is its own parent.
+  record.name = "";
+  log_.Append(queue_->Now(), std::move(record));
+  return Status::Ok();
+}
+
+Result<Bytes> MetadataService::RegisterFileBinding(
+    const std::string& device_id, const AuditId& audit_id,
+    const DirId& dir_id, const std::string& name, bool is_rename) {
+  KP_RETURN_IF_ERROR(CheckDevice(device_id));
+  // Durably log *before* releasing the IBE unlock key: the key is the
+  // proof-of-registration the client (or a thief) needs.
+  MetadataRecord record;
+  record.device_id = device_id;
+  record.op = is_rename ? MetadataOp::kRenameFile : MetadataOp::kCreateFile;
+  record.audit_id = audit_id;
+  record.dir_id = dir_id;
+  record.name = name;
+  log_.Append(queue_->Now(), std::move(record));
+
+  IbePrivateKey key = pkg_.Extract(IbeIdentityFor(dir_id, name, audit_id));
+  return key.Serialize(*ibe_params().group);
+}
+
+Status MetadataService::RegisterMkdir(const std::string& device_id,
+                                      const DirId& dir_id,
+                                      const DirId& parent_id,
+                                      const std::string& name) {
+  KP_RETURN_IF_ERROR(CheckDevice(device_id));
+  MetadataRecord record;
+  record.device_id = device_id;
+  record.op = MetadataOp::kMkdir;
+  record.dir_id = dir_id;
+  record.parent_dir_id = parent_id;
+  record.name = name;
+  log_.Append(queue_->Now(), std::move(record));
+  return Status::Ok();
+}
+
+Status MetadataService::RegisterDirRename(const std::string& device_id,
+                                          const DirId& dir_id,
+                                          const DirId& new_parent_id,
+                                          const std::string& new_name) {
+  KP_RETURN_IF_ERROR(CheckDevice(device_id));
+  MetadataRecord record;
+  record.device_id = device_id;
+  record.op = MetadataOp::kRenameDir;
+  record.dir_id = dir_id;
+  record.parent_dir_id = new_parent_id;
+  record.name = new_name;
+  log_.Append(queue_->Now(), std::move(record));
+  return Status::Ok();
+}
+
+Status MetadataService::RegisterAttr(const std::string& device_id,
+                                     const AuditId& audit_id,
+                                     const std::string& attr) {
+  KP_RETURN_IF_ERROR(CheckDevice(device_id));
+  MetadataRecord record;
+  record.device_id = device_id;
+  record.op = MetadataOp::kSetAttr;
+  record.audit_id = audit_id;
+  record.attr = attr;
+  log_.Append(queue_->Now(), std::move(record));
+  return Status::Ok();
+}
+
+Result<std::string> MetadataService::ResolvePath(const std::string& device_id,
+                                                 const AuditId& audit_id,
+                                                 SimTime as_of) const {
+  auto binding = log_.LatestBinding(device_id, audit_id, as_of);
+  if (!binding.has_value()) {
+    return NotFoundError("metadata service: no binding for audit id");
+  }
+  auto root_it = roots_.find(device_id);
+  if (root_it == roots_.end()) {
+    return FailedPreconditionError("metadata service: no root registered");
+  }
+
+  std::vector<std::string> components;
+  components.push_back(binding->name);
+  DirId dir = binding->dir_id;
+  // Walk up the directory records; bail out defensively on cycles.
+  for (int depth = 0; depth < 256; ++depth) {
+    if (dir == root_it->second) {
+      std::string path = "/";
+      for (size_t i = components.size(); i > 0; --i) {
+        path += components[i - 1];
+        if (i > 1) {
+          path += "/";
+        }
+      }
+      return path;
+    }
+    auto dir_binding = log_.LatestDirBinding(device_id, dir, as_of);
+    if (!dir_binding.has_value()) {
+      return DataLossError("metadata service: dangling directory id");
+    }
+    components.push_back(dir_binding->name);
+    dir = dir_binding->parent_dir_id;
+  }
+  return DataLossError("metadata service: directory cycle");
+}
+
+void MetadataService::BindRpc(RpcServer* server) {
+  auto authed = [this](const std::string& method,
+                       auto fn) -> RpcServer::Handler {
+    return [this, method, fn](const WireValue::Array& params)
+               -> Result<WireValue> {
+      KP_ASSIGN_OR_RETURN(AuthedCall call, SplitAuthedCall(params));
+      auto it = devices_.find(call.device_id);
+      if (it == devices_.end()) {
+        return PermissionDeniedError("metadata service: unregistered device");
+      }
+      KP_RETURN_IF_ERROR(VerifyAuthTag(it->second.secret, method, call));
+      return fn(call.device_id, call.payload);
+    };
+  };
+
+  server->RegisterMethod(
+      "meta.register_root",
+      authed("meta.register_root",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 1) {
+                 return InvalidArgumentError("meta.register_root: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(Bytes id_bytes, payload[0].AsBytes());
+               KP_ASSIGN_OR_RETURN(DirId id, DirId::FromBytes(id_bytes));
+               KP_RETURN_IF_ERROR(RegisterRoot(device, id));
+               return WireValue(true);
+             }));
+
+  server->RegisterMethod(
+      "meta.bind_file",
+      authed("meta.bind_file",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 4) {
+                 return InvalidArgumentError("meta.bind_file: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(Bytes aid_bytes, payload[0].AsBytes());
+               KP_ASSIGN_OR_RETURN(AuditId aid, AuditId::FromBytes(aid_bytes));
+               KP_ASSIGN_OR_RETURN(Bytes did_bytes, payload[1].AsBytes());
+               KP_ASSIGN_OR_RETURN(DirId did, DirId::FromBytes(did_bytes));
+               KP_ASSIGN_OR_RETURN(std::string name, payload[2].AsString());
+               KP_ASSIGN_OR_RETURN(bool is_rename, payload[3].AsBool());
+               KP_ASSIGN_OR_RETURN(
+                   Bytes ibe_key,
+                   RegisterFileBinding(device, aid, did, name, is_rename));
+               return WireValue(std::move(ibe_key));
+             }));
+
+  server->RegisterMethod(
+      "meta.mkdir",
+      authed("meta.mkdir",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 3) {
+                 return InvalidArgumentError("meta.mkdir: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(Bytes did_bytes, payload[0].AsBytes());
+               KP_ASSIGN_OR_RETURN(DirId did, DirId::FromBytes(did_bytes));
+               KP_ASSIGN_OR_RETURN(Bytes pid_bytes, payload[1].AsBytes());
+               KP_ASSIGN_OR_RETURN(DirId pid, DirId::FromBytes(pid_bytes));
+               KP_ASSIGN_OR_RETURN(std::string name, payload[2].AsString());
+               KP_RETURN_IF_ERROR(RegisterMkdir(device, did, pid, name));
+               return WireValue(true);
+             }));
+
+  server->RegisterMethod(
+      "meta.rename_dir",
+      authed("meta.rename_dir",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 3) {
+                 return InvalidArgumentError("meta.rename_dir: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(Bytes did_bytes, payload[0].AsBytes());
+               KP_ASSIGN_OR_RETURN(DirId did, DirId::FromBytes(did_bytes));
+               KP_ASSIGN_OR_RETURN(Bytes pid_bytes, payload[1].AsBytes());
+               KP_ASSIGN_OR_RETURN(DirId pid, DirId::FromBytes(pid_bytes));
+               KP_ASSIGN_OR_RETURN(std::string name, payload[2].AsString());
+               KP_RETURN_IF_ERROR(RegisterDirRename(device, did, pid, name));
+               return WireValue(true);
+             }));
+
+  server->RegisterMethod(
+      "meta.set_attr",
+      authed("meta.set_attr",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 2) {
+                 return InvalidArgumentError("meta.set_attr: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(Bytes aid_bytes, payload[0].AsBytes());
+               KP_ASSIGN_OR_RETURN(AuditId aid, AuditId::FromBytes(aid_bytes));
+               KP_ASSIGN_OR_RETURN(std::string attr, payload[1].AsString());
+               KP_RETURN_IF_ERROR(RegisterAttr(device, aid, attr));
+               return WireValue(true);
+             }));
+
+  server->RegisterMethod(
+      "audit.resolve_path",
+      authed("audit.resolve_path",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 2) {
+                 return InvalidArgumentError("audit.resolve_path: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(Bytes aid_bytes, payload[0].AsBytes());
+               KP_ASSIGN_OR_RETURN(AuditId aid, AuditId::FromBytes(aid_bytes));
+               KP_ASSIGN_OR_RETURN(int64_t as_of_ns, payload[1].AsInt());
+               KP_ASSIGN_OR_RETURN(
+                   std::string path,
+                   ResolvePath(device, aid, SimTime(as_of_ns)));
+               return WireValue(std::move(path));
+             }));
+
+  server->RegisterMethod(
+      "audit.history",
+      authed("audit.history",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 1) {
+                 return InvalidArgumentError("audit.history: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(Bytes aid_bytes, payload[0].AsBytes());
+               KP_ASSIGN_OR_RETURN(AuditId aid, AuditId::FromBytes(aid_bytes));
+               KP_RETURN_IF_ERROR(log_.Verify());
+               WireValue::Array out;
+               for (const auto& record : log_.HistoryOf(device, aid)) {
+                 WireValue::Struct r;
+                 r.emplace("op", WireValue(static_cast<int64_t>(record.op)));
+                 r.emplace("name", WireValue(record.name));
+                 r.emplace("dir", WireValue(record.dir_id.ToBytes()));
+                 r.emplace("cts", WireValue(record.client_time.nanos()));
+                 out.push_back(WireValue(std::move(r)));
+               }
+               return WireValue(std::move(out));
+             }));
+
+  server->RegisterMethod(
+      "meta.upload_journal",
+      authed("meta.upload_journal",
+             [this](const std::string& device,
+                    const WireValue::Array& payload) -> Result<WireValue> {
+               if (payload.size() != 1) {
+                 return InvalidArgumentError(
+                     "meta.upload_journal: bad arity");
+               }
+               KP_ASSIGN_OR_RETURN(WireValue::Array raw, payload[0].AsArray());
+               std::vector<JournalRecord> records;
+               for (const auto& r : raw) {
+                 JournalRecord record;
+                 KP_ASSIGN_OR_RETURN(WireValue op_v, r.Field("op"));
+                 KP_ASSIGN_OR_RETURN(int64_t op_int, op_v.AsInt());
+                 record.op = static_cast<MetadataOp>(op_int);
+                 KP_ASSIGN_OR_RETURN(WireValue aid_v, r.Field("aid"));
+                 KP_ASSIGN_OR_RETURN(Bytes aid_bytes, aid_v.AsBytes());
+                 KP_ASSIGN_OR_RETURN(record.audit_id,
+                                     AuditId::FromBytes(aid_bytes));
+                 KP_ASSIGN_OR_RETURN(WireValue did_v, r.Field("did"));
+                 KP_ASSIGN_OR_RETURN(Bytes did_bytes, did_v.AsBytes());
+                 KP_ASSIGN_OR_RETURN(record.dir_id,
+                                     DirId::FromBytes(did_bytes));
+                 KP_ASSIGN_OR_RETURN(WireValue pid_v, r.Field("pid"));
+                 KP_ASSIGN_OR_RETURN(Bytes pid_bytes, pid_v.AsBytes());
+                 KP_ASSIGN_OR_RETURN(record.parent_dir_id,
+                                     DirId::FromBytes(pid_bytes));
+                 KP_ASSIGN_OR_RETURN(WireValue name_v, r.Field("name"));
+                 KP_ASSIGN_OR_RETURN(record.name, name_v.AsString());
+                 KP_ASSIGN_OR_RETURN(WireValue ts_v, r.Field("ts"));
+                 KP_ASSIGN_OR_RETURN(int64_t ts_int, ts_v.AsInt());
+                 record.client_time = SimTime(ts_int);
+                 records.push_back(std::move(record));
+               }
+               KP_RETURN_IF_ERROR(UploadJournal(device, records));
+               return WireValue(true);
+             }));
+}
+
+}  // namespace keypad

@@ -1,0 +1,120 @@
+// The metadata service (Figure 2) — the second, independently-operable
+// audit service. It keeps file metadata current so that post-theft audit
+// logs can be interpreted ("directoryID/filename" tuples, §4), and it acts
+// as the IBE private key generator (PKG) for the metadata-locking
+// optimization (§3.4): the private key that unlocks an IBE-locked file is
+// released only after the pathname binding has been durably logged, which
+// forces even a thief to register truthful metadata before reading.
+//
+// Privacy split: this service learns the namespace structure but never the
+// access patterns; the key service sees accesses to opaque IDs but no
+// names (§3.1).
+
+#ifndef SRC_METASERVICE_METADATA_SERVICE_H_
+#define SRC_METASERVICE_METADATA_SERVICE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ibe/bf_ibe.h"
+#include "src/metaservice/metadata_log.h"
+#include "src/rpc/rpc.h"
+#include "src/sim/event_queue.h"
+#include "src/util/ids.h"
+#include "src/util/result.h"
+
+namespace keypad {
+
+// The IBE public-key string for a file binding: "<dir-id>/<name>|<audit-id>".
+// Embedding the audit ID binds the path and ID together at the PKG (§4).
+std::string IbeIdentityFor(const DirId& dir_id, const std::string& name,
+                           const AuditId& audit_id);
+
+class MetadataService {
+ public:
+  // `group` selects the pairing parameter set (production or test-sized).
+  MetadataService(EventQueue* queue, uint64_t rng_seed,
+                  const PairingParams& group);
+
+  // --- Administrative API. -------------------------------------------------
+  Bytes RegisterDevice(const std::string& device_id);
+  Result<Bytes> DeviceSecret(const std::string& device_id) const;
+  // Remote data control at the PKG: a disabled device receives no IBE
+  // unlock keys, so IBE-locked files stay sealed even if the thief is
+  // willing to register truthful metadata.
+  Status DisableDevice(const std::string& device_id);
+  Status EnableDevice(const std::string& device_id);
+  bool IsDeviceDisabled(const std::string& device_id) const;
+
+  // IBE public parameters for client-side locking.
+  const IbePublicParams& ibe_params() const { return pkg_.public_params(); }
+
+  // --- Client API (also bound over RPC). -----------------------------------
+
+  // Registers the volume root directory (name "", its own parent).
+  Status RegisterRoot(const std::string& device_id, const DirId& root_id);
+  // Logs a file create/rename binding and returns the IBE private key for
+  // the new identity (the "unlock" key).
+  Result<Bytes> RegisterFileBinding(const std::string& device_id,
+                                    const AuditId& audit_id,
+                                    const DirId& dir_id,
+                                    const std::string& name, bool is_rename);
+  Status RegisterMkdir(const std::string& device_id, const DirId& dir_id,
+                       const DirId& parent_id, const std::string& name);
+  Status RegisterDirRename(const std::string& device_id, const DirId& dir_id,
+                           const DirId& new_parent_id,
+                           const std::string& new_name);
+  Status RegisterAttr(const std::string& device_id, const AuditId& audit_id,
+                      const std::string& attr);
+
+  // Paired-device journal upload: namespace events recorded on the phone
+  // while disconnected, appended with original client timestamps. No IBE
+  // keys are returned (the binding is already in the past).
+  struct JournalRecord {
+    MetadataOp op = MetadataOp::kCreateFile;
+    AuditId audit_id;
+    DirId dir_id;
+    DirId parent_dir_id;
+    std::string name;
+    SimTime client_time;
+  };
+  Status UploadJournal(const std::string& device_id,
+                       const std::vector<JournalRecord>& records);
+
+  // --- Audit API. -----------------------------------------------------------
+
+  const MetadataLog& log() const { return log_; }
+
+  // Reconstructs the full pathname of a file as of `as_of` by walking the
+  // directory records. kNotFound if the file has no binding by then.
+  Result<std::string> ResolvePath(const std::string& device_id,
+                                  const AuditId& audit_id,
+                                  SimTime as_of) const;
+
+  std::vector<MetadataRecord> HistoryOf(const std::string& device_id,
+                                        const AuditId& audit_id) const {
+    return log_.HistoryOf(device_id, audit_id);
+  }
+
+  void BindRpc(RpcServer* server);
+
+ private:
+  struct DeviceRecord {
+    Bytes secret;
+    bool disabled = false;
+  };
+
+  Status CheckDevice(const std::string& device_id) const;
+
+  EventQueue* queue_;
+  SecureRandom rng_;
+  IbePkg pkg_;
+  std::map<std::string, DeviceRecord> devices_;
+  std::map<std::string, DirId> roots_;  // device -> root dir id.
+  MetadataLog log_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_METASERVICE_METADATA_SERVICE_H_

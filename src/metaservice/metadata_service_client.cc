@@ -1,0 +1,152 @@
+#include "src/metaservice/metadata_service_client.h"
+
+#include "src/keyservice/auth.h"
+
+namespace keypad {
+
+Status MetadataServiceClient::RegisterRoot(const DirId& root_id) {
+  WireValue::Array payload;
+  payload.push_back(WireValue(root_id.ToBytes()));
+  auto result = rpc_->Call(
+      "meta.register_root",
+      FrameAuthedCall(device_id_, device_secret_, "meta.register_root",
+                      std::move(payload)));
+  return result.status();
+}
+
+namespace {
+WireValue::Array BindFilePayload(const AuditId& audit_id, const DirId& dir_id,
+                                 const std::string& name, bool is_rename) {
+  WireValue::Array payload;
+  payload.push_back(WireValue(audit_id.ToBytes()));
+  payload.push_back(WireValue(dir_id.ToBytes()));
+  payload.push_back(WireValue(name));
+  payload.push_back(WireValue(is_rename));
+  return payload;
+}
+}  // namespace
+
+Result<Bytes> MetadataServiceClient::BindFile(const AuditId& audit_id,
+                                              const DirId& dir_id,
+                                              const std::string& name,
+                                              bool is_rename) {
+  auto result = rpc_->Call(
+      "meta.bind_file",
+      FrameAuthedCall(device_id_, device_secret_, "meta.bind_file",
+                      BindFilePayload(audit_id, dir_id, name, is_rename)));
+  if (!result.ok()) {
+    return result.status();
+  }
+  return result->AsBytes();
+}
+
+void MetadataServiceClient::BindFileAsync(
+    const AuditId& audit_id, const DirId& dir_id, const std::string& name,
+    bool is_rename, std::function<void(Result<Bytes>)> done) {
+  rpc_->CallAsync(
+      "meta.bind_file",
+      FrameAuthedCall(device_id_, device_secret_, "meta.bind_file",
+                      BindFilePayload(audit_id, dir_id, name, is_rename)),
+      [done = std::move(done)](Result<WireValue> result) {
+        if (!result.ok()) {
+          done(result.status());
+          return;
+        }
+        done(result->AsBytes());
+      });
+}
+
+Status MetadataServiceClient::Mkdir(const DirId& dir_id,
+                                    const DirId& parent_id,
+                                    const std::string& name) {
+  WireValue::Array payload;
+  payload.push_back(WireValue(dir_id.ToBytes()));
+  payload.push_back(WireValue(parent_id.ToBytes()));
+  payload.push_back(WireValue(name));
+  auto result = rpc_->Call(
+      "meta.mkdir", FrameAuthedCall(device_id_, device_secret_, "meta.mkdir",
+                                    std::move(payload)));
+  return result.status();
+}
+
+Status MetadataServiceClient::RenameDir(const DirId& dir_id,
+                                        const DirId& new_parent_id,
+                                        const std::string& new_name) {
+  WireValue::Array payload;
+  payload.push_back(WireValue(dir_id.ToBytes()));
+  payload.push_back(WireValue(new_parent_id.ToBytes()));
+  payload.push_back(WireValue(new_name));
+  auto result = rpc_->Call(
+      "meta.rename_dir",
+      FrameAuthedCall(device_id_, device_secret_, "meta.rename_dir",
+                      std::move(payload)));
+  return result.status();
+}
+
+void MetadataServiceClient::MkdirAsync(const DirId& dir_id,
+                                       const DirId& parent_id,
+                                       const std::string& name,
+                                       std::function<void(Status)> done) {
+  WireValue::Array payload;
+  payload.push_back(WireValue(dir_id.ToBytes()));
+  payload.push_back(WireValue(parent_id.ToBytes()));
+  payload.push_back(WireValue(name));
+  rpc_->CallAsync("meta.mkdir",
+                  FrameAuthedCall(device_id_, device_secret_, "meta.mkdir",
+                                  std::move(payload)),
+                  [done = std::move(done)](Result<WireValue> result) {
+                    done(result.status());
+                  });
+}
+
+void MetadataServiceClient::RenameDirAsync(const DirId& dir_id,
+                                           const DirId& new_parent_id,
+                                           const std::string& new_name,
+                                           std::function<void(Status)> done) {
+  WireValue::Array payload;
+  payload.push_back(WireValue(dir_id.ToBytes()));
+  payload.push_back(WireValue(new_parent_id.ToBytes()));
+  payload.push_back(WireValue(new_name));
+  rpc_->CallAsync("meta.rename_dir",
+                  FrameAuthedCall(device_id_, device_secret_,
+                                  "meta.rename_dir", std::move(payload)),
+                  [done = std::move(done)](Result<WireValue> result) {
+                    done(result.status());
+                  });
+}
+
+Status MetadataServiceClient::UploadJournal(
+    const std::vector<JournalRecord>& records) {
+  WireValue::Array raw;
+  for (const auto& record : records) {
+    WireValue::Struct r;
+    r.emplace("op", WireValue(record.op));
+    r.emplace("aid", WireValue(record.audit_id.ToBytes()));
+    r.emplace("did", WireValue(record.dir_id.ToBytes()));
+    r.emplace("pid", WireValue(record.parent_dir_id.ToBytes()));
+    r.emplace("name", WireValue(record.name));
+    r.emplace("ts", WireValue(record.client_time.nanos()));
+    raw.push_back(WireValue(std::move(r)));
+  }
+  WireValue::Array payload;
+  payload.push_back(WireValue(std::move(raw)));
+  auto result = rpc_->Call(
+      "meta.upload_journal",
+      FrameAuthedCall(device_id_, device_secret_, "meta.upload_journal",
+                      std::move(payload)));
+  return result.status();
+}
+
+Status MetadataServiceClient::SetAttr(const AuditId& audit_id,
+                                      const std::string& attr) {
+  WireValue::Array payload;
+  payload.push_back(WireValue(audit_id.ToBytes()));
+  payload.push_back(WireValue(attr));
+  auto result = rpc_->Call(
+      "meta.set_attr",
+      FrameAuthedCall(device_id_, device_secret_, "meta.set_attr",
+                      std::move(payload)));
+  return result.status();
+}
+
+}  // namespace keypad

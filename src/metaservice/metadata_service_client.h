@@ -1,0 +1,69 @@
+// Client stub for the metadata service RPC protocol.
+
+#ifndef SRC_METASERVICE_METADATA_SERVICE_CLIENT_H_
+#define SRC_METASERVICE_METADATA_SERVICE_CLIENT_H_
+
+#include <functional>
+#include <string>
+
+#include "src/rpc/rpc.h"
+#include "src/util/ids.h"
+#include "src/util/result.h"
+
+namespace keypad {
+
+class MetadataServiceClient {
+ public:
+  MetadataServiceClient(RpcClient* rpc, std::string device_id,
+                        Bytes device_secret)
+      : rpc_(rpc),
+        device_id_(std::move(device_id)),
+        device_secret_(std::move(device_secret)) {}
+
+  Status RegisterRoot(const DirId& root_id);
+
+  // Registers a file binding; returns the serialized IBE private key for
+  // the new identity.
+  Result<Bytes> BindFile(const AuditId& audit_id, const DirId& dir_id,
+                         const std::string& name, bool is_rename);
+  // Async variant — the IBE path: ship the binding, keep working, unlock
+  // the file when the key arrives.
+  void BindFileAsync(const AuditId& audit_id, const DirId& dir_id,
+                     const std::string& name, bool is_rename,
+                     std::function<void(Result<Bytes>)> done);
+
+  Status Mkdir(const DirId& dir_id, const DirId& parent_id,
+               const std::string& name);
+  Status RenameDir(const DirId& dir_id, const DirId& new_parent_id,
+                   const std::string& new_name);
+  // Async variants for proxies that must not block their RPC handlers.
+  void MkdirAsync(const DirId& dir_id, const DirId& parent_id,
+                  const std::string& name, std::function<void(Status)> done);
+  void RenameDirAsync(const DirId& dir_id, const DirId& new_parent_id,
+                      const std::string& new_name,
+                      std::function<void(Status)> done);
+  Status SetAttr(const AuditId& audit_id, const std::string& attr);
+
+  // Paired-device journal upload.
+  struct JournalRecord {
+    int64_t op = 0;  // MetadataOp value.
+    AuditId audit_id;
+    DirId dir_id;
+    DirId parent_dir_id;
+    std::string name;
+    SimTime client_time;
+  };
+  Status UploadJournal(const std::vector<JournalRecord>& records);
+
+  const std::string& device_id() const { return device_id_; }
+  RpcClient* rpc() const { return rpc_; }
+
+ private:
+  RpcClient* rpc_;
+  std::string device_id_;
+  Bytes device_secret_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_METASERVICE_METADATA_SERVICE_CLIENT_H_

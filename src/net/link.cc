@@ -1,0 +1,26 @@
+#include "src/net/link.h"
+
+namespace keypad {
+
+bool NetworkLink::Send(size_t payload_bytes, std::function<void()> deliver) {
+  if (disconnected_) {
+    ++messages_dropped_;
+    return false;
+  }
+  if (drop_probability_ > 0 && drop_rng_.Bernoulli(drop_probability_)) {
+    ++messages_dropped_;
+    return false;
+  }
+  ++messages_sent_;
+  bytes_sent_ += payload_bytes;
+  queue_->ScheduleAfter(profile_.OneWay(), std::move(deliver));
+  return true;
+}
+
+void NetworkLink::ResetCounters() {
+  bytes_sent_ = 0;
+  messages_sent_ = 0;
+  messages_dropped_ = 0;
+}
+
+}  // namespace keypad

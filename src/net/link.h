@@ -1,0 +1,71 @@
+// Simulated network link: delivers byte payloads after the profile's
+// one-way latency on the shared event queue, with failure injection.
+//
+// A NetworkLink is directional-agnostic: both directions share the same
+// conditions object, like a real physical path. Failure modes:
+//  * disconnected: payloads are silently dropped (the caller's RPC timeout
+//    fires) — models a USB stick pulled out, airplane mode, a thief
+//    severing network traffic;
+//  * drop_probability: per-message random loss;
+//  * scheduled outages: tests and benches flip `set_disconnected` from
+//    events on the queue.
+//
+// The link also keeps byte/message counters, which the bandwidth bench
+// (§5: "average Keypad bandwidth was under 5 kb/s") reads.
+
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/net/profile.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+
+namespace keypad {
+
+class NetworkLink {
+ public:
+  NetworkLink(EventQueue* queue, NetworkProfile profile, uint64_t drop_seed = 0)
+      : queue_(queue), profile_(std::move(profile)), drop_rng_(drop_seed) {}
+
+  const NetworkProfile& profile() const { return profile_; }
+  void set_profile(NetworkProfile profile) { profile_ = std::move(profile); }
+
+  bool disconnected() const { return disconnected_; }
+  void set_disconnected(bool disconnected) { disconnected_ = disconnected; }
+
+  double drop_probability() const { return drop_probability_; }
+  void set_drop_probability(double p) { drop_probability_ = p; }
+
+  // Sends `payload_bytes` of data; calls `deliver` after one-way latency
+  // unless the link is down or the message is dropped. Returns true if the
+  // message was actually put on the wire (counters updated either way a
+  // send was attempted).
+  bool Send(size_t payload_bytes, std::function<void()> deliver);
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  void ResetCounters();
+
+  EventQueue* queue() const { return queue_; }
+
+ private:
+  EventQueue* queue_;
+  NetworkProfile profile_;
+  SimRandom drop_rng_;
+  bool disconnected_ = false;
+  double drop_probability_ = 0;
+
+  uint64_t bytes_sent_ = 0;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_NET_LINK_H_

@@ -1,0 +1,18 @@
+#include "src/net/profile.h"
+
+#include <sstream>
+
+namespace keypad {
+
+std::vector<NetworkProfile> AllEvaluationProfiles() {
+  return {LanProfile(), WlanProfile(), BroadbandProfile(), DslProfile(),
+          CellularProfile()};
+}
+
+NetworkProfile CustomRttProfile(SimDuration rtt) {
+  std::ostringstream name;
+  name << "RTT=" << rtt.millis_f() << "ms";
+  return {name.str(), rtt};
+}
+
+}  // namespace keypad

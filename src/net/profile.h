@@ -1,0 +1,54 @@
+// Network profiles used throughout the evaluation. RTTs match the paper's
+// emulated settings (§5): LAN 0.1 ms, WLAN 2 ms, broadband 25 ms, DSL
+// 125 ms, 3G cellular 300 ms; plus Bluetooth for the paired-device link
+// (§3.5: "similar to broadband" latency).
+//
+// Bandwidth is not modeled, matching the paper ("we did not emulate
+// different bandwidth constraints; Keypad's bandwidth requirements are very
+// low").
+
+#ifndef SRC_NET_PROFILE_H_
+#define SRC_NET_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace keypad {
+
+struct NetworkProfile {
+  std::string name;
+  SimDuration rtt;
+
+  SimDuration OneWay() const { return SimDuration(rtt.nanos() / 2); }
+};
+
+inline NetworkProfile LanProfile() {
+  return {"LAN", SimDuration::FromMillisF(0.1)};
+}
+inline NetworkProfile WlanProfile() {
+  return {"WLAN", SimDuration::Millis(2)};
+}
+inline NetworkProfile BroadbandProfile() {
+  return {"Broadband", SimDuration::Millis(25)};
+}
+inline NetworkProfile DslProfile() {
+  return {"DSL", SimDuration::Millis(125)};
+}
+inline NetworkProfile CellularProfile() {
+  return {"3G", SimDuration::Millis(300)};
+}
+inline NetworkProfile BluetoothProfile() {
+  return {"Bluetooth", SimDuration::Millis(20)};
+}
+
+// The five profiles of Table 1, in the paper's column order.
+std::vector<NetworkProfile> AllEvaluationProfiles();
+
+// Profile with an arbitrary RTT (for RTT-sweep figures 8 and 10).
+NetworkProfile CustomRttProfile(SimDuration rtt);
+
+}  // namespace keypad
+
+#endif  // SRC_NET_PROFILE_H_

@@ -1,0 +1,97 @@
+#include "src/net/secure_channel.h"
+
+#include "src/cryptocore/aes.h"
+#include "src/cryptocore/hmac.h"
+
+namespace keypad {
+
+namespace {
+constexpr size_t kNonceLen = 16;
+constexpr size_t kMacLen = 32;
+
+struct EpochKeys {
+  Bytes enc;
+  Bytes mac;
+};
+
+EpochKeys DeriveMessageKeys(const Bytes& epoch_key) {
+  Bytes okm = Hkdf(epoch_key, /*salt=*/{}, "kp-chan-msg", 64);
+  EpochKeys keys;
+  keys.enc.assign(okm.begin(), okm.begin() + 32);
+  keys.mac.assign(okm.begin() + 32, okm.end());
+  return keys;
+}
+}  // namespace
+
+SecureChannel::SecureChannel(Bytes root_key, SimDuration rotation_period)
+    : rotation_period_(rotation_period) {
+  current_key_ = Hkdf(root_key, /*salt=*/{}, "kp-chan-epoch0", 32);
+  SecureZero(root_key);
+}
+
+uint64_t SecureChannel::EpochOf(SimTime now) const {
+  return static_cast<uint64_t>(now.nanos() / rotation_period_.nanos());
+}
+
+void SecureChannel::AdvanceTo(uint64_t epoch) {
+  while (current_epoch_ < epoch) {
+    Bytes next = HmacSha256(current_key_, "kp-chan-ratchet");
+    SecureZero(previous_key_);
+    previous_key_ = std::move(current_key_);
+    current_key_ = std::move(next);
+    ++current_epoch_;
+  }
+}
+
+Bytes SecureChannel::Seal(SimTime now, const Bytes& plaintext,
+                          SecureRandom& rng) {
+  AdvanceTo(EpochOf(now));
+  EpochKeys keys = DeriveMessageKeys(current_key_);
+
+  Bytes out;
+  AppendU64Be(out, current_epoch_);
+  Bytes nonce = rng.NextBytes(kNonceLen);
+  Append(out, nonce);
+  auto aes = Aes256::Create(keys.enc);
+  Bytes ct = aes->CtrXor(nonce, 0, plaintext);
+  Append(out, ct);
+  Bytes mac = HmacSha256(keys.mac, out);
+  Append(out, mac);
+  return out;
+}
+
+Result<Bytes> SecureChannel::Open(SimTime now, const Bytes& sealed) {
+  if (sealed.size() < 8 + kNonceLen + kMacLen) {
+    return DataLossError("secure channel: message too short");
+  }
+  AdvanceTo(EpochOf(now));
+  uint64_t epoch = ReadU64Be(sealed.data());
+
+  const Bytes* key = nullptr;
+  if (epoch == current_epoch_) {
+    key = &current_key_;
+  } else if (epoch + 1 == current_epoch_ && !previous_key_.empty()) {
+    key = &previous_key_;
+  } else {
+    return PermissionDeniedError("secure channel: stale or future epoch");
+  }
+  EpochKeys keys = DeriveMessageKeys(*key);
+
+  size_t body_len = sealed.size() - kMacLen;
+  Bytes body(sealed.begin(), sealed.begin() + static_cast<long>(body_len));
+  Bytes mac(sealed.begin() + static_cast<long>(body_len), sealed.end());
+  if (!ConstantTimeEquals(HmacSha256(keys.mac, body), mac)) {
+    return DataLossError("secure channel: MAC mismatch");
+  }
+  Bytes nonce(body.begin() + 8, body.begin() + 8 + kNonceLen);
+  Bytes ct(body.begin() + 8 + kNonceLen, body.end());
+  auto aes = Aes256::Create(keys.enc);
+  return aes->CtrXor(nonce, 0, ct);
+}
+
+Bytes SecureChannel::CurrentEpochKeyForTesting(SimTime now) {
+  AdvanceTo(EpochOf(now));
+  return current_key_;
+}
+
+}  // namespace keypad

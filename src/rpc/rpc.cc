@@ -1,0 +1,271 @@
+#include "src/rpc/rpc.h"
+
+#include "src/wire/xmlrpc.h"
+
+namespace keypad {
+
+namespace {
+// Sealed-envelope framing: magic || u16 device-id length || device id ||
+// sealed payload. Anything not starting with the magic is plaintext.
+constexpr char kEnvelopeMagic[] = "KPS1";
+constexpr size_t kMagicLen = 4;
+
+std::string MakeEnvelope(const std::string& device_id, const Bytes& sealed) {
+  std::string out(kEnvelopeMagic, kMagicLen);
+  out.push_back(static_cast<char>(device_id.size() >> 8));
+  out.push_back(static_cast<char>(device_id.size() & 0xFF));
+  out += device_id;
+  out.append(sealed.begin(), sealed.end());
+  return out;
+}
+
+bool IsEnvelope(const std::string& message) {
+  return message.size() > kMagicLen + 2 &&
+         message.compare(0, kMagicLen, kEnvelopeMagic) == 0;
+}
+
+struct Envelope {
+  std::string device_id;
+  Bytes sealed;
+};
+
+Result<Envelope> ParseEnvelope(const std::string& message) {
+  if (!IsEnvelope(message)) {
+    return InvalidArgumentError("rpc: not a sealed envelope");
+  }
+  size_t id_len = (static_cast<uint8_t>(message[kMagicLen]) << 8) |
+                  static_cast<uint8_t>(message[kMagicLen + 1]);
+  if (message.size() < kMagicLen + 2 + id_len) {
+    return DataLossError("rpc: truncated envelope");
+  }
+  Envelope env;
+  env.device_id = message.substr(kMagicLen + 2, id_len);
+  env.sealed.assign(message.begin() + static_cast<long>(kMagicLen + 2 + id_len),
+                    message.end());
+  return env;
+}
+}  // namespace
+
+void RpcServer::RegisterMethod(const std::string& name, Handler handler) {
+  handlers_[name] = [handler = std::move(handler)](
+                        const WireValue::Array& params, Responder respond) {
+    respond(handler(params));
+  };
+}
+
+void RpcServer::RegisterAsyncMethod(const std::string& name,
+                                    AsyncHandler handler) {
+  handlers_[name] = std::move(handler);
+}
+
+void RpcServer::EnableChannelSecurity(ChannelLookup lookup,
+                                      SecureRandom* rng) {
+  channel_lookup_ = std::move(lookup);
+  channel_rng_ = rng;
+}
+
+void RpcServer::HandleRequestAsync(const std::string& request_raw,
+                                   std::function<void(std::string)> done) {
+  queue_->AdvanceBy(service_time_);
+  ++requests_handled_;
+
+  std::string request_xml = request_raw;
+  SecureChannel* channel = nullptr;
+  if (IsEnvelope(request_raw)) {
+    if (!channel_lookup_ || channel_rng_ == nullptr) {
+      done(EncodeXmlRpcFault(
+          PermissionDeniedError("rpc: sealed request, security not enabled")));
+      return;
+    }
+    auto envelope = ParseEnvelope(request_raw);
+    if (!envelope.ok()) {
+      done(EncodeXmlRpcFault(envelope.status()));
+      return;
+    }
+    channel = channel_lookup_(envelope->device_id);
+    if (channel == nullptr) {
+      done(EncodeXmlRpcFault(
+          PermissionDeniedError("rpc: no channel for device")));
+      return;
+    }
+    auto opened = channel->Open(queue_->Now(), envelope->sealed);
+    if (!opened.ok()) {
+      done(EncodeXmlRpcFault(opened.status()));
+      return;
+    }
+    request_xml = StringOf(*opened);
+    // Seal the response under the same channel before it leaves.
+    done = [this, channel, device_id = envelope->device_id,
+            inner = std::move(done)](std::string response) {
+      Bytes sealed =
+          channel->Seal(queue_->Now(), BytesOf(response), *channel_rng_);
+      inner(MakeEnvelope(device_id, sealed));
+    };
+  }
+
+  auto call = DecodeXmlRpcCall(request_xml);
+  if (!call.ok()) {
+    done(EncodeXmlRpcFault(call.status()));
+    return;
+  }
+  auto it = handlers_.find(call->method);
+  if (it == handlers_.end()) {
+    done(EncodeXmlRpcFault(NotFoundError("no such method: " + call->method)));
+    return;
+  }
+  it->second(call->params,
+             [done = std::move(done)](Result<WireValue> result) {
+               if (!result.ok()) {
+                 done(EncodeXmlRpcFault(result.status()));
+               } else {
+                 done(EncodeXmlRpcResponse(*result));
+               }
+             });
+}
+
+namespace {
+// Shared completion state between the response path and the timeout path.
+struct PendingCall {
+  bool done = false;
+  Result<WireValue> result = Status(StatusCode::kUnavailable, "pending");
+};
+}  // namespace
+
+void RpcClient::EnableChannelSecurity(SecureChannel* channel,
+                                      std::string device_id,
+                                      SecureRandom* rng) {
+  channel_ = channel;
+  channel_device_id_ = std::move(device_id);
+  channel_rng_ = rng;
+}
+
+std::string RpcClient::SealRequest(const std::string& request) {
+  if (channel_ == nullptr) {
+    return request;
+  }
+  Bytes sealed =
+      channel_->Seal(queue_->Now(), BytesOf(request), *channel_rng_);
+  return MakeEnvelope(channel_device_id_, sealed);
+}
+
+Result<std::string> RpcClient::OpenResponse(const std::string& response) {
+  if (channel_ == nullptr || !IsEnvelope(response)) {
+    return response;
+  }
+  auto envelope = ParseEnvelope(response);
+  if (!envelope.ok()) {
+    return envelope.status();
+  }
+  KP_ASSIGN_OR_RETURN(Bytes opened,
+                      channel_->Open(queue_->Now(), envelope->sealed));
+  return StringOf(opened);
+}
+
+Result<WireValue> RpcClient::Call(const std::string& method,
+                                  WireValue::Array params) {
+  ++calls_started_;
+  queue_->AdvanceBy(options_.client_overhead);
+
+  std::string request =
+      SealRequest(EncodeXmlRpcCall(XmlRpcCall{method, std::move(params)}));
+
+  auto pending = std::make_shared<PendingCall>();
+  RpcServer* server = server_;
+  NetworkLink* link = link_;
+  size_t request_size = request.size();
+  link_->Send(request_size, [this, pending, server, link,
+                             request = std::move(request)] {
+    server->HandleRequestAsync(request, [this, pending, link](
+                                            std::string response) {
+      size_t response_size = response.size();
+      link->Send(response_size, [this, pending,
+                                 response = std::move(response)] {
+        if (pending->done) {
+          return;  // Caller already gave up (timeout).
+        }
+        auto opened = OpenResponse(response);
+        if (!opened.ok()) {
+          pending->result = opened.status();
+          pending->done = true;
+          return;
+        }
+        auto decoded = DecodeXmlRpcResponse(*opened);
+        if (!decoded.ok()) {
+          pending->result = decoded.status();
+        } else if (!decoded->fault.ok()) {
+          pending->result = decoded->fault;
+        } else {
+          pending->result = decoded->value;
+        }
+        pending->done = true;
+      });
+    });
+  });
+
+  SimTime deadline = queue_->Now() + options_.timeout;
+  if (!queue_->RunUntilFlag(&pending->done, deadline)) {
+    pending->done = true;  // Suppress a late response.
+    ++calls_timed_out_;
+    return UnavailableError("rpc: timeout calling " + method);
+  }
+  return pending->result;
+}
+
+void RpcClient::CallAsync(const std::string& method, WireValue::Array params,
+                          std::function<void(Result<WireValue>)> done) {
+  ++calls_started_;
+  queue_->AdvanceBy(options_.client_overhead);
+
+  std::string request =
+      SealRequest(EncodeXmlRpcCall(XmlRpcCall{method, std::move(params)}));
+
+  auto pending = std::make_shared<PendingCall>();
+  auto finish = std::make_shared<std::function<void(Result<WireValue>)>>(
+      std::move(done));
+
+  RpcServer* server = server_;
+  NetworkLink* link = link_;
+  size_t request_size = request.size();
+  link_->Send(request_size, [this, pending, finish, server, link,
+                             request = std::move(request)] {
+    server->HandleRequestAsync(request, [this, pending, finish, link](
+                                            std::string response) {
+      size_t response_size = response.size();
+      link->Send(response_size, [this, pending, finish,
+                                 response = std::move(response)] {
+        if (pending->done) {
+          return;
+        }
+        pending->done = true;
+        auto opened = OpenResponse(response);
+        if (!opened.ok()) {
+          (*finish)(opened.status());
+          return;
+        }
+        auto decoded = DecodeXmlRpcResponse(*opened);
+        if (!decoded.ok()) {
+          (*finish)(decoded.status());
+        } else if (!decoded->fault.ok()) {
+          (*finish)(decoded->fault);
+        } else {
+          (*finish)(decoded->value);
+        }
+      });
+    });
+  });
+
+  // Timeout event; fires only if the response hasn't landed.
+  uint64_t* timed_out_counter = &calls_timed_out_;
+  std::string method_copy = method;
+  queue_->ScheduleAfter(options_.timeout, [pending, finish, timed_out_counter,
+                                           method_copy] {
+    if (pending->done) {
+      return;
+    }
+    pending->done = true;
+    ++*timed_out_counter;
+    (*finish)(UnavailableError("rpc: timeout calling " + method_copy));
+  });
+}
+
+}  // namespace keypad

@@ -1,0 +1,134 @@
+// RPC over the simulated network: XML-RPC marshalling (for real — every call
+// is encoded, shipped as bytes, and decoded), with virtual-blocking and
+// asynchronous call styles.
+//
+// A "virtually blocking" Call() models a client thread waiting on a
+// response: it pumps the shared event queue until the reply lands or the
+// timeout deadline passes, so background activity (key expirations, metadata
+// unlock threads, other in-flight RPCs) interleaves exactly as in a real
+// multithreaded client. CallAsync() is used for the IBE metadata-update path
+// where the paper explicitly overlaps the RPC with foreground work.
+//
+// Cost model: the client charges `client_overhead` of CPU per call
+// (XML-RPC marshal/unmarshal — the dominant Keypad cost on a LAN per
+// Fig. 6a) and the server charges `service_time` per request (logging the
+// access durably + lookup).
+
+#ifndef SRC_RPC_RPC_H_
+#define SRC_RPC_RPC_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/cryptocore/secure_random.h"
+#include "src/net/link.h"
+#include "src/net/secure_channel.h"
+#include "src/sim/event_queue.h"
+#include "src/util/result.h"
+#include "src/wire/value.h"
+
+namespace keypad {
+
+class RpcServer {
+ public:
+  using Handler = std::function<Result<WireValue>(const WireValue::Array&)>;
+  // Asynchronous handler: must eventually call `respond` exactly once.
+  // Used by servers that themselves wait on other services (the paired
+  // phone forwarding upstream) — a synchronous handler there would stall
+  // the simulated timeline for everyone behind it.
+  using Responder = std::function<void(Result<WireValue>)>;
+  using AsyncHandler =
+      std::function<void(const WireValue::Array&, Responder)>;
+
+  // `service_time` is charged (virtually) for every handled request.
+  RpcServer(EventQueue* queue, SimDuration service_time)
+      : queue_(queue), service_time_(service_time) {}
+
+  void RegisterMethod(const std::string& name, Handler handler);
+  void RegisterAsyncMethod(const std::string& name, AsyncHandler handler);
+
+  // Transport encryption (paper §6): when enabled, requests arriving as
+  // sealed envelopes are opened with the sending device's channel and the
+  // response is sealed back. Plaintext requests are still accepted (a
+  // deployment migrates devices one at a time). `lookup` returns the
+  // per-device channel (ratcheting session keys), or nullptr for unknown
+  // devices.
+  using ChannelLookup = std::function<SecureChannel*(const std::string&)>;
+  void EnableChannelSecurity(ChannelLookup lookup, SecureRandom* rng);
+
+  // Decodes, dispatches, and (possibly later) encodes a response or fault.
+  // Charges service_time. Called by RpcClient through the link.
+  void HandleRequestAsync(const std::string& request_xml,
+                          std::function<void(std::string)> done);
+
+  uint64_t requests_handled() const { return requests_handled_; }
+
+ private:
+  EventQueue* queue_;
+  SimDuration service_time_;
+  std::map<std::string, AsyncHandler> handlers_;
+  ChannelLookup channel_lookup_;
+  SecureRandom* channel_rng_ = nullptr;
+  uint64_t requests_handled_ = 0;
+};
+
+struct RpcOptions {
+  // CPU charged on the client per call (marshal + unmarshal).
+  SimDuration client_overhead = SimDuration::Micros(350);
+  // How long a blocking Call waits before declaring the service
+  // unreachable.
+  SimDuration timeout = SimDuration::Seconds(5);
+};
+
+class RpcClient {
+ public:
+  RpcClient(EventQueue* queue, NetworkLink* link, RpcServer* server,
+            RpcOptions options = {})
+      : queue_(queue), link_(link), server_(server), options_(options) {}
+
+  // Virtually-blocking call. Returns the server's value, the server's
+  // fault, or kUnavailable on timeout (link down / message dropped).
+  Result<WireValue> Call(const std::string& method,
+                         WireValue::Array params);
+
+  // Asynchronous call; `done` fires exactly once — with the response, a
+  // fault, or kUnavailable at the timeout deadline.
+  void CallAsync(const std::string& method, WireValue::Array params,
+                 std::function<void(Result<WireValue>)> done);
+
+  // Re-point the client at a different link (e.g. paired-device failover).
+  void set_link(NetworkLink* link) { link_ = link; }
+  NetworkLink* link() const { return link_; }
+
+  // Enables transport encryption: requests are sealed under the device's
+  // ratcheting channel keys; responses are opened with the same channel.
+  void EnableChannelSecurity(SecureChannel* channel, std::string device_id,
+                             SecureRandom* rng);
+
+  RpcOptions& options() { return options_; }
+
+  uint64_t calls_started() const { return calls_started_; }
+  uint64_t calls_timed_out() const { return calls_timed_out_; }
+
+ private:
+  // Seals an outgoing request when channel security is on (identity
+  // transform otherwise); SplitResponse reverses it.
+  std::string SealRequest(const std::string& request);
+  Result<std::string> OpenResponse(const std::string& response);
+
+  EventQueue* queue_;
+  NetworkLink* link_;
+  RpcServer* server_;
+  RpcOptions options_;
+  SecureChannel* channel_ = nullptr;
+  std::string channel_device_id_;
+  SecureRandom* channel_rng_ = nullptr;
+  uint64_t calls_started_ = 0;
+  uint64_t calls_timed_out_ = 0;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_RPC_RPC_H_

@@ -1,0 +1,83 @@
+#include "src/sim/event_queue.h"
+
+namespace keypad {
+
+EventQueue::EventId EventQueue::Schedule(SimTime at, std::function<void()> fn) {
+  if (at < now_) {
+    at = now_;
+  }
+  uint64_t seq = next_seq_++;
+  Key key(at, seq);
+  events_.emplace(key, std::move(fn));
+  index_.emplace(seq, key);
+  return seq;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  events_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+bool EventQueue::IsPending(EventId id) const {
+  return index_.find(id) != index_.end();
+}
+
+void EventQueue::AdvanceBy(SimDuration d) { RunUntil(now_ + d); }
+
+void EventQueue::RunUntil(SimTime t) {
+  while (!events_.empty()) {
+    auto it = events_.begin();
+    if (it->first.first > t) {
+      break;
+    }
+    now_ = it->first.first;
+    auto fn = std::move(it->second);
+    index_.erase(it->first.second);
+    events_.erase(it);
+    fn();
+  }
+  if (t > now_) {
+    now_ = t;
+  }
+}
+
+void EventQueue::RunUntilIdle() {
+  while (!events_.empty()) {
+    auto it = events_.begin();
+    now_ = it->first.first;
+    auto fn = std::move(it->second);
+    index_.erase(it->first.second);
+    events_.erase(it);
+    fn();
+  }
+}
+
+bool EventQueue::RunUntilFlag(const bool* flag, SimTime deadline) {
+  while (!*flag) {
+    if (events_.empty()) {
+      // Nothing can ever set the flag; treat as timeout at the deadline.
+      if (deadline != SimTime::Max() && deadline > now_) {
+        now_ = deadline;
+      }
+      return false;
+    }
+    auto it = events_.begin();
+    if (it->first.first > deadline) {
+      now_ = deadline;
+      return false;
+    }
+    now_ = it->first.first;
+    auto fn = std::move(it->second);
+    index_.erase(it->first.second);
+    events_.erase(it);
+    fn();
+  }
+  return true;
+}
+
+}  // namespace keypad

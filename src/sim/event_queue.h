@@ -1,0 +1,83 @@
+// Discrete-event simulation core: a virtual clock plus a time-ordered queue
+// of callbacks.
+//
+// The Keypad client, the audit services, the network links, and the key-cache
+// expiry logic all share one EventQueue. Two styles of use coexist:
+//
+//  * Event-driven: Schedule(t, fn) runs fn when virtual time reaches t
+//    (key expirations, in-flight RPC deliveries, background unlock threads).
+//  * Virtually-blocking: code that models a thread performing a synchronous
+//    operation calls AdvanceBy() to charge CPU time and RunUntilFlag() to
+//    "block" on a response. Both pump due events, so background activity
+//    interleaves exactly as it would in a real multithreaded system, but
+//    deterministically.
+//
+// Nested pumping is allowed (an event handler may itself block on an RPC);
+// every event fires exactly once, in time order, whichever loop pumps it.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "src/sim/time.h"
+
+namespace keypad {
+
+class EventQueue {
+ public:
+  using EventId = uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (clamped to Now()).
+  EventId Schedule(SimTime at, std::function<void()> fn);
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+    return Schedule(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  bool Cancel(EventId id);
+
+  // True if `id` is still pending.
+  bool IsPending(EventId id) const;
+
+  // Advances the clock by `d`, running every event due in (now, now+d] in
+  // time order. Models a thread spending `d` of CPU/think time.
+  void AdvanceBy(SimDuration d);
+
+  // Runs events until `t`, then sets the clock to `t`.
+  void RunUntil(SimTime t);
+
+  // Runs all pending events (including ones they schedule), jumping the clock
+  // forward. Stops when the queue is empty.
+  void RunUntilIdle();
+
+  // Pumps events in time order until *flag becomes true or `deadline` passes.
+  // Returns true if the flag was set. On timeout the clock is left at
+  // `deadline`. Models a thread blocking on a condition with a timeout.
+  bool RunUntilFlag(const bool* flag, SimTime deadline = SimTime::Max());
+
+  size_t pending_count() const { return events_.size(); }
+
+ private:
+  // Key orders by (time, insertion sequence) for deterministic FIFO ties.
+  using Key = std::pair<SimTime, uint64_t>;
+
+  SimTime now_ = SimTime::Epoch();
+  uint64_t next_seq_ = 1;
+  std::map<Key, std::function<void()>> events_;
+  std::map<EventId, Key> index_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,118 @@
+// Virtual time types for the discrete-event simulation.
+//
+// SimTime is an absolute instant, SimDuration a span; both are nanosecond
+// int64 wrappers. The whole Keypad evaluation runs on this virtual timeline:
+// network links charge RTTs, the cost model charges CPU time, and the key
+// cache expires keys — all in virtual nanoseconds, so experiments are
+// deterministic and run in milliseconds of wall-clock time.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <ostream>
+
+namespace keypad {
+
+class SimDuration {
+ public:
+  constexpr SimDuration() : ns_(0) {}
+  constexpr explicit SimDuration(int64_t ns) : ns_(ns) {}
+
+  static constexpr SimDuration Nanos(int64_t n) { return SimDuration(n); }
+  static constexpr SimDuration Micros(int64_t n) {
+    return SimDuration(n * 1000);
+  }
+  static constexpr SimDuration Millis(int64_t n) {
+    return SimDuration(n * 1000000);
+  }
+  static constexpr SimDuration Seconds(int64_t n) {
+    return SimDuration(n * 1000000000);
+  }
+  static constexpr SimDuration Minutes(int64_t n) {
+    return Seconds(n * 60);
+  }
+  static constexpr SimDuration Hours(int64_t n) { return Minutes(n * 60); }
+  static constexpr SimDuration Days(int64_t n) { return Hours(n * 24); }
+  // Fractional-second constructor, e.g. FromSecondsF(0.0001) = 100 us.
+  static constexpr SimDuration FromSecondsF(double s) {
+    return SimDuration(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr SimDuration FromMillisF(double ms) {
+    return SimDuration(static_cast<int64_t>(ms * 1e6));
+  }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr int64_t micros() const { return ns_ / 1000; }
+  constexpr int64_t millis() const { return ns_ / 1000000; }
+  constexpr int64_t seconds() const { return ns_ / 1000000000; }
+  constexpr double seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double millis_f() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr SimDuration operator+(SimDuration o) const {
+    return SimDuration(ns_ + o.ns_);
+  }
+  constexpr SimDuration operator-(SimDuration o) const {
+    return SimDuration(ns_ - o.ns_);
+  }
+  constexpr SimDuration operator*(int64_t k) const {
+    return SimDuration(ns_ * k);
+  }
+  constexpr SimDuration operator/(int64_t k) const {
+    return SimDuration(ns_ / k);
+  }
+  SimDuration& operator+=(SimDuration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  SimDuration& operator-=(SimDuration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+ private:
+  int64_t ns_;
+};
+
+class SimTime {
+ public:
+  constexpr SimTime() : ns_(0) {}
+  constexpr explicit SimTime(int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime Epoch() { return SimTime(0); }
+  // A sentinel later than any meaningful simulated instant.
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr SimTime operator+(SimDuration d) const {
+    return SimTime(ns_ + d.nanos());
+  }
+  constexpr SimTime operator-(SimDuration d) const {
+    return SimTime(ns_ - d.nanos());
+  }
+  constexpr SimDuration operator-(SimTime o) const {
+    return SimDuration(ns_ - o.ns_);
+  }
+  SimTime& operator+=(SimDuration d) {
+    ns_ += d.nanos();
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  int64_t ns_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, SimDuration d) {
+  return os << d.seconds_f() << "s";
+}
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << "@" << t.seconds_f() << "s";
+}
+
+}  // namespace keypad
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,45 @@
+// Byte-buffer helpers shared across the codebase.
+
+#ifndef SRC_UTIL_BYTES_H_
+#define SRC_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace keypad {
+
+using Bytes = std::vector<uint8_t>;
+
+// Lowercase hex encoding of `data`.
+std::string ToHex(const Bytes& data);
+std::string ToHex(const uint8_t* data, size_t len);
+
+// Parses lowercase/uppercase hex. Fails on odd length or non-hex characters.
+Result<Bytes> FromHex(std::string_view hex);
+
+// Byte-wise conversions between strings and Bytes (no encoding applied).
+Bytes BytesOf(std::string_view s);
+std::string StringOf(const Bytes& b);
+
+// Appends `src` to `dst`.
+void Append(Bytes& dst, const Bytes& src);
+void Append(Bytes& dst, std::string_view src);
+
+// Fixed-width big-endian integer append/read used by wire formats and hashes.
+void AppendU32Be(Bytes& dst, uint32_t v);
+void AppendU64Be(Bytes& dst, uint64_t v);
+uint32_t ReadU32Be(const uint8_t* p);
+uint64_t ReadU64Be(const uint8_t* p);
+
+// Overwrites the buffer with zeros. Used for secure erase of key material;
+// routed through a volatile pointer so the compiler cannot elide it.
+void SecureZero(Bytes& data);
+void SecureZero(uint8_t* data, size_t len);
+
+}  // namespace keypad
+
+#endif  // SRC_UTIL_BYTES_H_

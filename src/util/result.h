@@ -1,0 +1,73 @@
+// Result<T>: the value-or-Status return type used by all fallible functions
+// that produce a value. Modeled after absl::StatusOr.
+
+#ifndef SRC_UTIL_RESULT_H_
+#define SRC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace keypad {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit conversions mirror absl::StatusOr so call sites can simply
+  // `return value;` or `return SomeError(...);`.
+  Result(const T& value) : value_(value) {}                     // NOLINT
+  Result(T&& value) : value_(std::move(value)) {}               // NOLINT
+  Result(Status status) : status_(std::move(status)) {          // NOLINT
+    assert(!status_.ok() && "OK Status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Value accessors. Calling these on a non-OK Result is a programming error.
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Returns the value or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Evaluates `rexpr` (a Result<T>), propagating its Status on error and
+// otherwise assigning the value to `lhs` (which may be a declaration).
+#define KP_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  KP_ASSIGN_OR_RETURN_IMPL_(                            \
+      KP_RESULT_CONCAT_(kp_result_, __LINE__), lhs, rexpr)
+
+#define KP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define KP_RESULT_CONCAT_INNER_(a, b) a##b
+#define KP_RESULT_CONCAT_(a, b) KP_RESULT_CONCAT_INNER_(a, b)
+
+}  // namespace keypad
+
+#endif  // SRC_UTIL_RESULT_H_

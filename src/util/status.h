@@ -1,0 +1,85 @@
+// Status: lightweight error type used across the Keypad codebase.
+//
+// The library does not use exceptions. Fallible operations return Status (or
+// Result<T>, see result.h). Status carries a coarse machine-readable code and
+// a human-readable message. StatusCode values intentionally mirror the small
+// set of failure classes that matter to the Keypad system: network failures
+// (unavailable), revoked/denied keys (permission_denied), missing files
+// (not_found), and so on.
+
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace keypad {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,   // Revoked device/key, bad credentials.
+  kUnavailable,        // Network down, service unreachable, timeout.
+  kFailedPrecondition, // Operation not valid in the current state.
+  kDataLoss,           // Corrupt header, MAC failure, broken log chain.
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of a status code ("NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such file".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors, e.g. NotFoundError("no such file").
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status UnavailableError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status DataLossError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// Propagates a non-OK Status to the caller.
+#define KP_RETURN_IF_ERROR(expr)             \
+  do {                                       \
+    ::keypad::Status kp_status_ = (expr);    \
+    if (!kp_status_.ok()) return kp_status_; \
+  } while (0)
+
+}  // namespace keypad
+
+#endif  // SRC_UTIL_STATUS_H_

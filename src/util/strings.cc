@@ -1,0 +1,115 @@
+#include "src/util/strings.h"
+
+namespace keypad {
+
+std::vector<std::string> StrSplit(std::string_view text, char delim) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      return pieces;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string PathJoin(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (out.empty() || out.back() != '/') {
+    out += '/';
+  }
+  out += name;
+  return out;
+}
+
+std::string PathDirname(std::string_view path) {
+  size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos || path == "/") {
+    return "/";
+  }
+  if (pos == 0) {
+    return "/";
+  }
+  return std::string(path.substr(0, pos));
+}
+
+std::string PathBasename(std::string_view path) {
+  if (path == "/") {
+    return "";
+  }
+  size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos) {
+    return std::string(path);
+  }
+  return std::string(path.substr(pos + 1));
+}
+
+std::vector<std::string> PathComponents(std::string_view path) {
+  std::vector<std::string> out;
+  if (path.empty() || path == "/") {
+    return out;
+  }
+  if (path.front() == '/') {
+    path.remove_prefix(1);
+  }
+  for (auto& piece : StrSplit(path, '/')) {
+    out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+bool IsValidPath(std::string_view path) {
+  if (path == "/") {
+    return true;
+  }
+  if (path.empty() || path.front() != '/' || path.back() == '/') {
+    return false;
+  }
+  for (const auto& c : PathComponents(path)) {
+    if (c.empty() || c == "." || c == "..") {
+      return false;
+    }
+    if (c.find('/') != std::string::npos) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PathIsWithin(std::string_view path, std::string_view ancestor) {
+  if (path == ancestor) {
+    return true;
+  }
+  if (ancestor == "/") {
+    return StartsWith(path, "/");
+  }
+  return StartsWith(path, ancestor) && path.size() > ancestor.size() &&
+         path[ancestor.size()] == '/';
+}
+
+}  // namespace keypad

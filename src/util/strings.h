@@ -1,0 +1,43 @@
+// String and path helpers. Paths in Keypad are Unix-style, always absolute
+// within a volume ("/dir/file"), with "/" as the volume root.
+
+#ifndef SRC_UTIL_STRINGS_H_
+#define SRC_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace keypad {
+
+// Splits on a single-character delimiter. Adjacent delimiters yield empty
+// pieces; "a,,b" -> {"a", "", "b"}.
+std::vector<std::string> StrSplit(std::string_view text, char delim);
+
+// Joins pieces with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Path helpers. All operate on normalized absolute paths.
+//   PathJoin("/a", "b")   == "/a/b"
+//   PathDirname("/a/b")   == "/a"      PathDirname("/a") == "/"
+//   PathBasename("/a/b")  == "b"       PathBasename("/") == ""
+//   PathComponents("/a/b") == {"a", "b"}
+std::string PathJoin(std::string_view dir, std::string_view name);
+std::string PathDirname(std::string_view path);
+std::string PathBasename(std::string_view path);
+std::vector<std::string> PathComponents(std::string_view path);
+
+// True if `path` is "/" or is a syntactically valid absolute path: starts
+// with '/', no empty, "." or ".." components, no trailing slash.
+bool IsValidPath(std::string_view path);
+
+// True if `path` equals `ancestor` or lies beneath it.
+bool PathIsWithin(std::string_view path, std::string_view ancestor);
+
+}  // namespace keypad
+
+#endif  // SRC_UTIL_STRINGS_H_

@@ -1,0 +1,90 @@
+#include "src/wire/base64.h"
+
+namespace keypad {
+
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int DecodeChar(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+}  // namespace
+
+std::string Base64Encode(const Bytes& data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t v = (static_cast<uint32_t>(data[i]) << 16) |
+                 (static_cast<uint32_t>(data[i + 1]) << 8) | data[i + 2];
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+    i += 3;
+  }
+  size_t rem = data.size() - i;
+  if (rem == 1) {
+    uint32_t v = static_cast<uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    uint32_t v = (static_cast<uint32_t>(data[i]) << 16) |
+                 (static_cast<uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<Bytes> Base64Decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    return InvalidArgumentError("base64: length not a multiple of 4");
+  }
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  for (size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    uint32_t v = 0;
+    for (int j = 0; j < 4; ++j) {
+      char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last two positions of the last group.
+        if (i + 4 != text.size() || j < 2) {
+          return InvalidArgumentError("base64: misplaced padding");
+        }
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) {
+        return InvalidArgumentError("base64: data after padding");
+      }
+      int d = DecodeChar(c);
+      if (d < 0) {
+        return InvalidArgumentError("base64: invalid character");
+      }
+      v = (v << 6) | static_cast<uint32_t>(d);
+    }
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    if (pad < 2) {
+      out.push_back(static_cast<uint8_t>(v >> 8));
+    }
+    if (pad < 1) {
+      out.push_back(static_cast<uint8_t>(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace keypad

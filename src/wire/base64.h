@@ -1,0 +1,19 @@
+// Base64 (RFC 4648) encode/decode, used by the XML-RPC <base64> element.
+
+#ifndef SRC_WIRE_BASE64_H_
+#define SRC_WIRE_BASE64_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace keypad {
+
+std::string Base64Encode(const Bytes& data);
+Result<Bytes> Base64Decode(std::string_view text);
+
+}  // namespace keypad
+
+#endif  // SRC_WIRE_BASE64_H_

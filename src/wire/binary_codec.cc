@@ -1,0 +1,192 @@
+#include "src/wire/binary_codec.h"
+
+#include <cstring>
+
+namespace keypad {
+
+namespace {
+
+enum Tag : uint8_t {
+  kInt = 0,
+  kBool = 1,
+  kDouble = 2,
+  kString = 3,
+  kBytes = 4,
+  kArray = 5,
+  kStruct = 6,
+};
+
+void PutVarint(Bytes& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void EncodeInto(Bytes& out, const WireValue& value) {
+  if (value.is_int()) {
+    out.push_back(kInt);
+    PutVarint(out, ZigZag(*value.AsInt()));
+  } else if (value.is_bool()) {
+    out.push_back(kBool);
+    out.push_back(*value.AsBool() ? 1 : 0);
+  } else if (value.is_double()) {
+    out.push_back(kDouble);
+    double d = *value.AsDouble();
+    uint64_t bits;
+    std::memcpy(&bits, &d, 8);
+    AppendU64Be(out, bits);
+  } else if (value.is_string()) {
+    out.push_back(kString);
+    std::string s = *value.AsString();
+    PutVarint(out, s.size());
+    Append(out, s);
+  } else if (value.is_bytes()) {
+    out.push_back(kBytes);
+    Bytes b = *value.AsBytes();
+    PutVarint(out, b.size());
+    Append(out, b);
+  } else if (value.is_array()) {
+    out.push_back(kArray);
+    const auto& items = std::get<WireValue::Array>(value.raw());
+    PutVarint(out, items.size());
+    for (const auto& item : items) {
+      EncodeInto(out, item);
+    }
+  } else {
+    out.push_back(kStruct);
+    const auto& members = std::get<WireValue::Struct>(value.raw());
+    PutVarint(out, members.size());
+    for (const auto& [name, member] : members) {
+      PutVarint(out, name.size());
+      Append(out, name);
+      EncodeInto(out, member);
+    }
+  }
+}
+
+class Cursor {
+ public:
+  explicit Cursor(const Bytes& data) : data_(data) {}
+
+  Result<uint8_t> NextByte() {
+    if (pos_ >= data_.size()) {
+      return DataLossError("binary codec: truncated");
+    }
+    return data_[pos_++];
+  }
+
+  Result<uint64_t> NextVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      KP_ASSIGN_OR_RETURN(uint8_t b, NextByte());
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        return v;
+      }
+      shift += 7;
+      if (shift > 63) {
+        return DataLossError("binary codec: varint overflow");
+      }
+    }
+  }
+
+  Result<Bytes> NextBytes(size_t n) {
+    if (pos_ + n > data_.size()) {
+      return DataLossError("binary codec: truncated blob");
+    }
+    Bytes out(data_.begin() + static_cast<long>(pos_),
+              data_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  Result<WireValue> NextValue() {
+    KP_ASSIGN_OR_RETURN(uint8_t tag, NextByte());
+    switch (tag) {
+      case kInt: {
+        KP_ASSIGN_OR_RETURN(uint64_t v, NextVarint());
+        return WireValue(UnZigZag(v));
+      }
+      case kBool: {
+        KP_ASSIGN_OR_RETURN(uint8_t v, NextByte());
+        return WireValue(v != 0);
+      }
+      case kDouble: {
+        KP_ASSIGN_OR_RETURN(Bytes raw, NextBytes(8));
+        uint64_t bits = ReadU64Be(raw.data());
+        double d;
+        std::memcpy(&d, &bits, 8);
+        return WireValue(d);
+      }
+      case kString: {
+        KP_ASSIGN_OR_RETURN(uint64_t len, NextVarint());
+        KP_ASSIGN_OR_RETURN(Bytes raw, NextBytes(len));
+        return WireValue(StringOf(raw));
+      }
+      case kBytes: {
+        KP_ASSIGN_OR_RETURN(uint64_t len, NextVarint());
+        KP_ASSIGN_OR_RETURN(Bytes raw, NextBytes(len));
+        return WireValue(std::move(raw));
+      }
+      case kArray: {
+        KP_ASSIGN_OR_RETURN(uint64_t count, NextVarint());
+        WireValue::Array items;
+        for (uint64_t i = 0; i < count; ++i) {
+          KP_ASSIGN_OR_RETURN(WireValue item, NextValue());
+          items.push_back(std::move(item));
+        }
+        return WireValue(std::move(items));
+      }
+      case kStruct: {
+        KP_ASSIGN_OR_RETURN(uint64_t count, NextVarint());
+        WireValue::Struct members;
+        for (uint64_t i = 0; i < count; ++i) {
+          KP_ASSIGN_OR_RETURN(uint64_t name_len, NextVarint());
+          KP_ASSIGN_OR_RETURN(Bytes name_raw, NextBytes(name_len));
+          KP_ASSIGN_OR_RETURN(WireValue member, NextValue());
+          members.emplace(StringOf(name_raw), std::move(member));
+        }
+        return WireValue(std::move(members));
+      }
+      default:
+        return DataLossError("binary codec: unknown tag");
+    }
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  const Bytes& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Bytes BinaryEncode(const WireValue& value) {
+  Bytes out;
+  EncodeInto(out, value);
+  return out;
+}
+
+Result<WireValue> BinaryDecode(const Bytes& data) {
+  Cursor cursor(data);
+  KP_ASSIGN_OR_RETURN(WireValue value, cursor.NextValue());
+  if (!cursor.AtEnd()) {
+    return DataLossError("binary codec: trailing bytes");
+  }
+  return value;
+}
+
+}  // namespace keypad

@@ -1,0 +1,20 @@
+// Compact binary codec for WireValue — a tag/varint TLV format.
+//
+// The paper attributes the visible Keypad cost on LAN to XML-RPC
+// marshalling; this codec exists so the marshalling ablation bench can
+// compare text vs binary encodings of the same RPC traffic.
+
+#ifndef SRC_WIRE_BINARY_CODEC_H_
+#define SRC_WIRE_BINARY_CODEC_H_
+
+#include "src/util/result.h"
+#include "src/wire/value.h"
+
+namespace keypad {
+
+Bytes BinaryEncode(const WireValue& value);
+Result<WireValue> BinaryDecode(const Bytes& data);
+
+}  // namespace keypad
+
+#endif  // SRC_WIRE_BINARY_CODEC_H_

@@ -1,0 +1,66 @@
+#include "src/wire/value.h"
+
+namespace keypad {
+
+Result<int64_t> WireValue::AsInt() const {
+  if (!is_int()) {
+    return InvalidArgumentError("wire value: not an int");
+  }
+  return std::get<int64_t>(v_);
+}
+
+Result<bool> WireValue::AsBool() const {
+  if (!is_bool()) {
+    return InvalidArgumentError("wire value: not a bool");
+  }
+  return std::get<bool>(v_);
+}
+
+Result<double> WireValue::AsDouble() const {
+  if (!is_double()) {
+    return InvalidArgumentError("wire value: not a double");
+  }
+  return std::get<double>(v_);
+}
+
+Result<std::string> WireValue::AsString() const {
+  if (!is_string()) {
+    return InvalidArgumentError("wire value: not a string");
+  }
+  return std::get<std::string>(v_);
+}
+
+Result<Bytes> WireValue::AsBytes() const {
+  if (!is_bytes()) {
+    return InvalidArgumentError("wire value: not bytes");
+  }
+  return std::get<Bytes>(v_);
+}
+
+Result<WireValue::Array> WireValue::AsArray() const {
+  if (!is_array()) {
+    return InvalidArgumentError("wire value: not an array");
+  }
+  return std::get<Array>(v_);
+}
+
+Result<WireValue> WireValue::Field(const std::string& name) const {
+  if (!is_struct()) {
+    return InvalidArgumentError("wire value: not a struct");
+  }
+  const auto& s = std::get<Struct>(v_);
+  auto it = s.find(name);
+  if (it == s.end()) {
+    return NotFoundError("wire value: missing field " + name);
+  }
+  return it->second;
+}
+
+bool WireValue::HasField(const std::string& name) const {
+  if (!is_struct()) {
+    return false;
+  }
+  return std::get<Struct>(v_).count(name) > 0;
+}
+
+}  // namespace keypad

@@ -1,0 +1,73 @@
+// WireValue: the dynamically-typed value model shared by the XML-RPC and
+// binary codecs. The Keypad prototype in the paper speaks XML-RPC with
+// persistent connections; our RPC layer marshals WireValues through the
+// XML-RPC text format by default (and a compact binary codec for
+// comparison benches).
+
+#ifndef SRC_WIRE_VALUE_H_
+#define SRC_WIRE_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace keypad {
+
+class WireValue {
+ public:
+  using Array = std::vector<WireValue>;
+  using Struct = std::map<std::string, WireValue>;
+
+  WireValue() : v_(int64_t{0}) {}
+  WireValue(int64_t v) : v_(v) {}                    // NOLINT
+  WireValue(int v) : v_(static_cast<int64_t>(v)) {}  // NOLINT
+  WireValue(bool v) : v_(v) {}                       // NOLINT
+  WireValue(double v) : v_(v) {}                     // NOLINT
+  WireValue(std::string v) : v_(std::move(v)) {}     // NOLINT
+  WireValue(const char* v) : v_(std::string(v)) {}   // NOLINT
+  WireValue(Bytes v) : v_(std::move(v)) {}           // NOLINT
+  WireValue(Array v) : v_(std::move(v)) {}           // NOLINT
+  WireValue(Struct v) : v_(std::move(v)) {}          // NOLINT
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_bytes() const { return std::holds_alternative<Bytes>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_struct() const { return std::holds_alternative<Struct>(v_); }
+
+  // Checked accessors.
+  Result<int64_t> AsInt() const;
+  Result<bool> AsBool() const;
+  Result<double> AsDouble() const;
+  Result<std::string> AsString() const;
+  Result<Bytes> AsBytes() const;
+  Result<Array> AsArray() const;
+
+  // Struct field access; error if not a struct or field missing.
+  Result<WireValue> Field(const std::string& name) const;
+  bool HasField(const std::string& name) const;
+
+  // Raw variant access for codecs.
+  const std::variant<int64_t, bool, double, std::string, Bytes, Array,
+                     Struct>&
+  raw() const {
+    return v_;
+  }
+
+  bool operator==(const WireValue& o) const { return v_ == o.v_; }
+
+ private:
+  std::variant<int64_t, bool, double, std::string, Bytes, Array, Struct> v_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_WIRE_VALUE_H_

@@ -1,0 +1,318 @@
+#include "src/wire/xmlrpc.h"
+
+#include <sstream>
+
+#include "src/wire/base64.h"
+
+namespace keypad {
+
+namespace {
+
+void EscapeInto(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+}
+
+void EncodeValueInto(std::string& out, const WireValue& value) {
+  out += "<value>";
+  if (value.is_int()) {
+    out += "<i8>";
+    out += std::to_string(*value.AsInt());
+    out += "</i8>";
+  } else if (value.is_bool()) {
+    out += "<boolean>";
+    out += *value.AsBool() ? "1" : "0";
+    out += "</boolean>";
+  } else if (value.is_double()) {
+    std::ostringstream ss;
+    ss.precision(17);
+    ss << *value.AsDouble();
+    out += "<double>";
+    out += ss.str();
+    out += "</double>";
+  } else if (value.is_string()) {
+    out += "<string>";
+    EscapeInto(out, *value.AsString());
+    out += "</string>";
+  } else if (value.is_bytes()) {
+    out += "<base64>";
+    out += Base64Encode(*value.AsBytes());
+    out += "</base64>";
+  } else if (value.is_array()) {
+    out += "<array><data>";
+    for (const auto& item : std::get<WireValue::Array>(value.raw())) {
+      EncodeValueInto(out, item);
+    }
+    out += "</data></array>";
+  } else {
+    out += "<struct>";
+    for (const auto& [name, member] :
+         std::get<WireValue::Struct>(value.raw())) {
+      out += "<member><name>";
+      EscapeInto(out, name);
+      out += "</name>";
+      EncodeValueInto(out, member);
+      out += "</member>";
+    }
+    out += "</struct>";
+  }
+  out += "</value>";
+}
+
+// --- Minimal XML reader over the subset we emit. -------------------------
+
+class XmlReader {
+ public:
+  explicit XmlReader(std::string_view text) : text_(text) {}
+
+  // Consumes "<tag>", skipping whitespace and an optional XML prolog.
+  Status Open(std::string_view tag) {
+    SkipNoise();
+    std::string expected = "<";
+    expected += tag;
+    expected += ">";
+    if (!Consume(expected)) {
+      return DataLossError("xmlrpc: expected " + expected);
+    }
+    return Status::Ok();
+  }
+
+  Status Close(std::string_view tag) {
+    SkipNoise();
+    std::string expected = "</";
+    expected += tag;
+    expected += ">";
+    if (!Consume(expected)) {
+      return DataLossError("xmlrpc: expected " + expected);
+    }
+    return Status::Ok();
+  }
+
+  // True (and consumes) if the next token is "<tag>".
+  bool TryOpen(std::string_view tag) {
+    SkipNoise();
+    std::string expected = "<";
+    expected += tag;
+    expected += ">";
+    return Consume(expected);
+  }
+
+  // Reads text up to the next '<', un-escaping entities.
+  std::string ReadText() {
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '<') {
+      if (text_[pos_] == '&') {
+        if (text_.substr(pos_).substr(0, 4) == "&lt;") {
+          out.push_back('<');
+          pos_ += 4;
+          continue;
+        }
+        if (text_.substr(pos_).substr(0, 4) == "&gt;") {
+          out.push_back('>');
+          pos_ += 4;
+          continue;
+        }
+        if (text_.substr(pos_).substr(0, 5) == "&amp;") {
+          out.push_back('&');
+          pos_ += 5;
+          continue;
+        }
+      }
+      out.push_back(text_[pos_++]);
+    }
+    return out;
+  }
+
+  Result<WireValue> ReadValue() {
+    KP_RETURN_IF_ERROR(Open("value"));
+    WireValue out;
+    if (TryOpen("i8")) {
+      std::string text = ReadText();
+      KP_RETURN_IF_ERROR(Close("i8"));
+      out = WireValue(static_cast<int64_t>(std::stoll(text)));
+    } else if (TryOpen("boolean")) {
+      std::string text = ReadText();
+      KP_RETURN_IF_ERROR(Close("boolean"));
+      out = WireValue(text == "1");
+    } else if (TryOpen("double")) {
+      std::string text = ReadText();
+      KP_RETURN_IF_ERROR(Close("double"));
+      out = WireValue(std::stod(text));
+    } else if (TryOpen("string")) {
+      std::string text = ReadText();
+      KP_RETURN_IF_ERROR(Close("string"));
+      out = WireValue(std::move(text));
+    } else if (TryOpen("base64")) {
+      std::string text = ReadText();
+      KP_RETURN_IF_ERROR(Close("base64"));
+      KP_ASSIGN_OR_RETURN(Bytes bytes, Base64Decode(text));
+      out = WireValue(std::move(bytes));
+    } else if (TryOpen("array")) {
+      KP_RETURN_IF_ERROR(Open("data"));
+      WireValue::Array items;
+      while (!Peek("</data>")) {
+        KP_ASSIGN_OR_RETURN(WireValue item, ReadValue());
+        items.push_back(std::move(item));
+      }
+      KP_RETURN_IF_ERROR(Close("data"));
+      KP_RETURN_IF_ERROR(Close("array"));
+      out = WireValue(std::move(items));
+    } else if (TryOpen("struct")) {
+      WireValue::Struct members;
+      while (true) {
+        SkipNoise();
+        if (Peek("</struct>")) {
+          break;
+        }
+        KP_RETURN_IF_ERROR(Open("member"));
+        KP_RETURN_IF_ERROR(Open("name"));
+        std::string name = ReadText();
+        KP_RETURN_IF_ERROR(Close("name"));
+        KP_ASSIGN_OR_RETURN(WireValue member, ReadValue());
+        KP_RETURN_IF_ERROR(Close("member"));
+        members.emplace(std::move(name), std::move(member));
+      }
+      KP_RETURN_IF_ERROR(Close("struct"));
+      out = WireValue(std::move(members));
+    } else {
+      return DataLossError("xmlrpc: unknown value type");
+    }
+    KP_RETURN_IF_ERROR(Close("value"));
+    return out;
+  }
+
+  bool Peek(std::string_view token) {
+    SkipNoise();
+    return text_.substr(pos_, token.size()) == token;
+  }
+
+ private:
+  void SkipNoise() {
+    while (true) {
+      while (pos_ < text_.size() &&
+             (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+              text_[pos_] == '\t' || text_[pos_] == '\r')) {
+        ++pos_;
+      }
+      // Skip the XML prolog "<?...?>".
+      if (text_.substr(pos_, 2) == "<?") {
+        size_t end = text_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          pos_ = text_.size();
+          return;
+        }
+        pos_ = end + 2;
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool Consume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeXmlRpcCall(const XmlRpcCall& call) {
+  std::string out = "<?xml version=\"1.0\"?><methodCall><methodName>";
+  EscapeInto(out, call.method);
+  out += "</methodName><params>";
+  for (const auto& param : call.params) {
+    out += "<param>";
+    EncodeValueInto(out, param);
+    out += "</param>";
+  }
+  out += "</params></methodCall>";
+  return out;
+}
+
+Result<XmlRpcCall> DecodeXmlRpcCall(std::string_view xml) {
+  XmlReader reader(xml);
+  KP_RETURN_IF_ERROR(reader.Open("methodCall"));
+  KP_RETURN_IF_ERROR(reader.Open("methodName"));
+  XmlRpcCall call;
+  call.method = reader.ReadText();
+  KP_RETURN_IF_ERROR(reader.Close("methodName"));
+  KP_RETURN_IF_ERROR(reader.Open("params"));
+  while (!reader.Peek("</params>")) {
+    KP_RETURN_IF_ERROR(reader.Open("param"));
+    KP_ASSIGN_OR_RETURN(WireValue param, reader.ReadValue());
+    call.params.push_back(std::move(param));
+    KP_RETURN_IF_ERROR(reader.Close("param"));
+  }
+  KP_RETURN_IF_ERROR(reader.Close("params"));
+  KP_RETURN_IF_ERROR(reader.Close("methodCall"));
+  return call;
+}
+
+std::string EncodeXmlRpcResponse(const WireValue& value) {
+  std::string out =
+      "<?xml version=\"1.0\"?><methodResponse><params><param>";
+  EncodeValueInto(out, value);
+  out += "</param></params></methodResponse>";
+  return out;
+}
+
+std::string EncodeXmlRpcFault(const Status& status) {
+  WireValue::Struct fault;
+  fault.emplace("faultCode",
+                WireValue(static_cast<int64_t>(status.code())));
+  fault.emplace("faultString", WireValue(status.message()));
+  std::string out = "<?xml version=\"1.0\"?><methodResponse><fault>";
+  EncodeValueInto(out, WireValue(std::move(fault)));
+  out += "</fault></methodResponse>";
+  return out;
+}
+
+Result<XmlRpcResponse> DecodeXmlRpcResponse(std::string_view xml) {
+  XmlReader reader(xml);
+  KP_RETURN_IF_ERROR(reader.Open("methodResponse"));
+  XmlRpcResponse response;
+  if (reader.Peek("<fault>")) {
+    KP_RETURN_IF_ERROR(reader.Open("fault"));
+    KP_ASSIGN_OR_RETURN(WireValue fault, reader.ReadValue());
+    KP_RETURN_IF_ERROR(reader.Close("fault"));
+    KP_RETURN_IF_ERROR(reader.Close("methodResponse"));
+    KP_ASSIGN_OR_RETURN(WireValue code, fault.Field("faultCode"));
+    KP_ASSIGN_OR_RETURN(WireValue message, fault.Field("faultString"));
+    KP_ASSIGN_OR_RETURN(int64_t code_int, code.AsInt());
+    KP_ASSIGN_OR_RETURN(std::string message_str, message.AsString());
+    response.fault =
+        Status(static_cast<StatusCode>(code_int), std::move(message_str));
+    if (response.fault.ok()) {
+      return DataLossError("xmlrpc: fault with OK code");
+    }
+    return response;
+  }
+  KP_RETURN_IF_ERROR(reader.Open("params"));
+  KP_RETURN_IF_ERROR(reader.Open("param"));
+  KP_ASSIGN_OR_RETURN(response.value, reader.ReadValue());
+  KP_RETURN_IF_ERROR(reader.Close("param"));
+  KP_RETURN_IF_ERROR(reader.Close("params"));
+  KP_RETURN_IF_ERROR(reader.Close("methodResponse"));
+  return response;
+}
+
+}  // namespace keypad

@@ -1,0 +1,40 @@
+// XML-RPC marshalling, from scratch, covering the subset of the protocol the
+// Keypad services need (the paper's prototype components "communicate using
+// encrypted XML-RPC with persistent connections", §4).
+//
+// Type mapping: int64 <-> <i8>, bool <-> <boolean>, double <-> <double>,
+// string <-> <string>, Bytes <-> <base64>, Array <-> <array>,
+// Struct <-> <struct>. Faults round-trip a Status.
+
+#ifndef SRC_WIRE_XMLRPC_H_
+#define SRC_WIRE_XMLRPC_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/result.h"
+#include "src/wire/value.h"
+
+namespace keypad {
+
+struct XmlRpcCall {
+  std::string method;
+  WireValue::Array params;
+};
+
+// A response is either a value or a fault (non-OK status).
+struct XmlRpcResponse {
+  Status fault;     // OK means `value` is meaningful.
+  WireValue value;
+};
+
+std::string EncodeXmlRpcCall(const XmlRpcCall& call);
+Result<XmlRpcCall> DecodeXmlRpcCall(std::string_view xml);
+
+std::string EncodeXmlRpcResponse(const WireValue& value);
+std::string EncodeXmlRpcFault(const Status& status);
+Result<XmlRpcResponse> DecodeXmlRpcResponse(std::string_view xml);
+
+}  // namespace keypad
+
+#endif  // SRC_WIRE_XMLRPC_H_

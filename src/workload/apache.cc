@@ -1,0 +1,134 @@
+#include "src/workload/apache.h"
+
+#include <string>
+#include <vector>
+
+namespace keypad {
+
+namespace {
+constexpr size_t kChunk = 4096;
+
+std::string ModuleDir(int m) { return "/src/mod_" + std::to_string(m); }
+
+// Reads `size` bytes of `path` in 4 KiB chunks.
+void AddChunkedRead(Trace& trace, const std::string& path, size_t size) {
+  for (size_t off = 0; off < size; off += kChunk) {
+    trace.Add(TraceOp::Read(path, off, std::min(kChunk, size - off)));
+  }
+}
+
+void AddChunkedWrite(Trace& trace, const std::string& path, size_t size) {
+  for (size_t off = 0; off < size; off += kChunk) {
+    trace.Add(TraceOp::Write(path, off, std::min(kChunk, size - off)));
+  }
+}
+}  // namespace
+
+ApacheWorkload MakeApacheWorkload(const ApacheParams& params, uint64_t seed) {
+  SimRandom rng(seed);
+  ApacheWorkload out;
+
+  constexpr size_t kSourceSize = 12 * 1024;
+  constexpr size_t kSharedHeaderSize = 8 * 1024;
+  constexpr size_t kLocalHeaderSize = 4 * 1024;
+  constexpr size_t kObjectSize = 12 * 1024;
+
+  // --- Setup: lay down the source tree. ------------------------------------
+  out.setup.Add(TraceOp::Mkdir("/src"));
+  out.setup.Add(TraceOp::Mkdir("/src/include"));
+  for (int h = 0; h < params.shared_headers; ++h) {
+    std::string path = "/src/include/h" + std::to_string(h) + ".h";
+    out.setup.Add(TraceOp::Create(path));
+    AddChunkedWrite(out.setup, path, kSharedHeaderSize);
+  }
+  for (int m = 0; m < params.modules; ++m) {
+    out.setup.Add(TraceOp::Mkdir(ModuleDir(m)));
+    for (int h = 0; h < params.local_headers; ++h) {
+      std::string path = ModuleDir(m) + "/local" + std::to_string(h) + ".h";
+      out.setup.Add(TraceOp::Create(path));
+      AddChunkedWrite(out.setup, path, kLocalHeaderSize);
+    }
+    for (int u = 0; u < params.units_per_module; ++u) {
+      std::string path = ModuleDir(m) + "/unit" + std::to_string(u) + ".c";
+      out.setup.Add(TraceOp::Create(path));
+      AddChunkedWrite(out.setup, path, kSourceSize);
+    }
+  }
+  out.setup.Add(TraceOp::Mkdir("/build"));
+
+  // --- The compile. ----------------------------------------------------------
+  int total_units = params.modules * params.units_per_module;
+  SimDuration configure_compute = SimDuration::Seconds(2);
+  SimDuration link_compute = SimDuration::Seconds(3);
+  SimDuration per_unit_compute =
+      (params.total_compute - configure_compute - link_compute) /
+      total_units;
+
+  Trace& compile = out.compile;
+
+  // Configure phase: scan the tree, probe headers.
+  compile.Add(TraceOp::Compute(configure_compute));
+  compile.Add(TraceOp::Readdir("/src"));
+  for (int m = 0; m < params.modules; ++m) {
+    compile.Add(TraceOp::Readdir(ModuleDir(m)));
+  }
+  for (int h = 0; h < params.shared_headers; ++h) {
+    std::string path = "/src/include/h" + std::to_string(h) + ".h";
+    compile.Add(TraceOp::Stat(path));
+    compile.Add(TraceOp::Read(path, 0, kChunk));
+  }
+
+  // Compile each unit, module by module (the locality prefetching exploits).
+  for (int m = 0; m < params.modules; ++m) {
+    for (int u = 0; u < params.units_per_module; ++u) {
+      std::string source = ModuleDir(m) + "/unit" + std::to_string(u) + ".c";
+      AddChunkedRead(compile, source, kSourceSize);
+
+      // Shared headers: a random (but seed-deterministic) subset.
+      std::vector<int> headers(params.shared_headers);
+      for (int h = 0; h < params.shared_headers; ++h) {
+        headers[h] = h;
+      }
+      rng.Shuffle(headers);
+      for (int i = 0; i < params.headers_per_unit; ++i) {
+        AddChunkedRead(compile,
+                       "/src/include/h" + std::to_string(headers[i]) + ".h",
+                       kSharedHeaderSize);
+      }
+      for (int h = 0; h < params.local_headers; ++h) {
+        AddChunkedRead(compile,
+                       ModuleDir(m) + "/local" + std::to_string(h) + ".h",
+                       kLocalHeaderSize);
+      }
+
+      compile.Add(TraceOp::Compute(per_unit_compute));
+
+      // cc writes the object through a temp file, then renames it in.
+      std::string tmp = "/build/.tmp_" + std::to_string(m) + "_" +
+                        std::to_string(u) + ".o";
+      std::string object = "/build/unit_" + std::to_string(m) + "_" +
+                           std::to_string(u) + ".o";
+      compile.Add(TraceOp::Create(tmp));
+      AddChunkedWrite(compile, tmp, kObjectSize);
+      compile.Add(TraceOp::Rename(tmp, object));
+    }
+  }
+
+  // Link: read every object, write the binary via temp + rename.
+  compile.Add(TraceOp::Compute(link_compute));
+  for (int m = 0; m < params.modules; ++m) {
+    for (int u = 0; u < params.units_per_module; ++u) {
+      AddChunkedRead(compile,
+                     "/build/unit_" + std::to_string(m) + "_" +
+                         std::to_string(u) + ".o",
+                     kObjectSize);
+    }
+  }
+  compile.Add(TraceOp::Create("/build/.tmp_httpd"));
+  AddChunkedWrite(compile, "/build/.tmp_httpd", 2 * 1024 * 1024);
+  compile.Add(TraceOp::Rename("/build/.tmp_httpd", "/build/httpd"));
+
+  return out;
+}
+
+}  // namespace keypad

@@ -1,0 +1,117 @@
+#include "src/workload/longhaul.h"
+
+#include "src/sim/random.h"
+
+namespace keypad {
+
+namespace {
+void AddFile(Trace& trace, const std::string& path, size_t size) {
+  trace.Add(TraceOp::Create(path));
+  for (size_t off = 0; off < size; off += 4096) {
+    trace.Add(TraceOp::Write(path, off, std::min<size_t>(4096, size - off)));
+  }
+}
+}  // namespace
+
+LongHaulWorkload MakeLongHaulWorkload(const LongHaulParams& params,
+                                      uint64_t seed) {
+  SimRandom rng(seed);
+  LongHaulWorkload out;
+
+  // --- Volume. ------------------------------------------------------------
+  out.setup.Add(TraceOp::Mkdir("/docs"));
+  out.setup.Add(TraceOp::Mkdir("/cache"));
+  out.setup.Add(TraceOp::Mkdir("/mail"));
+  out.setup.Add(TraceOp::Mkdir("/code"));
+  for (int i = 0; i < params.docs; ++i) {
+    AddFile(out.setup, "/docs/d" + std::to_string(i), 32 * 1024);
+  }
+  for (int i = 0; i < params.cache_files; ++i) {
+    AddFile(out.setup, "/cache/c" + std::to_string(i), 8 * 1024);
+  }
+  for (int i = 0; i < params.mail_files; ++i) {
+    AddFile(out.setup, "/mail/m" + std::to_string(i), 16 * 1024);
+  }
+  int dirs = 8;
+  for (int d = 0; d < dirs; ++d) {
+    out.setup.Add(TraceOp::Mkdir("/code/mod" + std::to_string(d)));
+  }
+  for (int i = 0; i < params.source_files; ++i) {
+    AddFile(out.setup,
+            "/code/mod" + std::to_string(i % dirs) + "/s" + std::to_string(i),
+            8 * 1024);
+  }
+
+  // --- Activity. -----------------------------------------------------------
+  Trace& activity = out.activity;
+  SimDuration active;
+
+  auto think = [&](int min_s, int max_s) {
+    SimDuration d = SimDuration::Seconds(rng.UniformInt(min_s, max_s));
+    activity.Add(TraceOp::Compute(d));
+    active += d;
+  };
+
+  for (int day = 0; day < params.days; ++day) {
+    for (int session = 0; session < params.sessions_per_day; ++session) {
+      int kind = static_cast<int>(rng.UniformU64(4));
+      switch (kind) {
+        case 0: {  // Document editing: one doc, repeated read/save cycles.
+          int doc = static_cast<int>(rng.Zipf(params.docs, 1.1));
+          std::string path = "/docs/d" + std::to_string(doc);
+          for (int i = 0; i < 10; ++i) {
+            activity.Add(TraceOp::Read(path, 0, 32 * 1024));
+            think(20, 90);
+            activity.Add(TraceOp::Write(path, 0, 4096));
+          }
+          break;
+        }
+        case 1: {  // Browsing: bursts of cache reads/writes.
+          for (int i = 0; i < 25; ++i) {
+            int entry = static_cast<int>(rng.Zipf(params.cache_files, 0.8));
+            std::string path = "/cache/c" + std::to_string(entry);
+            if (rng.Bernoulli(0.5)) {
+              activity.Add(TraceOp::Read(path, 0, 8 * 1024));
+            } else {
+              activity.Add(TraceOp::Write(path, 0, 8 * 1024));
+            }
+            think(3, 20);
+          }
+          break;
+        }
+        case 2: {  // Email: read a batch, update the index.
+          for (int i = 0; i < 8; ++i) {
+            int msg = static_cast<int>(rng.Zipf(params.mail_files, 0.9));
+            activity.Add(
+                TraceOp::Read("/mail/m" + std::to_string(msg), 0, 16 * 1024));
+            think(10, 60);
+          }
+          activity.Add(TraceOp::Write("/mail/m0", 0, 4096));
+          break;
+        }
+        case 3: {  // Code: scan one module, edit one file.
+          int mod = static_cast<int>(rng.UniformU64(8));
+          std::string dir = "/code/mod" + std::to_string(mod);
+          activity.Add(TraceOp::Readdir(dir));
+          for (int i = 0; i < params.source_files / 8; ++i) {
+            activity.Add(TraceOp::Read(
+                dir + "/s" + std::to_string(mod + 8 * i), 0, 8 * 1024));
+          }
+          think(60, 240);
+          activity.Add(TraceOp::Write(
+              dir + "/s" + std::to_string(mod), 0, 4096));
+          break;
+        }
+      }
+      // Idle gap between sessions (not counted as active time).
+      activity.Add(TraceOp::Compute(
+          SimDuration::Minutes(rng.UniformInt(20, 120))));
+    }
+    // Overnight gap.
+    activity.Add(TraceOp::Compute(SimDuration::Hours(10)));
+  }
+  out.active_time = active;
+  return out;
+}
+
+}  // namespace keypad

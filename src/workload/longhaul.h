@@ -1,0 +1,40 @@
+// Multi-day interactive usage trace, standing in for the paper's 12-day
+// author deployment (§5.1.4). Drives Fig. 11 (average number of in-memory
+// keys vs. key expiration time under different prefetch policies) and the
+// bandwidth measurement ("average Keypad bandwidth was under 5 kb/s").
+//
+// Structure: days of several work sessions (document editing, web
+// browsing, email, source-tree scans) separated by idle gaps; file
+// popularity is Zipf-skewed so a warm working set re-surfaces across
+// sessions, as in real traces.
+
+#ifndef SRC_WORKLOAD_LONGHAUL_H_
+#define SRC_WORKLOAD_LONGHAUL_H_
+
+#include "src/workload/trace.h"
+
+namespace keypad {
+
+struct LongHaulParams {
+  int days = 12;
+  int sessions_per_day = 6;
+  int docs = 40;          // Document pool.
+  int cache_files = 60;   // Browser cache pool.
+  int mail_files = 25;
+  int source_files = 80;  // Across 8 source dirs.
+};
+
+struct LongHaulWorkload {
+  Trace setup;
+  Trace activity;
+  // Total "use period" time (active session time, excluding idle gaps) —
+  // Fig. 11 averages the in-memory key count over use periods.
+  SimDuration active_time;
+};
+
+LongHaulWorkload MakeLongHaulWorkload(const LongHaulParams& params,
+                                      uint64_t seed);
+
+}  // namespace keypad
+
+#endif  // SRC_WORKLOAD_LONGHAUL_H_

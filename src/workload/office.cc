@@ -1,0 +1,339 @@
+#include "src/workload/office.h"
+
+#include "src/sim/random.h"
+
+namespace keypad {
+
+namespace {
+
+void AddFile(Trace& trace, const std::string& path, size_t size) {
+  trace.Add(TraceOp::Create(path));
+  for (size_t off = 0; off < size; off += 4096) {
+    trace.Add(TraceOp::Write(path, off, std::min<size_t>(4096, size - off)));
+  }
+}
+
+// Reads `count` files named prefix0..prefixN-1 (one chunked read each).
+void ReadFiles(Trace& trace, const std::string& dir, const std::string& stem,
+               int count, size_t size) {
+  for (int i = 0; i < count; ++i) {
+    std::string path = dir + "/" + stem + std::to_string(i);
+    for (size_t off = 0; off < size; off += 4096) {
+      trace.Add(TraceOp::Read(path, off, std::min<size_t>(4096, size - off)));
+    }
+  }
+}
+
+// The create-temp/write/rename pattern applications use for atomic saves.
+void AtomicSave(Trace& trace, const std::string& dir, const std::string& name,
+                size_t size, int revision) {
+  std::string tmp = dir + "/.tmp_save_" + name + std::to_string(revision);
+  trace.Add(TraceOp::Create(tmp));
+  for (size_t off = 0; off < size; off += 4096) {
+    trace.Add(TraceOp::Write(tmp, off, std::min<size_t>(4096, size - off)));
+  }
+  std::string backup = dir + "/" + name + ".bak" + std::to_string(revision);
+  trace.Add(TraceOp::Rename(dir + "/" + name, backup));
+  trace.Add(TraceOp::Rename(tmp, dir + "/" + name));
+  trace.Add(TraceOp::Unlink(backup));
+}
+
+}  // namespace
+
+OfficeWorkloads MakeOfficeWorkloads(uint64_t /*seed*/) {
+  OfficeWorkloads out;
+
+  // --- Volume layout. ---------------------------------------------------------
+  Trace& setup = out.setup;
+  for (const char* dir :
+       {"/home", "/home/docs", "/home/oo_profile", "/home/oo_profile/registry",
+        "/home/ff_profile", "/home/ff_profile/cache", "/home/tb_profile",
+        "/home/tb_profile/mail", "/tmp"}) {
+    setup.Add(TraceOp::Mkdir(dir));
+  }
+  // OpenOffice profile: configs read at launch.
+  for (int i = 0; i < 8; ++i) {
+    AddFile(setup, "/home/oo_profile/conf" + std::to_string(i), 16 * 1024);
+  }
+  for (int i = 0; i < 4; ++i) {
+    AddFile(setup, "/home/oo_profile/registry/reg" + std::to_string(i),
+            8 * 1024);
+  }
+  // Documents. The document pool spans several directories — "Open" pulls
+  // pieces, styles, and embedded objects from distinct places, which is
+  // what makes cold opens expensive over 3G in the paper's Table 1.
+  AddFile(setup, "/home/docs/report.odt", 64 * 1024);
+  AddFile(setup, "/home/docs/template.ott", 16 * 1024);
+  for (int i = 0; i < 18; ++i) {
+    AddFile(setup, "/home/docs/doc" + std::to_string(i), 32 * 1024);
+  }
+  for (int d = 0; d < 4; ++d) {
+    std::string dir = "/home/docs/proj" + std::to_string(d);
+    setup.Add(TraceOp::Mkdir(dir));
+    for (int i = 0; i < 4; ++i) {
+      AddFile(setup, dir + "/part" + std::to_string(i), 32 * 1024);
+    }
+  }
+  // Firefox profile.
+  for (const char* f : {"prefs.js", "bookmarks.html", "history.db",
+                        "cookies.db", "passwords.db"}) {
+    AddFile(setup, std::string("/home/ff_profile/") + f, 24 * 1024);
+  }
+  for (int i = 0; i < 20; ++i) {
+    AddFile(setup, "/home/ff_profile/cache/entry" + std::to_string(i),
+            12 * 1024);
+  }
+  // Thunderbird profile.
+  AddFile(setup, "/home/tb_profile/prefs.js", 8 * 1024);
+  AddFile(setup, "/home/tb_profile/mail/inbox.mbox", 256 * 1024);
+  AddFile(setup, "/home/tb_profile/mail/inbox.msf", 32 * 1024);
+  for (int i = 0; i < 6; ++i) {
+    AddFile(setup, "/home/tb_profile/mail/folder" + std::to_string(i),
+            64 * 1024);
+  }
+
+  // --- Table 1 tasks. -----------------------------------------------------------
+  auto task = [&](std::string app, std::string name, double paper_encfs,
+                  double paper_3g_cold) -> Trace& {
+    out.tasks.push_back(OfficeTask{std::move(app), std::move(name),
+                                   paper_encfs, paper_3g_cold, Trace{}});
+    return out.tasks.back().trace;
+  };
+
+  {  // OpenOffice: Launch.
+    Trace& t = task("OpenOffice", "Launch", 0.5, 4.6);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(420)));
+    ReadFiles(t, "/home/oo_profile", "conf", 8, 16 * 1024);
+    ReadFiles(t, "/home/oo_profile/registry", "reg", 4, 8 * 1024);
+    t.Add(TraceOp::Create("/tmp/oo_lock"));
+    t.Add(TraceOp::Write("/tmp/oo_lock", 0, 128));
+  }
+  {  // OpenOffice: New document.
+    Trace& t = task("OpenOffice", "New document", 0.0, 0.3);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(15)));
+    t.Add(TraceOp::Read("/home/docs/template.ott", 0, 16 * 1024));
+  }
+  {  // OpenOffice: Save as (11 FS ops, 7 metadata — §3.4).
+    Trace& t = task("OpenOffice", "Save as", 1.4, 2.3);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(1350)));
+    t.Add(TraceOp::Create("/home/docs/.tmp_new.odt"));
+    t.Add(TraceOp::Write("/home/docs/.tmp_new.odt", 0, 4096));
+    t.Add(TraceOp::Write("/home/docs/.tmp_new.odt", 4096, 4096));
+    t.Add(TraceOp::Create("/home/docs/.lock_new"));
+    t.Add(TraceOp::Rename("/home/docs/.tmp_new.odt", "/home/docs/new.odt"));
+    t.Add(TraceOp::Unlink("/home/docs/.lock_new"));
+    t.Add(TraceOp::Stat("/home/docs/new.odt"));
+    t.Add(TraceOp::Read("/home/docs/new.odt", 0, 4096));
+    t.Add(TraceOp::Create("/tmp/oo_autosave"));
+    t.Add(TraceOp::Rename("/tmp/oo_autosave", "/tmp/oo_autosave.bak"));
+    t.Add(TraceOp::Unlink("/tmp/oo_autosave.bak"));
+  }
+  {  // OpenOffice: Open — document pieces from several directories.
+    Trace& t = task("OpenOffice", "Open", 1.7, 7.5);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(1500)));
+    for (int d = 0; d < 4; ++d) {
+      ReadFiles(t, "/home/docs/proj" + std::to_string(d), "part", 4,
+                32 * 1024);
+    }
+    ReadFiles(t, "/home/docs", "doc", 4, 32 * 1024);
+    for (size_t off = 0; off < 64 * 1024; off += 4096) {
+      t.Add(TraceOp::Read("/home/docs/report.odt", off, 4096));
+    }
+  }
+  {  // OpenOffice: Quit.
+    Trace& t = task("OpenOffice", "Quit", 0.1, 1.2);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(60)));
+    t.Add(TraceOp::Write("/home/oo_profile/conf0", 0, 4096));
+    t.Add(TraceOp::Create("/home/oo_profile/.tmp_conf"));
+    t.Add(TraceOp::Rename("/home/oo_profile/.tmp_conf",
+                          "/home/oo_profile/session"));
+    t.Add(TraceOp::Unlink("/tmp/oo_lock"));
+  }
+
+  {  // Firefox: Launch.
+    Trace& t = task("Firefox", "Launch", 3.7, 8.8);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(3500)));
+    for (const char* f : {"prefs.js", "bookmarks.html", "history.db",
+                          "cookies.db", "passwords.db"}) {
+      t.Add(TraceOp::Read(std::string("/home/ff_profile/") + f, 0, 24 * 1024));
+    }
+    ReadFiles(t, "/home/ff_profile/cache", "entry", 10, 12 * 1024);
+    t.Add(TraceOp::Create("/home/ff_profile/.parentlock"));
+  }
+  {  // Firefox: Save a page.
+    Trace& t = task("Firefox", "Save a page", 0.7, 2.8);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(550)));
+    AddFile(t, "/home/docs/saved_page.html", 48 * 1024);
+    t.Add(TraceOp::Mkdir("/home/docs/saved_page_files"));
+    AddFile(t, "/home/docs/saved_page_files/img0", 24 * 1024);
+  }
+  {  // Firefox: Load bookmark.
+    Trace& t = task("Firefox", "Load bookmark", 4.5, 5.7);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(4400)));
+    t.Add(TraceOp::Read("/home/ff_profile/bookmarks.html", 0, 24 * 1024));
+    t.Add(TraceOp::Write("/home/ff_profile/history.db", 0, 4096));
+    AddFile(t, "/home/ff_profile/cache/new_entry", 12 * 1024);
+  }
+  {  // Firefox: Open tab.
+    Trace& t = task("Firefox", "Open tab", 0.2, 0.8);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(150)));
+    t.Add(TraceOp::Read("/home/ff_profile/cache/entry0", 0, 12 * 1024));
+    t.Add(TraceOp::Write("/home/ff_profile/history.db", 4096, 4096));
+  }
+  {  // Firefox: Close tab.
+    Trace& t = task("Firefox", "Close tab", 0.0, 0.3);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(20)));
+    t.Add(TraceOp::Write("/home/ff_profile/history.db", 8192, 4096));
+  }
+
+  {  // Thunderbird: Launch.
+    Trace& t = task("Thunderbird", "Launch", 1.3, 3.1);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(1150)));
+    t.Add(TraceOp::Read("/home/tb_profile/prefs.js", 0, 8 * 1024));
+    t.Add(TraceOp::Read("/home/tb_profile/mail/inbox.msf", 0, 32 * 1024));
+    ReadFiles(t, "/home/tb_profile/mail", "folder", 4, 16 * 1024);
+    t.Add(TraceOp::Create("/home/tb_profile/.lock"));
+  }
+  {  // Thunderbird: Read email.
+    Trace& t = task("Thunderbird", "Read email", 0.3, 2.5);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(180)));
+    for (size_t off = 0; off < 16 * 1024; off += 4096) {
+      t.Add(TraceOp::Read("/home/tb_profile/mail/inbox.mbox", off, 4096));
+    }
+    t.Add(TraceOp::Read("/home/tb_profile/mail/inbox.msf", 0, 8 * 1024));
+    t.Add(TraceOp::Write("/home/tb_profile/mail/inbox.msf", 0, 4096));
+  }
+  {  // Thunderbird: Quit.
+    Trace& t = task("Thunderbird", "Quit", 0.2, 2.9);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(80)));
+    for (int i = 0; i < 3; ++i) {
+      std::string folder = "/home/tb_profile/mail/folder" + std::to_string(i);
+      t.Add(TraceOp::Write(folder, 0, 4096));
+    }
+    t.Add(TraceOp::Create("/home/tb_profile/.tmp_prefs"));
+    t.Add(TraceOp::Rename("/home/tb_profile/.tmp_prefs",
+                          "/home/tb_profile/prefs.new"));
+    t.Add(TraceOp::Unlink("/home/tb_profile/.lock"));
+  }
+
+  {  // Evince: Launch.
+    Trace& t = task("Evince", "Launch", 0.1, 0.4);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(70)));
+    t.Add(TraceOp::Read("/home/docs/doc0", 0, 4096));
+  }
+  {  // Evince: Open document.
+    Trace& t = task("Evince", "Open document", 0.1, 0.4);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(60)));
+    for (size_t off = 0; off < 32 * 1024; off += 4096) {
+      t.Add(TraceOp::Read("/home/docs/doc1", off, 4096));
+    }
+  }
+  {  // Evince: Quit.
+    Trace& t = task("Evince", "Quit", 0.0, 0.0);
+    t.Add(TraceOp::Compute(SimDuration::FromMillisF(10)));
+  }
+
+  return out;
+}
+
+std::vector<Fig9Workload> MakeFig9Workloads(uint64_t seed) {
+  SimRandom rng(seed);
+  std::vector<Fig9Workload> out;
+
+  {  // Find file in hierarchy: recursive grep through a project tree.
+    Fig9Workload w;
+    w.name = "Find file in hierarchy";
+    w.paper_unoptimized_seconds = 57;
+    w.paper_optimized_seconds = 14;
+    w.setup.Add(TraceOp::Mkdir("/proj"));
+    for (int d = 0; d < 12; ++d) {
+      std::string dir = "/proj/sub" + std::to_string(d);
+      w.setup.Add(TraceOp::Mkdir(dir));
+      for (int f = 0; f < 15; ++f) {
+        std::string path = dir + "/file" + std::to_string(f);
+        w.setup.Add(TraceOp::Create(path));
+        w.setup.Add(TraceOp::Write(path, 0, 8 * 1024));
+      }
+    }
+    for (int d = 0; d < 12; ++d) {
+      std::string dir = "/proj/sub" + std::to_string(d);
+      w.trace.Add(TraceOp::Readdir(dir));
+      for (int f = 0; f < 15; ++f) {
+        std::string path = dir + "/file" + std::to_string(f);
+        w.trace.Add(TraceOp::Read(path, 0, 4096));
+        w.trace.Add(TraceOp::Read(path, 4096, 4096));
+      }
+    }
+    out.push_back(std::move(w));
+  }
+
+  {  // Copy photo album across directories.
+    Fig9Workload w;
+    w.name = "Copy photo album";
+    w.paper_unoptimized_seconds = 57;
+    w.paper_optimized_seconds = 17;
+    w.setup.Add(TraceOp::Mkdir("/photos"));
+    for (int d = 0; d < 3; ++d) {
+      std::string dir = "/photos/album" + std::to_string(d);
+      w.setup.Add(TraceOp::Mkdir(dir));
+      for (int f = 0; f < 30; ++f) {
+        std::string path = dir + "/img" + std::to_string(f) + ".jpg";
+        w.setup.Add(TraceOp::Create(path));
+        for (size_t off = 0; off < 200 * 1024; off += 65536) {
+          w.setup.Add(TraceOp::Write(path, off, 65536));
+        }
+      }
+    }
+    w.trace.Add(TraceOp::Mkdir("/photos_backup"));
+    for (int d = 0; d < 3; ++d) {
+      std::string src_dir = "/photos/album" + std::to_string(d);
+      std::string dst_dir = "/photos_backup/album" + std::to_string(d);
+      w.trace.Add(TraceOp::Mkdir(dst_dir));
+      w.trace.Add(TraceOp::Readdir(src_dir));
+      for (int f = 0; f < 30; ++f) {
+        std::string src = src_dir + "/img" + std::to_string(f) + ".jpg";
+        std::string dst = dst_dir + "/img" + std::to_string(f) + ".jpg";
+        w.trace.Add(TraceOp::Read(src, 0, 200 * 1024));
+        w.trace.Add(TraceOp::Create(dst));
+        w.trace.Add(TraceOp::Write(dst, 0, 200 * 1024));
+      }
+    }
+    out.push_back(std::move(w));
+  }
+
+  {  // OpenOffice launch (the Table 1 trace, reused for Fig. 9).
+    Fig9Workload w;
+    w.name = "OpenOffice - launch";
+    w.paper_unoptimized_seconds = 14;
+    w.paper_optimized_seconds = 5;
+    OfficeWorkloads office = MakeOfficeWorkloads(rng.NextU64());
+    w.setup = office.setup;
+    w.trace = office.tasks[0].trace;  // Launch.
+    out.push_back(std::move(w));
+  }
+
+  {  // OpenOffice create document: one create (+ tiny write).
+    Fig9Workload w;
+    w.name = "OpenOffice - create doc.";
+    w.paper_unoptimized_seconds = 0.305;
+    w.paper_optimized_seconds = 0.029;
+    w.setup.Add(TraceOp::Mkdir("/newdocs"));
+    w.trace.Add(TraceOp::Create("/newdocs/untitled.odt"));
+    out.push_back(std::move(w));
+  }
+
+  {  // Thunderbird read email (Table 1 trace reused).
+    Fig9Workload w;
+    w.name = "Thunderbird - read email";
+    w.paper_unoptimized_seconds = 5.5;
+    w.paper_optimized_seconds = 1.9;
+    OfficeWorkloads office = MakeOfficeWorkloads(rng.NextU64());
+    w.setup = office.setup;
+    w.trace = office.tasks[11].trace;  // Thunderbird - Read email.
+    out.push_back(std::move(w));
+  }
+
+  return out;
+}
+
+}  // namespace keypad

@@ -1,0 +1,53 @@
+// Office / desktop application task traces (Table 1, Fig. 9).
+//
+// Each task mirrors the FS footprint of the paper's measured interaction:
+// e.g., "an OpenOffice file save invokes 11 file system operations, of
+// which 7 are metadata operations that create and then rename temporary
+// files" (§3.4). Compute times are calibrated so the EncFS baseline lands
+// near the paper's EncFS column in Table 1.
+
+#ifndef SRC_WORKLOAD_OFFICE_H_
+#define SRC_WORKLOAD_OFFICE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/trace.h"
+
+namespace keypad {
+
+struct OfficeTask {
+  std::string application;  // "OpenOffice", "Firefox", ...
+  std::string task;         // "Launch", "Save as", ...
+  // Paper's Table 1 EncFS-column time, for side-by-side reporting.
+  double paper_encfs_seconds = 0;
+  // Paper's Keypad 3G cold-cache time.
+  double paper_keypad_3g_cold_seconds = 0;
+  Trace trace;
+};
+
+struct OfficeWorkloads {
+  // Volume layout all tasks run against (profiles, documents, caches).
+  Trace setup;
+  // The 16 tasks of Table 1, in the paper's row order.
+  std::vector<OfficeTask> tasks;
+};
+
+OfficeWorkloads MakeOfficeWorkloads(uint64_t seed);
+
+// The five Fig. 9 workloads: "Find file in hierarchy", "Copy photo album",
+// "OpenOffice - launch", "OpenOffice - create doc.", "Thunderbird - read
+// email". Each carries the paper's unoptimized/optimized 3G anchors.
+struct Fig9Workload {
+  std::string name;
+  double paper_unoptimized_seconds = 0;
+  double paper_optimized_seconds = 0;
+  Trace setup;  // Extra files beyond the office volume (may be empty).
+  Trace trace;
+};
+
+std::vector<Fig9Workload> MakeFig9Workloads(uint64_t seed);
+
+}  // namespace keypad
+
+#endif  // SRC_WORKLOAD_OFFICE_H_

@@ -1,0 +1,122 @@
+#include "src/workload/thief.h"
+
+namespace keypad {
+
+namespace {
+void AddFile(Trace& trace, const std::string& path, size_t size) {
+  trace.Add(TraceOp::Create(path));
+  for (size_t off = 0; off < size; off += 4096) {
+    trace.Add(TraceOp::Write(path, off, std::min<size_t>(4096, size - off)));
+  }
+}
+
+void ThiefRead(ThiefScenario& scenario, const std::string& path,
+               size_t size) {
+  for (size_t off = 0; off < size; off += 4096) {
+    scenario.thief_trace.Add(
+        TraceOp::Read(path, off, std::min<size_t>(4096, size - off)));
+  }
+  scenario.files_read.insert(path);
+}
+}  // namespace
+
+std::vector<ThiefScenario> MakeThiefScenarios(uint64_t /*seed*/) {
+  std::vector<ThiefScenario> out;
+
+  {  // (1) Thunderbird: reads emails, browses folders, searches for a
+     //     keyword — touching 27 of the 30 mail files; the directory
+     //     prefetch pulls the other 3. Paper ratio: 3:30.
+    ThiefScenario s;
+    s.name = "Thunderbird";
+    s.paper_false_positives = 3;
+    s.paper_total_keys = 30;
+    s.setup.Add(TraceOp::Mkdir("/mail"));
+    for (int i = 0; i < 30; ++i) {
+      AddFile(s.setup, "/mail/msg" + std::to_string(i), 8 * 1024);
+    }
+    s.thief_trace.Add(TraceOp::Readdir("/mail"));
+    s.thief_trace.Add(TraceOp::Compute(SimDuration::Seconds(2)));
+    // Reads a few emails, then searches (scanning most of the folder).
+    for (int i = 0; i < 27; ++i) {
+      ThiefRead(s, "/mail/msg" + std::to_string(i), 8 * 1024);
+      if (i < 5) {
+        s.thief_trace.Add(TraceOp::Compute(SimDuration::Seconds(3)));
+      }
+    }
+    out.push_back(std::move(s));
+  }
+
+  {  // (2) Document editor: opens a handful of documents while the editor
+     //     scans its config dirs. Paper ratio: 6:67.
+    ThiefScenario s;
+    s.name = "Document editor";
+    s.paper_false_positives = 6;
+    s.paper_total_keys = 67;
+    s.setup.Add(TraceOp::Mkdir("/docs"));
+    s.setup.Add(TraceOp::Mkdir("/editorcfg"));
+    s.setup.Add(TraceOp::Mkdir("/recent"));
+    for (int i = 0; i < 22; ++i) {
+      AddFile(s.setup, "/docs/paper" + std::to_string(i) + ".doc", 32 * 1024);
+    }
+    for (int i = 0; i < 25; ++i) {
+      AddFile(s.setup, "/editorcfg/cfg" + std::to_string(i), 4 * 1024);
+    }
+    for (int i = 0; i < 20; ++i) {
+      AddFile(s.setup, "/recent/r" + std::to_string(i), 4 * 1024);
+    }
+    // Editor launch scans all configs and recent-file stubs...
+    for (int i = 0; i < 25; ++i) {
+      ThiefRead(s, "/editorcfg/cfg" + std::to_string(i), 4 * 1024);
+    }
+    for (int i = 0; i < 18; ++i) {
+      ThiefRead(s, "/recent/r" + std::to_string(i), 4 * 1024);
+    }
+    s.thief_trace.Add(TraceOp::Compute(SimDuration::Seconds(5)));
+    // ...then the thief looks at a few documents.
+    for (int i = 0; i < 18; ++i) {
+      ThiefRead(s, "/docs/paper" + std::to_string(i) + ".doc", 32 * 1024);
+      if (i < 4) {
+        s.thief_trace.Add(TraceOp::Compute(SimDuration::Seconds(10)));
+      }
+    }
+    out.push_back(std::move(s));
+  }
+
+  {  // (3) Firefox: history, bookmarks, cookies, passwords — every file in
+     //     each small profile directory is read, so the directory prefetch
+     //     adds nothing. Paper ratio: 0:12.
+    ThiefScenario s;
+    s.name = "Firefox";
+    s.paper_false_positives = 0;
+    s.paper_total_keys = 12;
+    s.setup.Add(TraceOp::Mkdir("/ff"));
+    for (const char* dir :
+         {"/ff/history", "/ff/bookmarks", "/ff/cookies", "/ff/passwords"}) {
+      s.setup.Add(TraceOp::Mkdir(dir));
+    }
+    int idx = 0;
+    for (const char* dir :
+         {"/ff/history", "/ff/bookmarks", "/ff/cookies", "/ff/passwords"}) {
+      for (int i = 0; i < 3; ++i) {
+        AddFile(s.setup,
+                std::string(dir) + "/db" + std::to_string(idx++) + ".sqlite",
+                16 * 1024);
+      }
+    }
+    idx = 0;
+    for (const char* dir :
+         {"/ff/history", "/ff/bookmarks", "/ff/cookies", "/ff/passwords"}) {
+      for (int i = 0; i < 3; ++i) {
+        ThiefRead(s, std::string(dir) + "/db" + std::to_string(idx++) +
+                         ".sqlite",
+                  16 * 1024);
+      }
+      s.thief_trace.Add(TraceOp::Compute(SimDuration::Seconds(4)));
+    }
+    out.push_back(std::move(s));
+  }
+
+  return out;
+}
+
+}  // namespace keypad

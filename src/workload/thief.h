@@ -1,0 +1,35 @@
+// Thief workloads for the §5.2 false-positive evaluation. "In the absence
+// of an accepted 'thief workload', we created a few scenarios that a thief
+// might follow": (1) Thunderbird — read a few emails, browse folders,
+// search; (2) a document editor — look at a few files; (3) Firefox —
+// inspect history, bookmarks, cookies, and passwords.
+//
+// Each scenario carries the set of files the thief actually reads (the
+// ground truth against which prefetch-induced false positives are counted)
+// and the paper's reported FP:total ratio for comparison.
+
+#ifndef SRC_WORKLOAD_THIEF_H_
+#define SRC_WORKLOAD_THIEF_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/workload/trace.h"
+
+namespace keypad {
+
+struct ThiefScenario {
+  std::string name;
+  int paper_false_positives = 0;
+  int paper_total_keys = 0;
+  Trace setup;                      // Victim-side volume content.
+  Trace thief_trace;                // What the thief does post-theft.
+  std::set<std::string> files_read; // Ground truth: files actually read.
+};
+
+std::vector<ThiefScenario> MakeThiefScenarios(uint64_t seed);
+
+}  // namespace keypad
+
+#endif  // SRC_WORKLOAD_THIEF_H_

@@ -1,0 +1,88 @@
+#include "src/workload/trace.h"
+
+namespace keypad {
+
+size_t Trace::ContentOps() const {
+  size_t n = 0;
+  for (const auto& op : ops) {
+    if (op.kind == TraceOp::Kind::kRead || op.kind == TraceOp::Kind::kWrite) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t Trace::MetadataOps() const {
+  size_t n = 0;
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case TraceOp::Kind::kCreate:
+      case TraceOp::Kind::kMkdir:
+      case TraceOp::Kind::kRename:
+      case TraceOp::Kind::kUnlink:
+        ++n;
+        break;
+      default:
+        break;
+    }
+  }
+  return n;
+}
+
+SimDuration Trace::TotalCompute() const {
+  SimDuration total;
+  for (const auto& op : ops) {
+    total += op.compute;
+  }
+  return total;
+}
+
+Status TraceRunner::Execute(const TraceOp& op) {
+  switch (op.kind) {
+    case TraceOp::Kind::kCreate:
+      return fs_->Create(op.path);
+    case TraceOp::Kind::kRead:
+      return fs_->Read(op.path, op.offset, op.size).status();
+    case TraceOp::Kind::kWrite: {
+      // Synthetic but deterministic content.
+      Bytes data(op.size, static_cast<uint8_t>(op.offset * 131 + op.size));
+      return fs_->Write(op.path, op.offset, data);
+    }
+    case TraceOp::Kind::kMkdir:
+      return fs_->Mkdir(op.path);
+    case TraceOp::Kind::kRename:
+      return fs_->Rename(op.path, op.path2);
+    case TraceOp::Kind::kUnlink:
+      return fs_->Unlink(op.path);
+    case TraceOp::Kind::kReaddir:
+      return fs_->Readdir(op.path).status();
+    case TraceOp::Kind::kStat:
+      return fs_->Stat(op.path).status();
+    case TraceOp::Kind::kCompute:
+      queue_->AdvanceBy(op.compute);
+      return Status::Ok();
+  }
+  return InternalError("trace: unknown op kind");
+}
+
+TraceRunResult TraceRunner::Run(const Trace& trace) {
+  TraceRunResult result;
+  SimTime start = queue_->Now();
+  for (const auto& op : trace.ops) {
+    Status status = Execute(op);
+    ++result.ops_executed;
+    if (!status.ok()) {
+      if (result.failures == 0) {
+        result.first_failure = status;
+      }
+      ++result.failures;
+    }
+    if (after_op_) {
+      after_op_(op);
+    }
+  }
+  result.elapsed = queue_->Now() - start;
+  return result;
+}
+
+}  // namespace keypad

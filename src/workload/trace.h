@@ -1,0 +1,109 @@
+// Workload traces: the evaluation's applications, modeled as sequences of
+// file-system operations with interleaved compute time (see DESIGN.md —
+// Keypad only observes the FS op stream, so a trace that reproduces the op
+// stream reproduces the workload).
+
+#ifndef SRC_WORKLOAD_TRACE_H_
+#define SRC_WORKLOAD_TRACE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/encfs/vfs.h"
+#include "src/sim/event_queue.h"
+
+namespace keypad {
+
+struct TraceOp {
+  enum class Kind {
+    kCreate,
+    kRead,
+    kWrite,
+    kMkdir,
+    kRename,
+    kUnlink,
+    kReaddir,
+    kStat,
+    kCompute,  // Pure CPU/think time.
+  };
+  Kind kind = Kind::kCompute;
+  std::string path;
+  std::string path2;      // Rename target.
+  uint64_t offset = 0;
+  size_t size = 0;        // Read/write length (bytes written are synthetic).
+  SimDuration compute;    // kCompute only.
+
+  static TraceOp Create(std::string path) {
+    return {Kind::kCreate, std::move(path), "", 0, 0, {}};
+  }
+  static TraceOp Read(std::string path, uint64_t offset, size_t size) {
+    return {Kind::kRead, std::move(path), "", offset, size, {}};
+  }
+  static TraceOp Write(std::string path, uint64_t offset, size_t size) {
+    return {Kind::kWrite, std::move(path), "", offset, size, {}};
+  }
+  static TraceOp Mkdir(std::string path) {
+    return {Kind::kMkdir, std::move(path), "", 0, 0, {}};
+  }
+  static TraceOp Rename(std::string from, std::string to) {
+    return {Kind::kRename, std::move(from), std::move(to), 0, 0, {}};
+  }
+  static TraceOp Unlink(std::string path) {
+    return {Kind::kUnlink, std::move(path), "", 0, 0, {}};
+  }
+  static TraceOp Readdir(std::string path) {
+    return {Kind::kReaddir, std::move(path), "", 0, 0, {}};
+  }
+  static TraceOp Stat(std::string path) {
+    return {Kind::kStat, std::move(path), "", 0, 0, {}};
+  }
+  static TraceOp Compute(SimDuration d) {
+    return {Kind::kCompute, "", "", 0, 0, d};
+  }
+};
+
+struct Trace {
+  std::vector<TraceOp> ops;
+
+  void Add(TraceOp op) { ops.push_back(std::move(op)); }
+  void Append(const Trace& other) {
+    ops.insert(ops.end(), other.ops.begin(), other.ops.end());
+  }
+
+  // Aggregate op counts, for reporting against the paper's numbers.
+  size_t ContentOps() const;
+  size_t MetadataOps() const;
+  SimDuration TotalCompute() const;
+};
+
+struct TraceRunResult {
+  SimDuration elapsed;
+  size_t ops_executed = 0;
+  size_t failures = 0;
+  Status first_failure;
+};
+
+class TraceRunner {
+ public:
+  TraceRunner(Vfs* fs, EventQueue* queue) : fs_(fs), queue_(queue) {}
+
+  // Optional hook invoked after every operation (benches use it to sample
+  // cache state).
+  void set_after_op(std::function<void(const TraceOp&)> hook) {
+    after_op_ = std::move(hook);
+  }
+
+  TraceRunResult Run(const Trace& trace);
+
+ private:
+  Status Execute(const TraceOp& op);
+
+  Vfs* fs_;
+  EventQueue* queue_;
+  std::function<void(const TraceOp&)> after_op_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_WORKLOAD_TRACE_H_

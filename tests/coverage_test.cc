@@ -1,0 +1,43 @@
+// Tests for the coverage-policy helpers (§3.6).
+
+#include <gtest/gtest.h>
+
+#include "src/keypad/coverage.h"
+
+namespace keypad {
+namespace {
+
+TEST(CoverageTest, CoverDirectories) {
+  CoveragePolicy policy = CoverDirectories({"/home", "/tmp"});
+  EXPECT_TRUE(policy("/home/alice/taxes.pdf"));
+  EXPECT_TRUE(policy("/tmp/scratch"));
+  EXPECT_TRUE(policy("/home"));
+  EXPECT_FALSE(policy("/usr/lib/libc.so"));
+  EXPECT_FALSE(policy("/homework/essay.txt"));  // Prefix, not ancestor.
+}
+
+TEST(CoverageTest, CoverHomeAndTmpDefault) {
+  CoveragePolicy policy = CoverHomeAndTmp();
+  EXPECT_TRUE(policy("/home/x"));
+  EXPECT_TRUE(policy("/tmp/y"));
+  EXPECT_FALSE(policy("/var/log/syslog"));
+}
+
+TEST(CoverageTest, CoverAllExcept) {
+  CoveragePolicy policy = CoverAllExcept({"/usr", "/lib", "/etc"});
+  EXPECT_TRUE(policy("/home/secret"));
+  EXPECT_TRUE(policy("/data/db.sqlite"));
+  EXPECT_FALSE(policy("/usr/bin/ls"));
+  EXPECT_FALSE(policy("/etc/passwd"));
+}
+
+TEST(CoverageTest, CoverExtensions) {
+  CoveragePolicy policy = CoverExtensions({".pdf", ".xls"});
+  EXPECT_TRUE(policy("/anywhere/at/all/taxes.pdf"));
+  EXPECT_TRUE(policy("/a/payroll.xls"));
+  EXPECT_FALSE(policy("/a/notes.txt"));
+  EXPECT_FALSE(policy("/a/pdf"));  // Extension, not suffix of the name.
+}
+
+}  // namespace
+}  // namespace keypad

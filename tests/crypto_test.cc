@@ -1,0 +1,207 @@
+// Tests for the from-scratch crypto primitives against published vectors:
+// FIPS 180-4 (SHA-256), RFC 4231 (HMAC), RFC 5869 (HKDF), FIPS 197 /
+// SP 800-38A (AES), RFC 8439 (ChaCha20).
+
+#include <gtest/gtest.h>
+
+#include "src/cryptocore/aes.h"
+#include "src/cryptocore/chacha20.h"
+#include "src/cryptocore/hmac.h"
+#include "src/cryptocore/secure_random.h"
+#include "src/cryptocore/sha256.h"
+#include "src/util/bytes.h"
+
+namespace keypad {
+namespace {
+
+std::string HexDigest(const Sha256::Digest& d) {
+  return ToHex(d.data(), d.size());
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HexDigest(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexDigest(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HexDigest(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAsStreaming) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(HexDigest(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(HexDigest(h.Finish()), HexDigest(Sha256::Hash(msg)));
+  }
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Bytes mac = HmacSha256(key, "Hi There");
+  EXPECT_EQ(ToHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  Bytes mac = HmacSha256(BytesOf("Jefe"), "what do ya want for nothing?");
+  EXPECT_EQ(ToHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);
+  Bytes mac = HmacSha256(
+      key, "Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(ToHex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HkdfTest, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = *FromHex("000102030405060708090a0b0c");
+  // RFC 5869 expresses info as bytes f0..f9.
+  Bytes info_bytes = *FromHex("f0f1f2f3f4f5f6f7f8f9");
+  std::string info(info_bytes.begin(), info_bytes.end());
+  Bytes okm = Hkdf(ikm, salt, info, 42);
+  EXPECT_EQ(ToHex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(PasswordKdfTest, DeterministicAndSaltSensitive) {
+  Bytes salt1 = {1, 2, 3};
+  Bytes salt2 = {1, 2, 4};
+  Bytes k1 = PasswordKdf("hunter2", salt1, 100, 32);
+  Bytes k2 = PasswordKdf("hunter2", salt1, 100, 32);
+  Bytes k3 = PasswordKdf("hunter2", salt2, 100, 32);
+  Bytes k4 = PasswordKdf("hunter3", salt1, 100, 32);
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, k3);
+  EXPECT_NE(k1, k4);
+  EXPECT_EQ(k1.size(), 32u);
+}
+
+TEST(PasswordKdfTest, Pbkdf2Sha256KnownVector) {
+  // PBKDF2-HMAC-SHA256("password", "salt", 1, 32) first block.
+  Bytes out = PasswordKdf("password", BytesOf("salt"), 1, 32);
+  EXPECT_EQ(ToHex(out),
+            "120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b");
+}
+
+TEST(ConstantTimeEqualsTest, Basic) {
+  EXPECT_TRUE(ConstantTimeEquals({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(ConstantTimeEquals({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(ConstantTimeEquals({1, 2}, {1, 2, 3}));
+}
+
+TEST(Aes256Test, Fips197Vector) {
+  Bytes key = *FromHex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  auto aes = Aes256::Create(key);
+  ASSERT_TRUE(aes.ok());
+  Bytes pt = *FromHex("00112233445566778899aabbccddeeff");
+  uint8_t ct[16];
+  aes->EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(ToHex(ct, 16), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes256Test, RejectsBadKeySize) {
+  EXPECT_FALSE(Aes256::Create(Bytes(16, 0)).ok());
+  EXPECT_FALSE(Aes256::Create(Bytes(33, 0)).ok());
+}
+
+TEST(Aes256Test, CtrSp80038aVector) {
+  // NIST SP 800-38A F.5.5 (CTR-AES256.Encrypt), first two blocks.
+  Bytes key = *FromHex(
+      "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+  Bytes iv = *FromHex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  auto aes = Aes256::Create(key);
+  ASSERT_TRUE(aes.ok());
+  Bytes pt = *FromHex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  Bytes ct = aes->CtrXor(iv, 0, pt);
+  EXPECT_EQ(ToHex(ct),
+            "601ec313775789a5b7a7f504bbf3d228"
+            "f443e3ca4d62b59aca84e990cacaf5c5");
+}
+
+TEST(Aes256Test, CtrRoundTripsAndIsOffsetConsistent) {
+  Bytes key(32, 0x42);
+  Bytes iv(16, 0x07);
+  auto aes = Aes256::Create(key);
+  ASSERT_TRUE(aes.ok());
+  Bytes pt;
+  for (int i = 0; i < 1000; ++i) {
+    pt.push_back(static_cast<uint8_t>(i * 31));
+  }
+  Bytes ct = aes->CtrXor(iv, 0, pt);
+  EXPECT_NE(ct, pt);
+  EXPECT_EQ(aes->CtrXor(iv, 0, ct), pt);
+
+  // Decrypting a middle slice with the matching offset must line up.
+  Bytes slice(ct.begin() + 100, ct.begin() + 250);
+  Bytes dec = aes->CtrXor(iv, 100, slice);
+  EXPECT_EQ(dec, Bytes(pt.begin() + 100, pt.begin() + 250));
+}
+
+TEST(ChaCha20Test, Rfc8439BlockVector) {
+  // RFC 8439 section 2.3.2.
+  Bytes key = *FromHex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Bytes nonce = *FromHex("000000090000004a00000000");
+  uint8_t out[64];
+  ChaCha20Block(key.data(), 1, nonce.data(), out);
+  EXPECT_EQ(ToHex(out, 64),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(SecureRandomTest, DeterministicForSeed) {
+  SecureRandom a(uint64_t{99}), b(uint64_t{99}), c(uint64_t{100});
+  Bytes ba = a.NextBytes(64);
+  Bytes bb = b.NextBytes(64);
+  Bytes bc = c.NextBytes(64);
+  EXPECT_EQ(ba, bb);
+  EXPECT_NE(ba, bc);
+}
+
+TEST(SecureRandomTest, ForkIndependence) {
+  SecureRandom parent(uint64_t{5});
+  SecureRandom child1 = parent.Fork();
+  SecureRandom child2 = parent.Fork();
+  EXPECT_NE(child1.NextBytes(32), child2.NextBytes(32));
+}
+
+TEST(SecureRandomTest, OutputLooksUnbiased) {
+  SecureRandom rng(uint64_t{123});
+  Bytes data = rng.NextBytes(100000);
+  size_t ones = 0;
+  for (uint8_t b : data) {
+    ones += static_cast<size_t>(__builtin_popcount(b));
+  }
+  double frac = static_cast<double>(ones) / (data.size() * 8);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace keypad

@@ -1,0 +1,110 @@
+// Stress/property tests for the event queue — the substrate every
+// experiment's determinism rests on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+
+namespace keypad {
+namespace {
+
+TEST(EventQueueStressTest, RandomScheduleCancelPreservesTimeOrder) {
+  SimRandom rng(1);
+  EventQueue q;
+  std::vector<SimTime> fired;
+  std::vector<EventQueue::EventId> cancellable;
+
+  for (int i = 0; i < 5000; ++i) {
+    SimTime at(static_cast<int64_t>(rng.UniformU64(1000000)));
+    auto id = q.Schedule(at, [&fired, &q] { fired.push_back(q.Now()); });
+    if (rng.Bernoulli(0.3)) {
+      cancellable.push_back(id);
+    }
+  }
+  size_t cancelled = 0;
+  for (auto id : cancellable) {
+    cancelled += q.Cancel(id);
+  }
+  q.RunUntilIdle();
+
+  EXPECT_EQ(fired.size(), 5000 - cancelled);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST(EventQueueStressTest, HandlersSchedulingHandlersTerminate) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 1000) {
+      q.ScheduleAfter(SimDuration(1), chain);
+    }
+  };
+  q.ScheduleAfter(SimDuration(1), chain);
+  q.RunUntilIdle();
+  EXPECT_EQ(depth, 1000);
+  EXPECT_EQ(q.Now(), SimTime(1000));
+}
+
+TEST(EventQueueStressTest, InterleavedAdvanceAndRunUntilFlag) {
+  SimRandom rng(2);
+  EventQueue q;
+  int fired = 0;
+  for (int round = 0; round < 200; ++round) {
+    bool flag = false;
+    SimDuration delay(static_cast<int64_t>(rng.UniformU64(1000) + 1));
+    q.ScheduleAfter(delay, [&] {
+      ++fired;
+      flag = true;
+    });
+    // Extra background events.
+    q.ScheduleAfter(SimDuration(static_cast<int64_t>(rng.UniformU64(2000))),
+                    [&] { ++fired; });
+    if (rng.Bernoulli(0.5)) {
+      EXPECT_TRUE(q.RunUntilFlag(&flag));
+      EXPECT_TRUE(flag);
+    } else {
+      q.AdvanceBy(SimDuration(3000));
+      EXPECT_TRUE(flag);
+    }
+  }
+  q.RunUntilIdle();
+  EXPECT_EQ(fired, 400);
+}
+
+TEST(EventQueueStressTest, PastDeadlinesClampToNow) {
+  EventQueue q;
+  q.AdvanceBy(SimDuration::Seconds(100));
+  bool ran = false;
+  // Scheduling in the past executes at (not before) the current instant.
+  q.Schedule(SimTime(5), [&] {
+    ran = true;
+    EXPECT_EQ(q.Now(), SimTime::Epoch() + SimDuration::Seconds(100));
+  });
+  q.RunUntilIdle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueStressTest, DeterministicAcrossRuns) {
+  auto run_once = [](uint64_t seed) {
+    SimRandom rng(seed);
+    EventQueue q;
+    uint64_t signature = 0;
+    for (int i = 0; i < 1000; ++i) {
+      SimTime at(static_cast<int64_t>(rng.UniformU64(100000)));
+      q.Schedule(at, [&signature, &q] {
+        signature = signature * 1099511628211ull +
+                    static_cast<uint64_t>(q.Now().nanos());
+      });
+    }
+    q.RunUntilIdle();
+    return signature;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+}  // namespace
+}  // namespace keypad

@@ -1,0 +1,288 @@
+// Tests for the forensic auditor: report structure, exposure windows,
+// prefetch false-positive classification, tamper detection, and the
+// paper's two motivating scenarios (Alice's corporate laptop, Bob's USB
+// stick).
+
+#include <gtest/gtest.h>
+
+#include "src/keypad/deployment.h"
+#include "src/util/strings.h"
+
+namespace keypad {
+namespace {
+
+class ForensicsTest : public ::testing::Test {
+ protected:
+  static DeploymentOptions Opts() {
+    DeploymentOptions options;
+    options.profile = BroadbandProfile();
+    options.config.ibe_enabled = false;
+    options.config.prefetch = PrefetchPolicy::FullDirOnNthMiss(3);
+    return options;
+  }
+  ForensicsTest() : dep_(Opts()) {}
+
+  AuditId IdOf(const std::string& path) {
+    return dep_.fs().ReadHeaderOf(path)->audit_id;
+  }
+
+  Deployment dep_;
+};
+
+TEST_F(ForensicsTest, ReportResolvesLatestTrustedPaths) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Mkdir("/home").ok());
+  ASSERT_TRUE(fs.Create("/home/draft.txt").ok());
+  ASSERT_TRUE(fs.WriteAll("/home/draft.txt", BytesOf("d")).ok());
+  ASSERT_TRUE(fs.Rename("/home/draft.txt", "/home/final.txt").ok());
+  dep_.queue().AdvanceBy(fs.config().texp * 2 + SimDuration::Seconds(2));
+  SimTime t_loss = dep_.queue().Now();
+
+  // Thief reads the file.
+  auto attacker = dep_.MakeAttacker();
+  auto creds = attacker.StealCredentials();
+  auto clients = dep_.MakeAttackerClients(*creds);
+  auto thief_fs = attacker.MountOnline(clients->services, Opts().config);
+  ASSERT_TRUE((*thief_fs)->ReadAll("/home/final.txt").ok());
+
+  auto report =
+      dep_.auditor().BuildReport(dep_.device_id(), t_loss, fs.config().texp);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->compromised.size(), 1u);
+  EXPECT_EQ(report->compromised[0].path_at_loss, "/home/final.txt");
+  EXPECT_TRUE(report->compromised[0].accessed_after_loss);
+  EXPECT_FALSE(report->compromised[0].prefetch_only);
+  EXPECT_FALSE(report->ToString().empty());
+}
+
+TEST_F(ForensicsTest, PrefetchOnlyFilesAreFlagged) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Mkdir("/dir").ok());
+  for (int i = 0; i < 6; ++i) {
+    std::string path = "/dir/f" + std::to_string(i);
+    ASSERT_TRUE(fs.Create(path).ok());
+    ASSERT_TRUE(fs.WriteAll(path, BytesOf("x")).ok());
+  }
+  dep_.queue().AdvanceBy(fs.config().texp * 2 + SimDuration::Seconds(2));
+  SimTime t_loss = dep_.queue().Now();
+
+  // The thief scans: reads three files, triggering a directory prefetch of
+  // the rest.
+  auto attacker = dep_.MakeAttacker();
+  auto creds = attacker.StealCredentials();
+  auto clients = dep_.MakeAttackerClients(*creds);
+  auto thief_fs = attacker.MountOnline(clients->services, Opts().config);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*thief_fs)->ReadAll("/dir/f" + std::to_string(i)).ok());
+  }
+
+  auto report =
+      dep_.auditor().BuildReport(dep_.device_id(), t_loss, fs.config().texp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->compromised.size(), 6u);
+  EXPECT_EQ(report->demand_accessed_count, 3u);
+  EXPECT_EQ(report->prefetch_only_count, 3u);
+  for (const auto& entry : report->compromised) {
+    bool was_read = entry.path_at_loss == "/dir/f0" ||
+                    entry.path_at_loss == "/dir/f1" ||
+                    entry.path_at_loss == "/dir/f2";
+    EXPECT_EQ(entry.prefetch_only, !was_read) << entry.path_at_loss;
+  }
+}
+
+TEST_F(ForensicsTest, ExposureWindowIncludesPreLossCachedKeys) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/a").ok());
+  ASSERT_TRUE(fs.WriteAll("/a", BytesOf("1")).ok());
+  dep_.queue().AdvanceBy(fs.config().texp * 2 + SimDuration::Seconds(2));
+
+  // /a fetched again 50 s before loss — inside the window.
+  ASSERT_TRUE(fs.ReadAll("/a").ok());
+  dep_.queue().AdvanceBy(SimDuration::Seconds(50));
+  SimTime t_loss = dep_.queue().Now();
+
+  auto report =
+      dep_.auditor().BuildReport(dep_.device_id(), t_loss, fs.config().texp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Compromised(IdOf("/a")));
+  // The access is pre-loss: flagged as window exposure, not post-loss use.
+  for (const auto& e : report->compromised) {
+    if (e.audit_id == IdOf("/a")) {
+      EXPECT_FALSE(e.accessed_after_loss);
+    }
+  }
+
+  // With a fresh report 200 s later (no new accesses), /a ages out.
+  dep_.queue().AdvanceBy(SimDuration::Seconds(200));
+  auto later = dep_.auditor().BuildReport(
+      dep_.device_id(), dep_.queue().Now(), fs.config().texp);
+  ASSERT_TRUE(later.ok());
+  EXPECT_FALSE(later->Compromised(IdOf("/a")));
+}
+
+TEST_F(ForensicsTest, HibernationEvictionClearsExposureWindow) {
+  // The user reads a file, then hibernates 10 s before the theft: the
+  // eviction record proves the key left memory, so a cold theft exposes
+  // nothing (§6: "such evictions should be recorded on the audit servers").
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/f").ok());
+  ASSERT_TRUE(fs.WriteAll("/f", BytesOf("x")).ok());
+  dep_.queue().AdvanceBy(SimDuration::Seconds(30));
+  fs.Hibernate();
+  dep_.queue().RunUntilIdle();
+  dep_.queue().AdvanceBy(SimDuration::Seconds(10));
+  SimTime t_loss = dep_.queue().Now();
+
+  auto report =
+      dep_.auditor().BuildReport(dep_.device_id(), t_loss, fs.config().texp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->Compromised(IdOf("/f")))
+      << "evicted key wrongly reported as window exposure";
+}
+
+TEST_F(ForensicsTest, ForgedPostLossEvictionDoesNotHideExposure) {
+  // A thief (who holds the device credentials) uploads a journaled
+  // eviction with a forged pre-loss client timestamp. The service appended
+  // it *after* Tloss, so the auditor must ignore it.
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/f").ok());
+  ASSERT_TRUE(fs.WriteAll("/f", BytesOf("x")).ok());
+  dep_.queue().AdvanceBy(SimDuration::Seconds(50));
+  SimTime t_loss = dep_.queue().Now();  // Key still cached: exposed window.
+  dep_.queue().AdvanceBy(SimDuration::Minutes(5));
+
+  KeyService::JournalEntry forged;
+  forged.audit_id = IdOf("/f");
+  forged.op = AccessOp::kEviction;
+  forged.client_time = t_loss - SimDuration::Seconds(10);  // The lie.
+  ASSERT_TRUE(
+      dep_.key_service().UploadJournal(dep_.device_id(), {forged}).ok());
+
+  auto report =
+      dep_.auditor().BuildReport(dep_.device_id(), t_loss, fs.config().texp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Compromised(IdOf("/f")))
+      << "forged eviction hid a genuinely exposed key";
+}
+
+TEST_F(ForensicsTest, AccessAfterEvictionStillReported) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/f").ok());
+  ASSERT_TRUE(fs.WriteAll("/f", BytesOf("x")).ok());
+  fs.Hibernate();
+  dep_.queue().RunUntilIdle();
+  // Re-read after hibernation: a fresh fetch follows the eviction.
+  ASSERT_TRUE(fs.ReadAll("/f").ok());
+  dep_.queue().AdvanceBy(SimDuration::Seconds(10));
+  SimTime t_loss = dep_.queue().Now();
+
+  auto report =
+      dep_.auditor().BuildReport(dep_.device_id(), t_loss, fs.config().texp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Compromised(IdOf("/f")));
+}
+
+TEST_F(ForensicsTest, TamperedKeyLogIsReported) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/f").ok());
+  const_cast<AuditLog&>(dep_.key_service().log()).CorruptEntryForTesting(0);
+  auto report = dep_.auditor().BuildReport(dep_.device_id(),
+                                           dep_.queue().Now(),
+                                           fs.config().texp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->key_log_verified);
+}
+
+// --- The paper's two motivating scenarios (§2). -------------------------------
+
+TEST(ScenarioTest, AliceCorporateLaptop) {
+  // Alice's IT department tracks /corporate only.
+  DeploymentOptions options;
+  options.profile = WlanProfile();
+  options.config.ibe_enabled = false;
+  options.config.coverage = [](const std::string& path) {
+    return PathIsWithin(path, "/corporate");
+  };
+  options.device_id = "alice-laptop";
+  Deployment dep(options);
+  auto& fs = dep.fs();
+
+  ASSERT_TRUE(fs.Mkdir("/corporate").ok());
+  ASSERT_TRUE(fs.Mkdir("/personal").ok());
+  ASSERT_TRUE(fs.Create("/corporate/merger_plan.doc").ok());
+  ASSERT_TRUE(
+      fs.WriteAll("/corporate/merger_plan.doc", BytesOf("top secret")).ok());
+  ASSERT_TRUE(fs.Create("/personal/photo.jpg").ok());
+  ASSERT_TRUE(fs.WriteAll("/personal/photo.jpg", BytesOf("pixels")).ok());
+  dep.queue().AdvanceBy(SimDuration::Minutes(10));
+
+  // Laptop disappears during a two-hour dinner.
+  SimTime t_loss = dep.queue().Now();
+  dep.queue().AdvanceBy(SimDuration::Hours(2));
+
+  // Alice reports the loss; IT disables access and audits.
+  dep.ReportDeviceLost();
+  auto report = dep.auditor().BuildReport("alice-laptop", t_loss,
+                                          dep.fs().config().texp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->compromised.empty())
+      << "no sensitive files were accessed in the window";
+
+  // A later thief can't get in, and the attempt shows up.
+  auto attacker = dep.MakeAttacker();
+  auto creds = attacker.StealCredentials();
+  ASSERT_TRUE(creds.ok());
+  auto clients = dep.MakeAttackerClients(*creds);
+  auto thief_fs = attacker.MountOnline(clients->services, options.config);
+  ASSERT_TRUE(thief_fs.ok());
+  EXPECT_FALSE((*thief_fs)->ReadAll("/corporate/merger_plan.doc").ok());
+
+  auto report2 = dep.auditor().BuildReport("alice-laptop", t_loss,
+                                           dep.fs().config().texp);
+  ASSERT_TRUE(report2.ok());
+  EXPECT_GE(report2->denied_attempts, 1u);
+}
+
+TEST(ScenarioTest, BobsUsbStickAtTheAccountant) {
+  // Bob's USB stick: a passive storage device. Accesses happen from other
+  // machines mounting it — modeled by fresh mounts against the snapshot.
+  DeploymentOptions options;
+  options.profile = BroadbandProfile();
+  options.config.ibe_enabled = false;
+  options.device_id = "bob-usb-stick";
+  options.password = "bob gave this password away";
+  Deployment dep(options);
+  auto& fs = dep.fs();
+  ASSERT_TRUE(fs.Mkdir("/taxes").ok());
+  for (int i = 0; i < 3; ++i) {
+    std::string path = "/taxes/w2_" + std::to_string(i) + ".pdf";
+    ASSERT_TRUE(fs.Create(path).ok());
+    ASSERT_TRUE(fs.WriteAll(path, BytesOf("wages")).ok());
+  }
+  dep.queue().AdvanceBy(SimDuration::Minutes(30));
+  SimTime handed_over = dep.queue().Now();
+
+  // The accountant (or whoever ended up with the stick) reads the taxes a
+  // week later from their own machine.
+  dep.queue().AdvanceBy(SimDuration::Days(7));
+  auto attacker = dep.MakeAttacker();  // "Own machine + password".
+  auto creds = attacker.StealCredentials();
+  auto clients = dep.MakeAttackerClients(*creds);
+  auto reader_fs = attacker.MountOnline(clients->services, options.config);
+  ASSERT_TRUE(reader_fs.ok());
+  ASSERT_TRUE((*reader_fs)->ReadAll("/taxes/w2_0.pdf").ok());
+  ASSERT_TRUE((*reader_fs)->ReadAll("/taxes/w2_1.pdf").ok());
+
+  // Bob checks the drive maker's web audit page.
+  auto report = dep.auditor().BuildReport("bob-usb-stick", handed_over,
+                                          dep.fs().config().texp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->compromised.size(), 2u);
+  for (const auto& entry : report->compromised) {
+    EXPECT_TRUE(entry.accessed_after_loss);
+    EXPECT_TRUE(PathIsWithin(entry.path_at_loss, "/taxes"));
+  }
+}
+
+}  // namespace
+}  // namespace keypad

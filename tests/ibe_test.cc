@@ -1,0 +1,250 @@
+// Tests for the from-scratch pairing and Boneh–Franklin IBE. These use the
+// 256-bit test parameter set for speed; one test exercises the 512-bit
+// production parameters end to end.
+
+#include <gtest/gtest.h>
+
+#include "src/ibe/bf_ibe.h"
+#include "src/ibe/curve.h"
+#include "src/ibe/fp2.h"
+#include "src/ibe/pairing.h"
+
+namespace keypad {
+namespace {
+
+class IbeTest : public ::testing::Test {
+ protected:
+  const PairingParams& params_ = TestPairingParams();
+};
+
+TEST_F(IbeTest, ParamsAreWellFormed) {
+  SecureRandom rng(uint64_t{1});
+  EXPECT_TRUE(BigInt::IsProbablePrime(params_.p, rng, 8));
+  EXPECT_TRUE(BigInt::IsProbablePrime(params_.q, rng, 8));
+  // p ≡ 3 (mod 4).
+  EXPECT_TRUE(params_.p.Bit(0));
+  EXPECT_TRUE(params_.p.Bit(1));
+  // p + 1 = q * cofactor.
+  EXPECT_EQ(BigInt::Mul(params_.q, params_.cofactor),
+            BigInt::Add(params_.p, BigInt::One()));
+  // Generator on curve with exact order q.
+  EXPECT_TRUE(IsOnCurve(params_.g, params_));
+  EXPECT_FALSE(params_.g.infinity);
+  EXPECT_TRUE(EcScalarMul(params_.q, params_.g, params_.p).infinity);
+}
+
+TEST_F(IbeTest, Fp2FieldAxioms) {
+  SecureRandom rng(uint64_t{2});
+  const BigInt& p = params_.p;
+  for (int i = 0; i < 20; ++i) {
+    Fp2 a{BigInt::RandomBelow(rng, p), BigInt::RandomBelow(rng, p)};
+    Fp2 b{BigInt::RandomBelow(rng, p), BigInt::RandomBelow(rng, p)};
+    Fp2 c{BigInt::RandomBelow(rng, p), BigInt::RandomBelow(rng, p)};
+    // Commutativity and associativity of multiplication.
+    EXPECT_EQ(Fp2Mul(a, b, p), Fp2Mul(b, a, p));
+    EXPECT_EQ(Fp2Mul(Fp2Mul(a, b, p), c, p), Fp2Mul(a, Fp2Mul(b, c, p), p));
+    // Distributivity.
+    EXPECT_EQ(Fp2Mul(a, Fp2Add(b, c, p), p),
+              Fp2Add(Fp2Mul(a, b, p), Fp2Mul(a, c, p), p));
+    // Square matches mul.
+    EXPECT_EQ(Fp2Square(a, p), Fp2Mul(a, a, p));
+    // Inverse.
+    if (!a.IsZero()) {
+      EXPECT_TRUE(Fp2Mul(a, Fp2Inverse(a, p), p).IsOne());
+    }
+    // Conjugate is the Frobenius for p ≡ 3 mod 4: a^p == conj(a).
+    EXPECT_EQ(Fp2Pow(a, p, p), Fp2Conjugate(a, p));
+  }
+}
+
+TEST_F(IbeTest, EcGroupLaws) {
+  const BigInt& p = params_.p;
+  const EcPoint& g = params_.g;
+  EcPoint g2 = EcDouble(g, p);
+  EcPoint g3a = EcAdd(g2, g, p);
+  EcPoint g3b = EcAdd(g, g2, p);
+  EXPECT_EQ(g3a, g3b);
+  EXPECT_TRUE(IsOnCurve(g2, params_));
+  EXPECT_TRUE(IsOnCurve(g3a, params_));
+
+  // P + (-P) = O; P + O = P.
+  EXPECT_TRUE(EcAdd(g, EcNegate(g, p), p).infinity);
+  EXPECT_EQ(EcAdd(g, EcPoint::Infinity(), p), g);
+
+  // Scalar arithmetic: (a+b)G = aG + bG.
+  BigInt a = BigInt::FromU64(123456789);
+  BigInt b = BigInt::FromU64(987654321);
+  EcPoint lhs = EcScalarMul(BigInt::Add(a, b), g, p);
+  EcPoint rhs = EcAdd(EcScalarMul(a, g, p), EcScalarMul(b, g, p), p);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_F(IbeTest, HashToPointLandsInSubgroup) {
+  for (const char* id : {"alice", "bob", "/home/taxes_2011|0042"}) {
+    EcPoint q = HashToPoint(id, params_);
+    EXPECT_FALSE(q.infinity);
+    EXPECT_TRUE(IsOnCurve(q, params_));
+    EXPECT_TRUE(EcScalarMul(params_.q, q, params_.p).infinity);
+  }
+  // Deterministic and identity-sensitive.
+  EXPECT_EQ(HashToPoint("alice", params_), HashToPoint("alice", params_));
+  EXPECT_FALSE(HashToPoint("alice", params_) == HashToPoint("alicf", params_));
+}
+
+TEST_F(IbeTest, PointSerializationRoundTrip) {
+  EcPoint g2 = EcDouble(params_.g, params_.p);
+  Bytes ser = SerializePoint(g2, params_);
+  auto back = DeserializePoint(ser, params_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, g2);
+
+  Bytes inf_ser = SerializePoint(EcPoint::Infinity(), params_);
+  auto inf = DeserializePoint(inf_ser, params_);
+  ASSERT_TRUE(inf.ok());
+  EXPECT_TRUE(inf->infinity);
+
+  // Corrupted points are rejected.
+  ser[5] ^= 1;
+  EXPECT_FALSE(DeserializePoint(ser, params_).ok());
+  EXPECT_FALSE(DeserializePoint(Bytes(3, 0), params_).ok());
+}
+
+TEST_F(IbeTest, PairingNonDegenerate) {
+  Fp2 e = TatePairing(params_.g, params_.g, params_);
+  EXPECT_FALSE(e.IsOne());
+  EXPECT_FALSE(e.IsZero());
+  // Value lies in mu_q: e^q == 1.
+  EXPECT_TRUE(Fp2Pow(e, params_.q, params_.p).IsOne());
+}
+
+TEST_F(IbeTest, PairingBilinear) {
+  const BigInt& p = params_.p;
+  BigInt a = BigInt::FromU64(31337);
+  BigInt b = BigInt::FromU64(271828);
+  EcPoint ag = EcScalarMul(a, params_.g, p);
+  EcPoint bg = EcScalarMul(b, params_.g, p);
+
+  Fp2 e_base = TatePairing(params_.g, params_.g, params_);
+  Fp2 e_ab = TatePairing(ag, bg, params_);
+  Fp2 e_base_ab = Fp2Pow(e_base, BigInt::Mul(a, b), p);
+  EXPECT_EQ(e_ab, e_base_ab);
+
+  // e(aP, Q) == e(P, aQ).
+  EXPECT_EQ(TatePairing(ag, params_.g, params_),
+            TatePairing(params_.g, ag, params_));
+}
+
+TEST_F(IbeTest, PairingWithInfinityIsOne) {
+  EXPECT_TRUE(TatePairing(EcPoint::Infinity(), params_.g, params_).IsOne());
+  EXPECT_TRUE(TatePairing(params_.g, EcPoint::Infinity(), params_).IsOne());
+}
+
+TEST_F(IbeTest, EncryptDecryptRoundTrip) {
+  SecureRandom rng(uint64_t{77});
+  IbePkg pkg(params_, rng);
+  Bytes message = BytesOf("the wrapped per-file data key: 32 bytes here!!");
+
+  IbeCiphertext ct =
+      IbeEncrypt(pkg.public_params(), "/home/taxes_2011|id42", message, rng);
+  IbePrivateKey key = pkg.Extract("/home/taxes_2011|id42");
+  auto pt = IbeDecrypt(pkg.public_params(), key, ct);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(*pt, message);
+}
+
+TEST_F(IbeTest, WrongIdentityFailsToDecrypt) {
+  SecureRandom rng(uint64_t{78});
+  IbePkg pkg(params_, rng);
+  Bytes message = BytesOf("secret");
+
+  IbeCiphertext ct =
+      IbeEncrypt(pkg.public_params(), "/home/real_path|id1", message, rng);
+  // The thief lies about the pathname; the PKG hands him a key for the
+  // bogus identity, which cannot unlock the file.
+  IbePrivateKey bogus = pkg.Extract("/tmp/download|id1");
+  auto pt = IbeDecrypt(pkg.public_params(), bogus, ct);
+  EXPECT_FALSE(pt.ok());
+  EXPECT_EQ(pt.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(IbeTest, TamperedCiphertextRejected) {
+  SecureRandom rng(uint64_t{79});
+  IbePkg pkg(params_, rng);
+  IbeCiphertext ct =
+      IbeEncrypt(pkg.public_params(), "id", BytesOf("payload"), rng);
+  IbePrivateKey key = pkg.Extract("id");
+
+  IbeCiphertext bad = ct;
+  bad.ct[0] ^= 1;
+  EXPECT_FALSE(IbeDecrypt(pkg.public_params(), key, bad).ok());
+
+  bad = ct;
+  bad.tag[0] ^= 1;
+  EXPECT_FALSE(IbeDecrypt(pkg.public_params(), key, bad).ok());
+}
+
+TEST_F(IbeTest, CiphertextSerializationRoundTrip) {
+  SecureRandom rng(uint64_t{80});
+  IbePkg pkg(params_, rng);
+  IbeCiphertext ct =
+      IbeEncrypt(pkg.public_params(), "id", BytesOf("some payload"), rng);
+  Bytes ser = ct.Serialize(params_);
+  auto back = IbeCiphertext::Deserialize(ser, params_);
+  ASSERT_TRUE(back.ok());
+  IbePrivateKey key = pkg.Extract("id");
+  auto pt = IbeDecrypt(pkg.public_params(), key, *back);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(StringOf(*pt), "some payload");
+}
+
+TEST_F(IbeTest, PrivateKeySerializationRoundTrip) {
+  SecureRandom rng(uint64_t{81});
+  IbePkg pkg(params_, rng);
+  IbePrivateKey key = pkg.Extract("alice");
+  Bytes ser = key.Serialize(params_);
+  auto back = IbePrivateKey::Deserialize("alice", ser, params_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->d, key.d);
+}
+
+TEST_F(IbeTest, DistinctPkgsProduceIncompatibleKeys) {
+  SecureRandom rng(uint64_t{82});
+  IbePkg pkg1(params_, rng);
+  IbePkg pkg2(params_, rng);
+  IbeCiphertext ct =
+      IbeEncrypt(pkg1.public_params(), "id", BytesOf("x"), rng);
+  IbePrivateKey foreign = pkg2.Extract("id");
+  EXPECT_FALSE(IbeDecrypt(pkg1.public_params(), foreign, ct).ok());
+}
+
+TEST(IbeProductionParamsTest, FullRoundTripAt512Bits) {
+  const PairingParams& params = DefaultPairingParams();
+  EXPECT_EQ(params.p.BitLength(), 512);
+  EXPECT_EQ(params.q.BitLength(), 160);
+  SecureRandom rng(uint64_t{99});
+  IbePkg pkg(params, rng);
+  Bytes message(48, 0xAB);
+  IbeCiphertext ct = IbeEncrypt(pkg.public_params(), "prod-id", message, rng);
+  auto pt = IbeDecrypt(pkg.public_params(), pkg.Extract("prod-id"), ct);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(*pt, message);
+}
+
+TEST(IbeParamGenTest, CustomSmallParams) {
+  SecureRandom rng(uint64_t{123});
+  auto params = GeneratePairingParams(rng, 192, 96);
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ(params->p.BitLength(), 192);
+  EXPECT_TRUE(EcScalarMul(params->q, params->g, params->p).infinity);
+  // Pairing is non-degenerate on the fresh group too.
+  EXPECT_FALSE(TatePairing(params->g, params->g, *params).IsOne());
+}
+
+TEST(IbeParamGenTest, RejectsBadSizes) {
+  SecureRandom rng(uint64_t{124});
+  EXPECT_FALSE(GeneratePairingParams(rng, 100, 96).ok());
+  EXPECT_FALSE(GeneratePairingParams(rng, 512, 16).ok());
+}
+
+}  // namespace
+}  // namespace keypad

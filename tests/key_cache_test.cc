@@ -1,0 +1,167 @@
+// Unit tests for the key cache: expiration, in-use refresh, secure erase,
+// and the exact time-averaged size accounting Fig. 11 relies on.
+
+#include <gtest/gtest.h>
+
+#include "src/keypad/key_cache.h"
+#include "src/sim/event_queue.h"
+
+namespace keypad {
+namespace {
+
+class KeyCacheTest : public ::testing::Test {
+ protected:
+  KeyCacheTest() : cache_(&queue_, SimDuration::Seconds(100)) {
+    rng_ = std::make_unique<SecureRandom>(uint64_t{1});
+  }
+
+  AuditId NewId() { return AuditId::Random(*rng_); }
+
+  EventQueue queue_;
+  KeyCache cache_;
+  std::unique_ptr<SecureRandom> rng_;
+};
+
+TEST_F(KeyCacheTest, InsertLookupRoundTrip) {
+  AuditId id = NewId();
+  EXPECT_FALSE(cache_.Lookup(id).has_value());
+  cache_.Insert(id, Bytes{1, 2, 3});
+  auto key = cache_.Lookup(id);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, (Bytes{1, 2, 3}));
+  EXPECT_TRUE(cache_.Contains(id));
+  EXPECT_EQ(cache_.size(), 1u);
+}
+
+TEST_F(KeyCacheTest, UnusedKeyExpiresExactlyAtTexp) {
+  AuditId id = NewId();
+  cache_.Insert(id, Bytes{1});
+  queue_.AdvanceBy(SimDuration::Seconds(99));
+  EXPECT_TRUE(cache_.Contains(id));
+  queue_.AdvanceBy(SimDuration::Seconds(2));
+  EXPECT_FALSE(cache_.Contains(id));
+}
+
+TEST_F(KeyCacheTest, UsedKeyWithoutRefreshFnStillExpires) {
+  AuditId id = NewId();
+  cache_.Insert(id, Bytes{1});
+  cache_.Lookup(id);
+  queue_.AdvanceBy(SimDuration::Seconds(101));
+  EXPECT_FALSE(cache_.Contains(id));
+}
+
+TEST_F(KeyCacheTest, UsedKeyRefreshesAndExtends) {
+  int refreshes = 0;
+  cache_.set_refresh([&](const AuditId&,
+                         std::function<void(Result<Bytes>)> done) {
+    ++refreshes;
+    // Simulate a 50 ms round trip.
+    queue_.ScheduleAfter(SimDuration::Millis(50),
+                         [done] { done(Bytes{9, 9}); });
+  });
+  AuditId id = NewId();
+  cache_.Insert(id, Bytes{1});
+  cache_.Lookup(id);
+
+  queue_.AdvanceBy(SimDuration::Seconds(101));
+  EXPECT_EQ(refreshes, 1);
+  ASSERT_TRUE(cache_.Contains(id));
+  // The refreshed key replaced the old bytes.
+  EXPECT_EQ(*cache_.Lookup(id), (Bytes{9, 9}));
+  EXPECT_EQ(cache_.refreshes_started(), 1u);
+}
+
+TEST_F(KeyCacheTest, RefreshFailureErasesKey) {
+  cache_.set_refresh([&](const AuditId&,
+                         std::function<void(Result<Bytes>)> done) {
+    queue_.ScheduleAfter(SimDuration::Millis(50), [done] {
+      done(UnavailableError("service down"));
+    });
+  });
+  AuditId id = NewId();
+  cache_.Insert(id, Bytes{1});
+  cache_.Lookup(id);
+  queue_.AdvanceBy(SimDuration::Seconds(101));
+  EXPECT_FALSE(cache_.Contains(id));
+}
+
+TEST_F(KeyCacheTest, RefreshChainContinuesWhileInUse) {
+  int refreshes = 0;
+  cache_.set_refresh([&](const AuditId&,
+                         std::function<void(Result<Bytes>)> done) {
+    ++refreshes;
+    done(Bytes{static_cast<uint8_t>(refreshes)});
+  });
+  AuditId id = NewId();
+  cache_.Insert(id, Bytes{0});
+  for (int i = 0; i < 5; ++i) {
+    cache_.Lookup(id);  // Mark used.
+    queue_.AdvanceBy(SimDuration::Seconds(101));
+  }
+  EXPECT_EQ(refreshes, 5);
+  EXPECT_TRUE(cache_.Contains(id));
+  // Stop using it: one more period and it's gone.
+  queue_.AdvanceBy(SimDuration::Seconds(101));
+  EXPECT_FALSE(cache_.Contains(id));
+}
+
+TEST_F(KeyCacheTest, ReinsertResetsExpiry) {
+  AuditId id = NewId();
+  cache_.Insert(id, Bytes{1});
+  queue_.AdvanceBy(SimDuration::Seconds(60));
+  cache_.Insert(id, Bytes{2});
+  queue_.AdvanceBy(SimDuration::Seconds(60));
+  // 120 s after the first insert, but only 60 s after the second.
+  ASSERT_TRUE(cache_.Contains(id));
+  EXPECT_EQ(*cache_.Lookup(id), Bytes{2});
+}
+
+TEST_F(KeyCacheTest, EraseAndClear) {
+  AuditId a = NewId(), b = NewId();
+  cache_.Insert(a, Bytes{1});
+  cache_.Insert(b, Bytes{2});
+  cache_.Erase(a);
+  EXPECT_FALSE(cache_.Contains(a));
+  EXPECT_TRUE(cache_.Contains(b));
+  auto cleared = cache_.Clear();
+  EXPECT_EQ(cleared.size(), 1u);
+  EXPECT_EQ(cleared[0], b);
+  EXPECT_EQ(cache_.size(), 0u);
+  // Pending expiry events were cancelled; advancing is a no-op.
+  queue_.AdvanceBy(SimDuration::Seconds(200));
+}
+
+TEST_F(KeyCacheTest, CurrentKeysSnapshot) {
+  AuditId a = NewId(), b = NewId();
+  cache_.Insert(a, Bytes{1});
+  cache_.Insert(b, Bytes{2});
+  auto keys = cache_.CurrentKeys();
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST_F(KeyCacheTest, AverageSizeIntegralIsExact) {
+  cache_.ResetStats();
+  SimTime start = queue_.Now();
+  // 0 keys for 10 s, 1 key for 10 s, 2 keys for 10 s => average 1.0.
+  queue_.AdvanceBy(SimDuration::Seconds(10));
+  cache_.Insert(NewId(), Bytes{1});
+  queue_.AdvanceBy(SimDuration::Seconds(10));
+  cache_.Insert(NewId(), Bytes{2});
+  queue_.AdvanceBy(SimDuration::Seconds(10));
+  EXPECT_NEAR(cache_.AverageSizeSince(start), 1.0, 0.01);
+}
+
+TEST_F(KeyCacheTest, StatsCounting) {
+  AuditId id = NewId();
+  cache_.Insert(id, Bytes{1});
+  cache_.Lookup(id);
+  cache_.Lookup(id);
+  cache_.Lookup(NewId());  // Miss: not counted as hit.
+  EXPECT_EQ(cache_.hits(), 2u);
+  EXPECT_EQ(cache_.insertions(), 1u);
+  cache_.ResetStats();
+  EXPECT_EQ(cache_.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace keypad

@@ -1,0 +1,541 @@
+// Functional tests for KeypadFs: remote-keyed file access, caching and
+// expiration, prefetching, IBE metadata locking, partial coverage, and the
+// paths' interaction with the audit services.
+
+#include <gtest/gtest.h>
+
+#include "src/keypad/deployment.h"
+#include "src/util/strings.h"
+
+namespace keypad {
+namespace {
+
+class KeypadFsTest : public ::testing::Test {
+ protected:
+  static DeploymentOptions Opts() {
+    DeploymentOptions options;
+    options.profile = BroadbandProfile();
+    options.config.ibe_enabled = false;  // Individual tests override.
+    options.config.prefetch = PrefetchPolicy::None();
+    return options;
+  }
+
+  explicit KeypadFsTest(DeploymentOptions options = Opts())
+      : dep_(std::move(options)) {}
+
+  size_t LogCountFor(const AuditId& id) {
+    size_t n = 0;
+    for (const auto& e : dep_.key_service().log().entries()) {
+      if (e.audit_id == id) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  // Advances past two full expiration periods: the first expiry refreshes
+  // keys that were in use, the second erases them (paper §4 semantics).
+  void ExpireAllKeys() {
+    dep_.queue().AdvanceBy(dep_.fs().config().texp * 2 +
+                           SimDuration::Seconds(2));
+    EXPECT_EQ(dep_.fs().key_cache().size(), 0u);
+  }
+
+  AuditId IdOf(const std::string& path) {
+    auto header = dep_.fs().ReadHeaderOf(path);
+    EXPECT_TRUE(header.ok());
+    return header->audit_id;
+  }
+
+  Deployment dep_;
+};
+
+TEST_F(KeypadFsTest, CreateWriteReadRoundTrip) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Mkdir("/home").ok());
+  ASSERT_TRUE(fs.Create("/home/taxes.pdf").ok());
+  Bytes data = BytesOf("very sensitive tax data");
+  ASSERT_TRUE(fs.WriteAll("/home/taxes.pdf", data).ok());
+  auto read = fs.ReadAll("/home/taxes.pdf");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST_F(KeypadFsTest, CreationRegistersKeyAndMetadataBeforeReturning) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/f").ok());
+  AuditId id = IdOf("/f");
+  EXPECT_FALSE(id.IsZero());
+  // Key service holds the key and logged the creation.
+  EXPECT_TRUE(dep_.key_service().GetKey(dep_.device_id(), id).ok());
+  // Metadata service can resolve the path already.
+  auto path = dep_.metadata_service().ResolvePath(dep_.device_id(), id,
+                                                  dep_.queue().Now());
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, "/f");
+}
+
+TEST_F(KeypadFsTest, CreateFailsWhenDisconnectedWithoutIbe) {
+  dep_.client_link().set_disconnected(true);
+  auto status = dep_.fs().Create("/offline.txt");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(KeypadFsTest, EveryColdReadProducesAnAuditRecord) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/f").ok());
+  ASSERT_TRUE(fs.WriteAll("/f", BytesOf("x")).ok());
+  AuditId id = IdOf("/f");
+  size_t before = LogCountFor(id);
+
+  // Expire the cache, then read: a demand fetch must be logged. (The
+  // in-use refresh at the first expiry adds one kRefresh record.)
+  ExpireAllKeys();
+  before = LogCountFor(id);
+  ASSERT_TRUE(fs.ReadAll("/f").ok());
+  EXPECT_EQ(LogCountFor(id), before + 1);
+  EXPECT_EQ(dep_.key_service().log().entries().back().op,
+            AccessOp::kDemandFetch);
+}
+
+TEST_F(KeypadFsTest, WarmCacheReadsProduceNoExtraRecords) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/f").ok());
+  ASSERT_TRUE(fs.WriteAll("/f", BytesOf("abc")).ok());
+  AuditId id = IdOf("/f");
+  size_t before = LogCountFor(id);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs.Read("/f", 0, 1).ok());
+  }
+  EXPECT_EQ(LogCountFor(id), before);  // All hits.
+  EXPECT_GE(dep_.fs().stats().cache_hits, 10u);
+}
+
+TEST_F(KeypadFsTest, CacheMissIsSlowerByOneRtt) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/f").ok());
+  ASSERT_TRUE(fs.WriteAll("/f", BytesOf("abc")).ok());
+
+  // Warm read.
+  SimTime t0 = dep_.queue().Now();
+  ASSERT_TRUE(fs.Read("/f", 0, 1).ok());
+  SimDuration warm = dep_.queue().Now() - t0;
+
+  // Cold read.
+  ExpireAllKeys();
+  t0 = dep_.queue().Now();
+  ASSERT_TRUE(fs.Read("/f", 0, 1).ok());
+  SimDuration cold = dep_.queue().Now() - t0;
+
+  EXPECT_GE((cold - warm).millis(), 24);  // ~ Broadband RTT (25 ms).
+  EXPECT_LT(warm.millis(), 1);
+}
+
+TEST_F(KeypadFsTest, InUseKeysRefreshInsteadOfExpiring) {
+  auto& fs = dep_.fs();
+  fs.config().texp = SimDuration::Seconds(10);
+  fs.key_cache().set_texp(SimDuration::Seconds(10));
+  ASSERT_TRUE(fs.Create("/movie.mkv").ok());
+  ASSERT_TRUE(fs.WriteAll("/movie.mkv", Bytes(4096, 7)).ok());
+  AuditId id = IdOf("/movie.mkv");
+
+  // Keep the file in use across several expiration periods.
+  for (int i = 0; i < 5; ++i) {
+    dep_.queue().AdvanceBy(SimDuration::Seconds(9));
+    SimTime t0 = dep_.queue().Now();
+    ASSERT_TRUE(fs.Read("/movie.mkv", 0, 64).ok());
+    // Reads never block on the network: refreshes are async.
+    EXPECT_LT((dep_.queue().Now() - t0).millis(), 2);
+  }
+  dep_.queue().RunUntilIdle();
+  // Refreshes were logged.
+  size_t refreshes = 0;
+  for (const auto& e : dep_.key_service().log().entries()) {
+    if (e.audit_id == id && e.op == AccessOp::kRefresh) {
+      ++refreshes;
+    }
+  }
+  EXPECT_GE(refreshes, 3u);
+}
+
+TEST_F(KeypadFsTest, IdleKeysExpireAndAreErased) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/f").ok());
+  ASSERT_TRUE(fs.WriteAll("/f", BytesOf("z")).ok());
+  EXPECT_GT(fs.key_cache().size(), 0u);
+  // First period: the key was used (the write), so it refreshes...
+  dep_.queue().AdvanceBy(fs.config().texp + SimDuration::Seconds(1));
+  EXPECT_EQ(fs.key_cache().size(), 1u);
+  // ...second period with no use: securely erased.
+  dep_.queue().AdvanceBy(fs.config().texp + SimDuration::Seconds(1));
+  EXPECT_EQ(fs.key_cache().size(), 0u);
+}
+
+TEST_F(KeypadFsTest, RenameKeepsContentAndUpdatesMetadata) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Mkdir("/home").ok());
+  ASSERT_TRUE(fs.Create("/tmp_form.pdf").ok());
+  ASSERT_TRUE(fs.WriteAll("/tmp_form.pdf", BytesOf("1040EZ")).ok());
+  AuditId id = IdOf("/tmp_form.pdf");
+
+  ASSERT_TRUE(fs.Rename("/tmp_form.pdf", "/home/taxes_2011.pdf").ok());
+  EXPECT_EQ(StringOf(*fs.ReadAll("/home/taxes_2011.pdf")), "1040EZ");
+
+  auto path = dep_.metadata_service().ResolvePath(dep_.device_id(), id,
+                                                  dep_.queue().Now());
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, "/home/taxes_2011.pdf");
+}
+
+TEST_F(KeypadFsTest, MkdirRegistersDirectory) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Mkdir("/docs").ok());
+  ASSERT_TRUE(fs.Create("/docs/a.txt").ok());
+  auto path = dep_.metadata_service().ResolvePath(
+      dep_.device_id(), IdOf("/docs/a.txt"), dep_.queue().Now());
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, "/docs/a.txt");
+}
+
+TEST_F(KeypadFsTest, HibernateEvictsAndNotifies) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/f").ok());
+  ASSERT_TRUE(fs.WriteAll("/f", BytesOf("q")).ok());
+  ASSERT_GT(fs.key_cache().size(), 0u);
+  fs.Hibernate();
+  EXPECT_EQ(fs.key_cache().size(), 0u);
+  dep_.queue().RunUntilIdle();
+  EXPECT_EQ(dep_.key_service().log().entries().back().op,
+            AccessOp::kEviction);
+}
+
+TEST_F(KeypadFsTest, RemountAccessesExistingFiles) {
+  {
+    auto& fs = dep_.fs();
+    ASSERT_TRUE(fs.Create("/persist.txt").ok());
+    ASSERT_TRUE(fs.WriteAll("/persist.txt", BytesOf("still here")).ok());
+  }
+  // Remount from the device using stored credentials.
+  auto vanilla = EncFs::Mount(&dep_.device(), &dep_.queue(), 99,
+                              dep_.options().password, {});
+  ASSERT_TRUE(vanilla.ok());
+  auto creds = KeypadFs::LoadCredentials(vanilla->get());
+  ASSERT_TRUE(creds.ok());
+  auto clients = dep_.MakeAttackerClients(*creds);
+  ASSERT_TRUE(clients.ok());
+  KeypadConfig config;
+  config.ibe_enabled = false;
+  auto fs2 = KeypadFs::Mount(&dep_.device(), &dep_.queue(), 100,
+                             dep_.options().password, {}, config,
+                             clients->services);
+  ASSERT_TRUE(fs2.ok());
+  auto data = (*fs2)->ReadAll("/persist.txt");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(StringOf(*data), "still here");
+}
+
+TEST_F(KeypadFsTest, StatsAreMaintained) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/f").ok());
+  ASSERT_TRUE(fs.WriteAll("/f", BytesOf("s")).ok());
+  fs.ReadAll("/f").status();
+  const auto& stats = fs.stats();
+  EXPECT_EQ(stats.creates_blocking, 1u);
+  EXPECT_GE(stats.cache_hits, 1u);
+  fs.ResetStats();
+  EXPECT_EQ(fs.stats().creates_blocking, 0u);
+}
+
+TEST_F(KeypadFsTest, AwkwardFileNamesSurviveTheFullStack) {
+  // Names with XML-special characters, spaces, and UTF-8 traverse the
+  // directory encryption, the XML-RPC metadata protocol, and (in IBE mode)
+  // the identity string.
+  auto& fs = dep_.fs();
+  for (const std::string& name :
+       {std::string("taxes <2011> & fees.pdf"), std::string("résumé.doc"),
+        std::string("weird\"quote'name"), std::string("trailing.dot.")}) {
+    std::string path = "/" + name;
+    ASSERT_TRUE(fs.Create(path).ok()) << name;
+    ASSERT_TRUE(fs.WriteAll(path, BytesOf("v:" + name)).ok()) << name;
+    EXPECT_EQ(StringOf(*fs.ReadAll(path)), "v:" + name);
+    AuditId id = IdOf(path);
+    auto resolved = dep_.metadata_service().ResolvePath(dep_.device_id(), id,
+                                                        dep_.queue().Now());
+    ASSERT_TRUE(resolved.ok()) << name;
+    EXPECT_EQ(*resolved, path);
+  }
+  // And the names never appear in cleartext on the medium.
+  std::string_view needle = "taxes <2011>";
+  for (const auto& obj : dep_.device().ListObjects()) {
+    Bytes data = *dep_.device().ReadObject(obj);
+    EXPECT_EQ(std::search(data.begin(), data.end(), needle.begin(),
+                          needle.end()),
+              data.end());
+  }
+}
+
+TEST_F(KeypadFsTest, ManyFilesInOneDirectory) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Mkdir("/big").ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(fs.Create("/big/f" + std::to_string(i)).ok());
+  }
+  auto entries = fs.Readdir("/big");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 200u);
+  // Names decrypt uniquely.
+  std::set<std::string> names;
+  for (const auto& e : *entries) {
+    names.insert(e.name);
+  }
+  EXPECT_EQ(names.size(), 200u);
+}
+
+TEST_F(KeypadFsTest, DestroyOnUnlinkMakesCiphertextUnrecoverable) {
+  auto& fs = dep_.fs();
+  fs.config().destroy_keys_on_unlink = true;
+  ASSERT_TRUE(fs.Create("/ephemeral.doc").ok());
+  ASSERT_TRUE(fs.WriteAll("/ephemeral.doc", BytesOf("burn after read")).ok());
+  AuditId id = IdOf("/ephemeral.doc");
+
+  // An attacker images the disk *before* the unlink (e.g. an old backup).
+  BlockDevice backup = dep_.device().Snapshot();
+
+  ASSERT_TRUE(fs.Unlink("/ephemeral.doc").ok());
+  dep_.queue().RunUntilIdle();
+
+  // The key is gone from the service...
+  EXPECT_EQ(dep_.key_service().GetKey(dep_.device_id(), id).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(dep_.key_service().log().entries().back().op,
+            AccessOp::kDestroy);
+
+  // ...so even the pre-unlink image plus the password can't recover it.
+  RawDeviceAttacker attacker(std::move(backup), dep_.options().password,
+                             &dep_.queue());
+  auto creds = attacker.StealCredentials();
+  ASSERT_TRUE(creds.ok());
+  auto clients = dep_.MakeAttackerClients(*creds);
+  KeypadConfig config;
+  config.ibe_enabled = false;
+  auto mounted = attacker.MountOnline(clients->services, config);
+  ASSERT_TRUE(mounted.ok());
+  EXPECT_FALSE((*mounted)->ReadAll("/ephemeral.doc").ok());
+}
+
+// --- Partial coverage (§3.6). -----------------------------------------------
+
+class CoverageTest : public KeypadFsTest {
+ protected:
+  static DeploymentOptions CoverageOpts() {
+    DeploymentOptions options = Opts();
+    options.config.coverage = [](const std::string& path) {
+      return PathIsWithin(path, "/home") || PathIsWithin(path, "/tmp");
+    };
+    return options;
+  }
+  CoverageTest() : KeypadFsTest(CoverageOpts()) {}
+};
+
+TEST_F(CoverageTest, UncoveredFilesGenerateNoAuditTraffic) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Mkdir("/usr").ok());
+  size_t log_before = dep_.key_service().log().size();
+  ASSERT_TRUE(fs.Create("/usr/libfoo.so").ok());
+  ASSERT_TRUE(fs.WriteAll("/usr/libfoo.so", Bytes(1024, 1)).ok());
+  dep_.queue().AdvanceBy(SimDuration::Seconds(200));
+  ASSERT_TRUE(fs.ReadAll("/usr/libfoo.so").ok());
+  EXPECT_EQ(dep_.key_service().log().size(), log_before);
+  auto header = fs.ReadHeaderOf("/usr/libfoo.so");
+  ASSERT_TRUE(header.ok());
+  EXPECT_FALSE(header->keypad_protected);
+}
+
+TEST_F(CoverageTest, CoveredFilesAreProtected) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Mkdir("/home").ok());
+  ASSERT_TRUE(fs.Create("/home/medical.db").ok());
+  auto header = fs.ReadHeaderOf("/home/medical.db");
+  ASSERT_TRUE(header.ok());
+  EXPECT_TRUE(header->keypad_protected);
+}
+
+TEST_F(CoverageTest, UncoveredFilesWorkOffline) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Mkdir("/usr").ok());
+  dep_.client_link().set_disconnected(true);
+  ASSERT_TRUE(fs.Create("/usr/cache.bin").ok());
+  ASSERT_TRUE(fs.WriteAll("/usr/cache.bin", BytesOf("ok")).ok());
+  EXPECT_EQ(StringOf(*fs.ReadAll("/usr/cache.bin")), "ok");
+}
+
+// --- Prefetching. --------------------------------------------------------------
+
+class PrefetchTest : public KeypadFsTest {
+ protected:
+  static DeploymentOptions PrefetchOpts() {
+    DeploymentOptions options = Opts();
+    options.config.prefetch = PrefetchPolicy::FullDirOnNthMiss(3);
+    return options;
+  }
+  PrefetchTest() : KeypadFsTest(PrefetchOpts()) {
+    auto& fs = dep_.fs();
+    EXPECT_TRUE(fs.Mkdir("/dir").ok());
+    for (int i = 0; i < 10; ++i) {
+      std::string path = "/dir/f" + std::to_string(i);
+      EXPECT_TRUE(fs.Create(path).ok());
+      EXPECT_TRUE(fs.WriteAll(path, BytesOf("data")).ok());
+    }
+    // Expire all the creation-time cache entries (two periods: the first
+    // expiry refreshes in-use keys).
+    dep_.queue().AdvanceBy(fs.config().texp * 2 + SimDuration::Seconds(2));
+    EXPECT_EQ(fs.key_cache().size(), 0u);
+    fs.ResetStats();
+  }
+};
+
+TEST_F(PrefetchTest, ThirdMissTriggersDirectoryPrefetch) {
+  auto& fs = dep_.fs();
+  // First two misses fetch exactly one key each.
+  ASSERT_TRUE(fs.Read("/dir/f0", 0, 1).ok());
+  ASSERT_TRUE(fs.Read("/dir/f1", 0, 1).ok());
+  EXPECT_EQ(fs.stats().demand_fetches, 2u);
+  EXPECT_EQ(fs.stats().keys_prefetched, 0u);
+
+  // Third miss pulls the whole directory in the same round trip.
+  ASSERT_TRUE(fs.Read("/dir/f2", 0, 1).ok());
+  EXPECT_EQ(fs.stats().demand_fetches, 3u);
+  EXPECT_EQ(fs.stats().keys_prefetched, 7u);
+
+  // The remaining files are now cache hits.
+  for (int i = 3; i < 10; ++i) {
+    ASSERT_TRUE(fs.Read("/dir/f" + std::to_string(i), 0, 1).ok());
+  }
+  EXPECT_EQ(fs.stats().demand_fetches, 3u);
+}
+
+TEST_F(PrefetchTest, PrefetchedKeysAreLoggedAsPrefetch) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Read("/dir/f0", 0, 1).ok());
+  ASSERT_TRUE(fs.Read("/dir/f1", 0, 1).ok());
+  ASSERT_TRUE(fs.Read("/dir/f2", 0, 1).ok());
+  size_t prefetch_entries = 0;
+  for (const auto& e : dep_.key_service().log().entries()) {
+    if (e.op == AccessOp::kPrefetch) {
+      ++prefetch_entries;
+    }
+  }
+  EXPECT_EQ(prefetch_entries, 7u);
+}
+
+TEST_F(PrefetchTest, NoPrefetchPolicyFetchesEveryKey) {
+  auto& fs = dep_.fs();
+  fs.prefetcher().set_policy(PrefetchPolicy::None());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs.Read("/dir/f" + std::to_string(i), 0, 1).ok());
+  }
+  EXPECT_EQ(fs.stats().demand_fetches, 10u);
+  EXPECT_EQ(fs.stats().keys_prefetched, 0u);
+}
+
+// --- IBE mode. -------------------------------------------------------------------
+
+class IbeTest : public KeypadFsTest {
+ protected:
+  static DeploymentOptions IbeOpts() {
+    DeploymentOptions options = Opts();
+    options.profile = CellularProfile();
+    options.config.ibe_enabled = true;
+    return options;
+  }
+  IbeTest() : KeypadFsTest(IbeOpts()) {}
+};
+
+TEST_F(IbeTest, CreateDoesNotBlockOnNetwork) {
+  auto& fs = dep_.fs();
+  SimTime t0 = dep_.queue().Now();
+  ASSERT_TRUE(fs.Create("/fast.doc").ok());
+  SimDuration elapsed = dep_.queue().Now() - t0;
+  // Far below the 300 ms RTT; dominated by the IBE lock cost (~25 ms).
+  EXPECT_LT(elapsed.millis(), 100);
+  EXPECT_GE(elapsed.millis(), 25);
+}
+
+TEST_F(IbeTest, FileUsableDuringGraceAndAfterCompletion) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/doc.txt").ok());
+  // Immediately usable (grace key).
+  ASSERT_TRUE(fs.WriteAll("/doc.txt", BytesOf("body")).ok());
+  EXPECT_EQ(StringOf(*fs.ReadAll("/doc.txt")), "body");
+  EXPECT_GE(fs.stats().grace_hits, 1u);
+
+  // Let the registrations complete; the header is normalized.
+  dep_.queue().RunUntilIdle();
+  auto header = fs.ReadHeaderOf("/doc.txt");
+  ASSERT_TRUE(header.ok());
+  EXPECT_FALSE(header->ibe_locked);
+  EXPECT_EQ(StringOf(*fs.ReadAll("/doc.txt")), "body");
+}
+
+TEST_F(IbeTest, RenameOverlapsRegistration) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/a.txt").ok());
+  ASSERT_TRUE(fs.WriteAll("/a.txt", BytesOf("v")).ok());
+  dep_.queue().RunUntilIdle();
+
+  SimTime t0 = dep_.queue().Now();
+  ASSERT_TRUE(fs.Rename("/a.txt", "/b.txt").ok());
+  SimDuration elapsed = dep_.queue().Now() - t0;
+  EXPECT_LT(elapsed.millis(), 100);  // No 300 ms RTT stall.
+
+  // Reads work during the in-flight window via the grace key.
+  EXPECT_EQ(StringOf(*fs.ReadAll("/b.txt")), "v");
+
+  dep_.queue().RunUntilIdle();
+  auto header = fs.ReadHeaderOf("/b.txt");
+  ASSERT_TRUE(header.ok());
+  EXPECT_FALSE(header->ibe_locked);
+  // Metadata reflects the rename.
+  auto path = dep_.metadata_service().ResolvePath(
+      dep_.device_id(), header->audit_id, dep_.queue().Now());
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, "/b.txt");
+}
+
+TEST_F(IbeTest, LockedFileBlocksAfterGraceUntilRegistration) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/x").ok());
+  ASSERT_TRUE(fs.WriteAll("/x", BytesOf("data")).ok());
+  dep_.queue().RunUntilIdle();
+
+  // Sever the network, rename (async bind is lost), and let grace expire.
+  dep_.client_link().set_disconnected(true);
+  ASSERT_TRUE(fs.Rename("/x", "/y").ok());
+  dep_.queue().AdvanceBy(SimDuration::Seconds(30));
+
+  // The file is sealed: blocking unlock needs the metadata service.
+  auto read = fs.ReadAll("/y");
+  EXPECT_FALSE(read.ok());
+
+  // Reconnect: the blocking unlock registers the truthful path and opens
+  // the file; the registration is in the metadata log.
+  dep_.client_link().set_disconnected(false);
+  auto read2 = fs.ReadAll("/y");
+  ASSERT_TRUE(read2.ok());
+  EXPECT_EQ(StringOf(*read2), "data");
+  EXPECT_GE(fs.stats().ibe_blocking_unlocks, 1u);
+  auto path = dep_.metadata_service().ResolvePath(
+      dep_.device_id(), IdOf("/y"), dep_.queue().Now());
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, "/y");
+}
+
+TEST_F(IbeTest, MkdirStillBlocks) {
+  auto& fs = dep_.fs();
+  SimTime t0 = dep_.queue().Now();
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  EXPECT_GE((dep_.queue().Now() - t0).millis(), 300);
+}
+
+}  // namespace
+}  // namespace keypad

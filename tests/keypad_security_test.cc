@@ -1,0 +1,415 @@
+// Security & auditing-semantics tests (paper §2 goals, §6 analysis):
+//  * the audit invariant — zero false negatives under every optimization;
+//  * remote data control — revocation blocks access even for raw-device
+//    attackers, with or without network;
+//  * IBE locking forces truthful metadata registration;
+//  * forensic reports: trusted paths, post-loss bindings, exposure windows.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/keypad/deployment.h"
+#include "src/util/strings.h"
+
+namespace keypad {
+namespace {
+
+DeploymentOptions SecurityOpts(bool ibe) {
+  DeploymentOptions options;
+  options.profile = BroadbandProfile();
+  options.config.ibe_enabled = ibe;
+  options.config.prefetch = PrefetchPolicy::FullDirOnNthMiss(3);
+  options.config.texp = SimDuration::Seconds(100);
+  return options;
+}
+
+// Populates a realistic victim volume: /home docs, /work trade secrets.
+void PopulateVictimVolume(Deployment& dep) {
+  auto& fs = dep.fs();
+  ASSERT_TRUE(fs.Mkdir("/home").ok());
+  ASSERT_TRUE(fs.Mkdir("/work").ok());
+  for (int i = 0; i < 5; ++i) {
+    std::string home = "/home/note" + std::to_string(i) + ".txt";
+    ASSERT_TRUE(fs.Create(home).ok());
+    ASSERT_TRUE(fs.WriteAll(home, BytesOf("personal " + home)).ok());
+    std::string work = "/work/secret" + std::to_string(i) + ".doc";
+    ASSERT_TRUE(fs.Create(work).ok());
+    ASSERT_TRUE(fs.WriteAll(work, BytesOf("trade secret " + work)).ok());
+  }
+  dep.queue().RunUntilIdle();  // Let IBE registrations complete.
+}
+
+class TheftTest : public ::testing::TestWithParam<bool> {
+ protected:
+  TheftTest() : dep_(SecurityOpts(GetParam())) {
+    PopulateVictimVolume(dep_);
+    // The device sits idle long enough for all cached keys to drain, then
+    // is stolen "cold" (powered down — memory gone).
+    dep_.queue().AdvanceBy(SimDuration::Seconds(300));
+    EXPECT_EQ(dep_.fs().key_cache().size(), 0u);
+    t_loss_ = dep_.queue().Now();
+  }
+
+  Deployment dep_;
+  SimTime t_loss_;
+};
+
+INSTANTIATE_TEST_SUITE_P(IbeOnOff, TheftTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "WithIbe" : "WithoutIbe";
+                         });
+
+TEST_P(TheftTest, OfflineAttackerReadsNothingProtected) {
+  RawDeviceAttacker attacker = dep_.MakeAttacker();
+  // With the password he can see the namespace...
+  auto paths = attacker.ListAllPaths();
+  ASSERT_TRUE(paths.ok());
+  EXPECT_GT(paths->size(), 10u);
+  // ...but no protected content, with zero service traffic.
+  size_t log_before = dep_.key_service().log().size();
+  for (const auto& path : *paths) {
+    auto stat_is_file = !PathIsWithin(path, "/nonexistent");
+    (void)stat_is_file;
+    auto read = attacker.ReadFileOffline(path);
+    if (read.ok()) {
+      // Only directories resolve to errors; file reads must fail.
+      FAIL() << "offline attacker read " << path;
+    }
+  }
+  EXPECT_EQ(dep_.key_service().log().size(), log_before);
+}
+
+TEST_P(TheftTest, OnlineAttackerAccessIsFullyAudited) {
+  RawDeviceAttacker attacker = dep_.MakeAttacker();
+  auto creds = attacker.StealCredentials();
+  ASSERT_TRUE(creds.ok());
+  auto clients = dep_.MakeAttackerClients(*creds);
+  ASSERT_TRUE(clients.ok());
+  KeypadConfig config;
+  config.ibe_enabled = GetParam();
+  auto thief_fs = attacker.MountOnline(clients->services, config);
+  ASSERT_TRUE(thief_fs.ok());
+
+  // The thief reads two specific files.
+  auto secret = (*thief_fs)->ReadAll("/work/secret3.doc");
+  ASSERT_TRUE(secret.ok());
+  EXPECT_EQ(StringOf(*secret), "trade secret /work/secret3.doc");
+  ASSERT_TRUE((*thief_fs)->ReadAll("/home/note1.txt").ok());
+
+  // The owner audits: exactly the accessed files (plus any prefetch in
+  // their directories) are reported; unaccessed directories are clean.
+  auto report = dep_.auditor().BuildReport(dep_.device_id(), t_loss_,
+                                           dep_.fs().config().texp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->key_log_verified);
+  EXPECT_TRUE(report->metadata_log_verified);
+
+  auto id_of = [&](const std::string& path) {
+    return dep_.fs().ReadHeaderOf(path)->audit_id;
+  };
+  EXPECT_TRUE(report->Compromised(id_of("/work/secret3.doc")));
+  EXPECT_TRUE(report->Compromised(id_of("/home/note1.txt")));
+  // Zero false negatives is the hard guarantee; files in untouched
+  // directories must not appear at all.
+  EXPECT_FALSE(report->Compromised(id_of("/work/secret0.doc")) &&
+               report->Compromised(id_of("/work/secret1.doc")) &&
+               report->Compromised(id_of("/work/secret2.doc")) &&
+               report->Compromised(id_of("/work/secret4.doc")) &&
+               report->Compromised(id_of("/home/note0.txt")) &&
+               report->Compromised(id_of("/home/note2.txt")))
+      << "every file reported: audit lost all precision";
+}
+
+TEST_P(TheftTest, RevocationBlocksFutureAccessAndLogsAttempts) {
+  dep_.ReportDeviceLost();
+
+  RawDeviceAttacker attacker = dep_.MakeAttacker();
+  auto creds = attacker.StealCredentials();
+  ASSERT_TRUE(creds.ok());
+  auto clients = dep_.MakeAttackerClients(*creds);
+  ASSERT_TRUE(clients.ok());
+  KeypadConfig config;
+  config.ibe_enabled = GetParam();
+  auto thief_fs = attacker.MountOnline(clients->services, config);
+  ASSERT_TRUE(thief_fs.ok());
+
+  EXPECT_FALSE((*thief_fs)->ReadAll("/work/secret0.doc").ok());
+  EXPECT_FALSE((*thief_fs)->ReadAll("/home/note4.txt").ok());
+
+  auto report = dep_.auditor().BuildReport(dep_.device_id(), t_loss_,
+                                           dep_.fs().config().texp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->compromised.empty());
+  EXPECT_GE(report->denied_attempts, 1u);
+}
+
+TEST_P(TheftTest, UnaccessedDeviceAuditsClean) {
+  // Alice gets her laptop back untouched: the report must be empty.
+  auto report = dep_.auditor().BuildReport(dep_.device_id(), t_loss_,
+                                           dep_.fs().config().texp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->compromised.empty());
+  EXPECT_EQ(report->denied_attempts, 0u);
+}
+
+TEST_P(TheftTest, WarmTheftExposesExactlyTheCachedWindow) {
+  // The user works on two files, then the laptop is stolen warm within
+  // Texp: those keys — and only those — must be assumed compromised.
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.ReadAll("/home/note0.txt").ok());
+  ASSERT_TRUE(fs.ReadAll("/work/secret1.doc").ok());
+  dep_.queue().AdvanceBy(SimDuration::Seconds(10));
+  SimTime warm_loss = dep_.queue().Now();
+
+  auto report = dep_.auditor().BuildReport(dep_.device_id(), warm_loss,
+                                           fs.config().texp);
+  ASSERT_TRUE(report.ok());
+  // Every key currently in client memory appears in the report window.
+  for (const auto& id : fs.key_cache().CurrentKeys()) {
+    EXPECT_TRUE(report->Compromised(id))
+        << "in-memory key missing from report";
+  }
+  EXPECT_TRUE(
+      report->Compromised(fs.ReadHeaderOf("/home/note0.txt")->audit_id));
+}
+
+// --- Audit-invariant property sweep. -----------------------------------------
+
+struct InvariantParams {
+  bool ibe;
+  PrefetchPolicy::Kind prefetch;
+  int texp_seconds;
+  uint64_t seed;
+};
+
+class AuditInvariantTest
+    : public ::testing::TestWithParam<InvariantParams> {};
+
+// Property: for ANY interleaving of user ops, theft point, and thief reads,
+// every file whose content the thief obtained appears in the audit report
+// built with cutoff Tloss − Texp. (Zero false negatives, §2.)
+TEST_P(AuditInvariantTest, NoFalseNegativesEver) {
+  const InvariantParams& params = GetParam();
+  DeploymentOptions options;
+  options.profile = WlanProfile();
+  options.config.ibe_enabled = params.ibe;
+  options.config.prefetch = {params.prefetch, 3, 4};
+  options.config.texp = SimDuration::Seconds(params.texp_seconds);
+  options.seed = params.seed;
+  Deployment dep(options);
+  auto& fs = dep.fs();
+  SimRandom rng(params.seed);
+
+  // Random victim activity: dirs, files, writes, renames, reads, idle gaps.
+  std::vector<std::string> files;
+  ASSERT_TRUE(fs.Mkdir("/d0").ok());
+  ASSERT_TRUE(fs.Mkdir("/d1").ok());
+  for (int op = 0; op < 60; ++op) {
+    double dice = rng.UniformDouble();
+    if (dice < 0.3 || files.empty()) {
+      std::string path = "/d" + std::to_string(rng.UniformU64(2)) + "/f" +
+                         std::to_string(op);
+      if (fs.Create(path).ok()) {
+        EXPECT_TRUE(fs.WriteAll(path, BytesOf("v" + path)).ok());
+        files.push_back(path);
+      }
+    } else if (dice < 0.6) {
+      fs.ReadAll(files[rng.UniformU64(files.size())]).status();
+    } else if (dice < 0.75) {
+      size_t idx = rng.UniformU64(files.size());
+      std::string to = files[idx] + "r";
+      if (fs.Rename(files[idx], to).ok()) {
+        files[idx] = to;
+      }
+    } else {
+      dep.queue().AdvanceBy(
+          SimDuration::Seconds(rng.UniformInt(1, params.texp_seconds)));
+    }
+  }
+  dep.queue().RunUntilIdle();
+  SimTime t_loss = dep.queue().Now();
+
+  // Theft. The thief mounts with stolen credentials and reads a random
+  // subset using his own software.
+  RawDeviceAttacker attacker = dep.MakeAttacker();
+  auto creds = attacker.StealCredentials();
+  ASSERT_TRUE(creds.ok());
+  auto clients = dep.MakeAttackerClients(*creds);
+  ASSERT_TRUE(clients.ok());
+  KeypadConfig thief_config;
+  thief_config.ibe_enabled = params.ibe;
+  auto thief_fs = attacker.MountOnline(clients->services, thief_config);
+  ASSERT_TRUE(thief_fs.ok());
+
+  std::set<std::string> stolen;
+  for (const auto& path : files) {
+    if (rng.Bernoulli(0.4)) {
+      auto read = (*thief_fs)->ReadAll(path);
+      if (read.ok() && !read->empty()) {
+        stolen.insert(path);
+      }
+    }
+  }
+
+  auto report = dep.auditor().BuildReport(dep.device_id(), t_loss,
+                                          options.config.texp);
+  ASSERT_TRUE(report.ok());
+  for (const auto& path : stolen) {
+    auto header = (*thief_fs)->ReadHeaderOf(path);
+    ASSERT_TRUE(header.ok());
+    EXPECT_TRUE(report->Compromised(header->audit_id))
+        << "FALSE NEGATIVE: thief read " << path
+        << " but it is missing from the audit report";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AuditInvariantTest,
+    ::testing::Values(
+        InvariantParams{false, PrefetchPolicy::Kind::kNone, 100, 1},
+        InvariantParams{false, PrefetchPolicy::Kind::kFullDirOnNthMiss, 100, 2},
+        InvariantParams{false, PrefetchPolicy::Kind::kRandomFromDir, 10, 3},
+        InvariantParams{true, PrefetchPolicy::Kind::kNone, 100, 4},
+        InvariantParams{true, PrefetchPolicy::Kind::kFullDirOnNthMiss, 100, 5},
+        InvariantParams{true, PrefetchPolicy::Kind::kFullDirOnNthMiss, 10, 6},
+        InvariantParams{true, PrefetchPolicy::Kind::kRandomFromDir, 1000, 7},
+        InvariantParams{false, PrefetchPolicy::Kind::kFullDirOnNthMiss, 1, 8}),
+    [](const ::testing::TestParamInfo<InvariantParams>& info) {
+      std::string name = info.param.ibe ? "Ibe" : "NoIbe";
+      switch (info.param.prefetch) {
+        case PrefetchPolicy::Kind::kNone:
+          name += "NoPrefetch";
+          break;
+        case PrefetchPolicy::Kind::kRandomFromDir:
+          name += "RandomPrefetch";
+          break;
+        case PrefetchPolicy::Kind::kFullDirOnNthMiss:
+          name += "DirPrefetch";
+          break;
+      }
+      name += "Texp" + std::to_string(info.param.texp_seconds);
+      return name;
+    });
+
+// --- IBE-specific attacks. -----------------------------------------------------
+
+class IbeAttackTest : public ::testing::Test {
+ protected:
+  IbeAttackTest() : dep_(SecurityOpts(/*ibe=*/true)) {}
+  Deployment dep_;
+};
+
+TEST_F(IbeAttackTest, ThiefBlockingRegistrationCannotHideTheRename) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/blank_form.pdf").ok());
+  ASSERT_TRUE(fs.WriteAll("/blank_form.pdf", BytesOf("empty form")).ok());
+  // Let the creation registrations complete without draining the key-cache
+  // expiry events (RunUntilIdle would fast-forward past Texp).
+  dep_.queue().AdvanceBy(SimDuration::Seconds(2));
+  ASSERT_TRUE(fs.ReadAll("/blank_form.pdf").ok());  // K_R cached.
+
+  // The user renames + fills the file while the thief (already controlling
+  // the network path) blocks the metadata registration. The writes work
+  // through the 1 s grace key (Fig. 3b).
+  dep_.client_link().set_disconnected(true);
+  ASSERT_TRUE(fs.Rename("/blank_form.pdf", "/taxes_2011.pdf").ok());
+  ASSERT_TRUE(fs.WriteAll("/taxes_2011.pdf", BytesOf("SSN 123-45-6789")).ok());
+  // Theft happens more than a second later (the "extremely likely" case).
+  dep_.queue().AdvanceBy(SimDuration::Seconds(10));
+
+  RawDeviceAttacker attacker = dep_.MakeAttacker();
+  auto creds = attacker.StealCredentials();
+  ASSERT_TRUE(creds.ok());
+  auto clients = dep_.MakeAttackerClients(*creds);
+  ASSERT_TRUE(clients.ok());
+  KeypadConfig config;
+  config.ibe_enabled = true;
+  auto thief_fs = attacker.MountOnline(clients->services, config);
+  ASSERT_TRUE(thief_fs.ok());
+
+  // Offline (network still severed): the file is sealed.
+  EXPECT_FALSE((*thief_fs)->ReadAll("/taxes_2011.pdf").ok());
+
+  // The thief reconnects and reads the file — which forces a truthful
+  // registration of the CURRENT pathname at the metadata service.
+  dep_.client_link().set_disconnected(false);
+  auto read = (*thief_fs)->ReadAll("/taxes_2011.pdf");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(StringOf(*read), "SSN 123-45-6789");
+
+  auto id = (*thief_fs)->ReadHeaderOf("/taxes_2011.pdf")->audit_id;
+  auto path = dep_.metadata_service().ResolvePath(dep_.device_id(), id,
+                                                  dep_.queue().Now());
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, "/taxes_2011.pdf") << "the user sees the real name";
+}
+
+TEST_F(IbeAttackTest, BogusMetadataCannotUnlockTheFile) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/real_name.doc").ok());
+  ASSERT_TRUE(fs.WriteAll("/real_name.doc", BytesOf("payload")).ok());
+  dep_.client_link().set_disconnected(true);
+  ASSERT_TRUE(fs.Rename("/real_name.doc", "/secret_plans.doc").ok());
+  dep_.queue().AdvanceBy(SimDuration::Seconds(10));
+  dep_.client_link().set_disconnected(false);
+
+  // The thief registers a bogus path for the audit ID directly.
+  AuditId id = fs.ReadHeaderOf("/secret_plans.doc")->audit_id;
+  auto bogus_key = dep_.metadata_service().RegisterFileBinding(
+      dep_.device_id(), id, DirId{}, "innocuous_download.tmp",
+      /*is_rename=*/true);
+  ASSERT_TRUE(bogus_key.ok());
+
+  // The IBE key for the lie does not decrypt the lock (identity mismatch):
+  auto header = fs.ReadHeaderOf("/secret_plans.doc");
+  ASSERT_TRUE(header.ok());
+  ASSERT_TRUE(header->ibe_locked);
+  auto ct = IbeCiphertext::Deserialize(
+      header->key_blob, *dep_.metadata_service().ibe_params().group);
+  ASSERT_TRUE(ct.ok());
+  auto key = IbePrivateKey::Deserialize(
+      IbeIdentityFor(DirId{}, "innocuous_download.tmp", id), *bogus_key,
+      *dep_.metadata_service().ibe_params().group);
+  ASSERT_TRUE(key.ok());
+  EXPECT_FALSE(
+      IbeDecrypt(dep_.metadata_service().ibe_params(), *key, *ct).ok());
+
+  // ...and the lie itself is recorded append-only: the history keeps both.
+  auto history = dep_.metadata_service().HistoryOf(dep_.device_id(), id);
+  ASSERT_GE(history.size(), 2u);
+  EXPECT_EQ(history.back().name, "innocuous_download.tmp");
+  EXPECT_EQ(history.front().name, "real_name.doc");
+}
+
+TEST_F(IbeAttackTest, SpuriousLogEntriesCannotHideRealAccesses) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Create("/target.doc").ok());
+  ASSERT_TRUE(fs.WriteAll("/target.doc", BytesOf("x")).ok());
+  dep_.queue().RunUntilIdle();
+  dep_.queue().AdvanceBy(SimDuration::Seconds(300));
+  SimTime t_loss = dep_.queue().Now();
+  AuditId id = fs.ReadHeaderOf("/target.doc")->audit_id;
+
+  // The thief floods the log with fetches of one file he already saw, then
+  // also reads the target.
+  RawDeviceAttacker attacker = dep_.MakeAttacker();
+  auto creds = attacker.StealCredentials();
+  ASSERT_TRUE(creds.ok());
+  auto clients = dep_.MakeAttackerClients(*creds);
+  ASSERT_TRUE(clients.ok());
+  for (int i = 0; i < 50; ++i) {
+    clients->key->GetKey(id, AccessOp::kDemandFetch).status();
+  }
+  auto thief_fs = attacker.MountOnline(clients->services, {});
+  ASSERT_TRUE(thief_fs.ok());
+  ASSERT_TRUE((*thief_fs)->ReadAll("/target.doc").ok());
+
+  auto report = dep_.auditor().BuildReport(dep_.device_id(), t_loss,
+                                           SimDuration::Seconds(100));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Compromised(id));
+}
+
+}  // namespace
+}  // namespace keypad

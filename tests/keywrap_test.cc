@@ -1,0 +1,77 @@
+// Tests for authenticated key wrapping (the Wrap(K_R, K_D) blob in every
+// Keypad file header).
+
+#include <gtest/gtest.h>
+
+#include "src/cryptocore/keywrap.h"
+
+namespace keypad {
+namespace {
+
+TEST(KeyWrapTest, RoundTrip) {
+  SecureRandom rng(uint64_t{1});
+  Bytes kek = rng.NextBytes(32);
+  Bytes key = rng.NextBytes(32);
+  Bytes blob = WrapKey(kek, key, rng);
+  auto back = UnwrapKey(kek, blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, key);
+}
+
+TEST(KeyWrapTest, BlobIsNotThePlainKey) {
+  SecureRandom rng(uint64_t{2});
+  Bytes kek = rng.NextBytes(32);
+  Bytes key = rng.NextBytes(32);
+  Bytes blob = WrapKey(kek, key, rng);
+  // The wrapped blob must not contain the key material in the clear.
+  EXPECT_EQ(std::search(blob.begin(), blob.end(), key.begin(), key.end()),
+            blob.end());
+  EXPECT_GT(blob.size(), key.size());
+}
+
+TEST(KeyWrapTest, WrongKekFails) {
+  SecureRandom rng(uint64_t{3});
+  Bytes kek = rng.NextBytes(32);
+  Bytes other = rng.NextBytes(32);
+  Bytes blob = WrapKey(kek, rng.NextBytes(32), rng);
+  auto result = UnwrapKey(other, blob);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(KeyWrapTest, TamperedBlobFails) {
+  SecureRandom rng(uint64_t{4});
+  Bytes kek = rng.NextBytes(32);
+  Bytes blob = WrapKey(kek, rng.NextBytes(32), rng);
+  for (size_t pos : {size_t{0}, blob.size() / 2, blob.size() - 1}) {
+    Bytes bad = blob;
+    bad[pos] ^= 1;
+    EXPECT_FALSE(UnwrapKey(kek, bad).ok()) << "at offset " << pos;
+  }
+  EXPECT_FALSE(UnwrapKey(kek, Bytes(10, 0)).ok());  // Too short.
+}
+
+TEST(KeyWrapTest, FreshRandomnessPerWrap) {
+  SecureRandom rng(uint64_t{5});
+  Bytes kek = rng.NextBytes(32);
+  Bytes key = rng.NextBytes(32);
+  Bytes blob1 = WrapKey(kek, key, rng);
+  Bytes blob2 = WrapKey(kek, key, rng);
+  EXPECT_NE(blob1, blob2);  // Randomized IV.
+  EXPECT_EQ(*UnwrapKey(kek, blob1), *UnwrapKey(kek, blob2));
+}
+
+TEST(KeyWrapTest, VariableLengthPayloads) {
+  SecureRandom rng(uint64_t{6});
+  Bytes kek = rng.NextBytes(32);
+  for (size_t len : {size_t{0}, size_t{1}, size_t{16}, size_t{100},
+                     size_t{4096}}) {
+    Bytes payload = rng.NextBytes(len);
+    auto back = UnwrapKey(kek, WrapKey(kek, payload, rng));
+    ASSERT_TRUE(back.ok()) << len;
+    EXPECT_EQ(*back, payload);
+  }
+}
+
+}  // namespace
+}  // namespace keypad

@@ -1,0 +1,127 @@
+// Executable paper claims: regression tests that pin the qualitative
+// results the reproduction must preserve (a cheap, always-on subset of the
+// full bench suite).
+
+#include <gtest/gtest.h>
+
+#include "src/keypad/deployment.h"
+#include "src/workload/office.h"
+
+namespace keypad {
+namespace {
+
+// Table 1 headline: "while at the office, the user should never feel our
+// file system's presence" — Keypad on a LAN matches EncFS for every task,
+// warm or cold.
+TEST(PaperClaimsTest, KeypadOnLanMatchesEncFsForEveryOfficeTask) {
+  OfficeWorkloads office = MakeOfficeWorkloads(/*seed=*/7);
+
+  // EncFS baseline timings.
+  std::vector<double> encfs_seconds;
+  {
+    EventQueue queue;
+    BlockDevice device;
+    auto fs = EncFs::Format(&device, &queue, 1, "pw", {});
+    TraceRunner runner(fs->get(), &queue);
+    ASSERT_EQ(runner.Run(office.setup).failures, 0u);
+    for (const auto& task : office.tasks) {
+      SimTime t0 = queue.Now();
+      runner.Run(task.trace);
+      encfs_seconds.push_back((queue.Now() - t0).seconds_f());
+    }
+  }
+
+  // Keypad on a LAN, cold caches before every task (worst case). IBE is
+  // off, as the paper deploys it: "it should be used only for networks
+  // with RTTs over 25 ms and disabled otherwise" (§5.1.1).
+  DeploymentOptions options;
+  options.profile = LanProfile();
+  options.config.ibe_enabled = false;
+  Deployment dep(options);
+  TraceRunner runner(&dep.fs(), &dep.queue());
+  ASSERT_EQ(runner.Run(office.setup).failures, 0u);
+  for (size_t i = 0; i < office.tasks.size(); ++i) {
+    dep.queue().AdvanceBy(SimDuration::Seconds(202));
+    dep.queue().RunUntilIdle();
+    SimTime t0 = dep.queue().Now();
+    runner.Run(office.tasks[i].trace);
+    double keypad = (dep.queue().Now() - t0).seconds_f();
+    EXPECT_LT(keypad - encfs_seconds[i], 0.15)
+        << office.tasks[i].application << "/" << office.tasks[i].task
+        << ": keypad " << keypad << "s vs encfs " << encfs_seconds[i] << "s";
+  }
+}
+
+// Fig. 6 claim: "a file read with a cached key is only 0.01 ms slower than
+// the base EncFS read" — warm-cache content ops are RTT-independent.
+TEST(PaperClaimsTest, WarmReadsAreRttIndependent) {
+  double lan_ms = 0, cellular_ms = 0;
+  for (bool cellular : {false, true}) {
+    DeploymentOptions options;
+    options.profile = cellular ? CellularProfile() : LanProfile();
+    options.config.ibe_enabled = false;
+    Deployment dep(options);
+    auto& fs = dep.fs();
+    ASSERT_TRUE(fs.Create("/f").ok());
+    ASSERT_TRUE(fs.WriteAll("/f", Bytes(4096, 1)).ok());
+    SimTime t0 = dep.queue().Now();
+    ASSERT_TRUE(fs.Read("/f", 0, 4096).ok());
+    (cellular ? cellular_ms : lan_ms) =
+        (dep.queue().Now() - t0).seconds_f() * 1000;
+  }
+  EXPECT_NEAR(lan_ms, cellular_ms, 0.01);
+  EXPECT_LT(lan_ms, 2.0);
+}
+
+// Fig. 8a claim: IBE wins above its CPU-cost crossover and loses below it.
+TEST(PaperClaimsTest, IbeCrossoverExists) {
+  auto measure = [](double rtt_ms, bool ibe) {
+    DeploymentOptions options;
+    options.profile = CustomRttProfile(SimDuration::FromMillisF(rtt_ms));
+    options.config.ibe_enabled = ibe;
+    Deployment dep(options);
+    auto& fs = dep.fs();
+    SimTime t0 = dep.queue().Now();
+    // A create/rename-heavy burst (the op mix IBE targets).
+    for (int i = 0; i < 20; ++i) {
+      std::string path = "/f" + std::to_string(i);
+      EXPECT_TRUE(fs.Create(path).ok());
+      EXPECT_TRUE(fs.Rename(path, path + "r").ok());
+    }
+    double elapsed = (dep.queue().Now() - t0).seconds_f();
+    dep.queue().RunUntilIdle();
+    return elapsed;
+  };
+  // On a LAN, IBE's 25 ms CPU cost loses to a 0.1 ms round trip...
+  EXPECT_GT(measure(0.1, true), measure(0.1, false));
+  // ...over 3G, the 300 ms round trips lose to the constant CPU cost.
+  EXPECT_LT(measure(300, true), measure(300, false));
+}
+
+// §5.3 / §2 claim: zero false negatives is unconditional; a report built
+// with the *wrong* (too-small) Texp would break it, the right one never.
+TEST(PaperClaimsTest, ReportWithConfiguredTexpIsConservative) {
+  DeploymentOptions options;
+  options.profile = WlanProfile();
+  options.config.texp = SimDuration::Seconds(100);
+  options.config.ibe_enabled = false;
+  Deployment dep(options);
+  auto& fs = dep.fs();
+  ASSERT_TRUE(fs.Create("/a").ok());
+  ASSERT_TRUE(fs.WriteAll("/a", BytesOf("x")).ok());
+
+  // Theft 50 s after the last access: the key is still cached and usable
+  // by a warm-device attacker without any new service contact.
+  dep.queue().AdvanceBy(SimDuration::Seconds(50));
+  SimTime t_loss = dep.queue().Now();
+
+  auto report =
+      dep.auditor().BuildReport(dep.device_id(), t_loss, options.config.texp);
+  ASSERT_TRUE(report.ok());
+  // The configured-Texp window flags the file even with zero post-loss
+  // accesses — the cached key must be presumed compromised.
+  EXPECT_TRUE(report->Compromised(fs.ReadHeaderOf("/a")->audit_id));
+}
+
+}  // namespace
+}  // namespace keypad

@@ -1,0 +1,124 @@
+// Unit tests for the prefetch policies (§3.3 / §4).
+
+#include <gtest/gtest.h>
+
+#include "src/keypad/prefetcher.h"
+
+namespace keypad {
+namespace {
+
+std::vector<AuditId> MakeIds(int n, uint64_t seed) {
+  SecureRandom rng(seed);
+  std::vector<AuditId> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(AuditId::Random(rng));
+  }
+  return out;
+}
+
+TEST(PrefetcherTest, NonePolicyNeverPrefetches) {
+  Prefetcher prefetcher(PrefetchPolicy::None(), 1);
+  auto ids = MakeIds(10, 1);
+  for (int i = 0; i < 20; ++i) {
+    auto out = prefetcher.OnMiss("/dir", ids[0], [&] { return ids; });
+    EXPECT_TRUE(out.empty());
+  }
+  EXPECT_EQ(prefetcher.prefetch_batches(), 0u);
+}
+
+TEST(PrefetcherTest, ThirdMissTriggersFullDirectory) {
+  Prefetcher prefetcher(PrefetchPolicy::FullDirOnNthMiss(3), 2);
+  auto ids = MakeIds(8, 2);
+  int siblings_listed = 0;
+  auto list = [&] {
+    ++siblings_listed;
+    return ids;
+  };
+  EXPECT_TRUE(prefetcher.OnMiss("/dir", ids[0], list).empty());
+  EXPECT_TRUE(prefetcher.OnMiss("/dir", ids[1], list).empty());
+  // The lazy sibling enumeration must not have run yet.
+  EXPECT_EQ(siblings_listed, 0);
+
+  auto out = prefetcher.OnMiss("/dir", ids[2], list);
+  EXPECT_EQ(out.size(), 7u);  // Everything except the missed id.
+  EXPECT_EQ(siblings_listed, 1);
+  for (const auto& id : out) {
+    EXPECT_NE(id, ids[2]);
+  }
+  EXPECT_EQ(prefetcher.prefetch_batches(), 1u);
+  EXPECT_EQ(prefetcher.keys_prefetched(), 7u);
+}
+
+TEST(PrefetcherTest, CountersArePerDirectory) {
+  Prefetcher prefetcher(PrefetchPolicy::FullDirOnNthMiss(3), 3);
+  auto a = MakeIds(4, 3);
+  auto b = MakeIds(4, 4);
+  // Interleave misses across two directories: neither reaches 3 until its
+  // own third miss.
+  EXPECT_TRUE(prefetcher.OnMiss("/a", a[0], [&] { return a; }).empty());
+  EXPECT_TRUE(prefetcher.OnMiss("/b", b[0], [&] { return b; }).empty());
+  EXPECT_TRUE(prefetcher.OnMiss("/a", a[1], [&] { return a; }).empty());
+  EXPECT_TRUE(prefetcher.OnMiss("/b", b[1], [&] { return b; }).empty());
+  EXPECT_FALSE(prefetcher.OnMiss("/a", a[2], [&] { return a; }).empty());
+  EXPECT_FALSE(prefetcher.OnMiss("/b", b[2], [&] { return b; }).empty());
+}
+
+TEST(PrefetcherTest, CounterReArmsAfterTrigger) {
+  Prefetcher prefetcher(PrefetchPolicy::FullDirOnNthMiss(2), 5);
+  auto ids = MakeIds(5, 5);
+  auto list = [&] { return ids; };
+  EXPECT_TRUE(prefetcher.OnMiss("/d", ids[0], list).empty());
+  EXPECT_FALSE(prefetcher.OnMiss("/d", ids[1], list).empty());
+  // Counter restarts: two more misses to the next trigger.
+  EXPECT_TRUE(prefetcher.OnMiss("/d", ids[2], list).empty());
+  EXPECT_FALSE(prefetcher.OnMiss("/d", ids[3], list).empty());
+}
+
+TEST(PrefetcherTest, FirstMissPolicyTriggersImmediately) {
+  Prefetcher prefetcher(PrefetchPolicy::FullDirOnNthMiss(1), 6);
+  auto ids = MakeIds(6, 6);
+  auto out = prefetcher.OnMiss("/d", ids[0], [&] { return ids; });
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(PrefetcherTest, RandomPolicyBoundsBatchAndExcludesMissedId) {
+  Prefetcher prefetcher(PrefetchPolicy::RandomFromDir(4), 7);
+  auto ids = MakeIds(20, 7);
+  for (int i = 0; i < 10; ++i) {
+    auto out = prefetcher.OnMiss("/d", ids[0], [&] { return ids; });
+    EXPECT_EQ(out.size(), 4u);
+    for (const auto& id : out) {
+      EXPECT_NE(id, ids[0]);
+    }
+  }
+}
+
+TEST(PrefetcherTest, RandomPolicyHandlesSmallDirectories) {
+  Prefetcher prefetcher(PrefetchPolicy::RandomFromDir(10), 8);
+  auto ids = MakeIds(3, 8);
+  auto out = prefetcher.OnMiss("/d", ids[0], [&] { return ids; });
+  EXPECT_EQ(out.size(), 2u);  // Only two siblings exist.
+}
+
+TEST(PrefetcherTest, ResetClearsCounters) {
+  Prefetcher prefetcher(PrefetchPolicy::FullDirOnNthMiss(2), 9);
+  auto ids = MakeIds(3, 9);
+  auto list = [&] { return ids; };
+  EXPECT_TRUE(prefetcher.OnMiss("/d", ids[0], list).empty());
+  prefetcher.Reset();
+  // Back to zero: one miss is again not enough.
+  EXPECT_TRUE(prefetcher.OnMiss("/d", ids[1], list).empty());
+}
+
+TEST(PrefetcherTest, EmptyDirectoryYieldsNoPrefetch) {
+  Prefetcher prefetcher(PrefetchPolicy::FullDirOnNthMiss(1), 10);
+  SecureRandom rng(uint64_t{10});
+  AuditId lone = AuditId::Random(rng);
+  auto out = prefetcher.OnMiss("/d", lone,
+                               [] { return std::vector<AuditId>{}; });
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(prefetcher.prefetch_batches(), 0u);
+}
+
+}  // namespace
+}  // namespace keypad

@@ -1,0 +1,117 @@
+// Tests for the remote auditor: the report built over the services' audit
+// RPC surface must equal the in-process one, and the surface must be
+// authenticated.
+
+#include <gtest/gtest.h>
+
+#include "src/keypad/deployment.h"
+
+namespace keypad {
+namespace {
+
+class RemoteAuditorTest : public ::testing::Test {
+ protected:
+  static DeploymentOptions Opts() {
+    DeploymentOptions options;
+    options.profile = BroadbandProfile();
+    options.config.ibe_enabled = false;
+    options.config.prefetch = PrefetchPolicy::FullDirOnNthMiss(3);
+    return options;
+  }
+  RemoteAuditorTest() : dep_(Opts()) {}
+
+  // Builds a remote auditor using the device's (stolen or legitimate)
+  // credentials over fresh RPC clients.
+  struct Remote {
+    std::unique_ptr<RpcClient> key_rpc;
+    std::unique_ptr<RpcClient> meta_rpc;
+    std::unique_ptr<RemoteAuditor> auditor;
+  };
+  Remote MakeRemote() {
+    auto creds = dep_.MakeAttacker().StealCredentials();
+    EXPECT_TRUE(creds.ok());
+    auto clients = dep_.MakeAttackerClients(*creds);
+    Remote remote;
+    remote.key_rpc = std::move(clients->key_rpc);
+    remote.meta_rpc = std::move(clients->meta_rpc);
+    remote.auditor = std::make_unique<RemoteAuditor>(
+        remote.key_rpc.get(), remote.meta_rpc.get(), creds->device_id,
+        creds->key_secret, creds->meta_secret);
+    return remote;
+  }
+
+  Deployment dep_;
+};
+
+TEST_F(RemoteAuditorTest, RemoteReportMatchesLocalReport) {
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Mkdir("/docs").ok());
+  for (int i = 0; i < 5; ++i) {
+    std::string path = "/docs/f" + std::to_string(i);
+    ASSERT_TRUE(fs.Create(path).ok());
+    ASSERT_TRUE(fs.WriteAll(path, BytesOf("x")).ok());
+  }
+  ASSERT_TRUE(fs.Rename("/docs/f0", "/docs/renamed").ok());
+  dep_.queue().AdvanceBy(SimDuration::Seconds(300));
+  SimTime t_loss = dep_.queue().Now();
+
+  // Thief activity so the report is non-trivial.
+  auto attacker = dep_.MakeAttacker();
+  auto creds = attacker.StealCredentials();
+  auto clients = dep_.MakeAttackerClients(*creds);
+  auto thief_fs = attacker.MountOnline(clients->services, Opts().config);
+  ASSERT_TRUE((*thief_fs)->ReadAll("/docs/renamed").ok());
+  ASSERT_TRUE((*thief_fs)->ReadAll("/docs/f1").ok());
+  ASSERT_TRUE((*thief_fs)->ReadAll("/docs/f2").ok());
+
+  auto local = dep_.auditor().BuildReport(dep_.device_id(), t_loss,
+                                          fs.config().texp);
+  ASSERT_TRUE(local.ok());
+
+  Remote remote = MakeRemote();
+  auto report = remote.auditor->BuildReport(t_loss, fs.config().texp);
+  ASSERT_TRUE(report.ok());
+
+  ASSERT_EQ(report->compromised.size(), local->compromised.size());
+  EXPECT_EQ(report->demand_accessed_count, local->demand_accessed_count);
+  EXPECT_EQ(report->prefetch_only_count, local->prefetch_only_count);
+  for (size_t i = 0; i < report->compromised.size(); ++i) {
+    EXPECT_EQ(report->compromised[i].audit_id,
+              local->compromised[i].audit_id);
+    EXPECT_EQ(report->compromised[i].path_at_loss,
+              local->compromised[i].path_at_loss);
+    EXPECT_EQ(report->compromised[i].prefetch_only,
+              local->compromised[i].prefetch_only);
+  }
+}
+
+TEST_F(RemoteAuditorTest, AuditSurfaceRequiresValidCredentials) {
+  EventQueue& queue = dep_.queue();
+  (void)queue;
+  auto creds = dep_.MakeAttacker().StealCredentials();
+  ASSERT_TRUE(creds.ok());
+  KeypadFs::Credentials bogus = *creds;
+  bogus.key_secret = Bytes(32, 0x42);
+  bogus.meta_secret = Bytes(32, 0x43);
+  auto clients = dep_.MakeAttackerClients(bogus);
+  RemoteAuditor auditor(clients->key_rpc.get(), clients->meta_rpc.get(),
+                        bogus.device_id, bogus.key_secret,
+                        bogus.meta_secret);
+  auto report = auditor.BuildReport(dep_.queue().Now(),
+                                    dep_.fs().config().texp);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(RemoteAuditorTest, EmptyWindowGivesCleanRemoteReport) {
+  ASSERT_TRUE(dep_.fs().Create("/f").ok());
+  dep_.queue().AdvanceBy(SimDuration::Seconds(500));
+  Remote remote = MakeRemote();
+  auto report = remote.auditor->BuildReport(dep_.queue().Now(),
+                                            dep_.fs().config().texp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->compromised.empty());
+}
+
+}  // namespace
+}  // namespace keypad

@@ -1,0 +1,201 @@
+// Robustness and failure-recovery tests: malformed wire input, crash/
+// remount recovery of in-flight IBE state, deep namespace chains, and
+// network flapping.
+
+#include <gtest/gtest.h>
+
+#include "src/keypad/deployment.h"
+#include "src/sim/random.h"
+#include "src/wire/binary_codec.h"
+#include "src/wire/xmlrpc.h"
+
+namespace keypad {
+namespace {
+
+TEST(WireRobustnessTest, RandomGarbageNeverCrashesTheXmlParser) {
+  SimRandom rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    size_t len = rng.UniformU64(200);
+    std::string garbage;
+    for (size_t j = 0; j < len; ++j) {
+      garbage.push_back(static_cast<char>(rng.UniformU64(256)));
+    }
+    // Must return an error (or, absurdly luckily, parse) — never hang or
+    // crash.
+    DecodeXmlRpcCall(garbage).status();
+    DecodeXmlRpcResponse(garbage).status();
+  }
+}
+
+TEST(WireRobustnessTest, TruncatedRealMessagesFailCleanly) {
+  XmlRpcCall call;
+  call.method = "key.get";
+  call.params.push_back(WireValue(Bytes(24, 7)));
+  call.params.push_back(WireValue(int64_t{1}));
+  std::string xml = EncodeXmlRpcCall(call);
+  for (size_t len = 0; len < xml.size(); len += 7) {
+    auto result = DecodeXmlRpcCall(xml.substr(0, len));
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(WireRobustnessTest, RandomGarbageNeverCrashesTheBinaryCodec) {
+  SimRandom rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes garbage;
+    size_t len = rng.UniformU64(100);
+    for (size_t j = 0; j < len; ++j) {
+      garbage.push_back(static_cast<uint8_t>(rng.NextU64()));
+    }
+    BinaryDecode(garbage).status();
+  }
+}
+
+TEST(WireRobustnessTest, DeeplyNestedBinaryValueRoundTrips) {
+  WireValue value(int64_t{42});
+  for (int i = 0; i < 100; ++i) {
+    WireValue::Array wrapper;
+    wrapper.push_back(std::move(value));
+    value = WireValue(std::move(wrapper));
+  }
+  auto decoded = BinaryDecode(BinaryEncode(value));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, value);
+}
+
+TEST(RecoveryTest, RemountRecoversIbeLockedFileViaBlockingUnlock) {
+  // A file created under IBE while the network is down is locked on disk
+  // with in-memory pending state. If the machine "crashes" (remount: all
+  // memory state lost), a later read must still work — via the blocking
+  // unlock, which registers the truthful path.
+  DeploymentOptions options;
+  options.profile = CellularProfile();
+  options.config.ibe_enabled = true;
+  Deployment dep(options);
+  auto& fs = dep.fs();
+
+  dep.client_link().set_disconnected(true);
+  ASSERT_TRUE(fs.Create("/orphan.doc").ok());
+  ASSERT_TRUE(fs.WriteAll("/orphan.doc", BytesOf("survives crash")).ok());
+  // Registrations and retries all fail silently.
+  dep.queue().AdvanceBy(SimDuration::Minutes(5));
+
+  // "Crash": mount a fresh KeypadFs over the same device with the stored
+  // credentials (pending/grace state is gone).
+  auto vanilla = EncFs::Mount(&dep.device(), &dep.queue(), 50,
+                              dep.options().password, {});
+  ASSERT_TRUE(vanilla.ok());
+  auto creds = KeypadFs::LoadCredentials(vanilla->get());
+  ASSERT_TRUE(creds.ok());
+  auto clients = dep.MakeAttackerClients(*creds);
+  auto fs2 = KeypadFs::Mount(&dep.device(), &dep.queue(), 51,
+                             dep.options().password, {}, options.config,
+                             clients->services);
+  ASSERT_TRUE(fs2.ok());
+
+  // Still offline: the lock holds.
+  EXPECT_FALSE((*fs2)->ReadAll("/orphan.doc").ok());
+
+  // Network restored: blocking unlock registers the binding and reads.
+  dep.client_link().set_disconnected(false);
+  auto data = (*fs2)->ReadAll("/orphan.doc");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(StringOf(*data), "survives crash");
+  // The metadata service now knows the true name.
+  AuditId id = (*fs2)->ReadHeaderOf("/orphan.doc")->audit_id;
+  auto path = dep.metadata_service().ResolvePath(dep.device_id(), id,
+                                                 dep.queue().Now());
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, "/orphan.doc");
+}
+
+TEST(RecoveryTest, DeepDirectoryChainsResolve) {
+  DeploymentOptions options;
+  options.profile = LanProfile();
+  options.config.ibe_enabled = false;
+  Deployment dep(options);
+  auto& fs = dep.fs();
+
+  std::string path;
+  for (int depth = 0; depth < 40; ++depth) {
+    path += "/d" + std::to_string(depth);
+    ASSERT_TRUE(fs.Mkdir(path).ok());
+  }
+  std::string file = path + "/leaf.txt";
+  ASSERT_TRUE(fs.Create(file).ok());
+  AuditId id = fs.ReadHeaderOf(file)->audit_id;
+  auto resolved = dep.metadata_service().ResolvePath(dep.device_id(), id,
+                                                     dep.queue().Now());
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, file);
+}
+
+TEST(RecoveryTest, LinkFlappingDuringWorkload) {
+  // The network drops and returns repeatedly; operations fail while it is
+  // down, succeed when it is up, and the audit invariants survive.
+  DeploymentOptions options;
+  options.profile = BroadbandProfile();
+  options.config.ibe_enabled = false;
+  Deployment dep(options);
+  auto& fs = dep.fs();
+  SimRandom rng(3);
+
+  int created = 0;
+  for (int i = 0; i < 40; ++i) {
+    dep.client_link().set_disconnected(rng.Bernoulli(0.4));
+    std::string path = "/f" + std::to_string(i);
+    if (fs.Create(path).ok()) {
+      ++created;
+      EXPECT_TRUE(fs.WriteAll(path, BytesOf("x")).ok());
+    }
+    dep.queue().AdvanceBy(SimDuration::Seconds(5));
+  }
+  dep.client_link().set_disconnected(false);
+  dep.queue().RunUntilIdle();
+
+  EXPECT_GT(created, 5);
+  EXPECT_TRUE(dep.key_service().log().Verify().ok());
+  EXPECT_TRUE(dep.metadata_service().log().Verify().ok());
+  // Every successfully created file is registered and re-readable.
+  dep.queue().AdvanceBy(options.config.texp * 2 + SimDuration::Seconds(2));
+  for (int i = 0; i < 40; ++i) {
+    std::string path = "/f" + std::to_string(i);
+    if (fs.Stat(path).ok()) {
+      EXPECT_TRUE(fs.ReadAll(path).ok()) << path;
+    }
+  }
+}
+
+TEST(RecoveryTest, RpcRetryAfterDropsEventuallyLands) {
+  // A lossy (but connected) link: blocking calls may time out; the create
+  // either fails cleanly or succeeds completely (no half-registered state
+  // that would break the audit invariant).
+  DeploymentOptions options;
+  options.profile = BroadbandProfile();
+  options.config.ibe_enabled = false;
+  Deployment dep(options);
+  dep.client_link().set_drop_probability(0.3);
+  auto& fs = dep.fs();
+
+  int ok_count = 0;
+  for (int i = 0; i < 30; ++i) {
+    std::string path = "/f" + std::to_string(i);
+    Status status = fs.Create(path);
+    if (status.ok()) {
+      ++ok_count;
+      // Fully created: key and metadata both present.
+      AuditId id = fs.ReadHeaderOf(path)->audit_id;
+      EXPECT_TRUE(dep.key_service().GetKey(dep.device_id(), id).ok());
+      EXPECT_TRUE(dep.metadata_service()
+                      .ResolvePath(dep.device_id(), id, dep.queue().Now())
+                      .ok());
+    }
+  }
+  EXPECT_GT(ok_count, 3);
+  dep.client_link().set_drop_probability(0);
+  dep.queue().RunUntilIdle();
+  EXPECT_TRUE(dep.key_service().log().Verify().ok());
+}
+
+}  // namespace
+}  // namespace keypad

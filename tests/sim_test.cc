@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace keypad {
+namespace {
+
+TEST(SimTimeTest, DurationArithmetic) {
+  EXPECT_EQ(SimDuration::Millis(1).nanos(), 1000000);
+  EXPECT_EQ(SimDuration::Seconds(2).millis(), 2000);
+  EXPECT_EQ((SimDuration::Seconds(1) + SimDuration::Millis(500)).millis_f(),
+            1500.0);
+  EXPECT_EQ(SimDuration::FromMillisF(0.1).micros(), 100);
+  EXPECT_LT(SimDuration::Millis(1), SimDuration::Millis(2));
+}
+
+TEST(SimTimeTest, TimeArithmetic) {
+  SimTime t = SimTime::Epoch() + SimDuration::Seconds(10);
+  EXPECT_EQ((t - SimTime::Epoch()).seconds(), 10);
+  EXPECT_LT(SimTime::Epoch(), t);
+  EXPECT_LT(t, SimTime::Max());
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime(300), [&] { order.push_back(3); });
+  q.Schedule(SimTime(100), [&] { order.push_back(1); });
+  q.Schedule(SimTime(200), [&] { order.push_back(2); });
+  q.RunUntilIdle();
+  EXPECT_EQ(order, std::vector<int>({1, 2, 3}));
+  EXPECT_EQ(q.Now(), SimTime(300));
+}
+
+TEST(EventQueueTest, FifoOrderForSameTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime(100), [&] { order.push_back(1); });
+  q.Schedule(SimTime(100), [&] { order.push_back(2); });
+  q.RunUntilIdle();
+  EXPECT_EQ(order, std::vector<int>({1, 2}));
+}
+
+TEST(EventQueueTest, AdvanceByRunsDueEventsOnly) {
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(SimTime(100), [&] { ++ran; });
+  q.Schedule(SimTime(300), [&] { ++ran; });
+  q.AdvanceBy(SimDuration(200));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.Now(), SimTime(200));
+  q.AdvanceBy(SimDuration(200));
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.Now(), SimTime(400));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  int ran = 0;
+  auto id = q.Schedule(SimTime(100), [&] { ++ran; });
+  EXPECT_TRUE(q.IsPending(id));
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.IsPending(id));
+  EXPECT_FALSE(q.Cancel(id));
+  q.RunUntilIdle();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime(100), [&] {
+    order.push_back(1);
+    q.ScheduleAfter(SimDuration(50), [&] { order.push_back(2); });
+  });
+  q.RunUntilIdle();
+  EXPECT_EQ(order, std::vector<int>({1, 2}));
+  EXPECT_EQ(q.Now(), SimTime(150));
+}
+
+TEST(EventQueueTest, RunUntilFlagStopsWhenSet) {
+  EventQueue q;
+  bool flag = false;
+  q.Schedule(SimTime(100), [&] { flag = true; });
+  q.Schedule(SimTime(200), [&] { FAIL() << "must not run"; });
+  EXPECT_TRUE(q.RunUntilFlag(&flag));
+  EXPECT_EQ(q.Now(), SimTime(100));
+  EXPECT_EQ(q.pending_count(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilFlagTimesOutAtDeadline) {
+  EventQueue q;
+  bool flag = false;
+  q.Schedule(SimTime(500), [&] { flag = true; });
+  EXPECT_FALSE(q.RunUntilFlag(&flag, SimTime(200)));
+  EXPECT_EQ(q.Now(), SimTime(200));
+  EXPECT_FALSE(flag);
+}
+
+TEST(EventQueueTest, RunUntilFlagEmptyQueueTimesOut) {
+  EventQueue q;
+  bool flag = false;
+  EXPECT_FALSE(q.RunUntilFlag(&flag, SimTime(1000)));
+  EXPECT_EQ(q.Now(), SimTime(1000));
+}
+
+TEST(EventQueueTest, NestedPumpingPreservesGlobalOrder) {
+  // An event handler blocks on a later flag; an intermediate event still
+  // runs, in time order, from the nested loop.
+  EventQueue q;
+  std::vector<int> order;
+  bool inner_flag = false;
+  q.Schedule(SimTime(100), [&] {
+    order.push_back(1);
+    q.Schedule(SimTime(300), [&] {
+      order.push_back(3);
+      inner_flag = true;
+    });
+    EXPECT_TRUE(q.RunUntilFlag(&inner_flag));
+    order.push_back(4);
+  });
+  q.Schedule(SimTime(200), [&] { order.push_back(2); });
+  q.RunUntilIdle();
+  EXPECT_EQ(order, std::vector<int>({1, 2, 3, 4}));
+}
+
+TEST(SimRandomTest, DeterministicForSeed) {
+  SimRandom a(42), b(42), c(43);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(SimRandomTest, UniformBounds) {
+  SimRandom rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SimRandomTest, BernoulliExtremes) {
+  SimRandom rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(SimRandomTest, ExponentialMeanRoughlyCorrect) {
+  SimRandom rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(5.0);
+  }
+  double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.25);
+}
+
+TEST(SimRandomTest, ZipfSkewsTowardLowRanks) {
+  SimRandom rng(13);
+  int low = 0, high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    size_t r = rng.Zipf(100, 1.0);
+    ASSERT_LT(r, 100u);
+    if (r < 10) {
+      ++low;
+    }
+    if (r >= 90) {
+      ++high;
+    }
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(SimRandomTest, ShuffleIsPermutation) {
+  SimRandom rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace keypad

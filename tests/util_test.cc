@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+#include "src/util/strings.h"
+
+namespace keypad {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("no such file");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such file");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such file");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(InvalidArgumentError("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(PermissionDeniedError("").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(UnavailableError("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(FailedPreconditionError("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(DataLossError("").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ResourceExhaustedError("").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnimplementedError("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+}
+
+Status ReturnsIfError(bool fail) {
+  KP_RETURN_IF_ERROR(fail ? InternalError("inner") : Status::Ok());
+  return NotFoundError("reached end");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(ReturnsIfError(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(ReturnsIfError(false).code(), StatusCode::kNotFound);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) {
+    return InvalidArgumentError("not positive");
+  }
+  return v;
+}
+
+Result<int> DoublePositive(int v) {
+  KP_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+
+  Result<int> err = ParsePositive(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*DoublePositive(21), 42);
+  EXPECT_FALSE(DoublePositive(0).ok());
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xAB, 0xFF};
+  EXPECT_EQ(ToHex(data), "0001abff");
+  auto back = FromHex("0001abff");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(BytesTest, HexAcceptsUppercase) {
+  auto r = FromHex("ABCDEF");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToHex(*r), "abcdef");
+}
+
+TEST(BytesTest, HexRejectsBadInput) {
+  EXPECT_FALSE(FromHex("abc").ok());
+  EXPECT_FALSE(FromHex("zz").ok());
+}
+
+TEST(BytesTest, BigEndianHelpers) {
+  Bytes b;
+  AppendU32Be(b, 0x01020304);
+  AppendU64Be(b, 0x0102030405060708ull);
+  ASSERT_EQ(b.size(), 12u);
+  EXPECT_EQ(ReadU32Be(b.data()), 0x01020304u);
+  EXPECT_EQ(ReadU64Be(b.data() + 4), 0x0102030405060708ull);
+}
+
+TEST(BytesTest, SecureZeroClears) {
+  Bytes b = {1, 2, 3, 4};
+  SecureZero(b);
+  EXPECT_EQ(b, Bytes({0, 0, 0, 0}));
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  auto pieces = StrSplit("a,,b", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "b");
+  EXPECT_EQ(StrJoin({"x", "y", "z"}, "/"), "x/y/z");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("/home/alice", "/home"));
+  EXPECT_FALSE(StartsWith("/home", "/home/alice"));
+  EXPECT_TRUE(EndsWith("report.pdf", ".pdf"));
+  EXPECT_FALSE(EndsWith("pdf", "report.pdf"));
+}
+
+TEST(PathTest, JoinDirnameBasename) {
+  EXPECT_EQ(PathJoin("/a", "b"), "/a/b");
+  EXPECT_EQ(PathJoin("/", "b"), "/b");
+  EXPECT_EQ(PathDirname("/a/b"), "/a");
+  EXPECT_EQ(PathDirname("/a"), "/");
+  EXPECT_EQ(PathDirname("/"), "/");
+  EXPECT_EQ(PathBasename("/a/b"), "b");
+  EXPECT_EQ(PathBasename("/"), "");
+}
+
+TEST(PathTest, Components) {
+  auto c = PathComponents("/a/b/c");
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], "a");
+  EXPECT_EQ(c[2], "c");
+  EXPECT_TRUE(PathComponents("/").empty());
+}
+
+TEST(PathTest, Validity) {
+  EXPECT_TRUE(IsValidPath("/"));
+  EXPECT_TRUE(IsValidPath("/a/b.txt"));
+  EXPECT_FALSE(IsValidPath(""));
+  EXPECT_FALSE(IsValidPath("a/b"));
+  EXPECT_FALSE(IsValidPath("/a/"));
+  EXPECT_FALSE(IsValidPath("/a//b"));
+  EXPECT_FALSE(IsValidPath("/a/../b"));
+}
+
+TEST(PathTest, Within) {
+  EXPECT_TRUE(PathIsWithin("/home/alice/x", "/home"));
+  EXPECT_TRUE(PathIsWithin("/home", "/home"));
+  EXPECT_TRUE(PathIsWithin("/anything", "/"));
+  EXPECT_FALSE(PathIsWithin("/homework", "/home"));
+  EXPECT_FALSE(PathIsWithin("/home", "/home/alice"));
+}
+
+}  // namespace
+}  // namespace keypad

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "src/wire/base64.h"
+#include "src/wire/binary_codec.h"
+#include "src/wire/value.h"
+#include "src/wire/xmlrpc.h"
+
+namespace keypad {
+namespace {
+
+TEST(Base64Test, Rfc4648Vectors) {
+  EXPECT_EQ(Base64Encode(BytesOf("")), "");
+  EXPECT_EQ(Base64Encode(BytesOf("f")), "Zg==");
+  EXPECT_EQ(Base64Encode(BytesOf("fo")), "Zm8=");
+  EXPECT_EQ(Base64Encode(BytesOf("foo")), "Zm9v");
+  EXPECT_EQ(Base64Encode(BytesOf("foob")), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode(BytesOf("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode(BytesOf("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeRoundTrip) {
+  Bytes data;
+  for (int i = 0; i < 257; ++i) {
+    data.push_back(static_cast<uint8_t>(i));
+    auto back = Base64Decode(Base64Encode(data));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, data);
+  }
+}
+
+TEST(Base64Test, RejectsMalformed) {
+  EXPECT_FALSE(Base64Decode("abc").ok());       // Bad length.
+  EXPECT_FALSE(Base64Decode("ab!d").ok());      // Bad character.
+  EXPECT_FALSE(Base64Decode("=abc").ok());      // Misplaced padding.
+  EXPECT_FALSE(Base64Decode("ab=c").ok());      // Data after padding.
+  EXPECT_FALSE(Base64Decode("a===").ok());      // Too much padding.
+}
+
+TEST(WireValueTest, TypePredicatesAndAccessors) {
+  WireValue i(int64_t{42});
+  EXPECT_TRUE(i.is_int());
+  EXPECT_EQ(*i.AsInt(), 42);
+  EXPECT_FALSE(i.AsString().ok());
+
+  WireValue s(std::string("hello"));
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(*s.AsString(), "hello");
+
+  WireValue b(true);
+  EXPECT_TRUE(b.is_bool());
+  EXPECT_TRUE(*b.AsBool());
+
+  WireValue d(2.5);
+  EXPECT_TRUE(d.is_double());
+  EXPECT_EQ(*d.AsDouble(), 2.5);
+
+  WireValue bytes(Bytes{1, 2, 3});
+  EXPECT_TRUE(bytes.is_bytes());
+  EXPECT_EQ(*bytes.AsBytes(), (Bytes{1, 2, 3}));
+}
+
+TEST(WireValueTest, StructFieldAccess) {
+  WireValue::Struct s;
+  s.emplace("id", WireValue(int64_t{7}));
+  s.emplace("name", WireValue("taxes"));
+  WireValue v(std::move(s));
+  EXPECT_TRUE(v.is_struct());
+  EXPECT_TRUE(v.HasField("id"));
+  EXPECT_FALSE(v.HasField("missing"));
+  EXPECT_EQ(*v.Field("id")->AsInt(), 7);
+  EXPECT_FALSE(v.Field("missing").ok());
+  EXPECT_FALSE(WireValue(int64_t{1}).Field("x").ok());
+}
+
+WireValue MakeKitchenSink() {
+  WireValue::Struct s;
+  s.emplace("int", WireValue(int64_t{-123456789012345}));
+  s.emplace("bool", WireValue(true));
+  s.emplace("double", WireValue(3.14159265358979));
+  s.emplace("string", WireValue("path/with <chars> & stuff"));
+  s.emplace("bytes", WireValue(Bytes{0, 1, 2, 254, 255}));
+  WireValue::Array arr;
+  arr.push_back(WireValue(int64_t{1}));
+  arr.push_back(WireValue("two"));
+  arr.push_back(WireValue(WireValue::Struct{}));
+  s.emplace("array", WireValue(std::move(arr)));
+  return WireValue(std::move(s));
+}
+
+TEST(XmlRpcTest, CallRoundTrip) {
+  XmlRpcCall call;
+  call.method = "key.get";
+  call.params.push_back(WireValue("device-1"));
+  call.params.push_back(MakeKitchenSink());
+
+  std::string xml = EncodeXmlRpcCall(call);
+  EXPECT_NE(xml.find("<methodCall>"), std::string::npos);
+
+  auto decoded = DecodeXmlRpcCall(xml);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->method, "key.get");
+  ASSERT_EQ(decoded->params.size(), 2u);
+  EXPECT_EQ(decoded->params[0], call.params[0]);
+  EXPECT_EQ(decoded->params[1], call.params[1]);
+}
+
+TEST(XmlRpcTest, ResponseRoundTrip) {
+  WireValue value = MakeKitchenSink();
+  auto decoded = DecodeXmlRpcResponse(EncodeXmlRpcResponse(value));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->fault.ok());
+  EXPECT_EQ(decoded->value, value);
+}
+
+TEST(XmlRpcTest, FaultRoundTrip) {
+  Status fault = PermissionDeniedError("device revoked");
+  auto decoded = DecodeXmlRpcResponse(EncodeXmlRpcFault(fault));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->fault.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(decoded->fault.message(), "device revoked");
+}
+
+TEST(XmlRpcTest, EscapingSurvivesRoundTrip) {
+  XmlRpcCall call;
+  call.method = "m";
+  call.params.push_back(WireValue("<a>&b</a>"));
+  auto decoded = DecodeXmlRpcCall(EncodeXmlRpcCall(call));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded->params[0].AsString(), "<a>&b</a>");
+}
+
+TEST(XmlRpcTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeXmlRpcCall("not xml").ok());
+  EXPECT_FALSE(DecodeXmlRpcCall("<methodCall><oops>").ok());
+  EXPECT_FALSE(DecodeXmlRpcResponse("<methodResponse>").ok());
+}
+
+TEST(XmlRpcTest, EmptyParamsOk) {
+  auto decoded = DecodeXmlRpcCall(EncodeXmlRpcCall(XmlRpcCall{"ping", {}}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->params.empty());
+}
+
+TEST(BinaryCodecTest, RoundTrip) {
+  WireValue value = MakeKitchenSink();
+  Bytes encoded = BinaryEncode(value);
+  auto decoded = BinaryDecode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, value);
+}
+
+TEST(BinaryCodecTest, MoreCompactThanXmlRpcForTypicalKeypadCall) {
+  WireValue value = MakeKitchenSink();
+  Bytes binary = BinaryEncode(value);
+  std::string xml = EncodeXmlRpcResponse(value);
+  EXPECT_LT(binary.size(), xml.size());
+}
+
+TEST(BinaryCodecTest, RejectsTruncatedAndTrailing) {
+  Bytes encoded = BinaryEncode(MakeKitchenSink());
+  Bytes truncated(encoded.begin(), encoded.end() - 3);
+  EXPECT_FALSE(BinaryDecode(truncated).ok());
+  Bytes extended = encoded;
+  extended.push_back(0);
+  EXPECT_FALSE(BinaryDecode(extended).ok());
+  EXPECT_FALSE(BinaryDecode(Bytes{99}).ok());
+}
+
+TEST(BinaryCodecTest, NegativeIntsRoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, INT64_MIN,
+                    INT64_MAX, int64_t{-300}}) {
+    auto decoded = BinaryDecode(BinaryEncode(WireValue(v)));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded->AsInt(), v);
+  }
+}
+
+}  // namespace
+}  // namespace keypad
