@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include "src/cryptocore/aes.h"
+#include "src/cryptocore/chacha20.h"
+#include "src/cryptocore/cpu_features.h"
 #include "src/cryptocore/hmac.h"
 #include "src/cryptocore/keywrap.h"
 #include "src/cryptocore/sha256.h"
@@ -18,13 +20,23 @@
 namespace keypad {
 namespace {
 
-void BM_Sha256_4KiB(benchmark::State& state) {
+// The symmetric primitives dispatch between a portable kernel and whatever
+// ISA kernels this binary + CPU support (see src/cryptocore/cpu_features.h).
+// The BM_* benchmarks below measure the auto-selected backend and record its
+// name as the benchmark label; RegisterPerBackendBenches() additionally
+// registers one variant per exercisable tier (e.g.
+// "BM_Aes256Ctr_4KiB/portable") so one run reports every backend's MB/s.
+
+void Sha256Body(benchmark::State& state) {
   Bytes data(4096, 0xAB);
   for (auto _ : state) {
     benchmark::DoNotOptimize(Sha256::Hash(data));
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+  state.SetLabel(Sha256::BackendName());
 }
+
+void BM_Sha256_4KiB(benchmark::State& state) { Sha256Body(state); }
 BENCHMARK(BM_Sha256_4KiB);
 
 void BM_HmacSha256_1KiB(benchmark::State& state) {
@@ -34,10 +46,11 @@ void BM_HmacSha256_1KiB(benchmark::State& state) {
     benchmark::DoNotOptimize(HmacSha256(key, data));
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+  state.SetLabel(Sha256::BackendName());
 }
 BENCHMARK(BM_HmacSha256_1KiB);
 
-void BM_Aes256Ctr_4KiB(benchmark::State& state) {
+void Aes256CtrBody(benchmark::State& state) {
   auto aes = Aes256::Create(Bytes(32, 3));
   Bytes iv(16, 4);
   Bytes data(4096, 5);
@@ -45,8 +58,57 @@ void BM_Aes256Ctr_4KiB(benchmark::State& state) {
     benchmark::DoNotOptimize(aes->CtrXor(iv, 0, data));
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+  state.SetLabel(Aes256::BackendName());
 }
+
+void BM_Aes256Ctr_4KiB(benchmark::State& state) { Aes256CtrBody(state); }
 BENCHMARK(BM_Aes256Ctr_4KiB);
+
+void ChaCha20Body(benchmark::State& state) {
+  Bytes key(32, 6);
+  uint8_t nonce[12] = {0};
+  Bytes out(4096);
+  for (auto _ : state) {
+    ChaCha20Blocks(key.data(), 0, nonce, out.size() / 64, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(out.size()));
+  state.SetLabel(ChaCha20BackendName());
+}
+
+void BM_ChaCha20_4KiB(benchmark::State& state) { ChaCha20Body(state); }
+BENCHMARK(BM_ChaCha20_4KiB);
+
+// Runs `body` with the dispatch cap forced to `tier` for the duration.
+void WithTier(CryptoTier tier, void (*body)(benchmark::State&),
+              benchmark::State& state) {
+  SetCryptoTierCapForTesting(tier);
+  body(state);
+  ClearCryptoTierCapForTesting();
+}
+
+void RegisterPerBackendBenches() {
+  struct Entry {
+    const char* name;
+    void (*body)(benchmark::State&);
+  };
+  const Entry kEntries[] = {
+      {"BM_Aes256Ctr_4KiB", Aes256CtrBody},
+      {"BM_ChaCha20_4KiB", ChaCha20Body},
+      {"BM_Sha256_4KiB", Sha256Body},
+  };
+  for (const Entry& e : kEntries) {
+    for (CryptoTier tier : ExercisableCryptoTiers()) {
+      std::string name = std::string(e.name) + "/" + CryptoTierName(tier);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [tier, body = e.body](benchmark::State& state) {
+            WithTier(tier, body, state);
+          });
+    }
+  }
+}
 
 void BM_KeyWrapUnwrap(benchmark::State& state) {
   SecureRandom rng(uint64_t{1});
@@ -185,4 +247,13 @@ BENCHMARK(BM_Marshal_Binary);
 }  // namespace
 }  // namespace keypad
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  keypad::RegisterPerBackendBenches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,7 +7,11 @@ for b in /root/repo/build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "### $(basename "$b")" | tee -a "$out"
   if [[ "$(basename "$b")" == "bench_crypto_micro" ]]; then
-    "$b" --benchmark_min_time=0.2 >> "$out" 2>&1
+    # JSON copy captures per-backend throughput (one entry per dispatch
+    # tier, each labeled with the kernel that produced it).
+    "$b" --benchmark_min_time=0.2 \
+         --benchmark_out=/root/repo/BENCH_crypto.json \
+         --benchmark_out_format=json >> "$out" 2>&1
   else
     "$b" >> "$out" 2>&1
   fi

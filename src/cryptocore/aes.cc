@@ -1,6 +1,10 @@
 #include "src/cryptocore/aes.h"
 
+#include <bit>
 #include <cstring>
+
+#include "src/cryptocore/backend_kernels.h"
+#include "src/cryptocore/cpu_features.h"
 
 namespace keypad {
 
@@ -154,43 +158,257 @@ void Aes256::EncryptBlock(const uint8_t in[kBlockSize],
   }
 }
 
+namespace {
+
+inline void WriteU32BeInline(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+// out = in ^ ks over n bytes, in u64 chunks where possible.
+inline void XorInto(uint8_t* out, const uint8_t* in, const uint8_t* ks,
+                    size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t a, b;
+    std::memcpy(&a, in + i, 8);
+    std::memcpy(&b, ks + i, 8);
+    a ^= b;
+    std::memcpy(out + i, &a, 8);
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(in[i] ^ ks[i]);
+  }
+}
+
+// Counter state words for CTR: words 0-1 come straight from the IV; words
+// 2-3 are the IV's big-endian low half plus the block index (carry into the
+// high half ignored; IV space is random per file so collisions are
+// negligible). Maintaining the counter as integer words removes the
+// per-block memcpy + byte-store rebuild the seed implementation paid.
+struct CtrState {
+  uint32_t iv_w0;
+  uint32_t iv_w1;
+  uint64_t lo_be;
+
+  explicit CtrState(const uint8_t iv[16])
+      : iv_w0(ReadU32Be(iv)),
+        iv_w1(ReadU32Be(iv + 4)),
+        lo_be(ReadU64Be(iv + 8)) {}
+};
+
+// One keystream block through the T-tables, counters fed as words.
+void KeystreamBlock1(const uint32_t* rk_base, const CtrState& ctr,
+                     uint64_t block_index, uint8_t ks[16]) {
+  const AesTables& t = Tables();
+  const uint32_t* rk = rk_base;
+  uint64_t lo = ctr.lo_be + block_index;
+
+  uint32_t s0 = ctr.iv_w0 ^ rk[0];
+  uint32_t s1 = ctr.iv_w1 ^ rk[1];
+  uint32_t s2 = static_cast<uint32_t>(lo >> 32) ^ rk[2];
+  uint32_t s3 = static_cast<uint32_t>(lo) ^ rk[3];
+  uint32_t t0, t1, t2, t3;
+
+  for (int round = 1; round < 14; ++round) {
+    rk += 4;
+    t0 = t.te0[(s0 >> 24) & 0xFF] ^ t.te1[(s1 >> 16) & 0xFF] ^
+         t.te2[(s2 >> 8) & 0xFF] ^ t.te3[s3 & 0xFF] ^ rk[0];
+    t1 = t.te0[(s1 >> 24) & 0xFF] ^ t.te1[(s2 >> 16) & 0xFF] ^
+         t.te2[(s3 >> 8) & 0xFF] ^ t.te3[s0 & 0xFF] ^ rk[1];
+    t2 = t.te0[(s2 >> 24) & 0xFF] ^ t.te1[(s3 >> 16) & 0xFF] ^
+         t.te2[(s0 >> 8) & 0xFF] ^ t.te3[s1 & 0xFF] ^ rk[2];
+    t3 = t.te0[(s3 >> 24) & 0xFF] ^ t.te1[(s0 >> 16) & 0xFF] ^
+         t.te2[(s1 >> 8) & 0xFF] ^ t.te3[s2 & 0xFF] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  rk += 4;
+  auto final_word = [](uint32_t a, uint32_t b, uint32_t c, uint32_t d,
+                       uint32_t key) {
+    return (static_cast<uint32_t>(kSbox[(a >> 24) & 0xFF]) << 24 |
+            static_cast<uint32_t>(kSbox[(b >> 16) & 0xFF]) << 16 |
+            static_cast<uint32_t>(kSbox[(c >> 8) & 0xFF]) << 8 |
+            static_cast<uint32_t>(kSbox[d & 0xFF])) ^
+           key;
+  };
+  WriteU32BeInline(ks, final_word(s0, s1, s2, s3, rk[0]));
+  WriteU32BeInline(ks + 4, final_word(s1, s2, s3, s0, rk[1]));
+  WriteU32BeInline(ks + 8, final_word(s2, s3, s0, s1, rk[2]));
+  WriteU32BeInline(ks + 12, final_word(s3, s0, s1, s2, rk[3]));
+}
+
+inline uint32_t ByteSwap32(uint32_t v) {
+  return (v >> 24) | ((v >> 8) & 0x0000FF00u) | ((v << 8) & 0x00FF0000u) |
+         (v << 24);
+}
+
+// out = in ^ (big-endian serialization of keystream word w), 4 bytes.
+inline void XorBeWord(uint8_t* out, const uint8_t* in, uint32_t w) {
+  if constexpr (std::endian::native == std::endian::little) {
+    w = ByteSwap32(w);
+  }
+  uint32_t m;
+  std::memcpy(&m, in, 4);
+  m ^= w;
+  std::memcpy(out, &m, 4);
+}
+
+// One round of the T-table round function: reads block state a0..a3, writes
+// b0..b3 under round key k[0..3]. Operates on named scalars so the state
+// lives in registers.
+#define KP_AES_ROUND(a0, a1, a2, a3, b0, b1, b2, b3, k)                   \
+  b0 = t.te0[(a0) >> 24] ^ t.te1[((a1) >> 16) & 0xFF] ^                   \
+       t.te2[((a2) >> 8) & 0xFF] ^ t.te3[(a3)&0xFF] ^ (k)[0];             \
+  b1 = t.te0[(a1) >> 24] ^ t.te1[((a2) >> 16) & 0xFF] ^                   \
+       t.te2[((a3) >> 8) & 0xFF] ^ t.te3[(a0)&0xFF] ^ (k)[1];             \
+  b2 = t.te0[(a2) >> 24] ^ t.te1[((a3) >> 16) & 0xFF] ^                   \
+       t.te2[((a0) >> 8) & 0xFF] ^ t.te3[(a1)&0xFF] ^ (k)[2];             \
+  b3 = t.te0[(a3) >> 24] ^ t.te1[((a0) >> 16) & 0xFF] ^                   \
+       t.te2[((a1) >> 8) & 0xFF] ^ t.te3[(a2)&0xFF] ^ (k)[3];
+
+// Final round word: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+#define KP_AES_FINAL(a, b, c, d, key)                                     \
+  ((static_cast<uint32_t>(kSbox[(a) >> 24]) << 24 |                       \
+    static_cast<uint32_t>(kSbox[((b) >> 16) & 0xFF]) << 16 |              \
+    static_cast<uint32_t>(kSbox[((c) >> 8) & 0xFF]) << 8 |                \
+    static_cast<uint32_t>(kSbox[(d)&0xFF])) ^                             \
+   (key))
+
+// Two keystream blocks with the round function interleaved across the pair
+// and the input xor fused into the final round (no intermediate keystream
+// buffer). T-table AES is latency-bound on the lookup→xor dependency
+// chain: one block exposes only 4 independent chains, which leaves the
+// core's two load ports idle most cycles. Two interleaved blocks keep all
+// 16 live state words in x86-64's GPR file and roughly double the
+// exploitable ILP; a 4-way version (32 live words) spills to the stack and
+// measures *slower*, which is why the main loop below issues 4 blocks per
+// iteration as two of these pairs.
+inline void CtrXor2Blocks(const AesTables& t, const uint32_t* rk,
+                          const CtrState& ctr, uint64_t block_index,
+                          const uint8_t* in, uint8_t* out) {
+  uint64_t la = ctr.lo_be + block_index;
+  uint64_t lb = la + 1;
+
+  uint32_t a0 = ctr.iv_w0 ^ rk[0];
+  uint32_t a1 = ctr.iv_w1 ^ rk[1];
+  uint32_t a2 = static_cast<uint32_t>(la >> 32) ^ rk[2];
+  uint32_t a3 = static_cast<uint32_t>(la) ^ rk[3];
+  uint32_t b0 = a0;
+  uint32_t b1 = a1;
+  uint32_t b2 = static_cast<uint32_t>(lb >> 32) ^ rk[2];
+  uint32_t b3 = static_cast<uint32_t>(lb) ^ rk[3];
+  uint32_t x0, x1, x2, x3, y0, y1, y2, y3;
+
+  // 13 T-table rounds: round 1, then rounds 2..13 pairwise.
+  const uint32_t* k = rk + 4;
+  KP_AES_ROUND(a0, a1, a2, a3, x0, x1, x2, x3, k)
+  KP_AES_ROUND(b0, b1, b2, b3, y0, y1, y2, y3, k)
+  for (int round = 2; round < 14; round += 2) {
+    k += 4;
+    KP_AES_ROUND(x0, x1, x2, x3, a0, a1, a2, a3, k)
+    KP_AES_ROUND(y0, y1, y2, y3, b0, b1, b2, b3, k)
+    k += 4;
+    KP_AES_ROUND(a0, a1, a2, a3, x0, x1, x2, x3, k)
+    KP_AES_ROUND(b0, b1, b2, b3, y0, y1, y2, y3, k)
+  }
+
+  k += 4;
+  XorBeWord(out, in, KP_AES_FINAL(x0, x1, x2, x3, k[0]));
+  XorBeWord(out + 4, in + 4, KP_AES_FINAL(x1, x2, x3, x0, k[1]));
+  XorBeWord(out + 8, in + 8, KP_AES_FINAL(x2, x3, x0, x1, k[2]));
+  XorBeWord(out + 12, in + 12, KP_AES_FINAL(x3, x0, x1, x2, k[3]));
+  XorBeWord(out + 16, in + 16, KP_AES_FINAL(y0, y1, y2, y3, k[0]));
+  XorBeWord(out + 20, in + 20, KP_AES_FINAL(y1, y2, y3, y0, k[1]));
+  XorBeWord(out + 24, in + 24, KP_AES_FINAL(y2, y3, y0, y1, k[2]));
+  XorBeWord(out + 28, in + 28, KP_AES_FINAL(y3, y0, y1, y2, k[3]));
+}
+
+#undef KP_AES_ROUND
+#undef KP_AES_FINAL
+
+}  // namespace
+
 void Aes256::CtrXor(const Bytes& iv, uint64_t offset, const uint8_t* in,
                     size_t len, uint8_t* out) const {
-  uint8_t counter[kBlockSize];
-  uint8_t keystream[kBlockSize];
+  if (len == 0) {
+    return;
+  }
+#if defined(KEYPAD_HAVE_AESNI)
+  CryptoTier tier = ActiveCryptoTier();
+  if (tier >= CryptoTier::kAesNi && DetectedCpuFeatures().aesni) {
+    internal::AesNiCtrXor(round_keys_.data(), iv.data(), offset, in, len, out,
+                          tier >= CryptoTier::kAvx2 ? 8 : 4);
+    return;
+  }
+#endif
 
+  CtrState ctr(iv.data());
   uint64_t block_index = offset / kBlockSize;
   size_t in_block = static_cast<size_t>(offset % kBlockSize);
-
+  uint8_t ks[64];
   size_t pos = 0;
-  while (pos < len) {
-    // Counter block = IV with the low 8 bytes incremented by block_index
-    // (big-endian add with carry into the high half ignored; IV space is
-    // random per file so collisions are negligible).
-    std::memcpy(counter, iv.data(), kBlockSize);
-    uint64_t low = ReadU64Be(counter + 8) + block_index;
-    for (int i = 0; i < 8; ++i) {
-      counter[8 + i] = static_cast<uint8_t>(low >> (56 - 8 * i));
-    }
-    EncryptBlock(counter, keystream);
 
+  if (in_block != 0) {
+    KeystreamBlock1(round_keys_.data(), ctr, block_index, ks);
     size_t n = kBlockSize - in_block;
-    if (n > len - pos) {
-      n = len - pos;
+    if (n > len) {
+      n = len;
     }
     for (size_t i = 0; i < n; ++i) {
-      out[pos + i] = in[pos + i] ^ keystream[in_block + i];
+      out[i] = static_cast<uint8_t>(in[i] ^ ks[in_block + i]);
     }
     pos += n;
-    in_block = 0;
+    ++block_index;
+  }
+
+  const AesTables& t = Tables();
+  while (len - pos >= 64) {
+    CtrXor2Blocks(t, round_keys_.data(), ctr, block_index, in + pos,
+                  out + pos);
+    CtrXor2Blocks(t, round_keys_.data(), ctr, block_index + 2, in + pos + 32,
+                  out + pos + 32);
+    pos += 64;
+    block_index += 4;
+  }
+  if (len - pos >= 32) {
+    CtrXor2Blocks(t, round_keys_.data(), ctr, block_index, in + pos,
+                  out + pos);
+    pos += 32;
+    block_index += 2;
+  }
+
+  while (pos < len) {
+    KeystreamBlock1(round_keys_.data(), ctr, block_index, ks);
+    size_t n = len - pos;
+    if (n > kBlockSize) {
+      n = kBlockSize;
+    }
+    XorInto(out + pos, in + pos, ks, n);
+    pos += n;
     ++block_index;
   }
 }
 
 Bytes Aes256::CtrXor(const Bytes& iv, uint64_t offset, const Bytes& in) const {
-  Bytes out(in.size());
+  Bytes out = UninitializedBytes(in.size());
   CtrXor(iv, offset, in.data(), in.size(), out.data());
   return out;
+}
+
+const char* Aes256::BackendName() {
+#if defined(KEYPAD_HAVE_AESNI)
+  CryptoTier tier = ActiveCryptoTier();
+  if (tier >= CryptoTier::kAesNi && DetectedCpuFeatures().aesni) {
+    return tier >= CryptoTier::kAvx2 ? "aesni-8x" : "aesni-4x";
+  }
+#endif
+  return "portable-4x";
 }
 
 }  // namespace keypad

@@ -31,10 +31,16 @@ class Aes256 {
 
   // CTR-mode keystream XOR: encryption and decryption are the same
   // operation. `iv` is the 16-byte initial counter block; `offset` selects
-  // the keystream position so random-access reads/writes line up.
+  // the keystream position so random-access reads/writes line up. Dispatches
+  // to an AES-NI kernel when the CPU has one (see cpu_features.h); the
+  // portable fallback pipelines 4 T-table blocks per iteration.
   void CtrXor(const Bytes& iv, uint64_t offset, const uint8_t* in, size_t len,
               uint8_t* out) const;
   Bytes CtrXor(const Bytes& iv, uint64_t offset, const Bytes& in) const;
+
+  // Name of the CTR kernel the current dispatch caps select
+  // ("aesni-8x", "aesni-4x", or "portable-4x").
+  static const char* BackendName();
 
  private:
   Aes256() = default;

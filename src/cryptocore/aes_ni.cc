@@ -1,0 +1,154 @@
+// AES-256-CTR kernel using the AES-NI instruction set. Compiled with
+// -maes -mssse3 (this file only); never executed unless CPUID reports AES-NI
+// and the dispatch cap allows it — see cpu_features.cc.
+//
+// CTR has no inter-block dependency, so the kernel keeps 4 or 8 counter
+// blocks in flight per iteration: _mm_aesenc_si128 has multi-cycle latency
+// but single-cycle throughput, and pipelining independent blocks hides the
+// latency almost completely. The 8-wide variant is selected on AVX2-era
+// cores, whose deeper out-of-order windows keep all eight chains busy.
+
+#include "src/cryptocore/backend_kernels.h"
+
+#if defined(KEYPAD_HAVE_AESNI)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace keypad {
+namespace internal {
+
+namespace {
+
+inline uint32_t Bswap32(uint32_t v) { return __builtin_bswap32(v); }
+
+// Round keys are stored as big-endian FIPS words; AES-NI wants the round
+// key bytes in natural memory order, which per 32-bit lane is the
+// byte-swapped word.
+inline void LoadRoundKeys(const uint32_t rk_words[60], __m128i rk[15]) {
+  for (int i = 0; i < 15; ++i) {
+    rk[i] = _mm_set_epi32(
+        static_cast<int>(Bswap32(rk_words[4 * i + 3])),
+        static_cast<int>(Bswap32(rk_words[4 * i + 2])),
+        static_cast<int>(Bswap32(rk_words[4 * i + 1])),
+        static_cast<int>(Bswap32(rk_words[4 * i])));
+  }
+}
+
+// Builds counter block `index`: IV bytes 0-7 verbatim, bytes 8-15 the IV's
+// big-endian low half plus `index` (carry into the high half dropped, same
+// as the portable path).
+inline __m128i CounterBlock(uint64_t iv_hi_raw, uint64_t iv_lo_be,
+                            uint64_t index) {
+  uint64_t lo = __builtin_bswap64(iv_lo_be + index);
+  return _mm_set_epi64x(static_cast<long long>(lo),
+                        static_cast<long long>(iv_hi_raw));
+}
+
+inline __m128i EncryptOne(__m128i block, const __m128i rk[15]) {
+  block = _mm_xor_si128(block, rk[0]);
+  for (int r = 1; r < 14; ++r) {
+    block = _mm_aesenc_si128(block, rk[r]);
+  }
+  return _mm_aesenclast_si128(block, rk[14]);
+}
+
+template <int kLanes>
+void CtrXorImpl(const __m128i rk[15], uint64_t iv_hi_raw, uint64_t iv_lo_be,
+                uint64_t block_index, size_t in_block, const uint8_t* in,
+                size_t len, uint8_t* out) {
+  size_t pos = 0;
+
+  // Partial head block when `offset` lands mid-block.
+  if (in_block != 0 && pos < len) {
+    alignas(16) uint8_t ks[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(ks),
+                    EncryptOne(CounterBlock(iv_hi_raw, iv_lo_be, block_index),
+                               rk));
+    size_t n = 16 - in_block;
+    if (n > len) n = len;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<uint8_t>(in[i] ^ ks[in_block + i]);
+    }
+    pos += n;
+    ++block_index;
+  }
+
+  // Pipelined body: kLanes independent blocks per iteration.
+  while (len - pos >= static_cast<size_t>(kLanes) * 16) {
+    __m128i b[kLanes];
+    for (int i = 0; i < kLanes; ++i) {
+      b[i] = _mm_xor_si128(
+          CounterBlock(iv_hi_raw, iv_lo_be, block_index + static_cast<uint64_t>(i)),
+          rk[0]);
+    }
+    for (int r = 1; r < 14; ++r) {
+      for (int i = 0; i < kLanes; ++i) {
+        b[i] = _mm_aesenc_si128(b[i], rk[r]);
+      }
+    }
+    for (int i = 0; i < kLanes; ++i) {
+      b[i] = _mm_aesenclast_si128(b[i], rk[14]);
+    }
+    for (int i = 0; i < kLanes; ++i) {
+      __m128i p = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(in + pos + 16 * i));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + pos + 16 * i),
+                       _mm_xor_si128(p, b[i]));
+    }
+    pos += static_cast<size_t>(kLanes) * 16;
+    block_index += kLanes;
+  }
+
+  // Remaining full blocks and the tail.
+  while (pos < len) {
+    alignas(16) uint8_t ks[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(ks),
+                    EncryptOne(CounterBlock(iv_hi_raw, iv_lo_be, block_index),
+                               rk));
+    size_t n = len - pos;
+    if (n > 16) n = 16;
+    for (size_t i = 0; i < n; ++i) {
+      out[pos + i] = static_cast<uint8_t>(in[pos + i] ^ ks[i]);
+    }
+    pos += n;
+    ++block_index;
+  }
+}
+
+}  // namespace
+
+void AesNiCtrXor(const uint32_t rk_words[60], const uint8_t iv[16],
+                 uint64_t offset, const uint8_t* in, size_t len, uint8_t* out,
+                 int pipeline) {
+  if (len == 0) return;
+  __m128i rk[15];
+  LoadRoundKeys(rk_words, rk);
+
+  uint64_t iv_hi_raw;
+  std::memcpy(&iv_hi_raw, iv, 8);
+  uint64_t iv_lo_be = (static_cast<uint64_t>(iv[8]) << 56) |
+                      (static_cast<uint64_t>(iv[9]) << 48) |
+                      (static_cast<uint64_t>(iv[10]) << 40) |
+                      (static_cast<uint64_t>(iv[11]) << 32) |
+                      (static_cast<uint64_t>(iv[12]) << 24) |
+                      (static_cast<uint64_t>(iv[13]) << 16) |
+                      (static_cast<uint64_t>(iv[14]) << 8) |
+                      static_cast<uint64_t>(iv[15]);
+
+  uint64_t block_index = offset / 16;
+  size_t in_block = static_cast<size_t>(offset % 16);
+  if (pipeline >= 8) {
+    CtrXorImpl<8>(rk, iv_hi_raw, iv_lo_be, block_index, in_block, in, len,
+                  out);
+  } else {
+    CtrXorImpl<4>(rk, iv_hi_raw, iv_lo_be, block_index, in_block, in, len,
+                  out);
+  }
+}
+
+}  // namespace internal
+}  // namespace keypad
+
+#endif  // KEYPAD_HAVE_AESNI

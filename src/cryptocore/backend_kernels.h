@@ -1,0 +1,59 @@
+// Internal declarations for the ISA-specific crypto kernels. Each kernel
+// lives in its own translation unit so CMake can attach exactly the -m flags
+// it needs without raising the ISA baseline of the rest of the build; the
+// public classes in aes.h / chacha20.h / sha256.h dispatch here at runtime
+// after cpu_features.h says the instructions exist.
+//
+// Only cryptocore .cc files include this header.
+
+#ifndef SRC_CRYPTOCORE_BACKEND_KERNELS_H_
+#define SRC_CRYPTOCORE_BACKEND_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace keypad {
+namespace internal {
+
+#if defined(KEYPAD_HAVE_AESNI)
+// AES-256-CTR keystream XOR via AES-NI, pipelining `pipeline` (4 or 8)
+// counter blocks per iteration through _mm_aesenc_si128. `rk_words` are the
+// 60 expanded round-key words in FIPS-197 big-endian word order (exactly
+// Aes256::round_keys_); the kernel converts to the AES-NI byte order once
+// per call. Counter semantics match the portable path: the low 8 IV bytes
+// are a big-endian counter, carry into the high half is ignored.
+void AesNiCtrXor(const uint32_t rk_words[60], const uint8_t iv[16],
+                 uint64_t offset, const uint8_t* in, size_t len, uint8_t* out,
+                 int pipeline);
+#endif
+
+#if defined(KEYPAD_HAVE_SSE2_CHACHA)
+// ChaCha20 blocks in a words-across-blocks layout, four per iteration in
+// xmm registers. Produces floor(nblocks / 4) * 4 blocks at `out` and
+// returns that count; the caller finishes the remainder with the portable
+// single-block routine.
+size_t ChaCha20BlocksSse2(const uint8_t key[32], uint32_t counter,
+                          const uint8_t nonce[12], size_t nblocks,
+                          uint8_t* out);
+#endif
+
+#if defined(KEYPAD_HAVE_AVX2_CHACHA)
+// Same contract with eight blocks per iteration in ymm registers: produces
+// floor(nblocks / 8) * 8 blocks and returns that count.
+size_t ChaCha20BlocksAvx2(const uint8_t key[32], uint32_t counter,
+                          const uint8_t nonce[12], size_t nblocks,
+                          uint8_t* out);
+#endif
+
+#if defined(KEYPAD_HAVE_SHANI)
+// SHA-256 compression of `nblocks` consecutive 64-byte blocks using the
+// SHA-NI _mm_sha256rnds2_epu32 pipeline. `state` is the 8-word working
+// state in FIPS 180-4 order (a..h), updated in place.
+void Sha256ProcessShaNi(uint32_t state[8], const uint8_t* data,
+                        size_t nblocks);
+#endif
+
+}  // namespace internal
+}  // namespace keypad
+
+#endif  // SRC_CRYPTOCORE_BACKEND_KERNELS_H_

@@ -1,5 +1,8 @@
 #include "src/cryptocore/chacha20.h"
 
+#include "src/cryptocore/backend_kernels.h"
+#include "src/cryptocore/cpu_features.h"
+
 namespace keypad {
 
 namespace {
@@ -63,6 +66,47 @@ void ChaCha20Block(const uint8_t key[32], uint32_t counter,
     out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
     out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
   }
+}
+
+void ChaCha20Blocks(const uint8_t key[32], uint32_t counter,
+                    const uint8_t nonce[12], size_t nblocks, uint8_t* out) {
+  size_t done = 0;
+  CryptoTier tier = ActiveCryptoTier();
+  (void)tier;
+#if defined(KEYPAD_HAVE_AVX2_CHACHA)
+  if (tier >= CryptoTier::kAvx2 && DetectedCpuFeatures().avx2 &&
+      nblocks - done >= 8) {
+    done += internal::ChaCha20BlocksAvx2(key, counter, nonce, nblocks - done,
+                                         out);
+  }
+#endif
+#if defined(KEYPAD_HAVE_SSE2_CHACHA)
+  if (tier >= CryptoTier::kSse2 && nblocks - done >= 4) {
+    done += internal::ChaCha20BlocksSse2(
+        key, counter + static_cast<uint32_t>(done), nonce, nblocks - done,
+        out + 64 * done);
+  }
+#endif
+  for (; done < nblocks; ++done) {
+    ChaCha20Block(key, counter + static_cast<uint32_t>(done), nonce,
+                  out + 64 * done);
+  }
+}
+
+const char* ChaCha20BackendName() {
+  CryptoTier tier = ActiveCryptoTier();
+  (void)tier;
+#if defined(KEYPAD_HAVE_AVX2_CHACHA)
+  if (tier >= CryptoTier::kAvx2 && DetectedCpuFeatures().avx2) {
+    return "avx2-8x";
+  }
+#endif
+#if defined(KEYPAD_HAVE_SSE2_CHACHA)
+  if (tier >= CryptoTier::kSse2) {
+    return "sse2-4x";
+  }
+#endif
+  return "portable";
 }
 
 }  // namespace keypad

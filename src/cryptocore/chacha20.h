@@ -1,10 +1,16 @@
 // ChaCha20 block function (RFC 8439), from scratch. Backs the SecureRandom
 // DRBG in secure_random.h.
+//
+// ChaCha20Blocks is the throughput entry point: it dispatches to SSE2
+// (4 blocks/iteration) or AVX2 (8 blocks/iteration) kernels when the CPU
+// and the dispatch caps in cpu_features.h allow, falling back to the
+// portable single-block routine.
 
 #ifndef SRC_CRYPTOCORE_CHACHA20_H_
 #define SRC_CRYPTOCORE_CHACHA20_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace keypad {
@@ -13,6 +19,15 @@ namespace keypad {
 // key: 32 bytes; nonce: 12 bytes.
 void ChaCha20Block(const uint8_t key[32], uint32_t counter,
                    const uint8_t nonce[12], uint8_t out[64]);
+
+// Computes `nblocks` consecutive 64-byte blocks starting at `counter`
+// (counter wraps mod 2^32, as in RFC 8439) into `out`.
+void ChaCha20Blocks(const uint8_t key[32], uint32_t counter,
+                    const uint8_t nonce[12], size_t nblocks, uint8_t* out);
+
+// Name of the kernel ChaCha20Blocks currently dispatches to
+// ("avx2-8x", "sse2-4x", or "portable").
+const char* ChaCha20BackendName();
 
 }  // namespace keypad
 

@@ -1,0 +1,143 @@
+// ChaCha20 AVX2 kernel: eight blocks per iteration, words-across-blocks in
+// ymm registers (register i = word i of eight consecutive blocks). Same
+// shape as the SSE2 kernel with twice the lane count; the write-out does
+// two 4x4 transposes per register group in the 128-bit halves and then
+// recombines halves with vperm2i128. Compiled with -mavx2 (this file only).
+
+#include "src/cryptocore/backend_kernels.h"
+
+#if defined(KEYPAD_HAVE_AVX2_CHACHA)
+
+#include <immintrin.h>
+
+namespace keypad {
+namespace internal {
+
+namespace {
+
+inline uint32_t ReadU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+template <int kBits>
+inline __m256i Rotl(__m256i v) {
+  return _mm256_or_si256(_mm256_slli_epi32(v, kBits),
+                         _mm256_srli_epi32(v, 32 - kBits));
+}
+
+inline void QuarterRound(__m256i& a, __m256i& b, __m256i& c, __m256i& d) {
+  a = _mm256_add_epi32(a, b);
+  d = Rotl<16>(_mm256_xor_si256(d, a));
+  c = _mm256_add_epi32(c, d);
+  b = Rotl<12>(_mm256_xor_si256(b, c));
+  a = _mm256_add_epi32(a, b);
+  d = Rotl<8>(_mm256_xor_si256(d, a));
+  c = _mm256_add_epi32(c, d);
+  b = Rotl<7>(_mm256_xor_si256(b, c));
+}
+
+struct Transposed4 {
+  // u[b] = words j..j+3 of block b (low 128 half) / block b+4 (high half).
+  __m256i u0, u1, u2, u3;
+};
+
+inline Transposed4 Transpose(__m256i r0, __m256i r1, __m256i r2, __m256i r3) {
+  __m256i t0 = _mm256_unpacklo_epi32(r0, r1);
+  __m256i t1 = _mm256_unpacklo_epi32(r2, r3);
+  __m256i t2 = _mm256_unpackhi_epi32(r0, r1);
+  __m256i t3 = _mm256_unpackhi_epi32(r2, r3);
+  Transposed4 out;
+  out.u0 = _mm256_unpacklo_epi64(t0, t1);
+  out.u1 = _mm256_unpackhi_epi64(t0, t1);
+  out.u2 = _mm256_unpacklo_epi64(t2, t3);
+  out.u3 = _mm256_unpackhi_epi64(t2, t3);
+  return out;
+}
+
+}  // namespace
+
+size_t ChaCha20BlocksAvx2(const uint8_t key[32], uint32_t counter,
+                          const uint8_t nonce[12], size_t nblocks,
+                          uint8_t* out) {
+  uint32_t st[16];
+  st[0] = 0x61707865;
+  st[1] = 0x3320646e;
+  st[2] = 0x79622d32;
+  st[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    st[4 + i] = ReadU32Le(key + 4 * i);
+  }
+  st[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    st[13 + i] = ReadU32Le(nonce + 4 * i);
+  }
+
+  size_t groups = nblocks / 8;
+  for (size_t g = 0; g < groups; ++g) {
+    __m256i s[16];
+    for (int i = 0; i < 16; ++i) {
+      s[i] = _mm256_set1_epi32(static_cast<int>(st[i]));
+    }
+    s[12] = _mm256_add_epi32(
+        _mm256_set1_epi32(
+            static_cast<int>(st[12] + static_cast<uint32_t>(8 * g))),
+        _mm256_set_epi32(7, 6, 5, 4, 3, 2, 1, 0));
+
+    __m256i x[16];
+    for (int i = 0; i < 16; ++i) {
+      x[i] = s[i];
+    }
+    for (int round = 0; round < 10; ++round) {
+      QuarterRound(x[0], x[4], x[8], x[12]);
+      QuarterRound(x[1], x[5], x[9], x[13]);
+      QuarterRound(x[2], x[6], x[10], x[14]);
+      QuarterRound(x[3], x[7], x[11], x[15]);
+      QuarterRound(x[0], x[5], x[10], x[15]);
+      QuarterRound(x[1], x[6], x[11], x[12]);
+      QuarterRound(x[2], x[7], x[8], x[13]);
+      QuarterRound(x[3], x[4], x[9], x[14]);
+    }
+    for (int i = 0; i < 16; ++i) {
+      x[i] = _mm256_add_epi32(x[i], s[i]);
+    }
+
+    Transposed4 a = Transpose(x[0], x[1], x[2], x[3]);
+    Transposed4 b = Transpose(x[4], x[5], x[6], x[7]);
+    Transposed4 c = Transpose(x[8], x[9], x[10], x[11]);
+    Transposed4 d = Transpose(x[12], x[13], x[14], x[15]);
+
+    // Blocks 0-3 live in the low 128-bit halves, blocks 4-7 in the high
+    // halves; vperm2i128 recombines the word-0-7 group (a/b) and the
+    // word-8-15 group (c/d) into contiguous 32-byte rows per block. The
+    // permute selector must be an immediate, hence the paired stores.
+    uint8_t* dst = out + 512 * g;
+    auto store = [&](int block, size_t off, __m256i row) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 64 * block + off),
+                          row);
+    };
+    store(0, 0, _mm256_permute2x128_si256(a.u0, b.u0, 0x20));
+    store(4, 0, _mm256_permute2x128_si256(a.u0, b.u0, 0x31));
+    store(1, 0, _mm256_permute2x128_si256(a.u1, b.u1, 0x20));
+    store(5, 0, _mm256_permute2x128_si256(a.u1, b.u1, 0x31));
+    store(2, 0, _mm256_permute2x128_si256(a.u2, b.u2, 0x20));
+    store(6, 0, _mm256_permute2x128_si256(a.u2, b.u2, 0x31));
+    store(3, 0, _mm256_permute2x128_si256(a.u3, b.u3, 0x20));
+    store(7, 0, _mm256_permute2x128_si256(a.u3, b.u3, 0x31));
+    store(0, 32, _mm256_permute2x128_si256(c.u0, d.u0, 0x20));
+    store(4, 32, _mm256_permute2x128_si256(c.u0, d.u0, 0x31));
+    store(1, 32, _mm256_permute2x128_si256(c.u1, d.u1, 0x20));
+    store(5, 32, _mm256_permute2x128_si256(c.u1, d.u1, 0x31));
+    store(2, 32, _mm256_permute2x128_si256(c.u2, d.u2, 0x20));
+    store(6, 32, _mm256_permute2x128_si256(c.u2, d.u2, 0x31));
+    store(3, 32, _mm256_permute2x128_si256(c.u3, d.u3, 0x20));
+    store(7, 32, _mm256_permute2x128_si256(c.u3, d.u3, 0x31));
+  }
+  return groups * 8;
+}
+
+}  // namespace internal
+}  // namespace keypad
+
+#endif  // KEYPAD_HAVE_AVX2_CHACHA

@@ -1,0 +1,119 @@
+// ChaCha20 SSE2 kernel: four blocks per iteration in a words-across-blocks
+// (transposed) layout — xmm register i holds word i of four consecutive
+// blocks, so every quarter-round op is a plain vector add/xor/rotate with
+// no shuffles inside the round loop. Only the final add-input + store needs
+// 4x4 transposes. SSE2 is part of the x86-64 baseline, so this file needs
+// no extra -m flags and runs on every x86-64 CPU.
+
+#include "src/cryptocore/backend_kernels.h"
+
+#if defined(KEYPAD_HAVE_SSE2_CHACHA)
+
+#include <emmintrin.h>
+
+namespace keypad {
+namespace internal {
+
+namespace {
+
+inline uint32_t ReadU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+template <int kBits>
+inline __m128i Rotl(__m128i v) {
+  return _mm_or_si128(_mm_slli_epi32(v, kBits),
+                      _mm_srli_epi32(v, 32 - kBits));
+}
+
+inline void QuarterRound(__m128i& a, __m128i& b, __m128i& c, __m128i& d) {
+  a = _mm_add_epi32(a, b);
+  d = Rotl<16>(_mm_xor_si128(d, a));
+  c = _mm_add_epi32(c, d);
+  b = Rotl<12>(_mm_xor_si128(b, c));
+  a = _mm_add_epi32(a, b);
+  d = Rotl<8>(_mm_xor_si128(d, a));
+  c = _mm_add_epi32(c, d);
+  b = Rotl<7>(_mm_xor_si128(b, c));
+}
+
+// Transposes (r0,r1,r2,r3) — register j = word j of blocks 0..3 — into
+// per-block rows and stores row b at out + 64*b + byte_offset.
+inline void StoreTransposed(__m128i r0, __m128i r1, __m128i r2, __m128i r3,
+                            uint8_t* out, size_t byte_offset) {
+  __m128i t0 = _mm_unpacklo_epi32(r0, r1);
+  __m128i t1 = _mm_unpacklo_epi32(r2, r3);
+  __m128i t2 = _mm_unpackhi_epi32(r0, r1);
+  __m128i t3 = _mm_unpackhi_epi32(r2, r3);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + byte_offset),
+                   _mm_unpacklo_epi64(t0, t1));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 64 + byte_offset),
+                   _mm_unpackhi_epi64(t0, t1));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 128 + byte_offset),
+                   _mm_unpacklo_epi64(t2, t3));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 192 + byte_offset),
+                   _mm_unpackhi_epi64(t2, t3));
+}
+
+}  // namespace
+
+size_t ChaCha20BlocksSse2(const uint8_t key[32], uint32_t counter,
+                          const uint8_t nonce[12], size_t nblocks,
+                          uint8_t* out) {
+  uint32_t st[16];
+  st[0] = 0x61707865;
+  st[1] = 0x3320646e;
+  st[2] = 0x79622d32;
+  st[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    st[4 + i] = ReadU32Le(key + 4 * i);
+  }
+  st[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    st[13 + i] = ReadU32Le(nonce + 4 * i);
+  }
+
+  size_t groups = nblocks / 4;
+  for (size_t g = 0; g < groups; ++g) {
+    __m128i s[16];
+    for (int i = 0; i < 16; ++i) {
+      s[i] = _mm_set1_epi32(static_cast<int>(st[i]));
+    }
+    s[12] = _mm_add_epi32(
+        _mm_set1_epi32(
+            static_cast<int>(st[12] + static_cast<uint32_t>(4 * g))),
+        _mm_set_epi32(3, 2, 1, 0));
+
+    __m128i x[16];
+    for (int i = 0; i < 16; ++i) {
+      x[i] = s[i];
+    }
+    for (int round = 0; round < 10; ++round) {
+      QuarterRound(x[0], x[4], x[8], x[12]);
+      QuarterRound(x[1], x[5], x[9], x[13]);
+      QuarterRound(x[2], x[6], x[10], x[14]);
+      QuarterRound(x[3], x[7], x[11], x[15]);
+      QuarterRound(x[0], x[5], x[10], x[15]);
+      QuarterRound(x[1], x[6], x[11], x[12]);
+      QuarterRound(x[2], x[7], x[8], x[13]);
+      QuarterRound(x[3], x[4], x[9], x[14]);
+    }
+    for (int i = 0; i < 16; ++i) {
+      x[i] = _mm_add_epi32(x[i], s[i]);
+    }
+
+    uint8_t* dst = out + 256 * g;
+    StoreTransposed(x[0], x[1], x[2], x[3], dst, 0);
+    StoreTransposed(x[4], x[5], x[6], x[7], dst, 16);
+    StoreTransposed(x[8], x[9], x[10], x[11], dst, 32);
+    StoreTransposed(x[12], x[13], x[14], x[15], dst, 48);
+  }
+  return groups * 4;
+}
+
+}  // namespace internal
+}  // namespace keypad
+
+#endif  // KEYPAD_HAVE_SSE2_CHACHA

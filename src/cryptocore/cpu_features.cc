@@ -1,0 +1,146 @@
+#include "src/cryptocore/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/cryptocore/aes.h"
+#include "src/cryptocore/chacha20.h"
+#include "src/cryptocore/sha256.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define KEYPAD_X86_64 1
+#endif
+
+namespace keypad {
+
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#if defined(KEYPAD_X86_64)
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.ssse3 = (ecx & (1u << 9)) != 0;
+    f.sse41 = (ecx & (1u << 19)) != 0;
+    f.aesni = (ecx & (1u << 25)) != 0;
+    bool osxsave = (ecx & (1u << 27)) != 0;
+    bool avx = (ecx & (1u << 28)) != 0;
+    bool ymm_enabled = false;
+    if (osxsave && avx) {
+      // XGETBV(0): bits 1 (SSE) and 2 (AVX) must both be OS-enabled before
+      // any ymm-register kernel is safe to run.
+      unsigned int xcr0_lo, xcr0_hi;
+      __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+      ymm_enabled = (xcr0_lo & 0x6) == 0x6;
+    }
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+      f.avx2 = ymm_enabled && (ebx & (1u << 5)) != 0;
+      f.sha_ni = (ebx & (1u << 29)) != 0;
+    }
+  }
+#endif
+  return f;
+}
+
+// Env cap, parsed once. Unset/"auto"/unknown values leave dispatch unbounded.
+CryptoTier EnvTierCap() {
+  const char* env = std::getenv("KEYPAD_CRYPTO_BACKEND");
+  if (env == nullptr || std::strcmp(env, "auto") == 0) {
+    return CryptoTier::kAvx2;
+  }
+  if (std::strcmp(env, "portable") == 0) return CryptoTier::kPortable;
+  if (std::strcmp(env, "sse2") == 0) return CryptoTier::kSse2;
+  if (std::strcmp(env, "aesni") == 0) return CryptoTier::kAesNi;
+  if (std::strcmp(env, "avx2") == 0) return CryptoTier::kAvx2;
+  return CryptoTier::kAvx2;
+}
+
+// -1 = no test cap installed.
+std::atomic<int> g_test_tier_cap{-1};
+
+}  // namespace
+
+const CpuFeatures& DetectedCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+CryptoTier DetectedCryptoTier() {
+  const CpuFeatures& f = DetectedCpuFeatures();
+  if (f.avx2 && f.aesni) return CryptoTier::kAvx2;
+  if (f.aesni && f.ssse3) return CryptoTier::kAesNi;
+#if defined(KEYPAD_X86_64)
+  return CryptoTier::kSse2;  // SSE2 is x86-64 baseline.
+#else
+  return CryptoTier::kPortable;
+#endif
+}
+
+CryptoTier ActiveCryptoTier() {
+  static const CryptoTier env_cap = EnvTierCap();
+  CryptoTier tier = DetectedCryptoTier();
+  if (env_cap < tier) tier = env_cap;
+  int test_cap = g_test_tier_cap.load(std::memory_order_relaxed);
+  if (test_cap >= 0 && static_cast<CryptoTier>(test_cap) < tier) {
+    tier = static_cast<CryptoTier>(test_cap);
+  }
+  return tier;
+}
+
+bool ShaNiActive() {
+#if defined(KEYPAD_HAVE_SHANI)
+  return DetectedCpuFeatures().sha_ni && DetectedCpuFeatures().sse41 &&
+         ActiveCryptoTier() >= CryptoTier::kAesNi;
+#else
+  return false;
+#endif
+}
+
+const char* CryptoTierName(CryptoTier tier) {
+  switch (tier) {
+    case CryptoTier::kPortable:
+      return "portable";
+    case CryptoTier::kSse2:
+      return "sse2";
+    case CryptoTier::kAesNi:
+      return "aesni";
+    case CryptoTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::vector<CryptoTier> ExercisableCryptoTiers() {
+  std::vector<CryptoTier> tiers = {CryptoTier::kPortable};
+  CryptoTier max = DetectedCryptoTier();
+#if defined(KEYPAD_HAVE_SSE2_CHACHA)
+  if (max >= CryptoTier::kSse2) tiers.push_back(CryptoTier::kSse2);
+#endif
+#if defined(KEYPAD_HAVE_AESNI)
+  if (max >= CryptoTier::kAesNi) tiers.push_back(CryptoTier::kAesNi);
+#endif
+#if defined(KEYPAD_HAVE_AESNI) || defined(KEYPAD_HAVE_AVX2_CHACHA)
+  if (max >= CryptoTier::kAvx2) tiers.push_back(CryptoTier::kAvx2);
+#endif
+  return tiers;
+}
+
+void SetCryptoTierCapForTesting(CryptoTier cap) {
+  g_test_tier_cap.store(static_cast<int>(cap), std::memory_order_relaxed);
+}
+
+void ClearCryptoTierCapForTesting() {
+  g_test_tier_cap.store(-1, std::memory_order_relaxed);
+}
+
+std::vector<CryptoBackendInfo> ActiveCryptoBackends() {
+  return {
+      {"aes256-ctr", Aes256::BackendName()},
+      {"chacha20", ChaCha20BackendName()},
+      {"sha256", Sha256::BackendName()},
+  };
+}
+
+}  // namespace keypad

@@ -1,0 +1,76 @@
+// Runtime CPU-feature detection and crypto-backend dispatch policy.
+//
+// The cryptocore primitives (AES-256-CTR, ChaCha20, SHA-256) each carry one
+// portable implementation plus optional SIMD/ISA-extension kernels compiled
+// per-file with the matching -m flags (see src/cryptocore/CMakeLists.txt).
+// Which kernel actually runs is decided at runtime from:
+//
+//   min( what the CPU supports,            -- CPUID / XGETBV
+//        what this binary compiled in,      -- KEYPAD_HAVE_* definitions
+//        the KEYPAD_CRYPTO_BACKEND env cap, -- "portable" | "sse2" |
+//                                              "aesni" | "avx2" | "auto"
+//        the test/bench override cap )      -- SetCryptoTierCapForTesting
+//
+// so differential tests and benches can force every tier on one machine.
+
+#ifndef SRC_CRYPTOCORE_CPU_FEATURES_H_
+#define SRC_CRYPTOCORE_CPU_FEATURES_H_
+
+#include <vector>
+
+namespace keypad {
+
+// Dispatch tiers, ordered: a cap at tier T permits every kernel at or below
+// T. SHA-NI rides the kAesNi tier (no CPU ships one without the other).
+enum class CryptoTier : int {
+  kPortable = 0,
+  kSse2 = 1,
+  kAesNi = 2,
+  kAvx2 = 3,
+};
+
+// Raw CPUID/XGETBV results (cached after the first call).
+struct CpuFeatures {
+  bool ssse3 = false;
+  bool sse41 = false;
+  bool aesni = false;
+  bool avx2 = false;   // includes the OS ymm-state (XGETBV) check
+  bool sha_ni = false;
+};
+
+const CpuFeatures& DetectedCpuFeatures();
+
+// Highest tier the hardware supports (ignoring env/test caps).
+CryptoTier DetectedCryptoTier();
+
+// Tier dispatch actually uses right now: detection ∧ env cap ∧ test cap.
+CryptoTier ActiveCryptoTier();
+
+// True when SHA-NI kernels may run (hardware + compiled in + caps).
+bool ShaNiActive();
+
+// Human-readable tier name ("portable", "sse2", "aesni", "avx2").
+const char* CryptoTierName(CryptoTier tier);
+
+// Tiers worth exercising on this machine with this binary: every tier from
+// kPortable up to min(detected, compiled-in). Used by the differential test
+// and the per-backend benches.
+std::vector<CryptoTier> ExercisableCryptoTiers();
+
+// Process-wide dispatch cap for tests/benches (not thread-safe; call from a
+// single thread before spawning crypto work). Clear to return to env/auto.
+void SetCryptoTierCapForTesting(CryptoTier cap);
+void ClearCryptoTierCapForTesting();
+
+// One (algorithm, backend) row per primitive, reflecting the current caps —
+// e.g. {"aes256-ctr", "aesni-8x"}. Benches print these so every perf number
+// is attributable to the kernel that produced it.
+struct CryptoBackendInfo {
+  const char* algorithm;
+  const char* backend;
+};
+std::vector<CryptoBackendInfo> ActiveCryptoBackends();
+
+}  // namespace keypad
+
+#endif  // SRC_CRYPTOCORE_CPU_FEATURES_H_

@@ -12,7 +12,9 @@ void XorPad(uint8_t pad[kBlockSize], const Bytes& key, uint8_t v) {
   if (key.size() > kBlockSize) {
     Sha256::Digest d = Sha256::Hash(key);
     std::memcpy(key_block, d.data(), d.size());
-  } else {
+  } else if (!key.empty()) {
+    // The emptiness check keeps memcpy away from the nullptr an empty
+    // vector's data() may return (UB even for zero lengths).
     std::memcpy(key_block, key.data(), key.size());
   }
   for (size_t i = 0; i < kBlockSize; ++i) {
@@ -21,30 +23,42 @@ void XorPad(uint8_t pad[kBlockSize], const Bytes& key, uint8_t v) {
 }
 }  // namespace
 
-Bytes HmacSha256(const Bytes& key, const Bytes& data) {
+Hmac::Hmac(const Bytes& key) {
   uint8_t ipad[kBlockSize], opad[kBlockSize];
   XorPad(ipad, key, 0x36);
   XorPad(opad, key, 0x5c);
+  inner_.Update(ipad, kBlockSize);
+  outer_.Update(opad, kBlockSize);
+  SecureZero(ipad, kBlockSize);
+  SecureZero(opad, kBlockSize);
+}
 
-  Sha256 inner;
-  inner.Update(ipad, kBlockSize);
-  inner.Update(data);
+Bytes Hmac::Sign(const uint8_t* data, size_t len) const {
+  Sha256 inner = inner_;
+  inner.Update(data, len);
   Sha256::Digest inner_digest = inner.Finish();
 
-  Sha256 outer;
-  outer.Update(opad, kBlockSize);
+  Sha256 outer = outer_;
   outer.Update(inner_digest.data(), inner_digest.size());
   Sha256::Digest d = outer.Finish();
   return Bytes(d.begin(), d.end());
 }
 
+bool Hmac::Verify(const Bytes& data, const Bytes& mac) const {
+  return ConstantTimeEquals(Sign(data), mac);
+}
+
+Bytes HmacSha256(const Bytes& key, const Bytes& data) {
+  return Hmac(key).Sign(data);
+}
+
 Bytes HmacSha256(const Bytes& key, std::string_view data) {
-  return HmacSha256(key, BytesOf(data));
+  return Hmac(key).Sign(data);
 }
 
 Bytes Hkdf(const Bytes& ikm, const Bytes& salt, std::string_view info,
            size_t out_len) {
-  Bytes prk = HmacSha256(salt, ikm);
+  Hmac prk(HmacSha256(salt, ikm));
   Bytes out;
   Bytes t;
   uint8_t counter = 1;
@@ -52,7 +66,7 @@ Bytes Hkdf(const Bytes& ikm, const Bytes& salt, std::string_view info,
     Bytes block = t;
     Append(block, info);
     block.push_back(counter++);
-    t = HmacSha256(prk, block);
+    t = prk.Sign(block);
     Append(out, t);
   }
   out.resize(out_len);
@@ -63,12 +77,14 @@ Bytes PasswordKdf(std::string_view password, const Bytes& salt,
                   uint32_t iterations, size_t out_len) {
   Bytes pw = BytesOf(password);
   // PBKDF2 block 1: U1 = HMAC(pw, salt || INT(1)); Ui = HMAC(pw, U(i-1)).
+  // The keyed context makes each iteration two compressions, not four.
+  Hmac hmac(pw);
   Bytes block = salt;
   AppendU32Be(block, 1);
-  Bytes u = HmacSha256(pw, block);
+  Bytes u = hmac.Sign(block);
   Bytes acc = u;
   for (uint32_t i = 1; i < iterations; ++i) {
-    u = HmacSha256(pw, u);
+    u = hmac.Sign(u);
     for (size_t j = 0; j < acc.size(); ++j) {
       acc[j] ^= u[j];
     }

@@ -13,7 +13,30 @@
 
 namespace keypad {
 
-// HMAC-SHA256 of `data` under `key`.
+// HMAC-SHA256 keyed context. Absorbing the ipad/opad blocks costs two
+// SHA-256 compressions; this class pays them once in the constructor and
+// clones the midstates for every Sign/Verify, halving the per-message cost
+// for short inputs. Use it wherever one key authenticates many messages
+// (RPC auth frames, the secure channel, PBKDF iterations).
+class Hmac {
+ public:
+  explicit Hmac(const Bytes& key);
+
+  Bytes Sign(const uint8_t* data, size_t len) const;
+  Bytes Sign(const Bytes& data) const { return Sign(data.data(), data.size()); }
+  Bytes Sign(std::string_view data) const {
+    return Sign(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+
+  // Constant-time comparison of Sign(data) against `mac`.
+  bool Verify(const Bytes& data, const Bytes& mac) const;
+
+ private:
+  Sha256 inner_;  // State after absorbing key ^ ipad.
+  Sha256 outer_;  // State after absorbing key ^ opad.
+};
+
+// One-shot HMAC-SHA256 of `data` under `key`.
 Bytes HmacSha256(const Bytes& key, const Bytes& data);
 Bytes HmacSha256(const Bytes& key, std::string_view data);
 

@@ -23,16 +23,17 @@ SecureRandom::SecureRandom(uint64_t seed) {
 void SecureRandom::Refill() {
   static const uint8_t kNonce[12] = {'k', 'p', 'd', 'r', 'n', 'g',
                                      0,   0,   0,   0,   0,   0};
-  ChaCha20Block(key_, counter_++, kNonce, block_);
+  ChaCha20Blocks(key_, counter_, kNonce, kBufSize / 64, block_);
+  counter_ += kBufSize / 64;
   block_pos_ = 0;
 }
 
 void SecureRandom::Fill(uint8_t* out, size_t len) {
   while (len > 0) {
-    if (block_pos_ == 64) {
+    if (block_pos_ == kBufSize) {
       Refill();
     }
-    size_t n = 64 - block_pos_;
+    size_t n = kBufSize - block_pos_;
     if (n > len) {
       n = len;
     }

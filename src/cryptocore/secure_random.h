@@ -28,12 +28,17 @@ class SecureRandom {
   SecureRandom Fork();
 
  private:
+  // Four ChaCha20 blocks per refill so the multi-block SIMD kernels get a
+  // full batch; the output stream is byte-identical to single-block refills
+  // (consecutive counters, consumed in order).
+  static constexpr size_t kBufSize = 256;
+
   void Refill();
 
   uint8_t key_[32];
   uint32_t counter_ = 0;
-  uint8_t block_[64];
-  size_t block_pos_ = 64;
+  uint8_t block_[kBufSize];
+  size_t block_pos_ = kBufSize;
 };
 
 }  // namespace keypad

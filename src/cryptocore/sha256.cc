@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "src/cryptocore/backend_kernels.h"
+#include "src/cryptocore/cpu_features.h"
+
 namespace keypad {
 
 namespace {
@@ -34,56 +37,67 @@ Sha256::Sha256() {
   state_[7] = 0x5be0cd19;
 }
 
-void Sha256::ProcessBlock(const uint8_t block[64]) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = ReadU32Be(block + 4 * i);
-  }
-  for (int i = 16; i < 64; ++i) {
-    uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
+// One round with roles passed explicitly: unrolling 8 rounds per iteration
+// lets the register roles rotate at compile time instead of shuffling eight
+// variables every round (the h=g; g=f; ... chain in the seed version).
+#define KP_SHA256_ROUND(a, b, c, d, e, f, g, h, i)                          \
+  do {                                                                      \
+    uint32_t t1 = (h) + (Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25)) +          \
+                  (((e) & (f)) ^ (~(e) & (g))) + kK[i] + w[i];              \
+    uint32_t t2 = (Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22)) +                \
+                  (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));                \
+    (d) += t1;                                                              \
+    (h) = t1 + t2;                                                          \
+  } while (0)
 
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
-    uint32_t ch = (e & f) ^ (~e & g);
-    uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
-    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
+void Sha256::ProcessBlocks(const uint8_t* data, size_t nblocks) {
+#if defined(KEYPAD_HAVE_SHANI)
+  if (ShaNiActive()) {
+    internal::Sha256ProcessShaNi(state_, data, nblocks);
+    return;
   }
+#endif
+  for (size_t blk = 0; blk < nblocks; ++blk, data += 64) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = ReadU32Be(data + 4 * i);
+    }
+    for (int i = 16; i < 64; ++i) {
+      uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+    uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+    uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+
+    for (int i = 0; i < 64; i += 8) {
+      KP_SHA256_ROUND(a, b, c, d, e, f, g, h, i + 0);
+      KP_SHA256_ROUND(h, a, b, c, d, e, f, g, i + 1);
+      KP_SHA256_ROUND(g, h, a, b, c, d, e, f, i + 2);
+      KP_SHA256_ROUND(f, g, h, a, b, c, d, e, i + 3);
+      KP_SHA256_ROUND(e, f, g, h, a, b, c, d, i + 4);
+      KP_SHA256_ROUND(d, e, f, g, h, a, b, c, i + 5);
+      KP_SHA256_ROUND(c, d, e, f, g, h, a, b, i + 6);
+      KP_SHA256_ROUND(b, c, d, e, f, g, h, a, i + 7);
+    }
+
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    state_[4] += e;
+    state_[5] += f;
+    state_[6] += g;
+    state_[7] += h;
+  }
 }
+
+#undef KP_SHA256_ROUND
 
 void Sha256::Update(const uint8_t* data, size_t len) {
   total_len_ += len;
-  while (len > 0) {
-    if (buffer_len_ == 0 && len >= 64) {
-      ProcessBlock(data);
-      data += 64;
-      len -= 64;
-      continue;
-    }
+  if (buffer_len_ > 0) {
     size_t take = 64 - buffer_len_;
     if (take > len) {
       take = len;
@@ -93,9 +107,18 @@ void Sha256::Update(const uint8_t* data, size_t len) {
     data += take;
     len -= take;
     if (buffer_len_ == 64) {
-      ProcessBlock(buffer_);
+      ProcessBlocks(buffer_, 1);
       buffer_len_ = 0;
     }
+  }
+  if (size_t nblocks = len / 64; nblocks > 0) {
+    ProcessBlocks(data, nblocks);
+    data += 64 * nblocks;
+    len -= 64 * nblocks;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_ + buffer_len_, data, len);
+    buffer_len_ += len;
   }
 }
 
@@ -139,6 +162,15 @@ Sha256::Digest Sha256::Hash(std::string_view data) {
 Bytes Sha256::HashBytes(const Bytes& data) {
   Digest d = Hash(data);
   return Bytes(d.begin(), d.end());
+}
+
+const char* Sha256::BackendName() {
+#if defined(KEYPAD_HAVE_SHANI)
+  if (ShaNiActive()) {
+    return "sha-ni";
+  }
+#endif
+  return "portable-unrolled";
 }
 
 }  // namespace keypad

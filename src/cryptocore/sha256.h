@@ -34,8 +34,14 @@ class Sha256 {
   static Digest Hash(std::string_view data);
   static Bytes HashBytes(const Bytes& data);
 
+  // Name of the compression kernel dispatch currently selects
+  // ("sha-ni" or "portable-unrolled").
+  static const char* BackendName();
+
  private:
-  void ProcessBlock(const uint8_t block[64]);
+  // Compresses `nblocks` consecutive 64-byte blocks (SHA-NI when available,
+  // otherwise the unrolled scalar rounds).
+  void ProcessBlocks(const uint8_t* data, size_t nblocks);
 
   uint32_t state_[8];
   uint64_t total_len_ = 0;

@@ -1,0 +1,103 @@
+// SHA-256 compression via the SHA-NI extension (_mm_sha256rnds2_epu32 does
+// two rounds per instruction; _mm_sha256msg1/msg2 compute the message
+// schedule). Compiled with -msha -msse4.1 (this file only); dispatch in
+// sha256.cc runs it only when CPUID reports SHA support.
+//
+// Register layout follows the ISA's convention: one xmm holds {A,B,E,F} and
+// the other {C,D,G,H}, so the working state is permuted on entry and
+// un-permuted on exit. The message schedule uses the identity
+//   W[g] = msg2( msg1(W[g-4], W[g-3]) + alignr(W[g-1], W[g-2], 4), W[g-1] )
+// over 4-word groups, which lets the 64 rounds run as a 16-group loop
+// instead of a hand-unrolled listing.
+
+#include "src/cryptocore/backend_kernels.h"
+
+#if defined(KEYPAD_HAVE_SHANI)
+
+#include <immintrin.h>
+
+namespace keypad {
+namespace internal {
+
+namespace {
+
+alignas(16) constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+}  // namespace
+
+void Sha256ProcessShaNi(uint32_t state[8], const uint8_t* data,
+                        size_t nblocks) {
+  // Big-endian word loads: lane byte shuffle mask.
+  const __m128i kBeShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // Permute {A,B,C,D},{E,F,G,H} into the {A,B,E,F},{C,D,G,H} ISA layout.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);     // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);          // CDGH
+
+  while (nblocks > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    __m128i m[4];
+    for (int i = 0; i < 4; ++i) {
+      m[i] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * i)),
+          kBeShuffle);
+    }
+
+    for (int g = 0; g < 16; ++g) {
+      __m128i w;
+      if (g < 4) {
+        w = m[g];
+      } else {
+        __m128i x = _mm_add_epi32(_mm_sha256msg1_epu32(m[0], m[1]),
+                                  _mm_alignr_epi8(m[3], m[2], 4));
+        w = _mm_sha256msg2_epu32(x, m[3]);
+        m[0] = m[1];
+        m[1] = m[2];
+        m[2] = m[3];
+        m[3] = w;
+      }
+      __m128i wk = _mm_add_epi32(
+          w, _mm_load_si128(reinterpret_cast<const __m128i*>(&kK[4 * g])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+      state0 = _mm_sha256rnds2_epu32(state0, state1,
+                                     _mm_shuffle_epi32(wk, 0x0E));
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
+    --nblocks;
+  }
+
+  // Un-permute back to {A,B,C,D},{E,F,G,H}.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);        // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);           // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+}  // namespace internal
+}  // namespace keypad
+
+#endif  // KEYPAD_HAVE_SHANI

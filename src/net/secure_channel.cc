@@ -8,20 +8,24 @@ namespace keypad {
 namespace {
 constexpr size_t kNonceLen = 16;
 constexpr size_t kMacLen = 32;
-
-struct EpochKeys {
-  Bytes enc;
-  Bytes mac;
-};
-
-EpochKeys DeriveMessageKeys(const Bytes& epoch_key) {
-  Bytes okm = Hkdf(epoch_key, /*salt=*/{}, "kp-chan-msg", 64);
-  EpochKeys keys;
-  keys.enc.assign(okm.begin(), okm.begin() + 32);
-  keys.mac.assign(okm.begin() + 32, okm.end());
-  return keys;
-}
 }  // namespace
+
+SecureChannel::EpochCipher& SecureChannel::CipherFor(uint64_t epoch,
+                                                     const Bytes& epoch_key) {
+  EpochCipher& slot = cipher_slots_[epoch % 2];
+  if (slot.epoch != epoch || !slot.aes.has_value()) {
+    Bytes okm = Hkdf(epoch_key, /*salt=*/{}, "kp-chan-msg", 64);
+    Bytes enc(okm.begin(), okm.begin() + 32);
+    Bytes mac(okm.begin() + 32, okm.end());
+    slot.epoch = epoch;
+    slot.aes.emplace(*Aes256::Create(enc));
+    slot.mac.emplace(mac);
+    SecureZero(okm);
+    SecureZero(enc);
+    SecureZero(mac);
+  }
+  return slot;
+}
 
 SecureChannel::SecureChannel(Bytes root_key, SimDuration rotation_period)
     : rotation_period_(rotation_period) {
@@ -46,16 +50,15 @@ void SecureChannel::AdvanceTo(uint64_t epoch) {
 Bytes SecureChannel::Seal(SimTime now, const Bytes& plaintext,
                           SecureRandom& rng) {
   AdvanceTo(EpochOf(now));
-  EpochKeys keys = DeriveMessageKeys(current_key_);
+  EpochCipher& cipher = CipherFor(current_epoch_, current_key_);
 
   Bytes out;
   AppendU64Be(out, current_epoch_);
   Bytes nonce = rng.NextBytes(kNonceLen);
   Append(out, nonce);
-  auto aes = Aes256::Create(keys.enc);
-  Bytes ct = aes->CtrXor(nonce, 0, plaintext);
+  Bytes ct = cipher.aes->CtrXor(nonce, 0, plaintext);
   Append(out, ct);
-  Bytes mac = HmacSha256(keys.mac, out);
+  Bytes mac = cipher.mac->Sign(out);
   Append(out, mac);
   return out;
 }
@@ -75,18 +78,17 @@ Result<Bytes> SecureChannel::Open(SimTime now, const Bytes& sealed) {
   } else {
     return PermissionDeniedError("secure channel: stale or future epoch");
   }
-  EpochKeys keys = DeriveMessageKeys(*key);
+  EpochCipher& cipher = CipherFor(epoch, *key);
 
   size_t body_len = sealed.size() - kMacLen;
   Bytes body(sealed.begin(), sealed.begin() + static_cast<long>(body_len));
   Bytes mac(sealed.begin() + static_cast<long>(body_len), sealed.end());
-  if (!ConstantTimeEquals(HmacSha256(keys.mac, body), mac)) {
+  if (!cipher.mac->Verify(body, mac)) {
     return DataLossError("secure channel: MAC mismatch");
   }
   Bytes nonce(body.begin() + 8, body.begin() + 8 + kNonceLen);
   Bytes ct(body.begin() + 8 + kNonceLen, body.end());
-  auto aes = Aes256::Create(keys.enc);
-  return aes->CtrXor(nonce, 0, ct);
+  return cipher.aes->CtrXor(nonce, 0, ct);
 }
 
 Bytes SecureChannel::CurrentEpochKeyForTesting(SimTime now) {

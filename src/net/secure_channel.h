@@ -16,7 +16,10 @@
 #define SRC_NET_SECURE_CHANNEL_H_
 
 #include <cstdint>
+#include <optional>
 
+#include "src/cryptocore/aes.h"
+#include "src/cryptocore/hmac.h"
 #include "src/cryptocore/secure_random.h"
 #include "src/sim/time.h"
 #include "src/util/result.h"
@@ -46,13 +49,28 @@ class SecureChannel {
   Bytes CurrentEpochKeyForTesting(SimTime now);
 
  private:
+  // Per-epoch message ciphers. HKDF expansion, the AES key schedule, and
+  // the HMAC pad absorption only depend on the epoch key, so they are built
+  // once per epoch instead of once per message (every RPC frame crosses
+  // this path). Two slots (epoch % 2) cover the current epoch plus the
+  // one-back window Open() accepts.
+  struct EpochCipher {
+    uint64_t epoch = ~uint64_t{0};
+    std::optional<Aes256> aes;
+    std::optional<Hmac> mac;
+  };
+
   // Ratchets forward (erasing old keys) so current_key_ matches `epoch`.
   void AdvanceTo(uint64_t epoch);
+
+  // Returns the (cached) cipher state for `epoch` whose key is `epoch_key`.
+  EpochCipher& CipherFor(uint64_t epoch, const Bytes& epoch_key);
 
   SimDuration rotation_period_;
   uint64_t current_epoch_ = 0;
   Bytes current_key_;
   Bytes previous_key_;  // Key for current_epoch_ - 1; empty at epoch 0.
+  EpochCipher cipher_slots_[2];
 };
 
 }  // namespace keypad

@@ -76,6 +76,44 @@ uint64_t ReadU64Be(const uint8_t* p) {
   return (static_cast<uint64_t>(ReadU32Be(p)) << 32) | ReadU32Be(p + 4);
 }
 
+// Uninitialized growth is only attempted on libstdc++ with ASan container
+// annotations off; the annotated vector tracks its own bounds and a raw
+// size bump would trip it.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define KEYPAD_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define KEYPAD_ASAN 1
+#endif
+
+Bytes UninitializedBytes(size_t len) {
+#if defined(__GLIBCXX__) && !defined(_GLIBCXX_SANITIZE_VECTOR) && \
+    !defined(KEYPAD_ASAN)
+  // libstdc++'s std::vector is ABI-stable as three pointers
+  // (start, finish, end_of_storage); bumping `finish` after reserve() sets
+  // the size without the value-initialization pass resize() would do. The
+  // layout is verified against the public API at runtime and the slow path
+  // taken on any mismatch, so a libstdc++ that ever changes shape degrades
+  // to correct-but-slower rather than corrupting memory.
+  struct VecRep {
+    uint8_t* start;
+    uint8_t* finish;
+    uint8_t* end_of_storage;
+  };
+  static_assert(sizeof(Bytes) == sizeof(VecRep));
+  Bytes out;
+  out.reserve(len);
+  auto* rep = reinterpret_cast<VecRep*>(&out);
+  if (rep->start == out.data() && rep->finish == out.data() &&
+      rep->end_of_storage == out.data() + out.capacity()) {
+    rep->finish = rep->start + len;
+    return out;
+  }
+#endif
+  return Bytes(len);
+}
+
 void SecureZero(uint8_t* data, size_t len) {
   volatile uint8_t* p = data;
   for (size_t i = 0; i < len; ++i) {

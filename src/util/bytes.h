@@ -35,6 +35,15 @@ void AppendU64Be(Bytes& dst, uint64_t v);
 uint32_t ReadU32Be(const uint8_t* p);
 uint64_t ReadU64Be(const uint8_t* p);
 
+// Returns a Bytes of size `len` whose contents are NOT zero-initialized.
+// For output buffers that are about to be fully overwritten (keystream XOR,
+// digest fill) the value-initializing Bytes(len) constructor memsets bytes
+// that are immediately rewritten; this skips that pass where the standard
+// library's layout permits and degrades to Bytes(len) everywhere else
+// (including sanitizer builds). Callers MUST write every byte before
+// reading any.
+Bytes UninitializedBytes(size_t len);
+
 // Overwrites the buffer with zeros. Used for secure erase of key material;
 // routed through a volatile pointer so the compiler cannot elide it.
 void SecureZero(Bytes& data);

@@ -1,0 +1,352 @@
+// Differential tests for the runtime-dispatched crypto backends.
+//
+// Every machine compiles the portable kernels plus whatever ISA kernels the
+// toolchain supports; which one runs is decided at runtime
+// (src/cryptocore/cpu_features.h). These tests force each exercisable tier
+// in turn via SetCryptoTierCapForTesting and check that (a) all tiers
+// produce bit-identical output on randomized inputs — keys, IVs, offsets,
+// and lengths 0–4096 including offsets landing mid-block — and (b) each
+// tier reproduces the published FIPS-197 / SP 800-38A, RFC 8439,
+// FIPS 180-4, and RFC 4231 vectors, so agreement can never mean
+// "all backends share the same bug" for the standard inputs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/cryptocore/aes.h"
+#include "src/cryptocore/chacha20.h"
+#include "src/cryptocore/cpu_features.h"
+#include "src/cryptocore/hmac.h"
+#include "src/cryptocore/sha256.h"
+#include "src/util/bytes.h"
+
+namespace keypad {
+namespace {
+
+// Forces a dispatch tier for the lifetime of the object.
+class TierCap {
+ public:
+  explicit TierCap(CryptoTier tier) { SetCryptoTierCapForTesting(tier); }
+  ~TierCap() { ClearCryptoTierCapForTesting(); }
+};
+
+Bytes RandomBytes(std::mt19937_64& rng, size_t len) {
+  Bytes out(len);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng());
+  }
+  return out;
+}
+
+// Tiers above portable that this machine + binary can actually run.
+std::vector<CryptoTier> AcceleratedTiers() {
+  std::vector<CryptoTier> out;
+  for (CryptoTier tier : ExercisableCryptoTiers()) {
+    if (tier != CryptoTier::kPortable) {
+      out.push_back(tier);
+    }
+  }
+  return out;
+}
+
+TEST(CryptoBackendTest, ExercisableTiersStartAtPortable) {
+  std::vector<CryptoTier> tiers = ExercisableCryptoTiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), CryptoTier::kPortable);
+  for (size_t i = 1; i < tiers.size(); ++i) {
+    EXPECT_LT(static_cast<int>(tiers[i - 1]), static_cast<int>(tiers[i]));
+  }
+}
+
+TEST(CryptoBackendTest, BackendInfoReportsEveryPrimitive) {
+  std::vector<CryptoBackendInfo> rows = ActiveCryptoBackends();
+  ASSERT_EQ(rows.size(), 3u);
+  for (const CryptoBackendInfo& row : rows) {
+    EXPECT_NE(row.algorithm, nullptr);
+    EXPECT_NE(row.backend, nullptr);
+    EXPECT_GT(std::string_view(row.backend).size(), 0u);
+  }
+  TierCap cap(CryptoTier::kPortable);
+  for (const CryptoBackendInfo& row : ActiveCryptoBackends()) {
+    EXPECT_TRUE(std::string_view(row.backend).find("portable") !=
+                std::string_view::npos)
+        << row.algorithm << " reported " << row.backend
+        << " under a portable cap";
+  }
+}
+
+// --- AES-256-CTR -----------------------------------------------------------
+
+TEST(CryptoBackendTest, AesCtrDifferentialRandomized) {
+  std::mt19937_64 rng(0x6b657970'61643031ull);
+  std::vector<CryptoTier> tiers = AcceleratedTiers();
+
+  for (int trial = 0; trial < 150; ++trial) {
+    Bytes key = RandomBytes(rng, 32);
+    Bytes iv = RandomBytes(rng, 16);
+    // Offsets land mid-block most of the time; lengths cover 0..4096.
+    uint64_t offset = rng() % 8192;
+    size_t len = static_cast<size_t>(rng() % 4097);
+    Bytes pt = RandomBytes(rng, len);
+
+    auto aes = Aes256::Create(key);
+    ASSERT_TRUE(aes.ok());
+
+    Bytes reference;
+    {
+      TierCap cap(CryptoTier::kPortable);
+      reference = aes->CtrXor(iv, offset, pt);
+    }
+    ASSERT_EQ(reference.size(), len);
+
+    for (CryptoTier tier : tiers) {
+      TierCap cap(tier);
+      Bytes got = aes->CtrXor(iv, offset, pt);
+      ASSERT_EQ(got, reference)
+          << "tier " << CryptoTierName(tier) << " disagrees with portable: "
+          << "offset=" << offset << " len=" << len;
+    }
+  }
+}
+
+TEST(CryptoBackendTest, AesCtrSplitInvariance) {
+  // Encrypting one long buffer must equal encrypting it in arbitrary
+  // pieces with matching offsets — this is what exercises every partial
+  // head/tail path inside each kernel.
+  std::mt19937_64 rng(0x73706c6974ull);
+  Bytes key = RandomBytes(rng, 32);
+  Bytes iv = RandomBytes(rng, 16);
+  Bytes pt = RandomBytes(rng, 2048);
+  auto aes = Aes256::Create(key);
+  ASSERT_TRUE(aes.ok());
+
+  std::vector<CryptoTier> tiers = ExercisableCryptoTiers();
+  for (CryptoTier tier : tiers) {
+    TierCap cap(tier);
+    Bytes whole = aes->CtrXor(iv, 0, pt);
+    for (int trial = 0; trial < 20; ++trial) {
+      Bytes pieced(pt.size());
+      size_t pos = 0;
+      while (pos < pt.size()) {
+        size_t n = 1 + static_cast<size_t>(rng() % 96);
+        if (n > pt.size() - pos) {
+          n = pt.size() - pos;
+        }
+        aes->CtrXor(iv, pos, pt.data() + pos, n, pieced.data() + pos);
+        pos += n;
+      }
+      ASSERT_EQ(pieced, whole) << "tier " << CryptoTierName(tier);
+    }
+  }
+}
+
+TEST(CryptoBackendTest, AesCtrSp800_38aVectorOnEveryTier) {
+  // SP 800-38A F.5.5 CTR-AES256.Encrypt.
+  Bytes key = *FromHex(
+      "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+  Bytes iv = *FromHex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  Bytes pt = *FromHex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  Bytes expect = *FromHex(
+      "601ec313775789a5b7a7f504bbf3d228"
+      "f443e3ca4d62b59aca84e990cacaf5c5"
+      "2b0930daa23de94ce87017ba2d84988d"
+      "dfc9c58db67aada613c2dd08457941a6");
+  auto aes = Aes256::Create(key);
+  ASSERT_TRUE(aes.ok());
+
+  for (CryptoTier tier : ExercisableCryptoTiers()) {
+    TierCap cap(tier);
+    EXPECT_EQ(aes->CtrXor(iv, 0, pt), expect) << CryptoTierName(tier);
+    // Same vector entered mid-stream: skip the first block by offset.
+    Bytes tail_pt(pt.begin() + 16, pt.end());
+    Bytes tail_ct(expect.begin() + 16, expect.end());
+    EXPECT_EQ(aes->CtrXor(iv, 16, tail_pt), tail_ct) << CryptoTierName(tier);
+  }
+}
+
+// --- ChaCha20 --------------------------------------------------------------
+
+TEST(CryptoBackendTest, ChaCha20DifferentialRandomized) {
+  std::mt19937_64 rng(0x63686163'686131ull);
+  std::vector<CryptoTier> tiers = AcceleratedTiers();
+
+  for (int trial = 0; trial < 60; ++trial) {
+    Bytes key = RandomBytes(rng, 32);
+    Bytes nonce = RandomBytes(rng, 12);
+    uint32_t counter = static_cast<uint32_t>(rng());
+    // 0..20 blocks covers the scalar tail, one SSE2 batch, and one AVX2
+    // batch plus remainder.
+    size_t nblocks = static_cast<size_t>(rng() % 21);
+
+    Bytes reference(nblocks * 64);
+    {
+      TierCap cap(CryptoTier::kPortable);
+      ChaCha20Blocks(key.data(), counter, nonce.data(), nblocks,
+                     reference.data());
+    }
+    for (CryptoTier tier : tiers) {
+      TierCap cap(tier);
+      Bytes got(nblocks * 64);
+      ChaCha20Blocks(key.data(), counter, nonce.data(), nblocks, got.data());
+      ASSERT_EQ(got, reference)
+          << "tier " << CryptoTierName(tier) << " counter=" << counter
+          << " nblocks=" << nblocks;
+    }
+  }
+}
+
+TEST(CryptoBackendTest, ChaCha20CounterWrapMatchesPortable) {
+  // RFC 8439 counters wrap mod 2^32; the SIMD kernels add lane offsets and
+  // must wrap the same way.
+  Bytes key = *FromHex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Bytes nonce = *FromHex("000000090000004a00000000");
+  for (uint32_t counter : {0xFFFFFFFFu, 0xFFFFFFF9u, 0xFFFFFFFCu}) {
+    Bytes reference(16 * 64);
+    {
+      TierCap cap(CryptoTier::kPortable);
+      ChaCha20Blocks(key.data(), counter, nonce.data(), 16, reference.data());
+    }
+    for (CryptoTier tier : AcceleratedTiers()) {
+      TierCap cap(tier);
+      Bytes got(16 * 64);
+      ChaCha20Blocks(key.data(), counter, nonce.data(), 16, got.data());
+      ASSERT_EQ(got, reference)
+          << "tier " << CryptoTierName(tier) << " counter=" << counter;
+    }
+  }
+}
+
+TEST(CryptoBackendTest, ChaCha20Rfc8439VectorOnEveryTier) {
+  // RFC 8439 §2.3.2 block-function vector (counter = 1), checked as the
+  // first block of a batched run so the SIMD kernels are the code under
+  // test, not the scalar fallback.
+  Bytes key = *FromHex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Bytes nonce = *FromHex("000000090000004a00000000");
+  Bytes expect = *FromHex(
+      "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+      "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+
+  for (CryptoTier tier : ExercisableCryptoTiers()) {
+    TierCap cap(tier);
+    Bytes got(16 * 64);
+    ChaCha20Blocks(key.data(), 1, nonce.data(), 16, got.data());
+    Bytes first(got.begin(), got.begin() + 64);
+    EXPECT_EQ(first, expect) << CryptoTierName(tier);
+  }
+}
+
+// --- SHA-256 / HMAC --------------------------------------------------------
+
+TEST(CryptoBackendTest, Sha256DifferentialRandomized) {
+  std::mt19937_64 rng(0x73686132'3536ull);
+  std::vector<CryptoTier> tiers = AcceleratedTiers();
+
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t len = static_cast<size_t>(rng() % 4097);
+    Bytes data = RandomBytes(rng, len);
+
+    Sha256::Digest reference;
+    {
+      TierCap cap(CryptoTier::kPortable);
+      reference = Sha256::Hash(data);
+    }
+    for (CryptoTier tier : tiers) {
+      TierCap cap(tier);
+      EXPECT_EQ(Sha256::Hash(data), reference)
+          << "tier " << CryptoTierName(tier) << " len=" << len;
+      // Chunked updates must agree with the one-shot digest.
+      Sha256 chunked;
+      size_t pos = 0;
+      while (pos < len) {
+        size_t n = 1 + static_cast<size_t>(rng() % 200);
+        if (n > len - pos) {
+          n = len - pos;
+        }
+        chunked.Update(data.data() + pos, n);
+        pos += n;
+      }
+      EXPECT_EQ(chunked.Finish(), reference)
+          << "chunked tier " << CryptoTierName(tier) << " len=" << len;
+    }
+  }
+}
+
+TEST(CryptoBackendTest, Sha256Fips180VectorsOnEveryTier) {
+  struct Vector {
+    std::string_view message;
+    std::string_view digest_hex;
+  };
+  const Vector kVectors[] = {
+      {"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+      {"abc",
+       "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+      {"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+       "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+  };
+  for (CryptoTier tier : ExercisableCryptoTiers()) {
+    TierCap cap(tier);
+    for (const Vector& v : kVectors) {
+      Sha256::Digest d = Sha256::Hash(v.message);
+      EXPECT_EQ(ToHex(d.data(), d.size()), v.digest_hex)
+          << CryptoTierName(tier);
+    }
+    // FIPS 180-4 one-million-'a' vector: long enough that the multi-block
+    // bulk path (and the SHA-NI 4-blocks-in-flight loop) does all the work.
+    Bytes million(1000000, 'a');
+    Sha256::Digest d = Sha256::Hash(million);
+    EXPECT_EQ(ToHex(d.data(), d.size()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0")
+        << CryptoTierName(tier);
+  }
+}
+
+TEST(CryptoBackendTest, HmacRfc4231VectorsOnEveryTier) {
+  // RFC 4231 test cases 1 and 2, via both the one-shot helper and the
+  // midstate-caching Hmac class.
+  struct Vector {
+    Bytes key;
+    Bytes data;
+    std::string_view mac_hex;
+  };
+  const Vector kVectors[] = {
+      {Bytes(20, 0x0b), *FromHex("4869205468657265"),
+       "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"},
+      {*FromHex("4a656665"),
+       *FromHex("7768617420646f2079612077616e7420666f72206e6f7468696e673f"),
+       "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"},
+  };
+  for (CryptoTier tier : ExercisableCryptoTiers()) {
+    TierCap cap(tier);
+    for (const Vector& v : kVectors) {
+      EXPECT_EQ(ToHex(HmacSha256(v.key, v.data)), v.mac_hex)
+          << CryptoTierName(tier);
+      Hmac hmac(v.key);
+      EXPECT_EQ(ToHex(hmac.Sign(v.data)), v.mac_hex) << CryptoTierName(tier);
+      EXPECT_TRUE(hmac.Verify(v.data, *FromHex(std::string(v.mac_hex))));
+    }
+  }
+}
+
+TEST(CryptoBackendTest, HmacClassMatchesOneShotAcrossTiers) {
+  std::mt19937_64 rng(0x686d6163ull);
+  for (CryptoTier tier : ExercisableCryptoTiers()) {
+    TierCap cap(tier);
+    for (int trial = 0; trial < 20; ++trial) {
+      Bytes key = RandomBytes(rng, 1 + static_cast<size_t>(rng() % 100));
+      Bytes data = RandomBytes(rng, static_cast<size_t>(rng() % 500));
+      Hmac hmac(key);
+      EXPECT_EQ(hmac.Sign(data), HmacSha256(key, data));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace keypad
