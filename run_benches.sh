@@ -12,6 +12,9 @@ for b in /root/repo/build/bench/*; do
     "$b" --benchmark_min_time=0.2 \
          --benchmark_out=/root/repo/BENCH_crypto.json \
          --benchmark_out_format=json >> "$out" 2>&1
+  elif [[ "$(basename "$b")" == "bench_resilience" ]]; then
+    # Goodput + latency tails vs. loss rate / outage schedule (DESIGN.md §7).
+    "$b" /root/repo/BENCH_resilience.json >> "$out" 2>&1
   else
     "$b" >> "$out" 2>&1
   fi

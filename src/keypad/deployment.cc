@@ -38,9 +38,11 @@ Deployment::Deployment(DeploymentOptions options)
   if (options_.paired_phone) {
     // Phone -> services over the chosen profile.
     phone_key_rpc_ = std::make_unique<RpcClient>(&queue_, &phone_uplink_,
-                                                 &key_rpc_server_);
+                                                 &key_rpc_server_,
+                                                 options_.rpc);
     phone_meta_rpc_ = std::make_unique<RpcClient>(&queue_, &phone_uplink_,
-                                                  &meta_rpc_server_);
+                                                  &meta_rpc_server_,
+                                                  options_.rpc);
     phone_key_client_ = std::make_unique<KeyServiceClient>(
         phone_key_rpc_.get(), options_.device_id, key_secret);
     phone_meta_client_ = std::make_unique<MetadataServiceClient>(
@@ -51,14 +53,14 @@ Deployment::Deployment(DeploymentOptions options)
         options_.phone_options);
     // Laptop -> phone over Bluetooth.
     key_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
-                                           phone_->server());
+                                           phone_->server(), options_.rpc);
     meta_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
-                                            phone_->server());
+                                            phone_->server(), options_.rpc);
   } else {
     key_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
-                                           &key_rpc_server_);
+                                           &key_rpc_server_, options_.rpc);
     meta_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
-                                            &meta_rpc_server_);
+                                            &meta_rpc_server_, options_.rpc);
   }
   key_client_ = std::make_unique<KeyServiceClient>(
       key_rpc_.get(), options_.device_id, key_secret);
@@ -133,6 +135,52 @@ Deployment::Deployment(DeploymentOptions options)
 
 Deployment::~Deployment() = default;
 
+void Deployment::CrashKeyService() {
+  // Snapshot models the durable log + key store the crashed process leaves
+  // on disk; the server swallows everything until restart.
+  key_service_snapshot_ = key_service_.Snapshot();
+  key_rpc_server_.set_down(true);
+}
+
+void Deployment::RestartKeyService() {
+  Status restored = key_service_.Restore(key_service_snapshot_);
+  if (!restored.ok()) {
+    KP_LOG(kError) << "key service restart: " << restored;
+    abort();
+  }
+  // Completed replies are durable (written with the audit entry); requests
+  // that were mid-execution at crash time will never answer — forget them
+  // so client retries re-execute.
+  key_rpc_server_.reply_cache().ClearInFlight();
+  key_rpc_server_.set_down(false);
+}
+
+void Deployment::CrashMetadataService() {
+  meta_service_snapshot_ = metadata_service_->Snapshot();
+  meta_rpc_server_.set_down(true);
+}
+
+void Deployment::RestartMetadataService() {
+  Status restored = metadata_service_->Restore(meta_service_snapshot_);
+  if (!restored.ok()) {
+    KP_LOG(kError) << "metadata service restart: " << restored;
+    abort();
+  }
+  meta_rpc_server_.reply_cache().ClearInFlight();
+  meta_rpc_server_.set_down(false);
+}
+
+void Deployment::ScheduleKeyServiceCrash(SimTime at, SimDuration outage) {
+  queue_.Schedule(at, [this] { CrashKeyService(); });
+  queue_.Schedule(at + outage, [this] { RestartKeyService(); });
+}
+
+void Deployment::ScheduleMetadataServiceCrash(SimTime at,
+                                              SimDuration outage) {
+  queue_.Schedule(at, [this] { CrashMetadataService(); });
+  queue_.Schedule(at + outage, [this] { RestartMetadataService(); });
+}
+
 void Deployment::ReportDeviceLost() {
   Status key_status = key_service_.DisableDevice(options_.device_id);
   Status meta_status = metadata_service_->DisableDevice(options_.device_id);
@@ -149,9 +197,11 @@ Result<Deployment::AttackerClients> Deployment::MakeAttackerClients(
     const KeypadFs::Credentials& creds) {
   AttackerClients clients;
   clients.key_rpc = std::make_unique<RpcClient>(&queue_, &client_link_,
-                                                &key_rpc_server_);
+                                                &key_rpc_server_,
+                                                options_.rpc);
   clients.meta_rpc = std::make_unique<RpcClient>(&queue_, &client_link_,
-                                                 &meta_rpc_server_);
+                                                 &meta_rpc_server_,
+                                                 options_.rpc);
   clients.key = std::make_unique<KeyServiceClient>(
       clients.key_rpc.get(), creds.device_id, creds.key_secret);
   clients.meta = std::make_unique<MetadataServiceClient>(

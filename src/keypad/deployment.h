@@ -45,6 +45,9 @@ struct DeploymentOptions {
   // per-device session keys that ratchet every Texp. Not supported
   // together with the phone proxy (the phone would need to re-seal).
   bool secure_channel = false;
+  // Resilience knobs (retry ladder, per-attempt timeout, circuit breaker)
+  // applied to every RpcClient this deployment constructs.
+  RpcOptions rpc;
 };
 
 class Deployment {
@@ -67,6 +70,28 @@ class Deployment {
   NetworkLink& client_link() { return client_link_; }
   // The phone's uplink (only meaningful when paired).
   NetworkLink& phone_uplink() { return phone_uplink_; }
+
+  // RPC plumbing, exposed for fault-injection tests and benches.
+  RpcServer& key_rpc_server() { return key_rpc_server_; }
+  RpcServer& meta_rpc_server() { return meta_rpc_server_; }
+  RpcClient& key_rpc() { return *key_rpc_; }
+  RpcClient& meta_rpc() { return *meta_rpc_; }
+
+  // --- Crash/restart simulation. --------------------------------------------
+  //
+  // CrashXxx marks the service's RPC server down (requests are swallowed)
+  // and snapshots the durable state as of the crash instant; RestartXxx
+  // rebuilds the service in place from that snapshot and brings the server
+  // back up. In-flight requests that had not reached the durable log are
+  // lost, exactly as a process crash loses them; the reply cache's
+  // completed window is durable (DESIGN.md §7) so only in-flight dedup
+  // marks are cleared. ScheduleXxx wires both onto the event queue.
+  void CrashKeyService();
+  void RestartKeyService();
+  void CrashMetadataService();
+  void RestartMetadataService();
+  void ScheduleKeyServiceCrash(SimTime at, SimDuration outage);
+  void ScheduleMetadataServiceCrash(SimTime at, SimDuration outage);
 
   // Total bytes Keypad moved over the client link (bandwidth accounting).
   uint64_t ClientBytesSent() const { return client_link_.bytes_sent(); }
@@ -134,6 +159,10 @@ class Deployment {
   std::unique_ptr<KeypadFs> fs_;
 
   ForensicAuditor auditor_;
+
+  // Crash-time snapshots of the services' durable state.
+  Bytes key_service_snapshot_;
+  Bytes meta_service_snapshot_;
 };
 
 }  // namespace keypad

@@ -35,6 +35,59 @@ Bytes MetadataLog::HashRecord(const MetadataRecord& record) {
   return Sha256::HashBytes(material);
 }
 
+WireValue MetadataRecord::ToWire() const {
+  WireValue::Struct s;
+  s.emplace("seq", WireValue(static_cast<int64_t>(seq)));
+  s.emplace("ts", WireValue(timestamp.nanos()));
+  s.emplace("cts", WireValue(client_time.nanos()));
+  s.emplace("device", WireValue(device_id));
+  s.emplace("op", WireValue(static_cast<int64_t>(op)));
+  s.emplace("audit_id", WireValue(audit_id.ToBytes()));
+  s.emplace("dir_id", WireValue(dir_id.ToBytes()));
+  s.emplace("parent_dir_id", WireValue(parent_dir_id.ToBytes()));
+  s.emplace("name", WireValue(name));
+  s.emplace("attr", WireValue(attr));
+  s.emplace("prev_hash", WireValue(prev_hash));
+  s.emplace("hash", WireValue(entry_hash));
+  return WireValue(std::move(s));
+}
+
+Result<MetadataRecord> MetadataRecord::FromWire(const WireValue& value) {
+  MetadataRecord record;
+  KP_ASSIGN_OR_RETURN(WireValue seq, value.Field("seq"));
+  KP_ASSIGN_OR_RETURN(int64_t seq_int, seq.AsInt());
+  record.seq = static_cast<uint64_t>(seq_int);
+  KP_ASSIGN_OR_RETURN(WireValue ts, value.Field("ts"));
+  KP_ASSIGN_OR_RETURN(int64_t ts_int, ts.AsInt());
+  record.timestamp = SimTime(ts_int);
+  KP_ASSIGN_OR_RETURN(WireValue cts, value.Field("cts"));
+  KP_ASSIGN_OR_RETURN(int64_t cts_int, cts.AsInt());
+  record.client_time = SimTime(cts_int);
+  KP_ASSIGN_OR_RETURN(WireValue device, value.Field("device"));
+  KP_ASSIGN_OR_RETURN(record.device_id, device.AsString());
+  KP_ASSIGN_OR_RETURN(WireValue op, value.Field("op"));
+  KP_ASSIGN_OR_RETURN(int64_t op_int, op.AsInt());
+  record.op = static_cast<MetadataOp>(op_int);
+  KP_ASSIGN_OR_RETURN(WireValue audit, value.Field("audit_id"));
+  KP_ASSIGN_OR_RETURN(Bytes audit_bytes, audit.AsBytes());
+  KP_ASSIGN_OR_RETURN(record.audit_id, AuditId::FromBytes(audit_bytes));
+  KP_ASSIGN_OR_RETURN(WireValue dir, value.Field("dir_id"));
+  KP_ASSIGN_OR_RETURN(Bytes dir_bytes, dir.AsBytes());
+  KP_ASSIGN_OR_RETURN(record.dir_id, DirId::FromBytes(dir_bytes));
+  KP_ASSIGN_OR_RETURN(WireValue parent, value.Field("parent_dir_id"));
+  KP_ASSIGN_OR_RETURN(Bytes parent_bytes, parent.AsBytes());
+  KP_ASSIGN_OR_RETURN(record.parent_dir_id, DirId::FromBytes(parent_bytes));
+  KP_ASSIGN_OR_RETURN(WireValue name, value.Field("name"));
+  KP_ASSIGN_OR_RETURN(record.name, name.AsString());
+  KP_ASSIGN_OR_RETURN(WireValue attr, value.Field("attr"));
+  KP_ASSIGN_OR_RETURN(record.attr, attr.AsString());
+  KP_ASSIGN_OR_RETURN(WireValue prev, value.Field("prev_hash"));
+  KP_ASSIGN_OR_RETURN(record.prev_hash, prev.AsBytes());
+  KP_ASSIGN_OR_RETURN(WireValue hash, value.Field("hash"));
+  KP_ASSIGN_OR_RETURN(record.entry_hash, hash.AsBytes());
+  return record;
+}
+
 uint64_t MetadataLog::Append(SimTime timestamp, MetadataRecord record) {
   record.seq = records_.size();
   record.timestamp = timestamp;

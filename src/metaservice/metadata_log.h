@@ -19,6 +19,7 @@
 #include "src/util/bytes.h"
 #include "src/util/ids.h"
 #include "src/util/result.h"
+#include "src/wire/value.h"
 
 namespace keypad {
 
@@ -45,6 +46,10 @@ struct MetadataRecord {
   std::string attr;      // kSetAttr payload ("key=value").
   Bytes prev_hash;
   Bytes entry_hash;
+
+  // Wire form for service snapshots (crash/restart simulation).
+  WireValue ToWire() const;
+  static Result<MetadataRecord> FromWire(const WireValue& value);
 };
 
 class MetadataLog {

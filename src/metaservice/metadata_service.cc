@@ -2,6 +2,7 @@
 
 #include "src/keyservice/auth.h"
 #include "src/util/strings.h"
+#include "src/wire/binary_codec.h"
 
 namespace keypad {
 
@@ -191,6 +192,91 @@ Result<std::string> MetadataService::ResolvePath(const std::string& device_id,
     dir = dir_binding->parent_dir_id;
   }
   return DataLossError("metadata service: directory cycle");
+}
+
+Bytes MetadataService::Snapshot() const {
+  WireValue::Struct snapshot;
+
+  WireValue::Array devices;
+  for (const auto& [id, record] : devices_) {
+    WireValue::Struct d;
+    d.emplace("id", WireValue(id));
+    d.emplace("secret", WireValue(record.secret));
+    d.emplace("disabled", WireValue(record.disabled));
+    devices.push_back(WireValue(std::move(d)));
+  }
+  snapshot.emplace("devices", WireValue(std::move(devices)));
+
+  WireValue::Array roots;
+  for (const auto& [device, root_id] : roots_) {
+    WireValue::Struct r;
+    r.emplace("device", WireValue(device));
+    r.emplace("root", WireValue(root_id.ToBytes()));
+    roots.push_back(WireValue(std::move(r)));
+  }
+  snapshot.emplace("roots", WireValue(std::move(roots)));
+
+  WireValue::Array log_records;
+  for (const auto& record : log_.records()) {
+    log_records.push_back(record.ToWire());
+  }
+  snapshot.emplace("log", WireValue(std::move(log_records)));
+  return BinaryEncode(WireValue(std::move(snapshot)));
+}
+
+Status MetadataService::Restore(const Bytes& snapshot) {
+  KP_ASSIGN_OR_RETURN(WireValue value, BinaryDecode(snapshot));
+
+  // Rebuild the log first and verify its chain before touching anything.
+  // Re-appending recomputes every hash from the record contents, so a
+  // tampered snapshot fails the final-digest comparison below.
+  KP_ASSIGN_OR_RETURN(WireValue log_value, value.Field("log"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_log, log_value.AsArray());
+  MetadataLog restored_log;
+  for (const auto& raw : raw_log) {
+    KP_ASSIGN_OR_RETURN(MetadataRecord record, MetadataRecord::FromWire(raw));
+    restored_log.Append(record.timestamp, record);
+  }
+  if (!raw_log.empty()) {
+    KP_ASSIGN_OR_RETURN(MetadataRecord last,
+                        MetadataRecord::FromWire(raw_log.back()));
+    if (restored_log.records().back().entry_hash != last.entry_hash) {
+      return DataLossError("metadata service: snapshot log chain mismatch");
+    }
+  }
+
+  std::map<std::string, DeviceRecord> devices;
+  KP_ASSIGN_OR_RETURN(WireValue devices_value, value.Field("devices"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_devices, devices_value.AsArray());
+  for (const auto& raw : raw_devices) {
+    KP_ASSIGN_OR_RETURN(WireValue id_v, raw.Field("id"));
+    KP_ASSIGN_OR_RETURN(std::string id, id_v.AsString());
+    DeviceRecord record;
+    KP_ASSIGN_OR_RETURN(WireValue secret_v, raw.Field("secret"));
+    KP_ASSIGN_OR_RETURN(record.secret, secret_v.AsBytes());
+    KP_ASSIGN_OR_RETURN(WireValue disabled_v, raw.Field("disabled"));
+    KP_ASSIGN_OR_RETURN(record.disabled, disabled_v.AsBool());
+    devices.emplace(std::move(id), std::move(record));
+  }
+
+  std::map<std::string, DirId> roots;
+  KP_ASSIGN_OR_RETURN(WireValue roots_value, value.Field("roots"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_roots, roots_value.AsArray());
+  for (const auto& raw : raw_roots) {
+    KP_ASSIGN_OR_RETURN(WireValue device_v, raw.Field("device"));
+    KP_ASSIGN_OR_RETURN(std::string device, device_v.AsString());
+    KP_ASSIGN_OR_RETURN(WireValue root_v, raw.Field("root"));
+    KP_ASSIGN_OR_RETURN(Bytes root_bytes, root_v.AsBytes());
+    KP_ASSIGN_OR_RETURN(DirId root_id, DirId::FromBytes(root_bytes));
+    roots.emplace(std::move(device), root_id);
+  }
+
+  devices_ = std::move(devices);
+  roots_ = std::move(roots);
+  log_ = std::move(restored_log);
+  // pkg_ is untouched: the IBE master secret lives in the HSM, not in the
+  // crashed process image.
+  return Status::Ok();
 }
 
 void MetadataService::BindRpc(RpcServer* server) {

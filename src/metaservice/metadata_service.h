@@ -99,6 +99,14 @@ class MetadataService {
 
   void BindRpc(RpcServer* server);
 
+  // Crash/restart simulation: the snapshot carries devices, roots, and the
+  // full metadata log (modelling the service's durable state); Restore
+  // verifies the log's hash chain before swapping anything in. The IBE
+  // master key is deliberately NOT serialized — the PKG master secret is
+  // modelled as HSM-held, surviving a process crash in place.
+  Bytes Snapshot() const;
+  Status Restore(const Bytes& snapshot);
+
  private:
   struct DeviceRecord {
     Bytes secret;

@@ -11,6 +11,13 @@
 // sealed with AES-256-CTR + HMAC-SHA256 (encrypt-then-MAC) under keys
 // derived from the epoch key. Both ends construct the same ratchet from the
 // shared channel root established at device registration.
+//
+// Replay posture: the channel keeps no per-message state, so a recorded
+// sealed frame opens again within the current-or-previous epoch window —
+// replay is *epoch-bounded* here, not prevented. Preventing a replayed
+// request from re-executing (and double-writing audit rows) is the RPC
+// layer's job: the at-most-once dedup frame travels inside the sealed
+// payload (see ReplyCache and DESIGN.md §7).
 
 #ifndef SRC_NET_SECURE_CHANNEL_H_
 #define SRC_NET_SECURE_CHANNEL_H_

@@ -1,0 +1,68 @@
+#include "src/rpc/circuit_breaker.h"
+
+namespace keypad {
+
+bool CircuitBreaker::AllowRequest(SimTime now) {
+  if (!options_.enabled) {
+    return true;
+  }
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now < open_until_) {
+        ++rejected_;
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        ++rejected_;
+        return false;
+      }
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::Open(SimTime now) {
+  state_ = State::kOpen;
+  open_until_ = now + options_.cooldown;
+  probe_in_flight_ = false;
+  consecutive_failures_ = 0;
+  ++opened_;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure(SimTime now) {
+  if (!options_.enabled) {
+    return;
+  }
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: the service is still dead.
+    Open(now);
+    return;
+  }
+  if (++consecutive_failures_ >= options_.failure_threshold) {
+    Open(now);
+  }
+}
+
+void CircuitBreaker::RecordAborted(SimTime now) {
+  if (!options_.enabled) {
+    return;
+  }
+  if (state_ == State::kHalfOpen) {
+    Open(now);
+  }
+}
+
+}  // namespace keypad

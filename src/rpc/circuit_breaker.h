@@ -1,0 +1,77 @@
+// Per-target circuit breaker for the RPC client.
+//
+// A dead or partitioned service otherwise costs every file operation a
+// full retry ladder of timeouts. The breaker converts that into one fast
+// local failure: after `failure_threshold` consecutive call failures
+// (timeouts — not server faults, and not locally-known link-down fail-fasts,
+// which are already cheap) the breaker opens and calls are rejected
+// immediately for `cooldown`. It then half-opens: a single probe call is
+// let through; success closes the breaker, failure re-opens it for another
+// cooldown.
+//
+// One RpcClient talks to exactly one server over one link, so a breaker
+// per client *is* a breaker per target.
+
+#ifndef SRC_RPC_CIRCUIT_BREAKER_H_
+#define SRC_RPC_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace keypad {
+
+struct CircuitBreakerOptions {
+  bool enabled = true;
+  // Consecutive timed-out calls before the breaker opens.
+  int failure_threshold = 5;
+  // How long the breaker stays open before half-opening a probe.
+  SimDuration cooldown = SimDuration::Seconds(15);
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {})
+      : options_(options) {}
+
+  const CircuitBreakerOptions& options() const { return options_; }
+
+  // True if a call may proceed at `now`. While open this returns false
+  // until the cooldown elapses, at which point it transitions to half-open
+  // and admits exactly one probe (further calls are rejected until the
+  // probe reports back).
+  bool AllowRequest(SimTime now);
+
+  // Outcome of an admitted call. A server *fault* counts as success here:
+  // the service was reachable and answered; only transport-level failure
+  // (timeout after all attempts) trips the breaker.
+  void RecordSuccess();
+  void RecordFailure(SimTime now);
+
+  // An admitted call that never produced a verdict about the service —
+  // aborted locally because the link went down (fail-fast). In half-open
+  // this re-opens the breaker (the probe slot must not leak); in other
+  // states it is a no-op: link-down says nothing about the server.
+  void RecordAborted(SimTime now);
+
+  State state() const { return state_; }
+  uint64_t rejected_count() const { return rejected_; }
+  uint64_t opened_count() const { return opened_; }
+
+ private:
+  void Open(SimTime now);
+
+  CircuitBreakerOptions options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  SimTime open_until_;
+  bool probe_in_flight_ = false;
+  uint64_t rejected_ = 0;
+  uint64_t opened_ = 0;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_RPC_CIRCUIT_BREAKER_H_

@@ -1,0 +1,26 @@
+#include "src/rpc/reply_cache.h"
+
+namespace keypad {
+
+std::optional<std::string> ReplyCache::Lookup(const RequestKey& key) const {
+  auto it = completed_.find(key);
+  if (it == completed_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void ReplyCache::Complete(const RequestKey& key, std::string reply) {
+  in_flight_.erase(key);
+  auto [it, inserted] = completed_.emplace(key, std::move(reply));
+  if (!inserted) {
+    return;  // Already completed (duplicate execution is a caller bug).
+  }
+  order_.push_back(key);
+  while (order_.size() > capacity_) {
+    completed_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+}  // namespace keypad

@@ -1,0 +1,70 @@
+// Server-side at-most-once execution: a bounded dedup/reply cache.
+//
+// Every RPC request carries a client-generated (client_id, seq) pair. The
+// server executes a given request at most once; a retransmission of an
+// already-executed request is answered from the cached reply *without*
+// re-running the handler — so a retried `key.create` does not double-
+// register and, critically, a retried `key.get` does not append a second
+// audit-log row (which would inflate the §5.2 forensics false-positive
+// rate). A retransmission that races the original (still in flight, e.g.
+// inside an async handler) is silently dropped; the client's next retry
+// finds the completed reply.
+//
+// The cache is bounded FIFO. In the durability model (DESIGN.md §7) the
+// dedup record is written in the same durable append as the audit entry,
+// so the completed-reply window survives a service crash/restart; only the
+// in-flight marks (volatile by nature) are cleared on restart.
+
+#ifndef SRC_RPC_REPLY_CACHE_H_
+#define SRC_RPC_REPLY_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace keypad {
+
+class ReplyCache {
+ public:
+  using RequestKey = std::pair<uint64_t, uint64_t>;  // (client id, seq).
+
+  explicit ReplyCache(size_t capacity = 4096) : capacity_(capacity) {}
+
+  // The completed reply for `key`, if the request already executed.
+  std::optional<std::string> Lookup(const RequestKey& key) const;
+
+  bool IsInFlight(const RequestKey& key) const {
+    return in_flight_.count(key) > 0;
+  }
+  void MarkInFlight(const RequestKey& key) { in_flight_.insert(key); }
+
+  // Records the reply for an executed request and clears its in-flight
+  // mark. Evicts the oldest completed entry beyond capacity.
+  void Complete(const RequestKey& key, std::string reply);
+
+  // Restart semantics: requests that were mid-execution at crash time will
+  // never produce a reply — forget them so client retries re-execute.
+  void ClearInFlight() { in_flight_.clear(); }
+
+  size_t size() const { return completed_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t in_flight_drops() const { return in_flight_drops_; }
+  void NoteHit() { ++hits_; }
+  void NoteInFlightDrop() { ++in_flight_drops_; }
+
+ private:
+  size_t capacity_;
+  std::map<RequestKey, std::string> completed_;
+  std::deque<RequestKey> order_;  // FIFO eviction order.
+  std::set<RequestKey> in_flight_;
+  uint64_t hits_ = 0;
+  uint64_t in_flight_drops_ = 0;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_RPC_REPLY_CACHE_H_

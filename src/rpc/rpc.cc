@@ -1,5 +1,7 @@
 #include "src/rpc/rpc.h"
 
+#include <algorithm>
+
 #include "src/wire/xmlrpc.h"
 
 namespace keypad {
@@ -44,7 +46,49 @@ Result<Envelope> ParseEnvelope(const std::string& message) {
                     message.end());
   return env;
 }
+
+// At-most-once dedup framing, carried *inside* the sealed envelope (the
+// server strips it after opening the channel): magic || u64 client id ||
+// u64 sequence number, then the XML-RPC call.
+constexpr char kRequestFrameMagic[] = "KPRQ";
+constexpr size_t kRequestFrameLen = 4 + 8 + 8;
+
+void AppendU64(std::string& out, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint64_t ParseU64(const std::string& s, size_t offset) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(s[offset + i]);
+  }
+  return v;
+}
+
+// Splits a framed request into its dedup key and the inner XML. Requests
+// without a frame (foreign/legacy clients) execute without dedup.
+bool SplitRequestFrame(const std::string& request,
+                       ReplyCache::RequestKey* key, std::string* inner) {
+  if (request.size() < kRequestFrameLen ||
+      request.compare(0, 4, kRequestFrameMagic) != 0) {
+    return false;
+  }
+  key->first = ParseU64(request, 4);
+  key->second = ParseU64(request, 12);
+  *inner = request.substr(kRequestFrameLen);
+  return true;
+}
+
+// Process-wide client-id allocator. Construction order inside the
+// simulation is deterministic, so ids are reproducible run to run.
+uint64_t g_next_client_id = 1;
+
+uint64_t NextClientId() { return g_next_client_id++; }
 }  // namespace
+
+void ResetRpcClientIdsForTesting() { g_next_client_id = 1; }
 
 void RpcServer::RegisterMethod(const std::string& name, Handler handler) {
   handlers_[name] = [handler = std::move(handler)](
@@ -66,6 +110,12 @@ void RpcServer::EnableChannelSecurity(ChannelLookup lookup,
 
 void RpcServer::HandleRequestAsync(const std::string& request_raw,
                                    std::function<void(std::string)> done) {
+  if (down_) {
+    // Crashed process: the request is swallowed whole. The sender's
+    // per-attempt timeout is its only signal.
+    ++requests_dropped_;
+    return;
+  }
   queue_->AdvanceBy(service_time_);
   ++requests_handled_;
 
@@ -103,6 +153,29 @@ void RpcServer::HandleRequestAsync(const std::string& request_raw,
     };
   }
 
+  // At-most-once: retransmissions of an executed request are answered from
+  // the reply cache (re-sealed at the current epoch when channels are on);
+  // retransmissions racing the original execution are dropped.
+  ReplyCache::RequestKey request_key;
+  std::string inner_xml;
+  if (SplitRequestFrame(request_xml, &request_key, &inner_xml)) {
+    request_xml = std::move(inner_xml);
+    if (auto cached = reply_cache_.Lookup(request_key)) {
+      reply_cache_.NoteHit();
+      done(*cached);
+      return;
+    }
+    if (reply_cache_.IsInFlight(request_key)) {
+      reply_cache_.NoteInFlightDrop();
+      return;
+    }
+    reply_cache_.MarkInFlight(request_key);
+    done = [this, request_key, inner = std::move(done)](std::string response) {
+      reply_cache_.Complete(request_key, response);
+      inner(std::move(response));
+    };
+  }
+
   auto call = DecodeXmlRpcCall(request_xml);
   if (!call.ok()) {
     done(EncodeXmlRpcFault(call.status()));
@@ -113,6 +186,7 @@ void RpcServer::HandleRequestAsync(const std::string& request_raw,
     done(EncodeXmlRpcFault(NotFoundError("no such method: " + call->method)));
     return;
   }
+  ++requests_executed_;
   it->second(call->params,
              [done = std::move(done)](Result<WireValue> result) {
                if (!result.ok()) {
@@ -123,13 +197,38 @@ void RpcServer::HandleRequestAsync(const std::string& request_raw,
              });
 }
 
-namespace {
 // Shared completion state between the response path and the timeout path.
-struct PendingCall {
+struct RpcClient::PendingCall {
   bool done = false;
   Result<WireValue> result = Status(StatusCode::kUnavailable, "pending");
 };
-}  // namespace
+
+// One logical CallAsync across its retry ladder.
+struct RpcClient::AsyncCall {
+  std::shared_ptr<PendingCall> pending = std::make_shared<PendingCall>();
+  std::function<void(Result<WireValue>)> finish;
+  std::string framed;  // Dedup frame + XML; sealed fresh per attempt.
+  std::string method;
+  int attempt = 0;
+  bool admitted = false;  // Passed the circuit breaker.
+  bool finished = false;
+  SimTime deadline;  // Absolute overall deadline.
+  EventQueue::EventId timer = EventQueue::kInvalidEvent;
+};
+
+RpcClient::RpcClient(EventQueue* queue, NetworkLink* link, RpcServer* server,
+                     RpcOptions options)
+    : queue_(queue),
+      link_(link),
+      server_(server),
+      options_(options),
+      breaker_(options.breaker),
+      retry_rng_(0),
+      client_id_(NextClientId()) {
+  // Jitter stream is per-client and deterministic: two clients never share
+  // draws, and a fixed construction order reproduces exactly.
+  retry_rng_ = SimRandom(client_id_ * 0x9E3779B97F4A7C15ull);
+}
 
 void RpcClient::EnableChannelSecurity(SecureChannel* channel,
                                       std::string device_id,
@@ -161,54 +260,186 @@ Result<std::string> RpcClient::OpenResponse(const std::string& response) {
   return StringOf(opened);
 }
 
+std::string RpcClient::FrameRequest(const std::string& request_xml) {
+  std::string out(kRequestFrameMagic, 4);
+  AppendU64(out, client_id_);
+  AppendU64(out, next_request_seq_++);
+  out += request_xml;
+  return out;
+}
+
+SimDuration RpcClient::BackoffBefore(int next_attempt) {
+  double backoff = static_cast<double>(options_.retry.initial_backoff.nanos());
+  for (int i = 2; i < next_attempt; ++i) {
+    backoff *= options_.retry.multiplier;
+  }
+  double cap = static_cast<double>(options_.retry.max_backoff.nanos());
+  backoff = std::min(backoff, cap);
+  backoff *= 1.0 + options_.retry.jitter * retry_rng_.UniformDouble();
+  return SimDuration(static_cast<int64_t>(backoff));
+}
+
+bool RpcClient::SendAttempt(const std::string& framed_request,
+                            std::shared_ptr<PendingCall> pending,
+                            std::function<void()> notify) {
+  ++attempts_started_;
+  std::string request = SealRequest(framed_request);
+  RpcServer* server = server_;
+  NetworkLink* link = link_;
+  size_t request_size = request.size();
+  return link_->Send(
+      request_size, NetworkLink::Direction::kForward,
+      [this, pending, notify, server, link, request = std::move(request)] {
+        server->HandleRequestAsync(request, [this, pending, notify, link](
+                                                std::string response) {
+          size_t response_size = response.size();
+          link->Send(response_size, NetworkLink::Direction::kReverse,
+                     [this, pending, notify,
+                      response = std::move(response)] {
+                       if (pending->done) {
+                         return;  // Duplicate/late response; call finished.
+                       }
+                       auto opened = OpenResponse(response);
+                       if (!opened.ok()) {
+                         pending->result = opened.status();
+                       } else {
+                         auto decoded = DecodeXmlRpcResponse(*opened);
+                         if (!decoded.ok()) {
+                           pending->result = decoded.status();
+                         } else if (!decoded->fault.ok()) {
+                           pending->result = decoded->fault;
+                         } else {
+                           pending->result = decoded->value;
+                         }
+                       }
+                       pending->done = true;
+                       if (notify) {
+                         notify();
+                       }
+                     });
+        });
+      });
+}
+
 Result<WireValue> RpcClient::Call(const std::string& method,
                                   WireValue::Array params) {
   ++calls_started_;
   queue_->AdvanceBy(options_.client_overhead);
 
-  std::string request =
-      SealRequest(EncodeXmlRpcCall(XmlRpcCall{method, std::move(params)}));
+  if (!breaker_.AllowRequest(queue_->Now())) {
+    return UnavailableError("rpc: circuit open, rejecting " + method);
+  }
 
+  std::string framed =
+      FrameRequest(EncodeXmlRpcCall(XmlRpcCall{method, std::move(params)}));
   auto pending = std::make_shared<PendingCall>();
-  RpcServer* server = server_;
-  NetworkLink* link = link_;
-  size_t request_size = request.size();
-  link_->Send(request_size, [this, pending, server, link,
-                             request = std::move(request)] {
-    server->HandleRequestAsync(request, [this, pending, link](
-                                            std::string response) {
-      size_t response_size = response.size();
-      link->Send(response_size, [this, pending,
-                                 response = std::move(response)] {
-        if (pending->done) {
-          return;  // Caller already gave up (timeout).
-        }
-        auto opened = OpenResponse(response);
-        if (!opened.ok()) {
-          pending->result = opened.status();
-          pending->done = true;
-          return;
-        }
-        auto decoded = DecodeXmlRpcResponse(*opened);
-        if (!decoded.ok()) {
-          pending->result = decoded.status();
-        } else if (!decoded->fault.ok()) {
-          pending->result = decoded->fault;
-        } else {
-          pending->result = decoded->value;
-        }
-        pending->done = true;
-      });
+  SimTime overall_deadline = queue_->Now() + options_.total_deadline;
+  int max_attempts = std::max(1, options_.retry.max_attempts);
+
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (link_->disconnected()) {
+      // Fail fast: the interface is down, waiting out a timeout (or
+      // retrying into the void) buys nothing.
+      pending->done = true;
+      ++calls_failed_fast_;
+      breaker_.RecordAborted(queue_->Now());
+      return UnavailableError("rpc: link down calling " + method);
+    }
+    if (!SendAttempt(framed, pending, nullptr)) {
+      pending->done = true;
+      ++calls_failed_fast_;
+      breaker_.RecordAborted(queue_->Now());
+      return UnavailableError("rpc: send failed calling " + method);
+    }
+    SimTime attempt_deadline =
+        std::min(queue_->Now() + options_.timeout, overall_deadline);
+    if (queue_->RunUntilFlag(&pending->done, attempt_deadline)) {
+      breaker_.RecordSuccess();
+      return pending->result;
+    }
+    if (attempt == max_attempts || queue_->Now() >= overall_deadline) {
+      break;
+    }
+    SimDuration backoff = BackoffBefore(attempt + 1);
+    if (queue_->Now() + backoff >= overall_deadline) {
+      break;
+    }
+    queue_->AdvanceBy(backoff);
+    if (pending->done) {
+      // A straggler response from an earlier attempt landed during the
+      // backoff — the call succeeded after all.
+      breaker_.RecordSuccess();
+      return pending->result;
+    }
+  }
+
+  pending->done = true;  // Suppress any later straggler.
+  ++calls_timed_out_;
+  breaker_.RecordFailure(queue_->Now());
+  return UnavailableError("rpc: timeout calling " + method);
+}
+
+void RpcClient::FinishAsync(std::shared_ptr<AsyncCall> call,
+                            Result<WireValue> result) {
+  if (call->finished) {
+    return;
+  }
+  call->finished = true;
+  call->pending->done = true;
+  if (call->timer != EventQueue::kInvalidEvent) {
+    // Satellite fix: don't leave a dead timeout event behind a completed
+    // call — long soaks would accumulate garbage in the queue.
+    queue_->Cancel(call->timer);
+    call->timer = EventQueue::kInvalidEvent;
+  }
+  call->finish(std::move(result));
+}
+
+void RpcClient::StartAsyncAttempt(std::shared_ptr<AsyncCall> call) {
+  if (call->pending->done) {
+    return;
+  }
+  if (link_->disconnected()) {
+    ++calls_failed_fast_;
+    breaker_.RecordAborted(queue_->Now());
+    FinishAsync(call, UnavailableError("rpc: link down calling " +
+                                       call->method));
+    return;
+  }
+  ++call->attempt;
+  bool sent = SendAttempt(call->framed, call->pending, [this, call] {
+    breaker_.RecordSuccess();
+    FinishAsync(call, call->pending->result);
+  });
+  if (!sent) {
+    ++calls_failed_fast_;
+    breaker_.RecordAborted(queue_->Now());
+    FinishAsync(call, UnavailableError("rpc: send failed calling " +
+                                       call->method));
+    return;
+  }
+  SimTime attempt_deadline =
+      std::min(queue_->Now() + options_.timeout, call->deadline);
+  call->timer = queue_->Schedule(attempt_deadline, [this, call] {
+    call->timer = EventQueue::kInvalidEvent;
+    if (call->pending->done) {
+      return;
+    }
+    int max_attempts = std::max(1, options_.retry.max_attempts);
+    SimDuration backoff = BackoffBefore(call->attempt + 1);
+    if (call->attempt >= max_attempts ||
+        queue_->Now() + backoff >= call->deadline) {
+      ++calls_timed_out_;
+      breaker_.RecordFailure(queue_->Now());
+      FinishAsync(call, UnavailableError("rpc: timeout calling " +
+                                         call->method));
+      return;
+    }
+    call->timer = queue_->ScheduleAfter(backoff, [this, call] {
+      call->timer = EventQueue::kInvalidEvent;
+      StartAsyncAttempt(call);
     });
   });
-
-  SimTime deadline = queue_->Now() + options_.timeout;
-  if (!queue_->RunUntilFlag(&pending->done, deadline)) {
-    pending->done = true;  // Suppress a late response.
-    ++calls_timed_out_;
-    return UnavailableError("rpc: timeout calling " + method);
-  }
-  return pending->result;
 }
 
 void RpcClient::CallAsync(const std::string& method, WireValue::Array params,
@@ -216,56 +447,24 @@ void RpcClient::CallAsync(const std::string& method, WireValue::Array params,
   ++calls_started_;
   queue_->AdvanceBy(options_.client_overhead);
 
-  std::string request =
-      SealRequest(EncodeXmlRpcCall(XmlRpcCall{method, std::move(params)}));
+  auto call = std::make_shared<AsyncCall>();
+  call->finish = std::move(done);
+  call->method = method;
+  call->deadline = queue_->Now() + options_.total_deadline;
 
-  auto pending = std::make_shared<PendingCall>();
-  auto finish = std::make_shared<std::function<void(Result<WireValue>)>>(
-      std::move(done));
-
-  RpcServer* server = server_;
-  NetworkLink* link = link_;
-  size_t request_size = request.size();
-  link_->Send(request_size, [this, pending, finish, server, link,
-                             request = std::move(request)] {
-    server->HandleRequestAsync(request, [this, pending, finish, link](
-                                            std::string response) {
-      size_t response_size = response.size();
-      link->Send(response_size, [this, pending, finish,
-                                 response = std::move(response)] {
-        if (pending->done) {
-          return;
-        }
-        pending->done = true;
-        auto opened = OpenResponse(response);
-        if (!opened.ok()) {
-          (*finish)(opened.status());
-          return;
-        }
-        auto decoded = DecodeXmlRpcResponse(*opened);
-        if (!decoded.ok()) {
-          (*finish)(decoded.status());
-        } else if (!decoded->fault.ok()) {
-          (*finish)(decoded->fault);
-        } else {
-          (*finish)(decoded->value);
-        }
-      });
+  if (!breaker_.AllowRequest(queue_->Now())) {
+    // Preserve the async contract: complete from the queue, never
+    // reentrantly from inside CallAsync.
+    queue_->ScheduleAfter(SimDuration(0), [this, call] {
+      FinishAsync(call, UnavailableError("rpc: circuit open, rejecting " +
+                                         call->method));
     });
-  });
-
-  // Timeout event; fires only if the response hasn't landed.
-  uint64_t* timed_out_counter = &calls_timed_out_;
-  std::string method_copy = method;
-  queue_->ScheduleAfter(options_.timeout, [pending, finish, timed_out_counter,
-                                           method_copy] {
-    if (pending->done) {
-      return;
-    }
-    pending->done = true;
-    ++*timed_out_counter;
-    (*finish)(UnavailableError("rpc: timeout calling " + method_copy));
-  });
+    return;
+  }
+  call->admitted = true;
+  call->framed =
+      FrameRequest(EncodeXmlRpcCall(XmlRpcCall{method, std::move(params)}));
+  StartAsyncAttempt(call);
 }
 
 }  // namespace keypad

@@ -9,6 +9,20 @@
 // multithreaded client. CallAsync() is used for the IBE metadata-update path
 // where the paper explicitly overlaps the RPC with foreground work.
 //
+// Resilience (DESIGN.md §7): the paper treats network failure as the common
+// case, so the client is built to ride through it without corrupting the
+// audit record:
+//  * retries with exponential backoff and deterministic seeded jitter, a
+//    per-attempt timeout under an overall deadline;
+//  * fail-fast: a locally-known send failure (link down) or an open
+//    circuit breaker costs ~0 instead of a full timeout;
+//  * at-most-once: every call carries a client-generated request ID; the
+//    server's bounded ReplyCache answers retransmissions from the cached
+//    reply so a retried key.create never double-registers and a retried
+//    key.get never appends a duplicate audit-log row;
+//  * a per-target circuit breaker (closed/open/half-open) so a dead
+//    service degrades to one fast failure per operation.
+//
 // Cost model: the client charges `client_overhead` of CPU per call
 // (XML-RPC marshal/unmarshal — the dominant Keypad cost on a LAN per
 // Fig. 6a) and the server charges `service_time` per request (logging the
@@ -25,7 +39,10 @@
 #include "src/cryptocore/secure_random.h"
 #include "src/net/link.h"
 #include "src/net/secure_channel.h"
+#include "src/rpc/circuit_breaker.h"
+#include "src/rpc/reply_cache.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/random.h"
 #include "src/util/result.h"
 #include "src/wire/value.h"
 
@@ -60,10 +77,25 @@ class RpcServer {
 
   // Decodes, dispatches, and (possibly later) encodes a response or fault.
   // Charges service_time. Called by RpcClient through the link.
+  // Requests carrying a dedup frame execute at most once (see ReplyCache).
   void HandleRequestAsync(const std::string& request_xml,
                           std::function<void(std::string)> done);
 
+  // Crash simulation: while down, arriving requests are swallowed — no
+  // response, no execution — exactly what a dead process does. The client's
+  // per-attempt timeout (and eventually its circuit breaker) handles it.
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  ReplyCache& reply_cache() { return reply_cache_; }
+  const ReplyCache& reply_cache() const { return reply_cache_; }
+
   uint64_t requests_handled() const { return requests_handled_; }
+  // Requests that reached a (registered) handler — dedup replays and
+  // in-flight drops excluded.
+  uint64_t requests_executed() const { return requests_executed_; }
+  // Requests swallowed while the server was down.
+  uint64_t requests_dropped() const { return requests_dropped_; }
 
  private:
   EventQueue* queue_;
@@ -71,30 +103,55 @@ class RpcServer {
   std::map<std::string, AsyncHandler> handlers_;
   ChannelLookup channel_lookup_;
   SecureRandom* channel_rng_ = nullptr;
+  ReplyCache reply_cache_;
+  bool down_ = false;
   uint64_t requests_handled_ = 0;
+  uint64_t requests_executed_ = 0;
+  uint64_t requests_dropped_ = 0;
+};
+
+struct RetryOptions {
+  // Total send attempts per call (1 = no retries).
+  int max_attempts = 3;
+  // Backoff before attempt n+1: initial_backoff * multiplier^(n-1),
+  // capped at max_backoff, stretched by up to `jitter` (uniform,
+  // deterministic from the client's seeded RNG).
+  SimDuration initial_backoff = SimDuration::Millis(200);
+  double multiplier = 2.0;
+  SimDuration max_backoff = SimDuration::Seconds(10);
+  double jitter = 0.2;
 };
 
 struct RpcOptions {
   // CPU charged on the client per call (marshal + unmarshal).
   SimDuration client_overhead = SimDuration::Micros(350);
-  // How long a blocking Call waits before declaring the service
-  // unreachable.
+  // How long a single attempt waits before retrying (or giving up).
   SimDuration timeout = SimDuration::Seconds(5);
+  // Overall budget for one logical call across attempts and backoffs.
+  SimDuration total_deadline = SimDuration::Seconds(30);
+  RetryOptions retry;
+  CircuitBreakerOptions breaker;
 };
+
+// Resets the process-global RPC client-id allocator. Client ids seed the
+// per-client retry-jitter streams, so tests that compare two runs of the
+// same scenario inside one process call this before each run.
+void ResetRpcClientIdsForTesting();
 
 class RpcClient {
  public:
   RpcClient(EventQueue* queue, NetworkLink* link, RpcServer* server,
-            RpcOptions options = {})
-      : queue_(queue), link_(link), server_(server), options_(options) {}
+            RpcOptions options = {});
 
   // Virtually-blocking call. Returns the server's value, the server's
-  // fault, or kUnavailable on timeout (link down / message dropped).
+  // fault, or kUnavailable when the link is known-down (fail-fast), the
+  // circuit breaker is open, or every attempt timed out.
   Result<WireValue> Call(const std::string& method,
                          WireValue::Array params);
 
   // Asynchronous call; `done` fires exactly once — with the response, a
-  // fault, or kUnavailable at the timeout deadline.
+  // fault, or kUnavailable after fail-fast / breaker rejection / the last
+  // attempt's timeout.
   void CallAsync(const std::string& method, WireValue::Array params,
                  std::function<void(Result<WireValue>)> done);
 
@@ -108,25 +165,60 @@ class RpcClient {
                              SecureRandom* rng);
 
   RpcOptions& options() { return options_; }
+  CircuitBreaker& breaker() { return breaker_; }
 
   uint64_t calls_started() const { return calls_started_; }
+  uint64_t attempts_started() const { return attempts_started_; }
+  // Calls that exhausted every attempt without a response.
   uint64_t calls_timed_out() const { return calls_timed_out_; }
+  // Calls (or retry ladders) aborted because the link was locally known
+  // to be down.
+  uint64_t calls_failed_fast() const { return calls_failed_fast_; }
+  // Calls rejected without a send by the open circuit breaker.
+  uint64_t calls_rejected() const { return breaker_.rejected_count(); }
 
  private:
+  struct PendingCall;
+  struct AsyncCall;
+
   // Seals an outgoing request when channel security is on (identity
-  // transform otherwise); SplitResponse reverses it.
+  // transform otherwise); OpenResponse reverses it.
   std::string SealRequest(const std::string& request);
   Result<std::string> OpenResponse(const std::string& response);
+
+  // Prepends the at-most-once dedup frame (client id + fresh sequence
+  // number) to an encoded call.
+  std::string FrameRequest(const std::string& request_xml);
+
+  // Transmits one attempt: request over the link, handler on the server,
+  // response back over the link, completing `pending` unless it already
+  // completed (then invoking `notify`, if any — the async path's hook).
+  // Returns false iff the link reported the send failed locally.
+  bool SendAttempt(const std::string& framed_request,
+                   std::shared_ptr<PendingCall> pending,
+                   std::function<void()> notify);
+
+  // Backoff before attempt `next_attempt` (2-based), jittered.
+  SimDuration BackoffBefore(int next_attempt);
+
+  void StartAsyncAttempt(std::shared_ptr<AsyncCall> call);
+  void FinishAsync(std::shared_ptr<AsyncCall> call, Result<WireValue> result);
 
   EventQueue* queue_;
   NetworkLink* link_;
   RpcServer* server_;
   RpcOptions options_;
+  CircuitBreaker breaker_;
+  SimRandom retry_rng_;
+  uint64_t client_id_;
+  uint64_t next_request_seq_ = 1;
   SecureChannel* channel_ = nullptr;
   std::string channel_device_id_;
   SecureRandom* channel_rng_ = nullptr;
   uint64_t calls_started_ = 0;
+  uint64_t attempts_started_ = 0;
   uint64_t calls_timed_out_ = 0;
+  uint64_t calls_failed_fast_ = 0;
 };
 
 }  // namespace keypad

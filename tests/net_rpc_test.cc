@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/net/link.h"
 #include "src/net/profile.h"
 #include "src/net/secure_channel.h"
@@ -65,6 +68,118 @@ TEST(LinkTest, CounterReset) {
   link.ResetCounters();
   EXPECT_EQ(link.bytes_sent(), 0u);
   EXPECT_EQ(link.messages_sent(), 0u);
+}
+
+TEST(LinkTest, BurstLossClustersDrops) {
+  EventQueue q;
+  NetworkLink link(&q, LanProfile(), /*drop_seed=*/11);
+  LinkChaosOptions chaos;
+  chaos.burst_loss = true;
+  chaos.p_enter_bad = 0.05;
+  chaos.p_exit_bad = 0.2;
+  chaos.loss_bad = 0.9;
+  link.set_chaos(chaos);
+  std::vector<bool> delivered(2000, false);
+  for (size_t i = 0; i < delivered.size(); ++i) {
+    link.Send(1, [&delivered, i] { delivered[i] = true; });
+  }
+  q.RunUntilIdle();
+  size_t losses = 0;
+  size_t adjacent_losses = 0;  // Loss immediately following a loss.
+  for (size_t i = 0; i < delivered.size(); ++i) {
+    if (!delivered[i]) {
+      ++losses;
+      if (i > 0 && !delivered[i - 1]) {
+        ++adjacent_losses;
+      }
+    }
+  }
+  ASSERT_GT(losses, 50u);
+  // The signature of bursts: given a loss, the next message is far more
+  // likely than the marginal rate to be lost too.
+  double marginal = static_cast<double>(losses) / delivered.size();
+  double conditional = static_cast<double>(adjacent_losses) / losses;
+  EXPECT_GT(conditional, 2 * marginal);
+}
+
+TEST(LinkTest, DuplicationDeliversTwice) {
+  EventQueue q;
+  NetworkLink link(&q, LanProfile(), /*drop_seed=*/3);
+  LinkChaosOptions chaos;
+  chaos.duplicate_probability = 1.0;
+  link.set_chaos(chaos);
+  int deliveries = 0;
+  EXPECT_TRUE(link.Send(10, [&] { ++deliveries; }));
+  q.RunUntilIdle();
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(link.messages_duplicated(), 1u);
+  EXPECT_EQ(link.messages_sent(), 1u);  // One logical send.
+}
+
+TEST(LinkTest, ReorderingLetsLaterMessagesOvertake) {
+  EventQueue q;
+  NetworkLink link(&q, LanProfile(), /*drop_seed=*/5);
+  LinkChaosOptions chaos;
+  chaos.reorder_probability = 1.0;
+  chaos.reorder_extra_max = SimDuration::Millis(50);
+  link.set_chaos(chaos);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    link.Send(1, [&order, i] { order.push_back(i); });
+  }
+  q.RunUntilIdle();
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(LinkTest, AsymmetricPartitionDropsOneDirectionSilently) {
+  EventQueue q;
+  NetworkLink link(&q, LanProfile());
+  link.set_partitioned(NetworkLink::Direction::kReverse, true);
+  bool forward = false;
+  bool reverse = false;
+  // Partition loss is NOT locally observable: both sends report true.
+  EXPECT_TRUE(
+      link.Send(1, NetworkLink::Direction::kForward, [&] { forward = true; }));
+  EXPECT_TRUE(
+      link.Send(1, NetworkLink::Direction::kReverse, [&] { reverse = true; }));
+  q.RunUntilIdle();
+  EXPECT_TRUE(forward);
+  EXPECT_FALSE(reverse);
+  EXPECT_EQ(link.messages_dropped(), 1u);
+}
+
+TEST(LinkTest, ScheduledOutageWindowFlipsDisconnected) {
+  EventQueue q;
+  NetworkLink link(&q, LanProfile());
+  SimTime start = q.Now() + SimDuration::Seconds(10);
+  link.ScheduleOutage(start, SimDuration::Seconds(5));
+  EXPECT_FALSE(link.disconnected());
+  q.RunUntil(start + SimDuration::Seconds(1));
+  EXPECT_TRUE(link.disconnected());
+  q.RunUntil(start + SimDuration::Seconds(6));
+  EXPECT_FALSE(link.disconnected());
+}
+
+TEST(LinkTest, LatencyJitterStretchesDelivery) {
+  EventQueue q;
+  NetworkLink link(&q, CellularProfile(), /*drop_seed=*/9);
+  LinkChaosOptions chaos;
+  chaos.latency_jitter_frac = 0.5;
+  link.set_chaos(chaos);
+  bool saw_jitter = false;
+  for (int i = 0; i < 20; ++i) {
+    SimTime sent_at = q.Now();
+    bool delivered = false;
+    link.Send(1, [&] { delivered = true; });
+    q.RunUntilIdle();
+    ASSERT_TRUE(delivered);
+    SimDuration elapsed = q.Now() - sent_at;
+    EXPECT_GE(elapsed.millis(), 150);        // Never earlier than OneWay.
+    EXPECT_LE(elapsed.millis(), 225);        // At most 1.5x.
+    saw_jitter = saw_jitter || elapsed.millis() > 150;
+  }
+  EXPECT_TRUE(saw_jitter);
 }
 
 TEST(SecureChannelTest, SealOpenRoundTrip) {
@@ -167,15 +282,129 @@ TEST_F(RpcTest, UnknownMethodIsNotFound) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
-TEST_F(RpcTest, DisconnectedLinkTimesOut) {
+TEST_F(RpcTest, DisconnectedLinkFailsFast) {
+  // A locally-known-down link costs ~0, not a full timeout ladder.
   link_.set_disconnected(true);
   client_.options().timeout = SimDuration::Seconds(2);
   SimTime start = queue_.Now();
   auto result = client_.Call("echo", {WireValue(int64_t{1})});
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
-  EXPECT_EQ((queue_.Now() - start).seconds(), 2);
+  EXPECT_LT((queue_.Now() - start).millis(), 1);  // Just client overhead.
+  EXPECT_EQ(client_.calls_failed_fast(), 1u);
+  EXPECT_EQ(client_.calls_timed_out(), 0u);
+}
+
+TEST_F(RpcTest, RetryRecoversAfterPartitionHeals) {
+  // Responses are blackholed (not locally observable), so attempt 1 times
+  // out; the partition heals before attempt 2, which gets through.
+  link_.set_partitioned(NetworkLink::Direction::kReverse, true);
+  client_.options().timeout = SimDuration::Seconds(2);
+  queue_.Schedule(queue_.Now() + SimDuration::Seconds(1), [this] {
+    link_.set_partitioned(NetworkLink::Direction::kReverse, false);
+  });
+  auto result = client_.Call("echo", {WireValue("persist")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->AsString(), "persist");
+  EXPECT_EQ(client_.attempts_started(), 2u);
+  EXPECT_EQ(client_.calls_timed_out(), 0u);
+}
+
+TEST_F(RpcTest, RetriedRequestExecutesAtMostOnce) {
+  // Attempt 1 executes but its response is lost; attempt 2 is recognized
+  // as a replay and answered from the reply cache without re-executing.
+  int executions = 0;
+  server_.RegisterMethod("count", [&](const WireValue::Array&) {
+    ++executions;
+    return Result<WireValue>(WireValue(int64_t{executions}));
+  });
+  link_.set_partitioned(NetworkLink::Direction::kReverse, true);
+  client_.options().timeout = SimDuration::Seconds(2);
+  queue_.Schedule(queue_.Now() + SimDuration::Seconds(1), [this] {
+    link_.set_partitioned(NetworkLink::Direction::kReverse, false);
+  });
+  auto result = client_.Call("count", {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->AsInt(), 1);
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(server_.requests_executed(), 1u);
+  EXPECT_GE(server_.reply_cache().hits(), 1u);
+}
+
+TEST_F(RpcTest, DuplicatedDeliveryExecutesAtMostOnce) {
+  // The network duplicates every message; the handler must still run once
+  // per logical call and the client must get exactly one result.
+  int executions = 0;
+  server_.RegisterMethod("count", [&](const WireValue::Array&) {
+    ++executions;
+    return Result<WireValue>(WireValue(int64_t{executions}));
+  });
+  LinkChaosOptions chaos;
+  chaos.duplicate_probability = 1.0;
+  link_.set_chaos(chaos);
+  auto result = client_.Call("count", {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->AsInt(), 1);
+  queue_.RunUntilIdle();  // Let the duplicates land.
+  EXPECT_EQ(executions, 1);
+  EXPECT_GE(server_.reply_cache().hits() + server_.reply_cache().in_flight_drops(),
+            1u);
+}
+
+TEST_F(RpcTest, DownServerSwallowsRequests) {
+  server_.set_down(true);
+  client_.options().timeout = SimDuration::Seconds(1);
+  client_.options().retry.max_attempts = 2;
+  auto result = client_.Call("echo", {WireValue("void")});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
   EXPECT_EQ(client_.calls_timed_out(), 1u);
+  EXPECT_EQ(server_.requests_dropped(), 2u);
+  EXPECT_EQ(server_.requests_executed(), 0u);
+}
+
+TEST_F(RpcTest, CircuitBreakerOpensAndRecovers) {
+  client_.options().timeout = SimDuration::Seconds(1);
+  client_.options().retry.max_attempts = 1;
+  CircuitBreakerOptions breaker_options;
+  breaker_options.failure_threshold = 2;
+  breaker_options.cooldown = SimDuration::Seconds(10);
+  client_.breaker() = CircuitBreaker(breaker_options);
+
+  // Responses blackholed: two timed-out calls trip the breaker.
+  link_.set_partitioned(NetworkLink::Direction::kReverse, true);
+  EXPECT_FALSE(client_.Call("echo", {}).ok());
+  EXPECT_FALSE(client_.Call("echo", {}).ok());
+  EXPECT_EQ(client_.breaker().state(), CircuitBreaker::State::kOpen);
+
+  // While open: rejected locally, nothing goes on the wire.
+  uint64_t attempts_before = client_.attempts_started();
+  SimTime start = queue_.Now();
+  auto rejected = client_.Call("echo", {});
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(client_.attempts_started(), attempts_before);
+  EXPECT_EQ(client_.calls_rejected(), 1u);
+  EXPECT_LT((queue_.Now() - start).millis(), 1);
+
+  // After the cooldown (and the partition healing) a half-open probe is
+  // admitted; its success closes the breaker.
+  link_.set_partitioned(NetworkLink::Direction::kReverse, false);
+  queue_.AdvanceBy(SimDuration::Seconds(11));
+  auto probe = client_.Call("echo", {WireValue("probe")});
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(client_.breaker().state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(RpcTest, AsyncSuccessLeavesNoDeadTimerBehind) {
+  bool called = false;
+  client_.CallAsync("echo", {WireValue("tidy")}, [&](Result<WireValue> r) {
+    called = true;
+    EXPECT_TRUE(r.ok());
+  });
+  ASSERT_TRUE(queue_.RunUntilFlag(&called));
+  // Satellite regression: the per-attempt timeout must be cancelled on
+  // completion, not left to fire as a no-op seconds later.
+  EXPECT_EQ(queue_.pending_count(), 0u);
 }
 
 TEST_F(RpcTest, AsyncCallCompletes) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "src/cryptocore/hmac.h"
 #include "src/keypad/deployment.h"
 #include "src/wire/xmlrpc.h"
@@ -108,6 +110,62 @@ TEST(SecureTransportTest, ThiefWithStolenSecretsStillTalksButIsLogged) {
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(
       report->Compromised(fs.ReadHeaderOf("/secret.doc")->audit_id));
+}
+
+TEST(SecureTransportTest, SealedEnvelopeReplayIsEpochBounded) {
+  // The channel itself is stateless about replay: a sealed frame opens
+  // again within the current-or-previous epoch window. Replay defense at
+  // the RPC layer (the dedup frame inside the envelope) is what prevents a
+  // recorded request from re-executing; the ratchet merely bounds how long
+  // the recorded ciphertext stays decryptable at all.
+  SecureRandom rng(uint64_t{7});
+  SimDuration period = SimDuration::Seconds(100);
+  SecureChannel sender(BytesOf("root"), period);
+  SecureChannel receiver(BytesOf("root"), period);
+  SimTime t0 = SimTime::Epoch() + SimDuration::Seconds(10);
+  Bytes sealed = sender.Seal(t0, BytesOf("key request"), rng);
+
+  // Replay within the epoch window: the channel accepts it both times.
+  ASSERT_TRUE(receiver.Open(t0, sealed).ok());
+  ASSERT_TRUE(receiver.Open(t0 + SimDuration::Seconds(1), sealed).ok());
+
+  // Two epochs later the ratchet has erased the key: replay is dead.
+  auto stale = receiver.Open(t0 + period + period, sealed);
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(SecureTransportTest, ReplayedRequestDoesNotDuplicateAuditRows) {
+  // Full stack, sealed channels, and a network that duplicates every
+  // message: the replayed sealed envelopes must be soaked up by the
+  // at-most-once layer, leaving at most one kCreate row per file.
+  DeploymentOptions options = SealedOpts();
+  Deployment dep(options);
+  LinkChaosOptions chaos;
+  chaos.duplicate_probability = 1.0;
+  dep.client_link().set_chaos(chaos);
+
+  auto& fs = dep.fs();
+  ASSERT_TRUE(fs.Create("/a").ok());
+  ASSERT_TRUE(fs.Create("/b").ok());
+  ASSERT_TRUE(fs.WriteAll("/a", BytesOf("x")).ok());
+  dep.queue().RunUntilIdle();  // Let every duplicate land.
+
+  std::map<AuditId, int> creates;
+  for (const auto& entry : dep.key_service().log().entries()) {
+    if (entry.op == AccessOp::kCreate) {
+      ++creates[entry.audit_id];
+    }
+  }
+  ASSERT_EQ(creates.size(), 2u);
+  for (const auto& [id, count] : creates) {
+    EXPECT_EQ(count, 1) << "duplicate audit row for " << id.ToHex();
+  }
+  EXPECT_GE(dep.key_rpc_server().reply_cache().hits() +
+                dep.key_rpc_server().reply_cache().in_flight_drops(),
+            1u);
+  EXPECT_TRUE(dep.key_service().log().Verify().ok());
+  EXPECT_TRUE(dep.metadata_service().log().Verify().ok());
 }
 
 TEST(SecureTransportTest, SurvivesKeyRotationEpochs) {
