@@ -1,0 +1,476 @@
+// Key-tier scale bench (DESIGN.md §8): goodput and latency tails for M
+// devices driving K key-service shards at saturating load.
+//
+// Fixture: K independent KeyService shards (each with its own RpcServer and
+// busy-clock, plus a per-seal CPU charge modeling the fsync+chain write),
+// M devices each with its own network link, per-shard RpcClients, and a
+// ShardRouter sharing one ring seed. Every device runs a closed loop with a
+// fixed pipeline depth of async demand fetches over its own key population
+// (with a hot subset so single-flight coalescing has something to merge).
+//
+// Cells:
+//  * shard sweep {1, 2, 4} with group commit + coalescing on — the
+//    headline scaling curve (acceptance: >= 2.5x goodput 1 -> 4 shards);
+//  * group commit off/on at the widest tier — per-entry seal cost
+//    amortization (seal_ns / entry, commit groups);
+//  * coalescing off/on at the widest tier — duplicate-RPC suppression;
+//  * the widest group-commit cell also crashes/restarts shard 0 mid-run
+//    and every shard's chain must Verify() afterwards.
+//
+// Emits BENCH_scale.json (path = argv[1], default ./BENCH_scale.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/keyservice/key_service.h"
+#include "src/keyservice/shard_router.h"
+#include "src/net/link.h"
+#include "src/net/profile.h"
+#include "src/rpc/rpc.h"
+#include "src/sim/random.h"
+
+namespace keypad {
+namespace {
+
+struct ShardLoad {
+  uint64_t log_entries = 0;
+  uint64_t commit_groups = 0;
+  uint64_t max_group_size = 0;
+  double avg_group_size = 0;
+  uint64_t seal_ns = 0;
+  uint64_t window_flushes = 0;
+  uint64_t requests_handled = 0;
+  uint64_t queue_depth_high_water = 0;
+  bool log_verified = false;
+};
+
+struct CellResult {
+  std::string scenario;
+  int shards = 0;
+  double window_us = 0;
+  bool group_commit = false;
+  bool single_flight = false;
+  bool crashed_shard = false;
+  int devices = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  double elapsed_s = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t sf_leaders = 0;
+  uint64_t sf_joins = 0;
+  std::vector<ShardLoad> loads;
+
+  double goodput() const {
+    return elapsed_s == 0 ? 0 : completed / elapsed_s;
+  }
+  uint64_t total_entries() const {
+    uint64_t n = 0;
+    for (const ShardLoad& l : loads) n += l.log_entries;
+    return n;
+  }
+  uint64_t total_seal_ns() const {
+    uint64_t n = 0;
+    for (const ShardLoad& l : loads) n += l.seal_ns;
+    return n;
+  }
+  double seal_ns_per_entry() const {
+    return total_entries() == 0
+               ? 0
+               : static_cast<double>(total_seal_ns()) / total_entries();
+  }
+  bool all_verified() const {
+    for (const ShardLoad& l : loads) {
+      if (!l.log_verified) return false;
+    }
+    return true;
+  }
+};
+
+struct CellConfig {
+  std::string scenario;
+  int shards = 4;
+  bool group_commit = true;   // Commit window on the shard servers.
+  bool single_flight = true;  // Router-side coalescing.
+  bool crash_shard0 = false;  // Crash/restart shard 0 mid-run.
+  int devices = 8;
+  int pipeline_depth = 4;
+  SimDuration duration = SimDuration::Seconds(2);
+};
+
+// One device's closed-loop driver: keeps `depth` async fetches in flight
+// over its id population until the deadline.
+struct Device {
+  std::string name;
+  std::unique_ptr<NetworkLink> link;
+  std::vector<std::unique_ptr<RpcClient>> rpcs;
+  std::vector<std::unique_ptr<KeyServiceClient>> stubs;
+  std::unique_ptr<ShardRouter> router;
+  std::unique_ptr<SimRandom> rng;
+  std::vector<AuditId> ids;
+  std::vector<AuditId> hot;
+};
+
+CellResult RunCell(const CellConfig& config) {
+  ResetRpcClientIdsForTesting();
+  EventQueue queue;
+
+  KeyServiceOptions service_options;
+  if (config.group_commit) {
+    service_options.commit_window = SimDuration::Micros(400);
+  }
+  // Seal CPU: the durable append (chain hash + log fsync) the paper's
+  // service performs before a key leaves (§3.1). Group commit amortizes
+  // the fixed part across the group.
+  service_options.seal_cost_fixed = SimDuration::Micros(40);
+  service_options.seal_cost_per_entry = SimDuration::Micros(2);
+
+  constexpr SimDuration kServiceTime = SimDuration::Micros(150);
+  std::vector<std::unique_ptr<KeyService>> shards;
+  std::vector<std::unique_ptr<RpcServer>> servers;
+  for (int s = 0; s < config.shards; ++s) {
+    shards.push_back(std::make_unique<KeyService>(
+        &queue, 0x1111 + static_cast<uint64_t>(s), service_options));
+    servers.push_back(std::make_unique<RpcServer>(&queue, kServiceTime));
+    shards[s]->BindRpc(servers[s].get());
+    RpcServer* server = servers[s].get();
+    shards[s]->set_seal_charge(
+        [server](SimDuration d) { server->ChargeBusy(d); });
+  }
+
+  const int ids_per_device = 64;
+  const int hot_ids = 2;
+  ShardRouter::Options router_options;
+  router_options.single_flight = config.single_flight;
+
+  // Each device models its own CPU (no shared marshaling charge on the
+  // global clock), and rides a snappy LAN retry ladder so a shard outage
+  // costs milliseconds, not the default WAN-grade 5 s per attempt.
+  RpcOptions rpc;
+  rpc.client_overhead = SimDuration();
+  rpc.timeout = SimDuration::Millis(50);
+  rpc.total_deadline = SimDuration::Seconds(5);
+
+  std::vector<std::unique_ptr<Device>> devices;
+  SecureRandom id_rng(0xD1CE);
+  for (int d = 0; d < config.devices; ++d) {
+    auto device = std::make_unique<Device>();
+    device->name = "dev-" + std::to_string(d);
+    device->link = std::make_unique<NetworkLink>(
+        &queue, LanProfile(), 0x2222 + static_cast<uint64_t>(d));
+    Bytes secret;
+    for (int s = 0; s < config.shards; ++s) {
+      if (s == 0) {
+        secret = shards[s]->RegisterDevice(device->name);
+      } else {
+        shards[s]->RegisterDeviceWithSecret(device->name, secret);
+      }
+      device->rpcs.push_back(std::make_unique<RpcClient>(
+          &queue, device->link.get(), servers[s].get(), rpc));
+      device->stubs.push_back(std::make_unique<KeyServiceClient>(
+          device->rpcs.back().get(), device->name, secret));
+    }
+    std::vector<KeyServiceClient*> stub_ptrs;
+    for (auto& stub : device->stubs) stub_ptrs.push_back(stub.get());
+    device->router = std::make_unique<ShardRouter>(&queue,
+                                                   std::move(stub_ptrs),
+                                                   router_options);
+    device->rng =
+        std::make_unique<SimRandom>(0x3333 + static_cast<uint64_t>(d));
+    // Pre-provision keys in process (no RPC warmup noise in the cell).
+    for (int i = 0; i < ids_per_device; ++i) {
+      AuditId id = AuditId::Random(id_rng);
+      size_t owner = device->router->ring().ShardFor(id);
+      if (!shards[owner]->CreateKey(device->name, id).ok()) {
+        std::fprintf(stderr, "bench_scale: provisioning failed\n");
+        std::exit(1);
+      }
+      device->ids.push_back(id);
+      if (i < hot_ids) device->hot.push_back(id);
+    }
+    devices.push_back(std::move(device));
+  }
+
+  CellResult cell;
+  cell.scenario = config.scenario;
+  cell.shards = config.shards;
+  cell.window_us = service_options.commit_window.seconds_f() * 1e6;
+  cell.group_commit = config.group_commit;
+  cell.single_flight = config.single_flight;
+  cell.crashed_shard = config.crash_shard0;
+  cell.devices = config.devices;
+
+  const SimTime start = queue.Now();
+  const SimTime deadline = start + config.duration;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(1 << 16);
+
+  // Closed loop: each completion immediately issues the next fetch until
+  // the deadline; half the picks hit the small hot set so concurrent
+  // fetches collide and single-flight has duplicates to merge.
+  std::function<void(Device*)> issue = [&](Device* device) {
+    if (queue.Now() >= deadline) {
+      return;
+    }
+    const AuditId& id =
+        device->rng->UniformDouble() < 0.3
+            ? device->hot[device->rng->UniformU64(device->hot.size())]
+            : device->ids[device->rng->UniformU64(device->ids.size())];
+    SimTime issued = queue.Now();
+    device->router->GetKeyAsync(
+        id, AccessOp::kDemandFetch, [&, device, issued](Result<Bytes> key) {
+          if (key.ok()) {
+            ++cell.completed;
+            latencies_ms.push_back((queue.Now() - issued).seconds_f() * 1e3);
+          } else {
+            ++cell.failed;
+          }
+          issue(device);
+        });
+  };
+  for (auto& device : devices) {
+    for (int p = 0; p < config.pipeline_depth; ++p) {
+      issue(device.get());
+    }
+  }
+
+  if (config.crash_shard0) {
+    // Kill shard 0 a third of the way in; its open commit window (staged
+    // appends + held responses) dies with it, clients ride their retry
+    // ladders, and the restarted shard must still verify end to end.
+    SimTime crash_at = start + config.duration / 3;
+    queue.Schedule(crash_at, [&] {
+      shards[0]->AbortStaged();
+      Bytes snapshot = shards[0]->Snapshot();
+      servers[0]->set_down(true);
+      queue.ScheduleAfter(SimDuration::Millis(100), [&, snapshot] {
+        if (!shards[0]->Restore(snapshot).ok()) {
+          std::fprintf(stderr, "bench_scale: shard restore failed\n");
+          std::exit(1);
+        }
+        servers[0]->reply_cache().ClearInFlight();
+        servers[0]->set_down(false);
+      });
+    });
+  }
+
+  queue.RunUntilIdle();
+  cell.elapsed_s = config.duration.seconds_f();
+
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    auto at = [&](double q) {
+      return latencies_ms[static_cast<size_t>(q * (latencies_ms.size() - 1))];
+    };
+    cell.p50_ms = at(0.50);
+    cell.p99_ms = at(0.99);
+  }
+  for (auto& device : devices) {
+    cell.sf_leaders += device->router->stats().single_flight_leaders;
+    cell.sf_joins += device->router->stats().single_flight_joins;
+  }
+  for (int s = 0; s < config.shards; ++s) {
+    KeyService::LoadStats stats = shards[s]->load_stats();
+    ShardLoad load;
+    load.log_entries = stats.log_entries;
+    load.commit_groups = stats.commit_groups;
+    load.max_group_size = stats.max_group_size;
+    load.avg_group_size = stats.avg_group_size;
+    load.seal_ns = stats.seal_ns;
+    load.window_flushes = stats.window_flushes;
+    load.requests_handled = servers[s]->requests_handled();
+    load.queue_depth_high_water = servers[s]->queue_depth_high_water();
+    load.log_verified = shards[s]->log().Verify().ok();
+    cell.loads.push_back(load);
+  }
+  return cell;
+}
+
+void PrintCell(const CellResult& c) {
+  std::printf(
+      "%-18s shards=%d  window=%3.0fus  coalesce=%-3s  %7llu ok / %4llu err  "
+      "goodput=%8.0f op/s  p50=%6.2f ms  p99=%6.2f ms  seal/entry=%5.0f ns  "
+      "sf-joins=%llu%s\n",
+      c.scenario.c_str(), c.shards, c.window_us,
+      c.single_flight ? "on" : "off",
+      static_cast<unsigned long long>(c.completed),
+      static_cast<unsigned long long>(c.failed), c.goodput(), c.p50_ms,
+      c.p99_ms, c.seal_ns_per_entry(),
+      static_cast<unsigned long long>(c.sf_joins),
+      c.crashed_shard
+          ? (c.all_verified() ? "  [crash: chains verified]"
+                              : "  [crash: CHAIN BROKEN]")
+          : "");
+  for (size_t s = 0; s < c.loads.size(); ++s) {
+    const ShardLoad& l = c.loads[s];
+    std::printf(
+        "    shard %zu: %llu entries in %llu groups (avg %.1f, max %llu), "
+        "%llu flushes, %llu reqs, queue-hw %llu, chain %s\n",
+        s, static_cast<unsigned long long>(l.log_entries),
+        static_cast<unsigned long long>(l.commit_groups), l.avg_group_size,
+        static_cast<unsigned long long>(l.max_group_size),
+        static_cast<unsigned long long>(l.window_flushes),
+        static_cast<unsigned long long>(l.requests_handled),
+        static_cast<unsigned long long>(l.queue_depth_high_water),
+        l.log_verified ? "ok" : "BROKEN");
+  }
+}
+
+void WriteJson(const std::string& path, const std::vector<CellResult>& cells) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"scale\",\n  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"shards\": %d, \"window_us\": %.0f, "
+        "\"group_commit\": %s, \"single_flight\": %s, \"devices\": %d, "
+        "\"completed\": %llu, \"failed\": %llu, "
+        "\"goodput_ops_per_s\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"seal_ns_per_entry\": %.1f, \"sf_leaders\": %llu, "
+        "\"sf_joins\": %llu, \"crashed_shard\": %s, \"all_verified\": %s, "
+        "\"shard_loads\": [",
+        c.scenario.c_str(), c.shards, c.window_us,
+        c.group_commit ? "true" : "false",
+        c.single_flight ? "true" : "false", c.devices,
+        static_cast<unsigned long long>(c.completed),
+        static_cast<unsigned long long>(c.failed), c.goodput(), c.p50_ms,
+        c.p99_ms, c.seal_ns_per_entry(),
+        static_cast<unsigned long long>(c.sf_leaders),
+        static_cast<unsigned long long>(c.sf_joins),
+        c.crashed_shard ? "true" : "false",
+        c.all_verified() ? "true" : "false");
+    for (size_t s = 0; s < c.loads.size(); ++s) {
+      const ShardLoad& l = c.loads[s];
+      std::fprintf(
+          f,
+          "{\"entries\": %llu, \"groups\": %llu, \"avg_group\": %.2f, "
+          "\"max_group\": %llu, \"flushes\": %llu, \"requests\": %llu, "
+          "\"queue_high_water\": %llu, \"verified\": %s}%s",
+          static_cast<unsigned long long>(l.log_entries),
+          static_cast<unsigned long long>(l.commit_groups), l.avg_group_size,
+          static_cast<unsigned long long>(l.max_group_size),
+          static_cast<unsigned long long>(l.window_flushes),
+          static_cast<unsigned long long>(l.requests_handled),
+          static_cast<unsigned long long>(l.queue_depth_high_water),
+          l.log_verified ? "true" : "false",
+          s + 1 < c.loads.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace keypad
+
+int main(int argc, char** argv) {
+  using namespace keypad;
+  using namespace keypad::bench;
+  PrintHeader("§8 scale: sharded key tier goodput under saturating load");
+
+  CellConfig base;
+  base.devices = FastMode() ? 6 : 16;
+  base.pipeline_depth = 8;
+  base.duration =
+      FastMode() ? SimDuration::Millis(500) : SimDuration::Seconds(2);
+
+  std::vector<CellResult> cells;
+
+  // Shard sweep at saturating load — the headline scaling curve.
+  for (int shards : {1, 2, 4}) {
+    CellConfig config = base;
+    config.scenario = "shard_sweep";
+    config.shards = shards;
+    cells.push_back(RunCell(config));
+    PrintCell(cells.back());
+  }
+
+  // Crash/restart of shard 0 mid-run: goodput dips, retries recover, and
+  // every shard's chain must still verify.
+  {
+    CellConfig config = base;
+    config.scenario = "crash_recovery";
+    config.crash_shard0 = true;
+    cells.push_back(RunCell(config));
+    PrintCell(cells.back());
+  }
+
+  // Group commit ablation at the widest tier.
+  {
+    CellConfig config = base;
+    config.scenario = "group_commit_off";
+    config.group_commit = false;
+    cells.push_back(RunCell(config));
+    PrintCell(cells.back());
+  }
+
+  // Coalescing ablation at the widest tier.
+  {
+    CellConfig config = base;
+    config.scenario = "coalescing_off";
+    config.single_flight = false;
+    cells.push_back(RunCell(config));
+    PrintCell(cells.back());
+  }
+
+  // Headline: scaling factor and seal amortization.
+  const CellResult* one = nullptr;
+  const CellResult* four = nullptr;
+  const CellResult* no_gc = nullptr;
+  const CellResult* crash = nullptr;
+  for (const CellResult& c : cells) {
+    if (c.scenario == "shard_sweep" && c.shards == 1) one = &c;
+    if (c.scenario == "shard_sweep" && c.shards == 4) four = &c;
+    if (c.scenario == "group_commit_off") no_gc = &c;
+    if (c.scenario == "crash_recovery") crash = &c;
+  }
+  bool ok = true;
+  if (one != nullptr && four != nullptr && one->goodput() > 0) {
+    double scaling = four->goodput() / one->goodput();
+    std::printf("\n1 -> 4 shards: %.2fx goodput (%.0f -> %.0f op/s)%s\n",
+                scaling, one->goodput(), four->goodput(),
+                scaling >= 2.5 ? "" : "  [BELOW 2.5x TARGET]");
+    ok = ok && scaling >= 2.5;
+  }
+  if (four != nullptr && no_gc != nullptr) {
+    // The per-entry append cost the grouping removes is virtual seal CPU
+    // on the shard's busy clock (fixed fsync+chain cost per seal): with
+    // avg group G it drops from (fixed + per_entry) to (fixed/G +
+    // per_entry), which shows up directly as goodput.
+    double groups = 0, entries = 0;
+    for (const ShardLoad& l : four->loads) {
+      groups += l.commit_groups;
+      entries += l.log_entries;
+    }
+    double avg_group = groups == 0 ? 0 : entries / groups;
+    std::printf(
+        "group commit: avg group %.1f entries/seal (vs 1.0), goodput "
+        "%.0f -> %.0f op/s (%+.0f%%)\n",
+        avg_group, no_gc->goodput(), four->goodput(),
+        no_gc->goodput() > 0
+            ? (four->goodput() / no_gc->goodput() - 1.0) * 100
+            : 0.0);
+  }
+  if (crash != nullptr) {
+    std::printf("crash/restart: every shard chain %s (goodput %.0f op/s)\n",
+                crash->all_verified() ? "VERIFIED" : "BROKEN",
+                crash->goodput());
+    ok = ok && crash->all_verified();
+  }
+
+  std::string out =
+      argc > 1 ? std::string(argv[1]) : std::string("BENCH_scale.json");
+  WriteJson(out, cells);
+  return ok ? 0 : 1;
+}

@@ -15,6 +15,10 @@ for b in /root/repo/build/bench/*; do
   elif [[ "$(basename "$b")" == "bench_resilience" ]]; then
     # Goodput + latency tails vs. loss rate / outage schedule (DESIGN.md §7).
     "$b" /root/repo/BENCH_resilience.json >> "$out" 2>&1
+  elif [[ "$(basename "$b")" == "bench_scale" ]]; then
+    # Sharded key tier: goodput vs. shard count, group commit, coalescing
+    # (DESIGN.md §8).
+    "$b" /root/repo/BENCH_scale.json >> "$out" 2>&1
   else
     "$b" >> "$out" 2>&1
   fi

@@ -43,6 +43,12 @@ struct PrefetchPolicy {
   Kind kind = Kind::kFullDirOnNthMiss;
   int nth_miss = 3;
   int random_count = 4;
+  // Cap on the per-directory miss table: only the most recently missed
+  // `max_tracked_dirs` directories keep counters (LRU eviction), so a
+  // workload walking millions of directories can't grow client memory
+  // without bound. An evicted directory just starts counting from zero
+  // again. <= 0 means unlimited (the historical behavior).
+  int max_tracked_dirs = 4096;
 
   static PrefetchPolicy None() { return {Kind::kNone, 0, 0}; }
   static PrefetchPolicy RandomFromDir(int count = 4) {

@@ -13,32 +13,61 @@ constexpr SimDuration kServiceTime = SimDuration::Micros(150);
 
 Deployment::Deployment(DeploymentOptions options)
     : options_(std::move(options)),
-      key_service_(&queue_, options_.seed ^ 0x1111),
-      key_rpc_server_(&queue_, kServiceTime),
       meta_rpc_server_(&queue_, kServiceTime),
       client_link_(&queue_,
                    options_.paired_phone ? BluetoothProfile()
                                          : options_.profile,
                    options_.seed ^ 0x2222),
       phone_uplink_(&queue_, options_.profile, options_.seed ^ 0x3333),
-      auditor_(&key_service_, nullptr) {
+      auditor_(std::vector<const KeyService*>{}, nullptr) {
+  // The phone proxy and sealed channels are single-endpoint features; they
+  // pin the key tier to one shard.
+  if (options_.key_shards < 1 || options_.paired_phone ||
+      options_.secure_channel) {
+    options_.key_shards = 1;
+  }
+  const size_t shard_count = static_cast<size_t>(options_.key_shards);
+
+  // Key tier: shard 0 keeps the historical seed so an unsharded deployment
+  // is bit-identical to the pre-shard layout.
+  std::vector<const KeyService*> shard_views;
+  for (size_t i = 0; i < shard_count; ++i) {
+    key_shards_.push_back(std::make_unique<KeyService>(
+        &queue_, options_.seed ^ 0x1111 ^ (static_cast<uint64_t>(i) << 32),
+        options_.key_service));
+    key_rpc_servers_.push_back(
+        std::make_unique<RpcServer>(&queue_, kServiceTime));
+    key_shards_[i]->BindRpc(key_rpc_servers_[i].get());
+    // Group-commit seal cost lands on the shard's own server clock, so
+    // batching amortizes real (simulated) CPU, not just a counter.
+    RpcServer* server = key_rpc_servers_[i].get();
+    key_shards_[i]->set_seal_charge(
+        [server](SimDuration d) { server->ChargeBusy(d); });
+    shard_views.push_back(key_shards_[i].get());
+  }
+  key_shard_snapshots_.resize(shard_count);
+
   const PairingParams* group = options_.ibe_group != nullptr
                                    ? options_.ibe_group
                                    : &TestPairingParams();
   metadata_service_ = std::make_unique<MetadataService>(
       &queue_, options_.seed ^ 0x4444, *group);
-  auditor_ = ForensicAuditor(&key_service_, metadata_service_.get());
+  auditor_ = ForensicAuditor(shard_views, metadata_service_.get());
 
-  key_service_.BindRpc(&key_rpc_server_);
   metadata_service_->BindRpc(&meta_rpc_server_);
 
-  Bytes key_secret = key_service_.RegisterDevice(options_.device_id);
+  // One device identity across the whole tier: every shard must validate
+  // the same per-device MAC secret.
+  Bytes key_secret = key_shards_[0]->RegisterDevice(options_.device_id);
+  for (size_t i = 1; i < shard_count; ++i) {
+    key_shards_[i]->RegisterDeviceWithSecret(options_.device_id, key_secret);
+  }
   Bytes meta_secret = metadata_service_->RegisterDevice(options_.device_id);
 
   if (options_.paired_phone) {
     // Phone -> services over the chosen profile.
     phone_key_rpc_ = std::make_unique<RpcClient>(&queue_, &phone_uplink_,
-                                                 &key_rpc_server_,
+                                                 key_rpc_servers_[0].get(),
                                                  options_.rpc);
     phone_meta_rpc_ = std::make_unique<RpcClient>(&queue_, &phone_uplink_,
                                                   &meta_rpc_server_,
@@ -52,18 +81,30 @@ Deployment::Deployment(DeploymentOptions options)
         phone_meta_client_.get(), options_.device_id, key_secret, meta_secret,
         options_.phone_options);
     // Laptop -> phone over Bluetooth.
-    key_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
-                                           phone_->server(), options_.rpc);
+    key_rpcs_.push_back(std::make_unique<RpcClient>(
+        &queue_, &client_link_, phone_->server(), options_.rpc));
     meta_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
                                             phone_->server(), options_.rpc);
   } else {
-    key_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
-                                           &key_rpc_server_, options_.rpc);
+    for (size_t i = 0; i < shard_count; ++i) {
+      key_rpcs_.push_back(std::make_unique<RpcClient>(
+          &queue_, &client_link_, key_rpc_servers_[i].get(), options_.rpc));
+    }
     meta_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
                                             &meta_rpc_server_, options_.rpc);
   }
-  key_client_ = std::make_unique<KeyServiceClient>(
-      key_rpc_.get(), options_.device_id, key_secret);
+  for (size_t i = 0; i < key_rpcs_.size(); ++i) {
+    key_clients_.push_back(std::make_unique<KeyServiceClient>(
+        key_rpcs_[i].get(), options_.device_id, key_secret));
+  }
+  if (shard_count > 1) {
+    std::vector<KeyServiceClient*> stubs;
+    for (const auto& client : key_clients_) {
+      stubs.push_back(client.get());
+    }
+    key_router_ = std::make_unique<ShardRouter>(&queue_, std::move(stubs),
+                                                options_.router);
+  }
   meta_client_ = std::make_unique<MetadataServiceClient>(
       meta_rpc_.get(), options_.device_id, meta_secret);
 
@@ -84,13 +125,13 @@ Deployment::Deployment(DeploymentOptions options)
     meta_channel_server_ =
         std::make_unique<SecureChannel>(meta_root, rotation);
 
-    key_rpc_->EnableChannelSecurity(key_channel_client_.get(),
-                                    options_.device_id,
-                                    channel_client_rng_.get());
+    key_rpcs_[0]->EnableChannelSecurity(key_channel_client_.get(),
+                                        options_.device_id,
+                                        channel_client_rng_.get());
     meta_rpc_->EnableChannelSecurity(meta_channel_client_.get(),
                                      options_.device_id,
                                      channel_client_rng_.get());
-    key_rpc_server_.EnableChannelSecurity(
+    key_rpc_servers_[0]->EnableChannelSecurity(
         [this](const std::string& device_id) -> SecureChannel* {
           return device_id == options_.device_id ? key_channel_server_.get()
                                                  : nullptr;
@@ -106,7 +147,9 @@ Deployment::Deployment(DeploymentOptions options)
   }
 
   KeypadFs::Services services;
-  services.key = key_client_.get();
+  services.key = key_router_ != nullptr
+                     ? static_cast<KeyClient*>(key_router_.get())
+                     : static_cast<KeyClient*>(key_clients_[0].get());
   services.meta = meta_client_.get();
   services.ibe = &metadata_service_->ibe_params();
 
@@ -135,24 +178,28 @@ Deployment::Deployment(DeploymentOptions options)
 
 Deployment::~Deployment() = default;
 
-void Deployment::CrashKeyService() {
+void Deployment::CrashKeyShard(size_t i) {
+  // An open commit window dies with the process: its staged entries never
+  // sealed (never durable) and its held responses are never sent — the
+  // clients time out and retry against the restarted shard.
+  key_shards_[i]->AbortStaged();
   // Snapshot models the durable log + key store the crashed process leaves
   // on disk; the server swallows everything until restart.
-  key_service_snapshot_ = key_service_.Snapshot();
-  key_rpc_server_.set_down(true);
+  key_shard_snapshots_[i] = key_shards_[i]->Snapshot();
+  key_rpc_servers_[i]->set_down(true);
 }
 
-void Deployment::RestartKeyService() {
-  Status restored = key_service_.Restore(key_service_snapshot_);
+void Deployment::RestartKeyShard(size_t i) {
+  Status restored = key_shards_[i]->Restore(key_shard_snapshots_[i]);
   if (!restored.ok()) {
-    KP_LOG(kError) << "key service restart: " << restored;
+    KP_LOG(kError) << "key shard " << i << " restart: " << restored;
     abort();
   }
   // Completed replies are durable (written with the audit entry); requests
   // that were mid-execution at crash time will never answer — forget them
   // so client retries re-execute.
-  key_rpc_server_.reply_cache().ClearInFlight();
-  key_rpc_server_.set_down(false);
+  key_rpc_servers_[i]->reply_cache().ClearInFlight();
+  key_rpc_servers_[i]->set_down(false);
 }
 
 void Deployment::CrashMetadataService() {
@@ -170,9 +217,10 @@ void Deployment::RestartMetadataService() {
   meta_rpc_server_.set_down(false);
 }
 
-void Deployment::ScheduleKeyServiceCrash(SimTime at, SimDuration outage) {
-  queue_.Schedule(at, [this] { CrashKeyService(); });
-  queue_.Schedule(at + outage, [this] { RestartKeyService(); });
+void Deployment::ScheduleKeyShardCrash(size_t i, SimTime at,
+                                       SimDuration outage) {
+  queue_.Schedule(at, [this, i] { CrashKeyShard(i); });
+  queue_.Schedule(at + outage, [this, i] { RestartKeyShard(i); });
 }
 
 void Deployment::ScheduleMetadataServiceCrash(SimTime at,
@@ -182,7 +230,15 @@ void Deployment::ScheduleMetadataServiceCrash(SimTime at,
 }
 
 void Deployment::ReportDeviceLost() {
-  Status key_status = key_service_.DisableDevice(options_.device_id);
+  // Revocation must land on every shard — any single shard still serving
+  // keys would defeat remote data control.
+  Status key_status = Status::Ok();
+  for (auto& shard : key_shards_) {
+    Status s = shard->DisableDevice(options_.device_id);
+    if (!s.ok() && key_status.ok()) {
+      key_status = s;
+    }
+  }
   Status meta_status = metadata_service_->DisableDevice(options_.device_id);
   if (!key_status.ok() || !meta_status.ok()) {
     KP_LOG(kWarning) << "report-lost: " << key_status << " / " << meta_status;
@@ -197,7 +253,7 @@ Result<Deployment::AttackerClients> Deployment::MakeAttackerClients(
     const KeypadFs::Credentials& creds) {
   AttackerClients clients;
   clients.key_rpc = std::make_unique<RpcClient>(&queue_, &client_link_,
-                                                &key_rpc_server_,
+                                                key_rpc_servers_[0].get(),
                                                 options_.rpc);
   clients.meta_rpc = std::make_unique<RpcClient>(&queue_, &client_link_,
                                                  &meta_rpc_server_,
@@ -206,6 +262,22 @@ Result<Deployment::AttackerClients> Deployment::MakeAttackerClients(
       clients.key_rpc.get(), creds.device_id, creds.key_secret);
   clients.meta = std::make_unique<MetadataServiceClient>(
       clients.meta_rpc.get(), creds.device_id, creds.meta_secret);
+  if (key_shards_.size() > 1) {
+    // The stolen laptop's config names every shard endpoint; the thief
+    // rebuilds the same router the legitimate client ran.
+    std::vector<KeyServiceClient*> stubs;
+    stubs.push_back(clients.key.get());
+    for (size_t i = 1; i < key_shards_.size(); ++i) {
+      clients.shard_rpcs.push_back(std::make_unique<RpcClient>(
+          &queue_, &client_link_, key_rpc_servers_[i].get(), options_.rpc));
+      clients.shard_stubs.push_back(std::make_unique<KeyServiceClient>(
+          clients.shard_rpcs.back().get(), creds.device_id,
+          creds.key_secret));
+      stubs.push_back(clients.shard_stubs.back().get());
+    }
+    clients.router = std::make_unique<ShardRouter>(&queue_, std::move(stubs),
+                                                   options_.router);
+  }
   if (options_.secure_channel && !options_.paired_phone) {
     SimDuration rotation = options_.config.texp;
     clients.channel_rng = std::make_unique<SecureRandom>(
@@ -222,7 +294,10 @@ Result<Deployment::AttackerClients> Deployment::MakeAttackerClients(
                                             creds.device_id,
                                             clients.channel_rng.get());
   }
-  clients.services.key = clients.key.get();
+  clients.services.key =
+      clients.router != nullptr
+          ? static_cast<KeyClient*>(clients.router.get())
+          : static_cast<KeyClient*>(clients.key.get());
   clients.services.meta = clients.meta.get();
   clients.services.ibe = &metadata_service_->ibe_params();
   return clients;

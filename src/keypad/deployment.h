@@ -15,12 +15,14 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/keypad/attacker.h"
 #include "src/keypad/forensics.h"
 #include "src/keypad/keypad_fs.h"
 #include "src/keypad/paired_device.h"
 #include "src/keyservice/key_service.h"
+#include "src/keyservice/shard_router.h"
 #include "src/metaservice/metadata_service.h"
 #include "src/net/link.h"
 #include "src/net/profile.h"
@@ -48,6 +50,15 @@ struct DeploymentOptions {
   // Resilience knobs (retry ladder, per-attempt timeout, circuit breaker)
   // applied to every RpcClient this deployment constructs.
   RpcOptions rpc;
+  // Key-service tier width (DESIGN.md §8). With N > 1 the deployment runs N
+  // independent KeyService shards behind a client-side ShardRouter; the
+  // paired phone and sealed channels are single-endpoint features and force
+  // N = 1.
+  int key_shards = 1;
+  // Per-shard service knobs: group-commit window and seal CPU costs.
+  KeyServiceOptions key_service;
+  // Router knobs (ring seed, vnodes, single-flight coalescing).
+  ShardRouter::Options router;
 };
 
 class Deployment {
@@ -57,7 +68,19 @@ class Deployment {
 
   EventQueue& queue() { return queue_; }
   KeypadFs& fs() { return *fs_; }
-  KeyService& key_service() { return key_service_; }
+  // Shard 0 — the whole tier when key_shards == 1 (the historical layout).
+  KeyService& key_service() { return *key_shards_[0]; }
+  size_t key_shard_count() const { return key_shards_.size(); }
+  KeyService& key_shard(size_t i) { return *key_shards_[i]; }
+  // Null when unsharded (KeypadFs talks straight to the shard-0 stub).
+  ShardRouter* key_router() { return key_router_.get(); }
+  // What KeypadFs actually talks to: the router when sharded, the shard-0
+  // stub otherwise.
+  KeyClient& key_client() {
+    return key_router_ != nullptr
+               ? static_cast<KeyClient&>(*key_router_)
+               : static_cast<KeyClient&>(*key_clients_[0]);
+  }
   MetadataService& metadata_service() { return *metadata_service_; }
   ForensicAuditor& auditor() { return auditor_; }
   PhoneProxy* phone() { return phone_.get(); }
@@ -71,10 +94,13 @@ class Deployment {
   // The phone's uplink (only meaningful when paired).
   NetworkLink& phone_uplink() { return phone_uplink_; }
 
-  // RPC plumbing, exposed for fault-injection tests and benches.
-  RpcServer& key_rpc_server() { return key_rpc_server_; }
+  // RPC plumbing, exposed for fault-injection tests and benches. The
+  // unqualified key accessors mean shard 0.
+  RpcServer& key_rpc_server() { return *key_rpc_servers_[0]; }
+  RpcServer& key_shard_rpc_server(size_t i) { return *key_rpc_servers_[i]; }
   RpcServer& meta_rpc_server() { return meta_rpc_server_; }
-  RpcClient& key_rpc() { return *key_rpc_; }
+  RpcClient& key_rpc() { return *key_rpcs_[0]; }
+  RpcClient& key_shard_rpc(size_t i) { return *key_rpcs_[i]; }
   RpcClient& meta_rpc() { return *meta_rpc_; }
 
   // --- Crash/restart simulation. --------------------------------------------
@@ -86,11 +112,19 @@ class Deployment {
   // lost, exactly as a process crash loses them; the reply cache's
   // completed window is durable (DESIGN.md §7) so only in-flight dedup
   // marks are cleared. ScheduleXxx wires both onto the event queue.
-  void CrashKeyService();
-  void RestartKeyService();
+  // Per-shard crash/restart; the legacy names mean shard 0. A crash drops
+  // any group-commit window still staged (entries that never sealed were
+  // never durable — clients retry) along with its unsent responses.
+  void CrashKeyShard(size_t i);
+  void RestartKeyShard(size_t i);
+  void CrashKeyService() { CrashKeyShard(0); }
+  void RestartKeyService() { RestartKeyShard(0); }
   void CrashMetadataService();
   void RestartMetadataService();
-  void ScheduleKeyServiceCrash(SimTime at, SimDuration outage);
+  void ScheduleKeyShardCrash(size_t i, SimTime at, SimDuration outage);
+  void ScheduleKeyServiceCrash(SimTime at, SimDuration outage) {
+    ScheduleKeyShardCrash(0, at, outage);
+  }
   void ScheduleMetadataServiceCrash(SimTime at, SimDuration outage);
 
   // Total bytes Keypad moved over the client link (bandwidth accounting).
@@ -106,10 +140,16 @@ class Deployment {
   // Builds the attacker's own service clients (stolen credentials) so an
   // online attack can run against this deployment's services.
   struct AttackerClients {
+    // Shard-0 plumbing (the whole tier when unsharded).
     std::unique_ptr<RpcClient> key_rpc;
     std::unique_ptr<RpcClient> meta_rpc;
     std::unique_ptr<KeyServiceClient> key;
     std::unique_ptr<MetadataServiceClient> meta;
+    // Remaining shards plus the thief's own router (sharded deployments:
+    // the stolen laptop's config names every shard endpoint).
+    std::vector<std::unique_ptr<RpcClient>> shard_rpcs;
+    std::vector<std::unique_ptr<KeyServiceClient>> shard_stubs;
+    std::unique_ptr<ShardRouter> router;
     // When the deployment runs sealed channels, the thief derives the same
     // channel roots from the stolen secrets.
     std::unique_ptr<SecureRandom> channel_rng;
@@ -125,10 +165,11 @@ class Deployment {
   EventQueue queue_;
   BlockDevice device_;
 
-  // Services and their RPC servers.
-  KeyService key_service_;
+  // Services and their RPC servers. The key tier is a vector of shards
+  // (size 1 reproduces the historical single-service layout exactly).
+  std::vector<std::unique_ptr<KeyService>> key_shards_;
+  std::vector<std::unique_ptr<RpcServer>> key_rpc_servers_;
   std::unique_ptr<MetadataService> metadata_service_;
-  RpcServer key_rpc_server_;
   RpcServer meta_rpc_server_;
 
   // Links.
@@ -151,17 +192,19 @@ class Deployment {
   std::unique_ptr<SecureChannel> meta_channel_client_;
   std::unique_ptr<SecureChannel> meta_channel_server_;
 
-  // Laptop-side plumbing.
-  std::unique_ptr<RpcClient> key_rpc_;
+  // Laptop-side plumbing: one RpcClient + stub per key shard, and the
+  // router over them when sharded.
+  std::vector<std::unique_ptr<RpcClient>> key_rpcs_;
   std::unique_ptr<RpcClient> meta_rpc_;
-  std::unique_ptr<KeyServiceClient> key_client_;
+  std::vector<std::unique_ptr<KeyServiceClient>> key_clients_;
+  std::unique_ptr<ShardRouter> key_router_;
   std::unique_ptr<MetadataServiceClient> meta_client_;
   std::unique_ptr<KeypadFs> fs_;
 
   ForensicAuditor auditor_;
 
   // Crash-time snapshots of the services' durable state.
-  Bytes key_service_snapshot_;
+  std::vector<Bytes> key_shard_snapshots_;
   Bytes meta_service_snapshot_;
 };
 

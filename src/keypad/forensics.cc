@@ -174,22 +174,36 @@ AuditReport BuildFromData(
 Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
                                                  SimTime t_loss,
                                                  SimDuration texp) const {
-  // Trust nothing until the chains check out.
-  if (!key_service_->log().Verify().ok() ||
-      !metadata_service_->log().Verify().ok()) {
+  // Trust nothing until the chains check out — every shard's chain must
+  // verify independently before any of them contributes records.
+  bool key_logs_ok = true;
+  for (const KeyService* shard : key_services_) {
+    key_logs_ok = key_logs_ok && shard->log().Verify().ok();
+  }
+  if (!key_logs_ok || !metadata_service_->log().Verify().ok()) {
     AuditReport report;
     report.t_loss = t_loss;
     report.cutoff = t_loss - texp;
-    report.key_log_verified = key_service_->log().Verify().ok();
+    report.key_log_verified = key_logs_ok;
     report.metadata_log_verified = metadata_service_->log().Verify().ok();
     return Result<AuditReport>(std::move(report));
   }
 
   std::vector<AuditLogEntry> entries;
-  for (const auto& entry : key_service_->LogSince(t_loss - texp)) {
-    if (entry.device_id == device_id) {
-      entries.push_back(entry);
+  for (const KeyService* shard : key_services_) {
+    for (const auto& entry : shard->LogSince(t_loss - texp)) {
+      if (entry.device_id == device_id) {
+        entries.push_back(entry);
+      }
     }
+  }
+  if (key_services_.size() > 1) {
+    // Each shard's slice is already chronological; merge into one timeline
+    // by the trusted service-side timestamp.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const AuditLogEntry& a, const AuditLogEntry& b) {
+                       return a.timestamp < b.timestamp;
+                     });
   }
   return BuildFromData(
       t_loss, texp, entries,
@@ -207,23 +221,43 @@ Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
 }
 
 Result<AuditReport> RemoteAuditor::BuildReport(SimTime t_loss,
-                                               SimDuration texp) const {
-  // Fetch this device's log slice; the service verifies its chain before
-  // serving (a fault here means a broken chain or an outage).
-  WireValue::Array payload;
-  payload.push_back(WireValue((t_loss - texp).nanos()));
-  auto log_result = key_rpc_->Call(
-      "audit.key_log_since",
-      FrameAuthedCall(device_id_, key_secret_, "audit.key_log_since",
-                      std::move(payload)));
-  if (!log_result.ok()) {
-    return log_result.status();
+                                               SimDuration texp) {
+  // Pull each shard's log tail past our cursor; the service verifies its
+  // chain before serving (a fault here means a broken chain or an outage).
+  // Repeat audits only move the suffix — the sequence cursor makes the
+  // nightly audit incremental instead of a full-log replay.
+  for (size_t shard = 0; shard < key_rpcs_.size(); ++shard) {
+    WireValue::Array payload;
+    payload.push_back(WireValue(static_cast<int64_t>(cursors_[shard])));
+    auto log_result = key_rpcs_[shard]->Call(
+        "audit.key_log_tail",
+        FrameAuthedCall(device_id_, key_secret_, "audit.key_log_tail",
+                        std::move(payload)));
+    if (!log_result.ok()) {
+      return log_result.status();
+    }
+    KP_ASSIGN_OR_RETURN(WireValue next, log_result->Field("next"));
+    KP_ASSIGN_OR_RETURN(int64_t next_seq, next.AsInt());
+    KP_ASSIGN_OR_RETURN(WireValue raw, log_result->Field("entries"));
+    KP_ASSIGN_OR_RETURN(WireValue::Array raw_entries, raw.AsArray());
+    for (const auto& raw_entry : raw_entries) {
+      KP_ASSIGN_OR_RETURN(AuditLogEntry entry,
+                          AuditLogEntry::FromWire(raw_entry));
+      cached_.push_back(std::move(entry));
+    }
+    cursors_[shard] = static_cast<uint64_t>(next_seq);
   }
-  KP_ASSIGN_OR_RETURN(WireValue::Array raw_entries, log_result->AsArray());
+  if (key_rpcs_.size() > 1) {
+    std::stable_sort(cached_.begin(), cached_.end(),
+                     [](const AuditLogEntry& a, const AuditLogEntry& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
   std::vector<AuditLogEntry> entries;
-  for (const auto& raw : raw_entries) {
-    KP_ASSIGN_OR_RETURN(AuditLogEntry entry, AuditLogEntry::FromWire(raw));
-    entries.push_back(std::move(entry));
+  for (const auto& entry : cached_) {
+    if (entry.timestamp >= t_loss - texp) {
+      entries.push_back(entry);
+    }
   }
 
   auto resolve = [this](const AuditId& id,

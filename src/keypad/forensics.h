@@ -70,7 +70,16 @@ class ForensicAuditor {
  public:
   ForensicAuditor(const KeyService* key_service,
                   const MetadataService* metadata_service)
-      : key_service_(key_service), metadata_service_(metadata_service) {}
+      : ForensicAuditor(std::vector<const KeyService*>{key_service},
+                        metadata_service) {}
+
+  // Sharded key tier (DESIGN.md §8): the auditor reads every shard's log —
+  // each chain verifies independently, and the per-device records merge by
+  // service timestamp into one timeline.
+  ForensicAuditor(std::vector<const KeyService*> key_services,
+                  const MetadataService* metadata_service)
+      : key_services_(std::move(key_services)),
+        metadata_service_(metadata_service) {}
 
   // Builds the post-loss report for `device_id`. `texp` must be the Texp
   // the device was configured with (the owner/IT department knows it).
@@ -78,7 +87,7 @@ class ForensicAuditor {
                                   SimDuration texp) const;
 
  private:
-  const KeyService* key_service_;
+  std::vector<const KeyService*> key_services_;
   const MetadataService* metadata_service_;
 };
 
@@ -90,20 +99,42 @@ class RemoteAuditor {
  public:
   RemoteAuditor(RpcClient* key_rpc, RpcClient* meta_rpc,
                 std::string device_id, Bytes key_secret, Bytes meta_secret)
-      : key_rpc_(key_rpc),
+      : RemoteAuditor(std::vector<RpcClient*>{key_rpc}, meta_rpc,
+                      std::move(device_id), std::move(key_secret),
+                      std::move(meta_secret)) {}
+
+  // Sharded key tier: one RPC stub per shard. Audits are incremental — the
+  // auditor keeps a per-shard sequence cursor and each BuildReport pulls
+  // only the log suffix appended since the last audit (audit.key_log_tail),
+  // so the console's nightly audit is O(new entries), not O(log).
+  RemoteAuditor(std::vector<RpcClient*> key_rpcs, RpcClient* meta_rpc,
+                std::string device_id, Bytes key_secret, Bytes meta_secret)
+      : key_rpcs_(std::move(key_rpcs)),
         meta_rpc_(meta_rpc),
         device_id_(std::move(device_id)),
         key_secret_(std::move(key_secret)),
-        meta_secret_(std::move(meta_secret)) {}
+        meta_secret_(std::move(meta_secret)),
+        cursors_(key_rpcs_.size(), 0) {}
 
-  Result<AuditReport> BuildReport(SimTime t_loss, SimDuration texp) const;
+  // Non-const: advances the per-shard cursors and extends the cached
+  // per-device timeline.
+  Result<AuditReport> BuildReport(SimTime t_loss, SimDuration texp);
+
+  // Test hooks: where each shard's cursor stands and how much of the
+  // device's timeline is cached locally.
+  uint64_t cursor(size_t shard = 0) const { return cursors_[shard]; }
+  size_t cached_entries() const { return cached_.size(); }
 
  private:
-  RpcClient* key_rpc_;
+  std::vector<RpcClient*> key_rpcs_;
   RpcClient* meta_rpc_;
   std::string device_id_;
   Bytes key_secret_;
   Bytes meta_secret_;
+  // Per-shard "next unseen sequence number" cursors plus the accumulated
+  // device-filtered entries fetched so far, merged by service timestamp.
+  std::vector<uint64_t> cursors_;
+  std::vector<AuditLogEntry> cached_;
 };
 
 }  // namespace keypad

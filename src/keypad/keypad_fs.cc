@@ -167,7 +167,7 @@ Result<Bytes> KeypadFs::FetchRemoteKey(const AuditId& id,
     cache_.Insert(id, kr);
     return kr;
   }
-  KP_ASSIGN_OR_RETURN(KeyServiceClient::GroupFetch group,
+  KP_ASSIGN_OR_RETURN(KeyClient::GroupFetch group,
                       services_.key->FetchGroup(id, prefetch_ids));
   cache_.Insert(id, group.demand_key);
   for (auto& [pid, pkey] : group.prefetched) {

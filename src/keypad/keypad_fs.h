@@ -34,6 +34,7 @@
 #include "src/keypad/config.h"
 #include "src/keypad/key_cache.h"
 #include "src/keypad/prefetcher.h"
+#include "src/keyservice/key_client.h"
 #include "src/keyservice/key_service_client.h"
 #include "src/metaservice/metadata_service_client.h"
 
@@ -42,7 +43,7 @@ namespace keypad {
 class KeypadFs : public EncFs {
  public:
   struct Services {
-    KeyServiceClient* key = nullptr;        // Not owned.
+    KeyClient* key = nullptr;               // Not owned.
     MetadataServiceClient* meta = nullptr;  // Not owned.
     const IbePublicParams* ibe = nullptr;   // Not owned.
   };

@@ -4,6 +4,26 @@
 
 namespace keypad {
 
+int& Prefetcher::TouchDir(const std::string& dir_path) {
+  auto it = miss_counts_.find(dir_path);
+  if (it != miss_counts_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.count;
+  }
+  if (policy_.max_tracked_dirs > 0 &&
+      miss_counts_.size() >= static_cast<size_t>(policy_.max_tracked_dirs)) {
+    // Forget the coldest directory; if it gets scanned again it simply
+    // re-counts from zero (a slightly later prefetch trigger, never a
+    // missed audit record).
+    miss_counts_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(dir_path);
+  DirMisses& entry = miss_counts_[dir_path];
+  entry.lru_it = lru_.begin();
+  return entry.count;
+}
+
 std::vector<AuditId> Prefetcher::OnMiss(
     const std::string& dir_path, const AuditId& missed_id,
     const std::function<std::vector<AuditId>()>& list_siblings) {
@@ -24,7 +44,7 @@ std::vector<AuditId> Prefetcher::OnMiss(
     }
 
     case PrefetchPolicy::Kind::kFullDirOnNthMiss: {
-      int& count = miss_counts_[dir_path];
+      int& count = TouchDir(dir_path);
       ++count;
       if (count < policy_.nth_miss) {
         return out;

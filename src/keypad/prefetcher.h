@@ -11,6 +11,7 @@
 #define SRC_KEYPAD_PREFETCHER_H_
 
 #include <functional>
+#include <list>
 #include <map>
 #include <string>
 #include <vector>
@@ -37,19 +38,36 @@ class Prefetcher {
       const std::string& dir_path, const AuditId& missed_id,
       const std::function<std::vector<AuditId>()>& list_siblings);
 
-  void Reset() { miss_counts_.clear(); }
+  void Reset() {
+    miss_counts_.clear();
+    lru_.clear();
+  }
 
   uint64_t prefetch_batches() const { return prefetch_batches_; }
   uint64_t keys_prefetched() const { return keys_prefetched_; }
+  // Directories currently holding a miss counter (bounded by the policy's
+  // max_tracked_dirs).
+  size_t tracked_dirs() const { return miss_counts_.size(); }
   void ResetStats() {
     prefetch_batches_ = 0;
     keys_prefetched_ = 0;
   }
 
  private:
+  struct DirMisses {
+    int count = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  // Bumps (or creates) the counter for `dir_path`, evicting the least
+  // recently missed directory when the table is at its policy cap.
+  int& TouchDir(const std::string& dir_path);
+
   PrefetchPolicy policy_;
   SimRandom rng_;
-  std::map<std::string, int> miss_counts_;
+  // Per-directory miss counters with LRU recency (front = most recent).
+  std::map<std::string, DirMisses> miss_counts_;
+  std::list<std::string> lru_;
   uint64_t prefetch_batches_ = 0;
   uint64_t keys_prefetched_ = 0;
 };

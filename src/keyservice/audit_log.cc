@@ -1,5 +1,8 @@
 #include "src/keyservice/audit_log.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "src/cryptocore/sha256.h"
 
 namespace keypad {
@@ -29,6 +32,7 @@ std::string_view AccessOpName(AccessOp op) {
 WireValue AuditLogEntry::ToWire() const {
   WireValue::Struct s;
   s.emplace("seq", WireValue(static_cast<int64_t>(seq)));
+  s.emplace("gstart", WireValue(static_cast<int64_t>(group_start)));
   s.emplace("ts", WireValue(timestamp.nanos()));
   s.emplace("cts", WireValue(client_time.nanos()));
   s.emplace("device", WireValue(device_id));
@@ -44,6 +48,14 @@ Result<AuditLogEntry> AuditLogEntry::FromWire(const WireValue& value) {
   KP_ASSIGN_OR_RETURN(WireValue seq, value.Field("seq"));
   KP_ASSIGN_OR_RETURN(int64_t seq_int, seq.AsInt());
   entry.seq = static_cast<uint64_t>(seq_int);
+  // Logs serialized before group commit carry no "gstart": every entry was
+  // its own group.
+  entry.group_start = entry.seq;
+  if (value.HasField("gstart")) {
+    KP_ASSIGN_OR_RETURN(WireValue gstart, value.Field("gstart"));
+    KP_ASSIGN_OR_RETURN(int64_t gstart_int, gstart.AsInt());
+    entry.group_start = static_cast<uint64_t>(gstart_int);
+  }
   KP_ASSIGN_OR_RETURN(WireValue ts, value.Field("ts"));
   KP_ASSIGN_OR_RETURN(int64_t ts_int, ts.AsInt());
   entry.timestamp = SimTime(ts_int);
@@ -65,15 +77,13 @@ Result<AuditLogEntry> AuditLogEntry::FromWire(const WireValue& value) {
   return entry;
 }
 
-Bytes AuditLog::HashEntry(const AuditLogEntry& entry) {
-  Bytes material = entry.prev_hash;
-  AppendU64Be(material, entry.seq);
-  AppendU64Be(material, static_cast<uint64_t>(entry.timestamp.nanos()));
-  AppendU64Be(material, static_cast<uint64_t>(entry.client_time.nanos()));
-  keypad::Append(material, entry.device_id);
-  keypad::Append(material, entry.audit_id.ToBytes());
-  material.push_back(static_cast<uint8_t>(entry.op));
-  return Sha256::HashBytes(material);
+void AuditLog::SerializeEntry(const AuditLogEntry& entry, Bytes* out) {
+  AppendU64Be(*out, entry.seq);
+  AppendU64Be(*out, static_cast<uint64_t>(entry.timestamp.nanos()));
+  AppendU64Be(*out, static_cast<uint64_t>(entry.client_time.nanos()));
+  keypad::Append(*out, entry.device_id);
+  keypad::Append(*out, entry.audit_id.ToBytes());
+  out->push_back(static_cast<uint8_t>(entry.op));
 }
 
 uint64_t AuditLog::Append(SimTime timestamp, const std::string& device_id,
@@ -85,17 +95,71 @@ uint64_t AuditLog::Append(SimTime timestamp, SimTime client_time,
                           const std::string& device_id,
                           const AuditId& audit_id, AccessOp op) {
   AuditLogEntry entry;
-  entry.seq = entries_.size();
+  entry.seq = entries_.size() + staged_.size();
   entry.timestamp = timestamp;
   entry.client_time = client_time;
   entry.device_id = device_id;
   entry.audit_id = audit_id;
   entry.op = op;
-  entry.prev_hash =
-      entries_.empty() ? Bytes(32, 0) : entries_.back().entry_hash;
-  entry.entry_hash = HashEntry(entry);
-  entries_.push_back(std::move(entry));
-  return entries_.back().seq;
+  uint64_t seq = entry.seq;
+  staged_.push_back(std::move(entry));
+  if (batch_depth_ == 0) {
+    SealStaged();
+  }
+  return seq;
+}
+
+void AuditLog::BeginBatch() { ++batch_depth_; }
+
+size_t AuditLog::CommitBatch() {
+  if (batch_depth_ > 0) {
+    --batch_depth_;
+  }
+  if (batch_depth_ > 0) {
+    return 0;
+  }
+  return SealStaged();
+}
+
+void AuditLog::DiscardStaged() {
+  staged_.clear();
+  batch_depth_ = 0;
+}
+
+size_t AuditLog::SealStaged() {
+  if (staged_.empty()) {
+    return 0;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  Bytes prev = last_seal();
+  Sha256 hasher;
+  hasher.Update(prev);
+  Bytes material;
+  for (const auto& entry : staged_) {
+    material.clear();
+    SerializeEntry(entry, &material);
+    hasher.Update(material);
+  }
+  Sha256::Digest digest = hasher.Finish();
+  Bytes seal(digest.begin(), digest.end());
+  uint64_t group_start = staged_.front().seq;
+  for (auto& entry : staged_) {
+    entry.group_start = group_start;
+    entry.prev_hash = prev;
+    entry.entry_hash = seal;
+    entries_.push_back(std::move(entry));
+  }
+  size_t sealed = staged_.size();
+  staged_.clear();
+  ++commit_groups_;
+  if (sealed > max_group_size_) {
+    max_group_size_ = sealed;
+  }
+  seal_ns_ += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return sealed;
 }
 
 std::vector<AuditLogEntry> AuditLog::EntriesSince(SimTime since) const {
@@ -110,20 +174,77 @@ std::vector<AuditLogEntry> AuditLog::EntriesSince(SimTime since) const {
   return out;
 }
 
+std::vector<AuditLogEntry> AuditLog::EntriesAfterSeq(uint64_t next_seq) const {
+  if (next_seq >= entries_.size()) {
+    return {};
+  }
+  // Verify() enforces seq == index, so the tail is a direct suffix copy.
+  return std::vector<AuditLogEntry>(
+      entries_.begin() + static_cast<ptrdiff_t>(next_seq), entries_.end());
+}
+
 Status AuditLog::Verify() const {
   Bytes prev(32, 0);
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    const auto& entry = entries_[i];
-    if (entry.seq != i) {
-      return DataLossError("audit log: sequence gap at " + std::to_string(i));
+  Bytes material;
+  size_t i = 0;
+  while (i < entries_.size()) {
+    // One commit group: the maximal run sharing a group_start, which must
+    // name the run's own first sequence number.
+    if (entries_[i].group_start != i) {
+      return DataLossError("audit log: group start mismatch at " +
+                           std::to_string(i));
     }
-    if (entry.prev_hash != prev) {
-      return DataLossError("audit log: chain break at " + std::to_string(i));
+    Sha256 hasher;
+    hasher.Update(prev);
+    size_t j = i;
+    for (; j < entries_.size() && entries_[j].group_start == i; ++j) {
+      const auto& entry = entries_[j];
+      if (entry.seq != j) {
+        return DataLossError("audit log: sequence gap at " +
+                             std::to_string(j));
+      }
+      if (entry.prev_hash != prev) {
+        return DataLossError("audit log: chain break at " +
+                             std::to_string(j));
+      }
+      material.clear();
+      SerializeEntry(entry, &material);
+      hasher.Update(material);
     }
-    if (entry.entry_hash != HashEntry(entry)) {
-      return DataLossError("audit log: hash mismatch at " + std::to_string(i));
+    Sha256::Digest digest = hasher.Finish();
+    Bytes seal(digest.begin(), digest.end());
+    for (size_t k = i; k < j; ++k) {
+      if (entries_[k].entry_hash != seal) {
+        return DataLossError("audit log: hash mismatch at " +
+                             std::to_string(k));
+      }
     }
-    prev = entry.entry_hash;
+    prev = seal;
+    i = j;
+  }
+  return Status::Ok();
+}
+
+Status AuditLog::LoadVerified(std::vector<AuditLogEntry> entries) {
+  AuditLog candidate;
+  candidate.entries_ = std::move(entries);
+  KP_RETURN_IF_ERROR(candidate.Verify());
+  entries_ = std::move(candidate.entries_);
+  staged_.clear();
+  batch_depth_ = 0;
+  // Rebuild the grouping stats from the group_start runs so load metrics
+  // survive a crash/restart (seal_ns_ is host CPU actually spent by this
+  // process, so it starts over).
+  commit_groups_ = 0;
+  max_group_size_ = 0;
+  for (size_t i = 0; i < entries_.size();) {
+    size_t run = i;
+    while (run < entries_.size() && entries_[run].group_start == i) {
+      ++run;
+    }
+    ++commit_groups_;
+    max_group_size_ = std::max<uint64_t>(max_group_size_, run - i);
+    i = run;
   }
   return Status::Ok();
 }

@@ -1,12 +1,27 @@
-// Hash-chained, append-only audit log.
+// Hash-chained, append-only audit log with group commit.
 //
 // Every key-service operation (key creation, key fetch, prefetch batch,
-// eviction notice, revocation) appends one entry. Entries are chained:
-// entry_hash = SHA-256(prev_hash || canonical-serialization), which makes
-// any in-place tampering, deletion, or reordering detectable by Verify().
+// eviction notice, revocation) appends one entry. Entries are chained in
+// *commit groups*: all entries sealed together carry the same prev_hash
+// (the previous group's seal) and the same entry_hash (the group seal),
+//
+//   seal = SHA-256(prev_seal || ser(e1) || ser(e2) || ... || ser(eK))
+//
+// where ser(e) is the canonical serialization of one entry. A group of one
+// is byte-identical to the classic per-entry chain
+// entry_hash = SHA-256(prev_hash || ser(e)), so logs written before group
+// commit existed verify unchanged. Grouping turns K chain steps into one
+// streaming SHA-256 pass — the amortization the sharded key service's
+// commit window exploits (DESIGN.md §8).
+//
 // The paper requires that "the adversary cannot tamper with the contents of
 // the audit log" (§2); the chain plus the service's trusted storage provide
 // that, and the auditor re-verifies the chain before trusting a log.
+//
+// Staged entries (appended under an open batch) are not yet part of the
+// log: they are invisible to entries()/Verify()/snapshots until sealed,
+// and DiscardStaged() models losing them in a crash — correct, because the
+// service never released a key for an unsealed entry.
 
 #ifndef SRC_KEYSERVICE_AUDIT_LOG_H_
 #define SRC_KEYSERVICE_AUDIT_LOG_H_
@@ -41,6 +56,10 @@ std::string_view AccessOpName(AccessOp op);
 
 struct AuditLogEntry {
   uint64_t seq = 0;
+  // Sequence number of the first entry in this entry's commit group; the
+  // verifier uses it to re-derive group boundaries. Equals seq for a group
+  // of one (and for all pre-group-commit logs).
+  uint64_t group_start = 0;
   SimTime timestamp;  // Service-side append time (authoritative for order).
   // When the entry was journaled on a paired device and uploaded later,
   // the time the access actually happened on the client; otherwise equals
@@ -60,30 +79,77 @@ class AuditLog {
  public:
   // Appends an entry, filling seq and the hash chain. Returns the sequence
   // number assigned. `client_time` defaults to `timestamp`; journal uploads
-  // pass the original access time.
+  // pass the original access time. Outside a batch the entry is sealed
+  // immediately (group of one — the classic chain step).
   uint64_t Append(SimTime timestamp, const std::string& device_id,
                   const AuditId& audit_id, AccessOp op);
   uint64_t Append(SimTime timestamp, SimTime client_time,
                   const std::string& device_id, const AuditId& audit_id,
                   AccessOp op);
 
+  // --- Group commit. ------------------------------------------------------
+  // BeginBatch()/CommitBatch() nest: appends between the outermost pair are
+  // staged and sealed together by the outermost CommitBatch as one commit
+  // group. CommitBatch returns how many entries the final seal covered
+  // (0 when the batch merely un-nested or nothing was staged).
+  void BeginBatch();
+  size_t CommitBatch();
+  // Crash path: staged entries vanish (they were never durable) and any
+  // open batch nesting is reset.
+  void DiscardStaged();
+  size_t staged_count() const { return staged_.size(); }
+
   const std::vector<AuditLogEntry>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
 
-  // Entries with timestamp >= since (the auditor's Tloss − Texp cutoff).
+  // Entries with client_time >= since (the auditor's Tloss − Texp cutoff).
+  // Linear in log size by necessity: client_time is not monotone (journal
+  // uploads backdate), so there is nothing to bisect. Incremental auditors
+  // should track a sequence cursor and use EntriesAfterSeq instead.
   std::vector<AuditLogEntry> EntriesSince(SimTime since) const;
 
-  // Recomputes the hash chain; kDataLoss on any mismatch.
+  // Entries with seq >= next_seq — O(result) thanks to seq == index. The
+  // remote auditor passes its cursor (one past the last seq it has seen)
+  // so repeated audits transfer only the new tail.
+  std::vector<AuditLogEntry> EntriesAfterSeq(uint64_t next_seq) const;
+
+  // Recomputes every group seal; kDataLoss on any mismatch.
   Status Verify() const;
+
+  // Adopts `entries` as the full log after verifying their chain — the
+  // snapshot-restore path. Unlike re-appending (which would re-derive
+  // single-entry groups), this preserves the original commit-group
+  // boundaries, so a restored log hashes exactly as the one snapshotted.
+  Status LoadVerified(std::vector<AuditLogEntry> entries);
+
+  // --- Commit metrics (BENCH_scale.json). ---------------------------------
+  uint64_t commit_groups() const { return commit_groups_; }
+  uint64_t max_group_size() const { return max_group_size_; }
+  // Host CPU nanoseconds spent inside seal passes; divided by size() this
+  // measures the real per-entry append cost group commit amortizes.
+  uint64_t seal_ns() const { return seal_ns_; }
 
   // Test hook: simulates an attacker with storage access mutating entry i.
   // (Verify() must subsequently fail.)
   void CorruptEntryForTesting(size_t index);
 
  private:
-  static Bytes HashEntry(const AuditLogEntry& entry);
+  // Canonical per-entry hash material (everything except the chain fields).
+  static void SerializeEntry(const AuditLogEntry& entry, Bytes* out);
+
+  // Seals all staged entries as one commit group; returns the group size.
+  size_t SealStaged();
+
+  Bytes last_seal() const {
+    return entries_.empty() ? Bytes(32, 0) : entries_.back().entry_hash;
+  }
 
   std::vector<AuditLogEntry> entries_;
+  std::vector<AuditLogEntry> staged_;
+  int batch_depth_ = 0;
+  uint64_t commit_groups_ = 0;
+  uint64_t max_group_size_ = 0;
+  uint64_t seal_ns_ = 0;
 };
 
 }  // namespace keypad

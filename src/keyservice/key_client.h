@@ -1,0 +1,80 @@
+// Abstract client surface for the key-service tier.
+//
+// The Keypad file system only needs "a thing that fetches/creates/destroys
+// remote keys"; whether that is one stub aimed at a single service
+// (KeyServiceClient) or a ShardRouter scatter-gathering over a
+// consistent-hash ring of shards (DESIGN.md §8) is a deployment decision.
+// This interface is that seam.
+
+#ifndef SRC_KEYSERVICE_KEY_CLIENT_H_
+#define SRC_KEYSERVICE_KEY_CLIENT_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/keyservice/audit_log.h"
+#include "src/sim/time.h"
+#include "src/util/bytes.h"
+#include "src/util/ids.h"
+#include "src/util/result.h"
+
+namespace keypad {
+
+class KeyClient {
+ public:
+  virtual ~KeyClient() = default;
+
+  // One round trip for a demand fetch plus directory prefetch.
+  struct GroupFetch {
+    Bytes demand_key;
+    std::vector<std::pair<AuditId, Bytes>> prefetched;
+  };
+  // Paired-device journal upload.
+  struct JournalEntry {
+    AuditId audit_id;
+    int64_t op = 1;  // AccessOp value.
+    SimTime client_time;
+    Bytes key;  // Only for creates.
+  };
+
+  virtual Result<Bytes> CreateKey(const AuditId& audit_id) = 0;
+  // Asynchronous key creation, used by the creation barrier (the client
+  // overlaps the key and metadata registrations, then waits for both).
+  virtual void CreateKeyAsync(const AuditId& audit_id,
+                              std::function<void(Result<Bytes>)> done) = 0;
+  virtual Result<Bytes> GetKey(const AuditId& audit_id,
+                               AccessOp op = AccessOp::kDemandFetch) = 0;
+  // Asynchronous fetch (used for in-use cache refreshes, which must never
+  // block foreground file operations).
+  virtual void GetKeyAsync(const AuditId& audit_id, AccessOp op,
+                           std::function<void(Result<Bytes>)> done) = 0;
+  virtual Result<std::vector<std::pair<AuditId, Bytes>>> GetKeys(
+      const std::vector<AuditId>& audit_ids) = 0;
+  virtual void GetKeysAsync(
+      const std::vector<AuditId>& audit_ids,
+      std::function<void(Result<std::vector<std::pair<AuditId, Bytes>>>)>
+          done) = 0;
+  virtual Result<GroupFetch> FetchGroup(
+      const AuditId& demand_id, const std::vector<AuditId>& prefetch_ids) = 0;
+  virtual void FetchGroupAsync(const AuditId& demand_id,
+                               const std::vector<AuditId>& prefetch_ids,
+                               std::function<void(Result<GroupFetch>)> done) = 0;
+  virtual Status UploadJournal(const std::vector<JournalEntry>& entries) = 0;
+  // Non-blocking variant for uploads that must stay off the critical path.
+  virtual void UploadJournalAsync(const std::vector<JournalEntry>& entries,
+                                  std::function<void(Status)> done) = 0;
+  // Fire-and-forget eviction notice.
+  virtual void NoteEvictionAsync(const AuditId& audit_id) = 0;
+  // Assured delete: permanently destroys the remote key (with it gone, the
+  // on-disk ciphertext is unrecoverable by anyone — including the owner).
+  virtual void DestroyKeyAsync(const AuditId& audit_id,
+                               std::function<void(Status)> done) = 0;
+
+  virtual const std::string& device_id() const = 0;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_KEYSERVICE_KEY_CLIENT_H_

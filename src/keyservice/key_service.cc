@@ -5,14 +5,97 @@
 
 namespace keypad {
 
-KeyService::KeyService(EventQueue* queue, uint64_t rng_seed)
-    : queue_(queue), rng_(rng_seed) {}
+KeyService::KeyService(EventQueue* queue, uint64_t rng_seed,
+                       KeyServiceOptions options)
+    : queue_(queue), rng_(rng_seed), options_(options) {}
 
 Bytes KeyService::RegisterDevice(const std::string& device_id) {
   DeviceRecord record;
   record.secret = rng_.NextBytes(32);
   devices_[device_id] = record;
   return record.secret;
+}
+
+void KeyService::RegisterDeviceWithSecret(const std::string& device_id,
+                                          const Bytes& secret) {
+  DeviceRecord record;
+  record.secret = secret;
+  devices_[device_id] = record;
+}
+
+uint64_t KeyService::LogAppend(SimTime timestamp, SimTime client_time,
+                               const std::string& device_id,
+                               const AuditId& audit_id, AccessOp op) {
+  BatchScope scope(this);
+  return log_.Append(timestamp, client_time, device_id, audit_id, op);
+}
+
+void KeyService::NoteSealed(size_t sealed) {
+  if (sealed == 0 || !seal_charge_) {
+    return;
+  }
+  SimDuration cost = options_.seal_cost_fixed +
+                     options_.seal_cost_per_entry *
+                         static_cast<int64_t>(sealed);
+  if (cost > SimDuration()) {
+    seal_charge_(cost);
+  }
+}
+
+void KeyService::OpenCommitWindow() {
+  if (window_open_) {
+    return;
+  }
+  window_open_ = true;
+  log_.BeginBatch();
+  flush_event_ = queue_->ScheduleAfter(options_.commit_window,
+                                       [this] { FlushCommitWindow(); });
+}
+
+void KeyService::FlushCommitWindow() {
+  if (!window_open_) {
+    return;
+  }
+  window_open_ = false;
+  if (flush_event_ != EventQueue::kInvalidEvent) {
+    queue_->Cancel(flush_event_);
+    flush_event_ = EventQueue::kInvalidEvent;
+  }
+  NoteSealed(log_.CommitBatch());
+  ++window_flushes_;
+  // Only now that the group seal is durable may the responses (and the
+  // keys inside them) leave the service (§3.1).
+  std::vector<PendingResponse> responses = std::move(pending_responses_);
+  pending_responses_.clear();
+  for (auto& pending : responses) {
+    pending.respond(std::move(pending.result));
+  }
+}
+
+void KeyService::AbortStaged() {
+  if (flush_event_ != EventQueue::kInvalidEvent) {
+    queue_->Cancel(flush_event_);
+    flush_event_ = EventQueue::kInvalidEvent;
+  }
+  window_open_ = false;
+  log_.DiscardStaged();
+  // Responses never sent: the clients' timeouts and retries take over,
+  // exactly as with any crashed server.
+  pending_responses_.clear();
+}
+
+KeyService::LoadStats KeyService::load_stats() const {
+  LoadStats stats;
+  stats.log_entries = log_.size();
+  stats.commit_groups = log_.commit_groups();
+  stats.max_group_size = log_.max_group_size();
+  stats.avg_group_size =
+      stats.commit_groups == 0
+          ? 0
+          : static_cast<double>(stats.log_entries) / stats.commit_groups;
+  stats.seal_ns = log_.seal_ns();
+  stats.window_flushes = window_flushes_;
+  return stats;
 }
 
 Status KeyService::DisableDevice(const std::string& device_id) {
@@ -22,7 +105,7 @@ Status KeyService::DisableDevice(const std::string& device_id) {
   }
   it->second.disabled = true;
   // One revocation record marks the control action in the audit trail.
-  log_.Append(queue_->Now(), device_id, AuditId{}, AccessOp::kRevoke);
+  LogAppend(queue_->Now(), device_id, AuditId{}, AccessOp::kRevoke);
   return Status::Ok();
 }
 
@@ -56,7 +139,7 @@ Status KeyService::CheckDevice(const std::string& device_id,
   }
   if (it->second.disabled) {
     // The attempt itself is forensically valuable: log it, then refuse.
-    log_.Append(queue_->Now(), device_id, audit_id, AccessOp::kDenied);
+    LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kDenied);
     return PermissionDeniedError("key service: device disabled");
   }
   return Status::Ok();
@@ -72,7 +155,7 @@ Result<Bytes> KeyService::CreateKey(const std::string& device_id,
   KeyRecord record;
   record.key = rng_.NextBytes(kRemoteKeyLen);
   // Durably log *before* responding (paper §3.1).
-  log_.Append(queue_->Now(), device_id, audit_id, AccessOp::kCreate);
+  LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kCreate);
   keys_.emplace(map_key, record);
   return record.key;
 }
@@ -85,10 +168,10 @@ Result<Bytes> KeyService::GetKey(const std::string& device_id,
     return NotFoundError("key service: no such key");
   }
   if (it->second.disabled) {
-    log_.Append(queue_->Now(), device_id, audit_id, AccessOp::kDenied);
+    LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kDenied);
     return PermissionDeniedError("key service: key disabled");
   }
-  log_.Append(queue_->Now(), device_id, audit_id, op);
+  LogAppend(queue_->Now(), device_id, audit_id, op);
   return it->second.key;
 }
 
@@ -97,13 +180,15 @@ Result<std::vector<std::pair<AuditId, Bytes>>> KeyService::GetKeys(
     AccessOp op) {
   KP_RETURN_IF_ERROR(
       CheckDevice(device_id, audit_ids.empty() ? AuditId{} : audit_ids[0]));
+  // One RPC batch = one commit group: K appends, one seal.
+  BatchScope scope(this);
   std::vector<std::pair<AuditId, Bytes>> out;
   for (const auto& id : audit_ids) {
     auto it = keys_.find(KeyMapKey(device_id, id));
     if (it == keys_.end() || it->second.disabled) {
       continue;
     }
-    log_.Append(queue_->Now(), device_id, id, op);
+    LogAppend(queue_->Now(), device_id, id, op);
     out.emplace_back(id, it->second.key);
   }
   return out;
@@ -112,6 +197,8 @@ Result<std::vector<std::pair<AuditId, Bytes>>> KeyService::GetKeys(
 Result<KeyService::GroupFetchResult> KeyService::FetchGroup(
     const std::string& device_id, const AuditId& demand_id,
     const std::vector<AuditId>& prefetch_ids) {
+  // The demand fetch and its prefetch batch seal as one commit group.
+  BatchScope scope(this);
   GroupFetchResult result;
   KP_ASSIGN_OR_RETURN(result.demand_key,
                       GetKey(device_id, demand_id, AccessOp::kDemandFetch));
@@ -123,7 +210,7 @@ Result<KeyService::GroupFetchResult> KeyService::FetchGroup(
     if (it == keys_.end() || it->second.disabled) {
       continue;
     }
-    log_.Append(queue_->Now(), device_id, id, AccessOp::kPrefetch);
+    LogAppend(queue_->Now(), device_id, id, AccessOp::kPrefetch);
     result.prefetched.emplace_back(id, it->second.key);
   }
   return result;
@@ -138,6 +225,8 @@ Status KeyService::UploadJournal(const std::string& device_id,
   if (it->second.disabled) {
     return PermissionDeniedError("key service: device disabled");
   }
+  // The whole uploaded journal seals as one commit group.
+  BatchScope scope(this);
   for (const auto& entry : entries) {
     if (entry.op == AccessOp::kCreate && !entry.key.empty()) {
       KeyMapKey map_key(device_id, entry.audit_id);
@@ -147,7 +236,7 @@ Status KeyService::UploadJournal(const std::string& device_id,
         keys_.emplace(map_key, record);
       }
     }
-    log_.Append(queue_->Now(), entry.client_time, device_id, entry.audit_id,
+    LogAppend(queue_->Now(), entry.client_time, device_id, entry.audit_id,
                 entry.op);
   }
   return Status::Ok();
@@ -156,7 +245,7 @@ Status KeyService::UploadJournal(const std::string& device_id,
 Status KeyService::NoteEviction(const std::string& device_id,
                                 const AuditId& audit_id) {
   KP_RETURN_IF_ERROR(CheckDevice(device_id, audit_id));
-  log_.Append(queue_->Now(), device_id, audit_id, AccessOp::kEviction);
+  LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kEviction);
   return Status::Ok();
 }
 
@@ -167,7 +256,7 @@ Status KeyService::DisableKey(const std::string& device_id,
     return NotFoundError("key service: no such key");
   }
   it->second.disabled = true;
-  log_.Append(queue_->Now(), device_id, audit_id, AccessOp::kRevoke);
+  LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kRevoke);
   return Status::Ok();
 }
 
@@ -179,7 +268,7 @@ Status KeyService::DestroyKey(const std::string& device_id,
   }
   SecureZero(it->second.key);
   keys_.erase(it);
-  log_.Append(queue_->Now(), device_id, audit_id, AccessOp::kDestroy);
+  LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kDestroy);
   return Status::Ok();
 }
 
@@ -218,23 +307,21 @@ Bytes KeyService::Snapshot() const {
 Status KeyService::Restore(const Bytes& snapshot) {
   KP_ASSIGN_OR_RETURN(WireValue value, BinaryDecode(snapshot));
 
-  // Rebuild the log first and verify its chain before touching anything.
+  // Rebuild the log first and verify its full chain (group seals included)
+  // before touching anything. LoadVerified preserves the snapshotted
+  // commit-group boundaries, so a restored log hashes exactly as the
+  // original — re-appending would re-derive single-entry groups and break
+  // every multi-entry seal.
   KP_ASSIGN_OR_RETURN(WireValue log_value, value.Field("log"));
   KP_ASSIGN_OR_RETURN(WireValue::Array raw_log, log_value.AsArray());
-  AuditLog restored_log;
+  std::vector<AuditLogEntry> log_entries;
   for (const auto& raw : raw_log) {
     KP_ASSIGN_OR_RETURN(AuditLogEntry entry, AuditLogEntry::FromWire(raw));
-    restored_log.Append(entry.timestamp, entry.client_time, entry.device_id,
-                        entry.audit_id, entry.op);
+    log_entries.push_back(std::move(entry));
   }
-  // Append recomputed the chain from the entry contents; if the snapshot
-  // was tampered with, its recorded final digest won't match ours.
-  if (!raw_log.empty()) {
-    KP_ASSIGN_OR_RETURN(AuditLogEntry last,
-                        AuditLogEntry::FromWire(raw_log.back()));
-    if (restored_log.entries().back().entry_hash != last.entry_hash) {
-      return DataLossError("key service: snapshot log chain mismatch");
-    }
+  AuditLog restored_log;
+  if (!restored_log.LoadVerified(std::move(log_entries)).ok()) {
+    return DataLossError("key service: snapshot log chain mismatch");
   }
 
   std::map<std::string, DeviceRecord> devices;
@@ -268,6 +355,9 @@ Status KeyService::Restore(const Bytes& snapshot) {
     keys.emplace(KeyMapKey(std::move(device), id), std::move(record));
   }
 
+  // Anything staged or awaiting a window flush belongs to the pre-crash
+  // incarnation and is lost with it.
+  AbortStaged();
   devices_ = std::move(devices);
   keys_ = std::move(keys);
   log_ = std::move(restored_log);
@@ -290,10 +380,30 @@ void KeyService::BindRpc(RpcServer* server) {
     };
   };
 
-  server->RegisterMethod(
+  // Registers one method, honoring the commit-window mode: with a window,
+  // the handler executes immediately (its appends stage into the open
+  // window's commit group) but the response is withheld until the group
+  // seal lands — the client-visible "durably log before the key leaves"
+  // barrier now covers the whole group.
+  auto install = [this, server, authed](const std::string& method, auto fn) {
+    RpcServer::Handler body = authed(method, fn);
+    if (options_.commit_window > SimDuration()) {
+      server->RegisterAsyncMethod(
+          method, [this, body](const WireValue::Array& params,
+                               RpcServer::Responder respond) {
+            OpenCommitWindow();
+            Result<WireValue> result = body(params);
+            pending_responses_.push_back(
+                {std::move(respond), std::move(result)});
+          });
+    } else {
+      server->RegisterMethod(method, body);
+    }
+  };
+
+  install(
       "key.create",
-      authed("key.create",
-             [this](const std::string& device,
+      [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
                  return InvalidArgumentError("key.create: bad arity");
@@ -302,12 +412,11 @@ void KeyService::BindRpc(RpcServer* server) {
                KP_ASSIGN_OR_RETURN(AuditId id, AuditId::FromBytes(id_bytes));
                KP_ASSIGN_OR_RETURN(Bytes key, CreateKey(device, id));
                return WireValue(std::move(key));
-             }));
+             });
 
-  server->RegisterMethod(
+  install(
       "key.get",
-      authed("key.get",
-             [this](const std::string& device,
+      [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 2) {
                  return InvalidArgumentError("key.get: bad arity");
@@ -318,12 +427,11 @@ void KeyService::BindRpc(RpcServer* server) {
                KP_ASSIGN_OR_RETURN(
                    Bytes key, GetKey(device, id, static_cast<AccessOp>(op_int)));
                return WireValue(std::move(key));
-             }));
+             });
 
-  server->RegisterMethod(
+  install(
       "key.get_batch",
-      authed("key.get_batch",
-             [this](const std::string& device,
+      [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
                  return InvalidArgumentError("key.get_batch: bad arity");
@@ -345,12 +453,11 @@ void KeyService::BindRpc(RpcServer* server) {
                  out.push_back(WireValue(std::move(entry)));
                }
                return WireValue(std::move(out));
-             }));
+             });
 
-  server->RegisterMethod(
+  install(
       "key.evict",
-      authed("key.evict",
-             [this](const std::string& device,
+      [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
                  return InvalidArgumentError("key.evict: bad arity");
@@ -359,15 +466,14 @@ void KeyService::BindRpc(RpcServer* server) {
                KP_ASSIGN_OR_RETURN(AuditId id, AuditId::FromBytes(id_bytes));
                KP_RETURN_IF_ERROR(NoteEviction(device, id));
                return WireValue(true);
-             }));
+             });
 
   // Audit surface (the owner/IT console or the drive maker's web service).
   // Authenticated with the device secret: whoever can audit a device can
   // already act for it administratively in this model.
-  server->RegisterMethod(
+  install(
       "audit.key_log_since",
-      authed("audit.key_log_since",
-             [this](const std::string& device,
+      [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
                  return InvalidArgumentError("audit.key_log_since: bad arity");
@@ -381,12 +487,38 @@ void KeyService::BindRpc(RpcServer* server) {
                  }
                }
                return WireValue(std::move(out));
-             }));
+             });
 
-  server->RegisterMethod(
+  // Incremental audit: the committed tail with seq >= the caller's cursor,
+  // so a repeat auditor transfers (and the service scans) only what's new
+  // instead of re-walking the whole log.
+  install(
+      "audit.key_log_tail",
+      [this](const std::string& device,
+             const WireValue::Array& payload) -> Result<WireValue> {
+        if (payload.size() != 1) {
+          return InvalidArgumentError("audit.key_log_tail: bad arity");
+        }
+        KP_ASSIGN_OR_RETURN(int64_t next_seq, payload[0].AsInt());
+        KP_RETURN_IF_ERROR(log_.Verify());
+        WireValue::Array entries;
+        for (const auto& entry :
+             log_.EntriesAfterSeq(static_cast<uint64_t>(next_seq))) {
+          if (entry.device_id == device) {
+            entries.push_back(entry.ToWire());
+          }
+        }
+        // "next" covers the whole committed log, not just this device's
+        // rows, so the cursor advances past other devices' entries too.
+        WireValue::Struct out;
+        out.emplace("next", WireValue(static_cast<int64_t>(log_.size())));
+        out.emplace("entries", WireValue(std::move(entries)));
+        return WireValue(std::move(out));
+      });
+
+  install(
       "key.destroy",
-      authed("key.destroy",
-             [this](const std::string& device,
+      [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
                  return InvalidArgumentError("key.destroy: bad arity");
@@ -395,12 +527,11 @@ void KeyService::BindRpc(RpcServer* server) {
                KP_ASSIGN_OR_RETURN(AuditId id, AuditId::FromBytes(id_bytes));
                KP_RETURN_IF_ERROR(DestroyKey(device, id));
                return WireValue(true);
-             }));
+             });
 
-  server->RegisterMethod(
+  install(
       "key.fetch_group",
-      authed("key.fetch_group",
-             [this](const std::string& device,
+      [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 2) {
                  return InvalidArgumentError("key.fetch_group: bad arity");
@@ -430,12 +561,11 @@ void KeyService::BindRpc(RpcServer* server) {
                }
                out.emplace("prefetched", WireValue(std::move(prefetched)));
                return WireValue(std::move(out));
-             }));
+             });
 
-  server->RegisterMethod(
+  install(
       "key.upload_journal",
-      authed("key.upload_journal",
-             [this](const std::string& device,
+      [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
                  return InvalidArgumentError("key.upload_journal: bad arity");
@@ -462,7 +592,7 @@ void KeyService::BindRpc(RpcServer* server) {
                }
                KP_RETURN_IF_ERROR(UploadJournal(device, entries));
                return WireValue(true);
-             }));
+             });
 }
 
 }  // namespace keypad

@@ -26,17 +26,38 @@
 
 namespace keypad {
 
+// Tuning for one key-service shard (DESIGN.md §8).
+struct KeyServiceOptions {
+  // Group-commit window. Zero (the default) seals every RPC's appends when
+  // the request completes — the classic "durably log, then respond" path.
+  // Positive: appends from RPCs arriving within one window are staged and
+  // sealed together as one commit group, and every staged RPC's response is
+  // withheld until the group seal lands (keys still never leave the service
+  // before their log entry is durable).
+  SimDuration commit_window;
+  // Virtual CPU charged to the shard per seal (the fsync + chain step) and
+  // per entry sealed. Zero by default so existing deployments are
+  // cost-identical to the unsharded service.
+  SimDuration seal_cost_fixed;
+  SimDuration seal_cost_per_entry;
+};
+
 class KeyService {
  public:
   static constexpr size_t kRemoteKeyLen = 32;
 
-  KeyService(EventQueue* queue, uint64_t rng_seed);
+  KeyService(EventQueue* queue, uint64_t rng_seed,
+             KeyServiceOptions options = {});
 
   // --- Administrative API (runs over a trusted path, e.g. the IT
   //     department's console or the drive maker's web service). ------------
 
   // Registers a device and returns its authentication secret.
   Bytes RegisterDevice(const std::string& device_id);
+  // Registers a device under a secret minted elsewhere — how a sharded
+  // deployment gives every shard the same per-device credential.
+  void RegisterDeviceWithSecret(const std::string& device_id,
+                                const Bytes& secret);
   // Remote data control: every key fetch for this device now fails.
   Status DisableDevice(const std::string& device_id);
   Status EnableDevice(const std::string& device_id);
@@ -94,6 +115,10 @@ class KeyService {
   std::vector<AuditLogEntry> LogSince(SimTime since) const {
     return log_.EntriesSince(since);
   }
+  // Incremental audit: the committed tail with seq >= next_seq.
+  std::vector<AuditLogEntry> LogAfterSeq(uint64_t next_seq) const {
+    return log_.EntriesAfterSeq(next_seq);
+  }
 
   // Per-device secret lookup (used by client stubs inside the simulation
   // at registration time).
@@ -112,6 +137,39 @@ class KeyService {
   // Number of keys currently stored (destroyed keys excluded).
   size_t key_count() const { return keys_.size(); }
 
+  // --- Group commit + crash plumbing (DESIGN.md §8). ----------------------
+
+  // Bills seal CPU somewhere (a sharded deployment wires this to the
+  // shard's RpcServer::ChargeBusy so group-commit amortization shows up in
+  // the shard's service capacity).
+  void set_seal_charge(std::function<void(SimDuration)> charge) {
+    seal_charge_ = std::move(charge);
+  }
+
+  // Seals the open commit window now (if any) and releases the responses
+  // waiting on it. Test/bench hook; the scheduled flush does this normally.
+  void FlushCommitWindow();
+
+  // Crash semantics: staged-but-unsealed log entries and the responses
+  // waiting on the window seal are lost — correct, because those responses
+  // were never sent, so no key left the service unlogged. Call before
+  // Snapshot-on-crash and before Restore.
+  void AbortStaged();
+
+  // Per-shard load metrics for BENCH_scale.json: how well group commit is
+  // amortizing the chain.
+  struct LoadStats {
+    uint64_t log_entries = 0;
+    uint64_t commit_groups = 0;
+    uint64_t max_group_size = 0;
+    double avg_group_size = 0;
+    uint64_t seal_ns = 0;  // Host CPU spent sealing (real, not virtual).
+    uint64_t window_flushes = 0;
+  };
+  LoadStats load_stats() const;
+
+  const KeyServiceOptions& options() const { return options_; }
+
  private:
   struct DeviceRecord {
     Bytes secret;
@@ -123,14 +181,57 @@ class KeyService {
   };
   using KeyMapKey = std::pair<std::string, AuditId>;
 
+  // RAII commit group: appends inside the outermost scope seal together.
+  // Nested scopes (a batched RPC inside an open commit window) collapse
+  // into the enclosing group.
+  class BatchScope {
+   public:
+    explicit BatchScope(KeyService* service) : service_(service) {
+      service_->log_.BeginBatch();
+    }
+    ~BatchScope() { service_->NoteSealed(service_->log_.CommitBatch()); }
+
+   private:
+    KeyService* service_;
+  };
+
   // Checks registration + revocation; logs denied attempts.
   Status CheckDevice(const std::string& device_id, const AuditId& audit_id);
 
+  // All audit appends funnel through here: one entry = one commit group
+  // unless an enclosing BatchScope or open commit window groups it.
+  uint64_t LogAppend(SimTime timestamp, SimTime client_time,
+                     const std::string& device_id, const AuditId& audit_id,
+                     AccessOp op);
+  uint64_t LogAppend(SimTime timestamp, const std::string& device_id,
+                     const AuditId& audit_id, AccessOp op) {
+    return LogAppend(timestamp, timestamp, device_id, audit_id, op);
+  }
+
+  // Bills a completed seal to the shard's CPU.
+  void NoteSealed(size_t sealed);
+
+  // Opens the commit window on the first staged RPC and schedules its
+  // flush.
+  void OpenCommitWindow();
+
   EventQueue* queue_;
   SecureRandom rng_;
+  KeyServiceOptions options_;
+  std::function<void(SimDuration)> seal_charge_;
   std::map<std::string, DeviceRecord> devices_;
   std::map<KeyMapKey, KeyRecord> keys_;
   AuditLog log_;
+
+  // Open commit window state (commit_window > 0 only).
+  struct PendingResponse {
+    RpcServer::Responder respond;
+    Result<WireValue> result;
+  };
+  bool window_open_ = false;
+  EventQueue::EventId flush_event_ = EventQueue::kInvalidEvent;
+  std::vector<PendingResponse> pending_responses_;
+  uint64_t window_flushes_ = 0;
 };
 
 }  // namespace keypad

@@ -1,6 +1,7 @@
 // Client stub for the key service RPC protocol. The Keypad file system (and
-// the paired device's proxy daemon) talk to the key service exclusively
-// through this stub, which handles auth framing and (de)marshalling.
+// the paired device's proxy daemon) talk to the key-service tier through
+// the KeyClient interface; this stub implements it against one service
+// (one shard), handling auth framing and (de)marshalling.
 
 #ifndef SRC_KEYSERVICE_KEY_SERVICE_CLIENT_H_
 #define SRC_KEYSERVICE_KEY_SERVICE_CLIENT_H_
@@ -11,66 +12,47 @@
 #include <vector>
 
 #include "src/keyservice/audit_log.h"
+#include "src/keyservice/key_client.h"
 #include "src/rpc/rpc.h"
 #include "src/util/ids.h"
 #include "src/util/result.h"
 
 namespace keypad {
 
-class KeyServiceClient {
+class KeyServiceClient : public KeyClient {
  public:
   KeyServiceClient(RpcClient* rpc, std::string device_id, Bytes device_secret)
       : rpc_(rpc),
         device_id_(std::move(device_id)),
         device_secret_(std::move(device_secret)) {}
 
-  Result<Bytes> CreateKey(const AuditId& audit_id);
+  Result<Bytes> CreateKey(const AuditId& audit_id) override;
   Result<Bytes> GetKey(const AuditId& audit_id,
-                       AccessOp op = AccessOp::kDemandFetch);
-  // Asynchronous fetch (used for in-use cache refreshes, which must never
-  // block foreground file operations).
+                       AccessOp op = AccessOp::kDemandFetch) override;
   void GetKeyAsync(const AuditId& audit_id, AccessOp op,
-                   std::function<void(Result<Bytes>)> done);
+                   std::function<void(Result<Bytes>)> done) override;
   Result<std::vector<std::pair<AuditId, Bytes>>> GetKeys(
-      const std::vector<AuditId>& audit_ids);
-  // One round trip for a demand fetch plus directory prefetch.
-  struct GroupFetch {
-    Bytes demand_key;
-    std::vector<std::pair<AuditId, Bytes>> prefetched;
-  };
-  Result<GroupFetch> FetchGroup(const AuditId& demand_id,
-                                const std::vector<AuditId>& prefetch_ids);
+      const std::vector<AuditId>& audit_ids) override;
+  Result<GroupFetch> FetchGroup(
+      const AuditId& demand_id,
+      const std::vector<AuditId>& prefetch_ids) override;
   void FetchGroupAsync(const AuditId& demand_id,
                        const std::vector<AuditId>& prefetch_ids,
-                       std::function<void(Result<GroupFetch>)> done);
+                       std::function<void(Result<GroupFetch>)> done) override;
   void GetKeysAsync(
       const std::vector<AuditId>& audit_ids,
       std::function<void(Result<std::vector<std::pair<AuditId, Bytes>>>)>
-          done);
-  // Paired-device journal upload.
-  struct JournalEntry {
-    AuditId audit_id;
-    int64_t op = 1;  // AccessOp value.
-    SimTime client_time;
-    Bytes key;  // Only for creates.
-  };
-  Status UploadJournal(const std::vector<JournalEntry>& entries);
-  // Non-blocking variant for uploads that must stay off the critical path.
+          done) override;
+  Status UploadJournal(const std::vector<JournalEntry>& entries) override;
   void UploadJournalAsync(const std::vector<JournalEntry>& entries,
-                          std::function<void(Status)> done);
-  // Fire-and-forget eviction notice.
-  void NoteEvictionAsync(const AuditId& audit_id);
-  // Assured delete: permanently destroys the remote key (with it gone, the
-  // on-disk ciphertext is unrecoverable by anyone — including the owner).
+                          std::function<void(Status)> done) override;
+  void NoteEvictionAsync(const AuditId& audit_id) override;
   void DestroyKeyAsync(const AuditId& audit_id,
-                       std::function<void(Status)> done);
-
-  // Asynchronous key creation, used by the creation barrier (the client
-  // overlaps the key and metadata registrations, then waits for both).
+                       std::function<void(Status)> done) override;
   void CreateKeyAsync(const AuditId& audit_id,
-                      std::function<void(Result<Bytes>)> done);
+                      std::function<void(Result<Bytes>)> done) override;
 
-  const std::string& device_id() const { return device_id_; }
+  const std::string& device_id() const override { return device_id_; }
   RpcClient* rpc() const { return rpc_; }
 
  private:

@@ -1,0 +1,333 @@
+#include "src/keyservice/shard_router.h"
+
+#include <optional>
+
+namespace keypad {
+
+namespace {
+
+// Blocking shim over the async scatter paths: issue, then virtually block
+// until the completion lands (the same RunUntilFlag discipline RpcClient
+// uses, so background traffic keeps interleaving).
+template <typename T>
+struct Waiter {
+  bool done = false;
+  std::optional<T> value;
+
+  std::function<void(T)> Callback() {
+    return [this](T v) {
+      value = std::move(v);
+      done = true;
+    };
+  }
+};
+
+}  // namespace
+
+ShardRouter::ShardRouter(EventQueue* queue,
+                         std::vector<KeyServiceClient*> shards)
+    : ShardRouter(queue, std::move(shards), Options()) {}
+
+ShardRouter::ShardRouter(EventQueue* queue,
+                         std::vector<KeyServiceClient*> shards,
+                         Options options)
+    : queue_(queue),
+      shards_(std::move(shards)),
+      options_(options),
+      ring_(shards_.size(), options.ring_seed, options.vnodes_per_shard) {}
+
+const std::string& ShardRouter::device_id() const {
+  return shards_.front()->device_id();
+}
+
+std::map<size_t, std::vector<AuditId>> ShardRouter::Partition(
+    const std::vector<AuditId>& audit_ids) const {
+  std::map<size_t, std::vector<AuditId>> plan;
+  for (const auto& id : audit_ids) {
+    plan[ring_.ShardFor(id)].push_back(id);
+  }
+  return plan;
+}
+
+Result<Bytes> ShardRouter::CreateKey(const AuditId& audit_id) {
+  return OwnerOf(audit_id)->CreateKey(audit_id);
+}
+
+void ShardRouter::CreateKeyAsync(const AuditId& audit_id,
+                                 std::function<void(Result<Bytes>)> done) {
+  OwnerOf(audit_id)->CreateKeyAsync(audit_id, std::move(done));
+}
+
+Result<Bytes> ShardRouter::GetKey(const AuditId& audit_id, AccessOp op) {
+  if (!options_.single_flight) {
+    return OwnerOf(audit_id)->GetKey(audit_id, op);
+  }
+  Waiter<Result<Bytes>> waiter;
+  GetKeyAsync(audit_id, op, waiter.Callback());
+  queue_->RunUntilFlag(&waiter.done);
+  return std::move(*waiter.value);
+}
+
+void ShardRouter::GetKeyAsync(const AuditId& audit_id, AccessOp op,
+                              std::function<void(Result<Bytes>)> done) {
+  if (!options_.single_flight) {
+    OwnerOf(audit_id)->GetKeyAsync(audit_id, op, std::move(done));
+    return;
+  }
+  FlightKey key(audit_id, static_cast<int>(op));
+  auto it = in_flight_.find(key);
+  if (it != in_flight_.end()) {
+    // Someone is already fetching this key: ride their RPC.
+    ++stats_.single_flight_joins;
+    it->second.push_back(std::move(done));
+    return;
+  }
+  ++stats_.single_flight_leaders;
+  in_flight_[key].push_back(std::move(done));
+  OwnerOf(audit_id)->GetKeyAsync(
+      audit_id, op, [this, key](Result<Bytes> result) {
+        // Detach the waiter list first: a completion may immediately issue
+        // a fresh fetch for the same id, which must start a new flight.
+        auto node = in_flight_.extract(key);
+        for (auto& waiter : node.mapped()) {
+          waiter(result);
+        }
+      });
+}
+
+void ShardRouter::GetKeysAsync(
+    const std::vector<AuditId>& audit_ids,
+    std::function<void(Result<KeyPairs>)> done) {
+  auto plan = Partition(audit_ids);
+  if (plan.empty()) {
+    queue_->ScheduleAfter(SimDuration(),
+                          [done = std::move(done)] { done(KeyPairs{}); });
+    return;
+  }
+  if (plan.size() == 1) {
+    shards_[plan.begin()->first]->GetKeysAsync(audit_ids, std::move(done));
+    return;
+  }
+
+  ++stats_.scatter_batches;
+  struct Gather {
+    size_t remaining = 0;
+    std::map<size_t, Result<KeyPairs>> per_shard;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->remaining = plan.size();
+
+  auto finish = [this, audit_ids, done, gather] {
+    std::map<size_t, std::deque<std::pair<AuditId, Bytes>>> queues;
+    std::optional<Status> first_error;
+    bool any_ok = false;
+    for (auto& [shard, result] : gather->per_shard) {
+      if (!result.ok()) {
+        ++stats_.shard_errors;
+        if (!first_error) {
+          first_error = result.status();
+        }
+        continue;
+      }
+      any_ok = true;
+      queues[shard].assign(result->begin(), result->end());
+    }
+    if (!any_ok) {
+      done(*first_error);
+      return;
+    }
+    // Merge back in the caller's order: each shard returned its sub-list
+    // in submission order, so the fronts line up as we walk the input.
+    KeyPairs merged;
+    for (const auto& id : audit_ids) {
+      auto q = queues.find(ring_.ShardFor(id));
+      if (q == queues.end() || q->second.empty() ||
+          q->second.front().first != id) {
+        continue;  // Missing key, or its shard's sub-batch failed.
+      }
+      merged.push_back(std::move(q->second.front()));
+      q->second.pop_front();
+    }
+    done(std::move(merged));
+  };
+
+  for (auto& [shard, sub_ids] : plan) {
+    ++stats_.subrequests;
+    shards_[shard]->GetKeysAsync(
+        sub_ids, [gather, finish, shard = shard](Result<KeyPairs> result) {
+          gather->per_shard.emplace(shard, std::move(result));
+          if (--gather->remaining == 0) {
+            finish();
+          }
+        });
+  }
+}
+
+Result<ShardRouter::KeyPairs> ShardRouter::GetKeys(
+    const std::vector<AuditId>& audit_ids) {
+  if (shards_.size() == 1) {
+    return shards_[0]->GetKeys(audit_ids);
+  }
+  Waiter<Result<KeyPairs>> waiter;
+  GetKeysAsync(audit_ids, waiter.Callback());
+  queue_->RunUntilFlag(&waiter.done);
+  return std::move(*waiter.value);
+}
+
+void ShardRouter::FetchGroupAsync(
+    const AuditId& demand_id, const std::vector<AuditId>& prefetch_ids,
+    std::function<void(Result<GroupFetch>)> done) {
+  size_t demand_shard = ring_.ShardFor(demand_id);
+  // The owning shard serves the demand key plus its slice of the prefetch
+  // batch in one RPC; the demand id itself is excluded from every slice
+  // (the service skips it anyway).
+  std::map<size_t, std::vector<AuditId>> plan;
+  for (const auto& id : prefetch_ids) {
+    if (id == demand_id) {
+      continue;
+    }
+    plan[ring_.ShardFor(id)].push_back(id);
+  }
+  std::vector<AuditId> demand_slice;
+  if (auto it = plan.find(demand_shard); it != plan.end()) {
+    demand_slice = std::move(it->second);
+    plan.erase(it);
+  }
+  if (plan.empty()) {
+    shards_[demand_shard]->FetchGroupAsync(demand_id, demand_slice,
+                                           std::move(done));
+    return;
+  }
+
+  ++stats_.scatter_batches;
+  struct Gather {
+    size_t remaining = 0;
+    std::optional<Result<GroupFetch>> demand;
+    std::map<size_t, Result<KeyPairs>> per_shard;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->remaining = 1 + plan.size();
+
+  auto finish = [this, demand_id, prefetch_ids, demand_shard, done, gather] {
+    if (!gather->demand->ok()) {
+      // No demand key, no file access: the whole group fetch fails (any
+      // prefetched keys the other shards logged were still fetched — the
+      // audit record stays honest).
+      done(gather->demand->status());
+      return;
+    }
+    std::map<size_t, std::deque<std::pair<AuditId, Bytes>>> queues;
+    queues[demand_shard].assign((*gather->demand)->prefetched.begin(),
+                                (*gather->demand)->prefetched.end());
+    for (auto& [shard, result] : gather->per_shard) {
+      if (!result.ok()) {
+        ++stats_.shard_errors;  // Advisory prefetch: drop that slice.
+        continue;
+      }
+      queues[shard].assign(result->begin(), result->end());
+    }
+    GroupFetch merged;
+    merged.demand_key = std::move((*gather->demand)->demand_key);
+    for (const auto& id : prefetch_ids) {
+      if (id == demand_id) {
+        continue;
+      }
+      auto q = queues.find(ring_.ShardFor(id));
+      if (q == queues.end() || q->second.empty() ||
+          q->second.front().first != id) {
+        continue;
+      }
+      merged.prefetched.push_back(std::move(q->second.front()));
+      q->second.pop_front();
+    }
+    done(std::move(merged));
+  };
+
+  ++stats_.subrequests;
+  shards_[demand_shard]->FetchGroupAsync(
+      demand_id, demand_slice, [gather, finish](Result<GroupFetch> result) {
+        gather->demand = std::move(result);
+        if (--gather->remaining == 0) {
+          finish();
+        }
+      });
+  for (auto& [shard, sub_ids] : plan) {
+    ++stats_.subrequests;
+    shards_[shard]->GetKeysAsync(
+        sub_ids, [gather, finish, shard = shard](Result<KeyPairs> result) {
+          gather->per_shard.emplace(shard, std::move(result));
+          if (--gather->remaining == 0) {
+            finish();
+          }
+        });
+  }
+}
+
+Result<ShardRouter::GroupFetch> ShardRouter::FetchGroup(
+    const AuditId& demand_id, const std::vector<AuditId>& prefetch_ids) {
+  if (shards_.size() == 1) {
+    return shards_[0]->FetchGroup(demand_id, prefetch_ids);
+  }
+  Waiter<Result<GroupFetch>> waiter;
+  FetchGroupAsync(demand_id, prefetch_ids, waiter.Callback());
+  queue_->RunUntilFlag(&waiter.done);
+  return std::move(*waiter.value);
+}
+
+void ShardRouter::UploadJournalAsync(const std::vector<JournalEntry>& entries,
+                                     std::function<void(Status)> done) {
+  std::map<size_t, std::vector<JournalEntry>> plan;
+  for (const auto& entry : entries) {
+    plan[ring_.ShardFor(entry.audit_id)].push_back(entry);
+  }
+  if (plan.empty()) {
+    queue_->ScheduleAfter(SimDuration(),
+                          [done = std::move(done)] { done(Status::Ok()); });
+    return;
+  }
+  if (plan.size() == 1) {
+    shards_[plan.begin()->first]->UploadJournalAsync(plan.begin()->second,
+                                                     std::move(done));
+    return;
+  }
+  ++stats_.scatter_batches;
+  struct Gather {
+    size_t remaining = 0;
+    Status status = Status::Ok();
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->remaining = plan.size();
+  for (auto& [shard, sub_entries] : plan) {
+    ++stats_.subrequests;
+    shards_[shard]->UploadJournalAsync(
+        sub_entries, [gather, done](Status status) {
+          if (!status.ok() && gather->status.ok()) {
+            gather->status = status;
+          }
+          if (--gather->remaining == 0) {
+            done(gather->status);
+          }
+        });
+  }
+}
+
+Status ShardRouter::UploadJournal(const std::vector<JournalEntry>& entries) {
+  if (shards_.size() == 1) {
+    return shards_[0]->UploadJournal(entries);
+  }
+  Waiter<Status> waiter;
+  UploadJournalAsync(entries, waiter.Callback());
+  queue_->RunUntilFlag(&waiter.done);
+  return std::move(*waiter.value);
+}
+
+void ShardRouter::NoteEvictionAsync(const AuditId& audit_id) {
+  OwnerOf(audit_id)->NoteEvictionAsync(audit_id);
+}
+
+void ShardRouter::DestroyKeyAsync(const AuditId& audit_id,
+                                  std::function<void(Status)> done) {
+  OwnerOf(audit_id)->DestroyKeyAsync(audit_id, std::move(done));
+}
+
+}  // namespace keypad

@@ -1,0 +1,116 @@
+// Client-side router for the sharded key-service tier (DESIGN.md §8).
+//
+// Implements KeyClient over N per-shard KeyServiceClient stubs:
+//  * single-ID operations route to the owning shard (consistent-hash ring);
+//  * GetKeys / FetchGroup / UploadJournal batches split per shard and the
+//    sub-requests go out as parallel async scatter-gather, each riding its
+//    own stub's retry/at-most-once/breaker machinery, with results merged
+//    back in the caller's original order;
+//  * single-flight coalescing: concurrent GetKey misses on the same
+//    (audit id, op) share one in-flight RPC — the waiters all complete
+//    from the leader's response, and the audit log records one fetch (the
+//    key left the service once, so one entry is the honest record).
+//
+// Failure semantics mirror the unsharded client where it matters: a failed
+// demand fetch fails the call, while failed prefetch sub-batches just drop
+// those keys (prefetch is advisory; the next demand miss re-fetches).
+
+#ifndef SRC_KEYSERVICE_SHARD_ROUTER_H_
+#define SRC_KEYSERVICE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/keyservice/key_client.h"
+#include "src/keyservice/key_service_client.h"
+#include "src/keyservice/shard_ring.h"
+#include "src/sim/event_queue.h"
+
+namespace keypad {
+
+class ShardRouter : public KeyClient {
+ public:
+  struct Options {
+    uint64_t ring_seed = 0x5ead;
+    int vnodes_per_shard = 64;
+    bool single_flight = true;
+  };
+
+  struct Stats {
+    uint64_t scatter_batches = 0;  // Batches that actually spanned shards.
+    uint64_t subrequests = 0;      // Per-shard RPCs issued by scatter paths.
+    uint64_t single_flight_leaders = 0;
+    uint64_t single_flight_joins = 0;  // Waiters that shared a leader's RPC.
+    uint64_t shard_errors = 0;  // Failed best-effort (prefetch) sub-batches.
+  };
+
+  // `shards[i]` must be the stub for ring shard i; all stubs share one
+  // device identity. Borrowed pointers — the deployment owns the stubs.
+  ShardRouter(EventQueue* queue, std::vector<KeyServiceClient*> shards);
+  ShardRouter(EventQueue* queue, std::vector<KeyServiceClient*> shards,
+              Options options);
+
+  Result<Bytes> CreateKey(const AuditId& audit_id) override;
+  void CreateKeyAsync(const AuditId& audit_id,
+                      std::function<void(Result<Bytes>)> done) override;
+  Result<Bytes> GetKey(const AuditId& audit_id,
+                       AccessOp op = AccessOp::kDemandFetch) override;
+  void GetKeyAsync(const AuditId& audit_id, AccessOp op,
+                   std::function<void(Result<Bytes>)> done) override;
+  Result<std::vector<std::pair<AuditId, Bytes>>> GetKeys(
+      const std::vector<AuditId>& audit_ids) override;
+  void GetKeysAsync(
+      const std::vector<AuditId>& audit_ids,
+      std::function<void(Result<std::vector<std::pair<AuditId, Bytes>>>)>
+          done) override;
+  Result<GroupFetch> FetchGroup(
+      const AuditId& demand_id,
+      const std::vector<AuditId>& prefetch_ids) override;
+  void FetchGroupAsync(const AuditId& demand_id,
+                       const std::vector<AuditId>& prefetch_ids,
+                       std::function<void(Result<GroupFetch>)> done) override;
+  Status UploadJournal(const std::vector<JournalEntry>& entries) override;
+  void UploadJournalAsync(const std::vector<JournalEntry>& entries,
+                          std::function<void(Status)> done) override;
+  void NoteEvictionAsync(const AuditId& audit_id) override;
+  void DestroyKeyAsync(const AuditId& audit_id,
+                       std::function<void(Status)> done) override;
+
+  const std::string& device_id() const override;
+
+  const ShardRing& ring() const { return ring_; }
+  size_t shard_count() const { return shards_.size(); }
+  KeyServiceClient* shard(size_t i) const { return shards_[i]; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  using KeyPairs = std::vector<std::pair<AuditId, Bytes>>;
+  // Coalescing key: concurrent fetches only merge when they'd produce an
+  // identical audit record (same id, same op).
+  using FlightKey = std::pair<AuditId, int>;
+
+  KeyServiceClient* OwnerOf(const AuditId& audit_id) const {
+    return shards_[ring_.ShardFor(audit_id)];
+  }
+
+  // Splits ids per shard, preserving the caller's order within each shard.
+  std::map<size_t, std::vector<AuditId>> Partition(
+      const std::vector<AuditId>& audit_ids) const;
+
+  EventQueue* queue_;
+  std::vector<KeyServiceClient*> shards_;
+  Options options_;
+  ShardRing ring_;
+  Stats stats_;
+  std::map<FlightKey, std::vector<std::function<void(Result<Bytes>)>>>
+      in_flight_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_KEYSERVICE_SHARD_ROUTER_H_

@@ -116,7 +116,32 @@ void RpcServer::HandleRequestAsync(const std::string& request_raw,
     ++requests_dropped_;
     return;
   }
-  queue_->AdvanceBy(service_time_);
+  // Queue the request on this server's busy-clock instead of advancing the
+  // global clock: concurrent requests to one server serialize behind its
+  // service_time while independent servers overlap in virtual time.
+  SimTime start = std::max(queue_->Now(), busy_until_);
+  SimTime finish = start + service_time_;
+  busy_until_ = finish;
+  ++queue_depth_;
+  queue_depth_high_water_ = std::max(queue_depth_high_water_, queue_depth_);
+  queue_->Schedule(finish, [this, request = request_raw,
+                            done = std::move(done)]() mutable {
+    --queue_depth_;
+    if (down_) {
+      // Crashed while the request sat in the service queue.
+      ++requests_dropped_;
+      return;
+    }
+    ProcessRequest(request, std::move(done));
+  });
+}
+
+void RpcServer::ChargeBusy(SimDuration d) {
+  busy_until_ = std::max(queue_->Now(), busy_until_) + d;
+}
+
+void RpcServer::ProcessRequest(const std::string& request_raw,
+                               std::function<void(std::string)> done) {
   ++requests_handled_;
 
   std::string request_xml = request_raw;

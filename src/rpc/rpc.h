@@ -76,10 +76,21 @@ class RpcServer {
   void EnableChannelSecurity(ChannelLookup lookup, SecureRandom* rng);
 
   // Decodes, dispatches, and (possibly later) encodes a response or fault.
-  // Charges service_time. Called by RpcClient through the link.
-  // Requests carrying a dedup frame execute at most once (see ReplyCache).
+  // Called by RpcClient through the link. Requests carrying a dedup frame
+  // execute at most once (see ReplyCache).
+  //
+  // Cost model: each server owns a busy-clock. An arriving request is
+  // serviced at max(now, busy_until) + service_time — an M/G/1-style queue
+  // per server — so concurrent requests to ONE server queue behind each
+  // other while independent servers (e.g. key-service shards) overlap
+  // freely in virtual time. A single outstanding request completes at
+  // arrival + service_time, exactly as before.
   void HandleRequestAsync(const std::string& request_xml,
                           std::function<void(std::string)> done);
+
+  // Charges extra busy time to this server (e.g. the key service billing
+  // an audit-log group seal to the shard that performed it).
+  void ChargeBusy(SimDuration d);
 
   // Crash simulation: while down, arriving requests are swallowed — no
   // response, no execution — exactly what a dead process does. The client's
@@ -96,10 +107,22 @@ class RpcServer {
   uint64_t requests_executed() const { return requests_executed_; }
   // Requests swallowed while the server was down.
   uint64_t requests_dropped() const { return requests_dropped_; }
+  // Requests currently queued for service (arrived, not yet processed).
+  uint64_t queue_depth() const { return queue_depth_; }
+  // Deepest the service queue ever got — the saturation signal the scale
+  // bench records per shard.
+  uint64_t queue_depth_high_water() const { return queue_depth_high_water_; }
 
  private:
+  // The post-queueing half of HandleRequestAsync: decode, dedup, dispatch.
+  void ProcessRequest(const std::string& request_raw,
+                      std::function<void(std::string)> done);
+
   EventQueue* queue_;
   SimDuration service_time_;
+  SimTime busy_until_;  // Busy-clock: when the server frees up.
+  uint64_t queue_depth_ = 0;
+  uint64_t queue_depth_high_water_ = 0;
   std::map<std::string, AsyncHandler> handlers_;
   ChannelLookup channel_lookup_;
   SecureRandom* channel_rng_ = nullptr;
