@@ -1,0 +1,366 @@
+// Availability bench (DESIGN.md §9): goodput timeline of the key tier
+// across a scheduled primary kill, unreplicated vs replicated.
+//
+// Three scenario groups:
+//  * kill sweep — file creates paced across a schedule that crashes the
+//    shard's current leader mid-run. With key_replicas = 1 goodput drops
+//    to zero for the whole outage (plus the breaker tail); with R > 1 a
+//    backup promotes after lease expiry and goodput recovers within the
+//    promotion window. The per-second goodput timeline goes to the JSON.
+//  * partition/heal — the split-brain cycle: primary partitioned off the
+//    mesh (still serving clients), backup promotes, primary dies, client
+//    fails over, partition heals, ex-primary rejoins and reconciles. At
+//    the end every replica chain must verify and every client-acked create
+//    must survive in the authoritative chain or the orphan list
+//    (duplicated-but-never-lost).
+//  * determinism — the replicated kill cell twice with one seed; goodput
+//    buckets, failover timeline, and chain tip must match bit-for-bit.
+//
+// Emits BENCH_availability.json (path = argv[1], default ./). Exits
+// non-zero when an acceptance check fails, so CI can gate on it.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace keypad {
+namespace {
+
+struct Bucket {
+  int ok = 0;
+  int fail = 0;
+};
+
+struct AvailCell {
+  std::string scenario;
+  int replicas = 1;
+  int ops = 0;
+  int succeeded = 0;
+  double kill_s = 0;
+  double outage_s = 0;
+  // First successful op completion after the kill, relative to it.
+  double recovery_s = -1;
+  double threshold_s = 0;  // Acceptance bound for recovery (replicated).
+  uint64_t promotions = 0;
+  uint64_t rejoins = 0;
+  uint64_t orphaned = 0;
+  uint64_t duplicates = 0;
+  size_t acked_records = 0;
+  bool acked_preserved = true;
+  bool chains_verified = true;
+  bool recovery_ok = true;
+  std::vector<Bucket> buckets;  // One per second of the schedule.
+  std::string timeline;         // Serialized ReplicaSet failover events.
+  std::string chain_tip_hex;
+};
+
+DeploymentOptions MakeOptions(int replicas, uint64_t seed) {
+  DeploymentOptions options;
+  options.profile = BroadbandProfile();
+  options.config.ibe_enabled = false;
+  options.config.prefetch = PrefetchPolicy::None();
+  options.seed = seed;
+  options.key_replicas = replicas;
+  // Short attempt ladders: a call into the dead primary should fail over
+  // well inside the promotion window.
+  options.rpc.timeout = SimDuration::Seconds(1);
+  options.rpc.retry.max_attempts = 2;
+  return options;
+}
+
+std::string SerializeTimeline(const ReplicaSet* set) {
+  if (set == nullptr) {
+    return "";
+  }
+  std::string out;
+  for (const auto& event : set->timeline()) {
+    out += std::to_string(event.at.nanos()) + "|" + event.what + "|" +
+           std::to_string(event.replica) + "|" + std::to_string(event.epoch) +
+           ";";
+  }
+  return out;
+}
+
+bool ChainHasCreate(const AuditLog& log, const AuditId& id) {
+  for (const auto& entry : log.entries()) {
+    if (entry.op == AccessOp::kCreate && entry.audit_id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool OrphansHaveCreate(const ReplicaSet* set, const AuditId& id) {
+  if (set == nullptr) {
+    return false;
+  }
+  for (const auto& orphan : set->orphaned()) {
+    if (orphan.entry.op == AccessOp::kCreate && orphan.entry.audit_id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Checks the duplicated-but-never-lost invariant and chain health, filling
+// the cell's verification fields.
+void VerifyCell(Deployment& dep, const std::vector<AuditId>& acked,
+                AvailCell* cell) {
+  ReplicaSet* set = dep.replica_set(0);
+  size_t leader = set != nullptr ? set->current_leader() : 0;
+  const AuditLog& authority = dep.key_replica(0, leader).log();
+  cell->acked_records = acked.size();
+  for (const auto& id : acked) {
+    if (!ChainHasCreate(authority, id) && !OrphansHaveCreate(set, id)) {
+      cell->acked_preserved = false;
+    }
+  }
+  for (size_t r = 0; r < dep.key_replica_count(); ++r) {
+    if (!dep.key_replica(0, r).log().Verify().ok()) {
+      cell->chains_verified = false;
+    }
+  }
+  if (set != nullptr) {
+    cell->promotions = set->stats().promotions;
+    cell->rejoins = set->stats().rejoins;
+    cell->orphaned = set->stats().orphaned_entries;
+    cell->timeline = SerializeTimeline(set);
+  }
+  if (!authority.entries().empty()) {
+    cell->chain_tip_hex = ToHex(authority.entries().back().entry_hash);
+  }
+}
+
+// Kill sweep: creates paced `pace` apart across `duration`; the shard's
+// leader dies at kill_s and restarts after outage_s. Successes are
+// bucketed per second of *completion* time.
+AvailCell RunKillCell(int replicas, double duration_s, uint64_t seed) {
+  ResetRpcClientIdsForTesting();
+  DeploymentOptions options = MakeOptions(replicas, seed);
+  Deployment dep(options);
+  auto& fs = dep.fs();
+
+  AvailCell cell;
+  cell.scenario = "leader_kill";
+  cell.replicas = replicas;
+  cell.kill_s = duration_s / 3;
+  cell.outage_s = 20;
+  // Acceptance: a replicated tier recovers within the promotion window —
+  // lease expiry + the seniority stagger — plus one RPC timeout of client
+  // slack. The stub's dead-leader retry ladder runs concurrently with the
+  // lease clock (probe backoff keeps it from re-laddering the corpse), so
+  // it does not add to the bound.
+  const ReplicaSetOptions& rs = options.replica_set;
+  cell.threshold_s = rs.lease.lease_duration.seconds_f() +
+                     rs.lease.promote_stagger.seconds_f() * replicas +
+                     options.rpc.timeout.seconds_f();
+  cell.buckets.assign(static_cast<size_t>(duration_s) + 1, Bucket{});
+
+  SimTime t0 = dep.queue().Now();
+  SimTime kill_at = t0 + SimDuration::Millis(
+                             static_cast<int64_t>(cell.kill_s * 1000));
+  dep.ScheduleKeyShardCrash(0, kill_at,
+                            SimDuration::Seconds(
+                                static_cast<int64_t>(cell.outage_s)));
+
+  const SimDuration pace = SimDuration::Millis(200);
+  std::vector<AuditId> acked;
+  int i = 0;
+  while ((dep.queue().Now() - t0).seconds_f() < duration_s) {
+    SimTime issue = t0 + pace * i;
+    if (dep.queue().Now() < issue) {
+      dep.queue().AdvanceBy(issue - dep.queue().Now());
+    }
+    double issue_s = (dep.queue().Now() - t0).seconds_f();
+    std::string path = "/op" + std::to_string(i);
+    bool ok = fs.Create(path).ok();
+    ++i;
+    ++cell.ops;
+    double done_s = (dep.queue().Now() - t0).seconds_f();
+    size_t bucket = std::min(cell.buckets.size() - 1,
+                             static_cast<size_t>(done_s));
+    if (ok) {
+      ++cell.succeeded;
+      ++cell.buckets[bucket].ok;
+      acked.push_back(fs.ReadHeaderOf(path)->audit_id);
+      // Recovery = completion of the first success *issued* after the kill
+      // (a straggler issued just before it may legitimately land right
+      // after and would fake an instant recovery).
+      if (issue_s > cell.kill_s && cell.recovery_s < 0) {
+        cell.recovery_s = done_s - cell.kill_s;
+      }
+    } else {
+      ++cell.buckets[bucket].fail;
+    }
+  }
+  dep.queue().AdvanceBy(SimDuration::Seconds(2));
+
+  cell.recovery_ok = replicas == 1
+                         ? cell.recovery_s >= cell.outage_s * 0.9
+                         : cell.recovery_s >= 0 &&
+                               cell.recovery_s <= cell.threshold_s;
+  VerifyCell(dep, acked, &cell);
+  return cell;
+}
+
+// Partition/heal: the full split-brain reconciliation cycle.
+AvailCell RunPartitionHealCell(int replicas, uint64_t seed) {
+  ResetRpcClientIdsForTesting();
+  DeploymentOptions options = MakeOptions(replicas, seed);
+  options.rpc.timeout = SimDuration::Seconds(3);  // Covers one ack_timeout.
+  Deployment dep(options);
+  auto& fs = dep.fs();
+
+  AvailCell cell;
+  cell.scenario = "partition_heal";
+  cell.replicas = replicas;
+
+  std::vector<AuditId> acked;
+  auto run_ops = [&](const char* prefix, int n) {
+    for (int i = 0; i < n; ++i) {
+      std::string path = std::string("/") + prefix + std::to_string(i);
+      ++cell.ops;
+      if (fs.Create(path).ok()) {
+        ++cell.succeeded;
+        acked.push_back(fs.ReadHeaderOf(path)->audit_id);
+      }
+    }
+  };
+
+  run_ops("pre", 6);
+  // Primary partitioned off the mesh; it keeps serving clients, so these
+  // acks live on replica 0 alone. Meanwhile the backup's lease lapses and
+  // it promotes: split brain.
+  dep.PartitionKeyReplica(0, 0, true);
+  run_ops("part", 4);
+  dep.queue().AdvanceBy(SimDuration::Seconds(4));
+  // The primary dies before healing; the client fails over.
+  dep.CrashKeyReplica(0, 0);
+  run_ops("post", 6);
+  // Heal and restart: the ex-primary reconciles against the new leader and
+  // surfaces its divergent suffix as orphans.
+  dep.PartitionKeyReplica(0, 0, false);
+  dep.RestartKeyReplica(0, 0);
+  dep.queue().AdvanceBy(SimDuration::Seconds(5));
+  run_ops("tail", 4);
+  dep.queue().AdvanceBy(SimDuration::Seconds(2));
+
+  VerifyCell(dep, acked, &cell);
+  auto report = dep.auditor().BuildReport(dep.device_id(), SimTime(),
+                                          options.config.texp);
+  if (report.ok()) {
+    cell.duplicates = report->duplicate_records;
+    if (!report->replica_logs_verified) {
+      cell.chains_verified = false;
+    }
+  } else {
+    cell.chains_verified = false;
+  }
+  return cell;
+}
+
+void PrintCell(const AvailCell& c) {
+  std::printf(
+      "%-15s R=%d  %3d/%3d ok  kill@%5.1fs  recovery=%6.2fs "
+      "(bound %5.2fs, %s)  promotions=%llu rejoins=%llu orphans=%llu "
+      "dup=%llu  chains=%s acked=%zu preserved=%s\n",
+      c.scenario.c_str(), c.replicas, c.succeeded, c.ops, c.kill_s,
+      c.recovery_s, c.threshold_s, c.recovery_ok ? "ok" : "MISS",
+      static_cast<unsigned long long>(c.promotions),
+      static_cast<unsigned long long>(c.rejoins),
+      static_cast<unsigned long long>(c.orphaned),
+      static_cast<unsigned long long>(c.duplicates),
+      c.chains_verified ? "ok" : "BROKEN", c.acked_records,
+      c.acked_preserved ? "yes" : "LOST");
+}
+
+void WriteJson(const std::string& path, const std::vector<AvailCell>& cells,
+               bool deterministic) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"availability\",\n");
+  std::fprintf(f, "  \"deterministic\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(f, "  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const AvailCell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"replicas\": %d, \"ops\": %d, "
+        "\"succeeded\": %d, \"kill_s\": %.2f, \"outage_s\": %.2f, "
+        "\"recovery_s\": %.3f, \"recovery_bound_s\": %.3f, "
+        "\"recovery_ok\": %s, \"promotions\": %llu, \"rejoins\": %llu, "
+        "\"orphaned\": %llu, \"duplicates\": %llu, \"acked_records\": %zu, "
+        "\"acked_preserved\": %s, \"chains_verified\": %s, "
+        "\"goodput_per_s\": [",
+        c.scenario.c_str(), c.replicas, c.ops, c.succeeded, c.kill_s,
+        c.outage_s, c.recovery_s, c.threshold_s,
+        c.recovery_ok ? "true" : "false",
+        static_cast<unsigned long long>(c.promotions),
+        static_cast<unsigned long long>(c.rejoins),
+        static_cast<unsigned long long>(c.orphaned),
+        static_cast<unsigned long long>(c.duplicates), c.acked_records,
+        c.acked_preserved ? "true" : "false",
+        c.chains_verified ? "true" : "false");
+    for (size_t b = 0; b < c.buckets.size(); ++b) {
+      std::fprintf(f, "%s%d", b == 0 ? "" : ",", c.buckets[b].ok);
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+std::string Digest(const AvailCell& c) {
+  std::string out = c.timeline + "#" + c.chain_tip_hex + "#" +
+                    std::to_string(c.succeeded) + "#";
+  for (const Bucket& b : c.buckets) {
+    out += std::to_string(b.ok) + "," + std::to_string(b.fail) + ";";
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace keypad
+
+int main(int argc, char** argv) {
+  using namespace keypad;
+  using namespace keypad::bench;
+  PrintHeader("§9 availability: goodput across a key-tier primary kill");
+
+  const double duration_s = FastMode() ? 45 : 90;
+  std::vector<AvailCell> cells;
+  for (int replicas : {1, 2, 3}) {
+    cells.push_back(RunKillCell(replicas, duration_s, /*seed=*/42));
+    PrintCell(cells.back());
+  }
+  cells.push_back(RunPartitionHealCell(/*replicas=*/2, /*seed=*/42));
+  PrintCell(cells.back());
+
+  // Determinism self-check: same seed, bit-identical goodput timeline,
+  // failover events, and chain tip.
+  AvailCell again = RunKillCell(/*replicas=*/2, duration_s, /*seed=*/42);
+  bool deterministic = Digest(again) == Digest(cells[1]);
+  std::printf("determinism: %s\n", deterministic ? "ok" : "MISMATCH");
+
+  std::string out = argc > 1 ? std::string(argv[1])
+                             : std::string("BENCH_availability.json");
+  WriteJson(out, cells, deterministic);
+
+  bool ok = deterministic;
+  for (const AvailCell& c : cells) {
+    ok = ok && c.recovery_ok && c.chains_verified && c.acked_preserved;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "availability acceptance checks FAILED\n");
+    return 1;
+  }
+  return 0;
+}

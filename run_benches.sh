@@ -19,6 +19,10 @@ for b in /root/repo/build/bench/*; do
     # Sharded key tier: goodput vs. shard count, group commit, coalescing
     # (DESIGN.md §8).
     "$b" /root/repo/BENCH_scale.json >> "$out" 2>&1
+  elif [[ "$(basename "$b")" == "bench_availability" ]]; then
+    # Replicated key tier: goodput timeline across a leader kill, plus the
+    # partition/heal reconciliation cycle (DESIGN.md §9).
+    "$b" /root/repo/BENCH_availability.json >> "$out" 2>&1
   else
     "$b" >> "$out" 2>&1
   fi

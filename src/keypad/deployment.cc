@@ -9,6 +9,19 @@ namespace keypad {
 
 namespace {
 constexpr SimDuration kServiceTime = SimDuration::Micros(150);
+
+// Stub failover budget: one full leader failover — lease lapse, staggered
+// promotion across all replicas, an ack timeout of reconciliation traffic,
+// and slack — before a routed call gives up.
+KeyServiceClient::FailoverOptions FailoverFor(
+    const DeploymentOptions& options) {
+  KeyServiceClient::FailoverOptions failover;
+  failover.budget = options.replica_set.lease.lease_duration +
+                    options.replica_set.lease.promote_stagger *
+                        static_cast<int64_t>(options.key_replicas) +
+                    options.replica_set.ack_timeout + SimDuration::Seconds(2);
+  return failover;
+}
 }  // namespace
 
 Deployment::Deployment(DeploymentOptions options)
@@ -21,31 +34,68 @@ Deployment::Deployment(DeploymentOptions options)
       phone_uplink_(&queue_, options_.profile, options_.seed ^ 0x3333),
       auditor_(std::vector<const KeyService*>{}, nullptr) {
   // The phone proxy and sealed channels are single-endpoint features; they
-  // pin the key tier to one shard.
+  // pin the key tier to one shard (and one replica).
   if (options_.key_shards < 1 || options_.paired_phone ||
       options_.secure_channel) {
     options_.key_shards = 1;
   }
+  if (options_.key_replicas < 1 || options_.paired_phone ||
+      options_.secure_channel) {
+    options_.key_replicas = 1;
+  }
   const size_t shard_count = static_cast<size_t>(options_.key_shards);
+  const size_t replica_count = static_cast<size_t>(options_.key_replicas);
 
   // Key tier: shard 0 keeps the historical seed so an unsharded deployment
-  // is bit-identical to the pre-shard layout.
+  // is bit-identical to the pre-shard layout; backups fold the replica
+  // index into the seed the same way shards fold theirs.
   std::vector<const KeyService*> shard_views;
+  key_backup_services_.resize(shard_count);
+  key_backup_servers_.resize(shard_count);
   for (size_t i = 0; i < shard_count; ++i) {
+    uint64_t shard_seed =
+        options_.seed ^ 0x1111 ^ (static_cast<uint64_t>(i) << 32);
     key_shards_.push_back(std::make_unique<KeyService>(
-        &queue_, options_.seed ^ 0x1111 ^ (static_cast<uint64_t>(i) << 32),
-        options_.key_service));
+        &queue_, shard_seed, options_.key_service));
     key_rpc_servers_.push_back(
         std::make_unique<RpcServer>(&queue_, kServiceTime));
-    key_shards_[i]->BindRpc(key_rpc_servers_[i].get());
-    // Group-commit seal cost lands on the shard's own server clock, so
-    // batching amortizes real (simulated) CPU, not just a counter.
-    RpcServer* server = key_rpc_servers_[i].get();
-    key_shards_[i]->set_seal_charge(
-        [server](SimDuration d) { server->ChargeBusy(d); });
+    for (size_t r = 1; r < replica_count; ++r) {
+      key_backup_services_[i].push_back(std::make_unique<KeyService>(
+          &queue_, shard_seed ^ (static_cast<uint64_t>(r) << 16),
+          options_.key_service));
+      key_backup_servers_[i].push_back(
+          std::make_unique<RpcServer>(&queue_, kServiceTime));
+    }
+    if (replica_count > 1) {
+      // The replica set installs each service's replicator and serve gate,
+      // which switches its RPC surface onto the async held-response path —
+      // so wire it up before BindRpc.
+      ReplicaSetOptions rs_options = options_.replica_set;
+      rs_options.seed ^= options_.seed ^ 0x9999 ^
+                         (static_cast<uint64_t>(i) << 32);
+      replica_sets_.push_back(
+          std::make_unique<ReplicaSet>(&queue_, rs_options));
+      replica_sets_[i]->AddReplica(key_shards_[i].get(),
+                                   key_rpc_servers_[i].get());
+      for (size_t r = 1; r < replica_count; ++r) {
+        replica_sets_[i]->AddReplica(key_backup_services_[i][r - 1].get(),
+                                     key_backup_servers_[i][r - 1].get());
+      }
+    }
+    for (size_t r = 0; r < replica_count; ++r) {
+      KeyService& service = key_replica(i, r);
+      RpcServer* server = &key_replica_rpc_server(i, r);
+      service.BindRpc(server);
+      // Group-commit seal cost lands on the replica's own server clock, so
+      // batching amortizes real (simulated) CPU, not just a counter.
+      service.set_seal_charge(
+          [server](SimDuration d) { server->ChargeBusy(d); });
+    }
     shard_views.push_back(key_shards_[i].get());
   }
-  key_shard_snapshots_.resize(shard_count);
+  key_replica_snapshots_.assign(shard_count,
+                                std::vector<Bytes>(replica_count));
+  last_crashed_replica_.assign(shard_count, 0);
 
   const PairingParams* group = options_.ibe_group != nullptr
                                    ? options_.ibe_group
@@ -53,6 +103,13 @@ Deployment::Deployment(DeploymentOptions options)
   metadata_service_ = std::make_unique<MetadataService>(
       &queue_, options_.seed ^ 0x4444, *group);
   auditor_ = ForensicAuditor(shard_views, metadata_service_.get());
+  if (!replica_sets_.empty()) {
+    std::vector<const ReplicaSet*> set_views;
+    for (const auto& set : replica_sets_) {
+      set_views.push_back(set.get());
+    }
+    auditor_.AttachReplicaSets(std::move(set_views));
+  }
 
   metadata_service_->BindRpc(&meta_rpc_server_);
 
@@ -61,6 +118,17 @@ Deployment::Deployment(DeploymentOptions options)
   Bytes key_secret = key_shards_[0]->RegisterDevice(options_.device_id);
   for (size_t i = 1; i < shard_count; ++i) {
     key_shards_[i]->RegisterDeviceWithSecret(options_.device_id, key_secret);
+  }
+  for (size_t i = 0; i < shard_count; ++i) {
+    for (auto& backup : key_backup_services_[i]) {
+      backup->RegisterDeviceWithSecret(options_.device_id, key_secret);
+    }
+  }
+  // Leases and replication links spin up once every replica holds the
+  // device registration (registration is provisioning-time state, not an
+  // audit-log mutation, so it does not travel in deltas).
+  for (auto& set : replica_sets_) {
+    set->Start();
   }
   Bytes meta_secret = metadata_service_->RegisterDevice(options_.device_id);
 
@@ -86,16 +154,35 @@ Deployment::Deployment(DeploymentOptions options)
     meta_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
                                             phone_->server(), options_.rpc);
   } else {
+    key_backup_rpcs_.resize(shard_count);
     for (size_t i = 0; i < shard_count; ++i) {
       key_rpcs_.push_back(std::make_unique<RpcClient>(
           &queue_, &client_link_, key_rpc_servers_[i].get(), options_.rpc));
+      for (auto& backup_server : key_backup_servers_[i]) {
+        key_backup_rpcs_[i].push_back(std::make_unique<RpcClient>(
+            &queue_, &client_link_, backup_server.get(), options_.rpc));
+      }
     }
     meta_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
                                             &meta_rpc_server_, options_.rpc);
   }
   for (size_t i = 0; i < key_rpcs_.size(); ++i) {
-    key_clients_.push_back(std::make_unique<KeyServiceClient>(
-        key_rpcs_[i].get(), options_.device_id, key_secret));
+    if (replica_count > 1) {
+      // Replica-aware stub: tries the last-known leader, follows NOT_LEADER
+      // redirects, and rides out one full failover (lease lapse + staggered
+      // promotion + reconciliation slack) before giving up.
+      std::vector<RpcClient*> endpoints;
+      endpoints.push_back(key_rpcs_[i].get());
+      for (auto& rpc : key_backup_rpcs_[i]) {
+        endpoints.push_back(rpc.get());
+      }
+      key_clients_.push_back(std::make_unique<KeyServiceClient>(
+          &queue_, std::move(endpoints), options_.device_id, key_secret,
+          FailoverFor(options_)));
+    } else {
+      key_clients_.push_back(std::make_unique<KeyServiceClient>(
+          key_rpcs_[i].get(), options_.device_id, key_secret));
+    }
   }
   if (shard_count > 1) {
     std::vector<KeyServiceClient*> stubs;
@@ -178,28 +265,54 @@ Deployment::Deployment(DeploymentOptions options)
 
 Deployment::~Deployment() = default;
 
-void Deployment::CrashKeyShard(size_t i) {
+void Deployment::CrashKeyReplica(size_t shard, size_t replica) {
+  KeyService& service = key_replica(shard, replica);
+  RpcServer& server = key_replica_rpc_server(shard, replica);
   // An open commit window dies with the process: its staged entries never
   // sealed (never durable) and its held responses are never sent — the
-  // clients time out and retry against the restarted shard.
-  key_shards_[i]->AbortStaged();
+  // clients time out and retry (against the promoted backup, if any).
+  service.AbortStaged();
   // Snapshot models the durable log + key store the crashed process leaves
   // on disk; the server swallows everything until restart.
-  key_shard_snapshots_[i] = key_shards_[i]->Snapshot();
-  key_rpc_servers_[i]->set_down(true);
+  key_replica_snapshots_[shard][replica] = service.Snapshot();
+  server.set_down(true);
+  if (!replica_sets_.empty()) {
+    replica_sets_[shard]->NoteCrashed(replica);
+  }
 }
 
-void Deployment::RestartKeyShard(size_t i) {
-  Status restored = key_shards_[i]->Restore(key_shard_snapshots_[i]);
+void Deployment::RestartKeyReplica(size_t shard, size_t replica) {
+  KeyService& service = key_replica(shard, replica);
+  RpcServer& server = key_replica_rpc_server(shard, replica);
+  Status restored = service.Restore(key_replica_snapshots_[shard][replica]);
   if (!restored.ok()) {
-    KP_LOG(kError) << "key shard " << i << " restart: " << restored;
+    KP_LOG(kError) << "key shard " << shard << " replica " << replica
+                   << " restart: " << restored;
     abort();
   }
   // Completed replies are durable (written with the audit entry); requests
   // that were mid-execution at crash time will never answer — forget them
   // so client retries re-execute.
-  key_rpc_servers_[i]->reply_cache().ClearInFlight();
-  key_rpc_servers_[i]->set_down(false);
+  server.reply_cache().ClearInFlight();
+  server.set_down(false);
+  if (!replica_sets_.empty()) {
+    // The ex-primary comes back with a possibly diverged chain: it rejoins
+    // as a backup, reconciling against whoever leads now.
+    replica_sets_[shard]->NoteRestarted(replica);
+  }
+}
+
+void Deployment::CrashKeyShard(size_t i) {
+  // With replication the interesting victim is whichever replica currently
+  // leads; without it, replica 0 is the whole shard.
+  size_t replica =
+      replica_sets_.empty() ? 0 : replica_sets_[i]->current_leader();
+  last_crashed_replica_[i] = replica;
+  CrashKeyReplica(i, replica);
+}
+
+void Deployment::RestartKeyShard(size_t i) {
+  RestartKeyReplica(i, last_crashed_replica_[i]);
 }
 
 void Deployment::CrashMetadataService() {
@@ -223,6 +336,30 @@ void Deployment::ScheduleKeyShardCrash(size_t i, SimTime at,
   queue_.Schedule(at + outage, [this, i] { RestartKeyShard(i); });
 }
 
+void Deployment::ScheduleKeyReplicaCrash(size_t shard, size_t replica,
+                                         SimTime at, SimDuration outage) {
+  queue_.Schedule(at,
+                  [this, shard, replica] { CrashKeyReplica(shard, replica); });
+  queue_.Schedule(at + outage, [this, shard, replica] {
+    RestartKeyReplica(shard, replica);
+  });
+}
+
+void Deployment::PartitionKeyReplica(size_t shard, size_t replica,
+                                     bool partitioned) {
+  if (!replica_sets_.empty()) {
+    replica_sets_[shard]->SetPartitioned(replica, partitioned);
+  }
+}
+
+void Deployment::ScheduleKeyReplicaPartition(size_t shard, size_t replica,
+                                             SimTime at,
+                                             SimDuration duration) {
+  if (!replica_sets_.empty()) {
+    replica_sets_[shard]->SchedulePartition(replica, at, duration);
+  }
+}
+
 void Deployment::ScheduleMetadataServiceCrash(SimTime at,
                                               SimDuration outage) {
   queue_.Schedule(at, [this] { CrashMetadataService(); });
@@ -231,12 +368,22 @@ void Deployment::ScheduleMetadataServiceCrash(SimTime at,
 
 void Deployment::ReportDeviceLost() {
   // Revocation must land on every shard — any single shard still serving
-  // keys would defeat remote data control.
+  // keys would defeat remote data control. With replication it goes through
+  // the replica set so the backups learn it before any of them can lead.
   Status key_status = Status::Ok();
-  for (auto& shard : key_shards_) {
-    Status s = shard->DisableDevice(options_.device_id);
-    if (!s.ok() && key_status.ok()) {
-      key_status = s;
+  if (!replica_sets_.empty()) {
+    for (auto& set : replica_sets_) {
+      Status s = set->DisableDevice(options_.device_id);
+      if (!s.ok() && key_status.ok()) {
+        key_status = s;
+      }
+    }
+  } else {
+    for (auto& shard : key_shards_) {
+      Status s = shard->DisableDevice(options_.device_id);
+      if (!s.ok() && key_status.ok()) {
+        key_status = s;
+      }
     }
   }
   Status meta_status = metadata_service_->DisableDevice(options_.device_id);
@@ -258,21 +405,36 @@ Result<Deployment::AttackerClients> Deployment::MakeAttackerClients(
   clients.meta_rpc = std::make_unique<RpcClient>(&queue_, &client_link_,
                                                  &meta_rpc_server_,
                                                  options_.rpc);
-  clients.key = std::make_unique<KeyServiceClient>(
-      clients.key_rpc.get(), creds.device_id, creds.key_secret);
+  // The stolen laptop's config names every replica endpoint; the thief's
+  // stubs fail over between replicas exactly like the owner's did.
+  auto make_stub = [&](size_t shard, RpcClient* primary) {
+    if (key_replica_count() <= 1) {
+      return std::make_unique<KeyServiceClient>(primary, creds.device_id,
+                                                creds.key_secret);
+    }
+    std::vector<RpcClient*> endpoints;
+    endpoints.push_back(primary);
+    for (auto& backup_server : key_backup_servers_[shard]) {
+      clients.replica_rpcs.push_back(std::make_unique<RpcClient>(
+          &queue_, &client_link_, backup_server.get(), options_.rpc));
+      endpoints.push_back(clients.replica_rpcs.back().get());
+    }
+    return std::make_unique<KeyServiceClient>(
+        &queue_, std::move(endpoints), creds.device_id, creds.key_secret,
+        FailoverFor(options_));
+  };
+  clients.key = make_stub(0, clients.key_rpc.get());
   clients.meta = std::make_unique<MetadataServiceClient>(
       clients.meta_rpc.get(), creds.device_id, creds.meta_secret);
   if (key_shards_.size() > 1) {
-    // The stolen laptop's config names every shard endpoint; the thief
-    // rebuilds the same router the legitimate client ran.
+    // The thief rebuilds the same router the legitimate client ran.
     std::vector<KeyServiceClient*> stubs;
     stubs.push_back(clients.key.get());
     for (size_t i = 1; i < key_shards_.size(); ++i) {
       clients.shard_rpcs.push_back(std::make_unique<RpcClient>(
           &queue_, &client_link_, key_rpc_servers_[i].get(), options_.rpc));
-      clients.shard_stubs.push_back(std::make_unique<KeyServiceClient>(
-          clients.shard_rpcs.back().get(), creds.device_id,
-          creds.key_secret));
+      clients.shard_stubs.push_back(
+          make_stub(i, clients.shard_rpcs.back().get()));
       stubs.push_back(clients.shard_stubs.back().get());
     }
     clients.router = std::make_unique<ShardRouter>(&queue_, std::move(stubs),

@@ -22,6 +22,8 @@
 #include "src/keypad/keypad_fs.h"
 #include "src/keypad/paired_device.h"
 #include "src/keyservice/key_service.h"
+#include "src/keyservice/key_service_client.h"
+#include "src/keyservice/replica_set.h"
 #include "src/keyservice/shard_router.h"
 #include "src/metaservice/metadata_service.h"
 #include "src/net/link.h"
@@ -59,6 +61,14 @@ struct DeploymentOptions {
   KeyServiceOptions key_service;
   // Router knobs (ring seed, vnodes, single-flight coalescing).
   ShardRouter::Options router;
+  // Replication width per shard (DESIGN.md §9). With R > 1 every shard runs
+  // R replicas (primary + R−1 backups) under a lease-based ReplicaSet; the
+  // laptop's stubs fail over between them and sealed audit groups stream to
+  // the backups before client responses release. Like sharding, this is a
+  // datacenter-side feature: the phone proxy and sealed channels force 1.
+  int key_replicas = 1;
+  // Lease/replication knobs applied to every shard's replica set.
+  ReplicaSetOptions replica_set;
 };
 
 class Deployment {
@@ -69,9 +79,29 @@ class Deployment {
   EventQueue& queue() { return queue_; }
   KeypadFs& fs() { return *fs_; }
   // Shard 0 — the whole tier when key_shards == 1 (the historical layout).
+  // With replication this is the shard's replica 0 (the initial primary),
+  // which may no longer lead after a failover; see replica_set().
   KeyService& key_service() { return *key_shards_[0]; }
   size_t key_shard_count() const { return key_shards_.size(); }
   KeyService& key_shard(size_t i) { return *key_shards_[i]; }
+  // Replication accessors. replica 0 of shard i is key_shard(i) itself;
+  // replicas 1..R−1 are the backups. replica_set(i) is null when R == 1.
+  size_t key_replica_count() const {
+    return static_cast<size_t>(options_.key_replicas);
+  }
+  KeyService& key_replica(size_t shard, size_t replica) {
+    return replica == 0 ? *key_shards_[shard]
+                        : *key_backup_services_[shard][replica - 1];
+  }
+  RpcServer& key_replica_rpc_server(size_t shard, size_t replica) {
+    return replica == 0 ? *key_rpc_servers_[shard]
+                        : *key_backup_servers_[shard][replica - 1];
+  }
+  ReplicaSet* replica_set(size_t shard) {
+    return replica_sets_.empty() ? nullptr : replica_sets_[shard].get();
+  }
+  // The replica-aware stub for shard i (what the router routes to).
+  KeyServiceClient& key_stub(size_t i) { return *key_clients_[i]; }
   // Null when unsharded (KeypadFs talks straight to the shard-0 stub).
   ShardRouter* key_router() { return key_router_.get(); }
   // What KeypadFs actually talks to: the router when sharded, the shard-0
@@ -115,16 +145,28 @@ class Deployment {
   // Per-shard crash/restart; the legacy names mean shard 0. A crash drops
   // any group-commit window still staged (entries that never sealed were
   // never durable — clients retry) along with its unsent responses.
+  // With replication, CrashKeyShard kills the shard's *current leader*
+  // (whichever replica that is at crash time) and RestartKeyShard brings
+  // that same replica back; CrashKeyReplica targets a specific replica.
   void CrashKeyShard(size_t i);
   void RestartKeyShard(size_t i);
   void CrashKeyService() { CrashKeyShard(0); }
   void RestartKeyService() { RestartKeyShard(0); }
+  void CrashKeyReplica(size_t shard, size_t replica);
+  void RestartKeyReplica(size_t shard, size_t replica);
   void CrashMetadataService();
   void RestartMetadataService();
   void ScheduleKeyShardCrash(size_t i, SimTime at, SimDuration outage);
   void ScheduleKeyServiceCrash(SimTime at, SimDuration outage) {
     ScheduleKeyShardCrash(0, at, outage);
   }
+  void ScheduleKeyReplicaCrash(size_t shard, size_t replica, SimTime at,
+                               SimDuration outage);
+  // Silently partitions one replica off the replication mesh (its client
+  // link stays up — the split-brain scenario). No-op when unreplicated.
+  void PartitionKeyReplica(size_t shard, size_t replica, bool partitioned);
+  void ScheduleKeyReplicaPartition(size_t shard, size_t replica, SimTime at,
+                                   SimDuration duration);
   void ScheduleMetadataServiceCrash(SimTime at, SimDuration outage);
 
   // Total bytes Keypad moved over the client link (bandwidth accounting).
@@ -150,6 +192,9 @@ class Deployment {
     std::vector<std::unique_ptr<RpcClient>> shard_rpcs;
     std::vector<std::unique_ptr<KeyServiceClient>> shard_stubs;
     std::unique_ptr<ShardRouter> router;
+    // Backup-replica endpoints (replicated deployments: the thief's stubs
+    // fail over exactly like the owner's did).
+    std::vector<std::unique_ptr<RpcClient>> replica_rpcs;
     // When the deployment runs sealed channels, the thief derives the same
     // channel roots from the stolen secrets.
     std::unique_ptr<SecureRandom> channel_rng;
@@ -167,8 +212,14 @@ class Deployment {
 
   // Services and their RPC servers. The key tier is a vector of shards
   // (size 1 reproduces the historical single-service layout exactly).
+  // key_shards_[i] is shard i's replica 0; with key_replicas R > 1 the
+  // backups live in key_backup_services_[i][0..R−2] and one ReplicaSet per
+  // shard coordinates the whole group.
   std::vector<std::unique_ptr<KeyService>> key_shards_;
   std::vector<std::unique_ptr<RpcServer>> key_rpc_servers_;
+  std::vector<std::vector<std::unique_ptr<KeyService>>> key_backup_services_;
+  std::vector<std::vector<std::unique_ptr<RpcServer>>> key_backup_servers_;
+  std::vector<std::unique_ptr<ReplicaSet>> replica_sets_;
   std::unique_ptr<MetadataService> metadata_service_;
   RpcServer meta_rpc_server_;
 
@@ -193,8 +244,11 @@ class Deployment {
   std::unique_ptr<SecureChannel> meta_channel_server_;
 
   // Laptop-side plumbing: one RpcClient + stub per key shard, and the
-  // router over them when sharded.
+  // router over them when sharded. key_rpcs_[i] reaches shard i's replica
+  // 0; key_backup_rpcs_[i] reach its backups (all over client_link_), and
+  // the shard's stub routes across the whole group.
   std::vector<std::unique_ptr<RpcClient>> key_rpcs_;
+  std::vector<std::vector<std::unique_ptr<RpcClient>>> key_backup_rpcs_;
   std::unique_ptr<RpcClient> meta_rpc_;
   std::vector<std::unique_ptr<KeyServiceClient>> key_clients_;
   std::unique_ptr<ShardRouter> key_router_;
@@ -203,8 +257,11 @@ class Deployment {
 
   ForensicAuditor auditor_;
 
-  // Crash-time snapshots of the services' durable state.
-  std::vector<Bytes> key_shard_snapshots_;
+  // Crash-time snapshots of the services' durable state, per replica
+  // ([shard][replica]; column 0 is the unreplicated case), plus which
+  // replica the last CrashKeyShard(i) actually took down.
+  std::vector<std::vector<Bytes>> key_replica_snapshots_;
+  std::vector<size_t> last_crashed_replica_;
   Bytes meta_service_snapshot_;
 };
 

@@ -171,14 +171,33 @@ AuditReport BuildFromData(
 
 }  // namespace
 
+const KeyService* ForensicAuditor::Authority(size_t shard) const {
+  if (shard < replica_sets_.size() && replica_sets_[shard] != nullptr) {
+    const ReplicaSet* set = replica_sets_[shard];
+    return set->service(set->current_leader());
+  }
+  return key_services_[shard];
+}
+
 Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
                                                  SimTime t_loss,
                                                  SimDuration texp) const {
-  // Trust nothing until the chains check out — every shard's chain must
-  // verify independently before any of them contributes records.
+  // Trust nothing until the chains check out — every shard's authoritative
+  // chain must verify independently before any of them contributes records.
   bool key_logs_ok = true;
-  for (const KeyService* shard : key_services_) {
-    key_logs_ok = key_logs_ok && shard->log().Verify().ok();
+  for (size_t i = 0; i < key_services_.size(); ++i) {
+    key_logs_ok = key_logs_ok && Authority(i)->log().Verify().ok();
+  }
+  // Replica chains verify too: a backup holding a broken chain is an audit
+  // finding even when the leader's chain is intact.
+  bool replicas_ok = true;
+  for (const ReplicaSet* set : replica_sets_) {
+    if (set == nullptr) {
+      continue;
+    }
+    for (size_t r = 0; r < set->size(); ++r) {
+      replicas_ok = replicas_ok && set->service(r)->log().Verify().ok();
+    }
   }
   if (!key_logs_ok || !metadata_service_->log().Verify().ok()) {
     AuditReport report;
@@ -186,18 +205,59 @@ Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
     report.cutoff = t_loss - texp;
     report.key_log_verified = key_logs_ok;
     report.metadata_log_verified = metadata_service_->log().Verify().ok();
+    report.replica_logs_verified = replicas_ok;
     return Result<AuditReport>(std::move(report));
   }
 
   std::vector<AuditLogEntry> entries;
-  for (const KeyService* shard : key_services_) {
-    for (const auto& entry : shard->LogSince(t_loss - texp)) {
+  for (size_t i = 0; i < key_services_.size(); ++i) {
+    for (const auto& entry : Authority(i)->LogSince(t_loss - texp)) {
       if (entry.device_id == device_id) {
         entries.push_back(entry);
       }
     }
   }
-  if (key_services_.size() > 1) {
+
+  // Entries reconciliation orphaned off losing chains: classify each one as
+  // a duplicate of an authoritative row (same device, audit id, op, client
+  // time — the seal-chain fields necessarily differ across chains) or as a
+  // sole survivor, which joins the report so the acknowledged access is
+  // never lost.
+  size_t duplicate_records = 0;
+  size_t orphaned_records = 0;
+  for (size_t i = 0; i < replica_sets_.size(); ++i) {
+    const ReplicaSet* set = replica_sets_[i];
+    if (set == nullptr) {
+      continue;
+    }
+    std::vector<AuditLogEntry> authoritative = Authority(i)->LogSince(
+        SimTime());
+    for (const OrphanedEntry& orphan : set->orphaned()) {
+      const AuditLogEntry& entry = orphan.entry;
+      if (entry.device_id != device_id) {
+        continue;
+      }
+      bool matched = false;
+      for (const auto& held : authoritative) {
+        if (held.device_id == entry.device_id &&
+            held.audit_id == entry.audit_id && held.op == entry.op &&
+            held.client_time == entry.client_time) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        ++duplicate_records;
+      } else {
+        ++orphaned_records;
+        if (entry.client_time >= t_loss - texp) {
+          entries.push_back(entry);
+        }
+      }
+    }
+  }
+
+  if (key_services_.size() > 1 || orphaned_records > 0) {
     // Each shard's slice is already chronological; merge into one timeline
     // by the trusted service-side timestamp.
     std::stable_sort(entries.begin(), entries.end(),
@@ -205,7 +265,7 @@ Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
                        return a.timestamp < b.timestamp;
                      });
   }
-  return BuildFromData(
+  AuditReport annotated = BuildFromData(
       t_loss, texp, entries,
       [&](const AuditId& id, SimTime as_of) {
         return metadata_service_->ResolvePath(device_id, id, as_of);
@@ -218,6 +278,66 @@ Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
         }
         return out;
       });
+  annotated.replica_logs_verified = replicas_ok;
+  annotated.duplicate_records = duplicate_records;
+  annotated.orphaned_records = orphaned_records;
+  return Result<AuditReport>(std::move(annotated));
+}
+
+Status RemoteAuditor::Resync(size_t shard, uint64_t server_epoch) {
+  ++resyncs_;
+  WireValue::Array payload;
+  payload.push_back(WireValue(static_cast<int64_t>(0)));
+  auto result = key_rpcs_[shard]->Call(
+      "audit.key_log_tail",
+      FrameAuthedCall(device_id_, key_secret_, "audit.key_log_tail",
+                      std::move(payload)));
+  if (!result.ok()) {
+    return result.status();
+  }
+  KP_ASSIGN_OR_RETURN(WireValue next, result->Field("next"));
+  KP_ASSIGN_OR_RETURN(int64_t next_seq, next.AsInt());
+  KP_ASSIGN_OR_RETURN(WireValue raw, result->Field("entries"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_entries, raw.AsArray());
+  std::vector<AuditLogEntry> fresh;
+  for (const auto& raw_entry : raw_entries) {
+    KP_ASSIGN_OR_RETURN(AuditLogEntry entry,
+                        AuditLogEntry::FromWire(raw_entry));
+    fresh.push_back(std::move(entry));
+  }
+  // Overlap re-verification: every row this auditor already fetched must
+  // either still exist with identical content, or it stays in the local
+  // cache as evidence — a row served once is never silently un-happened by
+  // a shard restore or failover. Changed overlap rows (same sequence,
+  // different content) are tamper/fork evidence; both versions are kept.
+  std::vector<AuditLogEntry> merged = fresh;
+  for (const auto& had : shard_cached_[shard]) {
+    const AuditLogEntry* match = nullptr;
+    for (const auto& now : fresh) {
+      if (now.seq == had.seq) {
+        match = &now;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      ++regressed_entries_;
+      merged.push_back(had);
+    } else if (!(match->device_id == had.device_id &&
+                 match->audit_id == had.audit_id && match->op == had.op &&
+                 match->timestamp == had.timestamp &&
+                 match->client_time == had.client_time)) {
+      ++overlap_mismatches_;
+      merged.push_back(had);
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const AuditLogEntry& a, const AuditLogEntry& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  shard_cached_[shard] = std::move(merged);
+  cursors_[shard] = static_cast<uint64_t>(next_seq);
+  epochs_[shard] = server_epoch;
+  return Status::Ok();
 }
 
 Result<AuditReport> RemoteAuditor::BuildReport(SimTime t_loss,
@@ -238,23 +358,43 @@ Result<AuditReport> RemoteAuditor::BuildReport(SimTime t_loss,
     }
     KP_ASSIGN_OR_RETURN(WireValue next, log_result->Field("next"));
     KP_ASSIGN_OR_RETURN(int64_t next_seq, next.AsInt());
+    uint64_t server_epoch = 0;
+    if (log_result->HasField("epoch")) {
+      KP_ASSIGN_OR_RETURN(WireValue epoch_v, log_result->Field("epoch"));
+      KP_ASSIGN_OR_RETURN(int64_t epoch_int, epoch_v.AsInt());
+      server_epoch = static_cast<uint64_t>(epoch_int);
+    }
+    if (static_cast<uint64_t>(next_seq) < cursors_[shard] ||
+        server_epoch != epochs_[shard]) {
+      // The log moved backwards under the cursor (restore from an older
+      // snapshot) or the service adopted a different history (restore
+      // epoch changed — e.g. failover onto a shorter surviving chain). The
+      // suffix we just asked for is not trustworthy as an increment;
+      // refetch from sequence zero and re-verify the overlap.
+      KP_RETURN_IF_ERROR(Resync(shard, server_epoch));
+      continue;
+    }
     KP_ASSIGN_OR_RETURN(WireValue raw, log_result->Field("entries"));
     KP_ASSIGN_OR_RETURN(WireValue::Array raw_entries, raw.AsArray());
     for (const auto& raw_entry : raw_entries) {
       KP_ASSIGN_OR_RETURN(AuditLogEntry entry,
                           AuditLogEntry::FromWire(raw_entry));
-      cached_.push_back(std::move(entry));
+      shard_cached_[shard].push_back(std::move(entry));
     }
     cursors_[shard] = static_cast<uint64_t>(next_seq);
   }
+  std::vector<AuditLogEntry> timeline;
+  for (const auto& shard : shard_cached_) {
+    timeline.insert(timeline.end(), shard.begin(), shard.end());
+  }
   if (key_rpcs_.size() > 1) {
-    std::stable_sort(cached_.begin(), cached_.end(),
+    std::stable_sort(timeline.begin(), timeline.end(),
                      [](const AuditLogEntry& a, const AuditLogEntry& b) {
                        return a.timestamp < b.timestamp;
                      });
   }
   std::vector<AuditLogEntry> entries;
-  for (const auto& entry : cached_) {
+  for (const auto& entry : timeline) {
     if (entry.timestamp >= t_loss - texp) {
       entries.push_back(entry);
     }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/keyservice/key_service.h"
+#include "src/keyservice/replica_set.h"
 #include "src/rpc/rpc.h"
 #include "src/metaservice/metadata_service.h"
 #include "src/util/ids.h"
@@ -61,6 +62,17 @@ struct AuditReport {
   // Log-chain verification results.
   bool key_log_verified = false;
   bool metadata_log_verified = false;
+  // Replicated key tier (DESIGN.md §9): true iff every live replica's chain
+  // verified, not just the authoritative one.
+  bool replica_logs_verified = true;
+  // Sealed entries orphaned by failover reconciliation whose logical row
+  // (device, audit id, op, client time) the authoritative chain also
+  // carries: harmless duplication — the invariant is duplicated, not lost.
+  size_t duplicate_records = 0;
+  // Orphaned entries with no authoritative counterpart. They are folded
+  // into the report conservatively (a client-acknowledged access is never
+  // dropped just because its chain lost the leadership contest).
+  size_t orphaned_records = 0;
 
   bool Compromised(const AuditId& id) const;
   std::string ToString() const;
@@ -81,14 +93,28 @@ class ForensicAuditor {
       : key_services_(std::move(key_services)),
         metadata_service_(metadata_service) {}
 
+  // Replicated key tier: one ReplicaSet per shard (nullptr entries mean
+  // that shard is unreplicated). The auditor then verifies every replica
+  // chain, reads records from each shard's *current leader* (the replica-0
+  // view may be stale after a failover), and enumerates the entries
+  // reconciliation orphaned as duplicated-or-surfaced.
+  void AttachReplicaSets(std::vector<const ReplicaSet*> replica_sets) {
+    replica_sets_ = std::move(replica_sets);
+  }
+
   // Builds the post-loss report for `device_id`. `texp` must be the Texp
   // the device was configured with (the owner/IT department knows it).
   Result<AuditReport> BuildReport(const std::string& device_id, SimTime t_loss,
                                   SimDuration texp) const;
 
  private:
+  // The shard's authoritative service: its replica set's current leader
+  // when attached, the historical single instance otherwise.
+  const KeyService* Authority(size_t shard) const;
+
   std::vector<const KeyService*> key_services_;
   const MetadataService* metadata_service_;
+  std::vector<const ReplicaSet*> replica_sets_;
 };
 
 // The same report, built remotely over the services' audit RPC surface —
@@ -114,7 +140,9 @@ class RemoteAuditor {
         device_id_(std::move(device_id)),
         key_secret_(std::move(key_secret)),
         meta_secret_(std::move(meta_secret)),
-        cursors_(key_rpcs_.size(), 0) {}
+        cursors_(key_rpcs_.size(), 0),
+        epochs_(key_rpcs_.size(), 0),
+        shard_cached_(key_rpcs_.size()) {}
 
   // Non-const: advances the per-shard cursors and extends the cached
   // per-device timeline.
@@ -123,18 +151,40 @@ class RemoteAuditor {
   // Test hooks: where each shard's cursor stands and how much of the
   // device's timeline is cached locally.
   uint64_t cursor(size_t shard = 0) const { return cursors_[shard]; }
-  size_t cached_entries() const { return cached_.size(); }
+  size_t cached_entries() const {
+    size_t total = 0;
+    for (const auto& shard : shard_cached_) {
+      total += shard.size();
+    }
+    return total;
+  }
+  // Cursor-resync forensics: how often a shard's log came back *behind* the
+  // cursor (restore from an older snapshot / failover to a shorter chain),
+  // how many previously-fetched rows the resynced log no longer carries
+  // (kept locally as evidence), and overlapping rows whose bytes changed.
+  uint64_t resyncs() const { return resyncs_; }
+  uint64_t regressed_entries() const { return regressed_entries_; }
+  uint64_t overlap_mismatches() const { return overlap_mismatches_; }
 
  private:
+  // Re-reads shard's log from sequence 0 after detecting regression, and
+  // reconciles it against what this auditor had already fetched.
+  Status Resync(size_t shard, uint64_t server_epoch);
+
   std::vector<RpcClient*> key_rpcs_;
   RpcClient* meta_rpc_;
   std::string device_id_;
   Bytes key_secret_;
   Bytes meta_secret_;
-  // Per-shard "next unseen sequence number" cursors plus the accumulated
-  // device-filtered entries fetched so far, merged by service timestamp.
+  // Per-shard "next unseen sequence number" cursors, the service restore
+  // epoch last seen, and the accumulated device-filtered entries fetched so
+  // far (kept per shard so a resync can re-verify just that shard's rows).
   std::vector<uint64_t> cursors_;
-  std::vector<AuditLogEntry> cached_;
+  std::vector<uint64_t> epochs_;
+  std::vector<std::vector<AuditLogEntry>> shard_cached_;
+  uint64_t resyncs_ = 0;
+  uint64_t regressed_entries_ = 0;
+  uint64_t overlap_mismatches_ = 0;
 };
 
 }  // namespace keypad

@@ -249,6 +249,79 @@ Status AuditLog::LoadVerified(std::vector<AuditLogEntry> entries) {
   return Status::Ok();
 }
 
+Status AuditLog::AppendReplicated(const std::vector<AuditLogEntry>& entries) {
+  const size_t base = entries_.size();
+  Bytes material;
+  // A delta may overlap the local tail (a rejoined backup restored from a
+  // leader snapshot that already contained the groups now being streamed).
+  // The overlap must match what we hold byte-for-byte — same history, not a
+  // fork — and is then skipped; groups are shipped whole, so the first
+  // genuinely new entry always starts a commit group.
+  size_t skip = 0;
+  while (skip < entries.size() && entries[skip].seq < base) {
+    const auto& incoming = entries[skip];
+    const auto& held = entries_[static_cast<size_t>(incoming.seq)];
+    bool same = incoming.seq == held.seq &&
+                incoming.group_start == held.group_start &&
+                incoming.prev_hash == held.prev_hash &&
+                incoming.entry_hash == held.entry_hash;
+    if (same) {
+      Bytes a, b;
+      SerializeEntry(incoming, &a);
+      SerializeEntry(held, &b);
+      same = a == b;
+    }
+    if (!same) {
+      return DataLossError("audit log: replicated overlap mismatch at " +
+                           std::to_string(incoming.seq));
+    }
+    ++skip;
+  }
+  Bytes prev = last_seal();
+  // First pass: verify the whole suffix before mutating anything.
+  size_t i = skip;
+  std::vector<size_t> group_sizes;
+  while (i < entries.size()) {
+    const size_t start = base + (i - skip);
+    if (entries[i].seq != start || entries[i].group_start != start) {
+      return DataLossError("audit log: replicated suffix not contiguous at " +
+                           std::to_string(start));
+    }
+    Sha256 hasher;
+    hasher.Update(prev);
+    size_t j = i;
+    for (; j < entries.size() && entries[j].group_start == start; ++j) {
+      const auto& entry = entries[j];
+      if (entry.seq != base + (j - skip) || entry.prev_hash != prev) {
+        return DataLossError("audit log: replicated chain break at " +
+                             std::to_string(base + (j - skip)));
+      }
+      material.clear();
+      SerializeEntry(entry, &material);
+      hasher.Update(material);
+    }
+    Sha256::Digest digest = hasher.Finish();
+    Bytes seal(digest.begin(), digest.end());
+    for (size_t k = i; k < j; ++k) {
+      if (entries[k].entry_hash != seal) {
+        return DataLossError("audit log: replicated seal mismatch at " +
+                             std::to_string(base + (k - skip)));
+      }
+    }
+    prev = seal;
+    group_sizes.push_back(j - i);
+    i = j;
+  }
+  for (size_t k = skip; k < entries.size(); ++k) {
+    entries_.push_back(entries[k]);
+  }
+  for (size_t size : group_sizes) {
+    ++commit_groups_;
+    max_group_size_ = std::max<uint64_t>(max_group_size_, size);
+  }
+  return Status::Ok();
+}
+
 void AuditLog::CorruptEntryForTesting(size_t index) {
   if (index < entries_.size()) {
     entries_[index].device_id += "-tampered";

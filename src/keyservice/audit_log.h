@@ -122,6 +122,14 @@ class AuditLog {
   // boundaries, so a restored log hashes exactly as the one snapshotted.
   Status LoadVerified(std::vector<AuditLogEntry> entries);
 
+  // Replication path (DESIGN.md §9): appends already-sealed commit groups
+  // streamed from a replica-set leader. The suffix must continue this log's
+  // chain exactly — consecutive sequence numbers from size(), each group's
+  // prev_hash equal to the tail seal at that point, and every group seal
+  // recomputing correctly. kDataLoss (and no mutation) on any mismatch, so
+  // a diverged backup can never silently adopt a forked history.
+  Status AppendReplicated(const std::vector<AuditLogEntry>& entries);
+
   // --- Commit metrics (BENCH_scale.json). ---------------------------------
   uint64_t commit_groups() const { return commit_groups_; }
   uint64_t max_group_size() const { return max_group_size_; }

@@ -5,6 +5,73 @@
 
 namespace keypad {
 
+WireValue KeyReplDelta::ToWire() const {
+  WireValue::Struct s;
+  WireValue::Array raw_entries;
+  for (const auto& entry : entries) {
+    raw_entries.push_back(entry.ToWire());
+  }
+  s.emplace("entries", WireValue(std::move(raw_entries)));
+  WireValue::Array raw_keys;
+  for (const auto& change : key_changes) {
+    WireValue::Struct k;
+    k.emplace("device", WireValue(change.device_id));
+    k.emplace("id", WireValue(change.audit_id.ToBytes()));
+    k.emplace("key", WireValue(change.key));
+    k.emplace("disabled", WireValue(change.disabled));
+    k.emplace("erased", WireValue(change.erased));
+    raw_keys.push_back(WireValue(std::move(k)));
+  }
+  s.emplace("keys", WireValue(std::move(raw_keys)));
+  WireValue::Array raw_devices;
+  for (const auto& change : device_changes) {
+    WireValue::Struct d;
+    d.emplace("device", WireValue(change.device_id));
+    d.emplace("disabled", WireValue(change.disabled));
+    raw_devices.push_back(WireValue(std::move(d)));
+  }
+  s.emplace("devices", WireValue(std::move(raw_devices)));
+  return WireValue(std::move(s));
+}
+
+Result<KeyReplDelta> KeyReplDelta::FromWire(const WireValue& value) {
+  KeyReplDelta delta;
+  KP_ASSIGN_OR_RETURN(WireValue entries_v, value.Field("entries"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_entries, entries_v.AsArray());
+  for (const auto& raw : raw_entries) {
+    KP_ASSIGN_OR_RETURN(AuditLogEntry entry, AuditLogEntry::FromWire(raw));
+    delta.entries.push_back(std::move(entry));
+  }
+  KP_ASSIGN_OR_RETURN(WireValue keys_v, value.Field("keys"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_keys, keys_v.AsArray());
+  for (const auto& raw : raw_keys) {
+    KeyChange change;
+    KP_ASSIGN_OR_RETURN(WireValue device_v, raw.Field("device"));
+    KP_ASSIGN_OR_RETURN(change.device_id, device_v.AsString());
+    KP_ASSIGN_OR_RETURN(WireValue id_v, raw.Field("id"));
+    KP_ASSIGN_OR_RETURN(Bytes id_bytes, id_v.AsBytes());
+    KP_ASSIGN_OR_RETURN(change.audit_id, AuditId::FromBytes(id_bytes));
+    KP_ASSIGN_OR_RETURN(WireValue key_v, raw.Field("key"));
+    KP_ASSIGN_OR_RETURN(change.key, key_v.AsBytes());
+    KP_ASSIGN_OR_RETURN(WireValue disabled_v, raw.Field("disabled"));
+    KP_ASSIGN_OR_RETURN(change.disabled, disabled_v.AsBool());
+    KP_ASSIGN_OR_RETURN(WireValue erased_v, raw.Field("erased"));
+    KP_ASSIGN_OR_RETURN(change.erased, erased_v.AsBool());
+    delta.key_changes.push_back(std::move(change));
+  }
+  KP_ASSIGN_OR_RETURN(WireValue devices_v, value.Field("devices"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_devices, devices_v.AsArray());
+  for (const auto& raw : raw_devices) {
+    DeviceChange change;
+    KP_ASSIGN_OR_RETURN(WireValue device_v, raw.Field("device"));
+    KP_ASSIGN_OR_RETURN(change.device_id, device_v.AsString());
+    KP_ASSIGN_OR_RETURN(WireValue disabled_v, raw.Field("disabled"));
+    KP_ASSIGN_OR_RETURN(change.disabled, disabled_v.AsBool());
+    delta.device_changes.push_back(std::move(change));
+  }
+  return delta;
+}
+
 KeyService::KeyService(EventQueue* queue, uint64_t rng_seed,
                        KeyServiceOptions options)
     : queue_(queue), rng_(rng_seed), options_(options) {}
@@ -64,12 +131,115 @@ void KeyService::FlushCommitWindow() {
   NoteSealed(log_.CommitBatch());
   ++window_flushes_;
   // Only now that the group seal is durable may the responses (and the
-  // keys inside them) leave the service (§3.1).
-  std::vector<PendingResponse> responses = std::move(pending_responses_);
+  // keys inside them) leave the service (§3.1). With a replica set the
+  // barrier extends further: the sealed group must land on every in-sync
+  // backup before release, so a client-acknowledged record can never be
+  // lost to a single-replica crash (DESIGN.md §9).
+  auto responses = std::make_shared<std::vector<PendingResponse>>(
+      std::move(pending_responses_));
   pending_responses_.clear();
-  for (auto& pending : responses) {
-    pending.respond(std::move(pending.result));
+  auto release = [responses] {
+    for (auto& pending : *responses) {
+      pending.respond(std::move(pending.result));
+    }
+  };
+  if (replicator_) {
+    KeyReplDelta delta = TakeUnshippedDelta();
+    if (delta.empty()) {
+      release();
+    } else {
+      replicator_(std::move(delta), std::move(release));
+    }
+  } else {
+    release();
   }
+}
+
+void KeyService::NoteKeyChange(const std::string& device_id,
+                               const AuditId& audit_id, const Bytes& key,
+                               bool disabled, bool erased) {
+  if (!replicator_) {
+    return;
+  }
+  pending_key_changes_.push_back({device_id, audit_id, key, disabled, erased});
+}
+
+void KeyService::NoteDeviceChange(const std::string& device_id,
+                                  bool disabled) {
+  if (!replicator_) {
+    return;
+  }
+  pending_device_changes_.push_back({device_id, disabled});
+}
+
+KeyReplDelta KeyService::TakeUnshippedDelta() {
+  KeyReplDelta delta;
+  delta.entries = log_.EntriesAfterSeq(shipped_seq_);
+  shipped_seq_ = log_.size();
+  delta.key_changes = std::move(pending_key_changes_);
+  pending_key_changes_.clear();
+  delta.device_changes = std::move(pending_device_changes_);
+  pending_device_changes_.clear();
+  return delta;
+}
+
+void KeyService::ReplicateNow(std::function<void()> done) {
+  if (!replicator_) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+  KeyReplDelta delta = TakeUnshippedDelta();
+  if (delta.empty()) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+  if (!done) {
+    done = [] {};
+  }
+  replicator_(std::move(delta), std::move(done));
+}
+
+Status KeyService::ApplyReplicated(const KeyReplDelta& delta) {
+  // Chain continuity first: a diverged backup must reject the whole delta
+  // untouched so the leader can mark it out-of-sync and reconciliation can
+  // sort out the fork later.
+  KP_RETURN_IF_ERROR(log_.AppendReplicated(delta.entries));
+  for (const auto& change : delta.key_changes) {
+    KeyMapKey map_key(change.device_id, change.audit_id);
+    if (change.erased) {
+      auto it = keys_.find(map_key);
+      if (it != keys_.end()) {
+        SecureZero(it->second.key);
+        keys_.erase(it);
+      }
+      continue;
+    }
+    if (change.disabled) {
+      auto it = keys_.find(map_key);
+      if (it != keys_.end()) {
+        it->second.disabled = true;
+      }
+      continue;
+    }
+    KeyRecord record;
+    record.key = change.key;
+    keys_[map_key] = std::move(record);
+  }
+  for (const auto& change : delta.device_changes) {
+    auto it = devices_.find(change.device_id);
+    if (it != devices_.end()) {
+      it->second.disabled = change.disabled;
+    }
+  }
+  // Everything applied is, by definition, shipped state: if this backup is
+  // later promoted it must not re-stream records the old leader already
+  // distributed.
+  shipped_seq_ = log_.size();
+  return Status::Ok();
 }
 
 void KeyService::AbortStaged() {
@@ -106,6 +276,7 @@ Status KeyService::DisableDevice(const std::string& device_id) {
   it->second.disabled = true;
   // One revocation record marks the control action in the audit trail.
   LogAppend(queue_->Now(), device_id, AuditId{}, AccessOp::kRevoke);
+  NoteDeviceChange(device_id, true);
   return Status::Ok();
 }
 
@@ -115,6 +286,7 @@ Status KeyService::EnableDevice(const std::string& device_id) {
     return NotFoundError("key service: unknown device " + device_id);
   }
   it->second.disabled = false;
+  NoteDeviceChange(device_id, false);
   return Status::Ok();
 }
 
@@ -157,6 +329,7 @@ Result<Bytes> KeyService::CreateKey(const std::string& device_id,
   // Durably log *before* responding (paper §3.1).
   LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kCreate);
   keys_.emplace(map_key, record);
+  NoteKeyChange(device_id, audit_id, record.key, false, false);
   return record.key;
 }
 
@@ -234,6 +407,7 @@ Status KeyService::UploadJournal(const std::string& device_id,
         KeyRecord record;
         record.key = entry.key;
         keys_.emplace(map_key, record);
+        NoteKeyChange(device_id, entry.audit_id, entry.key, false, false);
       }
     }
     LogAppend(queue_->Now(), entry.client_time, device_id, entry.audit_id,
@@ -257,6 +431,7 @@ Status KeyService::DisableKey(const std::string& device_id,
   }
   it->second.disabled = true;
   LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kRevoke);
+  NoteKeyChange(device_id, audit_id, Bytes(), true, false);
   return Status::Ok();
 }
 
@@ -269,6 +444,8 @@ Status KeyService::DestroyKey(const std::string& device_id,
   SecureZero(it->second.key);
   keys_.erase(it);
   LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kDestroy);
+  // Assured delete must propagate: every replica zeroes its copy.
+  NoteKeyChange(device_id, audit_id, Bytes(), false, true);
   return Status::Ok();
 }
 
@@ -361,6 +538,14 @@ Status KeyService::Restore(const Bytes& snapshot) {
   devices_ = std::move(devices);
   keys_ = std::move(keys);
   log_ = std::move(restored_log);
+  // The log under any remote cursor may just have been replaced by an
+  // older one; the epoch bump is how auditors notice. Pending replication
+  // state described the pre-restore log, so it is meaningless now — a
+  // rejoining replica reconciles via its replica set instead.
+  ++restore_epoch_;
+  shipped_seq_ = log_.size();
+  pending_key_changes_.clear();
+  pending_device_changes_.clear();
   return Status::Ok();
 }
 
@@ -384,25 +569,46 @@ void KeyService::BindRpc(RpcServer* server) {
   // the handler executes immediately (its appends stage into the open
   // window's commit group) but the response is withheld until the group
   // seal lands — the client-visible "durably log before the key leaves"
-  // barrier now covers the whole group.
-  auto install = [this, server, authed](const std::string& method, auto fn) {
+  // barrier now covers the whole group. A replicated service uses the same
+  // held-response path even with a zero window, because responses must
+  // additionally wait for backup acknowledgement. `gated` methods are
+  // leader-only when a serve gate is installed (key.* — they mutate or
+  // release keys); audit.* stays readable on any replica.
+  auto install = [this, server, authed](const std::string& method, bool gated,
+                                        auto fn) {
     RpcServer::Handler body = authed(method, fn);
-    if (options_.commit_window > SimDuration()) {
+    if (options_.commit_window > SimDuration() || replicator_) {
       server->RegisterAsyncMethod(
-          method, [this, body](const WireValue::Array& params,
-                               RpcServer::Responder respond) {
+          method, [this, gated, body](const WireValue::Array& params,
+                                      RpcServer::Responder respond) {
+            if (gated && serve_gate_) {
+              Status gate = serve_gate_();
+              if (!gate.ok()) {
+                // Rejected before any append: nothing to seal, nothing to
+                // hold — tell the client who leads, right away.
+                respond(std::move(gate));
+                return;
+              }
+            }
             OpenCommitWindow();
             Result<WireValue> result = body(params);
             pending_responses_.push_back(
                 {std::move(respond), std::move(result)});
           });
     } else {
-      server->RegisterMethod(method, body);
+      server->RegisterMethod(
+          method, [this, gated, body](const WireValue::Array& params)
+                      -> Result<WireValue> {
+            if (gated && serve_gate_) {
+              KP_RETURN_IF_ERROR(serve_gate_());
+            }
+            return body(params);
+          });
     }
   };
 
   install(
-      "key.create",
+      "key.create", true,
       [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
@@ -415,7 +621,7 @@ void KeyService::BindRpc(RpcServer* server) {
              });
 
   install(
-      "key.get",
+      "key.get", true,
       [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 2) {
@@ -430,7 +636,7 @@ void KeyService::BindRpc(RpcServer* server) {
              });
 
   install(
-      "key.get_batch",
+      "key.get_batch", true,
       [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
@@ -456,7 +662,7 @@ void KeyService::BindRpc(RpcServer* server) {
              });
 
   install(
-      "key.evict",
+      "key.evict", true,
       [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
@@ -472,7 +678,7 @@ void KeyService::BindRpc(RpcServer* server) {
   // Authenticated with the device secret: whoever can audit a device can
   // already act for it administratively in this model.
   install(
-      "audit.key_log_since",
+      "audit.key_log_since", false,
       [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
@@ -493,7 +699,7 @@ void KeyService::BindRpc(RpcServer* server) {
   // so a repeat auditor transfers (and the service scans) only what's new
   // instead of re-walking the whole log.
   install(
-      "audit.key_log_tail",
+      "audit.key_log_tail", false,
       [this](const std::string& device,
              const WireValue::Array& payload) -> Result<WireValue> {
         if (payload.size() != 1) {
@@ -513,11 +719,16 @@ void KeyService::BindRpc(RpcServer* server) {
         WireValue::Struct out;
         out.emplace("next", WireValue(static_cast<int64_t>(log_.size())));
         out.emplace("entries", WireValue(std::move(entries)));
+        // Restore epoch: lets a remote cursor distinguish "shard restored
+        // from an older snapshot" (epoch bump, possibly next < cursor) from
+        // a plain short read, and trigger an overlap-verified resync.
+        out.emplace("epoch",
+                    WireValue(static_cast<int64_t>(restore_epoch_)));
         return WireValue(std::move(out));
       });
 
   install(
-      "key.destroy",
+      "key.destroy", true,
       [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
@@ -530,7 +741,7 @@ void KeyService::BindRpc(RpcServer* server) {
              });
 
   install(
-      "key.fetch_group",
+      "key.fetch_group", true,
       [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 2) {
@@ -564,7 +775,7 @@ void KeyService::BindRpc(RpcServer* server) {
              });
 
   install(
-      "key.upload_journal",
+      "key.upload_journal", true,
       [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {

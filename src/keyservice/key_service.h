@@ -26,6 +26,34 @@
 
 namespace keypad {
 
+// Replication delta (DESIGN.md §9): the sealed audit-log suffix a leader
+// streams to its backups before releasing the responses held on the seal,
+// plus the key-store and device mutations those entries describe. A backup
+// applies a delta atomically: chain-continuity is verified before any
+// state changes.
+struct KeyReplDelta {
+  std::vector<AuditLogEntry> entries;
+  struct KeyChange {
+    std::string device_id;
+    AuditId audit_id;
+    Bytes key;            // Empty for flag-only changes (disable).
+    bool disabled = false;
+    bool erased = false;  // Assured delete: remove (and zero) the record.
+  };
+  std::vector<KeyChange> key_changes;
+  struct DeviceChange {
+    std::string device_id;
+    bool disabled = false;
+  };
+  std::vector<DeviceChange> device_changes;
+
+  bool empty() const {
+    return entries.empty() && key_changes.empty() && device_changes.empty();
+  }
+  WireValue ToWire() const;
+  static Result<KeyReplDelta> FromWire(const WireValue& value);
+};
+
 // Tuning for one key-service shard (DESIGN.md §8).
 struct KeyServiceOptions {
   // Group-commit window. Zero (the default) seals every RPC's appends when
@@ -156,6 +184,50 @@ class KeyService {
   // Snapshot-on-crash and before Restore.
   void AbortStaged();
 
+  // --- Replication hooks (DESIGN.md §9). ----------------------------------
+
+  // Wires this service into a replica set as a potential leader. After each
+  // seal the service hands the un-shipped delta to `replicator`, which must
+  // call `done` exactly once when every in-sync backup acknowledged it —
+  // only then do the held responses (and the keys inside them) leave the
+  // service, extending the "durably log, then respond" barrier across the
+  // replica set. Installing a replicator forces the RPC surface onto the
+  // async held-response path even with a zero commit window; call before
+  // BindRpc.
+  using Replicator =
+      std::function<void(KeyReplDelta, std::function<void()> done)>;
+  void set_replicator(Replicator replicator) {
+    replicator_ = std::move(replicator);
+  }
+  bool replicated() const { return replicator_ != nullptr; }
+
+  // Leadership gate for the client-facing key.* RPC surface: when set and
+  // returning non-OK (kFailedPrecondition "NOT_LEADER:<i>"), the call is
+  // rejected before executing. audit.* methods stay served by any replica.
+  void set_serve_gate(std::function<Status()> gate) {
+    serve_gate_ = std::move(gate);
+  }
+
+  // Backup-side apply: verifies the delta continues the local chain
+  // (kDataLoss on divergence — the sender marks this backup out-of-sync),
+  // then applies the key/device mutations.
+  Status ApplyReplicated(const KeyReplDelta& delta);
+
+  // Drains everything sealed since the last ship into one delta and
+  // advances the shipped watermark.
+  KeyReplDelta TakeUnshippedDelta();
+  uint64_t shipped_seq() const { return shipped_seq_; }
+
+  // Ships any sealed-but-unshipped suffix immediately — the admin path
+  // (device disable) and a freshly promoted leader use this; RPC-driven
+  // seals ship from FlushCommitWindow.
+  void ReplicateNow(std::function<void()> done = {});
+
+  // Bumps every time Restore() adopts a snapshot. Served alongside
+  // audit.key_log_tail so a remote auditor can tell "the log under my
+  // cursor was replaced" from "the log merely grew" (cursor re-sync).
+  uint64_t restore_epoch() const { return restore_epoch_; }
+
   // Per-shard load metrics for BENCH_scale.json: how well group commit is
   // amortizing the chain.
   struct LoadStats {
@@ -215,6 +287,12 @@ class KeyService {
   // flush.
   void OpenCommitWindow();
 
+  // Records a key/device mutation for the next replication delta (no-op
+  // without a replicator).
+  void NoteKeyChange(const std::string& device_id, const AuditId& audit_id,
+                     const Bytes& key, bool disabled, bool erased);
+  void NoteDeviceChange(const std::string& device_id, bool disabled);
+
   EventQueue* queue_;
   SecureRandom rng_;
   KeyServiceOptions options_;
@@ -222,6 +300,14 @@ class KeyService {
   std::map<std::string, DeviceRecord> devices_;
   std::map<KeyMapKey, KeyRecord> keys_;
   AuditLog log_;
+
+  // Replication state (replica sets only).
+  Replicator replicator_;
+  std::function<Status()> serve_gate_;
+  uint64_t shipped_seq_ = 0;  // Log prefix already streamed to backups.
+  std::vector<KeyReplDelta::KeyChange> pending_key_changes_;
+  std::vector<KeyReplDelta::DeviceChange> pending_device_changes_;
+  uint64_t restore_epoch_ = 0;
 
   // Open commit window state (commit_window > 0 only).
   struct PendingResponse {

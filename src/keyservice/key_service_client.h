@@ -2,11 +2,21 @@
 // the paired device's proxy daemon) talk to the key-service tier through
 // the KeyClient interface; this stub implements it against one service
 // (one shard), handling auth framing and (de)marshalling.
+//
+// Replica-aware mode (DESIGN.md §9): constructed with the RpcClients of a
+// whole replica set, the stub remembers which replica last answered (the
+// leader hint), follows NOT_LEADER:<i> redirects from the serve gate, and
+// on kUnavailable (crash, partition, open breaker) fails over to the next
+// replica. When a full cycle finds no leader — mid-failover, before a
+// backup's promotion timer fires — it pauses briefly and retries until the
+// failover budget runs out, so client goodput resumes as soon as a backup
+// promotes instead of erroring out.
 
 #ifndef SRC_KEYSERVICE_KEY_SERVICE_CLIENT_H_
 #define SRC_KEYSERVICE_KEY_SERVICE_CLIENT_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +24,7 @@
 #include "src/keyservice/audit_log.h"
 #include "src/keyservice/key_client.h"
 #include "src/rpc/rpc.h"
+#include "src/sim/event_queue.h"
 #include "src/util/ids.h"
 #include "src/util/result.h"
 
@@ -21,10 +32,41 @@ namespace keypad {
 
 class KeyServiceClient : public KeyClient {
  public:
+  struct FailoverOptions {
+    // Overall budget for riding out one leader failover (should cover
+    // lease_duration + promote_stagger * replicas + slack).
+    SimDuration budget = SimDuration::Seconds(8);
+    // Pause between full no-leader cycles.
+    SimDuration pause = SimDuration::Millis(100);
+    // How long a replica whose transport just failed (crash, partition,
+    // timeout ladder exhausted) is skipped before being probed again.
+    // While a failover is in flight this keeps the stub polling the live
+    // promotion candidate instead of burning another retry ladder on the
+    // dead ex-leader, so goodput resumes ~one lease after the kill.
+    SimDuration probe_backoff = SimDuration::Seconds(3);
+  };
+
+  // Single-endpoint stub (one shard, no replicas) — the historical layout.
   KeyServiceClient(RpcClient* rpc, std::string device_id, Bytes device_secret)
-      : rpc_(rpc),
+      : device_id_(std::move(device_id)),
+        device_secret_(std::move(device_secret)),
+        replicas_{rpc} {}
+
+  // Replica-set stub: one RpcClient per replica of the same shard, in
+  // replica-index order (NOT_LEADER redirects are indices into this list).
+  KeyServiceClient(EventQueue* queue, std::vector<RpcClient*> replicas,
+                   std::string device_id, Bytes device_secret,
+                   FailoverOptions failover)
+      : queue_(queue),
         device_id_(std::move(device_id)),
-        device_secret_(std::move(device_secret)) {}
+        device_secret_(std::move(device_secret)),
+        replicas_(std::move(replicas)),
+        failover_(failover) {}
+
+  KeyServiceClient(EventQueue* queue, std::vector<RpcClient*> replicas,
+                   std::string device_id, Bytes device_secret)
+      : KeyServiceClient(queue, std::move(replicas), std::move(device_id),
+                         std::move(device_secret), FailoverOptions()) {}
 
   Result<Bytes> CreateKey(const AuditId& audit_id) override;
   Result<Bytes> GetKey(const AuditId& audit_id,
@@ -53,12 +95,42 @@ class KeyServiceClient : public KeyClient {
                       std::function<void(Result<Bytes>)> done) override;
 
   const std::string& device_id() const override { return device_id_; }
-  RpcClient* rpc() const { return rpc_; }
+  RpcClient* rpc() const { return replicas_.front(); }
+
+  size_t replica_count() const { return replicas_.size(); }
+  size_t leader_hint() const { return leader_hint_; }
+  // How often a call moved to another replica after a failure, and how
+  // often a NOT_LEADER redirect was followed.
+  uint64_t failovers() const { return failovers_; }
+  uint64_t redirects() const { return redirects_; }
 
  private:
-  RpcClient* rpc_;
+  struct AsyncRoute;
+
+  // One framed attempt against replica `idx` (frames per attempt — the
+  // auth tag binds the method, not the replica, so the same payload can be
+  // re-framed anywhere).
+  Result<WireValue> CallOne(size_t idx, const std::string& method,
+                            const WireValue::Array& payload);
+
+  // Replica-aware virtual-blocking call: leader hint, NOT_LEADER redirects,
+  // failover cycles, paced retries under the failover budget. Collapses to
+  // a plain single call with one replica.
+  Result<WireValue> RoutedCall(const std::string& method,
+                               const WireValue::Array& payload);
+  // Same state machine, asynchronous.
+  void RoutedCallAsync(const std::string& method, WireValue::Array payload,
+                       std::function<void(Result<WireValue>)> done);
+  void StepAsync(std::shared_ptr<AsyncRoute> route);
+
+  EventQueue* queue_ = nullptr;
   std::string device_id_;
   Bytes device_secret_;
+  std::vector<RpcClient*> replicas_;
+  size_t leader_hint_ = 0;
+  FailoverOptions failover_;
+  uint64_t failovers_ = 0;
+  uint64_t redirects_ = 0;
 };
 
 }  // namespace keypad

@@ -1,0 +1,60 @@
+// Lease state machine for replicated key shards (DESIGN.md §9).
+//
+// Leadership in a replica set rests on time-bounded leases: the leader
+// broadcasts a renewal every `renew_interval`, and each backup that hears
+// it extends its local grant by `lease_duration`. A backup whose grant
+// expires considers leadership vacant and arms a promotion timer at
+//
+//   promote_at = lease_expiry + promote_stagger * replica_index
+//
+// — the deterministic seniority rule: the lowest-index live backup fires
+// first and announces itself (its first renewal broadcast doubles as the
+// NEW_LEADER announcement), which re-grants every later candidate's lease
+// and disarms their staggered timers. Simulated clocks share one event
+// queue, so no clock-skew epsilon is modelled.
+
+#ifndef SRC_KEYSERVICE_LEASE_H_
+#define SRC_KEYSERVICE_LEASE_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace keypad {
+
+struct LeaseOptions {
+  // How long one grant lasts without renewal.
+  SimDuration lease_duration = SimDuration::Seconds(2);
+  // Leader broadcast period. Several renewals fit in one lease, so a
+  // single lost renewal does not trigger a spurious failover.
+  SimDuration renew_interval = SimDuration::Millis(500);
+  // Seniority stagger between candidate promotion slots.
+  SimDuration promote_stagger = SimDuration::Millis(400);
+};
+
+// One replica's local view of the lease it granted to the current leader.
+class LeaseState {
+ public:
+  void Grant(SimTime now, SimDuration lease_duration) {
+    expiry_ = now + lease_duration;
+  }
+  // Forces the grant to lapse (e.g. a rejoining replica with no leader in
+  // sight becomes an immediate promotion candidate).
+  void Expire(SimTime now) { expiry_ = now; }
+
+  bool Held(SimTime now) const { return now < expiry_; }
+  SimTime expiry() const { return expiry_; }
+
+  // When this replica's promotion slot opens (seniority rule above).
+  SimTime PromoteAt(size_t replica_index, const LeaseOptions& options) const {
+    return expiry_ +
+           options.promote_stagger * static_cast<int64_t>(replica_index);
+  }
+
+ private:
+  SimTime expiry_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_KEYSERVICE_LEASE_H_

@@ -1,0 +1,758 @@
+#include "src/keyservice/replica_set.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/wire/binary_codec.h"
+
+namespace keypad {
+
+namespace {
+
+// Field-by-field entry identity (the chain hashes alone would do, but the
+// explicit compare keeps reconciliation honest if hashing ever changes).
+bool SameEntry(const AuditLogEntry& a, const AuditLogEntry& b) {
+  return a.seq == b.seq && a.group_start == b.group_start &&
+         a.timestamp == b.timestamp && a.client_time == b.client_time &&
+         a.device_id == b.device_id && a.audit_id == b.audit_id &&
+         a.op == b.op && a.prev_hash == b.prev_hash &&
+         a.entry_hash == b.entry_hash;
+}
+
+RpcOptions ReplRpcOptions(SimDuration ack_timeout) {
+  RpcOptions options;
+  // One attempt, no breaker: the replica set has its own failure handling
+  // (out-of-sync marking, promotion timers) and must see failures promptly
+  // rather than have the transport paper over them.
+  options.timeout = ack_timeout;
+  options.total_deadline = ack_timeout;
+  options.retry.max_attempts = 1;
+  options.breaker.enabled = false;
+  return options;
+}
+
+}  // namespace
+
+ReplicaSet::ReplicaSet(EventQueue* queue, ReplicaSetOptions options)
+    : queue_(queue), options_(options) {}
+
+ReplicaSet::~ReplicaSet() {
+  for (auto& replica : replicas_) {
+    if (replica->promote_event != EventQueue::kInvalidEvent) {
+      queue_->Cancel(replica->promote_event);
+    }
+    if (replica->renew_event != EventQueue::kInvalidEvent) {
+      queue_->Cancel(replica->renew_event);
+    }
+    ++replica->generation;  // Invalidate any still-scheduled callbacks.
+  }
+}
+
+void ReplicaSet::AddReplica(KeyService* service, RpcServer* server) {
+  auto replica = std::make_unique<Replica>();
+  replica->service = service;
+  replica->server = server;
+  replica->index = replicas_.size();
+  size_t i = replica->index;
+  replicas_.push_back(std::move(replica));
+
+  service->set_serve_gate([this, i]() -> Status {
+    if (is_leader(i)) {
+      return Status::Ok();
+    }
+    return FailedPreconditionError(
+        "NOT_LEADER:" + std::to_string(replicas_[i]->view_leader));
+  });
+  service->set_replicator(
+      [this, i](KeyReplDelta delta, std::function<void()> done) {
+        Ship(i, std::move(delta), std::move(done));
+      });
+}
+
+void ReplicaSet::Start() {
+  const size_t n = replicas_.size();
+  links_.resize(n * n);
+  clients_.resize(n * n);
+  for (size_t from = 0; from < n; ++from) {
+    for (size_t to = 0; to < n; ++to) {
+      if (from == to) {
+        continue;
+      }
+      uint64_t seed =
+          options_.seed ^ (static_cast<uint64_t>(from) << 40) ^
+          (static_cast<uint64_t>(to) << 24) ^ 0x5e71;
+      links_[from * n + to] = std::make_unique<NetworkLink>(
+          queue_, options_.repl_profile, seed);
+      clients_[from * n + to] = std::make_unique<RpcClient>(
+          queue_, links_[from * n + to].get(), replicas_[to]->server,
+          ReplRpcOptions(options_.ack_timeout));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    RegisterHandlers(i);
+    Replica& replica = *replicas_[i];
+    replica.view_leader = 0;
+    replica.epoch = 1;
+    replica.in_sync.assign(n, true);
+    if (i == 0) {
+      StartRenewals(0, /*immediately=*/false);
+    } else {
+      replica.lease.Grant(queue_->Now(), options_.lease.lease_duration);
+      ArmPromote(i);
+    }
+  }
+  started_ = true;
+  Record("start", 0, 1);
+}
+
+bool ReplicaSet::ClaimWins(const Claim& a, const Claim& b) {
+  if (a.log_size != b.log_size) {
+    return a.log_size > b.log_size;
+  }
+  if (a.epoch != b.epoch) {
+    return a.epoch > b.epoch;
+  }
+  return a.index < b.index;
+}
+
+ReplicaSet::Claim ReplicaSet::ClaimOf(size_t i) const {
+  return Claim{replicas_[i]->service->log().size(), replicas_[i]->epoch, i};
+}
+
+size_t ReplicaSet::current_leader() const {
+  std::optional<Claim> best;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (is_leader(i)) {
+      Claim claim = ClaimOf(i);
+      if (!best || ClaimWins(claim, *best)) {
+        best = claim;
+      }
+    }
+  }
+  if (best) {
+    return best->index;
+  }
+  // Mid-failover (or everything dead): the longest live chain, else 0.
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i]->crashed) {
+      continue;
+    }
+    Claim claim = ClaimOf(i);
+    if (!best || ClaimWins(claim, *best)) {
+      best = claim;
+    }
+  }
+  return best ? best->index : 0;
+}
+
+void ReplicaSet::Record(const std::string& what, size_t replica,
+                        uint64_t epoch) {
+  timeline_.push_back({queue_->Now(), what, replica, epoch});
+}
+
+void ReplicaSet::RegisterHandlers(size_t i) {
+  RpcServer* server = replicas_[i]->server;
+
+  // repl.lease [from, epoch, log_size] — the leader's renewal broadcast,
+  // doubling as the NEW_LEADER announcement after a promotion.
+  server->RegisterMethod(
+      "repl.lease",
+      [this, i](const WireValue::Array& params) -> Result<WireValue> {
+        if (params.size() != 3) {
+          return InvalidArgumentError("repl.lease: bad arity");
+        }
+        KP_ASSIGN_OR_RETURN(int64_t from_int, params[0].AsInt());
+        KP_ASSIGN_OR_RETURN(int64_t epoch_int, params[1].AsInt());
+        KP_ASSIGN_OR_RETURN(int64_t size_int, params[2].AsInt());
+        size_t from = static_cast<size_t>(from_int);
+        Claim theirs{static_cast<uint64_t>(size_int),
+                     static_cast<uint64_t>(epoch_int), from};
+        Replica& replica = *replicas_[i];
+        bool granted = true;
+        if (is_leader(i)) {
+          // Competing leaders: resolve pairwise, loser steps down.
+          if (ClaimWins(theirs, ClaimOf(i))) {
+            StepDown(i);
+            AdoptLeader(i, from, theirs.epoch);
+            size_t leader = from;
+            uint64_t epoch = theirs.epoch;
+            uint64_t generation = replica.generation;
+            queue_->ScheduleAfter(SimDuration(), [this, i, leader, epoch,
+                                                  generation] {
+              if (replicas_[i]->generation == generation) {
+                FetchAndReconcile(i, leader, epoch, 8);
+              }
+            });
+          } else {
+            granted = false;
+          }
+        } else {
+          AdoptLeader(i, from, theirs.epoch);
+        }
+        WireValue::Struct out;
+        out.emplace("granted", WireValue(granted));
+        out.emplace("leader",
+                    WireValue(static_cast<int64_t>(replica.view_leader)));
+        out.emplace("epoch", WireValue(static_cast<int64_t>(replica.epoch)));
+        out.emplace("log_size", WireValue(static_cast<int64_t>(
+                                    replica.service->log().size())));
+        return WireValue(std::move(out));
+      });
+
+  // repl.append [from, epoch, log_size, delta] — a sealed commit-group
+  // stream from the leader. Chain continuity is the real guard: a stale or
+  // forked leader's delta fails verification and mutates nothing.
+  server->RegisterMethod(
+      "repl.append",
+      [this, i](const WireValue::Array& params) -> Result<WireValue> {
+        if (params.size() != 4) {
+          return InvalidArgumentError("repl.append: bad arity");
+        }
+        KP_ASSIGN_OR_RETURN(int64_t from_int, params[0].AsInt());
+        KP_ASSIGN_OR_RETURN(int64_t epoch_int, params[1].AsInt());
+        KP_ASSIGN_OR_RETURN(int64_t size_int, params[2].AsInt());
+        KP_ASSIGN_OR_RETURN(KeyReplDelta delta,
+                            KeyReplDelta::FromWire(params[3]));
+        size_t from = static_cast<size_t>(from_int);
+        Claim theirs{static_cast<uint64_t>(size_int),
+                     static_cast<uint64_t>(epoch_int), from};
+        Replica& replica = *replicas_[i];
+        if (is_leader(i)) {
+          if (!ClaimWins(theirs, ClaimOf(i))) {
+            // Tell the sender it lost the leadership contest.
+            return FailedPreconditionError("DEMOTED:" + std::to_string(i));
+          }
+          StepDown(i);
+        }
+        AdoptLeader(i, from, theirs.epoch);
+        Status applied = replica.service->ApplyReplicated(delta);
+        if (!applied.ok()) {
+          // Our chain diverged from the leader's (we are an un-reconciled
+          // fork). Self-heal: fetch the leader's state and rejoin.
+          uint64_t generation = replica.generation;
+          uint64_t epoch = theirs.epoch;
+          queue_->ScheduleAfter(SimDuration(), [this, i, from, epoch,
+                                                generation] {
+            if (replicas_[i]->generation == generation) {
+              FetchAndReconcile(i, from, epoch, 8);
+            }
+          });
+          return applied;
+        }
+        return WireValue(true);
+      });
+
+  // repl.status — what this replica believes; rejoiners trust only rows
+  // where the peer claims leadership itself.
+  server->RegisterMethod(
+      "repl.status",
+      [this, i](const WireValue::Array& params) -> Result<WireValue> {
+        (void)params;
+        Replica& replica = *replicas_[i];
+        WireValue::Struct out;
+        out.emplace("leader",
+                    WireValue(static_cast<int64_t>(replica.view_leader)));
+        out.emplace("is_leader", WireValue(is_leader(i)));
+        out.emplace("epoch", WireValue(static_cast<int64_t>(replica.epoch)));
+        out.emplace("log_size", WireValue(static_cast<int64_t>(
+                                    replica.service->log().size())));
+        return WireValue(std::move(out));
+      });
+
+  // repl.snapshot — full state transfer for reconciliation.
+  server->RegisterMethod(
+      "repl.snapshot",
+      [this, i](const WireValue::Array& params) -> Result<WireValue> {
+        (void)params;
+        WireValue::Struct out;
+        out.emplace("snap", WireValue(replicas_[i]->service->Snapshot()));
+        return WireValue(std::move(out));
+      });
+
+  // repl.rejoin [from, log_size] — a reconciled backup asks back into the
+  // synchronous-ack set. Only accepted when its tail is close enough that
+  // the next delta will be contiguous (>= our shipped watermark); a stale
+  // tail gets BEHIND and the rejoiner re-fetches the snapshot.
+  server->RegisterMethod(
+      "repl.rejoin",
+      [this, i](const WireValue::Array& params) -> Result<WireValue> {
+        if (params.size() != 2) {
+          return InvalidArgumentError("repl.rejoin: bad arity");
+        }
+        KP_ASSIGN_OR_RETURN(int64_t from_int, params[0].AsInt());
+        KP_ASSIGN_OR_RETURN(int64_t size_int, params[1].AsInt());
+        size_t from = static_cast<size_t>(from_int);
+        Replica& replica = *replicas_[i];
+        if (!is_leader(i)) {
+          return FailedPreconditionError(
+              "NOT_LEADER:" + std::to_string(replica.view_leader));
+        }
+        uint64_t tail = static_cast<uint64_t>(size_int);
+        if (tail < replica.service->shipped_seq() ||
+            tail > replica.service->log().size()) {
+          return FailedPreconditionError("BEHIND");
+        }
+        if (from < replica.in_sync.size()) {
+          replica.in_sync[from] = true;
+        }
+        return WireValue(true);
+      });
+}
+
+// --- Lease machinery. -------------------------------------------------------
+
+void ReplicaSet::ArmPromote(size_t i) {
+  Replica& replica = *replicas_[i];
+  if (replica.promote_event != EventQueue::kInvalidEvent) {
+    queue_->Cancel(replica.promote_event);
+  }
+  uint64_t generation = replica.generation;
+  SimTime at = replica.lease.PromoteAt(i, options_.lease);
+  replica.promote_event = queue_->Schedule(at, [this, i, generation] {
+    if (replicas_[i]->generation == generation) {
+      replicas_[i]->promote_event = EventQueue::kInvalidEvent;
+      OnPromoteTimer(i);
+    }
+  });
+}
+
+void ReplicaSet::OnPromoteTimer(size_t i) {
+  Replica& replica = *replicas_[i];
+  if (replica.crashed || is_leader(i)) {
+    return;
+  }
+  if (replica.lease.Held(queue_->Now())) {
+    // Renewed since this timer was armed; wait out the new slot.
+    ArmPromote(i);
+    return;
+  }
+  Promote(i);
+}
+
+void ReplicaSet::Promote(size_t i) {
+  Replica& replica = *replicas_[i];
+  replica.epoch += 1;
+  replica.view_leader = i;
+  replica.in_sync.assign(replicas_.size(), true);
+  if (replica.promote_event != EventQueue::kInvalidEvent) {
+    queue_->Cancel(replica.promote_event);
+    replica.promote_event = EventQueue::kInvalidEvent;
+  }
+  ++stats_.promotions;
+  Record("promote", i, replica.epoch);
+  // Anything sealed locally but never shipped (shouldn't exist on a clean
+  // backup, but a reconciled ex-leader may hold admin-path entries).
+  replica.service->ReplicateNow();
+  // The first renewal is the NEW_LEADER announcement — send it now.
+  StartRenewals(i, /*immediately=*/true);
+}
+
+void ReplicaSet::StartRenewals(size_t i, bool immediately) {
+  Replica& replica = *replicas_[i];
+  if (replica.renew_event != EventQueue::kInvalidEvent) {
+    queue_->Cancel(replica.renew_event);
+  }
+  uint64_t generation = replica.generation;
+  SimDuration delay =
+      immediately ? SimDuration() : options_.lease.renew_interval;
+  replica.renew_event = queue_->ScheduleAfter(delay, [this, i, generation] {
+    if (replicas_[i]->generation == generation) {
+      replicas_[i]->renew_event = EventQueue::kInvalidEvent;
+      RenewTick(i);
+    }
+  });
+}
+
+void ReplicaSet::RenewTick(size_t i) {
+  Replica& replica = *replicas_[i];
+  if (replica.crashed || !is_leader(i)) {
+    return;
+  }
+  uint64_t generation = replica.generation;
+  Claim mine = ClaimOf(i);
+  for (size_t j = 0; j < replicas_.size(); ++j) {
+    if (j == i) {
+      continue;
+    }
+    WireValue::Array params;
+    params.push_back(WireValue(static_cast<int64_t>(i)));
+    params.push_back(WireValue(static_cast<int64_t>(mine.epoch)));
+    params.push_back(WireValue(static_cast<int64_t>(mine.log_size)));
+    ClientTo(i, j)->CallAsync(
+        "repl.lease", std::move(params),
+        [this, i, generation](Result<WireValue> result) {
+          if (replicas_[i]->generation != generation || !result.ok()) {
+            // Unreachable peer: its own lease timer handles the rest.
+            return;
+          }
+          auto granted_v = result->Field("granted");
+          if (!granted_v.ok() || granted_v->AsBool().value_or(true)) {
+            return;
+          }
+          // The peer holds (or follows) a stronger claim: concede.
+          auto leader_v = result->Field("leader");
+          auto epoch_v = result->Field("epoch");
+          auto size_v = result->Field("log_size");
+          if (!leader_v.ok() || !epoch_v.ok() || !size_v.ok()) {
+            return;
+          }
+          Claim theirs{
+              static_cast<uint64_t>(size_v->AsInt().value_or(0)),
+              static_cast<uint64_t>(epoch_v->AsInt().value_or(0)),
+              static_cast<size_t>(leader_v->AsInt().value_or(0))};
+          if (!ClaimWins(theirs, ClaimOf(i))) {
+            return;  // Stale rejection; our next renewal settles it.
+          }
+          StepDown(i);
+          AdoptLeader(i, theirs.index, theirs.epoch);
+          FetchAndReconcile(i, theirs.index, theirs.epoch, 8);
+        });
+  }
+  StartRenewals(i, /*immediately=*/false);
+}
+
+void ReplicaSet::StepDown(size_t i) {
+  Replica& replica = *replicas_[i];
+  if (replica.renew_event != EventQueue::kInvalidEvent) {
+    queue_->Cancel(replica.renew_event);
+    replica.renew_event = EventQueue::kInvalidEvent;
+  }
+  // Dropping the ship pipeline drops the `done` callbacks with it: held
+  // client responses are never released un-replicated — the clients time
+  // out and retry against the winner.
+  replica.ship_queue.clear();
+  replica.ship_in_flight = false;
+  ++replica.generation;
+  ++stats_.step_downs;
+  Record("step_down", i, replica.epoch);
+}
+
+void ReplicaSet::AdoptLeader(size_t i, size_t leader, uint64_t epoch) {
+  Replica& replica = *replicas_[i];
+  replica.view_leader = leader;
+  replica.epoch = epoch;
+  replica.lease.Grant(queue_->Now(), options_.lease.lease_duration);
+  ArmPromote(i);
+}
+
+// --- Replication (leader side). ---------------------------------------------
+
+void ReplicaSet::Ship(size_t i, KeyReplDelta delta,
+                      std::function<void()> done) {
+  Replica& replica = *replicas_[i];
+  if (replica.crashed) {
+    return;  // Responses already aborted with the crash.
+  }
+  replica.ship_queue.push_back({std::move(delta), std::move(done)});
+  if (!replica.ship_in_flight) {
+    StartShipRound(i);
+  }
+}
+
+void ReplicaSet::StartShipRound(size_t i) {
+  Replica& replica = *replicas_[i];
+  while (!replica.ship_queue.empty()) {
+    PendingShip ship = std::move(replica.ship_queue.front());
+    replica.ship_queue.pop_front();
+
+    std::vector<size_t> targets;
+    for (size_t j = 0; j < replicas_.size(); ++j) {
+      if (j != i && replica.in_sync[j]) {
+        targets.push_back(j);
+      }
+    }
+    if (targets.empty()) {
+      // Sole survivor (every backup out-of-sync or none configured):
+      // availability over redundancy — release on the local seal alone.
+      ship.done();
+      continue;
+    }
+
+    replica.ship_in_flight = true;
+    ++stats_.deltas_shipped;
+    stats_.delta_entries_shipped += ship.delta.entries.size();
+
+    struct Round {
+      size_t outstanding;
+      std::function<void()> done;
+    };
+    auto round = std::make_shared<Round>();
+    round->outstanding = targets.size();
+    round->done = std::move(ship.done);
+    uint64_t generation = replica.generation;
+    Claim mine = ClaimOf(i);
+    WireValue delta_wire = ship.delta.ToWire();
+    for (size_t j : targets) {
+      WireValue::Array params;
+      params.push_back(WireValue(static_cast<int64_t>(i)));
+      params.push_back(WireValue(static_cast<int64_t>(mine.epoch)));
+      params.push_back(WireValue(static_cast<int64_t>(mine.log_size)));
+      params.push_back(delta_wire);
+      ClientTo(i, j)->CallAsync(
+          "repl.append", std::move(params),
+          [this, i, j, generation, round](Result<WireValue> result) {
+            Replica& replica = *replicas_[i];
+            bool live = replica.generation == generation;
+            if (live) {
+              if (result.ok()) {
+                ++stats_.append_acks;
+              } else {
+                ++stats_.append_failures;
+                if (result.status().code() ==
+                        StatusCode::kFailedPrecondition &&
+                    result.status().message().rfind("DEMOTED", 0) == 0) {
+                  // The backup outranks us: concede and reconcile.
+                  StepDown(i);
+                  AdoptLeader(i, j, replicas_[i]->epoch);
+                  Rejoin(i);
+                } else if (replica.in_sync[j]) {
+                  // Unreachable or diverged: drop from the synchronous-ack
+                  // set so one sick backup can't stall the shard.
+                  replica.in_sync[j] = false;
+                  Record("out_of_sync", j, replica.epoch);
+                }
+              }
+            }
+            if (--round->outstanding == 0) {
+              if (replicas_[i]->generation == generation) {
+                round->done();
+                replicas_[i]->ship_in_flight = false;
+                StartShipRound(i);
+              }
+            }
+          });
+    }
+    return;  // One round in flight; the rest waits in the queue.
+  }
+  replica.ship_in_flight = false;
+}
+
+// --- Reconciliation. --------------------------------------------------------
+
+void ReplicaSet::Rejoin(size_t i) {
+  Replica& replica = *replicas_[i];
+  if (replica.crashed) {
+    return;
+  }
+  uint64_t generation = replica.generation;
+
+  struct Probe {
+    size_t outstanding;
+    std::vector<Claim> leaders;
+  };
+  auto probe = std::make_shared<Probe>();
+  probe->outstanding = replicas_.size() - 1;
+  if (probe->outstanding == 0) {
+    StandAsCandidate(i);
+    return;
+  }
+  for (size_t j = 0; j < replicas_.size(); ++j) {
+    if (j == i) {
+      continue;
+    }
+    ClientTo(i, j)->CallAsync(
+        "repl.status", {},
+        [this, i, j, generation, probe](Result<WireValue> result) {
+          if (result.ok()) {
+            auto is_leader_v = result->Field("is_leader");
+            if (is_leader_v.ok() && is_leader_v->AsBool().value_or(false)) {
+              auto epoch_v = result->Field("epoch");
+              auto size_v = result->Field("log_size");
+              probe->leaders.push_back(Claim{
+                  static_cast<uint64_t>(
+                      size_v.ok() ? size_v->AsInt().value_or(0) : 0),
+                  static_cast<uint64_t>(
+                      epoch_v.ok() ? epoch_v->AsInt().value_or(0) : 0),
+                  j});
+            }
+          }
+          if (--probe->outstanding > 0 ||
+              replicas_[i]->generation != generation) {
+            return;
+          }
+          if (probe->leaders.empty()) {
+            // Nobody in sight claims leadership: stand for election.
+            StandAsCandidate(i);
+            return;
+          }
+          Claim best = probe->leaders[0];
+          for (const Claim& claim : probe->leaders) {
+            if (ClaimWins(claim, best)) {
+              best = claim;
+            }
+          }
+          FetchAndReconcile(i, best.index, best.epoch, 8);
+        });
+  }
+}
+
+void ReplicaSet::StandAsCandidate(size_t i) {
+  Replica& replica = *replicas_[i];
+  replica.lease.Expire(queue_->Now());
+  Record("candidate", i, replica.epoch);
+  ArmPromote(i);  // Fires at now + promote_stagger * i (seniority slot).
+}
+
+void ReplicaSet::FetchAndReconcile(size_t i, size_t leader, uint64_t epoch,
+                                   int attempts_left) {
+  Replica& replica = *replicas_[i];
+  if (replica.crashed) {
+    return;
+  }
+  if (attempts_left <= 0) {
+    StandAsCandidate(i);
+    return;
+  }
+  uint64_t generation = replica.generation;
+  ++stats_.reconcile_rounds;
+  ClientTo(i, leader)->CallAsync(
+      "repl.snapshot", {},
+      [this, i, leader, epoch, attempts_left,
+       generation](Result<WireValue> result) {
+        if (replicas_[i]->generation != generation) {
+          return;
+        }
+        Replica& replica = *replicas_[i];
+        if (!result.ok()) {
+          // The leader vanished mid-transfer; probe afresh after a beat.
+          queue_->ScheduleAfter(options_.lease.renew_interval,
+                                [this, i, generation] {
+                                  if (replicas_[i]->generation == generation) {
+                                    Rejoin(i);
+                                  }
+                                });
+          return;
+        }
+        auto snap_v = result->Field("snap");
+        if (!snap_v.ok()) {
+          StandAsCandidate(i);
+          return;
+        }
+        auto snap = snap_v->AsBytes();
+        if (!snap.ok()) {
+          StandAsCandidate(i);
+          return;
+        }
+        // Divergence detection: everything past the longest common prefix
+        // of the two chains is sealed-but-orphaned — surfaced to the
+        // forensic auditor, never silently dropped (it may duplicate rows
+        // the surviving chain also carries; duplicated, not lost).
+        std::vector<AuditLogEntry> local = replica.service->log().entries();
+        Status restored = replica.service->Restore(*snap);
+        if (!restored.ok()) {
+          StandAsCandidate(i);
+          return;
+        }
+        const std::vector<AuditLogEntry>& adopted =
+            replica.service->log().entries();
+        size_t lcp = 0;
+        while (lcp < local.size() && lcp < adopted.size() &&
+               SameEntry(local[lcp], adopted[lcp])) {
+          ++lcp;
+        }
+        for (size_t k = lcp; k < local.size(); ++k) {
+          orphaned_.push_back({i, local[k]});
+          ++stats_.orphaned_entries;
+        }
+        AdoptLeader(i, leader, epoch);
+
+        WireValue::Array params;
+        params.push_back(WireValue(static_cast<int64_t>(i)));
+        params.push_back(WireValue(
+            static_cast<int64_t>(replica.service->log().size())));
+        ClientTo(i, leader)->CallAsync(
+            "repl.rejoin", std::move(params),
+            [this, i, leader, epoch, attempts_left,
+             generation](Result<WireValue> result) {
+              if (replicas_[i]->generation != generation) {
+                return;
+              }
+              if (result.ok()) {
+                ++stats_.rejoins;
+                Record("rejoin", i, replicas_[i]->epoch);
+                return;
+              }
+              const std::string& message = result.status().message();
+              if (message.rfind("BEHIND", 0) == 0) {
+                // The leader sealed more while we transferred; refetch.
+                FetchAndReconcile(i, leader, epoch, attempts_left - 1);
+              } else if (message.rfind("NOT_LEADER", 0) == 0) {
+                Rejoin(i);  // Leadership moved again; probe afresh.
+              } else {
+                queue_->ScheduleAfter(
+                    options_.lease.renew_interval, [this, i, generation] {
+                      if (replicas_[i]->generation == generation) {
+                        Rejoin(i);
+                      }
+                    });
+              }
+            });
+      });
+}
+
+// --- Fault injection. -------------------------------------------------------
+
+void ReplicaSet::NoteCrashed(size_t i) {
+  Replica& replica = *replicas_[i];
+  replica.crashed = true;
+  ++replica.generation;
+  if (replica.promote_event != EventQueue::kInvalidEvent) {
+    queue_->Cancel(replica.promote_event);
+    replica.promote_event = EventQueue::kInvalidEvent;
+  }
+  if (replica.renew_event != EventQueue::kInvalidEvent) {
+    queue_->Cancel(replica.renew_event);
+    replica.renew_event = EventQueue::kInvalidEvent;
+  }
+  replica.ship_queue.clear();
+  replica.ship_in_flight = false;
+  Record("crash", i, replica.epoch);
+}
+
+void ReplicaSet::NoteRestarted(size_t i) {
+  Replica& replica = *replicas_[i];
+  replica.crashed = false;
+  ++replica.generation;
+  Record("restart", i, replica.epoch);
+  Rejoin(i);
+}
+
+void ReplicaSet::SetPartitioned(size_t i, bool partitioned) {
+  const size_t n = replicas_.size();
+  for (size_t j = 0; j < n; ++j) {
+    if (j == i) {
+      continue;
+    }
+    for (NetworkLink* link :
+         {links_[i * n + j].get(), links_[j * n + i].get()}) {
+      link->set_partitioned(NetworkLink::Direction::kForward, partitioned);
+      link->set_partitioned(NetworkLink::Direction::kReverse, partitioned);
+    }
+  }
+}
+
+void ReplicaSet::SchedulePartition(size_t i, SimTime at,
+                                   SimDuration duration) {
+  queue_->Schedule(at, [this, i] { SetPartitioned(i, true); });
+  queue_->Schedule(at + duration, [this, i] { SetPartitioned(i, false); });
+}
+
+// --- Admin path. ------------------------------------------------------------
+
+Status ReplicaSet::DisableDevice(const std::string& device_id) {
+  size_t leader = current_leader();
+  KP_RETURN_IF_ERROR(replicas_[leader]->service->DisableDevice(device_id));
+  // No client response waits on a revocation, but the backups must still
+  // learn it before they can take over enforcing it.
+  replicas_[leader]->service->ReplicateNow();
+  return Status::Ok();
+}
+
+Status ReplicaSet::EnableDevice(const std::string& device_id) {
+  size_t leader = current_leader();
+  KP_RETURN_IF_ERROR(replicas_[leader]->service->EnableDevice(device_id));
+  replicas_[leader]->service->ReplicateNow();
+  return Status::Ok();
+}
+
+}  // namespace keypad

@@ -40,6 +40,7 @@ void CircuitBreaker::RecordSuccess() {
   state_ = State::kClosed;
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
+  opened_by_abort_ = false;
 }
 
 void CircuitBreaker::RecordFailure(SimTime now) {
@@ -49,10 +50,12 @@ void CircuitBreaker::RecordFailure(SimTime now) {
   if (state_ == State::kHalfOpen) {
     // The probe failed: the service is still dead.
     Open(now);
+    opened_by_abort_ = false;
     return;
   }
   if (++consecutive_failures_ >= options_.failure_threshold) {
     Open(now);
+    opened_by_abort_ = false;
   }
 }
 
@@ -61,7 +64,26 @@ void CircuitBreaker::RecordAborted(SimTime now) {
     return;
   }
   if (state_ == State::kHalfOpen) {
+    // The probe slot must not leak; re-open, remembering the cause was a
+    // dead link, not a dead server.
     Open(now);
+    opened_by_abort_ = true;
+    ++abort_opened_;
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    Open(now);
+    opened_by_abort_ = true;
+    ++abort_opened_;
+  }
+}
+
+void CircuitBreaker::NoteLinkRestored(SimTime now) {
+  if (state_ == State::kOpen && opened_by_abort_) {
+    // The outage that opened the breaker is observably over: end the
+    // cooldown now so the next request half-opens a probe.
+    open_until_ = now;
   }
 }
 

@@ -2,12 +2,21 @@
 //
 // A dead or partitioned service otherwise costs every file operation a
 // full retry ladder of timeouts. The breaker converts that into one fast
-// local failure: after `failure_threshold` consecutive call failures
-// (timeouts — not server faults, and not locally-known link-down fail-fasts,
-// which are already cheap) the breaker opens and calls are rejected
-// immediately for `cooldown`. It then half-opens: a single probe call is
-// let through; success closes the breaker, failure re-opens it for another
-// cooldown.
+// local failure: after `failure_threshold` consecutive call failures the
+// breaker opens and calls are rejected immediately for `cooldown`. It then
+// half-opens: a single probe call is let through; success closes the
+// breaker, failure re-opens it for another cooldown.
+//
+// Two failure classes count toward the threshold (server *faults* count as
+// success — the service answered):
+//  * transport timeouts — the retry ladder ran out against a live link;
+//  * link-down aborts — locally-known outage/partition fail-fasts. Each is
+//    cheap, but a storm of them still means the target is unreachable, and
+//    an open breaker is the fast failover signal replica-aware clients key
+//    off. Abort-opened breakers skip the remaining cooldown the moment the
+//    link is observably back (NoteLinkRestored): the cause is gone, so the
+//    next call probes immediately instead of waiting out a penalty that
+//    was sized for a silently-dead server.
 //
 // One RpcClient talks to exactly one server over one link, so a breaker
 // per client *is* a breaker per target.
@@ -50,15 +59,24 @@ class CircuitBreaker {
   void RecordSuccess();
   void RecordFailure(SimTime now);
 
-  // An admitted call that never produced a verdict about the service —
-  // aborted locally because the link went down (fail-fast). In half-open
-  // this re-opens the breaker (the probe slot must not leak); in other
-  // states it is a no-op: link-down says nothing about the server.
+  // An admitted call aborted locally because the link was known down
+  // (outage or partition fail-fast). Counts toward the failure threshold
+  // like a timeout; in half-open it re-opens the breaker (the probe slot
+  // must not leak). Openings from this class are remembered so
+  // NoteLinkRestored can cut the cooldown short.
   void RecordAborted(SimTime now);
+
+  // The caller observed the link up again. If the breaker is open *because
+  // of link-down aborts*, the remaining cooldown is waived — the next
+  // AllowRequest half-opens a probe immediately. Timeout-opened breakers
+  // are unaffected (the server being dead is not disproven by a live link).
+  void NoteLinkRestored(SimTime now);
 
   State state() const { return state_; }
   uint64_t rejected_count() const { return rejected_; }
   uint64_t opened_count() const { return opened_; }
+  // How many of those openings were caused by link-down aborts.
+  uint64_t abort_opened_count() const { return abort_opened_; }
 
  private:
   void Open(SimTime now);
@@ -68,8 +86,11 @@ class CircuitBreaker {
   int consecutive_failures_ = 0;
   SimTime open_until_;
   bool probe_in_flight_ = false;
+  // True while the breaker is open due to link-down aborts (vs timeouts).
+  bool opened_by_abort_ = false;
   uint64_t rejected_ = 0;
   uint64_t opened_ = 0;
+  uint64_t abort_opened_ = 0;
 };
 
 }  // namespace keypad

@@ -7,19 +7,34 @@ std::optional<std::string> ReplyCache::Lookup(const RequestKey& key) const {
   if (it == completed_.end()) {
     return std::nullopt;
   }
-  return it->second;
+  return it->second.reply;
 }
 
-void ReplyCache::Complete(const RequestKey& key, std::string reply) {
+void ReplyCache::Complete(const RequestKey& key, std::string reply,
+                          SimTime now) {
   in_flight_.erase(key);
-  auto [it, inserted] = completed_.emplace(key, std::move(reply));
+  auto [it, inserted] = completed_.emplace(key, Entry{std::move(reply), now});
   if (!inserted) {
     return;  // Already completed (duplicate execution is a caller bug).
   }
   order_.push_back(key);
+  // Virtual time is monotonic, so completion order == timestamp order and
+  // age eviction only ever needs to look at the front. max_age <= 0
+  // disables the age bound.
+  while (max_age_ > SimDuration() && !order_.empty()) {
+    auto front = completed_.find(order_.front());
+    if (front == completed_.end() ||
+        front->second.completed_at + max_age_ > now) {
+      break;
+    }
+    completed_.erase(front);
+    order_.pop_front();
+    ++age_evictions_;
+  }
   while (order_.size() > capacity_) {
     completed_.erase(order_.front());
     order_.pop_front();
+    ++capacity_evictions_;
   }
 }
 

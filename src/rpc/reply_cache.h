@@ -10,10 +10,17 @@
 // inside an async handler) is silently dropped; the client's next retry
 // finds the completed reply.
 //
-// The cache is bounded FIFO. In the durability model (DESIGN.md §7) the
-// dedup record is written in the same durable append as the audit entry,
-// so the completed-reply window survives a service crash/restart; only the
-// in-flight marks (volatile by nature) are cleared on restart.
+// The cache is bounded two ways. Capacity bounds worst-case memory (FIFO
+// beyond `capacity` entries). Age bounds how long a reply can be replayed:
+// a client only retransmits within its retry ladder, so a completed entry
+// older than `max_age` of virtual time can never legitimately be asked for
+// again — holding it just squeezes live entries out of the window. Both
+// eviction classes are counted separately so tests (and operators) can
+// tell "cache too small" from normal aging. In the durability model
+// (DESIGN.md §7) the dedup record is written in the same durable append as
+// the audit entry, so the completed-reply window survives a service
+// crash/restart; only the in-flight marks (volatile by nature) are cleared
+// on restart.
 
 #ifndef SRC_RPC_REPLY_CACHE_H_
 #define SRC_RPC_REPLY_CACHE_H_
@@ -26,13 +33,17 @@
 #include <string>
 #include <utility>
 
+#include "src/sim/time.h"
+
 namespace keypad {
 
 class ReplyCache {
  public:
   using RequestKey = std::pair<uint64_t, uint64_t>;  // (client id, seq).
 
-  explicit ReplyCache(size_t capacity = 4096) : capacity_(capacity) {}
+  explicit ReplyCache(size_t capacity = 4096,
+                      SimDuration max_age = SimDuration::Seconds(120))
+      : capacity_(capacity), max_age_(max_age) {}
 
   // The completed reply for `key`, if the request already executed.
   std::optional<std::string> Lookup(const RequestKey& key) const;
@@ -43,8 +54,10 @@ class ReplyCache {
   void MarkInFlight(const RequestKey& key) { in_flight_.insert(key); }
 
   // Records the reply for an executed request and clears its in-flight
-  // mark. Evicts the oldest completed entry beyond capacity.
-  void Complete(const RequestKey& key, std::string reply);
+  // mark. Evicts completed entries older than `max_age` at `now`, then the
+  // oldest entries beyond capacity.
+  void Complete(const RequestKey& key, std::string reply,
+                SimTime now = SimTime());
 
   // Restart semantics: requests that were mid-execution at crash time will
   // never produce a reply — forget them so client retries re-execute.
@@ -53,16 +66,26 @@ class ReplyCache {
   size_t size() const { return completed_.size(); }
   uint64_t hits() const { return hits_; }
   uint64_t in_flight_drops() const { return in_flight_drops_; }
+  uint64_t age_evictions() const { return age_evictions_; }
+  uint64_t capacity_evictions() const { return capacity_evictions_; }
   void NoteHit() { ++hits_; }
   void NoteInFlightDrop() { ++in_flight_drops_; }
 
  private:
+  struct Entry {
+    std::string reply;
+    SimTime completed_at;
+  };
+
   size_t capacity_;
-  std::map<RequestKey, std::string> completed_;
-  std::deque<RequestKey> order_;  // FIFO eviction order.
+  SimDuration max_age_;
+  std::map<RequestKey, Entry> completed_;
+  std::deque<RequestKey> order_;  // Completion (== virtual-time) order.
   std::set<RequestKey> in_flight_;
   uint64_t hits_ = 0;
   uint64_t in_flight_drops_ = 0;
+  uint64_t age_evictions_ = 0;
+  uint64_t capacity_evictions_ = 0;
 };
 
 }  // namespace keypad

@@ -196,7 +196,7 @@ void RpcServer::ProcessRequest(const std::string& request_raw,
     }
     reply_cache_.MarkInFlight(request_key);
     done = [this, request_key, inner = std::move(done)](std::string response) {
-      reply_cache_.Complete(request_key, response);
+      reply_cache_.Complete(request_key, response, queue_->Now());
       inner(std::move(response));
     };
   }
@@ -351,6 +351,11 @@ Result<WireValue> RpcClient::Call(const std::string& method,
   ++calls_started_;
   queue_->AdvanceBy(options_.client_overhead);
 
+  if (!link_->disconnected()) {
+    // An abort-opened breaker ends its cooldown as soon as the link is
+    // observably back up.
+    breaker_.NoteLinkRestored(queue_->Now());
+  }
   if (!breaker_.AllowRequest(queue_->Now())) {
     return UnavailableError("rpc: circuit open, rejecting " + method);
   }
@@ -477,6 +482,9 @@ void RpcClient::CallAsync(const std::string& method, WireValue::Array params,
   call->method = method;
   call->deadline = queue_->Now() + options_.total_deadline;
 
+  if (!link_->disconnected()) {
+    breaker_.NoteLinkRestored(queue_->Now());
+  }
   if (!breaker_.AllowRequest(queue_->Now())) {
     // Preserve the async contract: complete from the queue, never
     // reentrantly from inside CallAsync.

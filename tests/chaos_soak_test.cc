@@ -30,7 +30,7 @@ struct SoakResult {
   Bytes key_log_tip;  // Final audit-log entry hash: digests the whole run.
 };
 
-SoakResult RunSoak(uint64_t seed) {
+SoakResult RunSoak(uint64_t seed, int key_replicas = 1) {
   ResetRpcClientIdsForTesting();
 
   DeploymentOptions options;
@@ -38,6 +38,7 @@ SoakResult RunSoak(uint64_t seed) {
   options.config.ibe_enabled = false;
   options.seed = seed;
   options.rpc.timeout = SimDuration::Seconds(2);
+  options.key_replicas = key_replicas;
   Deployment dep(options);
   auto& fs = dep.fs();
 
@@ -91,9 +92,15 @@ SoakResult RunSoak(uint64_t seed) {
   }
 
   // Heal the network, drain stragglers, and expire every cached key so the
-  // final reads demand-fetch from the restored services.
+  // final reads demand-fetch from the restored services. Replicated
+  // deployments keep perpetual lease-renewal timers on the queue, so they
+  // drain by advancing time instead of RunUntilIdle.
   dep.client_link().set_chaos(LinkChaosOptions{});
-  dep.queue().RunUntilIdle();
+  if (key_replicas > 1) {
+    dep.queue().AdvanceBy(SimDuration::Seconds(30));
+  } else {
+    dep.queue().RunUntilIdle();
+  }
   dep.queue().AdvanceBy(options.config.texp * 2 + SimDuration::Seconds(2));
 
   EXPECT_GT(result.created, 10) << "seed " << seed;
@@ -140,6 +147,31 @@ SoakResult RunSoak(uint64_t seed) {
   EXPECT_GE(dep.key_rpc_server().requests_dropped(), 1u) << "seed " << seed;
   EXPECT_GE(dep.meta_rpc_server().requests_dropped(), 1u) << "seed " << seed;
 
+  // Replicated runs: the leader crash above hit the shard's current
+  // leader, a backup promoted through the chaos, and the ex-primary
+  // rejoined — chains must have reconverged on every replica, and the
+  // forensic report must verify all of them.
+  if (key_replicas > 1) {
+    ReplicaSet* set = dep.replica_set(0);
+    EXPECT_NE(set, nullptr) << "seed " << seed;
+    EXPECT_GE(set->stats().promotions, 1u) << "seed " << seed;
+    EXPECT_GE(set->stats().rejoins, 1u) << "seed " << seed;
+    const AuditLog& authority =
+        dep.key_replica(0, set->current_leader()).log();
+    for (size_t r = 0; r < dep.key_replica_count(); ++r) {
+      const AuditLog& log = dep.key_replica(0, r).log();
+      EXPECT_TRUE(log.Verify().ok()) << "seed " << seed << " replica " << r;
+      EXPECT_EQ(log.size(), authority.size())
+          << "seed " << seed << " replica " << r;
+    }
+    auto report = dep.auditor().BuildReport(dep.device_id(), t0,
+                                            options.config.texp);
+    EXPECT_TRUE(report.ok()) << "seed " << seed;
+    if (report.ok()) {
+      EXPECT_TRUE(report->replica_logs_verified) << "seed " << seed;
+    }
+  }
+
   result.key_log_size = dep.key_service().log().entries().size();
   result.meta_log_size = dep.metadata_service().log().records().size();
   result.key_log_tip = dep.key_service().log().entries().back().entry_hash;
@@ -150,9 +182,23 @@ TEST(ChaosSoakTest, Seed1) { RunSoak(1); }
 TEST(ChaosSoakTest, Seed2) { RunSoak(2); }
 TEST(ChaosSoakTest, Seed3) { RunSoak(3); }
 
+// The same chaos schedule with a replicated key tier: the 60 s crash now
+// hits a replica-set leader mid-soak and failover rides through it.
+TEST(ChaosSoakTest, Seed1Replicated) { RunSoak(1, /*key_replicas=*/2); }
+TEST(ChaosSoakTest, Seed2Replicated) { RunSoak(2, /*key_replicas=*/2); }
+
 TEST(ChaosSoakTest, DeterministicAcrossRuns) {
   SoakResult a = RunSoak(1);
   SoakResult b = RunSoak(1);
+  EXPECT_EQ(a.created, b.created);
+  EXPECT_EQ(a.key_log_size, b.key_log_size);
+  EXPECT_EQ(a.meta_log_size, b.meta_log_size);
+  EXPECT_EQ(a.key_log_tip, b.key_log_tip);
+}
+
+TEST(ChaosSoakTest, ReplicatedDeterministicAcrossRuns) {
+  SoakResult a = RunSoak(1, /*key_replicas=*/2);
+  SoakResult b = RunSoak(1, /*key_replicas=*/2);
   EXPECT_EQ(a.created, b.created);
   EXPECT_EQ(a.key_log_size, b.key_log_size);
   EXPECT_EQ(a.meta_log_size, b.meta_log_size);

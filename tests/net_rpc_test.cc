@@ -395,6 +395,170 @@ TEST_F(RpcTest, CircuitBreakerOpensAndRecovers) {
   EXPECT_EQ(client_.breaker().state(), CircuitBreaker::State::kClosed);
 }
 
+// --- Circuit breaker failure classes. ---------------------------------------
+//
+// Two classes count toward the threshold: transport timeouts and link-down
+// aborts. Each class is exercised alone, then mixed; link restoration must
+// waive the cooldown only for abort-opened breakers.
+
+TEST(CircuitBreakerClassTest, TimeoutsAloneOpenTheBreaker) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker(options);
+  SimTime t;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.AllowRequest(t));
+    breaker.RecordFailure(t);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  }
+  ASSERT_TRUE(breaker.AllowRequest(t));
+  breaker.RecordFailure(t);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opened_count(), 1u);
+  EXPECT_EQ(breaker.abort_opened_count(), 0u);
+}
+
+TEST(CircuitBreakerClassTest, LinkDownAbortsAloneOpenTheBreaker) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker(options);
+  SimTime t;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.AllowRequest(t));
+    breaker.RecordAborted(t);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  }
+  ASSERT_TRUE(breaker.AllowRequest(t));
+  breaker.RecordAborted(t);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opened_count(), 1u);
+  EXPECT_EQ(breaker.abort_opened_count(), 1u);
+}
+
+TEST(CircuitBreakerClassTest, MixedClassesShareTheThreshold) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker(options);
+  SimTime t;
+  breaker.RecordFailure(t);
+  breaker.RecordAborted(t);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(t);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // The last straw was a timeout, so this opening is not abort-class.
+  EXPECT_EQ(breaker.abort_opened_count(), 0u);
+}
+
+TEST(CircuitBreakerClassTest, SuccessResetsBothClasses) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  CircuitBreaker breaker(options);
+  SimTime t;
+  breaker.RecordAborted(t);
+  breaker.RecordSuccess();
+  breaker.RecordFailure(t);
+  breaker.RecordSuccess();
+  breaker.RecordAborted(t);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerClassTest, LinkRestoredWaivesAbortCooldownOnly) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.cooldown = SimDuration::Seconds(60);
+  SimTime t;
+
+  // Abort-opened: NoteLinkRestored ends the cooldown; the next request is
+  // the half-open probe.
+  CircuitBreaker aborted(options);
+  aborted.RecordAborted(t);
+  ASSERT_EQ(aborted.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(aborted.AllowRequest(t + SimDuration::Seconds(1)));
+  aborted.NoteLinkRestored(t + SimDuration::Seconds(2));
+  EXPECT_TRUE(aborted.AllowRequest(t + SimDuration::Seconds(2)));
+  EXPECT_EQ(aborted.state(), CircuitBreaker::State::kHalfOpen);
+
+  // Timeout-opened: a live link does not disprove a dead server, so the
+  // cooldown stands.
+  CircuitBreaker timed_out(options);
+  timed_out.RecordFailure(t);
+  ASSERT_EQ(timed_out.state(), CircuitBreaker::State::kOpen);
+  timed_out.NoteLinkRestored(t + SimDuration::Seconds(2));
+  EXPECT_FALSE(timed_out.AllowRequest(t + SimDuration::Seconds(2)));
+  EXPECT_TRUE(
+      timed_out.AllowRequest(t + options.cooldown + SimDuration::Seconds(1)));
+}
+
+TEST_F(RpcTest, AbortOpenedBreakerProbesImmediatelyOnReconnect) {
+  CircuitBreakerOptions breaker_options;
+  breaker_options.failure_threshold = 3;
+  breaker_options.cooldown = SimDuration::Seconds(60);
+  client_.breaker() = CircuitBreaker(breaker_options);
+
+  // A storm of known-down fail-fasts opens the breaker (abort class).
+  link_.set_disconnected(true);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(client_.Call("echo", {}).ok());
+  }
+  EXPECT_EQ(client_.breaker().state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(client_.breaker().abort_opened_count(), 1u);
+
+  // Reconnect long before the 60 s cooldown would elapse: the next call
+  // notices the live link, waives the cooldown, probes, and succeeds.
+  link_.set_disconnected(false);
+  queue_.AdvanceBy(SimDuration::Seconds(1));
+  auto probe = client_.Call("echo", {WireValue("back")});
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(client_.breaker().state(), CircuitBreaker::State::kClosed);
+}
+
+// --- Reply-cache eviction. --------------------------------------------------
+
+TEST(ReplyCacheTest, EvictsCompletedEntriesByVirtualAge) {
+  ReplyCache cache(/*capacity=*/100, /*max_age=*/SimDuration::Seconds(10));
+  SimTime t;
+  cache.Complete({1, 1}, "a", t);
+  cache.Complete({1, 2}, "b", t + SimDuration::Seconds(5));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.age_evictions(), 0u);
+
+  // At t+12 the first entry is past max_age, the second is not.
+  cache.Complete({1, 3}, "c", t + SimDuration::Seconds(12));
+  EXPECT_FALSE(cache.Lookup({1, 1}).has_value());
+  EXPECT_TRUE(cache.Lookup({1, 2}).has_value());
+  EXPECT_TRUE(cache.Lookup({1, 3}).has_value());
+  EXPECT_EQ(cache.age_evictions(), 1u);
+  EXPECT_EQ(cache.capacity_evictions(), 0u);
+
+  // Much later everything before the insertion ages out at once.
+  cache.Complete({1, 4}, "d", t + SimDuration::Seconds(100));
+  EXPECT_FALSE(cache.Lookup({1, 2}).has_value());
+  EXPECT_FALSE(cache.Lookup({1, 3}).has_value());
+  EXPECT_TRUE(cache.Lookup({1, 4}).has_value());
+  EXPECT_EQ(cache.age_evictions(), 3u);
+}
+
+TEST(ReplyCacheTest, CapacityEvictionCountedSeparately) {
+  ReplyCache cache(/*capacity=*/2, /*max_age=*/SimDuration::Seconds(10));
+  SimTime t;
+  cache.Complete({1, 1}, "a", t);
+  cache.Complete({1, 2}, "b", t);
+  cache.Complete({1, 3}, "c", t);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup({1, 1}).has_value());
+  EXPECT_EQ(cache.capacity_evictions(), 1u);
+  EXPECT_EQ(cache.age_evictions(), 0u);
+}
+
+TEST(ReplyCacheTest, ZeroMaxAgeDisablesTheAgeBound) {
+  ReplyCache cache(/*capacity=*/100, /*max_age=*/SimDuration());
+  SimTime t;
+  cache.Complete({1, 1}, "a", t);
+  cache.Complete({1, 2}, "b", t + SimDuration::Seconds(100000));
+  EXPECT_TRUE(cache.Lookup({1, 1}).has_value());
+  EXPECT_EQ(cache.age_evictions(), 0u);
+}
+
 TEST_F(RpcTest, AsyncSuccessLeavesNoDeadTimerBehind) {
   bool called = false;
   client_.CallAsync("echo", {WireValue("tidy")}, [&](Result<WireValue> r) {

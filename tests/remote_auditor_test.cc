@@ -103,6 +103,62 @@ TEST_F(RemoteAuditorTest, AuditSurfaceRequiresValidCredentials) {
   EXPECT_EQ(report.status().code(), StatusCode::kPermissionDenied);
 }
 
+TEST_F(RemoteAuditorTest, CursorResyncsAfterRestoreFromOlderSnapshot) {
+  // Satellite regression: the incremental cursor assumed the server's log
+  // only ever grows. A shard restored from an older backup serves a log
+  // SHORTER than the cursor; the auditor must detect the regression (seq
+  // went backwards / restore epoch bumped), re-sync from zero, and keep
+  // the rows the restored log no longer carries as evidence — not fetch
+  // garbage past the end or silently forget audited accesses.
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fs.Create("/d/f" + std::to_string(i)).ok());
+  }
+  Bytes old_snapshot = dep_.key_service().Snapshot();
+
+  // Activity past the backup point — rows destined to be rolled back.
+  for (int i = 3; i < 7; ++i) {
+    ASSERT_TRUE(fs.Create("/d/f" + std::to_string(i)).ok());
+  }
+  dep_.queue().AdvanceBy(SimDuration::Seconds(5));
+
+  Remote remote = MakeRemote();
+  auto first = remote.auditor->BuildReport(dep_.queue().Now(),
+                                           dep_.fs().config().texp);
+  ASSERT_TRUE(first.ok());
+  uint64_t cursor_before = remote.auditor->cursor();
+  size_t cached_before = remote.auditor->cached_entries();
+  ASSERT_EQ(cursor_before, dep_.key_service().log().size());
+  ASSERT_GT(cached_before, 0u);
+
+  // The shard restores from the older backup: the log under the cursor
+  // shrank and the restore epoch bumped.
+  dep_.key_service().AbortStaged();
+  ASSERT_TRUE(dep_.key_service().Restore(old_snapshot).ok());
+  ASSERT_LT(dep_.key_service().log().size(), cursor_before);
+
+  // Fresh post-restore activity, then the follow-up audit.
+  ASSERT_TRUE(fs.Create("/d/g0").ok());
+  dep_.queue().AdvanceBy(SimDuration::Seconds(1));
+  auto second = remote.auditor->BuildReport(dep_.queue().Now(),
+                                            dep_.fs().config().texp);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->key_log_verified);
+  EXPECT_GE(remote.auditor->resyncs(), 1u);
+  // The rolled-back creates are gone from the server but kept locally.
+  EXPECT_GT(remote.auditor->regressed_entries(), 0u);
+  // The cursor re-anchored to the restored log and covers it fully.
+  EXPECT_EQ(remote.auditor->cursor(), dep_.key_service().log().size());
+  // The post-restore create is visible to the audit.
+  bool saw_new_create = false;
+  AuditId g0 = fs.ReadHeaderOf("/d/g0")->audit_id;
+  for (const auto& entry : dep_.key_service().log().entries()) {
+    saw_new_create |= entry.audit_id == g0;
+  }
+  EXPECT_TRUE(saw_new_create);
+}
+
 TEST_F(RemoteAuditorTest, EmptyWindowGivesCleanRemoteReport) {
   ASSERT_TRUE(dep_.fs().Create("/f").ok());
   dep_.queue().AdvanceBy(SimDuration::Seconds(500));

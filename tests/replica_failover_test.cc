@@ -1,0 +1,281 @@
+// Replicated key shards (DESIGN.md §9): lease-based failover, client
+// redirect-following, audit-chain reconciliation after a partitioned
+// primary loses the leadership contest, and determinism of the failover
+// timeline. The invariant under test throughout: a client-acknowledged
+// audit record may end up duplicated, but is never lost.
+//
+// NOTE: replicated deployments keep perpetual lease-renewal timers on the
+// event queue, so these tests pump with AdvanceBy (never RunUntilIdle).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/keypad/deployment.h"
+
+namespace keypad {
+namespace {
+
+DeploymentOptions ReplicatedOpts(int replicas) {
+  DeploymentOptions options;
+  options.profile = LanProfile();
+  options.config.ibe_enabled = false;
+  options.config.prefetch = PrefetchPolicy::None();
+  options.key_replicas = replicas;
+  // Short attempt ladders so a call into a dead replica fails over well
+  // inside the stub's failover budget.
+  options.rpc.timeout = SimDuration::Seconds(1);
+  options.rpc.retry.max_attempts = 2;
+  return options;
+}
+
+bool ChainHasCreate(const AuditLog& log, const AuditId& id) {
+  for (const auto& entry : log.entries()) {
+    if (entry.op == AccessOp::kCreate && entry.audit_id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool OrphansHaveCreate(const ReplicaSet& set, const AuditId& id) {
+  for (const auto& orphan : set.orphaned()) {
+    if (orphan.entry.op == AccessOp::kCreate && orphan.entry.audit_id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ReplicaFailoverTest, LeaderCrashPromotesBackupAndClientFollows) {
+  Deployment dep(ReplicatedOpts(3));
+  auto& fs = dep.fs();
+  ReplicaSet* set = dep.replica_set(0);
+  ASSERT_NE(set, nullptr);
+  ASSERT_EQ(set->size(), 3u);
+  EXPECT_EQ(set->current_leader(), 0u);
+
+  // Normal operation: every acked create is synchronously on all replicas.
+  std::vector<AuditId> pre_ids;
+  for (int i = 0; i < 6; ++i) {
+    std::string path = "/pre" + std::to_string(i);
+    ASSERT_TRUE(fs.Create(path).ok());
+    ASSERT_TRUE(fs.WriteAll(path, BytesOf("x")).ok());
+    pre_ids.push_back(fs.ReadHeaderOf(path)->audit_id);
+  }
+  size_t chain_size = dep.key_replica(0, 0).log().size();
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_TRUE(dep.key_replica(0, r).log().Verify().ok()) << "replica " << r;
+    EXPECT_EQ(dep.key_replica(0, r).log().size(), chain_size)
+        << "replica " << r;
+  }
+
+  // Kill the leader. The lowest-index live backup promotes after lease
+  // expiry plus its seniority slot.
+  dep.CrashKeyShard(0);
+  dep.queue().AdvanceBy(SimDuration::Seconds(4));
+  EXPECT_EQ(set->current_leader(), 1u);
+  EXPECT_TRUE(set->is_leader(1));
+  EXPECT_GE(set->stats().promotions, 1u);
+
+  // The client's next operation fails over and lands on the new leader.
+  ASSERT_TRUE(fs.Create("/post0").ok());
+  KeyServiceClient& stub = dep.key_stub(0);
+  EXPECT_GE(stub.failovers() + stub.redirects(), 1u);
+  EXPECT_EQ(stub.leader_hint(), set->current_leader());
+
+  // No acked record was lost to the crash: the new leader's chain carries
+  // every pre-crash create.
+  const AuditLog& leader_log = dep.key_replica(0, 1).log();
+  for (const auto& id : pre_ids) {
+    EXPECT_TRUE(ChainHasCreate(leader_log, id)) << id.ToHex();
+  }
+
+  // The ex-primary restarts and rejoins as a backup.
+  dep.RestartKeyShard(0);
+  dep.queue().AdvanceBy(SimDuration::Seconds(4));
+  EXPECT_FALSE(set->is_leader(0));
+  EXPECT_EQ(set->current_leader(), 1u);
+  EXPECT_GE(set->stats().rejoins, 1u);
+
+  // New work replicates to it again; all chains reconverge byte-for-byte.
+  ASSERT_TRUE(fs.Create("/post1").ok());
+  dep.queue().AdvanceBy(SimDuration::Seconds(1));
+  const AuditLog& authority = dep.key_replica(0, set->current_leader()).log();
+  for (size_t r = 0; r < 3; ++r) {
+    const AuditLog& log = dep.key_replica(0, r).log();
+    EXPECT_TRUE(log.Verify().ok()) << "replica " << r;
+    ASSERT_EQ(log.size(), authority.size()) << "replica " << r;
+    EXPECT_EQ(log.entries().back().entry_hash,
+              authority.entries().back().entry_hash)
+        << "replica " << r;
+  }
+}
+
+TEST(ReplicaFailoverTest, StaleStubFollowsNotLeaderRedirect) {
+  Deployment dep(ReplicatedOpts(2));
+  auto& fs = dep.fs();
+  ASSERT_TRUE(fs.Create("/seed").ok());
+  ReplicaSet* set = dep.replica_set(0);
+  ASSERT_NE(set, nullptr);
+
+  // Fail leadership over to replica 1, then bring replica 0 back as a
+  // live backup.
+  dep.CrashKeyShard(0);
+  dep.queue().AdvanceBy(SimDuration::Seconds(4));
+  dep.RestartKeyShard(0);
+  dep.queue().AdvanceBy(SimDuration::Seconds(4));
+  ASSERT_EQ(set->current_leader(), 1u);
+  ASSERT_FALSE(set->is_leader(0));
+
+  // A fresh stub starts with a stale leader hint (replica 0). The backup's
+  // serve gate answers NOT_LEADER:1 and the stub follows the redirect
+  // instead of burning a timeout.
+  auto creds = dep.MakeAttacker().StealCredentials();
+  ASSERT_TRUE(creds.ok());
+  auto clients = dep.MakeAttackerClients(*creds);
+  ASSERT_TRUE(clients.ok());
+  SecureRandom rng(19);
+  AuditId id = AuditId::Random(rng);
+  ASSERT_TRUE(clients->key->CreateKey(id).ok());
+  EXPECT_GE(clients->key->redirects(), 1u);
+  EXPECT_EQ(clients->key->leader_hint(), 1u);
+}
+
+TEST(ReplicaFailoverTest, PartitionedPrimaryOrphansSurfaceToForensics) {
+  DeploymentOptions options = ReplicatedOpts(2);
+  // Held responses wait out one backup ack_timeout when the mesh first
+  // partitions; give each attempt room for that.
+  options.rpc.timeout = SimDuration::Seconds(3);
+  Deployment dep(options);
+  auto& fs = dep.fs();
+  ReplicaSet* set = dep.replica_set(0);
+  ASSERT_NE(set, nullptr);
+  SimTime t_loss = dep.queue().Now();
+
+  std::vector<AuditId> pre_ids;
+  for (int i = 0; i < 4; ++i) {
+    std::string path = "/pre" + std::to_string(i);
+    ASSERT_TRUE(fs.Create(path).ok());
+    pre_ids.push_back(fs.ReadHeaderOf(path)->audit_id);
+  }
+
+  // Partition the primary off the replication mesh. Its client link stays
+  // up, so it keeps serving: acked records now live on replica 0 only.
+  dep.PartitionKeyReplica(0, 0, true);
+  std::vector<AuditId> partition_ids;
+  for (int i = 0; i < 3; ++i) {
+    std::string path = "/part" + std::to_string(i);
+    ASSERT_TRUE(fs.Create(path).ok());
+    partition_ids.push_back(fs.ReadHeaderOf(path)->audit_id);
+  }
+  // Meanwhile the isolated backup's lease lapsed and it promoted itself:
+  // split brain, exactly what reconciliation exists for.
+  dep.queue().AdvanceBy(SimDuration::Seconds(4));
+  EXPECT_GE(set->stats().promotions, 1u);
+
+  // The primary dies before the partition heals — its sealed, acked,
+  // never-shipped suffix exists nowhere else. The client fails over.
+  dep.CrashKeyReplica(0, 0);
+  std::vector<AuditId> post_ids;
+  for (int i = 0; i < 4; ++i) {
+    std::string path = "/post" + std::to_string(i);
+    ASSERT_TRUE(fs.Create(path).ok());
+    post_ids.push_back(fs.ReadHeaderOf(path)->audit_id);
+  }
+  ASSERT_EQ(set->current_leader(), 1u);
+
+  // Heal and restart: the ex-primary finds replica 1 leading, detects the
+  // chain divergence, surfaces its surplus entries as orphans, and rejoins
+  // as a backup.
+  dep.PartitionKeyReplica(0, 0, false);
+  dep.RestartKeyReplica(0, 0);
+  dep.queue().AdvanceBy(SimDuration::Seconds(5));
+  EXPECT_FALSE(set->is_leader(0));
+  EXPECT_GE(set->stats().rejoins, 1u);
+  EXPECT_GE(set->stats().orphaned_entries, partition_ids.size());
+
+  // Duplicated-but-never-lost: every acked create is in the authoritative
+  // chain or the orphan list.
+  const AuditLog& authority = dep.key_replica(0, set->current_leader()).log();
+  for (const auto& id : pre_ids) {
+    EXPECT_TRUE(ChainHasCreate(authority, id)) << id.ToHex();
+  }
+  for (const auto& id : post_ids) {
+    EXPECT_TRUE(ChainHasCreate(authority, id)) << id.ToHex();
+  }
+  for (const auto& id : partition_ids) {
+    EXPECT_TRUE(ChainHasCreate(authority, id) || OrphansHaveCreate(*set, id))
+        << id.ToHex();
+  }
+
+  // Both live chains verify, and the forensic report enumerates the
+  // orphaned records instead of dropping them.
+  for (size_t r = 0; r < 2; ++r) {
+    EXPECT_TRUE(dep.key_replica(0, r).log().Verify().ok()) << "replica " << r;
+  }
+  auto report = dep.auditor().BuildReport(dep.device_id(), t_loss,
+                                          dep.options().config.texp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->replica_logs_verified);
+  EXPECT_GE(report->duplicate_records + report->orphaned_records,
+            partition_ids.size());
+}
+
+struct ScenarioDigest {
+  std::string timeline;
+  size_t leader = 0;
+  uint64_t chain_size = 0;
+  Bytes chain_tip;
+
+  bool operator==(const ScenarioDigest& other) const {
+    return timeline == other.timeline && leader == other.leader &&
+           chain_size == other.chain_size && chain_tip == other.chain_tip;
+  }
+};
+
+ScenarioDigest RunCrashScenario(uint64_t seed) {
+  ResetRpcClientIdsForTesting();
+  DeploymentOptions options = ReplicatedOpts(3);
+  options.seed = seed;
+  Deployment dep(options);
+  auto& fs = dep.fs();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(fs.Create("/a" + std::to_string(i)).ok());
+  }
+  dep.CrashKeyShard(0);
+  dep.queue().AdvanceBy(SimDuration::Seconds(4));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(fs.Create("/b" + std::to_string(i)).ok());
+  }
+  dep.RestartKeyShard(0);
+  dep.queue().AdvanceBy(SimDuration::Seconds(4));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(fs.Create("/c" + std::to_string(i)).ok());
+  }
+  dep.queue().AdvanceBy(SimDuration::Seconds(1));
+
+  ReplicaSet* set = dep.replica_set(0);
+  ScenarioDigest digest;
+  for (const auto& event : set->timeline()) {
+    digest.timeline += std::to_string(event.at.nanos()) + "|" + event.what +
+                       "|" + std::to_string(event.replica) + "|" +
+                       std::to_string(event.epoch) + "\n";
+  }
+  digest.leader = set->current_leader();
+  const AuditLog& log = dep.key_replica(0, digest.leader).log();
+  digest.chain_size = log.size();
+  digest.chain_tip = log.entries().back().entry_hash;
+  return digest;
+}
+
+TEST(ReplicaFailoverTest, FailoverTimelineIsDeterministic) {
+  ScenarioDigest a = RunCrashScenario(7);
+  ScenarioDigest b = RunCrashScenario(7);
+  EXPECT_EQ(a.timeline, b.timeline);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace keypad

@@ -178,6 +178,63 @@ TEST(ShardRouterTest, SingleFlightCoalescesConcurrentFetches) {
   EXPECT_EQ(fetches, 1u);
 }
 
+TEST(ShardRouterTest, SingleFlightSurvivesMidFlightFailover) {
+  // Six waiters coalesce onto one in-flight fetch; the owning shard's
+  // primary dies while that flight is on the wire. The leader flight must
+  // fail over to the promoted backup and complete every waiter — a crash
+  // must never strand the coalesced followers.
+  DeploymentOptions options = ShardedOpts(2);
+  options.key_replicas = 2;
+  options.rpc.timeout = SimDuration::Seconds(1);
+  options.rpc.retry.max_attempts = 2;
+  Deployment dep(options);
+  ShardRouter* router = dep.key_router();
+  ASSERT_NE(router, nullptr);
+
+  auto ids = RandomIds(1, 55);
+  ASSERT_TRUE(router->CreateKey(ids[0]).ok());
+  size_t owner = router->ring().ShardFor(ids[0]);
+
+  constexpr int kWaiters = 6;
+  int completed = 0;
+  Bytes first_key;
+  for (int i = 0; i < kWaiters; ++i) {
+    router->GetKeyAsync(ids[0], AccessOp::kDemandFetch,
+                        [&](Result<Bytes> key) {
+                          ASSERT_TRUE(key.ok());
+                          if (completed++ == 0) {
+                            first_key = *key;
+                          } else {
+                            EXPECT_EQ(*key, first_key);
+                          }
+                        });
+  }
+  // Virtual time has not moved, so the flight is still in the air when the
+  // owner's leader dies. (Replicated deployments keep perpetual lease
+  // timers, so pump with AdvanceBy, not RunUntilIdle.)
+  dep.CrashKeyShard(owner);
+  dep.queue().AdvanceBy(SimDuration::Seconds(12));
+
+  EXPECT_EQ(completed, kWaiters);
+  EXPECT_EQ(router->stats().single_flight_leaders, 1u);
+  EXPECT_EQ(router->stats().single_flight_joins,
+            static_cast<uint64_t>(kWaiters - 1));
+  EXPECT_GE(dep.key_stub(owner).failovers() + dep.key_stub(owner).redirects(),
+            1u);
+  // The promoted backup (replicated at create time) served the key, and its
+  // chain logged the fetch.
+  ReplicaSet* set = dep.replica_set(owner);
+  ASSERT_NE(set, nullptr);
+  ASSERT_EQ(set->current_leader(), 1u);
+  size_t fetches = 0;
+  for (const auto& entry : dep.key_replica(owner, 1).log().entries()) {
+    if (entry.op == AccessOp::kDemandFetch && entry.audit_id == ids[0]) {
+      ++fetches;
+    }
+  }
+  EXPECT_EQ(fetches, 1u);
+}
+
 // --- Group commit. ----------------------------------------------------------
 
 TEST(GroupCommitTest, BatchedFetchSealsOneGroup) {
