@@ -1,20 +1,27 @@
-// Availability bench (DESIGN.md §9): goodput timeline of the key tier
-// across a scheduled primary kill, unreplicated vs replicated.
+// Availability bench (DESIGN.md §9–§10): goodput timeline of both service
+// tiers across a scheduled primary kill, unreplicated vs replicated.
 //
-// Three scenario groups:
+// Four scenario groups:
 //  * kill sweep — file creates paced across a schedule that crashes the
 //    shard's current leader mid-run. With key_replicas = 1 goodput drops
 //    to zero for the whole outage (plus the breaker tail); with R > 1 a
 //    backup promotes after lease expiry and goodput recovers within the
 //    promotion window. The per-second goodput timeline goes to the JSON.
+//  * metadata kill sweep — the same schedule against the metadata tier
+//    (creates block on the binding registration, so a dead metadata leader
+//    zeroes goodput exactly like a dead key primary). Replicated runs must
+//    recover within the promotion window, every metadata replica chain
+//    must verify, and every acked create's binding must survive in the
+//    authoritative namespace log or the orphan list.
 //  * partition/heal — the split-brain cycle: primary partitioned off the
 //    mesh (still serving clients), backup promotes, primary dies, client
 //    fails over, partition heals, ex-primary rejoins and reconciles. At
 //    the end every replica chain must verify and every client-acked create
 //    must survive in the authoritative chain or the orphan list
 //    (duplicated-but-never-lost).
-//  * determinism — the replicated kill cell twice with one seed; goodput
-//    buckets, failover timeline, and chain tip must match bit-for-bit.
+//  * determinism — the replicated kill cells (both tiers) twice with one
+//    seed; goodput buckets, failover timeline, and chain tip must match
+//    bit-for-bit.
 //
 // Emits BENCH_availability.json (path = argv[1], default ./). Exits
 // non-zero when an acceptance check fails, so CI can gate on it.
@@ -71,12 +78,9 @@ DeploymentOptions MakeOptions(int replicas, uint64_t seed) {
   return options;
 }
 
-std::string SerializeTimeline(const ReplicaSet* set) {
-  if (set == nullptr) {
-    return "";
-  }
+std::string SerializeTimeline(const std::vector<FailoverEvent>& timeline) {
   std::string out;
-  for (const auto& event : set->timeline()) {
+  for (const auto& event : timeline) {
     out += std::to_string(event.at.nanos()) + "|" + event.what + "|" +
            std::to_string(event.replica) + "|" + std::to_string(event.epoch) +
            ";";
@@ -127,10 +131,62 @@ void VerifyCell(Deployment& dep, const std::vector<AuditId>& acked,
     cell->promotions = set->stats().promotions;
     cell->rejoins = set->stats().rejoins;
     cell->orphaned = set->stats().orphaned_entries;
-    cell->timeline = SerializeTimeline(set);
+    cell->timeline = SerializeTimeline(set->timeline());
   }
   if (!authority.entries().empty()) {
     cell->chain_tip_hex = ToHex(authority.entries().back().entry_hash);
+  }
+}
+
+bool MetaLogHasBinding(const MetadataLog& log, const AuditId& id) {
+  for (const auto& record : log.records()) {
+    if (record.op == MetadataOp::kCreateFile && record.audit_id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MetaOrphansHaveBinding(const MetaReplicaSet* set, const AuditId& id) {
+  if (set == nullptr) {
+    return false;
+  }
+  for (const auto& orphan : set->orphaned()) {
+    if (orphan.record.op == MetadataOp::kCreateFile &&
+        orphan.record.audit_id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Metadata-tier mirror of VerifyCell: duplicated-but-never-lost over the
+// namespace log plus per-replica chain health.
+void VerifyMetaCell(Deployment& dep, const std::vector<AuditId>& acked,
+                    AvailCell* cell) {
+  MetaReplicaSet* set = dep.meta_replica_set();
+  size_t leader = set != nullptr ? set->current_leader() : 0;
+  const MetadataLog& authority = dep.meta_replica(leader).log();
+  cell->acked_records = acked.size();
+  for (const auto& id : acked) {
+    if (!MetaLogHasBinding(authority, id) &&
+        !MetaOrphansHaveBinding(set, id)) {
+      cell->acked_preserved = false;
+    }
+  }
+  for (size_t r = 0; r < dep.meta_replica_count(); ++r) {
+    if (!dep.meta_replica(r).log().Verify().ok()) {
+      cell->chains_verified = false;
+    }
+  }
+  if (set != nullptr) {
+    cell->promotions = set->stats().promotions;
+    cell->rejoins = set->stats().rejoins;
+    cell->orphaned = set->stats().orphaned_entries;
+    cell->timeline = SerializeTimeline(set->timeline());
+  }
+  if (!authority.records().empty()) {
+    cell->chain_tip_hex = ToHex(authority.records().back().entry_hash);
   }
 }
 
@@ -203,6 +259,75 @@ AvailCell RunKillCell(int replicas, double duration_s, uint64_t seed) {
                          : cell.recovery_s >= 0 &&
                                cell.recovery_s <= cell.threshold_s;
   VerifyCell(dep, acked, &cell);
+  return cell;
+}
+
+// Metadata kill sweep: the same paced-create schedule, but the scheduled
+// kill hits the metadata tier's current leader. Creates block on the
+// binding registration (the IBE unlock key releases only after the
+// binding is durably logged), so metadata-tier availability gates goodput
+// exactly like key-tier availability does.
+AvailCell RunMetaKillCell(int replicas, double duration_s, uint64_t seed) {
+  ResetRpcClientIdsForTesting();
+  DeploymentOptions options = MakeOptions(/*replicas=*/1, seed);
+  options.meta_replicas = replicas;
+  Deployment dep(options);
+  auto& fs = dep.fs();
+
+  AvailCell cell;
+  cell.scenario = "meta_leader_kill";
+  cell.replicas = replicas;
+  cell.kill_s = duration_s / 3;
+  cell.outage_s = 20;
+  // Same recovery bound as the key tier: both tiers run the same
+  // replication substrate with the same lease schedule.
+  const ReplicaSetOptions& rs = options.replica_set;
+  cell.threshold_s = rs.lease.lease_duration.seconds_f() +
+                     rs.lease.promote_stagger.seconds_f() * replicas +
+                     options.rpc.timeout.seconds_f();
+  cell.buckets.assign(static_cast<size_t>(duration_s) + 1, Bucket{});
+
+  SimTime t0 = dep.queue().Now();
+  SimTime kill_at = t0 + SimDuration::Millis(
+                             static_cast<int64_t>(cell.kill_s * 1000));
+  dep.ScheduleMetadataServiceCrash(kill_at,
+                                   SimDuration::Seconds(
+                                       static_cast<int64_t>(cell.outage_s)));
+
+  const SimDuration pace = SimDuration::Millis(200);
+  std::vector<AuditId> acked;
+  int i = 0;
+  while ((dep.queue().Now() - t0).seconds_f() < duration_s) {
+    SimTime issue = t0 + pace * i;
+    if (dep.queue().Now() < issue) {
+      dep.queue().AdvanceBy(issue - dep.queue().Now());
+    }
+    double issue_s = (dep.queue().Now() - t0).seconds_f();
+    std::string path = "/op" + std::to_string(i);
+    bool ok = fs.Create(path).ok();
+    ++i;
+    ++cell.ops;
+    double done_s = (dep.queue().Now() - t0).seconds_f();
+    size_t bucket = std::min(cell.buckets.size() - 1,
+                             static_cast<size_t>(done_s));
+    if (ok) {
+      ++cell.succeeded;
+      ++cell.buckets[bucket].ok;
+      acked.push_back(fs.ReadHeaderOf(path)->audit_id);
+      if (issue_s > cell.kill_s && cell.recovery_s < 0) {
+        cell.recovery_s = done_s - cell.kill_s;
+      }
+    } else {
+      ++cell.buckets[bucket].fail;
+    }
+  }
+  dep.queue().AdvanceBy(SimDuration::Seconds(2));
+
+  cell.recovery_ok = replicas == 1
+                         ? cell.recovery_s >= cell.outage_s * 0.9
+                         : cell.recovery_s >= 0 &&
+                               cell.recovery_s <= cell.threshold_s;
+  VerifyMetaCell(dep, acked, &cell);
   return cell;
 }
 
@@ -333,7 +458,7 @@ std::string Digest(const AvailCell& c) {
 int main(int argc, char** argv) {
   using namespace keypad;
   using namespace keypad::bench;
-  PrintHeader("§9 availability: goodput across a key-tier primary kill");
+  PrintHeader("§9–§10 availability: goodput across service-tier leader kills");
 
   const double duration_s = FastMode() ? 45 : 90;
   std::vector<AvailCell> cells;
@@ -341,13 +466,27 @@ int main(int argc, char** argv) {
     cells.push_back(RunKillCell(replicas, duration_s, /*seed=*/42));
     PrintCell(cells.back());
   }
+  // The metadata tier rides the same substrate: unreplicated baseline plus
+  // a replicated run that must recover within the same promotion bound.
+  size_t meta_replicated_cell = 0;
+  for (int replicas : {1, 3}) {
+    cells.push_back(RunMetaKillCell(replicas, duration_s, /*seed=*/42));
+    if (replicas > 1) {
+      meta_replicated_cell = cells.size() - 1;
+    }
+    PrintCell(cells.back());
+  }
   cells.push_back(RunPartitionHealCell(/*replicas=*/2, /*seed=*/42));
   PrintCell(cells.back());
 
   // Determinism self-check: same seed, bit-identical goodput timeline,
-  // failover events, and chain tip.
+  // failover events, and chain tip — for both tiers' replicated kill cells.
   AvailCell again = RunKillCell(/*replicas=*/2, duration_s, /*seed=*/42);
   bool deterministic = Digest(again) == Digest(cells[1]);
+  AvailCell meta_again = RunMetaKillCell(/*replicas=*/3, duration_s,
+                                         /*seed=*/42);
+  deterministic =
+      deterministic && Digest(meta_again) == Digest(cells[meta_replicated_cell]);
   std::printf("determinism: %s\n", deterministic ? "ok" : "MISMATCH");
 
   std::string out = argc > 1 ? std::string(argv[1])

@@ -20,8 +20,9 @@ for b in /root/repo/build/bench/*; do
     # (DESIGN.md §8).
     "$b" /root/repo/BENCH_scale.json >> "$out" 2>&1
   elif [[ "$(basename "$b")" == "bench_availability" ]]; then
-    # Replicated key tier: goodput timeline across a leader kill, plus the
-    # partition/heal reconciliation cycle (DESIGN.md §9).
+    # Replicated service tiers: goodput timelines across key-tier and
+    # metadata-tier leader kills, plus the partition/heal reconciliation
+    # cycle (DESIGN.md §9–§10).
     "$b" /root/repo/BENCH_availability.json >> "$out" 2>&1
   else
     "$b" >> "$out" 2>&1

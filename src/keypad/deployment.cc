@@ -12,13 +12,13 @@ constexpr SimDuration kServiceTime = SimDuration::Micros(150);
 
 // Stub failover budget: one full leader failover — lease lapse, staggered
 // promotion across all replicas, an ack timeout of reconciliation traffic,
-// and slack — before a routed call gives up.
-KeyServiceClient::FailoverOptions FailoverFor(
-    const DeploymentOptions& options) {
-  KeyServiceClient::FailoverOptions failover;
+// and slack — before a routed call gives up. Parameterized on the tier's
+// replica count (the key and metadata tiers can differ in width).
+FailoverOptions FailoverFor(const DeploymentOptions& options, int replicas) {
+  FailoverOptions failover;
   failover.budget = options.replica_set.lease.lease_duration +
                     options.replica_set.lease.promote_stagger *
-                        static_cast<int64_t>(options.key_replicas) +
+                        static_cast<int64_t>(replicas) +
                     options.replica_set.ack_timeout + SimDuration::Seconds(2);
   return failover;
 }
@@ -26,7 +26,6 @@ KeyServiceClient::FailoverOptions FailoverFor(
 
 Deployment::Deployment(DeploymentOptions options)
     : options_(std::move(options)),
-      meta_rpc_server_(&queue_, kServiceTime),
       client_link_(&queue_,
                    options_.paired_phone ? BluetoothProfile()
                                          : options_.profile,
@@ -43,8 +42,13 @@ Deployment::Deployment(DeploymentOptions options)
       options_.secure_channel) {
     options_.key_replicas = 1;
   }
+  if (options_.meta_replicas < 1 || options_.paired_phone ||
+      options_.secure_channel) {
+    options_.meta_replicas = 1;
+  }
   const size_t shard_count = static_cast<size_t>(options_.key_shards);
   const size_t replica_count = static_cast<size_t>(options_.key_replicas);
+  const size_t meta_count = static_cast<size_t>(options_.meta_replicas);
 
   // Key tier: shard 0 keeps the historical seed so an unsharded deployment
   // is bit-identical to the pre-shard layout; backups fold the replica
@@ -96,13 +100,35 @@ Deployment::Deployment(DeploymentOptions options)
   key_replica_snapshots_.assign(shard_count,
                                 std::vector<Bytes>(replica_count));
   last_crashed_replica_.assign(shard_count, 0);
+  meta_replica_snapshots_.assign(meta_count, Bytes());
 
   const PairingParams* group = options_.ibe_group != nullptr
                                    ? options_.ibe_group
                                    : &TestPairingParams();
-  metadata_service_ = std::make_unique<MetadataService>(
-      &queue_, options_.seed ^ 0x4444, *group);
-  auditor_ = ForensicAuditor(shard_views, metadata_service_.get());
+  // Every metadata replica is constructed from the SAME seed: the IBE
+  // master secret is modelled as living in a shared HSM (it survives a
+  // crash in place, and a promoted backup must mint the same unlock keys
+  // replica 0 would have). Replica 0 is bit-identical to the unreplicated
+  // service.
+  for (size_t r = 0; r < meta_count; ++r) {
+    meta_services_.push_back(std::make_unique<MetadataService>(
+        &queue_, options_.seed ^ 0x4444, *group));
+    meta_rpc_servers_.push_back(
+        std::make_unique<RpcServer>(&queue_, kServiceTime));
+  }
+  if (meta_count > 1) {
+    // Install replicator + serve gate before BindRpc (they switch the
+    // mutating RPC surface onto the async held-response path).
+    ReplicaSetOptions meta_rs_options = options_.replica_set;
+    meta_rs_options.seed ^= options_.seed ^ 0xAAAA;
+    meta_replica_set_ =
+        std::make_unique<MetaReplicaSet>(&queue_, meta_rs_options);
+    for (size_t r = 0; r < meta_count; ++r) {
+      meta_replica_set_->AddReplica(meta_services_[r].get(),
+                                    meta_rpc_servers_[r].get());
+    }
+  }
+  auditor_ = ForensicAuditor(shard_views, meta_services_[0].get());
   if (!replica_sets_.empty()) {
     std::vector<const ReplicaSet*> set_views;
     for (const auto& set : replica_sets_) {
@@ -110,8 +136,13 @@ Deployment::Deployment(DeploymentOptions options)
     }
     auditor_.AttachReplicaSets(std::move(set_views));
   }
+  if (meta_replica_set_ != nullptr) {
+    auditor_.AttachMetaReplicaSet(meta_replica_set_.get());
+  }
 
-  metadata_service_->BindRpc(&meta_rpc_server_);
+  for (size_t r = 0; r < meta_count; ++r) {
+    meta_services_[r]->BindRpc(meta_rpc_servers_[r].get());
+  }
 
   // One device identity across the whole tier: every shard must validate
   // the same per-device MAC secret.
@@ -130,7 +161,14 @@ Deployment::Deployment(DeploymentOptions options)
   for (auto& set : replica_sets_) {
     set->Start();
   }
-  Bytes meta_secret = metadata_service_->RegisterDevice(options_.device_id);
+  Bytes meta_secret = meta_services_[0]->RegisterDevice(options_.device_id);
+  for (size_t r = 1; r < meta_count; ++r) {
+    meta_services_[r]->RegisterDeviceWithSecret(options_.device_id,
+                                                meta_secret);
+  }
+  if (meta_replica_set_ != nullptr) {
+    meta_replica_set_->Start();
+  }
 
   if (options_.paired_phone) {
     // Phone -> services over the chosen profile.
@@ -138,7 +176,7 @@ Deployment::Deployment(DeploymentOptions options)
                                                  key_rpc_servers_[0].get(),
                                                  options_.rpc);
     phone_meta_rpc_ = std::make_unique<RpcClient>(&queue_, &phone_uplink_,
-                                                  &meta_rpc_server_,
+                                                  meta_rpc_servers_[0].get(),
                                                   options_.rpc);
     phone_key_client_ = std::make_unique<KeyServiceClient>(
         phone_key_rpc_.get(), options_.device_id, key_secret);
@@ -164,7 +202,12 @@ Deployment::Deployment(DeploymentOptions options)
       }
     }
     meta_rpc_ = std::make_unique<RpcClient>(&queue_, &client_link_,
-                                            &meta_rpc_server_, options_.rpc);
+                                            meta_rpc_servers_[0].get(),
+                                            options_.rpc);
+    for (size_t r = 1; r < meta_count; ++r) {
+      meta_backup_rpcs_.push_back(std::make_unique<RpcClient>(
+          &queue_, &client_link_, meta_rpc_servers_[r].get(), options_.rpc));
+    }
   }
   for (size_t i = 0; i < key_rpcs_.size(); ++i) {
     if (replica_count > 1) {
@@ -178,7 +221,7 @@ Deployment::Deployment(DeploymentOptions options)
       }
       key_clients_.push_back(std::make_unique<KeyServiceClient>(
           &queue_, std::move(endpoints), options_.device_id, key_secret,
-          FailoverFor(options_)));
+          FailoverFor(options_, options_.key_replicas)));
     } else {
       key_clients_.push_back(std::make_unique<KeyServiceClient>(
           key_rpcs_[i].get(), options_.device_id, key_secret));
@@ -192,8 +235,19 @@ Deployment::Deployment(DeploymentOptions options)
     key_router_ = std::make_unique<ShardRouter>(&queue_, std::move(stubs),
                                                 options_.router);
   }
-  meta_client_ = std::make_unique<MetadataServiceClient>(
-      meta_rpc_.get(), options_.device_id, meta_secret);
+  if (meta_count > 1) {
+    std::vector<RpcClient*> meta_endpoints;
+    meta_endpoints.push_back(meta_rpc_.get());
+    for (auto& rpc : meta_backup_rpcs_) {
+      meta_endpoints.push_back(rpc.get());
+    }
+    meta_client_ = std::make_unique<MetadataServiceClient>(
+        &queue_, std::move(meta_endpoints), options_.device_id, meta_secret,
+        FailoverFor(options_, options_.meta_replicas));
+  } else {
+    meta_client_ = std::make_unique<MetadataServiceClient>(
+        meta_rpc_.get(), options_.device_id, meta_secret);
+  }
 
   if (options_.secure_channel && !options_.paired_phone) {
     // Channel roots are derived from the per-service device secrets, so
@@ -224,7 +278,7 @@ Deployment::Deployment(DeploymentOptions options)
                                                  : nullptr;
         },
         channel_server_rng_.get());
-    meta_rpc_server_.EnableChannelSecurity(
+    meta_rpc_servers_[0]->EnableChannelSecurity(
         [this](const std::string& device_id) -> SecureChannel* {
           return device_id == options_.device_id
                      ? meta_channel_server_.get()
@@ -238,7 +292,7 @@ Deployment::Deployment(DeploymentOptions options)
                      ? static_cast<KeyClient*>(key_router_.get())
                      : static_cast<KeyClient*>(key_clients_[0].get());
   services.meta = meta_client_.get();
-  services.ibe = &metadata_service_->ibe_params();
+  services.ibe = &meta_services_[0]->ibe_params();
 
   auto fs = KeypadFs::Format(&device_, &queue_, options_.seed ^ 0x5555,
                              options_.password, options_.fs_options,
@@ -315,19 +369,50 @@ void Deployment::RestartKeyShard(size_t i) {
   RestartKeyReplica(i, last_crashed_replica_[i]);
 }
 
+void Deployment::CrashMetaReplica(size_t replica) {
+  MetadataService& service = *meta_services_[replica];
+  RpcServer& server = *meta_rpc_servers_[replica];
+  // Held responses die with the process — the clients' retries take over
+  // against the promoted backup, if any. The appended records are durable
+  // and travel in the snapshot.
+  service.AbortPending();
+  meta_replica_snapshots_[replica] = service.Snapshot();
+  server.set_down(true);
+  if (meta_replica_set_ != nullptr) {
+    meta_replica_set_->NoteCrashed(replica);
+  }
+}
+
+void Deployment::RestartMetaReplica(size_t replica) {
+  MetadataService& service = *meta_services_[replica];
+  RpcServer& server = *meta_rpc_servers_[replica];
+  Status restored = service.Restore(meta_replica_snapshots_[replica]);
+  if (!restored.ok()) {
+    KP_LOG(kError) << "metadata replica " << replica
+                   << " restart: " << restored;
+    abort();
+  }
+  server.reply_cache().ClearInFlight();
+  server.set_down(false);
+  if (meta_replica_set_ != nullptr) {
+    // The ex-primary comes back with a possibly diverged chain: it rejoins
+    // as a backup, reconciling against whoever leads now.
+    meta_replica_set_->NoteRestarted(replica);
+  }
+}
+
 void Deployment::CrashMetadataService() {
-  meta_service_snapshot_ = metadata_service_->Snapshot();
-  meta_rpc_server_.set_down(true);
+  // With replication the interesting victim is whichever replica currently
+  // leads; without it, replica 0 is the whole tier.
+  size_t replica = meta_replica_set_ != nullptr
+                       ? meta_replica_set_->current_leader()
+                       : 0;
+  last_crashed_meta_replica_ = replica;
+  CrashMetaReplica(replica);
 }
 
 void Deployment::RestartMetadataService() {
-  Status restored = metadata_service_->Restore(meta_service_snapshot_);
-  if (!restored.ok()) {
-    KP_LOG(kError) << "metadata service restart: " << restored;
-    abort();
-  }
-  meta_rpc_server_.reply_cache().ClearInFlight();
-  meta_rpc_server_.set_down(false);
+  RestartMetaReplica(last_crashed_meta_replica_);
 }
 
 void Deployment::ScheduleKeyShardCrash(size_t i, SimTime at,
@@ -366,6 +451,26 @@ void Deployment::ScheduleMetadataServiceCrash(SimTime at,
   queue_.Schedule(at + outage, [this] { RestartMetadataService(); });
 }
 
+void Deployment::ScheduleMetaReplicaCrash(size_t replica, SimTime at,
+                                          SimDuration outage) {
+  queue_.Schedule(at, [this, replica] { CrashMetaReplica(replica); });
+  queue_.Schedule(at + outage,
+                  [this, replica] { RestartMetaReplica(replica); });
+}
+
+void Deployment::PartitionMetaReplica(size_t replica, bool partitioned) {
+  if (meta_replica_set_ != nullptr) {
+    meta_replica_set_->SetPartitioned(replica, partitioned);
+  }
+}
+
+void Deployment::ScheduleMetaReplicaPartition(size_t replica, SimTime at,
+                                              SimDuration duration) {
+  if (meta_replica_set_ != nullptr) {
+    meta_replica_set_->SchedulePartition(replica, at, duration);
+  }
+}
+
 void Deployment::ReportDeviceLost() {
   // Revocation must land on every shard — any single shard still serving
   // keys would defeat remote data control. With replication it goes through
@@ -386,7 +491,10 @@ void Deployment::ReportDeviceLost() {
       }
     }
   }
-  Status meta_status = metadata_service_->DisableDevice(options_.device_id);
+  Status meta_status =
+      meta_replica_set_ != nullptr
+          ? meta_replica_set_->DisableDevice(options_.device_id)
+          : meta_services_[0]->DisableDevice(options_.device_id);
   if (!key_status.ok() || !meta_status.ok()) {
     KP_LOG(kWarning) << "report-lost: " << key_status << " / " << meta_status;
   }
@@ -403,7 +511,7 @@ Result<Deployment::AttackerClients> Deployment::MakeAttackerClients(
                                                 key_rpc_servers_[0].get(),
                                                 options_.rpc);
   clients.meta_rpc = std::make_unique<RpcClient>(&queue_, &client_link_,
-                                                 &meta_rpc_server_,
+                                                 meta_rpc_servers_[0].get(),
                                                  options_.rpc);
   // The stolen laptop's config names every replica endpoint; the thief's
   // stubs fail over between replicas exactly like the owner's did.
@@ -421,11 +529,24 @@ Result<Deployment::AttackerClients> Deployment::MakeAttackerClients(
     }
     return std::make_unique<KeyServiceClient>(
         &queue_, std::move(endpoints), creds.device_id, creds.key_secret,
-        FailoverFor(options_));
+        FailoverFor(options_, options_.key_replicas));
   };
   clients.key = make_stub(0, clients.key_rpc.get());
-  clients.meta = std::make_unique<MetadataServiceClient>(
-      clients.meta_rpc.get(), creds.device_id, creds.meta_secret);
+  if (meta_replica_count() > 1) {
+    std::vector<RpcClient*> meta_endpoints;
+    meta_endpoints.push_back(clients.meta_rpc.get());
+    for (size_t r = 1; r < meta_rpc_servers_.size(); ++r) {
+      clients.replica_rpcs.push_back(std::make_unique<RpcClient>(
+          &queue_, &client_link_, meta_rpc_servers_[r].get(), options_.rpc));
+      meta_endpoints.push_back(clients.replica_rpcs.back().get());
+    }
+    clients.meta = std::make_unique<MetadataServiceClient>(
+        &queue_, std::move(meta_endpoints), creds.device_id,
+        creds.meta_secret, FailoverFor(options_, options_.meta_replicas));
+  } else {
+    clients.meta = std::make_unique<MetadataServiceClient>(
+        clients.meta_rpc.get(), creds.device_id, creds.meta_secret);
+  }
   if (key_shards_.size() > 1) {
     // The thief rebuilds the same router the legitimate client ran.
     std::vector<KeyServiceClient*> stubs;
@@ -461,7 +582,7 @@ Result<Deployment::AttackerClients> Deployment::MakeAttackerClients(
           ? static_cast<KeyClient*>(clients.router.get())
           : static_cast<KeyClient*>(clients.key.get());
   clients.services.meta = clients.meta.get();
-  clients.services.ibe = &metadata_service_->ibe_params();
+  clients.services.ibe = &meta_services_[0]->ibe_params();
   return clients;
 }
 

@@ -25,6 +25,7 @@
 #include "src/keyservice/key_service_client.h"
 #include "src/keyservice/replica_set.h"
 #include "src/keyservice/shard_router.h"
+#include "src/metaservice/meta_replica_set.h"
 #include "src/metaservice/metadata_service.h"
 #include "src/net/link.h"
 #include "src/net/profile.h"
@@ -67,8 +68,18 @@ struct DeploymentOptions {
   // the backups before client responses release. Like sharding, this is a
   // datacenter-side feature: the phone proxy and sealed channels force 1.
   int key_replicas = 1;
-  // Lease/replication knobs applied to every shard's replica set.
+  // Lease/replication knobs applied to every shard's replica set (and to
+  // the metadata tier's, when replicated).
   ReplicaSetOptions replica_set;
+  // Replication width of the metadata tier (DESIGN.md §10). With R > 1 the
+  // metadata service runs R replicas on the same generic substrate as the
+  // key tier: hash-chained log suffixes stream to the backups before
+  // responses (and the IBE unlock keys inside them) release, and the
+  // laptop's stub fails over across the group. Every replica shares the
+  // IBE master secret (the PKG is modelled as a shared HSM), so a promoted
+  // backup mints the same unlock keys. Phone proxy and sealed channels
+  // force 1, as with the key tier.
+  int meta_replicas = 1;
 };
 
 class Deployment {
@@ -111,7 +122,21 @@ class Deployment {
                ? static_cast<KeyClient&>(*key_router_)
                : static_cast<KeyClient&>(*key_clients_[0]);
   }
-  MetadataService& metadata_service() { return *metadata_service_; }
+  // Replica 0 — the whole metadata tier when meta_replicas == 1. With
+  // replication this is the initial primary, which may no longer lead
+  // after a failover; see meta_replica_set().
+  MetadataService& metadata_service() { return *meta_services_[0]; }
+  size_t meta_replica_count() const {
+    return static_cast<size_t>(options_.meta_replicas);
+  }
+  MetadataService& meta_replica(size_t r) { return *meta_services_[r]; }
+  RpcServer& meta_replica_rpc_server(size_t r) {
+    return *meta_rpc_servers_[r];
+  }
+  // Null when meta_replicas == 1.
+  MetaReplicaSet* meta_replica_set() { return meta_replica_set_.get(); }
+  // The laptop's (replica-aware) metadata stub.
+  MetadataServiceClient& meta_client() { return *meta_client_; }
   ForensicAuditor& auditor() { return auditor_; }
   PhoneProxy* phone() { return phone_.get(); }
   BlockDevice& device() { return device_; }
@@ -128,7 +153,7 @@ class Deployment {
   // unqualified key accessors mean shard 0.
   RpcServer& key_rpc_server() { return *key_rpc_servers_[0]; }
   RpcServer& key_shard_rpc_server(size_t i) { return *key_rpc_servers_[i]; }
-  RpcServer& meta_rpc_server() { return meta_rpc_server_; }
+  RpcServer& meta_rpc_server() { return *meta_rpc_servers_[0]; }
   RpcClient& key_rpc() { return *key_rpcs_[0]; }
   RpcClient& key_shard_rpc(size_t i) { return *key_rpcs_[i]; }
   RpcClient& meta_rpc() { return *meta_rpc_; }
@@ -154,8 +179,13 @@ class Deployment {
   void RestartKeyService() { RestartKeyShard(0); }
   void CrashKeyReplica(size_t shard, size_t replica);
   void RestartKeyReplica(size_t shard, size_t replica);
+  // With replication, CrashMetadataService kills the metadata tier's
+  // *current leader* and RestartMetadataService brings that same replica
+  // back; CrashMetaReplica targets a specific replica.
   void CrashMetadataService();
   void RestartMetadataService();
+  void CrashMetaReplica(size_t replica);
+  void RestartMetaReplica(size_t replica);
   void ScheduleKeyShardCrash(size_t i, SimTime at, SimDuration outage);
   void ScheduleKeyServiceCrash(SimTime at, SimDuration outage) {
     ScheduleKeyShardCrash(0, at, outage);
@@ -168,6 +198,11 @@ class Deployment {
   void ScheduleKeyReplicaPartition(size_t shard, size_t replica, SimTime at,
                                    SimDuration duration);
   void ScheduleMetadataServiceCrash(SimTime at, SimDuration outage);
+  void ScheduleMetaReplicaCrash(size_t replica, SimTime at,
+                                SimDuration outage);
+  void PartitionMetaReplica(size_t replica, bool partitioned);
+  void ScheduleMetaReplicaPartition(size_t replica, SimTime at,
+                                    SimDuration duration);
 
   // Total bytes Keypad moved over the client link (bandwidth accounting).
   uint64_t ClientBytesSent() const { return client_link_.bytes_sent(); }
@@ -220,8 +255,12 @@ class Deployment {
   std::vector<std::vector<std::unique_ptr<KeyService>>> key_backup_services_;
   std::vector<std::vector<std::unique_ptr<RpcServer>>> key_backup_servers_;
   std::vector<std::unique_ptr<ReplicaSet>> replica_sets_;
-  std::unique_ptr<MetadataService> metadata_service_;
-  RpcServer meta_rpc_server_;
+  // Metadata tier: meta_services_[0] is the initial primary (the whole
+  // tier when unreplicated); with meta_replicas R > 1 the backups follow
+  // and one MetaReplicaSet coordinates the group.
+  std::vector<std::unique_ptr<MetadataService>> meta_services_;
+  std::vector<std::unique_ptr<RpcServer>> meta_rpc_servers_;
+  std::unique_ptr<MetaReplicaSet> meta_replica_set_;
 
   // Links.
   NetworkLink client_link_;   // Laptop -> services (or -> phone).
@@ -250,6 +289,7 @@ class Deployment {
   std::vector<std::unique_ptr<RpcClient>> key_rpcs_;
   std::vector<std::vector<std::unique_ptr<RpcClient>>> key_backup_rpcs_;
   std::unique_ptr<RpcClient> meta_rpc_;
+  std::vector<std::unique_ptr<RpcClient>> meta_backup_rpcs_;
   std::vector<std::unique_ptr<KeyServiceClient>> key_clients_;
   std::unique_ptr<ShardRouter> key_router_;
   std::unique_ptr<MetadataServiceClient> meta_client_;
@@ -262,7 +302,8 @@ class Deployment {
   // replica the last CrashKeyShard(i) actually took down.
   std::vector<std::vector<Bytes>> key_replica_snapshots_;
   std::vector<size_t> last_crashed_replica_;
-  Bytes meta_service_snapshot_;
+  std::vector<Bytes> meta_replica_snapshots_;
+  size_t last_crashed_meta_replica_ = 0;
 };
 
 }  // namespace keypad

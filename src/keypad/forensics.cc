@@ -179,6 +179,13 @@ const KeyService* ForensicAuditor::Authority(size_t shard) const {
   return key_services_[shard];
 }
 
+const MetadataService* ForensicAuditor::MetaAuthority() const {
+  if (meta_replica_set_ != nullptr) {
+    return meta_replica_set_->service(meta_replica_set_->current_leader());
+  }
+  return metadata_service_;
+}
+
 Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
                                                  SimTime t_loss,
                                                  SimDuration texp) const {
@@ -199,12 +206,18 @@ Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
       replicas_ok = replicas_ok && set->service(r)->log().Verify().ok();
     }
   }
-  if (!key_logs_ok || !metadata_service_->log().Verify().ok()) {
+  if (meta_replica_set_ != nullptr) {
+    for (size_t r = 0; r < meta_replica_set_->size(); ++r) {
+      replicas_ok = replicas_ok &&
+                    meta_replica_set_->service(r)->log().Verify().ok();
+    }
+  }
+  if (!key_logs_ok || !MetaAuthority()->log().Verify().ok()) {
     AuditReport report;
     report.t_loss = t_loss;
     report.cutoff = t_loss - texp;
     report.key_log_verified = key_logs_ok;
-    report.metadata_log_verified = metadata_service_->log().Verify().ok();
+    report.metadata_log_verified = MetaAuthority()->log().Verify().ok();
     report.replica_logs_verified = replicas_ok;
     return Result<AuditReport>(std::move(report));
   }
@@ -257,6 +270,36 @@ Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
     }
   }
 
+  // Metadata records orphaned off losing chains classify exactly the same
+  // way: a namespace event some replica hashed that the merged history
+  // also carries (duplicate — the leader re-logged the retried mutation)
+  // or a sole survivor (surfaced as evidence; it does not create accesses,
+  // so it joins the counters, not the timeline).
+  if (meta_replica_set_ != nullptr) {
+    const auto& authoritative = MetaAuthority()->log().records();
+    for (const OrphanedMetaRecord& orphan : meta_replica_set_->orphaned()) {
+      const MetadataRecord& record = orphan.record;
+      if (record.device_id != device_id) {
+        continue;
+      }
+      bool matched = false;
+      for (const auto& held : authoritative) {
+        if (held.device_id == record.device_id &&
+            held.audit_id == record.audit_id && held.op == record.op &&
+            held.dir_id == record.dir_id && held.name == record.name &&
+            held.client_time == record.client_time) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        ++duplicate_records;
+      } else {
+        ++orphaned_records;
+      }
+    }
+  }
+
   if (key_services_.size() > 1 || orphaned_records > 0) {
     // Each shard's slice is already chronological; merge into one timeline
     // by the trusted service-side timestamp.
@@ -265,14 +308,15 @@ Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
                        return a.timestamp < b.timestamp;
                      });
   }
+  const MetadataService* meta = MetaAuthority();
   AuditReport annotated = BuildFromData(
       t_loss, texp, entries,
       [&](const AuditId& id, SimTime as_of) {
-        return metadata_service_->ResolvePath(device_id, id, as_of);
+        return meta->ResolvePath(device_id, id, as_of);
       },
       [&](const AuditId& id) {
         std::vector<HistoryItem> out;
-        for (const auto& record : metadata_service_->HistoryOf(device_id, id)) {
+        for (const auto& record : meta->HistoryOf(device_id, id)) {
           out.push_back(HistoryItem{record.op, record.name, record.dir_id,
                                     record.client_time});
         }
@@ -340,6 +384,99 @@ Status RemoteAuditor::Resync(size_t shard, uint64_t server_epoch) {
   return Status::Ok();
 }
 
+Status RemoteAuditor::MetaResync(uint64_t server_epoch) {
+  ++resyncs_;
+  WireValue::Array payload;
+  payload.push_back(WireValue(static_cast<int64_t>(0)));
+  auto result = meta_rpc_->Call(
+      "audit.meta_log_tail",
+      FrameAuthedCall(device_id_, meta_secret_, "audit.meta_log_tail",
+                      std::move(payload)));
+  if (!result.ok()) {
+    return result.status();
+  }
+  KP_ASSIGN_OR_RETURN(WireValue next, result->Field("next"));
+  KP_ASSIGN_OR_RETURN(int64_t next_seq, next.AsInt());
+  KP_ASSIGN_OR_RETURN(WireValue raw, result->Field("entries"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_records, raw.AsArray());
+  std::vector<MetadataRecord> fresh;
+  for (const auto& raw_record : raw_records) {
+    KP_ASSIGN_OR_RETURN(MetadataRecord record,
+                        MetadataRecord::FromWire(raw_record));
+    fresh.push_back(std::move(record));
+  }
+  // Overlap re-verification, as on the key tier: a namespace row served
+  // once is never silently un-happened by a restore or failover — rows the
+  // resynced log no longer carries stay cached as evidence, and changed
+  // overlap rows are kept in both versions.
+  std::vector<MetadataRecord> merged = fresh;
+  for (const auto& had : meta_cached_) {
+    const MetadataRecord* match = nullptr;
+    for (const auto& now : fresh) {
+      if (now.seq == had.seq) {
+        match = &now;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      ++regressed_entries_;
+      merged.push_back(had);
+    } else if (!(match->device_id == had.device_id &&
+                 match->audit_id == had.audit_id && match->op == had.op &&
+                 match->dir_id == had.dir_id && match->name == had.name &&
+                 match->timestamp == had.timestamp &&
+                 match->client_time == had.client_time)) {
+      ++overlap_mismatches_;
+      merged.push_back(had);
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const MetadataRecord& a, const MetadataRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  meta_cached_ = std::move(merged);
+  meta_cursor_ = static_cast<uint64_t>(next_seq);
+  meta_epoch_ = server_epoch;
+  return Status::Ok();
+}
+
+Status RemoteAuditor::PullMetaTail() {
+  WireValue::Array payload;
+  payload.push_back(WireValue(static_cast<int64_t>(meta_cursor_)));
+  auto result = meta_rpc_->Call(
+      "audit.meta_log_tail",
+      FrameAuthedCall(device_id_, meta_secret_, "audit.meta_log_tail",
+                      std::move(payload)));
+  if (!result.ok()) {
+    return result.status();
+  }
+  KP_ASSIGN_OR_RETURN(WireValue next, result->Field("next"));
+  KP_ASSIGN_OR_RETURN(int64_t next_seq, next.AsInt());
+  uint64_t server_epoch = 0;
+  if (result->HasField("epoch")) {
+    KP_ASSIGN_OR_RETURN(WireValue epoch_v, result->Field("epoch"));
+    KP_ASSIGN_OR_RETURN(int64_t epoch_int, epoch_v.AsInt());
+    server_epoch = static_cast<uint64_t>(epoch_int);
+  }
+  if (static_cast<uint64_t>(next_seq) < meta_cursor_ ||
+      server_epoch != meta_epoch_) {
+    // The metadata log moved backwards under the cursor (restore from an
+    // older snapshot) or the service adopted a different history (failover
+    // onto a shorter surviving chain). Refetch from sequence zero and
+    // re-verify the overlap.
+    return MetaResync(server_epoch);
+  }
+  KP_ASSIGN_OR_RETURN(WireValue raw, result->Field("entries"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_records, raw.AsArray());
+  for (const auto& raw_record : raw_records) {
+    KP_ASSIGN_OR_RETURN(MetadataRecord record,
+                        MetadataRecord::FromWire(raw_record));
+    meta_cached_.push_back(std::move(record));
+  }
+  meta_cursor_ = static_cast<uint64_t>(next_seq);
+  return Status::Ok();
+}
+
 Result<AuditReport> RemoteAuditor::BuildReport(SimTime t_loss,
                                                SimDuration texp) {
   // Pull each shard's log tail past our cursor; the service verifies its
@@ -383,6 +520,11 @@ Result<AuditReport> RemoteAuditor::BuildReport(SimTime t_loss,
     }
     cursors_[shard] = static_cast<uint64_t>(next_seq);
   }
+  // The metadata tier keeps its own incremental cursor: the tail pull
+  // notices a restore-from-older-snapshot (or a failover onto a shorter
+  // chain) on this tier too, and preserves regressed namespace rows as
+  // evidence before the path resolutions below consult the live service.
+  KP_RETURN_IF_ERROR(PullMetaTail());
   std::vector<AuditLogEntry> timeline;
   for (const auto& shard : shard_cached_) {
     timeline.insert(timeline.end(), shard.begin(), shard.end());

@@ -22,6 +22,7 @@
 #include "src/keyservice/key_service.h"
 #include "src/keyservice/replica_set.h"
 #include "src/rpc/rpc.h"
+#include "src/metaservice/meta_replica_set.h"
 #include "src/metaservice/metadata_service.h"
 #include "src/util/ids.h"
 
@@ -62,16 +63,18 @@ struct AuditReport {
   // Log-chain verification results.
   bool key_log_verified = false;
   bool metadata_log_verified = false;
-  // Replicated key tier (DESIGN.md §9): true iff every live replica's chain
-  // verified, not just the authoritative one.
+  // Replicated tiers (DESIGN.md §9–§10): true iff every live replica's
+  // chain verified — key and metadata alike — not just the authoritative
+  // ones.
   bool replica_logs_verified = true;
-  // Sealed entries orphaned by failover reconciliation whose logical row
-  // (device, audit id, op, client time) the authoritative chain also
-  // carries: harmless duplication — the invariant is duplicated, not lost.
+  // Entries orphaned by failover reconciliation (either tier) whose logical
+  // row (device, audit id, op, client time — plus the namespace fields for
+  // metadata records) the authoritative chain also carries: harmless
+  // duplication — the invariant is duplicated, not lost.
   size_t duplicate_records = 0;
-  // Orphaned entries with no authoritative counterpart. They are folded
-  // into the report conservatively (a client-acknowledged access is never
-  // dropped just because its chain lost the leadership contest).
+  // Orphaned entries with no authoritative counterpart. Key-tier ones are
+  // folded into the report conservatively (a client-acknowledged access is
+  // never dropped just because its chain lost the leadership contest).
   size_t orphaned_records = 0;
 
   bool Compromised(const AuditId& id) const;
@@ -102,6 +105,15 @@ class ForensicAuditor {
     replica_sets_ = std::move(replica_sets);
   }
 
+  // Replicated metadata tier (DESIGN.md §10): the auditor verifies every
+  // metadata replica's chain, resolves paths against the *current leader*
+  // (the replica-0 view may be stale after a failover), and classifies the
+  // namespace records reconciliation orphaned as duplicated-or-surfaced —
+  // exactly as it does key-audit entries.
+  void AttachMetaReplicaSet(const MetaReplicaSet* set) {
+    meta_replica_set_ = set;
+  }
+
   // Builds the post-loss report for `device_id`. `texp` must be the Texp
   // the device was configured with (the owner/IT department knows it).
   Result<AuditReport> BuildReport(const std::string& device_id, SimTime t_loss,
@@ -111,10 +123,13 @@ class ForensicAuditor {
   // The shard's authoritative service: its replica set's current leader
   // when attached, the historical single instance otherwise.
   const KeyService* Authority(size_t shard) const;
+  // Same for the metadata tier.
+  const MetadataService* MetaAuthority() const;
 
   std::vector<const KeyService*> key_services_;
   const MetadataService* metadata_service_;
   std::vector<const ReplicaSet*> replica_sets_;
+  const MetaReplicaSet* meta_replica_set_ = nullptr;
 };
 
 // The same report, built remotely over the services' audit RPC surface —
@@ -151,6 +166,9 @@ class RemoteAuditor {
   // Test hooks: where each shard's cursor stands and how much of the
   // device's timeline is cached locally.
   uint64_t cursor(size_t shard = 0) const { return cursors_[shard]; }
+  // The metadata tier's incremental cursor (audit.meta_log_tail).
+  uint64_t meta_cursor() const { return meta_cursor_; }
+  size_t meta_cached_entries() const { return meta_cached_.size(); }
   size_t cached_entries() const {
     size_t total = 0;
     for (const auto& shard : shard_cached_) {
@@ -158,10 +176,11 @@ class RemoteAuditor {
     }
     return total;
   }
-  // Cursor-resync forensics: how often a shard's log came back *behind* the
-  // cursor (restore from an older snapshot / failover to a shorter chain),
-  // how many previously-fetched rows the resynced log no longer carries
-  // (kept locally as evidence), and overlapping rows whose bytes changed.
+  // Cursor-resync forensics: how often a log (key shard or metadata tier)
+  // came back *behind* the cursor (restore from an older snapshot /
+  // failover to a shorter chain), how many previously-fetched rows the
+  // resynced log no longer carries (kept locally as evidence), and
+  // overlapping rows whose bytes changed.
   uint64_t resyncs() const { return resyncs_; }
   uint64_t regressed_entries() const { return regressed_entries_; }
   uint64_t overlap_mismatches() const { return overlap_mismatches_; }
@@ -170,6 +189,11 @@ class RemoteAuditor {
   // Re-reads shard's log from sequence 0 after detecting regression, and
   // reconciles it against what this auditor had already fetched.
   Status Resync(size_t shard, uint64_t server_epoch);
+  // Same for the metadata tier's log.
+  Status MetaResync(uint64_t server_epoch);
+  // Advances the metadata cursor by one audit.meta_log_tail round,
+  // detecting restore-from-older-snapshot regressions.
+  Status PullMetaTail();
 
   std::vector<RpcClient*> key_rpcs_;
   RpcClient* meta_rpc_;
@@ -182,6 +206,12 @@ class RemoteAuditor {
   std::vector<uint64_t> cursors_;
   std::vector<uint64_t> epochs_;
   std::vector<std::vector<AuditLogEntry>> shard_cached_;
+  // Metadata-tier cursor state: same incremental-plus-resync protocol over
+  // audit.meta_log_tail. The cached rows are retained as evidence (the
+  // report itself resolves paths over the live audit RPCs).
+  uint64_t meta_cursor_ = 0;
+  uint64_t meta_epoch_ = 0;
+  std::vector<MetadataRecord> meta_cached_;
   uint64_t resyncs_ = 0;
   uint64_t regressed_entries_ = 0;
   uint64_t overlap_mismatches_ = 0;

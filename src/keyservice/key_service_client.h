@@ -3,14 +3,10 @@
 // the KeyClient interface; this stub implements it against one service
 // (one shard), handling auth framing and (de)marshalling.
 //
-// Replica-aware mode (DESIGN.md §9): constructed with the RpcClients of a
-// whole replica set, the stub remembers which replica last answered (the
-// leader hint), follows NOT_LEADER:<i> redirects from the serve gate, and
-// on kUnavailable (crash, partition, open breaker) fails over to the next
-// replica. When a full cycle finds no leader — mid-failover, before a
-// backup's promotion timer fires — it pauses briefly and retries until the
-// failover budget runs out, so client goodput resumes as soon as a backup
-// promotes instead of erroring out.
+// Replica-aware mode (DESIGN.md §9): routing is delegated to the generic
+// ReplicaRouter — leader hint, NOT_LEADER:<i> redirects from the serve
+// gate, probe-backoff failover cycles under a budget. This stub only
+// contributes the key-tier auth framing and typed (de)marshalling.
 
 #ifndef SRC_KEYSERVICE_KEY_SERVICE_CLIENT_H_
 #define SRC_KEYSERVICE_KEY_SERVICE_CLIENT_H_
@@ -23,6 +19,7 @@
 
 #include "src/keyservice/audit_log.h"
 #include "src/keyservice/key_client.h"
+#include "src/replication/failover_client.h"
 #include "src/rpc/rpc.h"
 #include "src/sim/event_queue.h"
 #include "src/util/ids.h"
@@ -32,36 +29,22 @@ namespace keypad {
 
 class KeyServiceClient : public KeyClient {
  public:
-  struct FailoverOptions {
-    // Overall budget for riding out one leader failover (should cover
-    // lease_duration + promote_stagger * replicas + slack).
-    SimDuration budget = SimDuration::Seconds(8);
-    // Pause between full no-leader cycles.
-    SimDuration pause = SimDuration::Millis(100);
-    // How long a replica whose transport just failed (crash, partition,
-    // timeout ladder exhausted) is skipped before being probed again.
-    // While a failover is in flight this keeps the stub polling the live
-    // promotion candidate instead of burning another retry ladder on the
-    // dead ex-leader, so goodput resumes ~one lease after the kill.
-    SimDuration probe_backoff = SimDuration::Seconds(3);
-  };
+  using FailoverOptions = keypad::FailoverOptions;
 
   // Single-endpoint stub (one shard, no replicas) — the historical layout.
   KeyServiceClient(RpcClient* rpc, std::string device_id, Bytes device_secret)
       : device_id_(std::move(device_id)),
         device_secret_(std::move(device_secret)),
-        replicas_{rpc} {}
+        router_(rpc, MakeFramer()) {}
 
   // Replica-set stub: one RpcClient per replica of the same shard, in
   // replica-index order (NOT_LEADER redirects are indices into this list).
   KeyServiceClient(EventQueue* queue, std::vector<RpcClient*> replicas,
                    std::string device_id, Bytes device_secret,
                    FailoverOptions failover)
-      : queue_(queue),
-        device_id_(std::move(device_id)),
+      : device_id_(std::move(device_id)),
         device_secret_(std::move(device_secret)),
-        replicas_(std::move(replicas)),
-        failover_(failover) {}
+        router_(queue, std::move(replicas), MakeFramer(), failover) {}
 
   KeyServiceClient(EventQueue* queue, std::vector<RpcClient*> replicas,
                    std::string device_id, Bytes device_secret)
@@ -95,42 +78,21 @@ class KeyServiceClient : public KeyClient {
                       std::function<void(Result<Bytes>)> done) override;
 
   const std::string& device_id() const override { return device_id_; }
-  RpcClient* rpc() const { return replicas_.front(); }
+  RpcClient* rpc() const { return router_.rpc(); }
 
-  size_t replica_count() const { return replicas_.size(); }
-  size_t leader_hint() const { return leader_hint_; }
+  size_t replica_count() const { return router_.replica_count(); }
+  size_t leader_hint() const { return router_.leader_hint(); }
   // How often a call moved to another replica after a failure, and how
   // often a NOT_LEADER redirect was followed.
-  uint64_t failovers() const { return failovers_; }
-  uint64_t redirects() const { return redirects_; }
+  uint64_t failovers() const { return router_.failovers(); }
+  uint64_t redirects() const { return router_.redirects(); }
 
  private:
-  struct AsyncRoute;
+  ReplicaRouter::Framer MakeFramer() const;
 
-  // One framed attempt against replica `idx` (frames per attempt — the
-  // auth tag binds the method, not the replica, so the same payload can be
-  // re-framed anywhere).
-  Result<WireValue> CallOne(size_t idx, const std::string& method,
-                            const WireValue::Array& payload);
-
-  // Replica-aware virtual-blocking call: leader hint, NOT_LEADER redirects,
-  // failover cycles, paced retries under the failover budget. Collapses to
-  // a plain single call with one replica.
-  Result<WireValue> RoutedCall(const std::string& method,
-                               const WireValue::Array& payload);
-  // Same state machine, asynchronous.
-  void RoutedCallAsync(const std::string& method, WireValue::Array payload,
-                       std::function<void(Result<WireValue>)> done);
-  void StepAsync(std::shared_ptr<AsyncRoute> route);
-
-  EventQueue* queue_ = nullptr;
   std::string device_id_;
   Bytes device_secret_;
-  std::vector<RpcClient*> replicas_;
-  size_t leader_hint_ = 0;
-  FailoverOptions failover_;
-  uint64_t failovers_ = 0;
-  uint64_t redirects_ = 0;
+  ReplicaRouter router_;
 };
 
 }  // namespace keypad

@@ -1,16 +1,16 @@
-#include "src/keyservice/replica_set.h"
+#include "src/metaservice/meta_replica_set.h"
 
 #include <utility>
 
 namespace keypad {
 
-// Plugs one KeyService into the generic engine: deltas cross the seam in
-// KeyReplDelta wire form, chain entries in AuditLogEntry wire form (which
-// carries exactly the fields reconciliation compares — seq, group_start,
-// timestamps, device, audit id, op, and both chain hashes).
-class ReplicaSet::Machine : public ReplicatedStateMachine {
+// Plugs one MetadataService into the generic engine: deltas cross the seam
+// in MetaReplDelta wire form, chain entries in MetadataRecord wire form
+// (which carries exactly the fields reconciliation compares — seq,
+// timestamps, device, audit id, op, names, and both chain hashes).
+class MetaReplicaSet::Machine : public ReplicatedStateMachine {
  public:
-  explicit Machine(KeyService* service) : service_(service) {}
+  explicit Machine(MetadataService* service) : service_(service) {}
 
   uint64_t LogSize() const override { return service_->log().size(); }
   uint64_t ShippedSeq() const override { return service_->shipped_seq(); }
@@ -19,15 +19,15 @@ class ReplicaSet::Machine : public ReplicatedStateMachine {
     return service_->Restore(snapshot);
   }
   Status ApplyDelta(const WireValue& delta) override {
-    KP_ASSIGN_OR_RETURN(KeyReplDelta parsed, KeyReplDelta::FromWire(delta));
+    KP_ASSIGN_OR_RETURN(MetaReplDelta parsed, MetaReplDelta::FromWire(delta));
     return service_->ApplyReplicated(parsed);
   }
   void ReplicateNow() override { service_->ReplicateNow(); }
   void InstallReplicator(ShipFn ship) override {
     service_->set_replicator(
-        [ship = std::move(ship)](KeyReplDelta delta,
+        [ship = std::move(ship)](MetaReplDelta delta,
                                  std::function<void()> done) {
-          size_t entry_count = delta.entries.size();
+          size_t entry_count = delta.records.size();
           ship(delta.ToWire(), entry_count, std::move(done));
         });
   }
@@ -35,51 +35,51 @@ class ReplicaSet::Machine : public ReplicatedStateMachine {
     service_->set_serve_gate(std::move(gate));
   }
   std::vector<WireValue> ExportEntries() const override {
-    const auto& entries = service_->log().entries();
+    const auto& records = service_->log().records();
     std::vector<WireValue> out;
-    out.reserve(entries.size());
-    for (const auto& entry : entries) {
-      out.push_back(entry.ToWire());
+    out.reserve(records.size());
+    for (const auto& record : records) {
+      out.push_back(record.ToWire());
     }
     return out;
   }
 
  private:
-  KeyService* service_;
+  MetadataService* service_;
 };
 
-ReplicaSet::ReplicaSet(EventQueue* queue, ReplicaSetOptions options)
+MetaReplicaSet::MetaReplicaSet(EventQueue* queue, ReplicaSetOptions options)
     : engine_(queue, options) {}
 
-ReplicaSet::~ReplicaSet() = default;
+MetaReplicaSet::~MetaReplicaSet() = default;
 
-void ReplicaSet::AddReplica(KeyService* service, RpcServer* server) {
+void MetaReplicaSet::AddReplica(MetadataService* service, RpcServer* server) {
   services_.push_back(service);
   machines_.push_back(std::make_unique<Machine>(service));
   engine_.AddReplica(machines_.back().get(), server);
 }
 
-Status ReplicaSet::DisableDevice(const std::string& device_id) {
+Status MetaReplicaSet::DisableDevice(const std::string& device_id) {
   size_t leader = current_leader();
   return engine_.MutateOnLeader([&](ReplicatedStateMachine*) {
     return services_[leader]->DisableDevice(device_id);
   });
 }
 
-Status ReplicaSet::EnableDevice(const std::string& device_id) {
+Status MetaReplicaSet::EnableDevice(const std::string& device_id) {
   size_t leader = current_leader();
   return engine_.MutateOnLeader([&](ReplicatedStateMachine*) {
     return services_[leader]->EnableDevice(device_id);
   });
 }
 
-const std::vector<OrphanedEntry>& ReplicaSet::orphaned() const {
+const std::vector<OrphanedMetaRecord>& MetaReplicaSet::orphaned() const {
   const auto& wire = engine_.orphaned();
   while (typed_orphans_.size() < wire.size()) {
     const OrphanedWireEntry& orphan = wire[typed_orphans_.size()];
-    auto entry = AuditLogEntry::FromWire(orphan.entry);
+    auto record = MetadataRecord::FromWire(orphan.entry);
     typed_orphans_.push_back(
-        {orphan.replica, entry.ok() ? *entry : AuditLogEntry{}});
+        {orphan.replica, record.ok() ? *record : MetadataRecord{}});
   }
   return typed_orphans_;
 }

@@ -1,20 +1,20 @@
-// Replica set for one key-service shard: a thin typed adapter over the
-// generic replication substrate (DESIGN.md §9–§10).
+// Replica set for the metadata service: the second tier hosted on the
+// generic replication substrate (DESIGN.md §10).
 //
 // All lease/promotion/ClaimWins/reconciliation logic lives in
-// src/replication/replica_set.h; this file only plugs KeyService into the
-// ReplicatedStateMachine seam (KeyReplDelta <-> wire, AuditLogEntry
+// src/replication/replica_set.h; this file only plugs MetadataService into
+// the ReplicatedStateMachine seam (MetaReplDelta <-> wire, MetadataRecord
 // export) and converts the engine's wire-form orphans back into typed
-// audit entries for the ForensicAuditor.
+// metadata records for the ForensicAuditor.
 
-#ifndef SRC_KEYSERVICE_REPLICA_SET_H_
-#define SRC_KEYSERVICE_REPLICA_SET_H_
+#ifndef SRC_METASERVICE_META_REPLICA_SET_H_
+#define SRC_METASERVICE_META_REPLICA_SET_H_
 
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "src/keyservice/key_service.h"
+#include "src/metaservice/metadata_service.h"
 #include "src/replication/replica_set.h"
 #include "src/replication/state_machine.h"
 #include "src/rpc/rpc.h"
@@ -22,30 +22,32 @@
 
 namespace keypad {
 
-// A replica's sealed-but-divergent audit entry surfaced by reconciliation.
-struct OrphanedEntry {
+// A replica's hashed-but-divergent metadata record surfaced by
+// reconciliation — a namespace event some replica logged that the merged
+// history does not carry (duplicated or post-partition, never lost).
+struct OrphanedMetaRecord {
   size_t replica = 0;
-  AuditLogEntry entry;
+  MetadataRecord record;
 };
 
-class ReplicaSet {
+class MetaReplicaSet {
  public:
   // Out of line: Machine is incomplete here.
-  ReplicaSet(EventQueue* queue, ReplicaSetOptions options = {});
-  ~ReplicaSet();
+  MetaReplicaSet(EventQueue* queue, ReplicaSetOptions options = {});
+  ~MetaReplicaSet();
 
-  ReplicaSet(const ReplicaSet&) = delete;
-  ReplicaSet& operator=(const ReplicaSet&) = delete;
+  MetaReplicaSet(const MetaReplicaSet&) = delete;
+  MetaReplicaSet& operator=(const MetaReplicaSet&) = delete;
 
   // Adds one replica (index = call order; index 0 starts as leader).
   // Installs the service's replicator and serve gate, so call before
-  // KeyService::BindRpc — the replicator forces the async RPC path.
-  void AddReplica(KeyService* service, RpcServer* server);
+  // MetadataService::BindRpc — the replicator forces the async RPC path.
+  void AddReplica(MetadataService* service, RpcServer* server);
 
   void Start() { engine_.Start(); }
 
   size_t size() const { return engine_.size(); }
-  KeyService* service(size_t i) const { return services_[i]; }
+  MetadataService* service(size_t i) const { return services_[i]; }
   RpcServer* rpc_server(size_t i) const { return engine_.rpc_server(i); }
 
   size_t current_leader() const { return engine_.current_leader(); }
@@ -66,7 +68,7 @@ class ReplicaSet {
 
   // --- Admin path (Deployment::ReportDeviceLost). -------------------------
 
-  // Applies on the current leader and ships the resulting audit suffix to
+  // Applies on the current leader and ships the resulting log suffix to
   // the backups immediately (no client response is waiting on it).
   Status DisableDevice(const std::string& device_id);
   Status EnableDevice(const std::string& device_id);
@@ -76,21 +78,21 @@ class ReplicaSet {
   const std::vector<FailoverEvent>& timeline() const {
     return engine_.timeline();
   }
-  // Engine orphans converted back to typed audit entries (cached).
-  const std::vector<OrphanedEntry>& orphaned() const;
+  // Engine orphans converted back to typed metadata records (cached).
+  const std::vector<OrphanedMetaRecord>& orphaned() const;
 
   using Stats = ReplicaSetEngine::Stats;
   const Stats& stats() const { return engine_.stats(); }
 
  private:
-  class Machine;  // KeyService -> ReplicatedStateMachine.
+  class Machine;  // MetadataService -> ReplicatedStateMachine.
 
   ReplicaSetEngine engine_;
-  std::vector<KeyService*> services_;
+  std::vector<MetadataService*> services_;
   std::vector<std::unique_ptr<Machine>> machines_;
-  mutable std::vector<OrphanedEntry> typed_orphans_;
+  mutable std::vector<OrphanedMetaRecord> typed_orphans_;
 };
 
 }  // namespace keypad
 
-#endif  // SRC_KEYSERVICE_REPLICA_SET_H_
+#endif  // SRC_METASERVICE_META_REPLICA_SET_H_

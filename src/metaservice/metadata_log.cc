@@ -148,6 +148,15 @@ std::optional<MetadataRecord> MetadataLog::LatestDirBinding(
   return latest;
 }
 
+std::vector<MetadataRecord> MetadataLog::EntriesAfterSeq(
+    uint64_t next_seq) const {
+  if (next_seq >= records_.size()) {
+    return {};
+  }
+  return std::vector<MetadataRecord>(records_.begin() + next_seq,
+                                     records_.end());
+}
+
 Status MetadataLog::Verify() const {
   Bytes prev(32, 0);
   for (size_t i = 0; i < records_.size(); ++i) {
@@ -166,6 +175,40 @@ Status MetadataLog::Verify() const {
     }
     prev = record.entry_hash;
   }
+  return Status::Ok();
+}
+
+Status MetadataLog::LoadVerified(std::vector<MetadataRecord> records) {
+  Bytes prev(32, 0);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& record = records[i];
+    if (record.seq != i || record.prev_hash != prev ||
+        record.entry_hash != HashRecord(record)) {
+      return DataLossError("metadata log: chain mismatch at " +
+                           std::to_string(i));
+    }
+    prev = record.entry_hash;
+  }
+  records_ = std::move(records);
+  return Status::Ok();
+}
+
+Status MetadataLog::AppendReplicated(
+    const std::vector<MetadataRecord>& records) {
+  // Validate the whole suffix before mutating anything: a diverged backup
+  // must reject the delta untouched so the leader can mark it out-of-sync.
+  Bytes prev = records_.empty() ? Bytes(32, 0) : records_.back().entry_hash;
+  uint64_t seq = records_.size();
+  for (const auto& record : records) {
+    if (record.seq != seq || record.prev_hash != prev ||
+        record.entry_hash != HashRecord(record)) {
+      return DataLossError("metadata log: replicated suffix diverges at " +
+                           std::to_string(seq));
+    }
+    prev = record.entry_hash;
+    ++seq;
+  }
+  records_.insert(records_.end(), records.begin(), records.end());
   return Status::Ok();
 }
 

@@ -73,7 +73,27 @@ class MetadataLog {
                                                  const DirId& dir_id,
                                                  SimTime as_of) const;
 
+  // Records with seq >= next_seq — O(result) thanks to seq == index. The
+  // remote auditor passes its cursor (one past the last seq it has seen)
+  // so repeated audits transfer only the new tail (parity with
+  // AuditLog::EntriesAfterSeq).
+  std::vector<MetadataRecord> EntriesAfterSeq(uint64_t next_seq) const;
+
   Status Verify() const;
+
+  // Adopts `records` as the full log after verifying their chain — the
+  // snapshot-restore path. kDataLoss (and no mutation) on any mismatch.
+  Status LoadVerified(std::vector<MetadataRecord> records);
+
+  // Replication path (DESIGN.md §10): appends already-hashed records
+  // streamed from a replica-set leader. The suffix must continue this
+  // log's chain exactly — consecutive sequence numbers from size(), each
+  // record's prev_hash equal to the tail hash at that point, and every
+  // record hash recomputing correctly. kDataLoss (and no mutation) on any
+  // mismatch, so a diverged backup can never silently adopt a forked
+  // history.
+  Status AppendReplicated(const std::vector<MetadataRecord>& records);
+
   void CorruptRecordForTesting(size_t index);
 
  private:

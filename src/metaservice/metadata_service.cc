@@ -11,6 +11,64 @@ std::string IbeIdentityFor(const DirId& dir_id, const std::string& name,
   return dir_id.ToHex() + "/" + name + "|" + audit_id.ToHex();
 }
 
+WireValue MetaReplDelta::ToWire() const {
+  WireValue::Struct s;
+  WireValue::Array raw_records;
+  for (const auto& record : records) {
+    raw_records.push_back(record.ToWire());
+  }
+  s.emplace("records", WireValue(std::move(raw_records)));
+  WireValue::Array raw_roots;
+  for (const auto& change : root_changes) {
+    WireValue::Struct r;
+    r.emplace("device", WireValue(change.device_id));
+    r.emplace("root", WireValue(change.root_id.ToBytes()));
+    raw_roots.push_back(WireValue(std::move(r)));
+  }
+  s.emplace("roots", WireValue(std::move(raw_roots)));
+  WireValue::Array raw_devices;
+  for (const auto& change : device_changes) {
+    WireValue::Struct d;
+    d.emplace("device", WireValue(change.device_id));
+    d.emplace("disabled", WireValue(change.disabled));
+    raw_devices.push_back(WireValue(std::move(d)));
+  }
+  s.emplace("devices", WireValue(std::move(raw_devices)));
+  return WireValue(std::move(s));
+}
+
+Result<MetaReplDelta> MetaReplDelta::FromWire(const WireValue& value) {
+  MetaReplDelta delta;
+  KP_ASSIGN_OR_RETURN(WireValue records_v, value.Field("records"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_records, records_v.AsArray());
+  for (const auto& raw : raw_records) {
+    KP_ASSIGN_OR_RETURN(MetadataRecord record, MetadataRecord::FromWire(raw));
+    delta.records.push_back(std::move(record));
+  }
+  KP_ASSIGN_OR_RETURN(WireValue roots_v, value.Field("roots"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_roots, roots_v.AsArray());
+  for (const auto& raw : raw_roots) {
+    RootChange change;
+    KP_ASSIGN_OR_RETURN(WireValue device_v, raw.Field("device"));
+    KP_ASSIGN_OR_RETURN(change.device_id, device_v.AsString());
+    KP_ASSIGN_OR_RETURN(WireValue root_v, raw.Field("root"));
+    KP_ASSIGN_OR_RETURN(Bytes root_bytes, root_v.AsBytes());
+    KP_ASSIGN_OR_RETURN(change.root_id, DirId::FromBytes(root_bytes));
+    delta.root_changes.push_back(std::move(change));
+  }
+  KP_ASSIGN_OR_RETURN(WireValue devices_v, value.Field("devices"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw_devices, devices_v.AsArray());
+  for (const auto& raw : raw_devices) {
+    DeviceChange change;
+    KP_ASSIGN_OR_RETURN(WireValue device_v, raw.Field("device"));
+    KP_ASSIGN_OR_RETURN(change.device_id, device_v.AsString());
+    KP_ASSIGN_OR_RETURN(WireValue disabled_v, raw.Field("disabled"));
+    KP_ASSIGN_OR_RETURN(change.disabled, disabled_v.AsBool());
+    delta.device_changes.push_back(std::move(change));
+  }
+  return delta;
+}
+
 MetadataService::MetadataService(EventQueue* queue, uint64_t rng_seed,
                                  const PairingParams& group)
     : queue_(queue), rng_(rng_seed), pkg_(group, rng_) {}
@@ -20,6 +78,13 @@ Bytes MetadataService::RegisterDevice(const std::string& device_id) {
   record.secret = rng_.NextBytes(32);
   devices_[device_id] = record;
   return record.secret;
+}
+
+void MetadataService::RegisterDeviceWithSecret(const std::string& device_id,
+                                               const Bytes& secret) {
+  DeviceRecord record;
+  record.secret = secret;
+  devices_[device_id] = record;
 }
 
 Result<Bytes> MetadataService::DeviceSecret(
@@ -37,6 +102,7 @@ Status MetadataService::DisableDevice(const std::string& device_id) {
     return NotFoundError("metadata service: unknown device " + device_id);
   }
   it->second.disabled = true;
+  NoteDeviceChange(device_id, true);
   return Status::Ok();
 }
 
@@ -46,6 +112,7 @@ Status MetadataService::EnableDevice(const std::string& device_id) {
     return NotFoundError("metadata service: unknown device " + device_id);
   }
   it->second.disabled = false;
+  NoteDeviceChange(device_id, false);
   return Status::Ok();
 }
 
@@ -86,6 +153,7 @@ Status MetadataService::RegisterRoot(const std::string& device_id,
                                      const DirId& root_id) {
   KP_RETURN_IF_ERROR(CheckDevice(device_id));
   roots_[device_id] = root_id;
+  NoteRootChange(device_id, root_id);
   MetadataRecord record;
   record.device_id = device_id;
   record.op = MetadataOp::kMkdir;
@@ -100,15 +168,27 @@ Result<Bytes> MetadataService::RegisterFileBinding(
     const std::string& device_id, const AuditId& audit_id,
     const DirId& dir_id, const std::string& name, bool is_rename) {
   KP_RETURN_IF_ERROR(CheckDevice(device_id));
-  // Durably log *before* releasing the IBE unlock key: the key is the
-  // proof-of-registration the client (or a thief) needs.
-  MetadataRecord record;
-  record.device_id = device_id;
-  record.op = is_rename ? MetadataOp::kRenameFile : MetadataOp::kCreateFile;
-  record.audit_id = audit_id;
-  record.dir_id = dir_id;
-  record.name = name;
-  log_.Append(queue_->Now(), std::move(record));
+  MetadataOp op = is_rename ? MetadataOp::kRenameFile : MetadataOp::kCreateFile;
+  // At-most-once across failover: the RPC layer's reply cache dedups
+  // retries hitting the *same* server, but a retry that lands on a freshly
+  // promoted leader arrives with no cache entry. The binding content makes
+  // the duplicate detectable — if the latest binding for this file is
+  // already exactly (op, dir, name), the first attempt's record reached the
+  // log before the old leader died, so re-extract the (deterministic) IBE
+  // key without appending a second record.
+  auto latest = log_.LatestBinding(device_id, audit_id, queue_->Now());
+  if (!latest.has_value() || latest->op != op || latest->dir_id != dir_id ||
+      latest->name != name) {
+    // Durably log *before* releasing the IBE unlock key: the key is the
+    // proof-of-registration the client (or a thief) needs.
+    MetadataRecord record;
+    record.device_id = device_id;
+    record.op = op;
+    record.audit_id = audit_id;
+    record.dir_id = dir_id;
+    record.name = name;
+    log_.Append(queue_->Now(), std::move(record));
+  }
 
   IbePrivateKey key = pkg_.Extract(IbeIdentityFor(dir_id, name, audit_id));
   return key.Serialize(*ibe_params().group);
@@ -194,6 +274,133 @@ Result<std::string> MetadataService::ResolvePath(const std::string& device_id,
   return DataLossError("metadata service: directory cycle");
 }
 
+void MetadataService::NoteRootChange(const std::string& device_id,
+                                     const DirId& root_id) {
+  if (!replicator_) {
+    return;
+  }
+  pending_root_changes_.push_back({device_id, root_id});
+}
+
+void MetadataService::NoteDeviceChange(const std::string& device_id,
+                                       bool disabled) {
+  if (!replicator_) {
+    return;
+  }
+  pending_device_changes_.push_back({device_id, disabled});
+}
+
+MetaReplDelta MetadataService::TakeUnshippedDelta() {
+  MetaReplDelta delta;
+  delta.records = log_.EntriesAfterSeq(shipped_seq_);
+  shipped_seq_ = log_.size();
+  delta.root_changes = std::move(pending_root_changes_);
+  pending_root_changes_.clear();
+  delta.device_changes = std::move(pending_device_changes_);
+  pending_device_changes_.clear();
+  return delta;
+}
+
+void MetadataService::ReplicateNow(std::function<void()> done) {
+  if (!replicator_) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+  MetaReplDelta delta = TakeUnshippedDelta();
+  if (delta.empty()) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+  if (!done) {
+    done = [] {};
+  }
+  replicator_(std::move(delta), std::move(done));
+}
+
+Status MetadataService::ApplyReplicated(const MetaReplDelta& delta) {
+  // Chain continuity first: a diverged backup must reject the whole delta
+  // untouched so the leader can mark it out-of-sync and reconciliation can
+  // sort out the fork later.
+  KP_RETURN_IF_ERROR(log_.AppendReplicated(delta.records));
+  for (const auto& change : delta.root_changes) {
+    roots_[change.device_id] = change.root_id;
+  }
+  for (const auto& change : delta.device_changes) {
+    auto it = devices_.find(change.device_id);
+    if (it != devices_.end()) {
+      it->second.disabled = change.disabled;
+    }
+  }
+  // Everything applied is, by definition, shipped state: if this backup is
+  // later promoted it must not re-stream records the old leader already
+  // distributed.
+  shipped_seq_ = log_.size();
+  return Status::Ok();
+}
+
+void MetadataService::OpenReleaseWindow() {
+  if (window_open_) {
+    return;
+  }
+  window_open_ = true;
+  // Zero-duration: the flush runs after every same-instant RPC has been
+  // handled, so mutations arriving together ship to the backups as one
+  // delta. Unlike the key tier there is no group seal to amortize — the
+  // records are already hashed and durable — only the responses wait.
+  flush_event_ = queue_->ScheduleAfter(SimDuration(),
+                                       [this] { FlushReleaseWindow(); });
+}
+
+void MetadataService::FlushReleaseWindow() {
+  if (!window_open_) {
+    return;
+  }
+  window_open_ = false;
+  if (flush_event_ != EventQueue::kInvalidEvent) {
+    queue_->Cancel(flush_event_);
+    flush_event_ = EventQueue::kInvalidEvent;
+  }
+  // The records are durable locally, but the responses carry IBE unlock
+  // keys: they may not leave until every in-sync backup holds the records
+  // too, or a leader crash after release could lose the only copy of a
+  // binding whose key is already in a thief's hands (DESIGN.md §10).
+  auto responses = std::make_shared<std::vector<PendingResponse>>(
+      std::move(pending_responses_));
+  pending_responses_.clear();
+  auto release = [responses] {
+    for (auto& pending : *responses) {
+      pending.respond(std::move(pending.result));
+    }
+  };
+  if (replicator_) {
+    MetaReplDelta delta = TakeUnshippedDelta();
+    if (delta.empty()) {
+      release();
+    } else {
+      replicator_(std::move(delta), std::move(release));
+    }
+  } else {
+    release();
+  }
+}
+
+void MetadataService::AbortPending() {
+  if (flush_event_ != EventQueue::kInvalidEvent) {
+    queue_->Cancel(flush_event_);
+    flush_event_ = EventQueue::kInvalidEvent;
+  }
+  window_open_ = false;
+  // Responses never sent: the clients' timeouts and retries take over,
+  // exactly as with any crashed server. The appended records stay — they
+  // are durable — and surface as duplicates (never losses) if the retry
+  // re-registers on the next leader before this replica rejoins.
+  pending_responses_.clear();
+}
+
 Bytes MetadataService::Snapshot() const {
   WireValue::Struct snapshot;
 
@@ -271,11 +478,19 @@ Status MetadataService::Restore(const Bytes& snapshot) {
     roots.emplace(std::move(device), root_id);
   }
 
+  AbortPending();
   devices_ = std::move(devices);
   roots_ = std::move(roots);
   log_ = std::move(restored_log);
   // pkg_ is untouched: the IBE master secret lives in the HSM, not in the
   // crashed process image.
+  // A restored replica restarts replication from its adopted log: nothing
+  // staged survives, and the whole log counts as shipped (the rejoin
+  // reconciliation, not the delta stream, squares it with the leader).
+  pending_root_changes_.clear();
+  pending_device_changes_.clear();
+  shipped_seq_ = log_.size();
+  ++restore_epoch_;
   return Status::Ok();
 }
 
@@ -294,9 +509,49 @@ void MetadataService::BindRpc(RpcServer* server) {
     };
   };
 
-  server->RegisterMethod(
-      "meta.register_root",
-      authed("meta.register_root",
+  // Registers one method, honoring the replication mode: on a replicated
+  // service every handler executes immediately (records append — and hash
+  // — at once) but the response is withheld until the un-shipped log
+  // suffix lands on every in-sync backup, extending the "durably log
+  // before the unlock key leaves" barrier across the replica set
+  // (DESIGN.md §10). `gated` methods are leader-only when a serve gate is
+  // installed (meta.* — they mutate the namespace or mint IBE keys);
+  // audit.* stays readable on any replica.
+  auto install = [this, server, authed](const std::string& method, bool gated,
+                                        auto fn) {
+    RpcServer::Handler body = authed(method, fn);
+    if (replicator_) {
+      server->RegisterAsyncMethod(
+          method, [this, gated, body](const WireValue::Array& params,
+                                      RpcServer::Responder respond) {
+            if (gated && serve_gate_) {
+              Status gate = serve_gate_();
+              if (!gate.ok()) {
+                // Rejected before any append: nothing to hold — tell the
+                // client who leads, right away.
+                respond(std::move(gate));
+                return;
+              }
+            }
+            OpenReleaseWindow();
+            Result<WireValue> result = body(params);
+            pending_responses_.push_back(
+                {std::move(respond), std::move(result)});
+          });
+    } else {
+      server->RegisterMethod(
+          method, [this, gated, body](const WireValue::Array& params)
+                      -> Result<WireValue> {
+            if (gated && serve_gate_) {
+              KP_RETURN_IF_ERROR(serve_gate_());
+            }
+            return body(params);
+          });
+    }
+  };
+
+  install(
+      "meta.register_root", true,
              [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
@@ -306,11 +561,10 @@ void MetadataService::BindRpc(RpcServer* server) {
                KP_ASSIGN_OR_RETURN(DirId id, DirId::FromBytes(id_bytes));
                KP_RETURN_IF_ERROR(RegisterRoot(device, id));
                return WireValue(true);
-             }));
+             });
 
-  server->RegisterMethod(
-      "meta.bind_file",
-      authed("meta.bind_file",
+  install(
+      "meta.bind_file", true,
              [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 4) {
@@ -326,11 +580,10 @@ void MetadataService::BindRpc(RpcServer* server) {
                    Bytes ibe_key,
                    RegisterFileBinding(device, aid, did, name, is_rename));
                return WireValue(std::move(ibe_key));
-             }));
+             });
 
-  server->RegisterMethod(
-      "meta.mkdir",
-      authed("meta.mkdir",
+  install(
+      "meta.mkdir", true,
              [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 3) {
@@ -343,11 +596,10 @@ void MetadataService::BindRpc(RpcServer* server) {
                KP_ASSIGN_OR_RETURN(std::string name, payload[2].AsString());
                KP_RETURN_IF_ERROR(RegisterMkdir(device, did, pid, name));
                return WireValue(true);
-             }));
+             });
 
-  server->RegisterMethod(
-      "meta.rename_dir",
-      authed("meta.rename_dir",
+  install(
+      "meta.rename_dir", true,
              [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 3) {
@@ -360,11 +612,10 @@ void MetadataService::BindRpc(RpcServer* server) {
                KP_ASSIGN_OR_RETURN(std::string name, payload[2].AsString());
                KP_RETURN_IF_ERROR(RegisterDirRename(device, did, pid, name));
                return WireValue(true);
-             }));
+             });
 
-  server->RegisterMethod(
-      "meta.set_attr",
-      authed("meta.set_attr",
+  install(
+      "meta.set_attr", true,
              [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 2) {
@@ -375,11 +626,10 @@ void MetadataService::BindRpc(RpcServer* server) {
                KP_ASSIGN_OR_RETURN(std::string attr, payload[1].AsString());
                KP_RETURN_IF_ERROR(RegisterAttr(device, aid, attr));
                return WireValue(true);
-             }));
+             });
 
-  server->RegisterMethod(
-      "audit.resolve_path",
-      authed("audit.resolve_path",
+  install(
+      "audit.resolve_path", false,
              [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 2) {
@@ -392,11 +642,10 @@ void MetadataService::BindRpc(RpcServer* server) {
                    std::string path,
                    ResolvePath(device, aid, SimTime(as_of_ns)));
                return WireValue(std::move(path));
-             }));
+             });
 
-  server->RegisterMethod(
-      "audit.history",
-      authed("audit.history",
+  install(
+      "audit.history", false,
              [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
@@ -415,11 +664,10 @@ void MetadataService::BindRpc(RpcServer* server) {
                  out.push_back(WireValue(std::move(r)));
                }
                return WireValue(std::move(out));
-             }));
+             });
 
-  server->RegisterMethod(
-      "meta.upload_journal",
-      authed("meta.upload_journal",
+  install(
+      "meta.upload_journal", true,
              [this](const std::string& device,
                     const WireValue::Array& payload) -> Result<WireValue> {
                if (payload.size() != 1) {
@@ -454,7 +702,36 @@ void MetadataService::BindRpc(RpcServer* server) {
                }
                KP_RETURN_IF_ERROR(UploadJournal(device, records));
                return WireValue(true);
-             }));
+             });
+
+  install(
+      "audit.meta_log_tail", false,
+      [this](const std::string& device,
+             const WireValue::Array& payload) -> Result<WireValue> {
+        if (payload.size() != 1) {
+          return InvalidArgumentError("audit.meta_log_tail: bad arity");
+        }
+        KP_ASSIGN_OR_RETURN(int64_t next_seq, payload[0].AsInt());
+        KP_RETURN_IF_ERROR(log_.Verify());
+        WireValue::Array records;
+        for (const auto& record :
+             log_.EntriesAfterSeq(static_cast<uint64_t>(next_seq))) {
+          if (record.device_id == device) {
+            records.push_back(record.ToWire());
+          }
+        }
+        // "next" covers the whole log, not just this device's rows, so the
+        // cursor advances past other devices' records too.
+        WireValue::Struct out;
+        out.emplace("next", WireValue(static_cast<int64_t>(log_.size())));
+        out.emplace("entries", WireValue(std::move(records)));
+        // Restore epoch: lets a remote cursor distinguish "service restored
+        // from an older snapshot" (epoch bump, possibly next < cursor) from
+        // a plain short read, and trigger an overlap-verified resync.
+        out.emplace("epoch",
+                    WireValue(static_cast<int64_t>(restore_epoch_)));
+        return WireValue(std::move(out));
+      });
 }
 
 }  // namespace keypad

@@ -31,6 +31,31 @@ namespace keypad {
 std::string IbeIdentityFor(const DirId& dir_id, const std::string& name,
                            const AuditId& audit_id);
 
+// Replication delta (DESIGN.md §10): the hash-chained metadata-log suffix
+// a leader streams to its backups before releasing the responses (and the
+// IBE unlock keys inside them) held on it, plus the root registrations and
+// device-control flips those records describe. A backup applies a delta
+// atomically: chain continuity is verified before any state changes.
+struct MetaReplDelta {
+  std::vector<MetadataRecord> records;
+  struct RootChange {
+    std::string device_id;
+    DirId root_id;
+  };
+  std::vector<RootChange> root_changes;
+  struct DeviceChange {
+    std::string device_id;
+    bool disabled = false;
+  };
+  std::vector<DeviceChange> device_changes;
+
+  bool empty() const {
+    return records.empty() && root_changes.empty() && device_changes.empty();
+  }
+  WireValue ToWire() const;
+  static Result<MetaReplDelta> FromWire(const WireValue& value);
+};
+
 class MetadataService {
  public:
   // `group` selects the pairing parameter set (production or test-sized).
@@ -39,6 +64,10 @@ class MetadataService {
 
   // --- Administrative API. -------------------------------------------------
   Bytes RegisterDevice(const std::string& device_id);
+  // Registers a device under a secret minted elsewhere — how a replicated
+  // deployment gives every replica the same per-device credential.
+  void RegisterDeviceWithSecret(const std::string& device_id,
+                                const Bytes& secret);
   Result<Bytes> DeviceSecret(const std::string& device_id) const;
   // Remote data control at the PKG: a disabled device receives no IBE
   // unlock keys, so IBE-locked files stay sealed even if the thief is
@@ -107,6 +136,56 @@ class MetadataService {
   Bytes Snapshot() const;
   Status Restore(const Bytes& snapshot);
 
+  // --- Replication hooks (DESIGN.md §10). ---------------------------------
+
+  // Wires this service into a replica set as a potential leader. After a
+  // mutation's release point the service hands the un-shipped delta to
+  // `replicator`, which must call `done` exactly once when every in-sync
+  // backup acknowledged it — only then do the held responses (and the IBE
+  // unlock keys inside them) leave the service, extending the "durably
+  // log, then respond" barrier across the replica set. Installing a
+  // replicator switches the mutating RPC surface onto the async
+  // held-response path; call before BindRpc.
+  using Replicator =
+      std::function<void(MetaReplDelta, std::function<void()> done)>;
+  void set_replicator(Replicator replicator) {
+    replicator_ = std::move(replicator);
+  }
+  bool replicated() const { return replicator_ != nullptr; }
+
+  // Leadership gate for the mutating meta.* RPC surface: when set and
+  // returning non-OK (kFailedPrecondition "NOT_LEADER:<i>"), the call is
+  // rejected before executing. audit.* methods stay served by any replica.
+  void set_serve_gate(std::function<Status()> gate) {
+    serve_gate_ = std::move(gate);
+  }
+
+  // Backup-side apply: verifies the record suffix continues the local
+  // chain (kDataLoss on divergence — the sender marks this backup
+  // out-of-sync), then applies the root/device mutations.
+  Status ApplyReplicated(const MetaReplDelta& delta);
+
+  // Drains everything logged since the last ship into one delta and
+  // advances the shipped watermark.
+  MetaReplDelta TakeUnshippedDelta();
+  uint64_t shipped_seq() const { return shipped_seq_; }
+
+  // Ships any logged-but-unshipped suffix immediately — the admin path
+  // (device disable) and a freshly promoted leader use this; RPC-driven
+  // mutations ship from the release-window flush.
+  void ReplicateNow(std::function<void()> done = {});
+
+  // Crash semantics: held responses are never sent — the clients' retries
+  // take over against whichever replica leads next. Unlike the key tier's
+  // group-commit window, metadata records are durable the moment they are
+  // appended, so nothing is discarded here. Call before Snapshot-on-crash.
+  void AbortPending();
+
+  // Bumps every time Restore() adopts a snapshot. Served alongside
+  // audit.meta_log_tail so a remote auditor can tell "the log under my
+  // cursor was replaced" from "the log merely grew" (cursor re-sync).
+  uint64_t restore_epoch() const { return restore_epoch_; }
+
  private:
   struct DeviceRecord {
     Bytes secret;
@@ -115,12 +194,40 @@ class MetadataService {
 
   Status CheckDevice(const std::string& device_id) const;
 
+  // Opens the response-release window on the first held RPC of this
+  // instant and schedules its flush (same-timestamp event, so mutations
+  // arriving together ship as one delta).
+  void OpenReleaseWindow();
+  void FlushReleaseWindow();
+
+  // Records a root/device mutation for the next replication delta (no-op
+  // without a replicator).
+  void NoteRootChange(const std::string& device_id, const DirId& root_id);
+  void NoteDeviceChange(const std::string& device_id, bool disabled);
+
   EventQueue* queue_;
   SecureRandom rng_;
   IbePkg pkg_;
   std::map<std::string, DeviceRecord> devices_;
   std::map<std::string, DirId> roots_;  // device -> root dir id.
   MetadataLog log_;
+
+  // Replication state (replica sets only).
+  Replicator replicator_;
+  std::function<Status()> serve_gate_;
+  uint64_t shipped_seq_ = 0;  // Log prefix already streamed to backups.
+  std::vector<MetaReplDelta::RootChange> pending_root_changes_;
+  std::vector<MetaReplDelta::DeviceChange> pending_device_changes_;
+  uint64_t restore_epoch_ = 0;
+
+  // Open release-window state (replicated services only).
+  struct PendingResponse {
+    RpcServer::Responder respond;
+    Result<WireValue> result;
+  };
+  bool window_open_ = false;
+  EventQueue::EventId flush_event_ = EventQueue::kInvalidEvent;
+  std::vector<PendingResponse> pending_responses_;
 };
 
 }  // namespace keypad

@@ -1,16 +1,24 @@
 #include "src/metaservice/metadata_service_client.h"
 
+#include <utility>
+
 #include "src/keyservice/auth.h"
 
 namespace keypad {
 
+ReplicaRouter::Framer MetadataServiceClient::MakeFramer() const {
+  // Captures copies so the framer stays valid however the stub is stored.
+  return [device_id = device_id_, device_secret = device_secret_](
+             const std::string& method, WireValue::Array payload) {
+    return FrameAuthedCall(device_id, device_secret, method,
+                           std::move(payload));
+  };
+}
+
 Status MetadataServiceClient::RegisterRoot(const DirId& root_id) {
   WireValue::Array payload;
   payload.push_back(WireValue(root_id.ToBytes()));
-  auto result = rpc_->Call(
-      "meta.register_root",
-      FrameAuthedCall(device_id_, device_secret_, "meta.register_root",
-                      std::move(payload)));
+  auto result = router_.Call("meta.register_root", std::move(payload));
   return result.status();
 }
 
@@ -30,10 +38,8 @@ Result<Bytes> MetadataServiceClient::BindFile(const AuditId& audit_id,
                                               const DirId& dir_id,
                                               const std::string& name,
                                               bool is_rename) {
-  auto result = rpc_->Call(
-      "meta.bind_file",
-      FrameAuthedCall(device_id_, device_secret_, "meta.bind_file",
-                      BindFilePayload(audit_id, dir_id, name, is_rename)));
+  auto result = router_.Call(
+      "meta.bind_file", BindFilePayload(audit_id, dir_id, name, is_rename));
   if (!result.ok()) {
     return result.status();
   }
@@ -43,17 +49,15 @@ Result<Bytes> MetadataServiceClient::BindFile(const AuditId& audit_id,
 void MetadataServiceClient::BindFileAsync(
     const AuditId& audit_id, const DirId& dir_id, const std::string& name,
     bool is_rename, std::function<void(Result<Bytes>)> done) {
-  rpc_->CallAsync(
-      "meta.bind_file",
-      FrameAuthedCall(device_id_, device_secret_, "meta.bind_file",
-                      BindFilePayload(audit_id, dir_id, name, is_rename)),
-      [done = std::move(done)](Result<WireValue> result) {
-        if (!result.ok()) {
-          done(result.status());
-          return;
-        }
-        done(result->AsBytes());
-      });
+  router_.CallAsync("meta.bind_file",
+                    BindFilePayload(audit_id, dir_id, name, is_rename),
+                    [done = std::move(done)](Result<WireValue> result) {
+                      if (!result.ok()) {
+                        done(result.status());
+                        return;
+                      }
+                      done(result->AsBytes());
+                    });
 }
 
 Status MetadataServiceClient::Mkdir(const DirId& dir_id,
@@ -63,9 +67,7 @@ Status MetadataServiceClient::Mkdir(const DirId& dir_id,
   payload.push_back(WireValue(dir_id.ToBytes()));
   payload.push_back(WireValue(parent_id.ToBytes()));
   payload.push_back(WireValue(name));
-  auto result = rpc_->Call(
-      "meta.mkdir", FrameAuthedCall(device_id_, device_secret_, "meta.mkdir",
-                                    std::move(payload)));
+  auto result = router_.Call("meta.mkdir", std::move(payload));
   return result.status();
 }
 
@@ -76,10 +78,7 @@ Status MetadataServiceClient::RenameDir(const DirId& dir_id,
   payload.push_back(WireValue(dir_id.ToBytes()));
   payload.push_back(WireValue(new_parent_id.ToBytes()));
   payload.push_back(WireValue(new_name));
-  auto result = rpc_->Call(
-      "meta.rename_dir",
-      FrameAuthedCall(device_id_, device_secret_, "meta.rename_dir",
-                      std::move(payload)));
+  auto result = router_.Call("meta.rename_dir", std::move(payload));
   return result.status();
 }
 
@@ -91,12 +90,10 @@ void MetadataServiceClient::MkdirAsync(const DirId& dir_id,
   payload.push_back(WireValue(dir_id.ToBytes()));
   payload.push_back(WireValue(parent_id.ToBytes()));
   payload.push_back(WireValue(name));
-  rpc_->CallAsync("meta.mkdir",
-                  FrameAuthedCall(device_id_, device_secret_, "meta.mkdir",
-                                  std::move(payload)),
-                  [done = std::move(done)](Result<WireValue> result) {
-                    done(result.status());
-                  });
+  router_.CallAsync("meta.mkdir", std::move(payload),
+                    [done = std::move(done)](Result<WireValue> result) {
+                      done(result.status());
+                    });
 }
 
 void MetadataServiceClient::RenameDirAsync(const DirId& dir_id,
@@ -107,12 +104,10 @@ void MetadataServiceClient::RenameDirAsync(const DirId& dir_id,
   payload.push_back(WireValue(dir_id.ToBytes()));
   payload.push_back(WireValue(new_parent_id.ToBytes()));
   payload.push_back(WireValue(new_name));
-  rpc_->CallAsync("meta.rename_dir",
-                  FrameAuthedCall(device_id_, device_secret_,
-                                  "meta.rename_dir", std::move(payload)),
-                  [done = std::move(done)](Result<WireValue> result) {
-                    done(result.status());
-                  });
+  router_.CallAsync("meta.rename_dir", std::move(payload),
+                    [done = std::move(done)](Result<WireValue> result) {
+                      done(result.status());
+                    });
 }
 
 Status MetadataServiceClient::UploadJournal(
@@ -130,10 +125,7 @@ Status MetadataServiceClient::UploadJournal(
   }
   WireValue::Array payload;
   payload.push_back(WireValue(std::move(raw)));
-  auto result = rpc_->Call(
-      "meta.upload_journal",
-      FrameAuthedCall(device_id_, device_secret_, "meta.upload_journal",
-                      std::move(payload)));
+  auto result = router_.Call("meta.upload_journal", std::move(payload));
   return result.status();
 }
 
@@ -142,10 +134,7 @@ Status MetadataServiceClient::SetAttr(const AuditId& audit_id,
   WireValue::Array payload;
   payload.push_back(WireValue(audit_id.ToBytes()));
   payload.push_back(WireValue(attr));
-  auto result = rpc_->Call(
-      "meta.set_attr",
-      FrameAuthedCall(device_id_, device_secret_, "meta.set_attr",
-                      std::move(payload)));
+  auto result = router_.Call("meta.set_attr", std::move(payload));
   return result.status();
 }
 

@@ -1,12 +1,22 @@
 // Client stub for the metadata service RPC protocol.
+//
+// Replica-aware mode (DESIGN.md §10): routing is delegated to the generic
+// ReplicaRouter — leader hint, NOT_LEADER:<i> redirects from the serve
+// gate, probe-backoff failover cycles under a budget. This stub only
+// contributes the metadata-tier auth framing and typed (de)marshalling,
+// exactly mirroring KeyServiceClient over the key tier.
 
 #ifndef SRC_METASERVICE_METADATA_SERVICE_CLIENT_H_
 #define SRC_METASERVICE_METADATA_SERVICE_CLIENT_H_
 
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "src/replication/failover_client.h"
 #include "src/rpc/rpc.h"
+#include "src/sim/event_queue.h"
 #include "src/util/ids.h"
 #include "src/util/result.h"
 
@@ -14,11 +24,29 @@ namespace keypad {
 
 class MetadataServiceClient {
  public:
+  using FailoverOptions = keypad::FailoverOptions;
+
+  // Single-endpoint stub (unreplicated service) — the historical layout.
   MetadataServiceClient(RpcClient* rpc, std::string device_id,
                         Bytes device_secret)
-      : rpc_(rpc),
-        device_id_(std::move(device_id)),
-        device_secret_(std::move(device_secret)) {}
+      : device_id_(std::move(device_id)),
+        device_secret_(std::move(device_secret)),
+        router_(rpc, MakeFramer()) {}
+
+  // Replica-set stub: one RpcClient per metadata replica, in replica-index
+  // order (NOT_LEADER redirects are indices into this list).
+  MetadataServiceClient(EventQueue* queue, std::vector<RpcClient*> replicas,
+                        std::string device_id, Bytes device_secret,
+                        FailoverOptions failover)
+      : device_id_(std::move(device_id)),
+        device_secret_(std::move(device_secret)),
+        router_(queue, std::move(replicas), MakeFramer(), failover) {}
+
+  MetadataServiceClient(EventQueue* queue, std::vector<RpcClient*> replicas,
+                        std::string device_id, Bytes device_secret)
+      : MetadataServiceClient(queue, std::move(replicas),
+                              std::move(device_id), std::move(device_secret),
+                              FailoverOptions()) {}
 
   Status RegisterRoot(const DirId& root_id);
 
@@ -56,12 +84,21 @@ class MetadataServiceClient {
   Status UploadJournal(const std::vector<JournalRecord>& records);
 
   const std::string& device_id() const { return device_id_; }
-  RpcClient* rpc() const { return rpc_; }
+  RpcClient* rpc() const { return router_.rpc(); }
+
+  size_t replica_count() const { return router_.replica_count(); }
+  size_t leader_hint() const { return router_.leader_hint(); }
+  // How often a call moved to another replica after a failure, and how
+  // often a NOT_LEADER redirect was followed.
+  uint64_t failovers() const { return router_.failovers(); }
+  uint64_t redirects() const { return router_.redirects(); }
 
  private:
-  RpcClient* rpc_;
+  ReplicaRouter::Framer MakeFramer() const;
+
   std::string device_id_;
   Bytes device_secret_;
+  ReplicaRouter router_;
 };
 
 }  // namespace keypad

@@ -1,4 +1,4 @@
-// Lease state machine for replicated key shards (DESIGN.md §9).
+// Lease state machine for replicated service tiers (DESIGN.md §9–§10).
 //
 // Leadership in a replica set rests on time-bounded leases: the leader
 // broadcasts a renewal every `renew_interval`, and each backup that hears
@@ -13,8 +13,8 @@
 // and disarms their staggered timers. Simulated clocks share one event
 // queue, so no clock-skew epsilon is modelled.
 
-#ifndef SRC_KEYSERVICE_LEASE_H_
-#define SRC_KEYSERVICE_LEASE_H_
+#ifndef SRC_REPLICATION_LEASE_H_
+#define SRC_REPLICATION_LEASE_H_
 
 #include <cstdint>
 
@@ -57,4 +57,4 @@ class LeaseState {
 
 }  // namespace keypad
 
-#endif  // SRC_KEYSERVICE_LEASE_H_
+#endif  // SRC_REPLICATION_LEASE_H_

@@ -1,0 +1,739 @@
+#include "src/replication/replica_set.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace keypad {
+
+namespace {
+
+RpcOptions ReplRpcOptions(SimDuration ack_timeout) {
+  RpcOptions options;
+  // One attempt, no breaker: the replica set has its own failure handling
+  // (out-of-sync marking, promotion timers) and must see failures promptly
+  // rather than have the transport paper over them.
+  options.timeout = ack_timeout;
+  options.total_deadline = ack_timeout;
+  options.retry.max_attempts = 1;
+  options.breaker.enabled = false;
+  return options;
+}
+
+}  // namespace
+
+ReplicaSetEngine::ReplicaSetEngine(EventQueue* queue,
+                                   ReplicaSetOptions options)
+    : queue_(queue), options_(options) {}
+
+ReplicaSetEngine::~ReplicaSetEngine() {
+  for (auto& replica : replicas_) {
+    if (replica->promote_event != EventQueue::kInvalidEvent) {
+      queue_->Cancel(replica->promote_event);
+    }
+    if (replica->renew_event != EventQueue::kInvalidEvent) {
+      queue_->Cancel(replica->renew_event);
+    }
+    ++replica->generation;  // Invalidate any still-scheduled callbacks.
+  }
+}
+
+void ReplicaSetEngine::AddReplica(ReplicatedStateMachine* machine,
+                                  RpcServer* server) {
+  auto replica = std::make_unique<Replica>();
+  replica->machine = machine;
+  replica->server = server;
+  replica->index = replicas_.size();
+  size_t i = replica->index;
+  replicas_.push_back(std::move(replica));
+
+  machine->InstallServeGate([this, i]() -> Status {
+    if (is_leader(i)) {
+      return Status::Ok();
+    }
+    return FailedPreconditionError(
+        "NOT_LEADER:" + std::to_string(replicas_[i]->view_leader));
+  });
+  machine->InstallReplicator(
+      [this, i](WireValue delta, size_t entry_count,
+                std::function<void()> done) {
+        Ship(i, std::move(delta), entry_count, std::move(done));
+      });
+}
+
+void ReplicaSetEngine::Start() {
+  const size_t n = replicas_.size();
+  links_.resize(n * n);
+  clients_.resize(n * n);
+  for (size_t from = 0; from < n; ++from) {
+    for (size_t to = 0; to < n; ++to) {
+      if (from == to) {
+        continue;
+      }
+      uint64_t seed =
+          options_.seed ^ (static_cast<uint64_t>(from) << 40) ^
+          (static_cast<uint64_t>(to) << 24) ^ 0x5e71;
+      links_[from * n + to] = std::make_unique<NetworkLink>(
+          queue_, options_.repl_profile, seed);
+      clients_[from * n + to] = std::make_unique<RpcClient>(
+          queue_, links_[from * n + to].get(), replicas_[to]->server,
+          ReplRpcOptions(options_.ack_timeout));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    RegisterHandlers(i);
+    Replica& replica = *replicas_[i];
+    replica.view_leader = 0;
+    replica.epoch = 1;
+    replica.in_sync.assign(n, true);
+    if (i == 0) {
+      StartRenewals(0, /*immediately=*/false);
+    } else {
+      replica.lease.Grant(queue_->Now(), options_.lease.lease_duration);
+      ArmPromote(i);
+    }
+  }
+  started_ = true;
+  Record("start", 0, 1);
+}
+
+bool ReplicaSetEngine::ClaimWins(const Claim& a, const Claim& b) {
+  if (a.log_size != b.log_size) {
+    return a.log_size > b.log_size;
+  }
+  if (a.epoch != b.epoch) {
+    return a.epoch > b.epoch;
+  }
+  return a.index < b.index;
+}
+
+ReplicaSetEngine::Claim ReplicaSetEngine::ClaimOf(size_t i) const {
+  return Claim{replicas_[i]->machine->LogSize(), replicas_[i]->epoch, i};
+}
+
+size_t ReplicaSetEngine::current_leader() const {
+  std::optional<Claim> best;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (is_leader(i)) {
+      Claim claim = ClaimOf(i);
+      if (!best || ClaimWins(claim, *best)) {
+        best = claim;
+      }
+    }
+  }
+  if (best) {
+    return best->index;
+  }
+  // Mid-failover (or everything dead): the longest live chain, else 0.
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i]->crashed) {
+      continue;
+    }
+    Claim claim = ClaimOf(i);
+    if (!best || ClaimWins(claim, *best)) {
+      best = claim;
+    }
+  }
+  return best ? best->index : 0;
+}
+
+void ReplicaSetEngine::Record(const std::string& what, size_t replica,
+                              uint64_t epoch) {
+  timeline_.push_back({queue_->Now(), what, replica, epoch});
+}
+
+void ReplicaSetEngine::RegisterHandlers(size_t i) {
+  RpcServer* server = replicas_[i]->server;
+
+  // repl.lease [from, epoch, log_size] — the leader's renewal broadcast,
+  // doubling as the NEW_LEADER announcement after a promotion.
+  server->RegisterMethod(
+      "repl.lease",
+      [this, i](const WireValue::Array& params) -> Result<WireValue> {
+        if (params.size() != 3) {
+          return InvalidArgumentError("repl.lease: bad arity");
+        }
+        KP_ASSIGN_OR_RETURN(int64_t from_int, params[0].AsInt());
+        KP_ASSIGN_OR_RETURN(int64_t epoch_int, params[1].AsInt());
+        KP_ASSIGN_OR_RETURN(int64_t size_int, params[2].AsInt());
+        size_t from = static_cast<size_t>(from_int);
+        Claim theirs{static_cast<uint64_t>(size_int),
+                     static_cast<uint64_t>(epoch_int), from};
+        Replica& replica = *replicas_[i];
+        bool granted = true;
+        if (is_leader(i)) {
+          // Competing leaders: resolve pairwise, loser steps down.
+          if (ClaimWins(theirs, ClaimOf(i))) {
+            StepDown(i);
+            AdoptLeader(i, from, theirs.epoch);
+            size_t leader = from;
+            uint64_t epoch = theirs.epoch;
+            uint64_t generation = replica.generation;
+            queue_->ScheduleAfter(SimDuration(), [this, i, leader, epoch,
+                                                  generation] {
+              if (replicas_[i]->generation == generation) {
+                FetchAndReconcile(i, leader, epoch, 8);
+              }
+            });
+          } else {
+            granted = false;
+          }
+        } else {
+          AdoptLeader(i, from, theirs.epoch);
+        }
+        WireValue::Struct out;
+        out.emplace("granted", WireValue(granted));
+        out.emplace("leader",
+                    WireValue(static_cast<int64_t>(replica.view_leader)));
+        out.emplace("epoch", WireValue(static_cast<int64_t>(replica.epoch)));
+        out.emplace("log_size", WireValue(static_cast<int64_t>(
+                                    replica.machine->LogSize())));
+        return WireValue(std::move(out));
+      });
+
+  // repl.append [from, epoch, log_size, delta] — a sealed commit-group
+  // stream from the leader. Chain continuity is the real guard: a stale or
+  // forked leader's delta fails verification and mutates nothing.
+  server->RegisterMethod(
+      "repl.append",
+      [this, i](const WireValue::Array& params) -> Result<WireValue> {
+        if (params.size() != 4) {
+          return InvalidArgumentError("repl.append: bad arity");
+        }
+        KP_ASSIGN_OR_RETURN(int64_t from_int, params[0].AsInt());
+        KP_ASSIGN_OR_RETURN(int64_t epoch_int, params[1].AsInt());
+        KP_ASSIGN_OR_RETURN(int64_t size_int, params[2].AsInt());
+        size_t from = static_cast<size_t>(from_int);
+        Claim theirs{static_cast<uint64_t>(size_int),
+                     static_cast<uint64_t>(epoch_int), from};
+        Replica& replica = *replicas_[i];
+        if (is_leader(i)) {
+          if (!ClaimWins(theirs, ClaimOf(i))) {
+            // Tell the sender it lost the leadership contest.
+            return FailedPreconditionError("DEMOTED:" + std::to_string(i));
+          }
+          StepDown(i);
+        }
+        AdoptLeader(i, from, theirs.epoch);
+        Status applied = replica.machine->ApplyDelta(params[3]);
+        if (!applied.ok()) {
+          // Our chain diverged from the leader's (we are an un-reconciled
+          // fork). Self-heal: fetch the leader's state and rejoin.
+          uint64_t generation = replica.generation;
+          uint64_t epoch = theirs.epoch;
+          queue_->ScheduleAfter(SimDuration(), [this, i, from, epoch,
+                                                generation] {
+            if (replicas_[i]->generation == generation) {
+              FetchAndReconcile(i, from, epoch, 8);
+            }
+          });
+          return applied;
+        }
+        return WireValue(true);
+      });
+
+  // repl.status — what this replica believes; rejoiners trust only rows
+  // where the peer claims leadership itself.
+  server->RegisterMethod(
+      "repl.status",
+      [this, i](const WireValue::Array& params) -> Result<WireValue> {
+        (void)params;
+        Replica& replica = *replicas_[i];
+        WireValue::Struct out;
+        out.emplace("leader",
+                    WireValue(static_cast<int64_t>(replica.view_leader)));
+        out.emplace("is_leader", WireValue(is_leader(i)));
+        out.emplace("epoch", WireValue(static_cast<int64_t>(replica.epoch)));
+        out.emplace("log_size", WireValue(static_cast<int64_t>(
+                                    replica.machine->LogSize())));
+        return WireValue(std::move(out));
+      });
+
+  // repl.snapshot — full state transfer for reconciliation.
+  server->RegisterMethod(
+      "repl.snapshot",
+      [this, i](const WireValue::Array& params) -> Result<WireValue> {
+        (void)params;
+        WireValue::Struct out;
+        out.emplace("snap", WireValue(replicas_[i]->machine->Snapshot()));
+        return WireValue(std::move(out));
+      });
+
+  // repl.rejoin [from, log_size] — a reconciled backup asks back into the
+  // synchronous-ack set. Only accepted when its tail is close enough that
+  // the next delta will be contiguous (>= our shipped watermark); a stale
+  // tail gets BEHIND and the rejoiner re-fetches the snapshot.
+  server->RegisterMethod(
+      "repl.rejoin",
+      [this, i](const WireValue::Array& params) -> Result<WireValue> {
+        if (params.size() != 2) {
+          return InvalidArgumentError("repl.rejoin: bad arity");
+        }
+        KP_ASSIGN_OR_RETURN(int64_t from_int, params[0].AsInt());
+        KP_ASSIGN_OR_RETURN(int64_t size_int, params[1].AsInt());
+        size_t from = static_cast<size_t>(from_int);
+        Replica& replica = *replicas_[i];
+        if (!is_leader(i)) {
+          return FailedPreconditionError(
+              "NOT_LEADER:" + std::to_string(replica.view_leader));
+        }
+        uint64_t tail = static_cast<uint64_t>(size_int);
+        if (tail < replica.machine->ShippedSeq() ||
+            tail > replica.machine->LogSize()) {
+          return FailedPreconditionError("BEHIND");
+        }
+        if (from < replica.in_sync.size()) {
+          replica.in_sync[from] = true;
+        }
+        return WireValue(true);
+      });
+}
+
+// --- Lease machinery. -------------------------------------------------------
+
+void ReplicaSetEngine::ArmPromote(size_t i) {
+  Replica& replica = *replicas_[i];
+  if (replica.promote_event != EventQueue::kInvalidEvent) {
+    queue_->Cancel(replica.promote_event);
+  }
+  uint64_t generation = replica.generation;
+  SimTime at = replica.lease.PromoteAt(i, options_.lease);
+  replica.promote_event = queue_->Schedule(at, [this, i, generation] {
+    if (replicas_[i]->generation == generation) {
+      replicas_[i]->promote_event = EventQueue::kInvalidEvent;
+      OnPromoteTimer(i);
+    }
+  });
+}
+
+void ReplicaSetEngine::OnPromoteTimer(size_t i) {
+  Replica& replica = *replicas_[i];
+  if (replica.crashed || is_leader(i)) {
+    return;
+  }
+  if (replica.lease.Held(queue_->Now())) {
+    // Renewed since this timer was armed; wait out the new slot.
+    ArmPromote(i);
+    return;
+  }
+  Promote(i);
+}
+
+void ReplicaSetEngine::Promote(size_t i) {
+  Replica& replica = *replicas_[i];
+  replica.epoch += 1;
+  replica.view_leader = i;
+  replica.in_sync.assign(replicas_.size(), true);
+  if (replica.promote_event != EventQueue::kInvalidEvent) {
+    queue_->Cancel(replica.promote_event);
+    replica.promote_event = EventQueue::kInvalidEvent;
+  }
+  ++stats_.promotions;
+  Record("promote", i, replica.epoch);
+  // Anything sealed locally but never shipped (shouldn't exist on a clean
+  // backup, but a reconciled ex-leader may hold admin-path entries).
+  replica.machine->ReplicateNow();
+  // The first renewal is the NEW_LEADER announcement — send it now.
+  StartRenewals(i, /*immediately=*/true);
+}
+
+void ReplicaSetEngine::StartRenewals(size_t i, bool immediately) {
+  Replica& replica = *replicas_[i];
+  if (replica.renew_event != EventQueue::kInvalidEvent) {
+    queue_->Cancel(replica.renew_event);
+  }
+  uint64_t generation = replica.generation;
+  SimDuration delay =
+      immediately ? SimDuration() : options_.lease.renew_interval;
+  replica.renew_event = queue_->ScheduleAfter(delay, [this, i, generation] {
+    if (replicas_[i]->generation == generation) {
+      replicas_[i]->renew_event = EventQueue::kInvalidEvent;
+      RenewTick(i);
+    }
+  });
+}
+
+void ReplicaSetEngine::RenewTick(size_t i) {
+  Replica& replica = *replicas_[i];
+  if (replica.crashed || !is_leader(i)) {
+    return;
+  }
+  uint64_t generation = replica.generation;
+  Claim mine = ClaimOf(i);
+  for (size_t j = 0; j < replicas_.size(); ++j) {
+    if (j == i) {
+      continue;
+    }
+    WireValue::Array params;
+    params.push_back(WireValue(static_cast<int64_t>(i)));
+    params.push_back(WireValue(static_cast<int64_t>(mine.epoch)));
+    params.push_back(WireValue(static_cast<int64_t>(mine.log_size)));
+    ClientTo(i, j)->CallAsync(
+        "repl.lease", std::move(params),
+        [this, i, generation](Result<WireValue> result) {
+          if (replicas_[i]->generation != generation || !result.ok()) {
+            // Unreachable peer: its own lease timer handles the rest.
+            return;
+          }
+          auto granted_v = result->Field("granted");
+          if (!granted_v.ok() || granted_v->AsBool().value_or(true)) {
+            return;
+          }
+          // The peer holds (or follows) a stronger claim: concede.
+          auto leader_v = result->Field("leader");
+          auto epoch_v = result->Field("epoch");
+          auto size_v = result->Field("log_size");
+          if (!leader_v.ok() || !epoch_v.ok() || !size_v.ok()) {
+            return;
+          }
+          Claim theirs{
+              static_cast<uint64_t>(size_v->AsInt().value_or(0)),
+              static_cast<uint64_t>(epoch_v->AsInt().value_or(0)),
+              static_cast<size_t>(leader_v->AsInt().value_or(0))};
+          if (!ClaimWins(theirs, ClaimOf(i))) {
+            return;  // Stale rejection; our next renewal settles it.
+          }
+          StepDown(i);
+          AdoptLeader(i, theirs.index, theirs.epoch);
+          FetchAndReconcile(i, theirs.index, theirs.epoch, 8);
+        });
+  }
+  StartRenewals(i, /*immediately=*/false);
+}
+
+void ReplicaSetEngine::StepDown(size_t i) {
+  Replica& replica = *replicas_[i];
+  if (replica.renew_event != EventQueue::kInvalidEvent) {
+    queue_->Cancel(replica.renew_event);
+    replica.renew_event = EventQueue::kInvalidEvent;
+  }
+  // Dropping the ship pipeline drops the `done` callbacks with it: held
+  // client responses are never released un-replicated — the clients time
+  // out and retry against the winner.
+  replica.ship_queue.clear();
+  replica.ship_in_flight = false;
+  ++replica.generation;
+  ++stats_.step_downs;
+  Record("step_down", i, replica.epoch);
+}
+
+void ReplicaSetEngine::AdoptLeader(size_t i, size_t leader, uint64_t epoch) {
+  Replica& replica = *replicas_[i];
+  replica.view_leader = leader;
+  replica.epoch = epoch;
+  replica.lease.Grant(queue_->Now(), options_.lease.lease_duration);
+  ArmPromote(i);
+}
+
+// --- Replication (leader side). ---------------------------------------------
+
+void ReplicaSetEngine::Ship(size_t i, WireValue delta, size_t entry_count,
+                            std::function<void()> done) {
+  Replica& replica = *replicas_[i];
+  if (replica.crashed) {
+    return;  // Responses already aborted with the crash.
+  }
+  replica.ship_queue.push_back(
+      {std::move(delta), entry_count, std::move(done)});
+  if (!replica.ship_in_flight) {
+    StartShipRound(i);
+  }
+}
+
+void ReplicaSetEngine::StartShipRound(size_t i) {
+  Replica& replica = *replicas_[i];
+  while (!replica.ship_queue.empty()) {
+    PendingShip ship = std::move(replica.ship_queue.front());
+    replica.ship_queue.pop_front();
+
+    std::vector<size_t> targets;
+    for (size_t j = 0; j < replicas_.size(); ++j) {
+      if (j != i && replica.in_sync[j]) {
+        targets.push_back(j);
+      }
+    }
+    if (targets.empty()) {
+      // Sole survivor (every backup out-of-sync or none configured):
+      // availability over redundancy — release on the local seal alone.
+      ship.done();
+      continue;
+    }
+
+    replica.ship_in_flight = true;
+    ++stats_.deltas_shipped;
+    stats_.delta_entries_shipped += ship.entry_count;
+
+    struct Round {
+      size_t outstanding;
+      std::function<void()> done;
+    };
+    auto round = std::make_shared<Round>();
+    round->outstanding = targets.size();
+    round->done = std::move(ship.done);
+    uint64_t generation = replica.generation;
+    Claim mine = ClaimOf(i);
+    for (size_t j : targets) {
+      WireValue::Array params;
+      params.push_back(WireValue(static_cast<int64_t>(i)));
+      params.push_back(WireValue(static_cast<int64_t>(mine.epoch)));
+      params.push_back(WireValue(static_cast<int64_t>(mine.log_size)));
+      params.push_back(ship.delta);
+      ClientTo(i, j)->CallAsync(
+          "repl.append", std::move(params),
+          [this, i, j, generation, round](Result<WireValue> result) {
+            Replica& replica = *replicas_[i];
+            bool live = replica.generation == generation;
+            if (live) {
+              if (result.ok()) {
+                ++stats_.append_acks;
+              } else {
+                ++stats_.append_failures;
+                if (result.status().code() ==
+                        StatusCode::kFailedPrecondition &&
+                    result.status().message().rfind("DEMOTED", 0) == 0) {
+                  // The backup outranks us: concede and reconcile.
+                  StepDown(i);
+                  AdoptLeader(i, j, replicas_[i]->epoch);
+                  Rejoin(i);
+                } else if (replica.in_sync[j]) {
+                  // Unreachable or diverged: drop from the synchronous-ack
+                  // set so one sick backup can't stall the shard.
+                  replica.in_sync[j] = false;
+                  Record("out_of_sync", j, replica.epoch);
+                }
+              }
+            }
+            if (--round->outstanding == 0) {
+              if (replicas_[i]->generation == generation) {
+                round->done();
+                replicas_[i]->ship_in_flight = false;
+                StartShipRound(i);
+              }
+            }
+          });
+    }
+    return;  // One round in flight; the rest waits in the queue.
+  }
+  replica.ship_in_flight = false;
+}
+
+// --- Reconciliation. --------------------------------------------------------
+
+void ReplicaSetEngine::Rejoin(size_t i) {
+  Replica& replica = *replicas_[i];
+  if (replica.crashed) {
+    return;
+  }
+  uint64_t generation = replica.generation;
+
+  struct Probe {
+    size_t outstanding;
+    std::vector<Claim> leaders;
+  };
+  auto probe = std::make_shared<Probe>();
+  probe->outstanding = replicas_.size() - 1;
+  if (probe->outstanding == 0) {
+    StandAsCandidate(i);
+    return;
+  }
+  for (size_t j = 0; j < replicas_.size(); ++j) {
+    if (j == i) {
+      continue;
+    }
+    ClientTo(i, j)->CallAsync(
+        "repl.status", {},
+        [this, i, j, generation, probe](Result<WireValue> result) {
+          if (result.ok()) {
+            auto is_leader_v = result->Field("is_leader");
+            if (is_leader_v.ok() && is_leader_v->AsBool().value_or(false)) {
+              auto epoch_v = result->Field("epoch");
+              auto size_v = result->Field("log_size");
+              probe->leaders.push_back(Claim{
+                  static_cast<uint64_t>(
+                      size_v.ok() ? size_v->AsInt().value_or(0) : 0),
+                  static_cast<uint64_t>(
+                      epoch_v.ok() ? epoch_v->AsInt().value_or(0) : 0),
+                  j});
+            }
+          }
+          if (--probe->outstanding > 0 ||
+              replicas_[i]->generation != generation) {
+            return;
+          }
+          if (probe->leaders.empty()) {
+            // Nobody in sight claims leadership: stand for election.
+            StandAsCandidate(i);
+            return;
+          }
+          Claim best = probe->leaders[0];
+          for (const Claim& claim : probe->leaders) {
+            if (ClaimWins(claim, best)) {
+              best = claim;
+            }
+          }
+          FetchAndReconcile(i, best.index, best.epoch, 8);
+        });
+  }
+}
+
+void ReplicaSetEngine::StandAsCandidate(size_t i) {
+  Replica& replica = *replicas_[i];
+  replica.lease.Expire(queue_->Now());
+  Record("candidate", i, replica.epoch);
+  ArmPromote(i);  // Fires at now + promote_stagger * i (seniority slot).
+}
+
+void ReplicaSetEngine::FetchAndReconcile(size_t i, size_t leader,
+                                         uint64_t epoch, int attempts_left) {
+  Replica& replica = *replicas_[i];
+  if (replica.crashed) {
+    return;
+  }
+  if (attempts_left <= 0) {
+    StandAsCandidate(i);
+    return;
+  }
+  uint64_t generation = replica.generation;
+  ++stats_.reconcile_rounds;
+  ClientTo(i, leader)->CallAsync(
+      "repl.snapshot", {},
+      [this, i, leader, epoch, attempts_left,
+       generation](Result<WireValue> result) {
+        if (replicas_[i]->generation != generation) {
+          return;
+        }
+        Replica& replica = *replicas_[i];
+        if (!result.ok()) {
+          // The leader vanished mid-transfer; probe afresh after a beat.
+          queue_->ScheduleAfter(options_.lease.renew_interval,
+                                [this, i, generation] {
+                                  if (replicas_[i]->generation == generation) {
+                                    Rejoin(i);
+                                  }
+                                });
+          return;
+        }
+        auto snap_v = result->Field("snap");
+        if (!snap_v.ok()) {
+          StandAsCandidate(i);
+          return;
+        }
+        auto snap = snap_v->AsBytes();
+        if (!snap.ok()) {
+          StandAsCandidate(i);
+          return;
+        }
+        // Divergence detection: everything past the longest common prefix
+        // of the two chains is sealed-but-orphaned — surfaced to the
+        // forensic auditor, never silently dropped (it may duplicate rows
+        // the surviving chain also carries; duplicated, not lost).
+        std::vector<WireValue> local = replica.machine->ExportEntries();
+        Status restored = replica.machine->Restore(*snap);
+        if (!restored.ok()) {
+          StandAsCandidate(i);
+          return;
+        }
+        std::vector<WireValue> adopted = replica.machine->ExportEntries();
+        size_t lcp = 0;
+        while (lcp < local.size() && lcp < adopted.size() &&
+               local[lcp] == adopted[lcp]) {
+          ++lcp;
+        }
+        for (size_t k = lcp; k < local.size(); ++k) {
+          orphaned_.push_back({i, std::move(local[k])});
+          ++stats_.orphaned_entries;
+        }
+        AdoptLeader(i, leader, epoch);
+
+        WireValue::Array params;
+        params.push_back(WireValue(static_cast<int64_t>(i)));
+        params.push_back(WireValue(
+            static_cast<int64_t>(replica.machine->LogSize())));
+        ClientTo(i, leader)->CallAsync(
+            "repl.rejoin", std::move(params),
+            [this, i, leader, epoch, attempts_left,
+             generation](Result<WireValue> result) {
+              if (replicas_[i]->generation != generation) {
+                return;
+              }
+              if (result.ok()) {
+                ++stats_.rejoins;
+                Record("rejoin", i, replicas_[i]->epoch);
+                return;
+              }
+              const std::string& message = result.status().message();
+              if (message.rfind("BEHIND", 0) == 0) {
+                // The leader sealed more while we transferred; refetch.
+                FetchAndReconcile(i, leader, epoch, attempts_left - 1);
+              } else if (message.rfind("NOT_LEADER", 0) == 0) {
+                Rejoin(i);  // Leadership moved again; probe afresh.
+              } else {
+                queue_->ScheduleAfter(
+                    options_.lease.renew_interval, [this, i, generation] {
+                      if (replicas_[i]->generation == generation) {
+                        Rejoin(i);
+                      }
+                    });
+              }
+            });
+      });
+}
+
+// --- Fault injection. -------------------------------------------------------
+
+void ReplicaSetEngine::NoteCrashed(size_t i) {
+  Replica& replica = *replicas_[i];
+  replica.crashed = true;
+  ++replica.generation;
+  if (replica.promote_event != EventQueue::kInvalidEvent) {
+    queue_->Cancel(replica.promote_event);
+    replica.promote_event = EventQueue::kInvalidEvent;
+  }
+  if (replica.renew_event != EventQueue::kInvalidEvent) {
+    queue_->Cancel(replica.renew_event);
+    replica.renew_event = EventQueue::kInvalidEvent;
+  }
+  replica.ship_queue.clear();
+  replica.ship_in_flight = false;
+  Record("crash", i, replica.epoch);
+}
+
+void ReplicaSetEngine::NoteRestarted(size_t i) {
+  Replica& replica = *replicas_[i];
+  replica.crashed = false;
+  ++replica.generation;
+  Record("restart", i, replica.epoch);
+  Rejoin(i);
+}
+
+void ReplicaSetEngine::SetPartitioned(size_t i, bool partitioned) {
+  const size_t n = replicas_.size();
+  for (size_t j = 0; j < n; ++j) {
+    if (j == i) {
+      continue;
+    }
+    for (NetworkLink* link :
+         {links_[i * n + j].get(), links_[j * n + i].get()}) {
+      link->set_partitioned(NetworkLink::Direction::kForward, partitioned);
+      link->set_partitioned(NetworkLink::Direction::kReverse, partitioned);
+    }
+  }
+}
+
+void ReplicaSetEngine::SchedulePartition(size_t i, SimTime at,
+                                         SimDuration duration) {
+  queue_->Schedule(at, [this, i] { SetPartitioned(i, true); });
+  queue_->Schedule(at + duration, [this, i] { SetPartitioned(i, false); });
+}
+
+// --- Admin path. ------------------------------------------------------------
+
+Status ReplicaSetEngine::MutateOnLeader(
+    const std::function<Status(ReplicatedStateMachine*)>& mutate) {
+  size_t leader = current_leader();
+  KP_RETURN_IF_ERROR(mutate(replicas_[leader]->machine));
+  replicas_[leader]->machine->ReplicateNow();
+  return Status::Ok();
+}
+
+}  // namespace keypad

@@ -30,7 +30,8 @@ struct SoakResult {
   Bytes key_log_tip;  // Final audit-log entry hash: digests the whole run.
 };
 
-SoakResult RunSoak(uint64_t seed, int key_replicas = 1) {
+SoakResult RunSoak(uint64_t seed, int key_replicas = 1,
+                   int meta_replicas = 1) {
   ResetRpcClientIdsForTesting();
 
   DeploymentOptions options;
@@ -39,6 +40,7 @@ SoakResult RunSoak(uint64_t seed, int key_replicas = 1) {
   options.seed = seed;
   options.rpc.timeout = SimDuration::Seconds(2);
   options.key_replicas = key_replicas;
+  options.meta_replicas = meta_replicas;
   Deployment dep(options);
   auto& fs = dep.fs();
 
@@ -58,6 +60,13 @@ SoakResult RunSoak(uint64_t seed, int key_replicas = 1) {
                               SimDuration::Seconds(20));
   dep.ScheduleMetadataServiceCrash(t0 + SimDuration::Seconds(150),
                                    SimDuration::Seconds(20));
+  if (meta_replicas > 1) {
+    // Replicated metadata tier: pile a second kill/heal cycle onto the
+    // backup that promoted after the 150 s leader kill, so the soak rides
+    // through two metadata failovers plus a rejoin mid-chaos.
+    dep.ScheduleMetaReplicaCrash(1, t0 + SimDuration::Seconds(190),
+                                 SimDuration::Seconds(20));
+  }
 
   SimRandom rng(seed * 1000003);
   std::vector<std::string> files;  // Current paths of created files.
@@ -96,7 +105,7 @@ SoakResult RunSoak(uint64_t seed, int key_replicas = 1) {
   // deployments keep perpetual lease-renewal timers on the queue, so they
   // drain by advancing time instead of RunUntilIdle.
   dep.client_link().set_chaos(LinkChaosOptions{});
-  if (key_replicas > 1) {
+  if (key_replicas > 1 || meta_replicas > 1) {
     dep.queue().AdvanceBy(SimDuration::Seconds(30));
   } else {
     dep.queue().RunUntilIdle();
@@ -172,6 +181,32 @@ SoakResult RunSoak(uint64_t seed, int key_replicas = 1) {
     }
   }
 
+  // Replicated metadata tier: both scheduled kills hit live metadata
+  // leaders, backups promoted, the dead replicas rejoined — every
+  // namespace chain must have reconverged and the forensic report must
+  // verify all of them alongside the key tier's.
+  if (meta_replicas > 1) {
+    MetaReplicaSet* meta_set = dep.meta_replica_set();
+    EXPECT_NE(meta_set, nullptr) << "seed " << seed;
+    EXPECT_GE(meta_set->stats().promotions, 1u) << "seed " << seed;
+    EXPECT_GE(meta_set->stats().rejoins, 1u) << "seed " << seed;
+    const MetadataLog& authority =
+        dep.meta_replica(meta_set->current_leader()).log();
+    for (size_t r = 0; r < dep.meta_replica_count(); ++r) {
+      const MetadataLog& log = dep.meta_replica(r).log();
+      EXPECT_TRUE(log.Verify().ok()) << "seed " << seed << " replica " << r;
+      EXPECT_EQ(log.size(), authority.size())
+          << "seed " << seed << " replica " << r;
+    }
+    auto report = dep.auditor().BuildReport(dep.device_id(), t0,
+                                            options.config.texp);
+    EXPECT_TRUE(report.ok()) << "seed " << seed;
+    if (report.ok()) {
+      EXPECT_TRUE(report->replica_logs_verified) << "seed " << seed;
+      EXPECT_TRUE(report->metadata_log_verified) << "seed " << seed;
+    }
+  }
+
   result.key_log_size = dep.key_service().log().entries().size();
   result.meta_log_size = dep.metadata_service().log().records().size();
   result.key_log_tip = dep.key_service().log().entries().back().entry_hash;
@@ -187,6 +222,21 @@ TEST(ChaosSoakTest, Seed3) { RunSoak(3); }
 TEST(ChaosSoakTest, Seed1Replicated) { RunSoak(1, /*key_replicas=*/2); }
 TEST(ChaosSoakTest, Seed2Replicated) { RunSoak(2, /*key_replicas=*/2); }
 
+// Replicated metadata tier on the same substrate: the 150 s crash kills
+// the metadata leader and a second cycle at 190 s kills the promoted
+// backup — two failovers, two rejoins, chains reconverged.
+TEST(ChaosSoakTest, Seed1ReplicatedMeta) {
+  RunSoak(1, /*key_replicas=*/1, /*meta_replicas=*/3);
+}
+TEST(ChaosSoakTest, Seed2ReplicatedMeta) {
+  RunSoak(2, /*key_replicas=*/1, /*meta_replicas=*/3);
+}
+
+// Both tiers replicated at once, riding the same chaos schedule.
+TEST(ChaosSoakTest, Seed1ReplicatedBothTiers) {
+  RunSoak(1, /*key_replicas=*/2, /*meta_replicas=*/2);
+}
+
 TEST(ChaosSoakTest, DeterministicAcrossRuns) {
   SoakResult a = RunSoak(1);
   SoakResult b = RunSoak(1);
@@ -199,6 +249,15 @@ TEST(ChaosSoakTest, DeterministicAcrossRuns) {
 TEST(ChaosSoakTest, ReplicatedDeterministicAcrossRuns) {
   SoakResult a = RunSoak(1, /*key_replicas=*/2);
   SoakResult b = RunSoak(1, /*key_replicas=*/2);
+  EXPECT_EQ(a.created, b.created);
+  EXPECT_EQ(a.key_log_size, b.key_log_size);
+  EXPECT_EQ(a.meta_log_size, b.meta_log_size);
+  EXPECT_EQ(a.key_log_tip, b.key_log_tip);
+}
+
+TEST(ChaosSoakTest, ReplicatedMetaDeterministicAcrossRuns) {
+  SoakResult a = RunSoak(1, /*key_replicas=*/1, /*meta_replicas=*/3);
+  SoakResult b = RunSoak(1, /*key_replicas=*/1, /*meta_replicas=*/3);
   EXPECT_EQ(a.created, b.created);
   EXPECT_EQ(a.key_log_size, b.key_log_size);
   EXPECT_EQ(a.meta_log_size, b.meta_log_size);

@@ -159,6 +159,65 @@ TEST_F(RemoteAuditorTest, CursorResyncsAfterRestoreFromOlderSnapshot) {
   EXPECT_TRUE(saw_new_create);
 }
 
+TEST_F(RemoteAuditorTest, MetaCursorResyncsAfterRestoreFromOlderSnapshot) {
+  // Same satellite regression, metadata tier: audit.meta_log_tail's cursor
+  // assumed the namespace log only grows. A metadata service restored from
+  // an older backup serves a shorter log under a bumped restore epoch; the
+  // auditor must re-sync its metadata cursor from zero and keep the
+  // rolled-back namespace rows as evidence.
+  auto& fs = dep_.fs();
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fs.Create("/d/f" + std::to_string(i)).ok());
+  }
+  Bytes old_snapshot = dep_.metadata_service().Snapshot();
+
+  // Namespace activity past the backup point — bindings destined to be
+  // rolled back.
+  for (int i = 3; i < 7; ++i) {
+    ASSERT_TRUE(fs.Create("/d/f" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(fs.Rename("/d/f3", "/d/f3r").ok());
+  dep_.queue().AdvanceBy(SimDuration::Seconds(5));
+
+  Remote remote = MakeRemote();
+  auto first = remote.auditor->BuildReport(dep_.queue().Now(),
+                                           dep_.fs().config().texp);
+  ASSERT_TRUE(first.ok());
+  uint64_t meta_cursor_before = remote.auditor->meta_cursor();
+  ASSERT_EQ(meta_cursor_before, dep_.metadata_service().log().size());
+  ASSERT_GT(remote.auditor->meta_cached_entries(), 0u);
+  uint64_t key_resyncs_baseline = remote.auditor->resyncs();
+
+  // The metadata service restores from the older backup: the log under the
+  // cursor shrank and the restore epoch bumped. The key tier is untouched.
+  dep_.metadata_service().AbortPending();
+  ASSERT_TRUE(dep_.metadata_service().Restore(old_snapshot).ok());
+  ASSERT_LT(dep_.metadata_service().log().size(), meta_cursor_before);
+
+  // Fresh post-restore activity, then the follow-up audit.
+  ASSERT_TRUE(fs.Create("/d/g0").ok());
+  dep_.queue().AdvanceBy(SimDuration::Seconds(1));
+  auto second = remote.auditor->BuildReport(dep_.queue().Now(),
+                                            dep_.fs().config().texp);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->metadata_log_verified);
+  // The regression was the metadata tier's alone.
+  EXPECT_GE(remote.auditor->resyncs(), key_resyncs_baseline + 1);
+  // The rolled-back bindings are gone from the server but kept locally.
+  EXPECT_GT(remote.auditor->regressed_entries(), 0u);
+  // The metadata cursor re-anchored to the restored log and covers it.
+  EXPECT_EQ(remote.auditor->meta_cursor(),
+            dep_.metadata_service().log().size());
+  // The post-restore binding is visible to the audit.
+  AuditId g0 = fs.ReadHeaderOf("/d/g0")->audit_id;
+  bool saw_new_binding = false;
+  for (const auto& record : dep_.metadata_service().log().records()) {
+    saw_new_binding |= record.audit_id == g0;
+  }
+  EXPECT_TRUE(saw_new_binding);
+}
+
 TEST_F(RemoteAuditorTest, EmptyWindowGivesCleanRemoteReport) {
   ASSERT_TRUE(dep_.fs().Create("/f").ok());
   dep_.queue().AdvanceBy(SimDuration::Seconds(500));
