@@ -19,6 +19,10 @@ for b in /root/repo/build/bench/*; do
     # Sharded key tier: goodput vs. shard count, group commit, coalescing
     # (DESIGN.md §8).
     "$b" /root/repo/BENCH_scale.json >> "$out" 2>&1
+  elif [[ "$(basename "$b")" == "bench_fleet" ]]; then
+    # Simulator core + fleet scale: event-queue and codec micro-ablations
+    # plus the 100k-device fleet cells (DESIGN.md §11).
+    "$b" /root/repo/BENCH_simcore.json >> "$out" 2>&1
   elif [[ "$(basename "$b")" == "bench_availability" ]]; then
     # Replicated service tiers: goodput timelines across key-tier and
     # metadata-tier leader kills, plus the partition/heal reconciliation

@@ -201,23 +201,28 @@ void RpcServer::ProcessRequest(const std::string& request_raw,
     };
   }
 
-  auto call = DecodeXmlRpcCall(request_xml);
+  // Echo rule: answer in the codec of the request. A legacy xml_only
+  // server never detects binary — the probe draws an XML decode fault,
+  // which is exactly the client's fallback signal.
+  WireCodec codec = xml_only_ ? WireCodec::kXml : DetectCodec(request_xml);
+  auto call = xml_only_ ? DecodeXmlRpcCall(request_xml)
+                        : DecodeCallAuto(request_xml);
   if (!call.ok()) {
-    done(EncodeXmlRpcFault(call.status()));
+    done(EncodeFault(codec, call.status()));
     return;
   }
   auto it = handlers_.find(call->method);
   if (it == handlers_.end()) {
-    done(EncodeXmlRpcFault(NotFoundError("no such method: " + call->method)));
+    done(EncodeFault(codec, NotFoundError("no such method: " + call->method)));
     return;
   }
   ++requests_executed_;
   it->second(call->params,
-             [done = std::move(done)](Result<WireValue> result) {
+             [codec, done = std::move(done)](Result<WireValue> result) {
                if (!result.ok()) {
-                 done(EncodeXmlRpcFault(result.status()));
+                 done(EncodeFault(codec, result.status()));
                } else {
-                 done(EncodeXmlRpcResponse(*result));
+                 done(EncodeResponse(codec, *result));
                }
              });
 }
@@ -228,11 +233,22 @@ struct RpcClient::PendingCall {
   Result<WireValue> result = Status(StatusCode::kUnavailable, "pending");
 };
 
+// A call marshalled once for its whole retry ladder: dedup frame + encoded
+// payload live in one pooled buffer. `params` are kept only while the
+// binary probe might still need an XML re-frame.
+struct RpcClient::EncodedRequest {
+  std::string method;
+  WireValue::Array params;
+  bool params_retained = false;
+  WireCodec codec = WireCodec::kXml;  // Codec the frame was encoded in.
+  BufferLease framed;
+};
+
 // One logical CallAsync across its retry ladder.
 struct RpcClient::AsyncCall {
   std::shared_ptr<PendingCall> pending = std::make_shared<PendingCall>();
   std::function<void(Result<WireValue>)> finish;
-  std::string framed;  // Dedup frame + XML; sealed fresh per attempt.
+  std::shared_ptr<EncodedRequest> request;  // Sealed fresh per attempt.
   std::string method;
   int attempt = 0;
   bool admitted = false;  // Passed the circuit breaker.
@@ -249,10 +265,15 @@ RpcClient::RpcClient(EventQueue* queue, NetworkLink* link, RpcServer* server,
       options_(options),
       breaker_(options.breaker),
       retry_rng_(0),
-      client_id_(NextClientId()) {
+      client_id_(NextClientId()),
+      codec_(options.codec) {
   // Jitter stream is per-client and deterministic: two clients never share
   // draws, and a fixed construction order reproduces exactly.
   retry_rng_ = SimRandom(client_id_ * 0x9E3779B97F4A7C15ull);
+  if (auto forced = WireCodecEnvOverride()) {
+    codec_ = *forced;
+    codec_forced_ = true;  // A/B run: no probing, no fallback.
+  }
 }
 
 void RpcClient::EnableChannelSecurity(SecureChannel* channel,
@@ -261,6 +282,9 @@ void RpcClient::EnableChannelSecurity(SecureChannel* channel,
   channel_ = channel;
   channel_device_id_ = std::move(device_id);
   channel_rng_ = rng;
+  if (!codec_forced_) {
+    codec_ = channel->preferred_codec();
+  }
 }
 
 std::string RpcClient::SealRequest(const std::string& request) {
@@ -285,12 +309,32 @@ Result<std::string> RpcClient::OpenResponse(const std::string& response) {
   return StringOf(opened);
 }
 
-std::string RpcClient::FrameRequest(const std::string& request_xml) {
-  std::string out(kRequestFrameMagic, 4);
+std::shared_ptr<RpcClient::EncodedRequest> RpcClient::Encode(
+    const std::string& method, WireValue::Array params) {
+  auto req = std::make_shared<EncodedRequest>();
+  req->method = method;
+  req->codec = codec_;
+  req->framed = BufferLease(buffer_pool_);
+  if (codec_ == WireCodec::kBinary && !binary_confirmed_ && !codec_forced_) {
+    // Probe: keep the params so an XML-only peer can be answered with an
+    // XML re-frame without bothering the caller.
+    req->params = std::move(params);
+    req->params_retained = true;
+    FrameInto(*req, req->params);
+  } else {
+    FrameInto(*req, params);
+  }
+  return req;
+}
+
+void RpcClient::FrameInto(EncodedRequest& req,
+                          const WireValue::Array& params) {
+  std::string& out = *req.framed;
+  out.clear();
+  out.append(kRequestFrameMagic, 4);
   AppendU64(out, client_id_);
   AppendU64(out, next_request_seq_++);
-  out += request_xml;
-  return out;
+  EncodeCallInto(req.codec, req.method, params, out);
 }
 
 SimDuration RpcClient::BackoffBefore(int next_attempt) {
@@ -304,44 +348,69 @@ SimDuration RpcClient::BackoffBefore(int next_attempt) {
   return SimDuration(static_cast<int64_t>(backoff));
 }
 
-bool RpcClient::SendAttempt(const std::string& framed_request,
+bool RpcClient::SendAttempt(std::shared_ptr<EncodedRequest> req,
                             std::shared_ptr<PendingCall> pending,
                             std::function<void()> notify) {
   ++attempts_started_;
-  std::string request = SealRequest(framed_request);
+  std::string request = SealRequest(*req->framed);
   RpcServer* server = server_;
   NetworkLink* link = link_;
   size_t request_size = request.size();
   return link_->Send(
       request_size, NetworkLink::Direction::kForward,
-      [this, pending, notify, server, link, request = std::move(request)] {
-        server->HandleRequestAsync(request, [this, pending, notify, link](
-                                                std::string response) {
+      [this, req, pending, notify, server, link,
+       request = std::move(request)] {
+        server->HandleRequestAsync(request, [this, req, pending, notify,
+                                             link](std::string response) {
           size_t response_size = response.size();
-          link->Send(response_size, NetworkLink::Direction::kReverse,
-                     [this, pending, notify,
-                      response = std::move(response)] {
-                       if (pending->done) {
-                         return;  // Duplicate/late response; call finished.
-                       }
-                       auto opened = OpenResponse(response);
-                       if (!opened.ok()) {
-                         pending->result = opened.status();
-                       } else {
-                         auto decoded = DecodeXmlRpcResponse(*opened);
-                         if (!decoded.ok()) {
-                           pending->result = decoded.status();
-                         } else if (!decoded->fault.ok()) {
-                           pending->result = decoded->fault;
-                         } else {
-                           pending->result = decoded->value;
-                         }
-                       }
-                       pending->done = true;
-                       if (notify) {
-                         notify();
-                       }
-                     });
+          link->Send(
+              response_size, NetworkLink::Direction::kReverse,
+              [this, req, pending, notify, response = std::move(response)] {
+                if (pending->done) {
+                  return;  // Duplicate/late response; call finished.
+                }
+                auto opened = OpenResponse(response);
+                if (!opened.ok()) {
+                  pending->result = opened.status();
+                } else {
+                  WireCodec response_codec = DetectCodec(*opened);
+                  auto decoded = DecodeResponseAuto(*opened);
+                  if (!decoded.ok()) {
+                    pending->result = decoded.status();
+                  } else if (!decoded->fault.ok()) {
+                    if (req->codec == WireCodec::kBinary &&
+                        response_codec == WireCodec::kXml &&
+                        req->params_retained && !binary_confirmed_) {
+                      // The echo rule says a binary-capable peer answers in
+                      // binary; an XML-framed fault means the peer never
+                      // understood the probe. Latch XML and resend under a
+                      // fresh request id — the old id is already bound to
+                      // this fault in the peer's reply cache.
+                      codec_ = WireCodec::kXml;
+                      ++codec_downgrades_;
+                      req->codec = WireCodec::kXml;
+                      FrameInto(*req, req->params);
+                      SendAttempt(req, pending, std::move(notify));
+                      return;  // `pending` stays open for the resend.
+                    }
+                    pending->result = decoded->fault;
+                  } else {
+                    pending->result = decoded->value;
+                  }
+                  if (req->codec == WireCodec::kBinary &&
+                      response_codec == WireCodec::kBinary &&
+                      !binary_confirmed_) {
+                    // Probe answered in kind: binary is safe from here on.
+                    binary_confirmed_ = true;
+                    req->params.clear();
+                    req->params_retained = false;
+                  }
+                }
+                pending->done = true;
+                if (notify) {
+                  notify();
+                }
+              });
         });
       });
 }
@@ -349,7 +418,9 @@ bool RpcClient::SendAttempt(const std::string& framed_request,
 Result<WireValue> RpcClient::Call(const std::string& method,
                                   WireValue::Array params) {
   ++calls_started_;
-  queue_->AdvanceBy(options_.client_overhead);
+  queue_->AdvanceBy(codec_ == WireCodec::kBinary
+                        ? options_.client_overhead_binary
+                        : options_.client_overhead);
 
   if (!link_->disconnected()) {
     // An abort-opened breaker ends its cooldown as soon as the link is
@@ -360,8 +431,7 @@ Result<WireValue> RpcClient::Call(const std::string& method,
     return UnavailableError("rpc: circuit open, rejecting " + method);
   }
 
-  std::string framed =
-      FrameRequest(EncodeXmlRpcCall(XmlRpcCall{method, std::move(params)}));
+  auto framed = Encode(method, std::move(params));
   auto pending = std::make_shared<PendingCall>();
   SimTime overall_deadline = queue_->Now() + options_.total_deadline;
   int max_attempts = std::max(1, options_.retry.max_attempts);
@@ -437,7 +507,7 @@ void RpcClient::StartAsyncAttempt(std::shared_ptr<AsyncCall> call) {
     return;
   }
   ++call->attempt;
-  bool sent = SendAttempt(call->framed, call->pending, [this, call] {
+  bool sent = SendAttempt(call->request, call->pending, [this, call] {
     breaker_.RecordSuccess();
     FinishAsync(call, call->pending->result);
   });
@@ -475,7 +545,9 @@ void RpcClient::StartAsyncAttempt(std::shared_ptr<AsyncCall> call) {
 void RpcClient::CallAsync(const std::string& method, WireValue::Array params,
                           std::function<void(Result<WireValue>)> done) {
   ++calls_started_;
-  queue_->AdvanceBy(options_.client_overhead);
+  queue_->AdvanceBy(codec_ == WireCodec::kBinary
+                        ? options_.client_overhead_binary
+                        : options_.client_overhead);
 
   auto call = std::make_shared<AsyncCall>();
   call->finish = std::move(done);
@@ -495,8 +567,7 @@ void RpcClient::CallAsync(const std::string& method, WireValue::Array params,
     return;
   }
   call->admitted = true;
-  call->framed =
-      FrameRequest(EncodeXmlRpcCall(XmlRpcCall{method, std::move(params)}));
+  call->request = Encode(method, std::move(params));
   StartAsyncAttempt(call);
 }
 

@@ -1,6 +1,7 @@
-// RPC over the simulated network: XML-RPC marshalling (for real — every call
-// is encoded, shipped as bytes, and decoded), with virtual-blocking and
-// asynchronous call styles.
+// RPC over the simulated network: real marshalling (every call is encoded,
+// shipped as bytes, and decoded — XML-RPC by default, compact binary TLV
+// when negotiated; DESIGN.md §11), with virtual-blocking and asynchronous
+// call styles.
 //
 // A "virtually blocking" Call() models a client thread waiting on a
 // response: it pumps the shared event queue until the reply lands or the
@@ -25,8 +26,17 @@
 //
 // Cost model: the client charges `client_overhead` of CPU per call
 // (XML-RPC marshal/unmarshal — the dominant Keypad cost on a LAN per
-// Fig. 6a) and the server charges `service_time` per request (logging the
-// access durably + lookup).
+// Fig. 6a; `client_overhead_binary` when binary framing is active) and the
+// server charges `service_time` per request (logging the access durably +
+// lookup).
+//
+// Wire framing (DESIGN.md §11): frames are self-describing and the server
+// answers in the codec of the request (echo rule). A client that prefers
+// binary probes with it; a legacy XML-only server answers the probe with an
+// XML-framed decode fault, which the client recognizes — it latches XML for
+// that peer and transparently resends under a FRESH request id (the old id
+// is bound to the fault in the server's reply cache). KEYPAD_WIRE_CODEC
+// forces either codec process-wide for A/B runs.
 
 #ifndef SRC_RPC_RPC_H_
 #define SRC_RPC_RPC_H_
@@ -44,6 +54,8 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/random.h"
 #include "src/util/result.h"
+#include "src/wire/buffer_pool.h"
+#include "src/wire/codec.h"
 #include "src/wire/value.h"
 
 namespace keypad {
@@ -98,6 +110,11 @@ class RpcServer {
   void set_down(bool down) { down_ = down; }
   bool down() const { return down_; }
 
+  // Models a legacy deployment that predates the binary codec: requests are
+  // decoded strictly as XML-RPC, so a binary probe draws the XML decode
+  // fault that triggers the client's fallback. Tests and ablations only.
+  void set_xml_only(bool xml_only) { xml_only_ = xml_only; }
+
   ReplyCache& reply_cache() { return reply_cache_; }
   const ReplyCache& reply_cache() const { return reply_cache_; }
 
@@ -128,6 +145,7 @@ class RpcServer {
   SecureRandom* channel_rng_ = nullptr;
   ReplyCache reply_cache_;
   bool down_ = false;
+  bool xml_only_ = false;
   uint64_t requests_handled_ = 0;
   uint64_t requests_executed_ = 0;
   uint64_t requests_dropped_ = 0;
@@ -146,8 +164,15 @@ struct RetryOptions {
 };
 
 struct RpcOptions {
-  // CPU charged on the client per call (marshal + unmarshal).
+  // CPU charged on the client per call (marshal + unmarshal) when the call
+  // goes out as XML-RPC.
   SimDuration client_overhead = SimDuration::Micros(350);
+  // CPU per call under binary framing: no tag soup to build or parse, so
+  // marshalling drops by roughly an order of magnitude.
+  SimDuration client_overhead_binary = SimDuration::Micros(30);
+  // Request framing this client starts with; kBinary probes and falls back
+  // per the echo rule unless KEYPAD_WIRE_CODEC pins a codec.
+  WireCodec codec = WireCodec::kXml;
   // How long a single attempt waits before retrying (or giving up).
   SimDuration timeout = SimDuration::Seconds(5);
   // Overall budget for one logical call across attempts and backoffs.
@@ -184,11 +209,22 @@ class RpcClient {
 
   // Enables transport encryption: requests are sealed under the device's
   // ratcheting channel keys; responses are opened with the same channel.
+  // Also adopts the channel's negotiated codec preference (unless
+  // KEYPAD_WIRE_CODEC pinned one).
   void EnableChannelSecurity(SecureChannel* channel, std::string device_id,
                              SecureRandom* rng);
 
+  // Framing this client will use for its next request. set_codec() switches
+  // the preference at runtime (benches A/B this); fallback stays armed.
+  WireCodec codec() const { return codec_; }
+  void set_codec(WireCodec codec) { codec_ = codec; }
+
   RpcOptions& options() { return options_; }
   CircuitBreaker& breaker() { return breaker_; }
+  // Reuse statistics of the pooled encode buffers.
+  const BufferPool::Stats& encode_buffer_stats() const {
+    return buffer_pool_->stats();
+  }
 
   uint64_t calls_started() const { return calls_started_; }
   uint64_t attempts_started() const { return attempts_started_; }
@@ -199,25 +235,36 @@ class RpcClient {
   uint64_t calls_failed_fast() const { return calls_failed_fast_; }
   // Calls rejected without a send by the open circuit breaker.
   uint64_t calls_rejected() const { return breaker_.rejected_count(); }
+  // Times this client fell back from a binary probe to XML.
+  uint64_t codec_downgrades() const { return codec_downgrades_; }
 
  private:
   struct PendingCall;
   struct AsyncCall;
+  struct EncodedRequest;
 
   // Seals an outgoing request when channel security is on (identity
   // transform otherwise); OpenResponse reverses it.
   std::string SealRequest(const std::string& request);
   Result<std::string> OpenResponse(const std::string& response);
 
-  // Prepends the at-most-once dedup frame (client id + fresh sequence
-  // number) to an encoded call.
-  std::string FrameRequest(const std::string& request_xml);
+  // Marshals a call once for its whole retry ladder: dedup frame (client id
+  // + fresh sequence number) and encoded payload assembled in one pooled
+  // buffer. Params are retained inside the request only while an XML
+  // re-frame might still be needed (binary probe not yet confirmed).
+  std::shared_ptr<EncodedRequest> Encode(const std::string& method,
+                                         WireValue::Array params);
+  // (Re-)writes the framed bytes of `req` in its current codec, consuming a
+  // fresh sequence number.
+  void FrameInto(EncodedRequest& req, const WireValue::Array& params);
 
   // Transmits one attempt: request over the link, handler on the server,
   // response back over the link, completing `pending` unless it already
   // completed (then invoking `notify`, if any — the async path's hook).
-  // Returns false iff the link reported the send failed locally.
-  bool SendAttempt(const std::string& framed_request,
+  // An XML fault answering a binary probe triggers the fallback resend
+  // instead of completing. Returns false iff the link reported the send
+  // failed locally.
+  bool SendAttempt(std::shared_ptr<EncodedRequest> req,
                    std::shared_ptr<PendingCall> pending,
                    std::function<void()> notify);
 
@@ -238,6 +285,13 @@ class RpcClient {
   SecureChannel* channel_ = nullptr;
   std::string channel_device_id_;
   SecureRandom* channel_rng_ = nullptr;
+  WireCodec codec_;
+  bool codec_forced_ = false;     // KEYPAD_WIRE_CODEC pinned it.
+  bool binary_confirmed_ = false;  // Peer has answered in binary.
+  uint64_t codec_downgrades_ = 0;
+  // Shared with outstanding BufferLeases: in-flight requests can outlive
+  // the client (e.g. failover tears a client down mid-flight).
+  std::shared_ptr<BufferPool> buffer_pool_ = std::make_shared<BufferPool>();
   uint64_t calls_started_ = 0;
   uint64_t attempts_started_ = 0;
   uint64_t calls_timed_out_ = 0;

@@ -1,0 +1,123 @@
+// EventFn: the simulator's callback type — a move-only callable wrapper
+// with small-buffer optimization.
+//
+// std::function forced every scheduled event through a heap allocation for
+// any capture list bigger than the library's (tiny) internal buffer, and
+// required copyability. Simulator events are fired exactly once and never
+// copied, so EventFn stores the callable inline when it fits (64 bytes
+// covers the common timer/completion lambdas) and falls back to the heap
+// only for large capture sets. Dispatch is three function pointers in a
+// static ops table rather than a virtual object, keeping the node footprint
+// fixed for the event queue's slab allocator.
+
+#ifndef SRC_SIM_EVENT_FN_H_
+#define SRC_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace keypad {
+
+class EventFn {
+ public:
+  // Inline storage size. Sized so a lambda capturing a handful of pointers
+  // plus a SimTime or two stays allocation-free.
+  static constexpr size_t kInlineSize = 64;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& fn) {  // NOLINT: implicit by design, mirrors std::function.
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = InlineOps<D>();
+    } else {
+      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(fn));
+      ops_ = HeapOps<D>();
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->move(buf_, other.buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      if (other.ops_ != nullptr) {
+        other.ops_->move(buf_, other.buf_);
+        ops_ = other.ops_;
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* buf);
+    // Move-constructs into dst from src and destroys src's value.
+    void (*move)(void* dst, void* src) noexcept;
+    void (*destroy)(void* buf);
+  };
+
+  template <typename D>
+  static const Ops* InlineOps() {
+    static constexpr Ops ops = {
+        [](void* buf) { (*std::launder(reinterpret_cast<D*>(buf)))(); },
+        [](void* dst, void* src) noexcept {
+          D* s = std::launder(reinterpret_cast<D*>(src));
+          ::new (dst) D(std::move(*s));
+          s->~D();
+        },
+        [](void* buf) { std::launder(reinterpret_cast<D*>(buf))->~D(); },
+    };
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* HeapOps() {
+    static constexpr Ops ops = {
+        [](void* buf) { (**reinterpret_cast<D**>(buf))(); },
+        [](void* dst, void* src) noexcept {
+          *reinterpret_cast<D**>(dst) = *reinterpret_cast<D**>(src);
+        },
+        [](void* buf) { delete *reinterpret_cast<D**>(buf); },
+    };
+    return &ops;
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
+
+}  // namespace keypad
+
+#endif  // SRC_SIM_EVENT_FN_H_

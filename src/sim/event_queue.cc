@@ -2,43 +2,153 @@
 
 namespace keypad {
 
-EventQueue::EventId EventQueue::Schedule(SimTime at, std::function<void()> fn) {
+EventQueue::Node* EventQueue::Merge(Node* a, Node* b) {
+  if (a == nullptr) {
+    return b;
+  }
+  if (b == nullptr) {
+    return a;
+  }
+  if (Before(b, a)) {
+    Node* t = a;
+    a = b;
+    b = t;
+  }
+  b->sibling = a->child;
+  a->child = b;
+  return a;
+}
+
+EventQueue::Node* EventQueue::MergePairs(Node* first) {
+  // Pass 1: merge adjacent pairs left to right, stacking the merged roots
+  // (LIFO through the sibling pointer).
+  Node* stack = nullptr;
+  while (first != nullptr) {
+    Node* a = first;
+    Node* b = a->sibling;
+    if (b == nullptr) {
+      a->sibling = stack;
+      stack = a;
+      break;
+    }
+    Node* rest = b->sibling;
+    Node* m = Merge(a, b);
+    m->sibling = stack;
+    stack = m;
+    first = rest;
+  }
+  // Pass 2: fold the stack — equivalent to merging right to left.
+  Node* root = nullptr;
+  while (stack != nullptr) {
+    Node* next = stack->sibling;
+    stack->sibling = nullptr;
+    root = Merge(root, stack);
+    stack = next;
+  }
+  return root;
+}
+
+EventQueue::Node* EventQueue::Acquire() {
+  if (free_.empty()) {
+    auto slab = std::make_unique<Node[]>(kNodesPerSlab);
+    uint32_t base = static_cast<uint32_t>(slabs_.size() * kNodesPerSlab);
+    // Reverse order so lower slots come off the free list first; any fixed
+    // order keeps runs reproducible.
+    for (size_t i = kNodesPerSlab; i > 0; --i) {
+      slab[i - 1].slot = base + static_cast<uint32_t>(i - 1);
+      free_.push_back(&slab[i - 1]);
+    }
+    slabs_.push_back(std::move(slab));
+  }
+  Node* n = free_.back();
+  free_.pop_back();
+  n->in_use = true;
+  n->cancelled = false;
+  n->child = nullptr;
+  n->sibling = nullptr;
+  return n;
+}
+
+void EventQueue::Release(Node* n) {
+  n->fn.Reset();
+  n->in_use = false;
+  ++n->gen;  // Invalidate any EventId still referring to this slot.
+  free_.push_back(n);
+}
+
+EventQueue::Node* EventQueue::NodeFor(EventId id) const {
+  uint64_t slot1 = id >> 32;
+  if (slot1 == 0 || slot1 > slabs_.size() * kNodesPerSlab) {
+    return nullptr;
+  }
+  size_t slot = static_cast<size_t>(slot1 - 1);
+  Node* n = &slabs_[slot / kNodesPerSlab][slot % kNodesPerSlab];
+  if (!n->in_use || n->gen != static_cast<uint32_t>(id)) {
+    return nullptr;
+  }
+  return n;
+}
+
+EventQueue::EventId EventQueue::Schedule(SimTime at, EventFn fn) {
   if (at < now_) {
     at = now_;
   }
-  uint64_t seq = next_seq_++;
-  Key key(at, seq);
-  events_.emplace(key, std::move(fn));
-  index_.emplace(seq, key);
-  return seq;
+  Node* n = Acquire();
+  n->at = at;
+  n->seq = next_seq_++;
+  n->fn = std::move(fn);
+  root_ = Merge(root_, n);
+  ++live_;
+  return (static_cast<uint64_t>(n->slot) + 1) << 32 | n->gen;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) {
+  Node* n = NodeFor(id);
+  if (n == nullptr || n->cancelled) {
     return false;
   }
-  events_.erase(it->second);
-  index_.erase(it);
+  n->cancelled = true;
+  // Drop the callback (and whatever it captured) now, matching the seed
+  // semantics where Cancel erased the closure immediately. The node itself
+  // is reclaimed when it surfaces at the heap root.
+  n->fn.Reset();
+  --live_;
   return true;
 }
 
 bool EventQueue::IsPending(EventId id) const {
-  return index_.find(id) != index_.end();
+  const Node* n = NodeFor(id);
+  return n != nullptr && !n->cancelled;
+}
+
+EventQueue::Node* EventQueue::PeekLive() {
+  while (root_ != nullptr && root_->cancelled) {
+    Node* n = root_;
+    root_ = MergePairs(n->child);
+    Release(n);
+  }
+  return root_;
+}
+
+EventFn EventQueue::TakeDue() {
+  Node* n = root_;
+  root_ = MergePairs(n->child);
+  now_ = n->at;
+  EventFn fn = std::move(n->fn);
+  --live_;
+  ++executed_;
+  Release(n);
+  return fn;
 }
 
 void EventQueue::AdvanceBy(SimDuration d) { RunUntil(now_ + d); }
 
 void EventQueue::RunUntil(SimTime t) {
-  while (!events_.empty()) {
-    auto it = events_.begin();
-    if (it->first.first > t) {
+  while (Node* head = PeekLive()) {
+    if (head->at > t) {
       break;
     }
-    now_ = it->first.first;
-    auto fn = std::move(it->second);
-    index_.erase(it->first.second);
-    events_.erase(it);
+    EventFn fn = TakeDue();
     fn();
   }
   if (t > now_) {
@@ -47,34 +157,27 @@ void EventQueue::RunUntil(SimTime t) {
 }
 
 void EventQueue::RunUntilIdle() {
-  while (!events_.empty()) {
-    auto it = events_.begin();
-    now_ = it->first.first;
-    auto fn = std::move(it->second);
-    index_.erase(it->first.second);
-    events_.erase(it);
+  while (PeekLive() != nullptr) {
+    EventFn fn = TakeDue();
     fn();
   }
 }
 
 bool EventQueue::RunUntilFlag(const bool* flag, SimTime deadline) {
   while (!*flag) {
-    if (events_.empty()) {
+    Node* head = PeekLive();
+    if (head == nullptr) {
       // Nothing can ever set the flag; treat as timeout at the deadline.
       if (deadline != SimTime::Max() && deadline > now_) {
         now_ = deadline;
       }
       return false;
     }
-    auto it = events_.begin();
-    if (it->first.first > deadline) {
+    if (head->at > deadline) {
       now_ = deadline;
       return false;
     }
-    now_ = it->first.first;
-    auto fn = std::move(it->second);
-    index_.erase(it->first.second);
-    events_.erase(it);
+    EventFn fn = TakeDue();
     fn();
   }
   return true;

@@ -14,15 +14,27 @@
 //
 // Nested pumping is allowed (an event handler may itself block on an RPC);
 // every event fires exactly once, in time order, whichever loop pumps it.
+//
+// Implementation (DESIGN.md §11): an intrusive pairing heap over
+// slab-allocated event nodes, ordered by (time, insertion sequence) so
+// same-timestamp events fire in FIFO order. The seed implementation kept a
+// std::map<(time,seq), std::function> plus a second id→key map, paying two
+// red-black-tree allocations plus rebalancing per event and an O(log n)
+// double lookup per Cancel. Here a node is a fixed-size slot recycled
+// through a free list, the callback is a small-buffer EventFn stored inline
+// in the node, and an EventId encodes the node's slot and a generation
+// counter, making Cancel and IsPending O(1): cancellation tombstones the
+// node in place and the pump discards tombstones when they surface at the
+// heap root.
 
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <utility>
+#include <memory>
+#include <vector>
 
+#include "src/sim/event_fn.h"
 #include "src/sim/time.h"
 
 namespace keypad {
@@ -39,15 +51,18 @@ class EventQueue {
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run at absolute time `at` (clamped to Now()).
-  EventId Schedule(SimTime at, std::function<void()> fn);
-  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  EventId Schedule(SimTime at, EventFn fn);
+  EventId ScheduleAfter(SimDuration delay, EventFn fn) {
     return Schedule(now_ + delay, std::move(fn));
   }
 
-  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  // Cancels a pending event. Returns false if it already ran or was
+  // cancelled. O(1): the node is tombstoned in place (its callback and the
+  // resources it captured are released immediately) and reclaimed when it
+  // reaches the heap root.
   bool Cancel(EventId id);
 
-  // True if `id` is still pending.
+  // True if `id` is still pending. O(1).
   bool IsPending(EventId id) const;
 
   // Advances the clock by `d`, running every event due in (now, now+d] in
@@ -66,16 +81,57 @@ class EventQueue {
   // `deadline`. Models a thread blocking on a condition with a timeout.
   bool RunUntilFlag(const bool* flag, SimTime deadline = SimTime::Max());
 
-  size_t pending_count() const { return events_.size(); }
+  // Number of pending (scheduled, not yet run or cancelled) events.
+  size_t pending_count() const { return live_; }
+
+  // Lifetime counters for the sim-core bench: events executed, and the
+  // high-water node count (slab slots ever allocated — the queue's memory
+  // footprint is this many fixed-size nodes, regardless of churn).
+  uint64_t executed_count() const { return executed_; }
+  size_t allocated_nodes() const { return slabs_.size() * kNodesPerSlab; }
 
  private:
-  // Key orders by (time, insertion sequence) for deterministic FIFO ties.
-  using Key = std::pair<SimTime, uint64_t>;
+  struct Node {
+    SimTime at;
+    uint64_t seq = 0;  // Insertion sequence: FIFO tie-break within a time.
+    Node* child = nullptr;
+    Node* sibling = nullptr;
+    uint32_t slot = 0;  // Index into the slab array; fixed for life.
+    uint32_t gen = 1;   // Bumped on free, so stale EventIds never resolve.
+    bool in_use = false;
+    bool cancelled = false;
+    EventFn fn;
+  };
+
+  static constexpr size_t kNodesPerSlab = 256;
+
+  // a fires strictly before b. (at, seq) is a total order: deterministic.
+  static bool Before(const Node* a, const Node* b) {
+    return a->at < b->at || (a->at == b->at && a->seq < b->seq);
+  }
+  static Node* Merge(Node* a, Node* b);
+  // Standard two-pass pairing-heap combine of a popped root's child list,
+  // iterative so million-event queues never recurse.
+  static Node* MergePairs(Node* first);
+
+  Node* Acquire();
+  void Release(Node* n);
+  // Discards tombstoned (cancelled) nodes at the root; returns the earliest
+  // live node without popping it, or nullptr if none remain.
+  Node* PeekLive();
+  // Pops the root (must be PeekLive()'s result), advances the clock to it,
+  // releases its node, and returns its callback ready to invoke.
+  EventFn TakeDue();
+
+  Node* NodeFor(EventId id) const;
 
   SimTime now_ = SimTime::Epoch();
   uint64_t next_seq_ = 1;
-  std::map<Key, std::function<void()>> events_;
-  std::map<EventId, Key> index_;
+  Node* root_ = nullptr;
+  std::vector<std::unique_ptr<Node[]>> slabs_;
+  std::vector<Node*> free_;
+  size_t live_ = 0;
+  uint64_t executed_ = 0;
 };
 
 }  // namespace keypad

@@ -16,12 +16,51 @@ enum Tag : uint8_t {
   kStruct = 6,
 };
 
-void PutVarint(Bytes& out, uint64_t v) {
+// RPC frame header.
+constexpr char kFrameMagic[] = "KPB1";
+constexpr size_t kFrameMagicLen = 4;
+enum FrameKind : uint8_t {
+  kCallFrame = 0,
+  kResponseFrame = 1,
+  kFaultFrame = 2,
+};
+
+// The encode path is generic over the output buffer (Bytes for the bare
+// value API, std::string for the RPC hot path) so neither pays a
+// conversion copy.
+
+template <typename Buf>
+void PutByte(Buf& out, uint8_t v) {
+  if constexpr (std::is_same_v<Buf, Bytes>) {
+    out.push_back(v);
+  } else {
+    out.push_back(static_cast<char>(v));
+  }
+}
+
+template <typename Buf>
+void PutVarint(Buf& out, uint64_t v) {
   while (v >= 0x80) {
-    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    PutByte(out, static_cast<uint8_t>(v) | 0x80);
     v >>= 7;
   }
-  out.push_back(static_cast<uint8_t>(v));
+  PutByte(out, static_cast<uint8_t>(v));
+}
+
+template <typename Buf>
+void PutBlob(Buf& out, const uint8_t* data, size_t len) {
+  if constexpr (std::is_same_v<Buf, Bytes>) {
+    out.insert(out.end(), data, data + len);
+  } else {
+    out.append(reinterpret_cast<const char*>(data), len);
+  }
+}
+
+template <typename Buf>
+void PutU64Be(Buf& out, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    PutByte(out, static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
 }
 
 uint64_t ZigZag(int64_t v) {
@@ -33,43 +72,45 @@ int64_t UnZigZag(uint64_t v) {
   return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
 }
 
-void EncodeInto(Bytes& out, const WireValue& value) {
+template <typename Buf>
+void EncodeInto(Buf& out, const WireValue& value) {
   if (value.is_int()) {
-    out.push_back(kInt);
+    PutByte(out, kInt);
     PutVarint(out, ZigZag(*value.AsInt()));
   } else if (value.is_bool()) {
-    out.push_back(kBool);
-    out.push_back(*value.AsBool() ? 1 : 0);
+    PutByte(out, kBool);
+    PutByte(out, *value.AsBool() ? 1 : 0);
   } else if (value.is_double()) {
-    out.push_back(kDouble);
+    PutByte(out, kDouble);
     double d = *value.AsDouble();
     uint64_t bits;
     std::memcpy(&bits, &d, 8);
-    AppendU64Be(out, bits);
+    PutU64Be(out, bits);
   } else if (value.is_string()) {
-    out.push_back(kString);
-    std::string s = *value.AsString();
+    PutByte(out, kString);
+    const auto& s = std::get<std::string>(value.raw());
     PutVarint(out, s.size());
-    Append(out, s);
+    PutBlob(out, reinterpret_cast<const uint8_t*>(s.data()), s.size());
   } else if (value.is_bytes()) {
-    out.push_back(kBytes);
-    Bytes b = *value.AsBytes();
+    PutByte(out, kBytes);
+    const auto& b = std::get<Bytes>(value.raw());
     PutVarint(out, b.size());
-    Append(out, b);
+    PutBlob(out, b.data(), b.size());
   } else if (value.is_array()) {
-    out.push_back(kArray);
+    PutByte(out, kArray);
     const auto& items = std::get<WireValue::Array>(value.raw());
     PutVarint(out, items.size());
     for (const auto& item : items) {
       EncodeInto(out, item);
     }
   } else {
-    out.push_back(kStruct);
+    PutByte(out, kStruct);
     const auto& members = std::get<WireValue::Struct>(value.raw());
     PutVarint(out, members.size());
     for (const auto& [name, member] : members) {
       PutVarint(out, name.size());
-      Append(out, name);
+      PutBlob(out, reinterpret_cast<const uint8_t*>(name.data()),
+              name.size());
       EncodeInto(out, member);
     }
   }
@@ -77,10 +118,10 @@ void EncodeInto(Bytes& out, const WireValue& value) {
 
 class Cursor {
  public:
-  explicit Cursor(const Bytes& data) : data_(data) {}
+  Cursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
   Result<uint8_t> NextByte() {
-    if (pos_ >= data_.size()) {
+    if (pos_ >= size_) {
       return DataLossError("binary codec: truncated");
     }
     return data_[pos_++];
@@ -102,14 +143,24 @@ class Cursor {
     }
   }
 
-  Result<Bytes> NextBytes(size_t n) {
-    if (pos_ + n > data_.size()) {
+  // Borrows `n` bytes out of the input (no copy).
+  Result<const uint8_t*> NextRaw(size_t n) {
+    if (n > size_ - pos_ || pos_ > size_) {
       return DataLossError("binary codec: truncated blob");
     }
-    Bytes out(data_.begin() + static_cast<long>(pos_),
-              data_.begin() + static_cast<long>(pos_ + n));
+    const uint8_t* p = data_ + pos_;
     pos_ += n;
-    return out;
+    return p;
+  }
+
+  Result<Bytes> NextBytes(size_t n) {
+    KP_ASSIGN_OR_RETURN(const uint8_t* p, NextRaw(n));
+    return Bytes(p, p + n);
+  }
+
+  Result<std::string> NextString(size_t n) {
+    KP_ASSIGN_OR_RETURN(const uint8_t* p, NextRaw(n));
+    return std::string(reinterpret_cast<const char*>(p), n);
   }
 
   Result<WireValue> NextValue() {
@@ -124,16 +175,16 @@ class Cursor {
         return WireValue(v != 0);
       }
       case kDouble: {
-        KP_ASSIGN_OR_RETURN(Bytes raw, NextBytes(8));
-        uint64_t bits = ReadU64Be(raw.data());
+        KP_ASSIGN_OR_RETURN(const uint8_t* raw, NextRaw(8));
+        uint64_t bits = ReadU64Be(raw);
         double d;
         std::memcpy(&d, &bits, 8);
         return WireValue(d);
       }
       case kString: {
         KP_ASSIGN_OR_RETURN(uint64_t len, NextVarint());
-        KP_ASSIGN_OR_RETURN(Bytes raw, NextBytes(len));
-        return WireValue(StringOf(raw));
+        KP_ASSIGN_OR_RETURN(std::string s, NextString(len));
+        return WireValue(std::move(s));
       }
       case kBytes: {
         KP_ASSIGN_OR_RETURN(uint64_t len, NextVarint());
@@ -143,6 +194,7 @@ class Cursor {
       case kArray: {
         KP_ASSIGN_OR_RETURN(uint64_t count, NextVarint());
         WireValue::Array items;
+        items.reserve(count < 64 ? count : 64);
         for (uint64_t i = 0; i < count; ++i) {
           KP_ASSIGN_OR_RETURN(WireValue item, NextValue());
           items.push_back(std::move(item));
@@ -154,9 +206,9 @@ class Cursor {
         WireValue::Struct members;
         for (uint64_t i = 0; i < count; ++i) {
           KP_ASSIGN_OR_RETURN(uint64_t name_len, NextVarint());
-          KP_ASSIGN_OR_RETURN(Bytes name_raw, NextBytes(name_len));
+          KP_ASSIGN_OR_RETURN(std::string name, NextString(name_len));
           KP_ASSIGN_OR_RETURN(WireValue member, NextValue());
-          members.emplace(StringOf(name_raw), std::move(member));
+          members.emplace(std::move(name), std::move(member));
         }
         return WireValue(std::move(members));
       }
@@ -165,12 +217,22 @@ class Cursor {
     }
   }
 
-  bool AtEnd() const { return pos_ == data_.size(); }
+  bool AtEnd() const { return pos_ == size_; }
 
  private:
-  const Bytes& data_;
+  const uint8_t* data_;
+  size_t size_;
   size_t pos_ = 0;
 };
+
+// Consumes and validates the frame header; returns the kind.
+Result<uint8_t> OpenFrame(Cursor& cursor, std::string_view message) {
+  if (!IsBinaryFrame(message)) {
+    return DataLossError("binary codec: missing frame magic");
+  }
+  KP_RETURN_IF_ERROR(cursor.NextRaw(kFrameMagicLen).status());
+  return cursor.NextByte();
+}
 
 }  // namespace
 
@@ -180,13 +242,111 @@ Bytes BinaryEncode(const WireValue& value) {
   return out;
 }
 
+void BinaryEncodeInto(std::string& out, const WireValue& value) {
+  EncodeInto(out, value);
+}
+
 Result<WireValue> BinaryDecode(const Bytes& data) {
-  Cursor cursor(data);
+  Cursor cursor(data.data(), data.size());
   KP_ASSIGN_OR_RETURN(WireValue value, cursor.NextValue());
   if (!cursor.AtEnd()) {
     return DataLossError("binary codec: trailing bytes");
   }
   return value;
+}
+
+Result<WireValue> BinaryDecode(std::string_view data) {
+  Cursor cursor(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  KP_ASSIGN_OR_RETURN(WireValue value, cursor.NextValue());
+  if (!cursor.AtEnd()) {
+    return DataLossError("binary codec: trailing bytes");
+  }
+  return value;
+}
+
+bool IsBinaryFrame(std::string_view message) {
+  return message.size() > kFrameMagicLen + 1 &&
+         message.compare(0, kFrameMagicLen, kFrameMagic) == 0;
+}
+
+void EncodeBinaryCallInto(std::string& out, std::string_view method,
+                          const WireValue::Array& params) {
+  out.append(kFrameMagic, kFrameMagicLen);
+  PutByte(out, kCallFrame);
+  PutVarint(out, method.size());
+  out += method;
+  PutVarint(out, params.size());
+  for (const WireValue& param : params) {
+    EncodeInto(out, param);
+  }
+}
+
+void EncodeBinaryCallInto(std::string& out, const XmlRpcCall& call) {
+  EncodeBinaryCallInto(out, call.method, call.params);
+}
+
+std::string EncodeBinaryResponse(const WireValue& value) {
+  std::string out;
+  out.append(kFrameMagic, kFrameMagicLen);
+  PutByte(out, kResponseFrame);
+  EncodeInto(out, value);
+  return out;
+}
+
+std::string EncodeBinaryFault(const Status& status) {
+  std::string out;
+  out.append(kFrameMagic, kFrameMagicLen);
+  PutByte(out, kFaultFrame);
+  PutVarint(out, static_cast<uint64_t>(status.code()));
+  PutVarint(out, status.message().size());
+  out += status.message();
+  return out;
+}
+
+Result<XmlRpcCall> DecodeBinaryCall(std::string_view message) {
+  Cursor cursor(reinterpret_cast<const uint8_t*>(message.data()),
+                message.size());
+  KP_ASSIGN_OR_RETURN(uint8_t kind, OpenFrame(cursor, message));
+  if (kind != kCallFrame) {
+    return DataLossError("binary codec: not a call frame");
+  }
+  XmlRpcCall call;
+  KP_ASSIGN_OR_RETURN(uint64_t method_len, cursor.NextVarint());
+  KP_ASSIGN_OR_RETURN(call.method, cursor.NextString(method_len));
+  KP_ASSIGN_OR_RETURN(uint64_t argc, cursor.NextVarint());
+  call.params.reserve(argc < 64 ? argc : 64);
+  for (uint64_t i = 0; i < argc; ++i) {
+    KP_ASSIGN_OR_RETURN(WireValue param, cursor.NextValue());
+    call.params.push_back(std::move(param));
+  }
+  if (!cursor.AtEnd()) {
+    return DataLossError("binary codec: trailing bytes in call");
+  }
+  return call;
+}
+
+Result<XmlRpcResponse> DecodeBinaryResponse(std::string_view message) {
+  Cursor cursor(reinterpret_cast<const uint8_t*>(message.data()),
+                message.size());
+  KP_ASSIGN_OR_RETURN(uint8_t kind, OpenFrame(cursor, message));
+  XmlRpcResponse response;
+  if (kind == kResponseFrame) {
+    KP_ASSIGN_OR_RETURN(response.value, cursor.NextValue());
+  } else if (kind == kFaultFrame) {
+    KP_ASSIGN_OR_RETURN(uint64_t code, cursor.NextVarint());
+    KP_ASSIGN_OR_RETURN(uint64_t msg_len, cursor.NextVarint());
+    KP_ASSIGN_OR_RETURN(std::string msg, cursor.NextString(msg_len));
+    response.fault = Status(static_cast<StatusCode>(code), std::move(msg));
+    if (response.fault.ok()) {
+      return DataLossError("binary codec: fault with OK code");
+    }
+  } else {
+    return DataLossError("binary codec: not a response frame");
+  }
+  if (!cursor.AtEnd()) {
+    return DataLossError("binary codec: trailing bytes in response");
+  }
+  return response;
 }
 
 }  // namespace keypad

@@ -1,0 +1,111 @@
+// BufferPool: an arena of reusable encode buffers for the RPC hot path.
+//
+// Every RPC used to allocate a fresh std::string per marshalling stage
+// (encode, dedup-frame, seal) and discard it after the send. At fleet scale
+// that is millions of allocator round trips per simulated second. A
+// BufferPool keeps the last few released buffers — capacity intact — so a
+// steady-state client marshals every request into memory it already owns.
+//
+// BufferLease is the RAII handle: it hands the buffer back on destruction,
+// so early-return paths in the retry ladder cannot leak pool capacity.
+// Single-threaded by design, like the simulator that hosts it.
+
+#ifndef SRC_WIRE_BUFFER_POOL_H_
+#define SRC_WIRE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace keypad {
+
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t acquires = 0;
+    uint64_t reuses = 0;  // Acquires served from the free list.
+    size_t high_water_capacity = 0;
+  };
+
+  // `max_pooled` bounds how many idle buffers are retained; buffers larger
+  // than `max_buffer_bytes` are dropped on release instead of pooled, so a
+  // single giant snapshot transfer cannot pin its footprint forever.
+  explicit BufferPool(size_t max_pooled = 16,
+                      size_t max_buffer_bytes = 256 * 1024)
+      : max_pooled_(max_pooled), max_buffer_bytes_(max_buffer_bytes) {}
+
+  std::string Acquire() {
+    ++stats_.acquires;
+    if (free_.empty()) {
+      return std::string();
+    }
+    ++stats_.reuses;
+    std::string buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();  // Keeps capacity.
+    return buf;
+  }
+
+  void Release(std::string&& buf) {
+    if (buf.capacity() > stats_.high_water_capacity) {
+      stats_.high_water_capacity = buf.capacity();
+    }
+    if (free_.size() < max_pooled_ && buf.capacity() <= max_buffer_bytes_) {
+      free_.push_back(std::move(buf));
+    }
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  size_t max_pooled_;
+  size_t max_buffer_bytes_;
+  std::vector<std::string> free_;
+  Stats stats_;
+};
+
+// Move-only scoped ownership of a pooled buffer. Holds the pool alive:
+// in-flight requests (queued network closures) routinely outlive the
+// client that marshalled them, so the lease must not dangle.
+class BufferLease {
+ public:
+  BufferLease() = default;
+  explicit BufferLease(std::shared_ptr<BufferPool> pool)
+      : pool_(std::move(pool)), buf_(pool_->Acquire()) {}
+
+  BufferLease(BufferLease&& o) noexcept
+      : pool_(std::move(o.pool_)), buf_(std::move(o.buf_)) {}
+  BufferLease& operator=(BufferLease&& o) noexcept {
+    if (this != &o) {
+      Return();
+      pool_ = std::move(o.pool_);
+      buf_ = std::move(o.buf_);
+    }
+    return *this;
+  }
+  BufferLease(const BufferLease&) = delete;
+  BufferLease& operator=(const BufferLease&) = delete;
+  ~BufferLease() { Return(); }
+
+  std::string& operator*() { return buf_; }
+  const std::string& operator*() const { return buf_; }
+  std::string* operator->() { return &buf_; }
+
+ private:
+  void Return() {
+    if (pool_ != nullptr) {
+      pool_->Release(std::move(buf_));
+      pool_.reset();
+    }
+  }
+
+  std::shared_ptr<BufferPool> pool_;
+  std::string buf_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_WIRE_BUFFER_POOL_H_

@@ -1,0 +1,68 @@
+#include "src/wire/codec.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/wire/binary_codec.h"
+
+namespace keypad {
+
+const char* WireCodecName(WireCodec codec) {
+  return codec == WireCodec::kBinary ? "binary" : "xml";
+}
+
+WireCodec DetectCodec(std::string_view message) {
+  return IsBinaryFrame(message) ? WireCodec::kBinary : WireCodec::kXml;
+}
+
+void EncodeCallInto(WireCodec codec, const XmlRpcCall& call,
+                    std::string& out) {
+  EncodeCallInto(codec, call.method, call.params, out);
+}
+
+void EncodeCallInto(WireCodec codec, std::string_view method,
+                    const WireValue::Array& params, std::string& out) {
+  if (codec == WireCodec::kBinary) {
+    EncodeBinaryCallInto(out, method, params);
+  } else {
+    EncodeXmlRpcCallInto(out, method, params);
+  }
+}
+
+std::string EncodeResponse(WireCodec codec, const WireValue& value) {
+  return codec == WireCodec::kBinary ? EncodeBinaryResponse(value)
+                                     : EncodeXmlRpcResponse(value);
+}
+
+std::string EncodeFault(WireCodec codec, const Status& status) {
+  return codec == WireCodec::kBinary ? EncodeBinaryFault(status)
+                                     : EncodeXmlRpcFault(status);
+}
+
+Result<XmlRpcCall> DecodeCallAuto(std::string_view message) {
+  return DetectCodec(message) == WireCodec::kBinary
+             ? DecodeBinaryCall(message)
+             : DecodeXmlRpcCall(message);
+}
+
+Result<XmlRpcResponse> DecodeResponseAuto(std::string_view message) {
+  return DetectCodec(message) == WireCodec::kBinary
+             ? DecodeBinaryResponse(message)
+             : DecodeXmlRpcResponse(message);
+}
+
+std::optional<WireCodec> WireCodecEnvOverride() {
+  const char* env = std::getenv("KEYPAD_WIRE_CODEC");
+  if (env == nullptr) {
+    return std::nullopt;
+  }
+  if (std::strcmp(env, "xml") == 0) {
+    return WireCodec::kXml;
+  }
+  if (std::strcmp(env, "binary") == 0) {
+    return WireCodec::kBinary;
+  }
+  return std::nullopt;
+}
+
+}  // namespace keypad

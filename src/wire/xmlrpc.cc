@@ -235,16 +235,26 @@ class XmlReader {
 
 }  // namespace
 
-std::string EncodeXmlRpcCall(const XmlRpcCall& call) {
-  std::string out = "<?xml version=\"1.0\"?><methodCall><methodName>";
-  EscapeInto(out, call.method);
+void EncodeXmlRpcCallInto(std::string& out, std::string_view method,
+                          const WireValue::Array& params) {
+  out += "<?xml version=\"1.0\"?><methodCall><methodName>";
+  EscapeInto(out, method);
   out += "</methodName><params>";
-  for (const auto& param : call.params) {
+  for (const auto& param : params) {
     out += "<param>";
     EncodeValueInto(out, param);
     out += "</param>";
   }
   out += "</params></methodCall>";
+}
+
+void EncodeXmlRpcCallInto(std::string& out, const XmlRpcCall& call) {
+  EncodeXmlRpcCallInto(out, call.method, call.params);
+}
+
+std::string EncodeXmlRpcCall(const XmlRpcCall& call) {
+  std::string out;
+  EncodeXmlRpcCallInto(out, call);
   return out;
 }
 

@@ -29,6 +29,10 @@ struct XmlRpcResponse {
 };
 
 std::string EncodeXmlRpcCall(const XmlRpcCall& call);
+// Appending variants: callers assembling a framed request reuse one buffer.
+void EncodeXmlRpcCallInto(std::string& out, const XmlRpcCall& call);
+void EncodeXmlRpcCallInto(std::string& out, std::string_view method,
+                          const WireValue::Array& params);
 Result<XmlRpcCall> DecodeXmlRpcCall(std::string_view xml);
 
 std::string EncodeXmlRpcResponse(const WireValue& value);

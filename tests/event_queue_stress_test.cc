@@ -87,6 +87,147 @@ TEST(EventQueueStressTest, PastDeadlinesClampToNow) {
   EXPECT_TRUE(ran);
 }
 
+TEST(EventQueueStressTest, FifoTieBreakAtScale) {
+  // Thousands of events on a handful of timestamps: within each timestamp
+  // they must fire in exact insertion order, across slab reuse and heap
+  // restructuring.
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 3000; ++i) {
+    q.Schedule(SimTime(100 * (i % 3)), [&fired, i] { fired.push_back(i); });
+  }
+  q.RunUntilIdle();
+  ASSERT_EQ(fired.size(), 3000u);
+  // Expected: all i ≡ 0 (mod 3) in increasing order, then ≡ 1, then ≡ 2.
+  size_t at = 0;
+  for (int wave = 0; wave < 3; ++wave) {
+    int prev = -1;
+    for (int n = 0; n < 1000; ++n, ++at) {
+      EXPECT_EQ(fired[at] % 3, wave);
+      EXPECT_GT(fired[at], prev);
+      prev = fired[at];
+    }
+  }
+}
+
+TEST(EventQueueStressTest, CancelDuringNestedPump) {
+  // A handler that is itself pumping the queue cancels a later event; the
+  // cancelled event must not fire from either the nested or the outer loop,
+  // and pending_count must track it.
+  EventQueue q;
+  int cancelled_ran = 0;
+  int after_ran = 0;
+  EventQueue::EventId victim =
+      q.Schedule(SimTime(300), [&] { ++cancelled_ran; });
+  q.Schedule(SimTime(100), [&] {
+    bool flag = false;
+    q.Schedule(SimTime(200), [&] { flag = true; });
+    EXPECT_TRUE(q.RunUntilFlag(&flag));
+    EXPECT_TRUE(q.IsPending(victim));
+    EXPECT_TRUE(q.Cancel(victim));
+    EXPECT_FALSE(q.IsPending(victim));
+  });
+  q.Schedule(SimTime(400), [&] { ++after_ran; });
+  q.RunUntilIdle();
+  EXPECT_EQ(cancelled_ran, 0);
+  EXPECT_EQ(after_ran, 1);
+  EXPECT_EQ(q.pending_count(), 0u);
+}
+
+TEST(EventQueueStressTest, ScheduleAfterFromRunningEventIsRelative) {
+  // ScheduleAfter inside a running event is relative to that event's fire
+  // time, and a zero delay fires after the current event returns, at the
+  // same timestamp, in FIFO order with anything else already due then.
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime(100), [&] {
+    order.push_back(1);
+    q.ScheduleAfter(SimDuration(0), [&] { order.push_back(3); });
+    q.ScheduleAfter(SimDuration(50), [&] { order.push_back(4); });
+  });
+  q.Schedule(SimTime(100), [&] { order.push_back(2); });
+  q.RunUntilIdle();
+  EXPECT_EQ(order, std::vector<int>({1, 2, 3, 4}));
+  EXPECT_EQ(q.Now(), SimTime(150));
+}
+
+TEST(EventQueueStressTest, PendingCountTracksScheduleCancelRun) {
+  EventQueue q;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.Schedule(SimTime(10 * (i + 1)), [] {}));
+  }
+  EXPECT_EQ(q.pending_count(), 100u);
+  for (int i = 0; i < 100; i += 2) {
+    EXPECT_TRUE(q.Cancel(ids[i]));
+  }
+  EXPECT_EQ(q.pending_count(), 50u);
+  // Double-cancel must not double-decrement.
+  EXPECT_FALSE(q.Cancel(ids[0]));
+  EXPECT_EQ(q.pending_count(), 50u);
+  q.AdvanceBy(SimDuration(500));  // Runs the odd-indexed first half.
+  EXPECT_EQ(q.pending_count(), 25u);
+  q.RunUntilIdle();
+  EXPECT_EQ(q.pending_count(), 0u);
+  EXPECT_EQ(q.executed_count(), 50u);
+}
+
+TEST(EventQueueStressTest, StaleIdsNeverResolveAfterSlotReuse) {
+  // An EventId from a fired (or cancelled) event must stay dead even after
+  // its slab slot has been recycled by later events — the generation tag in
+  // the id must not alias the slot's new occupant.
+  EventQueue q;
+  EventQueue::EventId fired_id = q.Schedule(SimTime(1), [] {});
+  EventQueue::EventId cancelled_id = q.Schedule(SimTime(2), [] {});
+  EXPECT_TRUE(q.Cancel(cancelled_id));
+  q.RunUntilIdle();
+  // Recycle every slot many times over.
+  int ran = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 400; ++i) {
+      q.ScheduleAfter(SimDuration(1), [&ran] { ++ran; });
+    }
+    q.RunUntilIdle();
+  }
+  EXPECT_EQ(ran, 4000);
+  EXPECT_FALSE(q.IsPending(fired_id));
+  EXPECT_FALSE(q.IsPending(cancelled_id));
+  EXPECT_FALSE(q.Cancel(fired_id));
+  EXPECT_FALSE(q.Cancel(cancelled_id));
+  EXPECT_FALSE(q.Cancel(EventQueue::kInvalidEvent));
+}
+
+TEST(EventQueueStressTest, CancelStormStaysOrdered) {
+  // Heavy cancellation (the RPC-timer pattern: schedule a timeout, cancel
+  // it on completion) interleaved with firing; survivors stay time-ordered
+  // and tombstones never fire.
+  SimRandom rng(3);
+  EventQueue q;
+  std::vector<SimTime> fired;
+  std::vector<EventQueue::EventId> open;
+  size_t cancelled = 0, scheduled = 0;
+  for (int round = 0; round < 300; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      SimTime at = q.Now() + SimDuration(static_cast<int64_t>(
+                                 rng.UniformU64(5000) + 1));
+      open.push_back(q.Schedule(at, [&fired, &q] { fired.push_back(q.Now()); }));
+      ++scheduled;
+    }
+    // Cancel a random half of whatever is still open.
+    for (size_t i = 0; i < open.size(); ++i) {
+      if (rng.Bernoulli(0.5)) {
+        cancelled += q.Cancel(open[i]);
+      }
+    }
+    open.clear();
+    q.AdvanceBy(SimDuration(static_cast<int64_t>(rng.UniformU64(3000))));
+  }
+  q.RunUntilIdle();
+  EXPECT_EQ(fired.size(), scheduled - cancelled);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(q.pending_count(), 0u);
+}
+
 TEST(EventQueueStressTest, DeterministicAcrossRuns) {
   auto run_once = [](uint64_t seed) {
     SimRandom rng(seed);

@@ -627,5 +627,113 @@ TEST_F(RpcTest, BytesFlowOverLink) {
   EXPECT_EQ(link_.messages_sent(), 2u);
 }
 
+// --- Wire-codec negotiation (DESIGN.md §11). --------------------------------
+
+TEST_F(RpcTest, BinaryCodecRoundTripsAndConfirms) {
+  client_.set_codec(WireCodec::kBinary);
+  auto result = client_.Call("echo", {WireValue("compact")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->AsString(), "compact");
+  EXPECT_EQ(client_.codec(), WireCodec::kBinary);
+  EXPECT_EQ(client_.codec_downgrades(), 0u);
+  // The confirmed probe sticks for subsequent calls.
+  EXPECT_TRUE(client_.Call("echo", {WireValue(int64_t{7})}).ok());
+  EXPECT_EQ(client_.codec(), WireCodec::kBinary);
+}
+
+TEST_F(RpcTest, BinaryShrinksBytesOnTheWire) {
+  client_.Call("echo", {WireValue("payload"), WireValue(int64_t{42})});
+  uint64_t xml_bytes = link_.bytes_sent();
+  link_.ResetCounters();
+  client_.set_codec(WireCodec::kBinary);
+  client_.Call("echo", {WireValue("payload"), WireValue(int64_t{42})});
+  EXPECT_LT(link_.bytes_sent() * 3, xml_bytes);  // >3x smaller end to end.
+}
+
+TEST_F(RpcTest, BinaryProbeFallsBackAgainstXmlOnlyServer) {
+  // A legacy server answers the binary probe with an XML decode fault; the
+  // client must latch XML, resend under a fresh request id, and complete
+  // the SAME logical call with the real answer — transparently.
+  server_.set_xml_only(true);
+  client_.set_codec(WireCodec::kBinary);
+  auto result = client_.Call("echo", {WireValue("legacy")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->AsString(), "legacy");
+  EXPECT_EQ(client_.codec(), WireCodec::kXml);
+  EXPECT_EQ(client_.codec_downgrades(), 1u);
+  // Both the probe and the re-frame executed exactly one handler call:
+  // the probe died in decode, the XML resend ran the method.
+  EXPECT_EQ(server_.requests_executed(), 1u);
+  // Later calls go straight to XML — one downgrade per client, not per call.
+  EXPECT_TRUE(client_.Call("echo", {WireValue("again")}).ok());
+  EXPECT_EQ(client_.codec_downgrades(), 1u);
+}
+
+TEST_F(RpcTest, FallbackResendSurvivesReplyCache) {
+  // The downgrade resend MUST use a fresh sequence number: the probe's id
+  // is bound to the decode fault in the reply cache, and replaying it
+  // would return the fault forever.
+  server_.set_xml_only(true);
+  client_.set_codec(WireCodec::kBinary);
+  ASSERT_TRUE(client_.Call("echo", {WireValue(int64_t{1})}).ok());
+  EXPECT_EQ(server_.reply_cache().hits(), 0u);
+  // A second client against the same server negotiates independently.
+  RpcClient other(&queue_, &link_, &server_,
+                  RpcOptions{.codec = WireCodec::kBinary});
+  ASSERT_TRUE(other.Call("echo", {WireValue(int64_t{2})}).ok());
+  EXPECT_EQ(other.codec(), WireCodec::kXml);
+}
+
+TEST_F(RpcTest, ChannelPreferenceSelectsBinaryUnderSealing) {
+  // Channel security and binary framing negotiate together: enabling the
+  // sealed channel adopts its codec preference, and sealed binary frames
+  // round-trip (the dedup frame and codec payload travel INSIDE the
+  // envelope, so sealing is codec-oblivious).
+  SecureRandom client_rng(99), server_rng(99);
+  Bytes root = BytesOf("negotiated-root-secret");
+  SecureChannel client_chan(root, SimDuration::Seconds(60));
+  SecureChannel server_chan(root, SimDuration::Seconds(60));
+  client_chan.set_preferred_codec(WireCodec::kBinary);
+  server_.EnableChannelSecurity(
+      [&](const std::string& device_id) -> SecureChannel* {
+        return device_id == "dev-1" ? &server_chan : nullptr;
+      },
+      &server_rng);
+  client_.EnableChannelSecurity(&client_chan, "dev-1", &client_rng);
+  EXPECT_EQ(client_.codec(), WireCodec::kBinary);
+  auto result = client_.Call("echo", {WireValue("sealed+binary")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->AsString(), "sealed+binary");
+  EXPECT_EQ(client_.codec(), WireCodec::kBinary);
+  EXPECT_EQ(client_.codec_downgrades(), 0u);
+}
+
+TEST_F(RpcTest, AsyncCallNegotiatesFallbackToo) {
+  server_.set_xml_only(true);
+  client_.set_codec(WireCodec::kBinary);
+  bool called = false;
+  client_.CallAsync("echo", {WireValue("async-legacy")},
+                    [&](Result<WireValue> r) {
+                      called = true;
+                      ASSERT_TRUE(r.ok());
+                      EXPECT_EQ(*r->AsString(), "async-legacy");
+                    });
+  queue_.RunUntilIdle();
+  EXPECT_TRUE(called);
+  EXPECT_EQ(client_.codec(), WireCodec::kXml);
+  EXPECT_EQ(client_.codec_downgrades(), 1u);
+}
+
+TEST_F(RpcTest, EncodeBuffersAreReused) {
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client_.Call("echo", {WireValue(int64_t{i})}).ok());
+  }
+  const BufferPool::Stats& stats = client_.encode_buffer_stats();
+  EXPECT_EQ(stats.acquires, 8u);
+  // Sequential calls return their buffer before the next acquires: every
+  // call after the first reuses warmed capacity.
+  EXPECT_EQ(stats.reuses, 7u);
+}
+
 }  // namespace
 }  // namespace keypad
