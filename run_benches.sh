@@ -1,36 +1,53 @@
 #!/bin/bash
-# Runs every bench binary, teeing combined output.
+# Runs every bench binary, teeing combined output. Any bench exiting
+# nonzero fails the whole run: the failing cell is named in the output and
+# the script exits 1 (benches gate invariants, not just numbers).
 set -u
 out="${1:-/root/repo/bench_output.txt}"
 : > "$out"
+failed=()
 for b in /root/repo/build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
-  echo "### $(basename "$b")" | tee -a "$out"
-  if [[ "$(basename "$b")" == "bench_crypto_micro" ]]; then
+  name="$(basename "$b")"
+  echo "### $name" | tee -a "$out"
+  if [[ "$name" == "bench_crypto_micro" ]]; then
     # JSON copy captures per-backend throughput (one entry per dispatch
     # tier, each labeled with the kernel that produced it).
     "$b" --benchmark_min_time=0.2 \
          --benchmark_out=/root/repo/BENCH_crypto.json \
          --benchmark_out_format=json >> "$out" 2>&1
-  elif [[ "$(basename "$b")" == "bench_resilience" ]]; then
+  elif [[ "$name" == "bench_resilience" ]]; then
     # Goodput + latency tails vs. loss rate / outage schedule (DESIGN.md §7).
     "$b" /root/repo/BENCH_resilience.json >> "$out" 2>&1
-  elif [[ "$(basename "$b")" == "bench_scale" ]]; then
+  elif [[ "$name" == "bench_scale" ]]; then
     # Sharded key tier: goodput vs. shard count, group commit, coalescing
     # (DESIGN.md §8).
     "$b" /root/repo/BENCH_scale.json >> "$out" 2>&1
-  elif [[ "$(basename "$b")" == "bench_fleet" ]]; then
+  elif [[ "$name" == "bench_fleet" ]]; then
     # Simulator core + fleet scale: event-queue and codec micro-ablations
     # plus the 100k-device fleet cells (DESIGN.md §11).
     "$b" /root/repo/BENCH_simcore.json >> "$out" 2>&1
-  elif [[ "$(basename "$b")" == "bench_availability" ]]; then
+  elif [[ "$name" == "bench_availability" ]]; then
     # Replicated service tiers: goodput timelines across key-tier and
     # metadata-tier leader kills, plus the partition/heal reconciliation
     # cycle (DESIGN.md §9–§10).
     "$b" /root/repo/BENCH_availability.json >> "$out" 2>&1
+  elif [[ "$name" == "bench_durability" ]]; then
+    # Crash-consistent storage tier: journal replay, scrub throughput,
+    # restore-after-theft, crash-point explorer (DESIGN.md §12).
+    "$b" /root/repo/BENCH_durability.json >> "$out" 2>&1
   else
     "$b" >> "$out" 2>&1
   fi
+  status=$?
+  if [[ "$status" -ne 0 ]]; then
+    echo "FAILED: $name (exit $status)" | tee -a "$out"
+    failed+=("$name")
+  fi
   echo >> "$out"
 done
+if [[ "${#failed[@]}" -ne 0 ]]; then
+  echo "BENCH FAILURES: ${failed[*]}" | tee -a "$out"
+  exit 1
+fi
 echo "ALL BENCHES DONE" | tee -a "$out"

@@ -1,49 +1,191 @@
 #include "src/blockdev/block_device.h"
 
+#include <utility>
+
 namespace keypad {
 
-Result<Bytes> BlockDevice::ReadObject(const ObjectId& id) const {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
-    return NotFoundError("block device: no object " + id.ToHex());
+const Bytes& BlockDevice::ReadSuperblock() const {
+  if (staged_superblock_.has_value()) {
+    return *staged_superblock_;
   }
-  ++reads_;
-  return it->second;
+  return backend_->ReadSuperblock();
+}
+
+void BlockDevice::WriteSuperblock(Bytes data) {
+  ++writes_;
+  StageOp(StorageOp::PutSuperblock(std::move(data)));
+}
+
+Result<Bytes> BlockDevice::ReadObject(const ObjectId& id) const {
+  if (in_txn_) {
+    auto it = staged_objects_.find(id);
+    if (it != staged_objects_.end()) {
+      ++reads_;
+      return it->second;
+    }
+    if (staged_deleted_.count(id) > 0) {
+      return NotFoundError("block device: no object " + id.ToHex());
+    }
+  }
+  auto result = backend_->ReadObject(id);
+  if (result.ok()) {
+    ++reads_;
+  }
+  return result;
 }
 
 void BlockDevice::WriteObject(const ObjectId& id, Bytes data) {
   ++writes_;
-  objects_[id] = std::move(data);
+  StageOp(StorageOp::Put(id, std::move(data)));
 }
 
 Status BlockDevice::DeleteObject(const ObjectId& id) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
+  if (!HasObject(id)) {
     return NotFoundError("block device: no object " + id.ToHex());
   }
-  objects_.erase(it);
-  return Status::Ok();
+  ++writes_;
+  StageOp(StorageOp::Delete(id));
+  return last_error_;
 }
 
 bool BlockDevice::HasObject(const ObjectId& id) const {
-  return objects_.find(id) != objects_.end();
+  if (in_txn_) {
+    if (staged_objects_.count(id) > 0) {
+      return true;
+    }
+    if (staged_deleted_.count(id) > 0) {
+      return false;
+    }
+  }
+  return backend_->HasObject(id);
 }
 
 std::vector<ObjectId> BlockDevice::ListObjects() const {
-  std::vector<ObjectId> out;
-  out.reserve(objects_.size());
-  for (const auto& [id, data] : objects_) {
-    out.push_back(id);
+  std::vector<ObjectId> out = backend_->ListObjects();
+  if (in_txn_) {
+    std::set<ObjectId> merged(out.begin(), out.end());
+    for (const auto& [id, data] : staged_objects_) {
+      merged.insert(id);
+    }
+    for (const ObjectId& id : staged_deleted_) {
+      merged.erase(id);
+    }
+    out.assign(merged.begin(), merged.end());
   }
   return out;
 }
 
-size_t BlockDevice::TotalBytes() const {
-  size_t total = superblock_.size();
-  for (const auto& [id, data] : objects_) {
-    total += data.size();
+void BlockDevice::Begin() {
+  // Nested Begin() is a programming error in this codebase; flatten it by
+  // folding into the already-open transaction.
+  in_txn_ = true;
+}
+
+Status BlockDevice::Commit() {
+  in_txn_ = false;
+  staged_objects_.clear();
+  staged_deleted_.clear();
+  staged_superblock_.reset();
+  if (staged_.empty()) {
+    return last_error_;
   }
-  return total;
+  std::vector<StorageOp> batch = std::move(staged_);
+  staged_.clear();
+  for (const StorageOp& op : batch) {
+    MarkDirty(op);
+  }
+  Status status = backend_->Apply(std::move(batch));
+  if (status.ok() && auto_sync_) {
+    status = backend_->Sync();
+  }
+  if (!status.ok() && last_error_.ok()) {
+    last_error_ = status;
+  }
+  return status;
+}
+
+void BlockDevice::Abort() {
+  in_txn_ = false;
+  staged_.clear();
+  staged_objects_.clear();
+  staged_deleted_.clear();
+  staged_superblock_.reset();
+}
+
+Status BlockDevice::Sync() {
+  Status status = backend_->Sync();
+  if (!status.ok() && last_error_.ok()) {
+    last_error_ = status;
+  }
+  return status;
+}
+
+BlockDevice BlockDevice::Snapshot() const {
+  // Clone the live medium image (including any unsynced write cache — an
+  // attacker imaging a running device captures it too), but not the I/O
+  // counters: those are telemetry about *this* device's history.
+  return BlockDevice(backend_->Clone());
+}
+
+BlockDevice BlockDevice::RecoverCrashImage(RecoveryReport* report) const {
+  return BlockDevice(backend_->RecoverFromCrash(report));
+}
+
+BlockDevice::DirtySet BlockDevice::TakeDirty() {
+  DirtySet out;
+  out.modified.assign(dirty_modified_.begin(), dirty_modified_.end());
+  out.deleted.assign(dirty_deleted_.begin(), dirty_deleted_.end());
+  out.superblock = dirty_superblock_;
+  dirty_modified_.clear();
+  dirty_deleted_.clear();
+  dirty_superblock_ = false;
+  return out;
+}
+
+void BlockDevice::StageOp(StorageOp op) {
+  if (in_txn_) {
+    switch (op.kind) {
+      case StorageOp::Kind::kPut:
+        staged_deleted_.erase(op.id);
+        staged_objects_[op.id] = op.data;
+        break;
+      case StorageOp::Kind::kDelete:
+        staged_objects_.erase(op.id);
+        staged_deleted_.insert(op.id);
+        break;
+      case StorageOp::Kind::kPutSuperblock:
+        staged_superblock_ = op.data;
+        break;
+    }
+    staged_.push_back(std::move(op));
+    return;
+  }
+  MarkDirty(op);
+  std::vector<StorageOp> batch;
+  batch.push_back(std::move(op));
+  Status status = backend_->Apply(std::move(batch));
+  if (status.ok() && auto_sync_) {
+    status = backend_->Sync();
+  }
+  if (!status.ok() && last_error_.ok()) {
+    last_error_ = status;
+  }
+}
+
+void BlockDevice::MarkDirty(const StorageOp& op) {
+  switch (op.kind) {
+    case StorageOp::Kind::kPut:
+      dirty_deleted_.erase(op.id);
+      dirty_modified_.insert(op.id);
+      break;
+    case StorageOp::Kind::kDelete:
+      dirty_modified_.erase(op.id);
+      dirty_deleted_.insert(op.id);
+      break;
+    case StorageOp::Kind::kPutSuperblock:
+      dirty_superblock_ = true;
+      break;
+  }
 }
 
 }  // namespace keypad

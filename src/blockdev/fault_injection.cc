@@ -1,0 +1,48 @@
+#include "src/blockdev/fault_injection.h"
+
+#include <cmath>
+
+namespace keypad {
+
+size_t FaultInjector::OnMediumWrite(size_t size) {
+  uint64_t index = writes_seen_++;
+  if (!armed_ || crashed_ || index != crash_point_) {
+    return size;
+  }
+  crashed_ = true;
+  size_t kept = static_cast<size_t>(
+      std::floor(static_cast<double>(size) * torn_fraction_));
+  if (kept >= size && size > 0) {
+    kept = size - 1;  // Arming a crash always loses at least one byte.
+  }
+  return kept;
+}
+
+BitRotReport InjectBitRot(StorageBackend& backend, SimRandom& rng,
+                          size_t flips) {
+  BitRotReport report;
+  std::vector<StoredObjectInfo> stored = backend.ScanStoredObjects();
+  // Only non-empty objects can rot.
+  std::vector<const StoredObjectInfo*> candidates;
+  for (const StoredObjectInfo& info : stored) {
+    if (info.size > 0) {
+      candidates.push_back(&info);
+    }
+  }
+  if (candidates.empty()) {
+    return report;
+  }
+  for (size_t i = 0; i < flips; ++i) {
+    const StoredObjectInfo* victim =
+        candidates[rng.UniformU64(candidates.size())];
+    size_t byte_index = rng.UniformU64(victim->size);
+    uint8_t mask = static_cast<uint8_t>(1u << rng.UniformU64(8));
+    if (backend.DamageStoredObject(victim->id, byte_index, mask).ok()) {
+      report.damaged.push_back(victim->id);
+      ++report.flips_applied;
+    }
+  }
+  return report;
+}
+
+}  // namespace keypad

@@ -1,0 +1,73 @@
+// Storage fault injection (DESIGN.md §12).
+//
+// FaultInjector implements StorageBackend::MediumObserver: it counts every
+// durable medium write and, when armed, cuts the power at a chosen write
+// index — optionally mid-write, so only a prefix of that write lands (a
+// torn write). The crash-point explorer arms it at every index in turn.
+//
+// InjectBitRot flips random bits in the durable object area without
+// updating integrity tags — the silent-corruption case the scrubber must
+// detect and repair.
+
+#ifndef SRC_BLOCKDEV_FAULT_INJECTION_H_
+#define SRC_BLOCKDEV_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/blockdev/storage_backend.h"
+#include "src/sim/random.h"
+
+namespace keypad {
+
+class FaultInjector : public StorageBackend::MediumObserver {
+ public:
+  // Cut the power at the `point`-th medium write (0-based), letting
+  // floor(size * torn_fraction) bytes of that write reach the medium.
+  // torn_fraction 0.0 = clean power-fail just before the write; anything
+  // in (0, 1) = torn write.
+  void ArmCrash(uint64_t point, double torn_fraction = 0.0) {
+    armed_ = true;
+    crash_point_ = point;
+    torn_fraction_ = torn_fraction;
+  }
+  void Disarm() { armed_ = false; }
+
+  // Clears arming, the crash flag, and the write counter.
+  void Reset() {
+    armed_ = false;
+    crashed_ = false;
+    writes_seen_ = 0;
+  }
+
+  // Medium writes observed since the last Reset(). Running a workload with
+  // the injector attached but disarmed counts the total injection points.
+  uint64_t writes_seen() const { return writes_seen_; }
+  bool crashed() const { return crashed_; }
+
+  size_t OnMediumWrite(size_t size) override;
+
+ private:
+  bool armed_ = false;
+  uint64_t crash_point_ = 0;
+  double torn_fraction_ = 0.0;
+  uint64_t writes_seen_ = 0;
+  bool crashed_ = false;
+};
+
+struct BitRotReport {
+  // Objects whose stored bytes were flipped (duplicates possible if several
+  // flips hit the same object).
+  std::vector<ObjectId> damaged;
+  uint64_t flips_applied = 0;
+};
+
+// Applies `flips` single-byte XOR corruptions at random offsets of random
+// stored objects. Tags are left intact, so every damaged object scans as
+// tag_ok == false.
+BitRotReport InjectBitRot(StorageBackend& backend, SimRandom& rng,
+                          size_t flips);
+
+}  // namespace keypad
+
+#endif  // SRC_BLOCKDEV_FAULT_INJECTION_H_

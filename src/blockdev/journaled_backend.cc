@@ -1,0 +1,494 @@
+// Journaled storage backend: batch-atomic durability via a write-ahead
+// journal (DESIGN.md §12).
+//
+// Medium layout (all simulated, but byte-faithful):
+//
+//   object area   map<ObjectId, {data, tag}> + superblock slot — only ever
+//                 rewritten during checkpoint or journal replay
+//   journal       flat byte log of framed records
+//
+// Record framing:
+//
+//   u8  type        1=BEGIN 2=OP 3=COMMIT 4=TRUNCATE
+//   u64 txn_id      big-endian
+//   u32 payload_len big-endian
+//   ..  payload     OP: u8 kind | 16-byte object id | u32 data_len | data
+//   u32 checksum    first 4 bytes of SHA-256 over (type..payload)
+//
+// Apply() stages one BEGIN + n OP + COMMIT record chain and updates the
+// in-memory view; Sync() flushes staged records to the journal, each flush
+// an independent medium write (= one crash-injection point). A transaction
+// is durable iff its COMMIT record landed intact: recovery replays
+// committed transactions in order and discards everything after the first
+// torn or checksum-failing record. A TRUNCATE record logically resets the
+// journal after a checkpoint folds committed state into the object area;
+// the fold itself is crash-safe because the journal is only truncated
+// after every object write succeeded — replay is idempotent.
+
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "src/blockdev/storage_backend.h"
+
+namespace keypad {
+namespace {
+
+constexpr uint8_t kRecBegin = 1;
+constexpr uint8_t kRecOp = 2;
+constexpr uint8_t kRecCommit = 3;
+constexpr uint8_t kRecTruncate = 4;
+
+// type + txn_id + payload_len prefix, checksum suffix.
+constexpr size_t kRecHeaderSize = 1 + 8 + 4;
+constexpr size_t kRecChecksumSize = 4;
+
+uint32_t RecordChecksum(const uint8_t* data, size_t len) {
+  Sha256 h;
+  h.Update(data, len);
+  Sha256::Digest d = h.Finish();
+  return ReadU32Be(d.data());
+}
+
+Bytes EncodeRecord(uint8_t type, uint64_t txn_id, const Bytes& payload) {
+  Bytes rec;
+  rec.reserve(kRecHeaderSize + payload.size() + kRecChecksumSize);
+  rec.push_back(type);
+  AppendU64Be(rec, txn_id);
+  AppendU32Be(rec, static_cast<uint32_t>(payload.size()));
+  Append(rec, payload);
+  AppendU32Be(rec, RecordChecksum(rec.data(), rec.size()));
+  return rec;
+}
+
+constexpr size_t kIdSize = sizeof(ObjectId{}.v);
+
+Bytes EncodeOpPayload(const StorageOp& op) {
+  Bytes payload;
+  payload.reserve(1 + kIdSize + 4 + op.data.size());
+  payload.push_back(static_cast<uint8_t>(op.kind));
+  payload.insert(payload.end(), op.id.v.begin(), op.id.v.end());
+  AppendU32Be(payload, static_cast<uint32_t>(op.data.size()));
+  Append(payload, op.data);
+  return payload;
+}
+
+struct ParsedRecord {
+  uint8_t type = 0;
+  uint64_t txn_id = 0;
+  Bytes payload;
+};
+
+// Parses one record at `off`. Returns false on a torn tail or checksum
+// failure — the caller must stop scanning.
+bool ParseRecord(const Bytes& journal, size_t off, ParsedRecord* out,
+                 size_t* next_off) {
+  if (journal.size() - off < kRecHeaderSize + kRecChecksumSize) {
+    return false;
+  }
+  const uint8_t* p = journal.data() + off;
+  uint8_t type = p[0];
+  uint64_t txn_id = ReadU64Be(p + 1);
+  uint32_t payload_len = ReadU32Be(p + 9);
+  size_t total = kRecHeaderSize + payload_len + kRecChecksumSize;
+  if (payload_len > journal.size() - off ||
+      journal.size() - off < total) {
+    return false;
+  }
+  uint32_t want = ReadU32Be(p + kRecHeaderSize + payload_len);
+  if (RecordChecksum(p, kRecHeaderSize + payload_len) != want) {
+    return false;
+  }
+  out->type = type;
+  out->txn_id = txn_id;
+  out->payload.assign(p + kRecHeaderSize, p + kRecHeaderSize + payload_len);
+  *next_off = off + total;
+  return true;
+}
+
+bool ParseOpPayload(const Bytes& payload, StorageOp* op) {
+  if (payload.size() < 1 + kIdSize + 4) {
+    return false;
+  }
+  uint8_t kind = payload[0];
+  if (kind < 1 || kind > 3) {
+    return false;
+  }
+  op->kind = static_cast<StorageOp::Kind>(kind);
+  std::memcpy(op->id.v.data(), payload.data() + 1, kIdSize);
+  uint32_t data_len = ReadU32Be(payload.data() + 1 + kIdSize);
+  if (payload.size() != 1 + kIdSize + 4 + data_len) {
+    return false;
+  }
+  op->data.assign(payload.begin() + 1 + kIdSize + 4, payload.end());
+  return true;
+}
+
+class JournaledBackend final : public StorageBackend {
+ public:
+  explicit JournaledBackend(JournalOptions options) : options_(options) {}
+
+  StorageBackendKind kind() const override {
+    return StorageBackendKind::kJournaled;
+  }
+
+  // --- Reads serve the in-memory (logical) view. ---------------------------
+  Result<Bytes> ReadObject(const ObjectId& id) const override {
+    auto it = mem_objects_.find(id);
+    if (it == mem_objects_.end()) {
+      return NotFoundError("storage: no object " + id.ToHex());
+    }
+    return it->second;
+  }
+
+  bool HasObject(const ObjectId& id) const override {
+    return mem_objects_.find(id) != mem_objects_.end();
+  }
+
+  std::vector<ObjectId> ListObjects() const override {
+    std::vector<ObjectId> out;
+    out.reserve(mem_objects_.size());
+    for (const auto& [id, data] : mem_objects_) {
+      out.push_back(id);
+    }
+    return out;
+  }
+
+  const Bytes& ReadSuperblock() const override { return mem_superblock_; }
+  size_t ObjectCount() const override { return mem_objects_.size(); }
+
+  size_t TotalBytes() const override {
+    size_t total = mem_superblock_.size();
+    for (const auto& [id, data] : mem_objects_) {
+      total += data.size();
+    }
+    return total;
+  }
+
+  // --- Mutations. ----------------------------------------------------------
+  Status Apply(std::vector<StorageOp> batch) override {
+    if (powered_off_) {
+      return UnavailableError("storage: device powered off");
+    }
+    uint64_t txn = next_txn_id_++;
+    staged_records_.push_back(EncodeRecord(kRecBegin, txn, Bytes{}));
+    for (const StorageOp& op : batch) {
+      staged_records_.push_back(EncodeRecord(kRecOp, txn, EncodeOpPayload(op)));
+    }
+    staged_records_.push_back(EncodeRecord(kRecCommit, txn, Bytes{}));
+    // The logical view moves forward immediately; durability waits for
+    // Sync().
+    for (StorageOp& op : batch) {
+      switch (op.kind) {
+        case StorageOp::Kind::kPut:
+          mem_objects_[op.id] = std::move(op.data);
+          break;
+        case StorageOp::Kind::kDelete:
+          mem_objects_.erase(op.id);
+          break;
+        case StorageOp::Kind::kPutSuperblock:
+          mem_superblock_ = std::move(op.data);
+          break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (powered_off_) {
+      return UnavailableError("storage: device powered off");
+    }
+    // Flush staged records in order. Each flush is one medium write and
+    // one crash-injection point; a torn flush persists only a prefix of
+    // the record, which recovery will reject by checksum.
+    while (!staged_records_.empty()) {
+      Bytes& rec = staged_records_.front();
+      size_t kept = ObserveWrite(rec.size());
+      journal_.insert(journal_.end(), rec.begin(), rec.begin() + kept);
+      if (kept < rec.size()) {
+        return UnavailableError("storage: power failed during sync");
+      }
+      staged_records_.erase(staged_records_.begin());
+    }
+    if (journal_.size() > options_.checkpoint_bytes) {
+      return DoCheckpoint();
+    }
+    return Status::Ok();
+  }
+
+  Status Checkpoint() override {
+    KP_RETURN_IF_ERROR(Sync());
+    return DoCheckpoint();
+  }
+
+  // --- Imaging. ------------------------------------------------------------
+  std::unique_ptr<StorageBackend> Clone() const override {
+    auto copy = std::make_unique<JournaledBackend>(options_);
+    copy->durable_superblock_ = durable_superblock_;
+    copy->durable_objects_ = durable_objects_;
+    copy->journal_ = journal_;
+    copy->mem_superblock_ = mem_superblock_;
+    copy->mem_objects_ = mem_objects_;
+    copy->staged_records_ = staged_records_;
+    copy->next_txn_id_ = next_txn_id_;
+    return copy;
+  }
+
+  std::unique_ptr<StorageBackend> RecoverFromCrash(
+      RecoveryReport* report) const override {
+    auto fresh = std::make_unique<JournaledBackend>(options_);
+    fresh->durable_superblock_ = durable_superblock_;
+    fresh->durable_objects_ = durable_objects_;
+    RecoveryReport rep;
+    ReplayJournal(journal_, &fresh->durable_objects_,
+                  &fresh->durable_superblock_, &rep);
+    // Recovery folds the replayed state into the object area and starts
+    // with an empty journal (an implicit checkpoint).
+    fresh->mem_superblock_ = fresh->durable_superblock_;
+    for (const auto& [id, stored] : fresh->durable_objects_) {
+      fresh->mem_objects_[id] = stored.data;
+    }
+    if (report != nullptr) {
+      *report = rep;
+    }
+    return fresh;
+  }
+
+  // --- Scrubber access (durable object area). ------------------------------
+  std::vector<StoredObjectInfo> ScanStoredObjects() const override {
+    // Cover synced-but-uncheckpointed state too: replay the journal over a
+    // copy of the object area, so a scrub right after Sync() sees every
+    // durable object.
+    std::map<ObjectId, Stored> effective = durable_objects_;
+    Bytes super = durable_superblock_;
+    ReplayJournal(journal_, &effective, &super, nullptr);
+    std::vector<StoredObjectInfo> out;
+    out.reserve(effective.size());
+    for (const auto& [id, stored] : effective) {
+      StoredObjectInfo info;
+      info.id = id;
+      info.size = stored.data.size();
+      info.tag_ok = Sha256::Hash(stored.data) == stored.tag;
+      out.push_back(info);
+    }
+    return out;
+  }
+
+  Result<Sha256::Digest> StoredObjectTag(const ObjectId& id) const override {
+    std::map<ObjectId, Stored> effective = durable_objects_;
+    Bytes super = durable_superblock_;
+    ReplayJournal(journal_, &effective, &super, nullptr);
+    auto it = effective.find(id);
+    if (it == effective.end()) {
+      return NotFoundError("storage: no stored object " + id.ToHex());
+    }
+    return it->second.tag;
+  }
+
+  Status DamageStoredObject(const ObjectId& id, size_t byte_index,
+                            uint8_t xor_mask) override {
+    auto it = durable_objects_.find(id);
+    if (it == durable_objects_.end()) {
+      // Journal-resident objects rot as corrupt records instead; callers
+      // checkpoint first to target the object area.
+      return FailedPreconditionError(
+          "storage: object not in checkpointed area " + id.ToHex());
+    }
+    if (it->second.data.empty()) {
+      return FailedPreconditionError("storage: empty object " + id.ToHex());
+    }
+    size_t idx = byte_index % it->second.data.size();
+    it->second.data[idx] ^= xor_mask;
+    // Bit rot hits the medium, not the page cache — but this simulator
+    // serves reads from the stored copy after recovery/clone, and the
+    // scrubber is the component that reads the damaged area.
+    auto mem = mem_objects_.find(id);
+    if (mem != mem_objects_.end() && idx < mem->second.size()) {
+      mem->second[idx] ^= xor_mask;
+    }
+    return Status::Ok();
+  }
+
+  Status RepairStoredObject(const ObjectId& id, Bytes data) override {
+    Stored& slot = durable_objects_[id];
+    slot.tag = Sha256::Hash(data);
+    mem_objects_[id] = data;
+    slot.data = std::move(data);
+    return Status::Ok();
+  }
+
+ private:
+  struct Stored {
+    Bytes data;
+    Sha256::Digest tag{};
+  };
+
+  // Scans `journal` from the front, applying committed transactions to
+  // `objects`/`superblock` in commit order. Stops at the first torn or
+  // corrupt record. Safe with null `report`.
+  static void ReplayJournal(const Bytes& journal,
+                            std::map<ObjectId, Stored>* objects,
+                            Bytes* superblock, RecoveryReport* report) {
+    size_t off = 0;
+    uint64_t open_txn = 0;
+    bool txn_open = false;
+    bool txn_bad = false;
+    std::vector<StorageOp> ops;
+    RecoveryReport rep;
+    while (off < journal.size()) {
+      ParsedRecord rec;
+      size_t next = off;
+      if (!ParseRecord(journal, off, &rec, &next)) {
+        ++rep.corrupt_records;
+        break;  // Torn tail / rot: everything after this is untrusted.
+      }
+      off = next;
+      switch (rec.type) {
+        case kRecBegin:
+          if (txn_open) {
+            ++rep.torn_txns_discarded;  // BEGIN without COMMIT.
+          }
+          open_txn = rec.txn_id;
+          txn_open = true;
+          txn_bad = false;
+          ops.clear();
+          break;
+        case kRecOp: {
+          if (!txn_open || rec.txn_id != open_txn) {
+            txn_bad = true;
+            break;
+          }
+          StorageOp op;
+          if (!ParseOpPayload(rec.payload, &op)) {
+            ++rep.corrupt_records;
+            txn_bad = true;
+            break;
+          }
+          ops.push_back(std::move(op));
+          break;
+        }
+        case kRecCommit:
+          if (!txn_open || rec.txn_id != open_txn || txn_bad) {
+            txn_bad = true;
+            txn_open = false;
+            break;
+          }
+          for (StorageOp& op : ops) {
+            switch (op.kind) {
+              case StorageOp::Kind::kPut: {
+                Stored& slot = (*objects)[op.id];
+                slot.tag = Sha256::Hash(op.data);
+                slot.data = std::move(op.data);
+                break;
+              }
+              case StorageOp::Kind::kDelete:
+                objects->erase(op.id);
+                break;
+              case StorageOp::Kind::kPutSuperblock:
+                *superblock = std::move(op.data);
+                break;
+            }
+          }
+          ops.clear();
+          txn_open = false;
+          ++rep.committed_txns_replayed;
+          break;
+        case kRecTruncate:
+          // Checkpoint marker: state before it already lives in the object
+          // area; within one flat journal it is simply a no-op boundary.
+          break;
+        default:
+          ++rep.corrupt_records;
+          off = journal.size();  // Unknown record type: stop.
+          break;
+      }
+    }
+    if (txn_open) {
+      ++rep.torn_txns_discarded;
+    }
+    rep.journal_bytes_scanned = off;
+    if (report != nullptr) {
+      *report = rep;
+    }
+  }
+
+  // Folds committed journal state into the object area, then truncates the
+  // journal. Crash-safe: every object write below is idempotent under
+  // replay, and the journal only shrinks after the atomic truncate marker
+  // lands.
+  Status DoCheckpoint() {
+    if (powered_off_) {
+      return UnavailableError("storage: device powered off");
+    }
+    if (journal_.empty()) {
+      return Status::Ok();
+    }
+    std::map<ObjectId, Stored> folded = durable_objects_;
+    Bytes super = durable_superblock_;
+    ReplayJournal(journal_, &folded, &super, nullptr);
+    // Rewrite changed objects in the object area; each rewrite is one
+    // medium write (and crash-injection point).
+    for (auto& [id, stored] : folded) {
+      auto it = durable_objects_.find(id);
+      if (it != durable_objects_.end() && it->second.tag == stored.tag) {
+        continue;  // Unchanged.
+      }
+      size_t kept = ObserveWrite(stored.data.size());
+      Stored& slot = durable_objects_[id];
+      slot.tag = stored.tag;
+      slot.data = stored.data;
+      if (kept < stored.data.size()) {
+        slot.data.resize(kept);  // Torn object write; journal replay heals.
+        return UnavailableError("storage: power failed during checkpoint");
+      }
+    }
+    for (auto it = durable_objects_.begin(); it != durable_objects_.end();) {
+      if (folded.find(it->first) == folded.end()) {
+        size_t kept = ObserveWrite(1);
+        if (kept < 1) {
+          return UnavailableError("storage: power failed during checkpoint");
+        }
+        it = durable_objects_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (super != durable_superblock_) {
+      size_t kept = ObserveWrite(super.size());
+      durable_superblock_ = super;
+      if (kept < super.size()) {
+        durable_superblock_.resize(kept);
+        return UnavailableError("storage: power failed during checkpoint");
+      }
+    }
+    // Atomic truncate: a single marker write. If the power dies before it
+    // lands, the full journal survives and replay redoes the fold.
+    size_t kept = ObserveWrite(1);
+    if (kept < 1) {
+      return UnavailableError("storage: power failed during checkpoint");
+    }
+    journal_.clear();
+    return Status::Ok();
+  }
+
+  JournalOptions options_;
+
+  // Durable medium.
+  Bytes durable_superblock_;
+  std::map<ObjectId, Stored> durable_objects_;
+  Bytes journal_;
+
+  // Volatile: logical view + staged (unsynced) journal records.
+  Bytes mem_superblock_;
+  std::map<ObjectId, Bytes> mem_objects_;
+  std::vector<Bytes> staged_records_;
+  uint64_t next_txn_id_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageBackend> MakeJournaledBackend(JournalOptions options) {
+  return std::make_unique<JournaledBackend>(options);
+}
+
+}  // namespace keypad

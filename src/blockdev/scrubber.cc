@@ -1,0 +1,72 @@
+#include "src/blockdev/scrubber.h"
+
+#include <map>
+#include <utility>
+
+namespace keypad {
+
+ScrubReport Scrubber::Scrub() {
+  ScrubReport report;
+  // Fold journal state into the object area so the scan (and in-place
+  // repair) covers everything durable.
+  device_->backend().Checkpoint();
+
+  // Fetch the committed manifest once; it is both the repair source and
+  // the tamper reference.
+  std::map<ObjectId, CloudManifestEntry> replica;
+  if (cloud_ != nullptr) {
+    auto manifest_bytes = cloud_->BlockingGetManifest();
+    if (manifest_bytes.ok()) {
+      auto manifest = DecodeCloudManifest(*manifest_bytes);
+      if (manifest.ok()) {
+        for (CloudManifestEntry& entry : manifest->entries) {
+          replica[entry.id] = std::move(entry);
+        }
+      }
+    }
+  }
+
+  for (const StoredObjectInfo& info : device_->backend().ScanStoredObjects()) {
+    ++report.objects_scanned;
+    auto ref = replica.find(info.id);
+    if (info.tag_ok) {
+      // Internally consistent. Cross-check against the cloud replica: a
+      // mismatch with no pending local write means object AND tag were
+      // rewritten together — rot cannot do that.
+      if (ref != replica.end() && !device_->IsDirty(info.id)) {
+        auto tag = device_->backend().StoredObjectTag(info.id);
+        if (tag.ok() && *tag != ref->second.tag) {
+          ++report.tamper_suspect;
+          report.tampered.push_back(info.id);
+          continue;
+        }
+      }
+      ++report.clean;
+      continue;
+    }
+    // Tag mismatch: silent corruption.
+    ++report.rot_detected;
+    if (ref == replica.end()) {
+      ++report.unrepairable;
+      report.lost.push_back(info.id);
+      continue;
+    }
+    auto content = cloud_->BlockingGet(ref->second.key);
+    if (!content.ok() || Sha256::Hash(*content) != ref->second.tag) {
+      ++report.unrepairable;  // Cloud copy missing or itself damaged.
+      report.lost.push_back(info.id);
+      continue;
+    }
+    if (device_->backend()
+            .RepairStoredObject(info.id, std::move(*content))
+            .ok()) {
+      ++report.repaired;
+    } else {
+      ++report.unrepairable;
+      report.lost.push_back(info.id);
+    }
+  }
+  return report;
+}
+
+}  // namespace keypad

@@ -1,0 +1,61 @@
+// Scrubber: background integrity sweep over the durable object area
+// (DESIGN.md §12).
+//
+// Every stored object carries a SHA-256 tag recorded at write time. The
+// scrubber re-hashes each object against its tag and classifies:
+//
+//   clean            tag matches the stored bytes
+//   rot              tag mismatch — silent medium corruption; repaired
+//                    from the write-back cloud replica when the manifest
+//                    has a matching copy, otherwise reported as
+//                    unrepairable loss
+//   tamper_suspect   bytes and tag are internally consistent but disagree
+//                    with the committed cloud manifest while the object has
+//                    no pending local change — someone rewrote the object
+//                    AND its tag, which rot cannot do
+//
+// The distinction matters for the paper's audit story: rot is an
+// availability problem, tamper is a security signal for the forensic side.
+
+#ifndef SRC_BLOCKDEV_SCRUBBER_H_
+#define SRC_BLOCKDEV_SCRUBBER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/blockdev/cloud_store.h"
+#include "src/blockdev/write_back.h"
+
+namespace keypad {
+
+struct ScrubReport {
+  uint64_t objects_scanned = 0;
+  uint64_t clean = 0;
+  uint64_t rot_detected = 0;
+  uint64_t repaired = 0;
+  uint64_t unrepairable = 0;      // Rot with no usable cloud copy.
+  uint64_t tamper_suspect = 0;
+  std::vector<ObjectId> lost;     // The unrepairable objects.
+  std::vector<ObjectId> tampered; // The tamper suspects.
+};
+
+class Scrubber {
+ public:
+  // `cloud` may be null: detection still works, repair is impossible.
+  Scrubber(BlockDevice* device, SimObjectStore* cloud)
+      : device_(device), cloud_(cloud) {}
+
+  // Folds the journal (so the scan covers all durable state), then walks
+  // every stored object. Repairs happen in place via the backend's repair
+  // path. Must not be called with an open transaction.
+  ScrubReport Scrub();
+
+ private:
+  BlockDevice* device_;
+  SimObjectStore* cloud_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_BLOCKDEV_SCRUBBER_H_

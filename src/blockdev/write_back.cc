@@ -1,0 +1,230 @@
+#include "src/blockdev/write_back.h"
+
+#include <cstring>
+#include <utility>
+
+namespace keypad {
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x4b504d46;  // "KPMF"
+constexpr size_t kIdSize = sizeof(ObjectId{}.v);
+
+std::string ObjectKey(const ObjectId& id, uint64_t generation) {
+  return "obj/" + id.ToHex() + "#" + std::to_string(generation);
+}
+
+}  // namespace
+
+Bytes EncodeCloudManifest(const CloudManifest& manifest) {
+  Bytes out;
+  AppendU32Be(out, kManifestMagic);
+  AppendU64Be(out, manifest.generation);
+  AppendU32Be(out, static_cast<uint32_t>(manifest.superblock.size()));
+  Append(out, manifest.superblock);
+  AppendU32Be(out, static_cast<uint32_t>(manifest.entries.size()));
+  for (const CloudManifestEntry& entry : manifest.entries) {
+    out.insert(out.end(), entry.id.v.begin(), entry.id.v.end());
+    AppendU32Be(out, static_cast<uint32_t>(entry.key.size()));
+    Append(out, entry.key);
+    out.insert(out.end(), entry.tag.begin(), entry.tag.end());
+  }
+  return out;
+}
+
+Result<CloudManifest> DecodeCloudManifest(const Bytes& data) {
+  size_t off = 0;
+  auto need = [&](size_t n) { return data.size() - off >= n; };
+  if (!need(4 + 8 + 4)) {
+    return DataLossError("manifest: truncated header");
+  }
+  if (ReadU32Be(data.data() + off) != kManifestMagic) {
+    return DataLossError("manifest: bad magic");
+  }
+  off += 4;
+  CloudManifest manifest;
+  manifest.generation = ReadU64Be(data.data() + off);
+  off += 8;
+  uint32_t super_len = ReadU32Be(data.data() + off);
+  off += 4;
+  if (!need(super_len)) {
+    return DataLossError("manifest: truncated superblock");
+  }
+  manifest.superblock.assign(data.begin() + off, data.begin() + off + super_len);
+  off += super_len;
+  if (!need(4)) {
+    return DataLossError("manifest: truncated entry count");
+  }
+  uint32_t count = ReadU32Be(data.data() + off);
+  off += 4;
+  manifest.entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CloudManifestEntry entry;
+    if (!need(kIdSize + 4)) {
+      return DataLossError("manifest: truncated entry");
+    }
+    std::memcpy(entry.id.v.data(), data.data() + off, kIdSize);
+    off += kIdSize;
+    uint32_t key_len = ReadU32Be(data.data() + off);
+    off += 4;
+    if (!need(key_len + Sha256::kDigestSize)) {
+      return DataLossError("manifest: truncated entry");
+    }
+    entry.key.assign(reinterpret_cast<const char*>(data.data() + off), key_len);
+    off += key_len;
+    std::memcpy(entry.tag.data(), data.data() + off, Sha256::kDigestSize);
+    off += Sha256::kDigestSize;
+    manifest.entries.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+void WriteBackQueue::FlushNow(std::function<void(Status)> done) {
+  if (flush_in_progress()) {
+    if (done) {
+      done(FailedPreconditionError("write-back: flush already in progress"));
+    }
+    return;
+  }
+  BlockDevice::DirtySet dirty = device_->TakeDirty();
+  if (dirty.empty() && generation_ > 0) {
+    if (done) {
+      done(Status::Ok());
+    }
+    return;
+  }
+  uint64_t next_gen = generation_ + 1;
+  uint64_t epoch = epoch_;
+  flushing_ = dirty;
+  flush_error_ = Status::Ok();
+  done_ = std::move(done);
+
+  // Fold the dirty set into the manifest mirror.
+  for (const ObjectId& id : dirty.deleted) {
+    state_.erase(id);
+  }
+  state_superblock_ = device_->ReadSuperblock();
+
+  for (const ObjectId& id : dirty.modified) {
+    auto content = device_->backend().ReadObject(id);
+    if (!content.ok()) {
+      // Deleted again between the write and this flush.
+      state_.erase(id);
+      continue;
+    }
+    CloudManifestEntry entry;
+    entry.id = id;
+    entry.key = ObjectKey(id, next_gen);
+    entry.tag = Sha256::Hash(*content);
+    state_[id] = entry;
+    ++in_flight_;
+    ++objects_uploaded_;
+    cloud_->Put(entry.key, std::move(*content), [this, epoch](Status status) {
+      if (epoch != epoch_) {
+        return;  // Aborted flush; orphaned upload.
+      }
+      if (!status.ok() && flush_error_.ok()) {
+        flush_error_ = status;
+      }
+      --in_flight_;
+      MaybeCommit();
+    });
+  }
+  commit_pending_ = true;
+  MaybeCommit();
+}
+
+void WriteBackQueue::MaybeCommit() {
+  if (in_flight_ > 0 || !commit_pending_) {
+    return;
+  }
+  commit_pending_ = false;
+  if (!flush_error_.ok()) {
+    auto done = std::move(done_);
+    done_ = nullptr;
+    if (done) {
+      done(flush_error_);
+    }
+    return;
+  }
+  CloudManifest manifest;
+  manifest.generation = generation_ + 1;
+  manifest.superblock = state_superblock_;
+  manifest.entries.reserve(state_.size());
+  for (const auto& [id, entry] : state_) {
+    manifest.entries.push_back(entry);
+  }
+  uint64_t epoch = epoch_;
+  cloud_->CommitManifest(EncodeCloudManifest(manifest),
+                         [this, epoch](Status status) {
+                           if (epoch != epoch_) {
+                             return;
+                           }
+                           if (status.ok()) {
+                             ++generation_;
+                             ++flushes_completed_;
+                           }
+                           auto done = std::move(done_);
+                           done_ = nullptr;
+                           if (done) {
+                             done(status);
+                           }
+                         });
+}
+
+void WriteBackQueue::AbortInFlight() {
+  if (!flush_in_progress()) {
+    return;
+  }
+  ++epoch_;  // Orphan every pending callback.
+  in_flight_ = 0;
+  commit_pending_ = false;
+  done_ = nullptr;
+  // The flush's dirty set never made a manifest; re-dirty it so the next
+  // flush retries. (Entries already folded into state_ get overwritten
+  // with fresh generation keys then.)
+  for (const ObjectId& id : flushing_.modified) {
+    if (device_->backend().HasObject(id)) {
+      device_->WriteObject(id, *device_->backend().ReadObject(id));
+    }
+  }
+  flushing_ = {};
+}
+
+Result<RestoreReport> RestoreVolumeFromCloud(SimObjectStore& cloud,
+                                             BlockDevice& target,
+                                             EventQueue& queue) {
+  SimTime start = queue.Now();
+  KP_ASSIGN_OR_RETURN(Bytes manifest_bytes, cloud.BlockingGetManifest());
+  KP_ASSIGN_OR_RETURN(CloudManifest manifest,
+                      DecodeCloudManifest(manifest_bytes));
+  RestoreReport report;
+  report.generation = manifest.generation;
+
+  target.WriteSuperblock(manifest.superblock);
+  for (const CloudManifestEntry& entry : manifest.entries) {
+    auto content = cloud.BlockingGet(entry.key);
+    if (!content.ok()) {
+      // The upload may still be inside the eventual-consistency window;
+      // wait it out once.
+      queue.AdvanceBy(SimDuration::Millis(200));
+      content = cloud.BlockingGet(entry.key);
+    }
+    if (!content.ok()) {
+      return DataLossError("restore: missing cloud object " + entry.key);
+    }
+    if (Sha256::Hash(*content) != entry.tag) {
+      ++report.tag_failures;
+      return DataLossError("restore: tag mismatch for " + entry.key);
+    }
+    report.bytes_fetched += content->size();
+    ++report.objects_fetched;
+    BlockDevice::Txn txn(target);
+    target.WriteObject(entry.id, std::move(*content));
+    KP_RETURN_IF_ERROR(txn.Commit());
+  }
+  KP_RETURN_IF_ERROR(target.Sync());
+  report.elapsed = queue.Now() - start;
+  return report;
+}
+
+}  // namespace keypad

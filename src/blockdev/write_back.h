@@ -1,0 +1,105 @@
+// Write-back cloud replication + restore (DESIGN.md §12).
+//
+// WriteBackQueue drains a BlockDevice's dirty set into a SimObjectStore:
+// each changed object is uploaded under a generation-tagged key
+// ("obj/<hex-id>#<generation>"), and once every upload of the batch has
+// completed, one atomic CommitManifest flip publishes the new volume
+// generation — the hcfs atomic_tocloud idiom. A crash mid-upload
+// (AbortInFlight) leaves orphaned objects but the manifest still points at
+// the previous consistent generation.
+//
+// RestoreVolumeFromCloud is the other half (hcfs do_restoration idiom): a
+// fresh device fetches the latest manifest, downloads every object it
+// names, verifies integrity tags, and rebuilds the volume.
+
+#ifndef SRC_BLOCKDEV_WRITE_BACK_H_
+#define SRC_BLOCKDEV_WRITE_BACK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/blockdev/cloud_store.h"
+#include "src/cryptocore/sha256.h"
+
+namespace keypad {
+
+struct CloudManifestEntry {
+  ObjectId id;
+  std::string key;          // Cloud key holding this object's bytes.
+  Sha256::Digest tag{};     // SHA-256 of the object content.
+};
+
+struct CloudManifest {
+  uint64_t generation = 0;
+  Bytes superblock;  // Small; stored inline in the manifest.
+  std::vector<CloudManifestEntry> entries;
+};
+
+Bytes EncodeCloudManifest(const CloudManifest& manifest);
+Result<CloudManifest> DecodeCloudManifest(const Bytes& data);
+
+class WriteBackQueue {
+ public:
+  WriteBackQueue(BlockDevice* device, SimObjectStore* cloud)
+      : device_(device), cloud_(cloud) {}
+
+  // Uploads everything dirty since the last flush, then atomically commits
+  // a manifest covering the whole volume. `done` fires after the manifest
+  // flip (or immediately with OK if nothing is dirty).
+  void FlushNow(std::function<void(Status)> done);
+
+  // Drops in-flight uploads without committing (uploader crash). The cloud
+  // keeps the last committed generation; the dropped dirty set is re-added
+  // so a later flush retries it.
+  void AbortInFlight();
+
+  bool flush_in_progress() const { return in_flight_ > 0 || commit_pending_; }
+  uint64_t generation() const { return generation_; }
+  uint64_t flushes_completed() const { return flushes_completed_; }
+  uint64_t objects_uploaded() const { return objects_uploaded_; }
+
+ private:
+  void MaybeCommit();
+
+  BlockDevice* device_;
+  SimObjectStore* cloud_;
+
+  // Mirror of the last committed manifest (+ this flush's additions).
+  std::map<ObjectId, CloudManifestEntry> state_;
+  Bytes state_superblock_;
+
+  uint64_t generation_ = 0;
+  uint64_t epoch_ = 0;  // Bumped by AbortInFlight to orphan stale callbacks.
+  size_t in_flight_ = 0;
+  bool commit_pending_ = false;
+  Status flush_error_;
+  std::function<void(Status)> done_;
+  // Snapshot of the dirty set being flushed, for retry after abort.
+  BlockDevice::DirtySet flushing_;
+
+  uint64_t flushes_completed_ = 0;
+  uint64_t objects_uploaded_ = 0;
+};
+
+struct RestoreReport {
+  uint64_t generation = 0;
+  uint64_t objects_fetched = 0;
+  uint64_t bytes_fetched = 0;
+  uint64_t tag_failures = 0;
+  SimDuration elapsed;  // Virtual time from manifest fetch to last write.
+};
+
+// Rebuilds `target` (expected empty) from the latest committed manifest.
+// Objects still inside the eventual-consistency window are waited out.
+// Fails with kDataLoss if a fetched object does not match its manifest tag.
+Result<RestoreReport> RestoreVolumeFromCloud(SimObjectStore& cloud,
+                                             BlockDevice& target,
+                                             EventQueue& queue);
+
+}  // namespace keypad
+
+#endif  // SRC_BLOCKDEV_WRITE_BACK_H_

@@ -1,0 +1,236 @@
+#include "src/encfs/durability_harness.h"
+
+#include <utility>
+
+namespace keypad {
+namespace {
+
+constexpr const char* kPassword = "explorer-pw";
+
+struct ScriptOp {
+  enum class Kind { kMkdir, kCreate, kWrite, kRename, kUnlink, kRmdir };
+  Kind kind;
+  std::string a;
+  std::string b;     // Rename destination.
+  Bytes payload;     // Write content.
+};
+
+Bytes PatternBytes(size_t i) {
+  Bytes out((i * 37) % 700 + 16);
+  for (size_t j = 0; j < out.size(); ++j) {
+    out[j] = static_cast<uint8_t>((i * 131 + j * 7) & 0xff);
+  }
+  return out;
+}
+
+// Deterministic mixed workload. A tiny model of the namespace keeps every
+// scripted op valid, so only injected faults can make one fail.
+std::vector<ScriptOp> BuildScript(size_t n) {
+  std::vector<ScriptOp> script;
+  std::vector<std::string> dirs;
+  std::vector<std::string> files;
+  for (size_t i = 0; script.size() < n; ++i) {
+    switch (i % 8) {
+      case 0: {
+        std::string d = "/d" + std::to_string(i);
+        script.push_back({ScriptOp::Kind::kMkdir, d, "", {}});
+        dirs.push_back(d);
+        break;
+      }
+      case 1: {
+        std::string f = dirs.back() + "/f" + std::to_string(i);
+        script.push_back({ScriptOp::Kind::kCreate, f, "", {}});
+        files.push_back(f);
+        break;
+      }
+      case 2:
+      case 4: {
+        std::string f = "/t" + std::to_string(i);
+        script.push_back({ScriptOp::Kind::kCreate, f, "", {}});
+        files.push_back(f);
+        break;
+      }
+      case 3:
+      case 7: {
+        std::string& f = files[i % files.size()];
+        script.push_back({ScriptOp::Kind::kWrite, f, "", PatternBytes(i)});
+        break;
+      }
+      case 5: {
+        // Cross-directory rename when the victim lives in a subdirectory —
+        // the two-DirObject transaction the journal exists for.
+        std::string from = files.back();
+        std::string to = "/r" + std::to_string(i);
+        script.push_back({ScriptOp::Kind::kRename, from, to, {}});
+        files.back() = to;
+        break;
+      }
+      case 6: {
+        if (files.size() > 1) {
+          script.push_back({ScriptOp::Kind::kUnlink, files.front(), "", {}});
+          files.erase(files.begin());
+        }
+        break;
+      }
+    }
+  }
+  // Exercise mkdir+rmdir (directory create/delete transactions).
+  script.push_back({ScriptOp::Kind::kMkdir, "/ztmp", "", {}});
+  script.push_back({ScriptOp::Kind::kRmdir, "/ztmp", "", {}});
+  return script;
+}
+
+Status ApplyOp(Vfs& fs, const ScriptOp& op) {
+  switch (op.kind) {
+    case ScriptOp::Kind::kMkdir:
+      return fs.Mkdir(op.a);
+    case ScriptOp::Kind::kCreate:
+      return fs.Create(op.a);
+    case ScriptOp::Kind::kWrite:
+      return fs.Write(op.a, 0, op.payload);
+    case ScriptOp::Kind::kRename:
+      return fs.Rename(op.a, op.b);
+    case ScriptOp::Kind::kUnlink:
+      return fs.Unlink(op.a);
+    case ScriptOp::Kind::kRmdir:
+      return fs.Rmdir(op.a);
+  }
+  return InternalError("explorer: unknown op");
+}
+
+Status CaptureDir(Vfs& fs, const std::string& path, LogicalVolume* out) {
+  KP_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, fs.Readdir(path));
+  for (const DirEntry& entry : entries) {
+    std::string child =
+        (path == "/" ? "" : path) + "/" + entry.name;
+    if (entry.is_dir) {
+      (*out)[child] = {true, Bytes{}};
+      KP_RETURN_IF_ERROR(CaptureDir(fs, child, out));
+    } else {
+      KP_ASSIGN_OR_RETURN(StatInfo st, fs.Stat(child));
+      KP_ASSIGN_OR_RETURN(
+          Bytes content,
+          fs.Read(child, 0, static_cast<size_t>(st.size)));
+      (*out)[child] = {false, std::move(content)};
+    }
+  }
+  return Status::Ok();
+}
+
+EncFs::Options FsOptions(const ExplorerOptions& options) {
+  EncFs::Options fs_options;
+  fs_options.kdf_iterations = options.kdf_iterations;
+  return fs_options;
+}
+
+}  // namespace
+
+Result<LogicalVolume> CaptureLogicalVolume(Vfs& fs) {
+  LogicalVolume volume;
+  KP_RETURN_IF_ERROR(CaptureDir(fs, "/", &volume));
+  return volume;
+}
+
+ExplorerResult ExploreCrashPoints(const ExplorerOptions& options) {
+  ExplorerResult result;
+  std::vector<ScriptOp> script = BuildScript(options.workload_ops);
+
+  // Pass 1 — fault-free run: count injection points and record the legal
+  // logical state after format and after every op. (Reads never touch the
+  // medium, so capturing states does not perturb the write count.)
+  std::vector<LogicalVolume> legal;
+  {
+    BlockDevice device(MakeStorageBackend(
+        options.backend, JournalOptions{options.checkpoint_bytes}));
+    FaultInjector counter;  // Disarmed: counts writes only.
+    device.backend().set_observer(&counter);
+    EventQueue queue;
+    auto fs = EncFs::Format(&device, &queue, options.rng_seed, kPassword,
+                            FsOptions(options));
+    if (!fs.ok()) {
+      return result;  // No injection points; caller sees 0 explored.
+    }
+    auto state = CaptureLogicalVolume(**fs);
+    if (state.ok()) {
+      legal.push_back(std::move(*state));
+    }
+    for (const ScriptOp& op : script) {
+      if (!ApplyOp(**fs, op).ok()) {
+        return result;
+      }
+      state = CaptureLogicalVolume(**fs);
+      if (state.ok()) {
+        legal.push_back(std::move(*state));
+      }
+    }
+    result.injection_points = counter.writes_seen();
+  }
+
+  // Pass 2 — crash at every injection point × torn fraction.
+  for (uint64_t point = 0; point < result.injection_points; ++point) {
+    for (double torn : options.torn_fractions) {
+      BlockDevice device(MakeStorageBackend(
+        options.backend, JournalOptions{options.checkpoint_bytes}));
+      FaultInjector injector;
+      injector.ArmCrash(point, torn);
+      device.backend().set_observer(&injector);
+      EventQueue queue;
+      auto fs = EncFs::Format(&device, &queue, options.rng_seed, kPassword,
+                              FsOptions(options));
+      if (fs.ok()) {
+        for (const ScriptOp& op : script) {
+          if (device.powered_off()) {
+            break;
+          }
+          ApplyOp(**fs, op);  // Post-crash failures are expected.
+        }
+      }
+      if (!injector.crashed()) {
+        continue;  // Point past the run's writes (can't happen for k < P).
+      }
+      ++result.crashes_explored;
+
+      RecoveryReport recovery;
+      BlockDevice recovered = device.RecoverCrashImage(&recovery);
+      if (recovered.ReadSuperblock().empty() &&
+          recovered.ObjectCount() == 0) {
+        // Pre-format medium: the legal state before the format txn landed.
+        ++result.atomic_states;
+        continue;
+      }
+      EventQueue mount_queue;
+      auto mounted = EncFs::Mount(&recovered, &mount_queue, options.rng_seed,
+                                  kPassword, FsOptions(options));
+      if (!mounted.ok()) {
+        ++result.unmountable;
+        if (result.torn_states + result.unmountable == 1) {
+          result.first_bad_point = point;
+          result.first_bad_torn_fraction = torn;
+        }
+        continue;
+      }
+      auto state = CaptureLogicalVolume(**mounted);
+      bool matched = false;
+      if (state.ok()) {
+        for (const LogicalVolume& candidate : legal) {
+          if (*state == candidate) {
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (matched) {
+        ++result.atomic_states;
+      } else {
+        ++result.torn_states;
+        if (result.torn_states + result.unmountable == 1) {
+          result.first_bad_point = point;
+          result.first_bad_torn_fraction = torn;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace keypad

@@ -1,0 +1,73 @@
+// Crash-point explorer: systematic power-fail exploration of the storage
+// tier under a real file-system workload (DESIGN.md §12).
+//
+// The harness runs a fixed mixed workload (creates, writes, renames,
+// mkdirs, unlinks) over EncFs on a chosen backend. First it counts every
+// durable medium write (= injection point) in a fault-free run, recording
+// the legal logical volume state after each completed operation. Then, for
+// each injection point k, it re-runs the workload with a FaultInjector
+// armed to cut power at write k (clean and torn variants), takes the
+// post-crash recovered image, mounts it, and checks the recovered logical
+// state equals one of the legal states — i.e. every transaction is all or
+// nothing, never mixed.
+//
+// On the journaled backend this must hold at EVERY point; on the memory
+// backend it provably does not (the negative control that shows the
+// explorer can detect torn states).
+
+#ifndef SRC_ENCFS_DURABILITY_HARNESS_H_
+#define SRC_ENCFS_DURABILITY_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/blockdev/fault_injection.h"
+#include "src/encfs/encfs.h"
+
+namespace keypad {
+
+// Logical volume state: path → (is_dir, content). Independent of object
+// ids, journal layout, or ciphertext, so states from different runs with
+// the same RNG seed compare equal.
+using LogicalVolume = std::map<std::string, std::pair<bool, Bytes>>;
+
+// Recursive walk of a mounted volume.
+Result<LogicalVolume> CaptureLogicalVolume(Vfs& fs);
+
+struct ExplorerOptions {
+  StorageBackendKind backend = StorageBackendKind::kJournaled;
+  // Torn fractions swept at every injection point (0.0 = clean cut just
+  // before the write).
+  std::vector<double> torn_fractions = {0.0, 0.5};
+  // Workload size knob: number of scripted mutation ops (min 8; the mix
+  // cycles create/write/mkdir/rename/unlink/rmdir).
+  size_t workload_ops = 24;
+  uint64_t rng_seed = 7;
+  // Keep KDF cheap — the explorer formats/mounts O(points) volumes.
+  uint32_t kdf_iterations = 4;
+  // Small journal threshold so checkpoints fire mid-workload and their
+  // object-area rewrites get explored as crash points too.
+  size_t checkpoint_bytes = 4096;
+};
+
+struct ExplorerResult {
+  uint64_t injection_points = 0;   // Medium writes in the fault-free run.
+  uint64_t crashes_explored = 0;   // points × torn fractions actually cut.
+  uint64_t atomic_states = 0;      // Recovered states matching a legal state.
+  uint64_t torn_states = 0;        // Recovered states matching none (BAD).
+  uint64_t unmountable = 0;        // Recovered volume failed to mount (BAD).
+  bool all_atomic() const { return torn_states == 0 && unmountable == 0; }
+  // First failing injection point, for diagnostics (valid if !all_atomic()).
+  uint64_t first_bad_point = 0;
+  double first_bad_torn_fraction = 0.0;
+};
+
+// Runs the full exploration. Deterministic for a given options struct.
+ExplorerResult ExploreCrashPoints(const ExplorerOptions& options);
+
+}  // namespace keypad
+
+#endif  // SRC_ENCFS_DURABILITY_HARNESS_H_

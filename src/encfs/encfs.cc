@@ -36,6 +36,9 @@ Status EncFs::InitFormat(std::string_view password) {
 
   root_obj_ = ObjectId::Random(rng_);
   root_dir_id_ = DirId::Random(rng_);
+  // Root directory + superblock land atomically: a crash mid-format leaves
+  // either a blank medium or a complete (empty) volume.
+  BlockDevice::Txn txn(*device_);
   DirObject root;
   root.dir_id = root_dir_id_;
   KP_RETURN_IF_ERROR(WriteDirObject(root_obj_, root));
@@ -50,7 +53,7 @@ Status EncFs::InitFormat(std::string_view password) {
   sb.emplace("root_dir", WireValue(root_dir_id_.ToBytes()));
   sb.emplace("encrypt", WireValue(options_.encrypt));
   device_->WriteSuperblock(BinaryEncode(WireValue(std::move(sb))));
-  return Status::Ok();
+  return txn.Commit();
 }
 
 Status EncFs::InitMount(std::string_view password) {
@@ -287,6 +290,11 @@ Result<EncFs::FileObject> EncFs::ReadFileObject(const ObjectId& obj) const {
   Bytes header_blob(data.begin() + 4, data.begin() + 4 + header_len);
   KP_ASSIGN_OR_RETURN(file.header, OpenHeader(header_blob));
   file.content.assign(data.begin() + 4 + header_len, data.end());
+  if (file.content.size() < file.header.length) {
+    // A torn write can truncate the content while the header (stored
+    // first) still authenticates; readers must see loss, not a short slice.
+    return DataLossError("encfs: file content shorter than header length");
+  }
   return file;
 }
 
@@ -427,10 +435,15 @@ Status EncFs::Create(const std::string& path) {
                                        &file.header));
   SecureZero(data_key);  // Not needed for an empty file.
 
+  // File object + parent directory entry are one atomic transaction; the
+  // (RPC-bearing) ProvisionNewFile hook above already ran, so no events
+  // are pumped while the transaction is open.
   ObjectId obj = ObjectId::Random(rng_);
+  BlockDevice::Txn txn(*device_);
   WriteFileObject(obj, file);
   parent.dir.entries.push_back(MakeEntry(name, /*is_dir=*/false, obj));
-  return WriteDirObject(parent.obj, parent.dir);
+  KP_RETURN_IF_ERROR(WriteDirObject(parent.obj, parent.dir));
+  return txn.Commit();
 }
 
 Result<Bytes> EncFs::Read(const std::string& path, uint64_t offset,
@@ -526,9 +539,15 @@ Status EncFs::Mkdir(const std::string& path) {
   DirObject dir;
   dir.dir_id = DirId::Random(rng_);
   ObjectId obj = ObjectId::Random(rng_);
-  KP_RETURN_IF_ERROR(WriteDirObject(obj, dir));
-  parent.dir.entries.push_back(MakeEntry(name, /*is_dir=*/true, obj));
-  KP_RETURN_IF_ERROR(WriteDirObject(parent.obj, parent.dir));
+  {
+    // New directory + parent entry: atomic. Committed before the OnMkdir
+    // hook, which may issue RPCs (and so pump the event queue).
+    BlockDevice::Txn txn(*device_);
+    KP_RETURN_IF_ERROR(WriteDirObject(obj, dir));
+    parent.dir.entries.push_back(MakeEntry(name, /*is_dir=*/true, obj));
+    KP_RETURN_IF_ERROR(WriteDirObject(parent.obj, parent.dir));
+    KP_RETURN_IF_ERROR(txn.Commit());
+  }
   return OnMkdir(path, dir.dir_id, parent.dir.dir_id, name);
 }
 
@@ -566,9 +585,16 @@ Status EncFs::Rename(const std::string& from, const std::string& to) {
   from_parent.dir.entries.erase(from_parent.dir.entries.begin() +
                                 static_cast<long>(from_idx));
   target.dir.entries.push_back(MakeEntry(to_name, is_dir, obj));
-  KP_RETURN_IF_ERROR(WriteDirObject(from_parent.obj, from_parent.dir));
-  if (!same_dir) {
-    KP_RETURN_IF_ERROR(WriteDirObject(to_parent.obj, to_parent.dir));
+  {
+    // The unlink-from-source and link-into-destination directory writes
+    // are the classic torn-rename hazard: atomic, committed before any
+    // RPC-bearing hook below.
+    BlockDevice::Txn txn(*device_);
+    KP_RETURN_IF_ERROR(WriteDirObject(from_parent.obj, from_parent.dir));
+    if (!same_dir) {
+      KP_RETURN_IF_ERROR(WriteDirObject(to_parent.obj, to_parent.dir));
+    }
+    KP_RETURN_IF_ERROR(txn.Commit());
   }
 
   if (is_dir) {
@@ -597,8 +623,12 @@ Status EncFs::Unlink(const std::string& path) {
   size_t idx = FindEntry(resolved.parent.dir, resolved.name);
   resolved.parent.dir.entries.erase(resolved.parent.dir.entries.begin() +
                                     static_cast<long>(idx));
+  // Directory update + object delete are atomic (the OnUnlink hook's RPCs
+  // already completed above).
+  BlockDevice::Txn txn(*device_);
   KP_RETURN_IF_ERROR(WriteDirObject(resolved.parent.obj, resolved.parent.dir));
-  return device_->DeleteObject(resolved.obj);
+  KP_RETURN_IF_ERROR(device_->DeleteObject(resolved.obj));
+  return txn.Commit();
 }
 
 Status EncFs::Rmdir(const std::string& path) {
@@ -624,8 +654,10 @@ Status EncFs::Rmdir(const std::string& path) {
   }
   parent.dir.entries.erase(parent.dir.entries.begin() +
                            static_cast<long>(idx));
+  BlockDevice::Txn txn(*device_);
   KP_RETURN_IF_ERROR(WriteDirObject(parent.obj, parent.dir));
-  return device_->DeleteObject(obj);
+  KP_RETURN_IF_ERROR(device_->DeleteObject(obj));
+  return txn.Commit();
 }
 
 Result<std::vector<DirEntry>> EncFs::Readdir(const std::string& path) {

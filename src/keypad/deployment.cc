@@ -315,6 +315,14 @@ Deployment::Deployment(DeploymentOptions options)
     KP_LOG(kError) << "deployment: credential store failed: " << stored;
     abort();
   }
+
+  if (options_.cloud_backup) {
+    cloud_store_ = std::make_unique<SimObjectStore>(&queue_, options_.cloud);
+    write_back_ =
+        std::make_unique<WriteBackQueue>(&device_, cloud_store_.get());
+    // Everything Format wrote is still in the device's dirty set, so the
+    // first BackupNow() captures the whole freshly-formatted volume.
+  }
 }
 
 Deployment::~Deployment() = default;
@@ -584,6 +592,102 @@ Result<Deployment::AttackerClients> Deployment::MakeAttackerClients(
   clients.services.meta = clients.meta.get();
   clients.services.ibe = &meta_services_[0]->ibe_params();
   return clients;
+}
+
+Status Deployment::BackupNow() {
+  if (write_back_ == nullptr) {
+    return FailedPreconditionError("cloud backup is not enabled");
+  }
+  Status result = Status::Ok();
+  bool done = false;
+  write_back_->FlushNow([&](Status s) {
+    result = s;
+    done = true;
+  });
+  // Replicated deployments keep lease timers live on the queue, so drive
+  // time in bounded steps instead of draining to idle.
+  for (int i = 0; i < 256 && !done; ++i) {
+    queue_.AdvanceBy(SimDuration::Millis(50));
+  }
+  if (!done) {
+    return UnavailableError("cloud backup flush did not settle");
+  }
+  cloud_store_->SettleNow();
+  return result;
+}
+
+Result<Deployment::ReplacementDevice> Deployment::EnrollReplacementDevice(
+    const std::string& new_device_id) {
+  if (cloud_store_ == nullptr) {
+    return FailedPreconditionError("cloud backup is not enabled");
+  }
+  if (new_device_id == options_.device_id) {
+    return InvalidArgumentError("replacement needs a fresh device id");
+  }
+  if (options_.secure_channel) {
+    // Channel roots are provisioned per device id at construction; minting
+    // a server-side channel for the replacement is out of scope here.
+    return FailedPreconditionError(
+        "replacement enrollment is not supported with sealed channels");
+  }
+
+  // Provision the new identity everywhere the old one lived: one MAC
+  // secret per tier, shared across all shards and replicas (registration
+  // is provisioning-time state, not an audit-log mutation).
+  Bytes key_secret = key_shards_[0]->RegisterDevice(new_device_id);
+  for (size_t i = 1; i < key_shards_.size(); ++i) {
+    key_shards_[i]->RegisterDeviceWithSecret(new_device_id, key_secret);
+  }
+  for (auto& backups : key_backup_services_) {
+    for (auto& backup : backups) {
+      backup->RegisterDeviceWithSecret(new_device_id, key_secret);
+    }
+  }
+  Bytes meta_secret = meta_services_[0]->RegisterDevice(new_device_id);
+  for (size_t r = 1; r < meta_services_.size(); ++r) {
+    meta_services_[r]->RegisterDeviceWithSecret(new_device_id, meta_secret);
+  }
+
+  // Re-bind the stolen device's keys to the new identity. The transfer
+  // refuses unless the old device is already disabled (ReportDeviceLost
+  // first), so a premature "restore" can never widen access while the
+  // stolen laptop's identity is still live.
+  if (!replica_sets_.empty()) {
+    for (auto& set : replica_sets_) {
+      KP_RETURN_IF_ERROR(
+          set->TransferDeviceKeys(options_.device_id, new_device_id));
+    }
+  } else {
+    for (auto& shard : key_shards_) {
+      KP_RETURN_IF_ERROR(
+          shard->TransferDeviceKeys(options_.device_id, new_device_id));
+    }
+  }
+
+  ReplacementDevice replacement;
+  replacement.device_id = new_device_id;
+  replacement.device = std::make_unique<BlockDevice>();
+  KP_ASSIGN_OR_RETURN(
+      replacement.restore,
+      RestoreVolumeFromCloud(*cloud_store_, *replacement.device, queue_));
+
+  // Stub wiring is identity-driven, so the attacker-clients builder serves
+  // the rightful owner's new hardware just as well.
+  KeypadFs::Credentials creds;
+  creds.device_id = new_device_id;
+  creds.key_secret = key_secret;
+  creds.meta_secret = meta_secret;
+  KP_ASSIGN_OR_RETURN(replacement.clients, MakeAttackerClients(creds));
+
+  KP_ASSIGN_OR_RETURN(
+      replacement.fs,
+      KeypadFs::Mount(replacement.device.get(), &queue_,
+                      options_.seed ^ 0xBBBB, options_.password,
+                      options_.fs_options, options_.config,
+                      replacement.clients.services));
+  // The replacement persists its own credentials, like first setup did.
+  KP_RETURN_IF_ERROR(replacement.fs->StoreCredentials(creds));
+  return replacement;
 }
 
 }  // namespace keypad

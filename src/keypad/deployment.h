@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "src/blockdev/cloud_store.h"
+#include "src/blockdev/write_back.h"
 #include "src/keypad/attacker.h"
 #include "src/keypad/forensics.h"
 #include "src/keypad/keypad_fs.h"
@@ -80,6 +82,12 @@ struct DeploymentOptions {
   // backup mints the same unlock keys. Phone proxy and sealed channels
   // force 1, as with the key tier.
   int meta_replicas = 1;
+  // Write-back cloud replication (DESIGN.md §12): attaches a simulated
+  // object store plus a WriteBackQueue over the laptop's block device.
+  // BackupNow() uploads the dirty set and commits a manifest generation;
+  // EnrollReplacementDevice() rebuilds a stolen laptop's volume from it.
+  bool cloud_backup = false;
+  CloudStoreOptions cloud;
 };
 
 class Deployment {
@@ -240,6 +248,38 @@ class Deployment {
   Result<AttackerClients> MakeAttackerClients(
       const KeypadFs::Credentials& creds);
 
+  // --- Cloud backup + restore-after-theft (cloud_backup mode). --------------
+
+  // Null unless options.cloud_backup.
+  SimObjectStore* cloud_store() { return cloud_store_.get(); }
+  WriteBackQueue* write_back() { return write_back_.get(); }
+
+  // Synchronously drains the laptop's dirty set to the cloud and commits a
+  // new manifest generation, pumping the event queue until the upload batch
+  // settles past the eventual-consistency window.
+  Status BackupNow();
+
+  // A replacement laptop enrolled after theft: its own block device
+  // (rebuilt from the cloud), its own service identity, and a mounted
+  // KeypadFs. The clients field reuses the credential-derived stub wiring
+  // (MakeAttackerClients builds stubs for WHOEVER holds the credentials —
+  // here the rightful owner's new hardware).
+  struct ReplacementDevice {
+    std::string device_id;
+    std::unique_ptr<BlockDevice> device;
+    AttackerClients clients;
+    std::unique_ptr<KeypadFs> fs;
+    RestoreReport restore;
+  };
+  // Restore-after-theft workflow (DESIGN.md §12): registers a fresh device
+  // identity with every key shard/replica and the metadata tier, re-binds
+  // the stolen device's keys to it (TransferDeviceKeys — requires the old
+  // device to already be disabled via ReportDeviceLost), rebuilds the
+  // volume byte-for-byte from the last committed cloud generation, and
+  // mounts it with the owner's password. Fails unless cloud_backup is on.
+  Result<ReplacementDevice> EnrollReplacementDevice(
+      const std::string& new_device_id);
+
  private:
   DeploymentOptions options_;
   EventQueue queue_;
@@ -294,6 +334,10 @@ class Deployment {
   std::unique_ptr<ShardRouter> key_router_;
   std::unique_ptr<MetadataServiceClient> meta_client_;
   std::unique_ptr<KeypadFs> fs_;
+
+  // Cloud backup tier (cloud_backup mode; both null otherwise).
+  std::unique_ptr<SimObjectStore> cloud_store_;
+  std::unique_ptr<WriteBackQueue> write_back_;
 
   ForensicAuditor auditor_;
 

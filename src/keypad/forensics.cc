@@ -92,9 +92,11 @@ AuditReport BuildFromData(
       }
       continue;
     }
-    if (entry.op == AccessOp::kRevoke || entry.op == AccessOp::kDestroy) {
+    if (entry.op == AccessOp::kRevoke || entry.op == AccessOp::kDestroy ||
+        entry.op == AccessOp::kRestore) {
       // Control records: a revoked or destroyed key cannot leak after the
-      // fact.
+      // fact, and a restore re-binding is an administrative action, not a
+      // key leaving the service.
       continue;
     }
     AuditReportEntry& file = by_id[entry.audit_id];

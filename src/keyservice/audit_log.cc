@@ -25,6 +25,8 @@ std::string_view AccessOpName(AccessOp op) {
       return "destroy";
     case AccessOp::kDenied:
       return "denied";
+    case AccessOp::kRestore:
+      return "restore";
   }
   return "unknown";
 }

@@ -50,6 +50,7 @@ enum class AccessOp {
   kRevoke = 5,
   kDestroy = 6,
   kDenied = 7,  // Fetch attempted after revocation — forensically valuable.
+  kRestore = 8, // Key re-bound to a replacement device after theft.
 };
 
 std::string_view AccessOpName(AccessOp op);

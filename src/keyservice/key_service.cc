@@ -280,6 +280,41 @@ Status KeyService::DisableDevice(const std::string& device_id) {
   return Status::Ok();
 }
 
+Status KeyService::TransferDeviceKeys(const std::string& from_id,
+                                      const std::string& to_id) {
+  auto from = devices_.find(from_id);
+  if (from == devices_.end()) {
+    return NotFoundError("key service: unknown device " + from_id);
+  }
+  if (!from->second.disabled) {
+    return FailedPreconditionError(
+        "key service: refusing restore from a still-active device " +
+        from_id);
+  }
+  auto to = devices_.find(to_id);
+  if (to == devices_.end()) {
+    return NotFoundError("key service: unknown device " + to_id);
+  }
+  if (to->second.disabled) {
+    return FailedPreconditionError("key service: replacement device " +
+                                   to_id + " is disabled");
+  }
+  // Copy every (from, audit_id) binding to (to, audit_id); deterministic
+  // map order keeps replica audit chains identical when each replica runs
+  // this admin action. One kRestore entry per re-bound key.
+  BatchScope scope(this);
+  for (auto it = keys_.lower_bound(KeyMapKey{from_id, AuditId{}});
+       it != keys_.end() && it->first.first == from_id; ++it) {
+    if (it->second.disabled) {
+      continue;  // Per-key disables carry over by NOT transferring.
+    }
+    keys_[KeyMapKey{to_id, it->first.second}] = it->second;
+    LogAppend(queue_->Now(), to_id, it->first.second, AccessOp::kRestore);
+    NoteKeyChange(to_id, it->first.second, it->second.key, false, false);
+  }
+  return Status::Ok();
+}
+
 Status KeyService::EnableDevice(const std::string& device_id) {
   auto it = devices_.find(device_id);
   if (it == devices_.end()) {

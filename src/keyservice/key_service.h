@@ -90,6 +90,14 @@ class KeyService {
   Status DisableDevice(const std::string& device_id);
   Status EnableDevice(const std::string& device_id);
   bool IsDeviceDisabled(const std::string& device_id) const;
+  // Restore-after-theft (DESIGN.md §12): re-binds every key of a disabled
+  // (stolen) device to a freshly registered replacement. The stolen
+  // device's bindings stay in place — and stay fenced — so its audit trail
+  // remains intact; each re-binding is logged kRestore under the new
+  // device. Fails unless `from_id` is disabled and `to_id` is an enabled
+  // registered device.
+  Status TransferDeviceKeys(const std::string& from_id,
+                            const std::string& to_id);
 
   // --- Client API (exposed over RPC; see BindRpc). ------------------------
 

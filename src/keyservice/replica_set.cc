@@ -66,6 +66,14 @@ Status ReplicaSet::DisableDevice(const std::string& device_id) {
   });
 }
 
+Status ReplicaSet::TransferDeviceKeys(const std::string& from_id,
+                                      const std::string& to_id) {
+  size_t leader = current_leader();
+  return engine_.MutateOnLeader([&](ReplicatedStateMachine*) {
+    return services_[leader]->TransferDeviceKeys(from_id, to_id);
+  });
+}
+
 Status ReplicaSet::EnableDevice(const std::string& device_id) {
   size_t leader = current_leader();
   return engine_.MutateOnLeader([&](ReplicatedStateMachine*) {

@@ -70,6 +70,9 @@ class ReplicaSet {
   // the backups immediately (no client response is waiting on it).
   Status DisableDevice(const std::string& device_id);
   Status EnableDevice(const std::string& device_id);
+  // Restore-after-theft re-binding (see KeyService::TransferDeviceKeys).
+  Status TransferDeviceKeys(const std::string& from_id,
+                            const std::string& to_id);
 
   // --- Audit / introspection. ---------------------------------------------
 

@@ -684,6 +684,40 @@ TEST_F(RpcTest, FallbackResendSurvivesReplyCache) {
   EXPECT_EQ(other.codec(), WireCodec::kXml);
 }
 
+TEST_F(RpcTest, ServerCrashMidProbeFallsBackExactlyOnceAfterRestart) {
+  // The server crashes while the binary probe is in flight and comes back
+  // as a legacy XML-only build before the retry lands. The retained call
+  // must ride the retry ladder, draw the decode fault, and re-frame as XML
+  // under a FRESH dedup sequence exactly once — one handler execution, no
+  // poisoned reply-cache entry answering the resend.
+  int executions = 0;
+  server_.RegisterMethod("count", [&](const WireValue::Array&) {
+    ++executions;
+    return Result<WireValue>(WireValue(int64_t{executions}));
+  });
+  client_.set_codec(WireCodec::kBinary);  // Probe not yet confirmed.
+  client_.options().timeout = SimDuration::Seconds(2);
+  server_.set_down(true);  // Crash swallows the first probe attempt.
+  queue_.Schedule(queue_.Now() + SimDuration::Seconds(1), [this] {
+    server_.set_down(false);
+    server_.set_xml_only(true);  // Restarted binary rolled back to XML-only.
+  });
+  auto result = client_.Call("count", {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->AsInt(), 1);
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(server_.requests_executed(), 1u);
+  EXPECT_EQ(client_.codec(), WireCodec::kXml);
+  EXPECT_EQ(client_.codec_downgrades(), 1u);
+  // The XML resend carried a fresh sequence: it never matched the probe's
+  // cached decode fault (a hit would have replayed the fault forever).
+  EXPECT_EQ(server_.reply_cache().hits(), 0u);
+  // The downgrade latched; later calls are XML first time, no re-probe.
+  ASSERT_TRUE(client_.Call("count", {}).ok());
+  EXPECT_EQ(client_.codec_downgrades(), 1u);
+  EXPECT_EQ(executions, 2);
+}
+
 TEST_F(RpcTest, ChannelPreferenceSelectsBinaryUnderSealing) {
   // Channel security and binary framing negotiate together: enabling the
   // sealed channel adopts its codec preference, and sealed binary frames
