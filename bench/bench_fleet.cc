@@ -70,6 +70,20 @@ RssSample ReadRss() {
   return rss;
 }
 
+// VmHWM is monotone over the process lifetime, so without a reset every
+// cell after the biggest one just re-reports that cell's peak. Writing "5"
+// to /proc/self/clear_refs resets the high-water mark to the current RSS
+// (Linux >= 4.0). Returns whether the reset took; callers fall back to
+// current RSS when it didn't (container seccomp, non-Linux).
+bool ResetRssPeak() {
+  FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) {
+    return false;
+  }
+  bool wrote = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && wrote;
+}
+
 // --- The seed event queue, replicated for the ablation. ---------------------
 //
 // This is the data structure the tree grew up on: a std::map ordered by
@@ -260,6 +274,8 @@ struct FleetCell {
   double host_s = 0;
   double rss_peak_mb = 0;
   uint64_t max_queue_high_water = 0;
+  uint64_t hot_hits = 0;
+  uint64_t hot_misses = 0;
 
   double events_per_s() const {
     return host_s > 0 ? events_executed / host_s : 0;
@@ -276,6 +292,7 @@ FleetCell RunFleetCell(const std::string& scenario, FleetOptions options) {
   FleetWorkload fleet(&queue, options);
   fleet.Provision();
   const uint64_t events_before = queue.executed_count();
+  const bool peak_reset = ResetRssPeak();
   double start = NowSeconds();
   FleetCell cell;
   cell.stats = fleet.Run();
@@ -284,10 +301,14 @@ FleetCell RunFleetCell(const std::string& scenario, FleetOptions options) {
   cell.codec = WireCodecName(options.codec);
   cell.devices = options.users * options.devices_per_user;
   cell.events_executed = queue.executed_count() - events_before;
-  cell.rss_peak_mb = ReadRss().peak_mb;
+  RssSample rss = ReadRss();
+  cell.rss_peak_mb = peak_reset ? rss.peak_mb : rss.current_mb;
   for (int s = 0; s < fleet.shard_count(); ++s) {
     cell.max_queue_high_water = std::max(
         cell.max_queue_high_water, fleet.server(s)->queue_depth_high_water());
+    KeyService::LoadStats stats = fleet.shard(s)->load_stats();
+    cell.hot_hits += stats.hot_hits;
+    cell.hot_misses += stats.hot_misses;
   }
   return cell;
 }
@@ -296,7 +317,7 @@ void PrintFleetCell(const FleetCell& c) {
   std::printf(
       "%-14s %7d dev (%s)  %9llu opens (%llu ok, %llu denied, %llu err)  "
       "%6.1fs host  %4.2fM ev/s  %7.0f op/vs  p50=%5.2fms p99=%6.2fms  "
-      "rss=%4.0fMB  q-hw=%llu  chains=%s\n",
+      "rss=%4.0fMB  q-hw=%llu  hot=%llu/%llu  chains=%s\n",
       c.scenario.c_str(), c.devices, c.codec.c_str(),
       static_cast<unsigned long long>(c.stats.opens_issued),
       static_cast<unsigned long long>(c.stats.opens_ok),
@@ -304,6 +325,8 @@ void PrintFleetCell(const FleetCell& c) {
       static_cast<unsigned long long>(c.stats.opens_failed), c.host_s,
       c.events_per_s() / 1e6, c.ops_per_vs(), c.stats.p50_ms, c.stats.p99_ms,
       c.rss_peak_mb, static_cast<unsigned long long>(c.max_queue_high_water),
+      static_cast<unsigned long long>(c.hot_hits),
+      static_cast<unsigned long long>(c.hot_misses),
       c.stats.chains_verified ? "ok" : "BROKEN");
 }
 
@@ -342,6 +365,7 @@ void WriteJson(const std::string& path, const QueueMicro& qm,
         "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"bytes_on_wire\": %llu, "
         "\"codec_downgrades\": %llu, \"buffer_reuse_rate\": %.3f, "
         "\"rss_peak_mb\": %.0f, \"queue_depth_high_water\": %llu, "
+        "\"hot_hits\": %llu, \"hot_misses\": %llu, "
         "\"chains_verified\": %s}%s\n",
         c.scenario.c_str(), c.codec.c_str(), c.devices,
         static_cast<unsigned long long>(c.stats.opens_issued),
@@ -362,6 +386,8 @@ void WriteJson(const std::string& path, const QueueMicro& qm,
             : 0.0,
         c.rss_peak_mb,
         static_cast<unsigned long long>(c.max_queue_high_water),
+        static_cast<unsigned long long>(c.hot_hits),
+        static_cast<unsigned long long>(c.hot_misses),
         c.stats.chains_verified ? "true" : "false",
         i + 1 < cells.size() ? "," : "");
   }

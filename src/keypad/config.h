@@ -39,6 +39,13 @@ struct PrefetchPolicy {
     // Prefetch the whole directory's keys on the Nth miss in that
     // directory (the prototype's default, N = 3).
     kFullDirOnNthMiss,
+    // Prefetcher v2 (DESIGN.md §13): a per-device Markov successor table
+    // learned from the access stream. On a miss, emit the successors that
+    // historically followed the missed file — but only once a transition
+    // has been seen `seq_confidence` times, so cold or random workloads
+    // prefetch nothing instead of spraying false positives into the
+    // forensic report.
+    kSequenceHints,
   };
   Kind kind = Kind::kFullDirOnNthMiss;
   int nth_miss = 3;
@@ -49,6 +56,14 @@ struct PrefetchPolicy {
   // without bound. An evicted directory just starts counting from zero
   // again. <= 0 means unlimited (the historical behavior).
   int max_tracked_dirs = 4096;
+  // kSequenceHints knobs: a successor is emitted only after its transition
+  // was observed `seq_confidence` times; at most `seq_fanout` successors
+  // ride one miss; the learning table keeps the `max_tracked_files` most
+  // recently accessed predecessors (LRU, same unbounded-memory guard as
+  // the directory table).
+  int seq_confidence = 3;
+  int seq_fanout = 4;
+  int max_tracked_files = 8192;
 
   static PrefetchPolicy None() { return {Kind::kNone, 0, 0}; }
   static PrefetchPolicy RandomFromDir(int count = 4) {
@@ -56,6 +71,13 @@ struct PrefetchPolicy {
   }
   static PrefetchPolicy FullDirOnNthMiss(int n = 3) {
     return {Kind::kFullDirOnNthMiss, n, 0};
+  }
+  static PrefetchPolicy SequenceHints(int confidence = 3, int fanout = 4) {
+    PrefetchPolicy p;
+    p.kind = Kind::kSequenceHints;
+    p.seq_confidence = confidence;
+    p.seq_fanout = fanout;
+    return p;
   }
 };
 

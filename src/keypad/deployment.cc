@@ -227,7 +227,7 @@ Deployment::Deployment(DeploymentOptions options)
           key_rpcs_[i].get(), options_.device_id, key_secret));
     }
   }
-  if (shard_count > 1) {
+  if (shard_count > 1 || options_.force_key_router) {
     std::vector<KeyServiceClient*> stubs;
     for (const auto& client : key_clients_) {
       stubs.push_back(client.get());

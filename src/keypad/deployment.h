@@ -62,8 +62,15 @@ struct DeploymentOptions {
   int key_shards = 1;
   // Per-shard service knobs: group-commit window and seal CPU costs.
   KeyServiceOptions key_service;
-  // Router knobs (ring seed, vnodes, single-flight coalescing).
+  // Router knobs (ring seed, vnodes, single-flight coalescing, batched
+  // fetch).
   ShardRouter::Options router;
+  // Interpose the ShardRouter even when key_shards == 1, so single-shard
+  // deployments get the batched wire path too (read-path benches ablate
+  // batching against shard width). Default off: historical single-shard
+  // tests talk straight to the stub and keep per-RPC commit-window
+  // semantics.
+  bool force_key_router = false;
   // Replication width per shard (DESIGN.md §9). With R > 1 every shard runs
   // R replicas (primary + R−1 backups) under a lease-based ReplicaSet; the
   // laptop's stubs fail over between them and sealed audit groups stream to

@@ -38,7 +38,8 @@ KeypadFs::KeypadFs(BlockDevice* device, EventQueue* queue, uint64_t rng_seed,
       config_(std::move(config)),
       services_(services),
       cache_(queue, config_.texp),
-      prefetcher_(config_.prefetch, rng_seed ^ 0x70F37C4Bull) {
+      prefetcher_(ApplyPrefetchPolicyEnv(config_.prefetch),
+                  rng_seed ^ 0x70F37C4Bull) {
   // In-use keys are refreshed through the key service at expiry, producing
   // kRefresh audit records (§4 "Key Expiration").
   cache_.set_refresh([this](const AuditId& id,
@@ -478,6 +479,11 @@ Result<Bytes> KeypadFs::UnlockDataKey(const std::string& path,
     return BlockingUnlock(id, dir_id, PathBasename(path), header,
                           header_dirty);
   }
+
+  // Feed the v2 successor table with the true access order — hits
+  // included, since a learned transition must predict the *next* open, not
+  // the next miss.
+  prefetcher_.OnAccess(id);
 
   if (auto kr = cache_.Lookup(id)) {
     Charge(config_.costs.cache_hit);

@@ -1,8 +1,34 @@
 #include "src/keypad/prefetcher.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
 
 namespace keypad {
+
+PrefetchPolicy ApplyPrefetchPolicyEnv(PrefetchPolicy configured) {
+  const char* env = std::getenv("KEYPAD_PREFETCH");
+  if (env == nullptr || *env == '\0') {
+    return configured;
+  }
+  std::string value(env);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "none" || value == "off" || value == "0") {
+    return PrefetchPolicy::None();
+  }
+  if (value == "random") {
+    return PrefetchPolicy::RandomFromDir();
+  }
+  if (value == "fulldir") {
+    return PrefetchPolicy::FullDirOnNthMiss();
+  }
+  if (value == "seq" || value == "sequence" || value == "v2") {
+    return PrefetchPolicy::SequenceHints();
+  }
+  return configured;
+}
 
 int& Prefetcher::TouchDir(const std::string& dir_path) {
   auto it = miss_counts_.find(dir_path);
@@ -22,6 +48,60 @@ int& Prefetcher::TouchDir(const std::string& dir_path) {
   DirMisses& entry = miss_counts_[dir_path];
   entry.lru_it = lru_.begin();
   return entry.count;
+}
+
+Prefetcher::Successors& Prefetcher::TouchFile(const AuditId& id) {
+  auto it = successors_.find(id);
+  if (it != successors_.end()) {
+    seq_lru_.splice(seq_lru_.begin(), seq_lru_, it->second.lru_it);
+    return it->second;
+  }
+  if (policy_.max_tracked_files > 0 &&
+      successors_.size() >= static_cast<size_t>(policy_.max_tracked_files)) {
+    // Forget the coldest predecessor: its transitions re-learn from zero
+    // if the pattern comes back (a delayed prefetch, never a missed audit
+    // record).
+    successors_.erase(seq_lru_.back());
+    seq_lru_.pop_back();
+  }
+  seq_lru_.push_front(id);
+  Successors& entry = successors_[id];
+  entry.lru_it = seq_lru_.begin();
+  return entry;
+}
+
+void Prefetcher::OnAccess(const AuditId& id) {
+  if (policy_.kind != PrefetchPolicy::Kind::kSequenceHints) {
+    return;
+  }
+  if (has_prev_ && !(prev_ == id)) {
+    Successors& entry = TouchFile(prev_);
+    auto hit = std::find_if(entry.counts.begin(), entry.counts.end(),
+                            [&id](const std::pair<AuditId, int>& s) {
+                              return s.first == id;
+                            });
+    if (hit != entry.counts.end()) {
+      ++hit->second;
+      // Keep the list ordered most-hit first so emission and eviction are
+      // both one pass.
+      while (hit != entry.counts.begin() &&
+             hit->second > std::prev(hit)->second) {
+        std::iter_swap(hit, std::prev(hit));
+        --hit;
+      }
+    } else {
+      size_t cap = static_cast<size_t>(std::max(policy_.seq_fanout, 1)) * 2;
+      if (entry.counts.size() < cap) {
+        entry.counts.emplace_back(id, 1);
+      } else if (entry.counts.back().second <= 1) {
+        // Replace the weakest follower; established transitions survive
+        // churn from one-off accesses.
+        entry.counts.back() = {id, 1};
+      }
+    }
+  }
+  prev_ = id;
+  has_prev_ = true;
 }
 
 std::vector<AuditId> Prefetcher::OnMiss(
@@ -52,6 +132,26 @@ std::vector<AuditId> Prefetcher::OnMiss(
       count = 0;  // Re-arm: a later scan of the same dir re-triggers.
       out = list_siblings();
       out.erase(std::remove(out.begin(), out.end(), missed_id), out.end());
+      break;
+    }
+
+    case PrefetchPolicy::Kind::kSequenceHints: {
+      auto it = successors_.find(missed_id);
+      if (it == successors_.end()) {
+        return out;
+      }
+      // counts is ordered most-hit first; take the confident prefix.
+      for (const auto& [succ, count] : it->second.counts) {
+        if (count < policy_.seq_confidence ||
+            out.size() >= static_cast<size_t>(std::max(policy_.seq_fanout,
+                                                       0))) {
+          break;
+        }
+        if (succ == missed_id) {
+          continue;
+        }
+        out.push_back(succ);
+      }
       break;
     }
   }

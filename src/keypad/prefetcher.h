@@ -6,6 +6,14 @@
 // the same round trip as the triggering demand fetch. Prefetches are never
 // recursive, bounding false positives to one directory (§5.2). A random
 // policy is kept for the ablation comparison the paper mentions.
+//
+// Prefetcher v2 (kSequenceHints, DESIGN.md §13) replaces the per-directory
+// heuristic with a learned one: OnAccess() feeds every covered open into a
+// first-order Markov successor table, and a miss emits the successors that
+// historically followed the missed file — confidence-gated, so one-off
+// transitions never pollute the forensic report with prefetch-only keys.
+// KEYPAD_PREFETCH=none|random|fulldir|seq overrides the configured policy
+// for A/B runs without recompiling.
 
 #ifndef SRC_KEYPAD_PREFETCHER_H_
 #define SRC_KEYPAD_PREFETCHER_H_
@@ -38,9 +46,17 @@ class Prefetcher {
       const std::string& dir_path, const AuditId& missed_id,
       const std::function<std::vector<AuditId>()>& list_siblings);
 
+  // v2 learning hook: called on every covered open (hit or miss) so the
+  // successor table sees the true access order, not just the misses.
+  // Cheap no-op under the other policies.
+  void OnAccess(const AuditId& id);
+
   void Reset() {
     miss_counts_.clear();
     lru_.clear();
+    successors_.clear();
+    seq_lru_.clear();
+    has_prev_ = false;
   }
 
   uint64_t prefetch_batches() const { return prefetch_batches_; }
@@ -48,6 +64,9 @@ class Prefetcher {
   // Directories currently holding a miss counter (bounded by the policy's
   // max_tracked_dirs).
   size_t tracked_dirs() const { return miss_counts_.size(); }
+  // Predecessors currently holding a successor list (bounded by the
+  // policy's max_tracked_files).
+  size_t tracked_files() const { return successors_.size(); }
   void ResetStats() {
     prefetch_batches_ = 0;
     keys_prefetched_ = 0;
@@ -58,19 +77,37 @@ class Prefetcher {
     int count = 0;
     std::list<std::string>::iterator lru_it;
   };
+  // Successor counts for one predecessor, most-hit first. Bounded to the
+  // policy fanout × 2 so a file with churning followers keeps only the
+  // strongest transitions.
+  struct Successors {
+    std::vector<std::pair<AuditId, int>> counts;
+    std::list<AuditId>::iterator lru_it;
+  };
 
   // Bumps (or creates) the counter for `dir_path`, evicting the least
   // recently missed directory when the table is at its policy cap.
   int& TouchDir(const std::string& dir_path);
+  Successors& TouchFile(const AuditId& id);
 
   PrefetchPolicy policy_;
   SimRandom rng_;
   // Per-directory miss counters with LRU recency (front = most recent).
   std::map<std::string, DirMisses> miss_counts_;
   std::list<std::string> lru_;
+  // v2 Markov table: predecessor → weighted successors, LRU-bounded.
+  std::map<AuditId, Successors> successors_;
+  std::list<AuditId> seq_lru_;
+  AuditId prev_;
+  bool has_prev_ = false;
   uint64_t prefetch_batches_ = 0;
   uint64_t keys_prefetched_ = 0;
 };
+
+// Applies the KEYPAD_PREFETCH environment override (none / random /
+// fulldir / seq) to a configured policy; returns the policy unchanged when
+// the variable is unset or unrecognized.
+PrefetchPolicy ApplyPrefetchPolicyEnv(PrefetchPolicy configured);
 
 }  // namespace keypad
 

@@ -1,0 +1,57 @@
+#include "src/keyservice/hot_key_cache.h"
+
+namespace keypad {
+
+bool HotKeyCache::Touch(const Key& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void HotKeyCache::Insert(const Key& key) {
+  if (capacity_ == 0) {
+    return;
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (index_.size() >= capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  index_.emplace(key, lru_.begin());
+}
+
+bool HotKeyCache::Erase(const Key& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return false;
+  }
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+size_t HotKeyCache::EraseDevice(const std::string& device_id) {
+  size_t dropped = 0;
+  auto it = index_.lower_bound(Key{device_id, AuditId{}});
+  while (it != index_.end() && it->first.first == device_id) {
+    lru_.erase(it->second);
+    it = index_.erase(it);
+    ++dropped;
+  }
+  return dropped;
+}
+
+void HotKeyCache::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace keypad

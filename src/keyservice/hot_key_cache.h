@@ -1,0 +1,56 @@
+// Server-side hot-key cache (DESIGN.md §13).
+//
+// The audit round trip is mandatory — every key release appends a log entry
+// — but the unwrap/HSM work of producing the releasable key bytes is not.
+// This cache tracks which (device, audit id) records are resident in
+// unwrapped form so a repeat fetch skips the per-key unwrap charge while
+// still appending its audit entry into the current commit group. It is an
+// accounting structure, never an audit bypass: hits and misses log
+// identically.
+//
+// Coherence: every mutation of a key record (disable, destroy, replicated
+// apply, snapshot restore) must invalidate its cache line, and disabling a
+// device drops all of that device's lines — a revoked device must never be
+// served from a stale resident copy.
+
+#ifndef SRC_KEYSERVICE_HOT_KEY_CACHE_H_
+#define SRC_KEYSERVICE_HOT_KEY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/util/ids.h"
+
+namespace keypad {
+
+class HotKeyCache {
+ public:
+  using Key = std::pair<std::string, AuditId>;
+
+  explicit HotKeyCache(size_t capacity) : capacity_(capacity) {}
+
+  // True if the record is resident (hit); refreshes its LRU position.
+  bool Touch(const Key& key);
+  // Marks the record resident, evicting the coldest line at capacity.
+  void Insert(const Key& key);
+  // Invalidation on key mutation. Returns whether a line was dropped.
+  bool Erase(const Key& key);
+  // Device revocation: drops every line for the device; returns how many.
+  size_t EraseDevice(const std::string& device_id);
+  void Clear();
+
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::list<Key> lru_;  // Front = hottest.
+  std::map<Key, std::list<Key>::iterator> index_;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_KEYSERVICE_HOT_KEY_CACHE_H_

@@ -38,6 +38,21 @@ class KeyClient {
     SimTime client_time;
     Bytes key;  // Only for creates.
   };
+  // Typed multi-key fetch (DESIGN.md §13): N ids, each carrying its own
+  // access op, released in one round trip per shard. Missing or disabled
+  // ids come back as per-id misses instead of failing their siblings.
+  struct MultiGetItem {
+    AuditId audit_id;
+    AccessOp op = AccessOp::kDemandFetch;
+  };
+  struct MultiGetMiss {
+    AuditId audit_id;
+    Status status;
+  };
+  struct MultiGetResult {
+    std::vector<std::pair<AuditId, Bytes>> keys;  // Request order.
+    std::vector<MultiGetMiss> misses;
+  };
 
   virtual Result<Bytes> CreateKey(const AuditId& audit_id) = 0;
   // Asynchronous key creation, used by the creation barrier (the client
@@ -56,6 +71,11 @@ class KeyClient {
       const std::vector<AuditId>& audit_ids,
       std::function<void(Result<std::vector<std::pair<AuditId, Bytes>>>)>
           done) = 0;
+  virtual Result<MultiGetResult> GetKeysTyped(
+      const std::vector<MultiGetItem>& items) = 0;
+  virtual void GetKeysTypedAsync(
+      const std::vector<MultiGetItem>& items,
+      std::function<void(Result<MultiGetResult>)> done) = 0;
   virtual Result<GroupFetch> FetchGroup(
       const AuditId& demand_id, const std::vector<AuditId>& prefetch_ids) = 0;
   virtual void FetchGroupAsync(const AuditId& demand_id,

@@ -1,9 +1,37 @@
 #include "src/keyservice/key_service.h"
 
+#include <cctype>
+#include <cstdlib>
+
 #include "src/keyservice/auth.h"
 #include "src/wire/binary_codec.h"
 
 namespace keypad {
+
+namespace {
+
+// KEYPAD_HOTKEY_CACHE overrides the configured default: 0/off/false/no
+// disables the server-side hot-key cache, 1/on/true/yes enables it — the
+// ablation knob for the read-path benches (mirrors KEYPAD_BATCH_FETCH).
+bool HotKeyCacheEnabled(bool configured) {
+  const char* env = std::getenv("KEYPAD_HOTKEY_CACHE");
+  if (env == nullptr || env[0] == '\0') {
+    return configured;
+  }
+  std::string value(env);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "0" || value == "off" || value == "false" || value == "no") {
+    return false;
+  }
+  if (value == "1" || value == "on" || value == "true" || value == "yes") {
+    return true;
+  }
+  return configured;
+}
+
+}  // namespace
 
 WireValue KeyReplDelta::ToWire() const {
   WireValue::Struct s;
@@ -74,7 +102,34 @@ Result<KeyReplDelta> KeyReplDelta::FromWire(const WireValue& value) {
 
 KeyService::KeyService(EventQueue* queue, uint64_t rng_seed,
                        KeyServiceOptions options)
-    : queue_(queue), rng_(rng_seed), options_(options) {}
+    : queue_(queue),
+      rng_(rng_seed),
+      options_(options),
+      hot_keys_(HotKeyCacheEnabled(options.hot_key_cache)
+                    ? options.hot_key_capacity
+                    : 0) {}
+
+void KeyService::ChargeUnwrap(const KeyMapKey& map_key) {
+  if (hot_keys_.Touch(map_key)) {
+    ++hot_hits_;
+    return;
+  }
+  ++hot_misses_;
+  if (seal_charge_ && options_.unwrap_cost > SimDuration()) {
+    seal_charge_(options_.unwrap_cost);
+  }
+  hot_keys_.Insert(map_key);
+}
+
+void KeyService::InvalidateHotKey(const KeyMapKey& map_key) {
+  if (hot_keys_.Erase(map_key)) {
+    ++hot_invalidations_;
+  }
+}
+
+void KeyService::InvalidateHotDevice(const std::string& device_id) {
+  hot_invalidations_ += hot_keys_.EraseDevice(device_id);
+}
 
 Bytes KeyService::RegisterDevice(const std::string& device_id) {
   DeviceRecord record;
@@ -210,6 +265,8 @@ Status KeyService::ApplyReplicated(const KeyReplDelta& delta) {
   KP_RETURN_IF_ERROR(log_.AppendReplicated(delta.entries));
   for (const auto& change : delta.key_changes) {
     KeyMapKey map_key(change.device_id, change.audit_id);
+    // Any replicated mutation makes a resident unwrapped copy stale.
+    InvalidateHotKey(map_key);
     if (change.erased) {
       auto it = keys_.find(map_key);
       if (it != keys_.end()) {
@@ -233,6 +290,12 @@ Status KeyService::ApplyReplicated(const KeyReplDelta& delta) {
     auto it = devices_.find(change.device_id);
     if (it != devices_.end()) {
       it->second.disabled = change.disabled;
+    }
+    if (change.disabled) {
+      InvalidateHotDevice(change.device_id);
+      negative_devices_.insert(change.device_id);
+    } else {
+      negative_devices_.erase(change.device_id);
     }
   }
   // Everything applied is, by definition, shipped state: if this backup is
@@ -265,6 +328,11 @@ KeyService::LoadStats KeyService::load_stats() const {
           : static_cast<double>(stats.log_entries) / stats.commit_groups;
   stats.seal_ns = log_.seal_ns();
   stats.window_flushes = window_flushes_;
+  stats.hot_hits = hot_hits_;
+  stats.hot_misses = hot_misses_;
+  stats.hot_invalidations = hot_invalidations_;
+  stats.hot_size = hot_keys_.size();
+  stats.negative_hits = negative_hits_;
   return stats;
 }
 
@@ -274,6 +342,10 @@ Status KeyService::DisableDevice(const std::string& device_id) {
     return NotFoundError("key service: unknown device " + device_id);
   }
   it->second.disabled = true;
+  // Fencing: the revoked device must never be served from a resident copy,
+  // and subsequent fetch storms should fail fast off the negative cache.
+  InvalidateHotDevice(device_id);
+  negative_devices_.insert(device_id);
   // One revocation record marks the control action in the audit trail.
   LogAppend(queue_->Now(), device_id, AuditId{}, AccessOp::kRevoke);
   NoteDeviceChange(device_id, true);
@@ -321,6 +393,7 @@ Status KeyService::EnableDevice(const std::string& device_id) {
     return NotFoundError("key service: unknown device " + device_id);
   }
   it->second.disabled = false;
+  negative_devices_.erase(device_id);
   NoteDeviceChange(device_id, false);
   return Status::Ok();
 }
@@ -340,12 +413,19 @@ Result<Bytes> KeyService::DeviceSecret(const std::string& device_id) const {
 
 Status KeyService::CheckDevice(const std::string& device_id,
                                const AuditId& audit_id) {
+  if (negative_devices_.count(device_id) > 0) {
+    // Revocation-storm fast path: no key-store or device-record touch, but
+    // the attempt itself is forensically valuable — log it, then refuse.
+    ++negative_hits_;
+    LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kDenied);
+    return PermissionDeniedError("key service: device disabled");
+  }
   auto it = devices_.find(device_id);
   if (it == devices_.end()) {
     return PermissionDeniedError("key service: unregistered device");
   }
   if (it->second.disabled) {
-    // The attempt itself is forensically valuable: log it, then refuse.
+    negative_devices_.insert(device_id);
     LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kDenied);
     return PermissionDeniedError("key service: device disabled");
   }
@@ -364,6 +444,8 @@ Result<Bytes> KeyService::CreateKey(const std::string& device_id,
   // Durably log *before* responding (paper §3.1).
   LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kCreate);
   keys_.emplace(map_key, record);
+  // The freshly minted key is unwrapped-resident by construction.
+  hot_keys_.Insert(map_key);
   NoteKeyChange(device_id, audit_id, record.key, false, false);
   return record.key;
 }
@@ -380,6 +462,7 @@ Result<Bytes> KeyService::GetKey(const std::string& device_id,
     return PermissionDeniedError("key service: key disabled");
   }
   LogAppend(queue_->Now(), device_id, audit_id, op);
+  ChargeUnwrap(it->first);
   return it->second.key;
 }
 
@@ -397,9 +480,55 @@ Result<std::vector<std::pair<AuditId, Bytes>>> KeyService::GetKeys(
       continue;
     }
     LogAppend(queue_->Now(), device_id, id, op);
+    ChargeUnwrap(it->first);
     out.emplace_back(id, it->second.key);
   }
   return out;
+}
+
+Result<KeyService::MultiGetResult> KeyService::GetKeysTyped(
+    const std::string& device_id, const std::vector<MultiGetItem>& items) {
+  if (negative_devices_.count(device_id) > 0 ||
+      (devices_.count(device_id) > 0 && devices_.at(device_id).disabled)) {
+    // Revoked device: the whole batch is denied, but every attempted id
+    // still earns its own kDenied row — sealed together as one group, so
+    // failing fast stays fully audited.
+    if (negative_devices_.count(device_id) > 0) {
+      ++negative_hits_;
+    } else {
+      negative_devices_.insert(device_id);
+    }
+    BatchScope scope(this);
+    for (const auto& item : items) {
+      log_.Append(queue_->Now(), device_id, item.audit_id, AccessOp::kDenied);
+    }
+    return PermissionDeniedError("key service: device disabled");
+  }
+  if (devices_.count(device_id) == 0) {
+    return PermissionDeniedError("key service: unregistered device");
+  }
+  // One RPC batch = one commit group: N appends, one seal.
+  BatchScope scope(this);
+  MultiGetResult result;
+  for (const auto& item : items) {
+    auto it = keys_.find(KeyMapKey(device_id, item.audit_id));
+    if (it == keys_.end()) {
+      result.misses.push_back(
+          {item.audit_id, NotFoundError("key service: no such key")});
+      continue;
+    }
+    if (it->second.disabled) {
+      log_.Append(queue_->Now(), device_id, item.audit_id, AccessOp::kDenied);
+      result.misses.push_back(
+          {item.audit_id,
+           PermissionDeniedError("key service: key disabled")});
+      continue;
+    }
+    log_.Append(queue_->Now(), device_id, item.audit_id, item.op);
+    ChargeUnwrap(it->first);
+    result.keys.emplace_back(item.audit_id, it->second.key);
+  }
+  return result;
 }
 
 Result<KeyService::GroupFetchResult> KeyService::FetchGroup(
@@ -419,6 +548,7 @@ Result<KeyService::GroupFetchResult> KeyService::FetchGroup(
       continue;
     }
     LogAppend(queue_->Now(), device_id, id, AccessOp::kPrefetch);
+    ChargeUnwrap(it->first);
     result.prefetched.emplace_back(id, it->second.key);
   }
   return result;
@@ -465,6 +595,7 @@ Status KeyService::DisableKey(const std::string& device_id,
     return NotFoundError("key service: no such key");
   }
   it->second.disabled = true;
+  InvalidateHotKey(KeyMapKey(device_id, audit_id));
   LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kRevoke);
   NoteKeyChange(device_id, audit_id, Bytes(), true, false);
   return Status::Ok();
@@ -478,6 +609,7 @@ Status KeyService::DestroyKey(const std::string& device_id,
   }
   SecureZero(it->second.key);
   keys_.erase(it);
+  InvalidateHotKey(KeyMapKey(device_id, audit_id));
   LogAppend(queue_->Now(), device_id, audit_id, AccessOp::kDestroy);
   // Assured delete must propagate: every replica zeroes its copy.
   NoteKeyChange(device_id, audit_id, Bytes(), false, true);
@@ -573,6 +705,15 @@ Status KeyService::Restore(const Bytes& snapshot) {
   devices_ = std::move(devices);
   keys_ = std::move(keys);
   log_ = std::move(restored_log);
+  // Every resident copy described the pre-restore store; the negative
+  // cache rebuilds from the restored device records.
+  hot_keys_.Clear();
+  negative_devices_.clear();
+  for (const auto& [id, record] : devices_) {
+    if (record.disabled) {
+      negative_devices_.insert(id);
+    }
+  }
   // The log under any remote cursor may just have been replaced by an
   // older one; the epoch bump is how auditors notice. Pending replication
   // state described the pre-restore log, so it is meaningless now — a
@@ -695,6 +836,53 @@ void KeyService::BindRpc(RpcServer* server) {
                }
                return WireValue(std::move(out));
              });
+
+  // Batched typed fetch (DESIGN.md §13): N {id, op} items in one authed
+  // frame, one commit group. Granted keys and per-id misses come back in
+  // one response so a missing key never fails its batch siblings.
+  install(
+      "key.get_multi", true,
+      [this](const std::string& device,
+             const WireValue::Array& payload) -> Result<WireValue> {
+        if (payload.size() != 1) {
+          return InvalidArgumentError("key.get_multi: bad arity");
+        }
+        KP_ASSIGN_OR_RETURN(WireValue::Array raw_items, payload[0].AsArray());
+        std::vector<MultiGetItem> items;
+        items.reserve(raw_items.size());
+        for (const auto& raw : raw_items) {
+          MultiGetItem item;
+          KP_ASSIGN_OR_RETURN(WireValue id_v, raw.Field("id"));
+          KP_ASSIGN_OR_RETURN(Bytes id_bytes, id_v.AsBytes());
+          KP_ASSIGN_OR_RETURN(item.audit_id, AuditId::FromBytes(id_bytes));
+          KP_ASSIGN_OR_RETURN(WireValue op_v, raw.Field("op"));
+          KP_ASSIGN_OR_RETURN(int64_t op_int, op_v.AsInt());
+          item.op = static_cast<AccessOp>(op_int);
+          items.push_back(item);
+        }
+        KP_ASSIGN_OR_RETURN(MultiGetResult result,
+                            GetKeysTyped(device, items));
+        WireValue::Struct out;
+        WireValue::Array keys;
+        for (auto& [id, key] : result.keys) {
+          WireValue::Struct entry;
+          entry.emplace("id", WireValue(id.ToBytes()));
+          entry.emplace("key", WireValue(std::move(key)));
+          keys.push_back(WireValue(std::move(entry)));
+        }
+        out.emplace("keys", WireValue(std::move(keys)));
+        WireValue::Array misses;
+        for (const auto& miss : result.misses) {
+          WireValue::Struct entry;
+          entry.emplace("id", WireValue(miss.audit_id.ToBytes()));
+          entry.emplace("code", WireValue(static_cast<int64_t>(
+                                    miss.status.code())));
+          entry.emplace("msg", WireValue(miss.status.message()));
+          misses.push_back(WireValue(std::move(entry)));
+        }
+        out.emplace("misses", WireValue(std::move(misses)));
+        return WireValue(std::move(out));
+      });
 
   install(
       "key.evict", true,

@@ -14,11 +14,13 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/cryptocore/secure_random.h"
 #include "src/keyservice/audit_log.h"
+#include "src/keyservice/hot_key_cache.h"
 #include "src/rpc/rpc.h"
 #include "src/sim/event_queue.h"
 #include "src/util/ids.h"
@@ -68,6 +70,18 @@ struct KeyServiceOptions {
   // cost-identical to the unsharded service.
   SimDuration seal_cost_fixed;
   SimDuration seal_cost_per_entry;
+  // Virtual CPU to unwrap one key record into releasable form (the HSM /
+  // unseal work of a cold release). Charged through the seal-charge hook
+  // per key released; a hot-key-cache hit skips it. Zero by default, so
+  // existing deployments are cost-identical.
+  SimDuration unwrap_cost;
+  // Server-side hot-key cache (DESIGN.md §13): tracks unwrapped-resident
+  // key records so repeat fetches skip the unwrap charge. Hits still
+  // append their audit entry — the cache is audit-preserving, never
+  // audit-bypassing. KEYPAD_HOTKEY_CACHE=0 in the environment forces it
+  // off (ablation knob).
+  bool hot_key_cache = true;
+  size_t hot_key_capacity = 4096;
 };
 
 class KeyService {
@@ -124,6 +138,32 @@ class KeyService {
   Result<GroupFetchResult> FetchGroup(const std::string& device_id,
                                       const AuditId& demand_id,
                                       const std::vector<AuditId>& prefetch_ids);
+
+  // Typed multi-key fetch (DESIGN.md §13): one RPC carries N ids, each with
+  // its own access op, so a demand fetch and its prefetch batch — or many
+  // coalesced demand fetches — amortize one auth frame, one unwrap pass,
+  // and one commit-group seal. Every released key appends exactly one entry
+  // typed with its item's op. Missing or disabled ids come back as per-id
+  // misses (with the status a lone fetch would have returned) instead of
+  // failing their batch siblings. A disabled device gets one kDenied entry
+  // per attempted id — the storm of attempts is forensically valuable —
+  // and the whole call fails kPermissionDenied.
+  struct MultiGetItem {
+    AuditId audit_id;
+    AccessOp op = AccessOp::kDemandFetch;
+  };
+  struct MultiGetMiss {
+    AuditId audit_id;
+    Status status;
+  };
+  struct MultiGetResult {
+    // Granted keys, in request order (duplicates allowed: each request
+    // item that hits contributes its own pair and its own audit entry).
+    std::vector<std::pair<AuditId, Bytes>> keys;
+    std::vector<MultiGetMiss> misses;
+  };
+  Result<MultiGetResult> GetKeysTyped(const std::string& device_id,
+                                      const std::vector<MultiGetItem>& items);
 
   // Paired-device support: a journaled access/creation uploaded after the
   // fact. For kCreate entries `key` carries the phone-generated remote key
@@ -186,6 +226,11 @@ class KeyService {
   // waiting on it. Test/bench hook; the scheduled flush does this normally.
   void FlushCommitWindow();
 
+  // Drops every hot-key cache line (test/bench hook: benches pre-provision
+  // keys in process, which marks them resident — measuring the serving
+  // path's warmup requires starting it cold). Counters are untouched.
+  void DropHotKeysForTesting() { hot_keys_.Clear(); }
+
   // Crash semantics: staged-but-unsealed log entries and the responses
   // waiting on the window seal are lost — correct, because those responses
   // were never sent, so no key left the service unlogged. Call before
@@ -245,6 +290,14 @@ class KeyService {
     double avg_group_size = 0;
     uint64_t seal_ns = 0;  // Host CPU spent sealing (real, not virtual).
     uint64_t window_flushes = 0;
+    // Hot-key cache observability (DESIGN.md §13). Hits skipped the unwrap
+    // charge; every hit still appended an audit entry.
+    uint64_t hot_hits = 0;
+    uint64_t hot_misses = 0;
+    uint64_t hot_invalidations = 0;
+    uint64_t hot_size = 0;
+    // Denials short-circuited by the negative (revoked-device) cache.
+    uint64_t negative_hits = 0;
   };
   LoadStats load_stats() const;
 
@@ -275,8 +328,17 @@ class KeyService {
     KeyService* service_;
   };
 
-  // Checks registration + revocation; logs denied attempts.
+  // Checks registration + revocation; logs denied attempts. Revoked
+  // devices hit the negative cache so revocation storms fail fast.
   Status CheckDevice(const std::string& device_id, const AuditId& audit_id);
+
+  // Bills the unwrap work for releasing (device, id): a hot-cache hit
+  // skips the charge, a miss pays options_.unwrap_cost and marks the
+  // record resident. Audit logging is the caller's job either way.
+  void ChargeUnwrap(const KeyMapKey& map_key);
+  // Coherence: drops the record's hot-cache line (key mutated or erased).
+  void InvalidateHotKey(const KeyMapKey& map_key);
+  void InvalidateHotDevice(const std::string& device_id);
 
   // All audit appends funnel through here: one entry = one commit group
   // unless an enclosing BatchScope or open commit window groups it.
@@ -308,6 +370,14 @@ class KeyService {
   std::map<std::string, DeviceRecord> devices_;
   std::map<KeyMapKey, KeyRecord> keys_;
   AuditLog log_;
+
+  // Read-path fast caches (DESIGN.md §13).
+  HotKeyCache hot_keys_;
+  std::set<std::string> negative_devices_;  // Known-revoked device ids.
+  uint64_t hot_hits_ = 0;
+  uint64_t hot_misses_ = 0;
+  uint64_t hot_invalidations_ = 0;
+  uint64_t negative_hits_ = 0;
 
   // Replication state (replica sets only).
   Replicator replicator_;

@@ -102,6 +102,66 @@ Result<std::vector<std::pair<AuditId, Bytes>>> KeyServiceClient::GetKeys(
 }
 
 namespace {
+WireValue::Array MultiGetPayload(
+    const std::vector<KeyServiceClient::MultiGetItem>& items) {
+  WireValue::Array raw;
+  for (const auto& item : items) {
+    WireValue::Struct e;
+    e.emplace("id", WireValue(item.audit_id.ToBytes()));
+    e.emplace("op", WireValue(static_cast<int64_t>(item.op)));
+    raw.push_back(WireValue(std::move(e)));
+  }
+  WireValue::Array payload;
+  payload.push_back(WireValue(std::move(raw)));
+  return payload;
+}
+
+Result<KeyServiceClient::MultiGetResult> ParseMultiGet(
+    const WireValue& result) {
+  KeyServiceClient::MultiGetResult out;
+  KP_ASSIGN_OR_RETURN(WireValue keys_v, result.Field("keys"));
+  KP_ASSIGN_OR_RETURN(out.keys, ParseKeyPairs(keys_v));
+  KP_ASSIGN_OR_RETURN(WireValue misses_v, result.Field("misses"));
+  KP_ASSIGN_OR_RETURN(WireValue::Array misses, misses_v.AsArray());
+  for (const auto& entry : misses) {
+    KeyServiceClient::MultiGetMiss miss;
+    KP_ASSIGN_OR_RETURN(WireValue id_value, entry.Field("id"));
+    KP_ASSIGN_OR_RETURN(Bytes id_bytes, id_value.AsBytes());
+    KP_ASSIGN_OR_RETURN(miss.audit_id, AuditId::FromBytes(id_bytes));
+    KP_ASSIGN_OR_RETURN(WireValue code_value, entry.Field("code"));
+    KP_ASSIGN_OR_RETURN(int64_t code, code_value.AsInt());
+    KP_ASSIGN_OR_RETURN(WireValue msg_value, entry.Field("msg"));
+    KP_ASSIGN_OR_RETURN(std::string msg, msg_value.AsString());
+    miss.status = Status(static_cast<StatusCode>(code), std::move(msg));
+    out.misses.push_back(std::move(miss));
+  }
+  return out;
+}
+}  // namespace
+
+Result<KeyServiceClient::MultiGetResult> KeyServiceClient::GetKeysTyped(
+    const std::vector<MultiGetItem>& items) {
+  auto result = router_.Call("key.get_multi", MultiGetPayload(items));
+  if (!result.ok()) {
+    return result.status();
+  }
+  return ParseMultiGet(*result);
+}
+
+void KeyServiceClient::GetKeysTypedAsync(
+    const std::vector<MultiGetItem>& items,
+    std::function<void(Result<MultiGetResult>)> done) {
+  router_.CallAsync("key.get_multi", MultiGetPayload(items),
+                    [done = std::move(done)](Result<WireValue> result) {
+                      if (!result.ok()) {
+                        done(result.status());
+                        return;
+                      }
+                      done(ParseMultiGet(*result));
+                    });
+}
+
+namespace {
 Result<KeyServiceClient::GroupFetch> ParseGroupFetch(
     const WireValue& result) {
   KeyServiceClient::GroupFetch out;

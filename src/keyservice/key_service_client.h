@@ -58,6 +58,11 @@ class KeyServiceClient : public KeyClient {
                    std::function<void(Result<Bytes>)> done) override;
   Result<std::vector<std::pair<AuditId, Bytes>>> GetKeys(
       const std::vector<AuditId>& audit_ids) override;
+  Result<MultiGetResult> GetKeysTyped(
+      const std::vector<MultiGetItem>& items) override;
+  void GetKeysTypedAsync(
+      const std::vector<MultiGetItem>& items,
+      std::function<void(Result<MultiGetResult>)> done) override;
   Result<GroupFetch> FetchGroup(
       const AuditId& demand_id,
       const std::vector<AuditId>& prefetch_ids) override;

@@ -1,10 +1,34 @@
 #include "src/keyservice/shard_router.h"
 
+#include <cctype>
+#include <cstdlib>
+#include <memory>
 #include <optional>
 
 namespace keypad {
 
 namespace {
+
+// KEYPAD_BATCH_FETCH overrides the configured default: 0/off/false/no
+// forces the one-RPC-per-key wire path, 1/on/true/yes forces the per-shard
+// multi-get combiner. Anything else keeps the configured value.
+bool BatchFetchEnabled(bool configured) {
+  const char* env = std::getenv("KEYPAD_BATCH_FETCH");
+  if (env == nullptr || *env == '\0') {
+    return configured;
+  }
+  std::string value(env);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "0" || value == "off" || value == "false" || value == "no") {
+    return false;
+  }
+  if (value == "1" || value == "on" || value == "true" || value == "yes") {
+    return true;
+  }
+  return configured;
+}
 
 // Blocking shim over the async scatter paths: issue, then virtually block
 // until the completion lands (the same RunUntilFlag discipline RpcClient
@@ -34,7 +58,8 @@ ShardRouter::ShardRouter(EventQueue* queue,
     : queue_(queue),
       shards_(std::move(shards)),
       options_(options),
-      ring_(shards_.size(), options.ring_seed, options.vnodes_per_shard) {}
+      ring_(shards_.size(), options.ring_seed, options.vnodes_per_shard),
+      batch_fetch_(BatchFetchEnabled(options.batch_fetch)) {}
 
 const std::string& ShardRouter::device_id() const {
   return shards_.front()->device_id();
@@ -49,6 +74,76 @@ std::map<size_t, std::vector<AuditId>> ShardRouter::Partition(
   return plan;
 }
 
+void ShardRouter::EnqueueFetch(const AuditId& audit_id, AccessOp op,
+                               FetchDone done) {
+  if (!batch_fetch_) {
+    // Ablation path: one key.get RPC per item. Any failure is reported as
+    // a per-item outcome; the caller's gather decides what it means.
+    OwnerOf(audit_id)->GetKeyAsync(
+        audit_id, op, [done = std::move(done)](Result<Bytes> result) {
+          done({std::move(result), /*transport=*/false});
+        });
+    return;
+  }
+  size_t shard = ring_.ShardFor(audit_id);
+  pending_[shard].push_back({audit_id, op, std::move(done)});
+  if (flush_scheduled_.insert(shard).second) {
+    // Default window is zero: the flush runs at the same virtual instant,
+    // after the current event cascade has finished enqueueing, so every
+    // fetch issued in this tick shares the RPC without added latency.
+    queue_->ScheduleAfter(options_.batch_window,
+                          [this, shard] { FlushShard(shard); });
+  }
+}
+
+void ShardRouter::FlushShard(size_t shard) {
+  flush_scheduled_.erase(shard);
+  auto node = pending_.extract(shard);
+  if (node.empty() || node.mapped().empty()) {
+    return;
+  }
+  auto batch =
+      std::make_shared<std::vector<PendingFetch>>(std::move(node.mapped()));
+  std::vector<MultiGetItem> items;
+  items.reserve(batch->size());
+  for (const auto& p : *batch) {
+    items.push_back({p.id, p.op});
+  }
+  ++stats_.batch_rpcs;
+  ++stats_.subrequests;
+  stats_.batched_keys += items.size();
+  shards_[shard]->GetKeysTypedAsync(
+      items, [this, batch](Result<MultiGetResult> result) {
+        if (!result.ok()) {
+          ++stats_.shard_errors;
+          for (auto& p : *batch) {
+            p.done({result.status(), /*transport=*/true});
+          }
+          return;
+        }
+        // The service processed the items in request order and appended
+        // hits and misses in that same order, so walking the batch against
+        // the two response queues front-first reassociates every item —
+        // including duplicate ids.
+        std::deque<std::pair<AuditId, Bytes>> keys(result->keys.begin(),
+                                                   result->keys.end());
+        std::deque<MultiGetMiss> misses(result->misses.begin(),
+                                        result->misses.end());
+        for (auto& p : *batch) {
+          if (!keys.empty() && keys.front().first == p.id) {
+            p.done({std::move(keys.front().second), /*transport=*/false});
+            keys.pop_front();
+          } else if (!misses.empty() && misses.front().audit_id == p.id) {
+            p.done({misses.front().status, /*transport=*/false});
+            misses.pop_front();
+          } else {
+            p.done({NotFoundError("key missing from multi-get response"),
+                    /*transport=*/false});
+          }
+        }
+      });
+}
+
 Result<Bytes> ShardRouter::CreateKey(const AuditId& audit_id) {
   return OwnerOf(audit_id)->CreateKey(audit_id);
 }
@@ -59,7 +154,7 @@ void ShardRouter::CreateKeyAsync(const AuditId& audit_id,
 }
 
 Result<Bytes> ShardRouter::GetKey(const AuditId& audit_id, AccessOp op) {
-  if (!options_.single_flight) {
+  if (!options_.single_flight && !batch_fetch_) {
     return OwnerOf(audit_id)->GetKey(audit_id, op);
   }
   Waiter<Result<Bytes>> waiter;
@@ -71,6 +166,12 @@ Result<Bytes> ShardRouter::GetKey(const AuditId& audit_id, AccessOp op) {
 void ShardRouter::GetKeyAsync(const AuditId& audit_id, AccessOp op,
                               std::function<void(Result<Bytes>)> done) {
   if (!options_.single_flight) {
+    if (batch_fetch_) {
+      EnqueueFetch(audit_id, op, [done = std::move(done)](FetchOutcome o) {
+        done(std::move(o.key));
+      });
+      return;
+    }
     OwnerOf(audit_id)->GetKeyAsync(audit_id, op, std::move(done));
     return;
   }
@@ -84,20 +185,79 @@ void ShardRouter::GetKeyAsync(const AuditId& audit_id, AccessOp op,
   }
   ++stats_.single_flight_leaders;
   in_flight_[key].push_back(std::move(done));
-  OwnerOf(audit_id)->GetKeyAsync(
-      audit_id, op, [this, key](Result<Bytes> result) {
-        // Detach the waiter list first: a completion may immediately issue
-        // a fresh fetch for the same id, which must start a new flight.
-        auto node = in_flight_.extract(key);
-        for (auto& waiter : node.mapped()) {
-          waiter(result);
-        }
-      });
+  // The leader's fetch rides the owning shard's pending batch (one
+  // multi-get RPC shared with whatever else this tick issued); with
+  // batching off it goes out as its own key.get.
+  EnqueueFetch(audit_id, op, [this, key](FetchOutcome o) {
+    // Detach the waiter list first: a completion may immediately issue
+    // a fresh fetch for the same id, which must start a new flight.
+    auto node = in_flight_.extract(key);
+    for (auto& waiter : node.mapped()) {
+      waiter(o.key);
+    }
+  });
 }
 
 void ShardRouter::GetKeysAsync(
     const std::vector<AuditId>& audit_ids,
     std::function<void(Result<KeyPairs>)> done) {
+  if (batch_fetch_) {
+    if (audit_ids.empty()) {
+      queue_->ScheduleAfter(SimDuration(),
+                            [done = std::move(done)] { done(KeyPairs{}); });
+      return;
+    }
+    std::set<size_t> span;
+    for (const auto& id : audit_ids) {
+      span.insert(ring_.ShardFor(id));
+    }
+    if (span.size() > 1) {
+      ++stats_.scatter_batches;
+    }
+    struct Gather {
+      size_t remaining = 0;
+      std::vector<std::optional<Bytes>> keys;  // By request index.
+      std::optional<Status> first_transport;
+      bool any_rpc_ok = false;
+    };
+    auto gather = std::make_shared<Gather>();
+    gather->remaining = audit_ids.size();
+    gather->keys.resize(audit_ids.size());
+    auto finish = [audit_ids, done, gather] {
+      if (!gather->any_rpc_ok) {
+        done(*gather->first_transport);
+        return;
+      }
+      // Old batch semantics: missing keys are silently omitted, order
+      // follows the caller's request.
+      KeyPairs merged;
+      for (size_t i = 0; i < audit_ids.size(); ++i) {
+        if (gather->keys[i].has_value()) {
+          merged.emplace_back(audit_ids[i], std::move(*gather->keys[i]));
+        }
+      }
+      done(std::move(merged));
+    };
+    for (size_t i = 0; i < audit_ids.size(); ++i) {
+      EnqueueFetch(audit_ids[i], AccessOp::kPrefetch,
+                   [gather, finish, i](FetchOutcome o) {
+                     if (o.transport) {
+                       if (!gather->first_transport) {
+                         gather->first_transport = o.key.status();
+                       }
+                     } else {
+                       gather->any_rpc_ok = true;
+                       if (o.key.ok()) {
+                         gather->keys[i] = std::move(*o.key);
+                       }
+                     }
+                     if (--gather->remaining == 0) {
+                       finish();
+                     }
+                   });
+    }
+    return;
+  }
   auto plan = Partition(audit_ids);
   if (plan.empty()) {
     queue_->ScheduleAfter(SimDuration(),
@@ -165,7 +325,7 @@ void ShardRouter::GetKeysAsync(
 
 Result<ShardRouter::KeyPairs> ShardRouter::GetKeys(
     const std::vector<AuditId>& audit_ids) {
-  if (shards_.size() == 1) {
+  if (!batch_fetch_ && shards_.size() == 1) {
     return shards_[0]->GetKeys(audit_ids);
   }
   Waiter<Result<KeyPairs>> waiter;
@@ -174,9 +334,141 @@ Result<ShardRouter::KeyPairs> ShardRouter::GetKeys(
   return std::move(*waiter.value);
 }
 
+void ShardRouter::GetKeysTypedAsync(
+    const std::vector<MultiGetItem>& items,
+    std::function<void(Result<MultiGetResult>)> done) {
+  if (items.empty()) {
+    queue_->ScheduleAfter(SimDuration(), [done = std::move(done)] {
+      done(MultiGetResult{});
+    });
+    return;
+  }
+  struct Gather {
+    size_t remaining = 0;
+    std::vector<std::optional<FetchOutcome>> out;  // By request index.
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->remaining = items.size();
+  gather->out.resize(items.size());
+  auto finish = [items, done, gather] {
+    MultiGetResult result;
+    std::optional<Status> first_transport;
+    bool any_rpc_ok = false;
+    for (size_t i = 0; i < items.size(); ++i) {
+      FetchOutcome& o = *gather->out[i];
+      if (o.key.ok()) {
+        any_rpc_ok = true;
+        result.keys.emplace_back(items[i].audit_id, std::move(*o.key));
+      } else {
+        if (o.transport) {
+          if (!first_transport) {
+            first_transport = o.key.status();
+          }
+        } else {
+          any_rpc_ok = true;
+        }
+        result.misses.push_back({items[i].audit_id, o.key.status()});
+      }
+    }
+    // Every item riding a failed RPC means the call itself failed; a mix
+    // degrades to per-item misses like any partial shard outage.
+    if (!any_rpc_ok && first_transport) {
+      done(*first_transport);
+      return;
+    }
+    done(std::move(result));
+  };
+  for (size_t i = 0; i < items.size(); ++i) {
+    EnqueueFetch(items[i].audit_id, items[i].op,
+                 [gather, finish, i](FetchOutcome o) {
+                   gather->out[i] = std::move(o);
+                   if (--gather->remaining == 0) {
+                     finish();
+                   }
+                 });
+  }
+}
+
+Result<ShardRouter::MultiGetResult> ShardRouter::GetKeysTyped(
+    const std::vector<MultiGetItem>& items) {
+  Waiter<Result<MultiGetResult>> waiter;
+  GetKeysTypedAsync(items, waiter.Callback());
+  queue_->RunUntilFlag(&waiter.done);
+  return std::move(*waiter.value);
+}
+
 void ShardRouter::FetchGroupAsync(
     const AuditId& demand_id, const std::vector<AuditId>& prefetch_ids,
     std::function<void(Result<GroupFetch>)> done) {
+  if (batch_fetch_) {
+    // The demand fetch and every prefetch ride the per-shard multi-get
+    // batches: the owning shard sees the demand item first (so its audit
+    // row lands before the prefetch rows it triggered), and all items
+    // issued this tick — including other calls' — share the RPCs.
+    std::vector<AuditId> prefetch;
+    prefetch.reserve(prefetch_ids.size());
+    for (const auto& id : prefetch_ids) {
+      if (id == demand_id) {
+        continue;
+      }
+      prefetch.push_back(id);
+    }
+    std::set<size_t> span;
+    span.insert(ring_.ShardFor(demand_id));
+    for (const auto& id : prefetch) {
+      span.insert(ring_.ShardFor(id));
+    }
+    if (span.size() > 1) {
+      ++stats_.scatter_batches;
+    }
+    struct Gather {
+      size_t remaining = 0;
+      std::optional<Result<Bytes>> demand;
+      std::vector<std::optional<Bytes>> keys;  // By prefetch index.
+    };
+    auto gather = std::make_shared<Gather>();
+    gather->remaining = 1 + prefetch.size();
+    gather->keys.resize(prefetch.size());
+    auto finish = [prefetch, done, gather] {
+      if (!gather->demand->ok()) {
+        // No demand key, no file access: the whole group fetch fails (any
+        // prefetched keys the shards logged were still fetched — the
+        // audit record stays honest).
+        done(gather->demand->status());
+        return;
+      }
+      GroupFetch merged;
+      merged.demand_key = std::move(**gather->demand);
+      for (size_t i = 0; i < prefetch.size(); ++i) {
+        if (gather->keys[i].has_value()) {
+          merged.prefetched.emplace_back(prefetch[i],
+                                         std::move(*gather->keys[i]));
+        }
+      }
+      done(std::move(merged));
+    };
+    EnqueueFetch(demand_id, AccessOp::kDemandFetch,
+                 [gather, finish](FetchOutcome o) {
+                   gather->demand = std::move(o.key);
+                   if (--gather->remaining == 0) {
+                     finish();
+                   }
+                 });
+    for (size_t i = 0; i < prefetch.size(); ++i) {
+      // Advisory prefetch: a miss or failed slice just drops the key (the
+      // failed RPC itself is already counted by the flush path).
+      EnqueueFetch(prefetch[i], AccessOp::kPrefetch,
+                   [gather, finish, i](FetchOutcome o) {
+                     if (o.key.ok()) {
+                       gather->keys[i] = std::move(*o.key);
+                     }
+                     if (--gather->remaining == 0) {
+                       finish();
+                     }
+                   });
+    }
+    return;
+  }
   size_t demand_shard = ring_.ShardFor(demand_id);
   // The owning shard serves the demand key plus its slice of the prefetch
   // batch in one RPC; the demand id itself is excluded from every slice
@@ -265,7 +557,7 @@ void ShardRouter::FetchGroupAsync(
 
 Result<ShardRouter::GroupFetch> ShardRouter::FetchGroup(
     const AuditId& demand_id, const std::vector<AuditId>& prefetch_ids) {
-  if (shards_.size() == 1) {
+  if (!batch_fetch_ && shards_.size() == 1) {
     return shards_[0]->FetchGroup(demand_id, prefetch_ids);
   }
   Waiter<Result<GroupFetch>> waiter;

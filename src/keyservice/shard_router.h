@@ -1,4 +1,4 @@
-// Client-side router for the sharded key-service tier (DESIGN.md §8).
+// Client-side router for the sharded key-service tier (DESIGN.md §8, §13).
 //
 // Implements KeyClient over N per-shard KeyServiceClient stubs:
 //  * single-ID operations route to the owning shard (consistent-hash ring);
@@ -9,7 +9,13 @@
 //  * single-flight coalescing: concurrent GetKey misses on the same
 //    (audit id, op) share one in-flight RPC — the waiters all complete
 //    from the leader's response, and the audit log records one fetch (the
-//    key left the service once, so one entry is the honest record).
+//    key left the service once, so one entry is the honest record);
+//  * batched fetch (on by default, KEYPAD_BATCH_FETCH=0 to ablate): fetches
+//    issued within one batch window (default: the same event tick) combine
+//    into one key.get_multi RPC per shard, amortizing one auth frame, one
+//    unwrap pass, and one commit-group seal over the batch. Demand fetches
+//    and prefetches ride the same wire RPC, each item keeping its own
+//    access op so the audit record stays exactly typed.
 //
 // Failure semantics mirror the unsharded client where it matters: a failed
 // demand fetch fails the call, while failed prefetch sub-batches just drop
@@ -22,6 +28,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,6 +46,14 @@ class ShardRouter : public KeyClient {
     uint64_t ring_seed = 0x5ead;
     int vnodes_per_shard = 64;
     bool single_flight = true;
+    // Combine fetches into per-shard key.get_multi RPCs. The environment
+    // overrides the configured value: KEYPAD_BATCH_FETCH=0 forces the
+    // one-RPC-per-key wire path, =1 forces batching.
+    bool batch_fetch = true;
+    // How long a shard's pending batch accumulates before flushing. Zero
+    // (default) flushes at the end of the current event tick: everything
+    // issued at the same virtual instant shares one RPC, and nothing waits.
+    SimDuration batch_window;
   };
 
   struct Stats {
@@ -47,6 +62,8 @@ class ShardRouter : public KeyClient {
     uint64_t single_flight_leaders = 0;
     uint64_t single_flight_joins = 0;  // Waiters that shared a leader's RPC.
     uint64_t shard_errors = 0;  // Failed best-effort (prefetch) sub-batches.
+    uint64_t batch_rpcs = 0;     // key.get_multi RPCs issued.
+    uint64_t batched_keys = 0;   // Items those RPCs carried.
   };
 
   // `shards[i]` must be the stub for ring shard i; all stubs share one
@@ -68,6 +85,11 @@ class ShardRouter : public KeyClient {
       const std::vector<AuditId>& audit_ids,
       std::function<void(Result<std::vector<std::pair<AuditId, Bytes>>>)>
           done) override;
+  Result<MultiGetResult> GetKeysTyped(
+      const std::vector<MultiGetItem>& items) override;
+  void GetKeysTypedAsync(
+      const std::vector<MultiGetItem>& items,
+      std::function<void(Result<MultiGetResult>)> done) override;
   Result<GroupFetch> FetchGroup(
       const AuditId& demand_id,
       const std::vector<AuditId>& prefetch_ids) override;
@@ -87,12 +109,29 @@ class ShardRouter : public KeyClient {
   size_t shard_count() const { return shards_.size(); }
   KeyServiceClient* shard(size_t i) const { return shards_[i]; }
   const Stats& stats() const { return stats_; }
+  // Effective setting after the KEYPAD_BATCH_FETCH override.
+  bool batch_fetch() const { return batch_fetch_; }
 
  private:
   using KeyPairs = std::vector<std::pair<AuditId, Bytes>>;
   // Coalescing key: concurrent fetches only merge when they'd produce an
   // identical audit record (same id, same op).
   using FlightKey = std::pair<AuditId, int>;
+
+  // One queued fetch awaiting its shard's next batch flush. `transport` is
+  // set when the whole batch RPC failed (vs. a per-key miss the service
+  // reported inside a successful RPC) — the gather paths treat the former
+  // as a shard error and the latter as an ordinary missing key.
+  struct FetchOutcome {
+    Result<Bytes> key;
+    bool transport = false;
+  };
+  using FetchDone = std::function<void(FetchOutcome)>;
+  struct PendingFetch {
+    AuditId id;
+    AccessOp op;
+    FetchDone done;
+  };
 
   KeyServiceClient* OwnerOf(const AuditId& audit_id) const {
     return shards_[ring_.ShardFor(audit_id)];
@@ -102,13 +141,22 @@ class ShardRouter : public KeyClient {
   std::map<size_t, std::vector<AuditId>> Partition(
       const std::vector<AuditId>& audit_ids) const;
 
+  // Batched wire path: queue the fetch on its owning shard's pending batch
+  // and arm a flush at the end of the batch window. With batching disabled
+  // this degenerates to one key.get RPC per item.
+  void EnqueueFetch(const AuditId& audit_id, AccessOp op, FetchDone done);
+  void FlushShard(size_t shard);
+
   EventQueue* queue_;
   std::vector<KeyServiceClient*> shards_;
   Options options_;
   ShardRing ring_;
   Stats stats_;
+  bool batch_fetch_ = true;
   std::map<FlightKey, std::vector<std::function<void(Result<Bytes>)>>>
       in_flight_;
+  std::map<size_t, std::vector<PendingFetch>> pending_;
+  std::set<size_t> flush_scheduled_;
 };
 
 }  // namespace keypad

@@ -274,7 +274,9 @@ INSTANTIATE_TEST_SUITE_P(
         InvariantParams{true, PrefetchPolicy::Kind::kFullDirOnNthMiss, 100, 5},
         InvariantParams{true, PrefetchPolicy::Kind::kFullDirOnNthMiss, 10, 6},
         InvariantParams{true, PrefetchPolicy::Kind::kRandomFromDir, 1000, 7},
-        InvariantParams{false, PrefetchPolicy::Kind::kFullDirOnNthMiss, 1, 8}),
+        InvariantParams{false, PrefetchPolicy::Kind::kFullDirOnNthMiss, 1, 8},
+        InvariantParams{false, PrefetchPolicy::Kind::kSequenceHints, 100, 9},
+        InvariantParams{true, PrefetchPolicy::Kind::kSequenceHints, 10, 10}),
     [](const ::testing::TestParamInfo<InvariantParams>& info) {
       std::string name = info.param.ibe ? "Ibe" : "NoIbe";
       switch (info.param.prefetch) {
@@ -286,6 +288,9 @@ INSTANTIATE_TEST_SUITE_P(
           break;
         case PrefetchPolicy::Kind::kFullDirOnNthMiss:
           name += "DirPrefetch";
+          break;
+        case PrefetchPolicy::Kind::kSequenceHints:
+          name += "SeqPrefetch";
           break;
       }
       name += "Texp" + std::to_string(info.param.texp_seconds);
