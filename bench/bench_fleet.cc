@@ -276,6 +276,9 @@ struct FleetCell {
   uint64_t max_queue_high_water = 0;
   uint64_t hot_hits = 0;
   uint64_t hot_misses = 0;
+  uint64_t requests_shed = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t overload_events = 0;
 
   double events_per_s() const {
     return host_s > 0 ? events_executed / host_s : 0;
@@ -309,6 +312,10 @@ FleetCell RunFleetCell(const std::string& scenario, FleetOptions options) {
     KeyService::LoadStats stats = fleet.shard(s)->load_stats();
     cell.hot_hits += stats.hot_hits;
     cell.hot_misses += stats.hot_misses;
+    cell.requests_shed +=
+        stats.shed_demand + stats.shed_prefetch + stats.shed_background;
+    cell.deadline_expired += stats.deadline_expired;
+    cell.overload_events += stats.overload_events;
   }
   return cell;
 }
@@ -366,6 +373,8 @@ void WriteJson(const std::string& path, const QueueMicro& qm,
         "\"codec_downgrades\": %llu, \"buffer_reuse_rate\": %.3f, "
         "\"rss_peak_mb\": %.0f, \"queue_depth_high_water\": %llu, "
         "\"hot_hits\": %llu, \"hot_misses\": %llu, "
+        "\"requests_shed\": %llu, \"deadline_expired\": %llu, "
+        "\"overload_events\": %llu, "
         "\"chains_verified\": %s}%s\n",
         c.scenario.c_str(), c.codec.c_str(), c.devices,
         static_cast<unsigned long long>(c.stats.opens_issued),
@@ -388,6 +397,9 @@ void WriteJson(const std::string& path, const QueueMicro& qm,
         static_cast<unsigned long long>(c.max_queue_high_water),
         static_cast<unsigned long long>(c.hot_hits),
         static_cast<unsigned long long>(c.hot_misses),
+        static_cast<unsigned long long>(c.requests_shed),
+        static_cast<unsigned long long>(c.deadline_expired),
+        static_cast<unsigned long long>(c.overload_events),
         c.stats.chains_verified ? "true" : "false",
         i + 1 < cells.size() ? "," : "");
   }

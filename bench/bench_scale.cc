@@ -64,6 +64,11 @@ struct ShardLoad {
   uint64_t hot_misses = 0;
   uint64_t hot_size = 0;
   uint64_t negative_hits = 0;
+  uint64_t shed_demand = 0;
+  uint64_t shed_prefetch = 0;
+  uint64_t shed_background = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t overload_events = 0;
   bool log_verified = false;
 };
 
@@ -127,6 +132,18 @@ struct CellResult {
   uint64_t negative_hits() const {
     uint64_t n = 0;
     for (const ShardLoad& l : loads) n += l.negative_hits;
+    return n;
+  }
+  uint64_t requests_shed() const {
+    uint64_t n = 0;
+    for (const ShardLoad& l : loads) {
+      n += l.shed_demand + l.shed_prefetch + l.shed_background;
+    }
+    return n;
+  }
+  uint64_t deadline_expired() const {
+    uint64_t n = 0;
+    for (const ShardLoad& l : loads) n += l.deadline_expired;
     return n;
   }
   bool all_verified() const {
@@ -483,6 +500,11 @@ CellResult RunCell(const CellConfig& config) {
     load.hot_misses = stats.hot_misses;
     load.hot_size = stats.hot_size;
     load.negative_hits = stats.negative_hits;
+    load.shed_demand = stats.shed_demand;
+    load.shed_prefetch = stats.shed_prefetch;
+    load.shed_background = stats.shed_background;
+    load.deadline_expired = stats.deadline_expired;
+    load.overload_events = stats.overload_events;
     load.log_verified = shards[s]->log().Verify().ok();
     cell.loads.push_back(load);
   }
@@ -547,7 +569,8 @@ void WriteJson(const std::string& path, const std::vector<CellResult>& cells) {
         "\"seal_ns_per_entry\": %.1f, \"sf_leaders\": %llu, "
         "\"sf_joins\": %llu, \"batch_rpcs\": %llu, \"batched_keys\": %llu, "
         "\"avg_batch\": %.2f, \"hot_hits\": %llu, \"hot_misses\": %llu, "
-        "\"negative_hits\": %llu, \"storm\": %s, \"revoked_device\": %s, "
+        "\"negative_hits\": %llu, \"requests_shed\": %llu, "
+        "\"deadline_expired\": %llu, \"storm\": %s, \"revoked_device\": %s, "
         "\"revocation_fenced\": %s, \"crashed_shard\": %s, "
         "\"all_verified\": %s, \"shard_loads\": [",
         c.scenario.c_str(), c.shards, c.window_us,
@@ -565,6 +588,8 @@ void WriteJson(const std::string& path, const std::vector<CellResult>& cells) {
         static_cast<unsigned long long>(c.hot_hits()),
         static_cast<unsigned long long>(c.hot_misses()),
         static_cast<unsigned long long>(c.negative_hits()),
+        static_cast<unsigned long long>(c.requests_shed()),
+        static_cast<unsigned long long>(c.deadline_expired()),
         c.storm ? "true" : "false", c.revoked_device ? "true" : "false",
         c.revocation_fenced ? "true" : "false",
         c.crashed_shard ? "true" : "false",
@@ -577,7 +602,10 @@ void WriteJson(const std::string& path, const std::vector<CellResult>& cells) {
           "\"max_group\": %llu, \"flushes\": %llu, \"requests\": %llu, "
           "\"queue_high_water\": %llu, \"hot_hits\": %llu, "
           "\"hot_misses\": %llu, \"hot_size\": %llu, "
-          "\"negative_hits\": %llu, \"verified\": %s}%s",
+          "\"negative_hits\": %llu, \"shed_demand\": %llu, "
+          "\"shed_prefetch\": %llu, \"shed_background\": %llu, "
+          "\"deadline_expired\": %llu, \"overload_events\": %llu, "
+          "\"verified\": %s}%s",
           static_cast<unsigned long long>(l.log_entries),
           static_cast<unsigned long long>(l.commit_groups), l.avg_group_size,
           static_cast<unsigned long long>(l.max_group_size),
@@ -588,6 +616,11 @@ void WriteJson(const std::string& path, const std::vector<CellResult>& cells) {
           static_cast<unsigned long long>(l.hot_misses),
           static_cast<unsigned long long>(l.hot_size),
           static_cast<unsigned long long>(l.negative_hits),
+          static_cast<unsigned long long>(l.shed_demand),
+          static_cast<unsigned long long>(l.shed_prefetch),
+          static_cast<unsigned long long>(l.shed_background),
+          static_cast<unsigned long long>(l.deadline_expired),
+          static_cast<unsigned long long>(l.overload_events),
           l.log_verified ? "true" : "false",
           s + 1 < c.loads.size() ? ", " : "");
     }

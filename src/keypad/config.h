@@ -16,6 +16,7 @@
 #include <functional>
 #include <string>
 
+#include "src/rpc/brownout.h"
 #include "src/sim/time.h"
 
 namespace keypad {
@@ -100,6 +101,13 @@ struct KeypadConfig {
   // unreadable. Off by default — it also removes the *owner's* ability to
   // recover the file, and the key's audit history loses its subject.
   bool destroy_keys_on_unlink = false;
+  // Optional brownout controller (DESIGN.md §14), shared with the
+  // device's ShardRouter. While the key tier signals overload the client
+  // drops speculative prefetch fanout, and — only if explicitly enabled,
+  // with the added exposure key-seconds accounted against the Fig. 11
+  // integral — stretches cache lifetimes. Borrowed pointer; the
+  // deployment owns the controller.
+  BrownoutController* brownout = nullptr;
 };
 
 }  // namespace keypad

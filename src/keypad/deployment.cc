@@ -46,6 +46,13 @@ Deployment::Deployment(DeploymentOptions options)
       options_.secure_channel) {
     options_.meta_replicas = 1;
   }
+  // One brownout controller per device, shared between the router (batch
+  // stretching + overload signals) and the client config (prefetch
+  // suppression, accounted cache-lifetime stretching). Inert unless
+  // enabled (or KEYPAD_BROWNOUT forces it on).
+  brownout_ = std::make_unique<BrownoutController>(options_.brownout);
+  options_.router.brownout = brownout_.get();
+  options_.config.brownout = brownout_.get();
   const size_t shard_count = static_cast<size_t>(options_.key_shards);
   const size_t replica_count = static_cast<size_t>(options_.key_replicas);
   const size_t meta_count = static_cast<size_t>(options_.meta_replicas);
@@ -63,12 +70,14 @@ Deployment::Deployment(DeploymentOptions options)
         &queue_, shard_seed, options_.key_service));
     key_rpc_servers_.push_back(
         std::make_unique<RpcServer>(&queue_, kServiceTime));
+    key_rpc_servers_.back()->set_admission(options_.admission);
     for (size_t r = 1; r < replica_count; ++r) {
       key_backup_services_[i].push_back(std::make_unique<KeyService>(
           &queue_, shard_seed ^ (static_cast<uint64_t>(r) << 16),
           options_.key_service));
       key_backup_servers_[i].push_back(
           std::make_unique<RpcServer>(&queue_, kServiceTime));
+      key_backup_servers_[i].back()->set_admission(options_.admission);
     }
     if (replica_count > 1) {
       // The replica set installs each service's replicator and serve gate,
@@ -115,6 +124,7 @@ Deployment::Deployment(DeploymentOptions options)
         &queue_, options_.seed ^ 0x4444, *group));
     meta_rpc_servers_.push_back(
         std::make_unique<RpcServer>(&queue_, kServiceTime));
+    meta_rpc_servers_.back()->set_admission(options_.admission);
   }
   if (meta_count > 1) {
     // Install replicator + serve gate before BindRpc (they switch the
@@ -566,8 +576,12 @@ Result<Deployment::AttackerClients> Deployment::MakeAttackerClients(
           make_stub(i, clients.shard_rpcs.back().get()));
       stubs.push_back(clients.shard_stubs.back().get());
     }
+    // The thief's router does not share the owner's brownout controller —
+    // an attacker has no reason to be polite to an overloaded tier.
+    ShardRouter::Options thief_router = options_.router;
+    thief_router.brownout = nullptr;
     clients.router = std::make_unique<ShardRouter>(&queue_, std::move(stubs),
-                                                   options_.router);
+                                                   thief_router);
   }
   if (options_.secure_channel && !options_.paired_phone) {
     SimDuration rotation = options_.config.texp;

@@ -55,6 +55,17 @@ struct DeploymentOptions {
   // Resilience knobs (retry ladder, per-attempt timeout, circuit breaker)
   // applied to every RpcClient this deployment constructs.
   RpcOptions rpc;
+  // Overload robustness (DESIGN.md §14): admission control applied to
+  // every service-tier RpcServer this deployment constructs (bounded
+  // queue, CoDel-style shedding by priority class, deadline expiry).
+  // Off by default; KEYPAD_ADMISSION overrides either way.
+  AdmissionOptions admission;
+  // Client brownout policy. When enabled the deployment builds one
+  // BrownoutController for the device and shares it between the
+  // ShardRouter (batch-window stretching, overload signals) and the
+  // KeypadFs config (prefetch suppression, accounted cache-lifetime
+  // stretching). KEYPAD_BROWNOUT overrides.
+  BrownoutOptions brownout;
   // Key-service tier width (DESIGN.md §8). With N > 1 the deployment runs N
   // independent KeyService shards behind a client-side ShardRouter; the
   // paired phone and sealed channels are single-endpoint features and force
@@ -153,6 +164,8 @@ class Deployment {
   // The laptop's (replica-aware) metadata stub.
   MetadataServiceClient& meta_client() { return *meta_client_; }
   ForensicAuditor& auditor() { return auditor_; }
+  // The device's brownout controller (never null; inert unless enabled).
+  BrownoutController& brownout() { return *brownout_; }
   PhoneProxy* phone() { return phone_.get(); }
   BlockDevice& device() { return device_; }
   const std::string& device_id() const { return options_.device_id; }
@@ -338,6 +351,7 @@ class Deployment {
   std::unique_ptr<RpcClient> meta_rpc_;
   std::vector<std::unique_ptr<RpcClient>> meta_backup_rpcs_;
   std::vector<std::unique_ptr<KeyServiceClient>> key_clients_;
+  std::unique_ptr<BrownoutController> brownout_;
   std::unique_ptr<ShardRouter> key_router_;
   std::unique_ptr<MetadataServiceClient> meta_client_;
   std::unique_ptr<KeypadFs> fs_;

@@ -171,6 +171,15 @@ AuditReport BuildFromData(
   return report;
 }
 
+// Auditor catch-up is deferrable background traffic (DESIGN.md §14):
+// under overload the service sheds the nightly tail pulls first and the
+// auditor simply resumes from its cursor on the next pass.
+CallContext AuditorCallContext() {
+  CallContext ctx;
+  ctx.priority = RpcPriority::kBackground;
+  return ctx;
+}
+
 }  // namespace
 
 const KeyService* ForensicAuditor::Authority(size_t shard) const {
@@ -337,7 +346,8 @@ Status RemoteAuditor::Resync(size_t shard, uint64_t server_epoch) {
   auto result = key_rpcs_[shard]->Call(
       "audit.key_log_tail",
       FrameAuthedCall(device_id_, key_secret_, "audit.key_log_tail",
-                      std::move(payload)));
+                      std::move(payload)),
+      AuditorCallContext());
   if (!result.ok()) {
     return result.status();
   }
@@ -393,7 +403,8 @@ Status RemoteAuditor::MetaResync(uint64_t server_epoch) {
   auto result = meta_rpc_->Call(
       "audit.meta_log_tail",
       FrameAuthedCall(device_id_, meta_secret_, "audit.meta_log_tail",
-                      std::move(payload)));
+                      std::move(payload)),
+      AuditorCallContext());
   if (!result.ok()) {
     return result.status();
   }
@@ -448,7 +459,8 @@ Status RemoteAuditor::PullMetaTail() {
   auto result = meta_rpc_->Call(
       "audit.meta_log_tail",
       FrameAuthedCall(device_id_, meta_secret_, "audit.meta_log_tail",
-                      std::move(payload)));
+                      std::move(payload)),
+      AuditorCallContext());
   if (!result.ok()) {
     return result.status();
   }
@@ -491,7 +503,8 @@ Result<AuditReport> RemoteAuditor::BuildReport(SimTime t_loss,
     auto log_result = key_rpcs_[shard]->Call(
         "audit.key_log_tail",
         FrameAuthedCall(device_id_, key_secret_, "audit.key_log_tail",
-                        std::move(payload)));
+                        std::move(payload)),
+        AuditorCallContext());
     if (!log_result.ok()) {
       return log_result.status();
     }

@@ -58,6 +58,9 @@ class KeyCache {
   bool Contains(const AuditId& id) const;
 
   void Insert(const AuditId& id, Bytes key);
+  // Insert with an explicit lifetime instead of the configured texp (the
+  // brownout controller's accounted cache-lifetime stretching).
+  void Insert(const AuditId& id, Bytes key, SimDuration lifetime);
 
   // Securely erases one key.
   void Erase(const AuditId& id);

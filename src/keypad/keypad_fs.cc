@@ -153,6 +153,16 @@ std::vector<AuditId> KeypadFs::ListDirAuditIds(const std::string& dir_path) {
   return out;
 }
 
+void KeypadFs::CacheInsert(const AuditId& id, Bytes key) {
+  if (config_.brownout != nullptr) {
+    cache_.Insert(id, std::move(key),
+                  config_.brownout->CacheLifetimeForInsert(cache_.texp(),
+                                                           queue()->Now()));
+    return;
+  }
+  cache_.Insert(id, std::move(key));
+}
+
 Result<Bytes> KeypadFs::FetchRemoteKey(const AuditId& id,
                                        const std::string& dir_path) {
   ++stats_.demand_fetches;
@@ -161,18 +171,25 @@ Result<Bytes> KeypadFs::FetchRemoteKey(const AuditId& id,
   // Don't re-fetch keys that are already cached.
   std::erase_if(prefetch_ids,
                 [&](const AuditId& p) { return cache_.Contains(p); });
+  // Under brownout the tier is shedding load — drop the speculative
+  // fanout entirely (the only cost is a possible future demand miss) and
+  // keep just the fetch a user is actually blocked on.
+  if (!prefetch_ids.empty() && config_.brownout != nullptr &&
+      config_.brownout->SuppressPrefetch(queue()->Now())) {
+    prefetch_ids.clear();
+  }
 
   if (prefetch_ids.empty()) {
     KP_ASSIGN_OR_RETURN(Bytes kr,
                         services_.key->GetKey(id, AccessOp::kDemandFetch));
-    cache_.Insert(id, kr);
+    CacheInsert(id, kr);
     return kr;
   }
   KP_ASSIGN_OR_RETURN(KeyClient::GroupFetch group,
                       services_.key->FetchGroup(id, prefetch_ids));
-  cache_.Insert(id, group.demand_key);
+  CacheInsert(id, group.demand_key);
   for (auto& [pid, pkey] : group.prefetched) {
-    cache_.Insert(pid, std::move(pkey));
+    CacheInsert(pid, std::move(pkey));
     ++stats_.keys_prefetched;
   }
   return group.demand_key;
@@ -335,7 +352,7 @@ void KeypadFs::SendPendingKeyCreate(const AuditId& id) {
       return;
     }
     it->second.kr = std::move(*result);
-    cache_.Insert(id, *it->second.kr);
+    CacheInsert(id, *it->second.kr);
     MaybeCompletePending(id);
   });
 }
@@ -435,7 +452,7 @@ Result<Bytes> KeypadFs::ProvisionNewFile(const std::string& path,
     }
     KP_RETURN_IF_ERROR(barrier->meta_status);
     header->key_blob = WrapKey(*barrier->kr, kd, rng());
-    cache_.Insert(id, *barrier->kr);
+    CacheInsert(id, *barrier->kr);
     return kd;
   }
 

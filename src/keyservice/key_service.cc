@@ -333,6 +333,14 @@ KeyService::LoadStats KeyService::load_stats() const {
   stats.hot_invalidations = hot_invalidations_;
   stats.hot_size = hot_keys_.size();
   stats.negative_hits = negative_hits_;
+  if (rpc_server_ != nullptr) {
+    stats.shed_demand = rpc_server_->shed_demand();
+    stats.shed_prefetch = rpc_server_->shed_prefetch();
+    stats.shed_background = rpc_server_->shed_background();
+    stats.deadline_expired = rpc_server_->deadline_expired();
+    stats.queue_depth_high_water = rpc_server_->queue_depth_high_water();
+    stats.overload_events = rpc_server_->overload_events();
+  }
   return stats;
 }
 
@@ -726,6 +734,7 @@ Status KeyService::Restore(const Bytes& snapshot) {
 }
 
 void KeyService::BindRpc(RpcServer* server) {
+  rpc_server_ = server;
   // Authenticates the frame, then dispatches to `fn(device, payload)`.
   auto authed = [this](const std::string& method,
                        auto fn) -> RpcServer::Handler {

@@ -298,6 +298,16 @@ class KeyService {
     uint64_t hot_size = 0;
     // Denials short-circuited by the negative (revoked-device) cache.
     uint64_t negative_hits = 0;
+    // Overload observability (DESIGN.md §14), merged from the bound
+    // RpcServer: admission sheds by class, deadline-expired rejections,
+    // the deepest the service queue ever got, and transitions into the
+    // CoDel overloaded state (the brownout signal). Zero until BindRpc.
+    uint64_t shed_demand = 0;
+    uint64_t shed_prefetch = 0;
+    uint64_t shed_background = 0;
+    uint64_t deadline_expired = 0;
+    uint64_t queue_depth_high_water = 0;
+    uint64_t overload_events = 0;
   };
   LoadStats load_stats() const;
 
@@ -396,6 +406,11 @@ class KeyService {
   EventQueue::EventId flush_event_ = EventQueue::kInvalidEvent;
   std::vector<PendingResponse> pending_responses_;
   uint64_t window_flushes_ = 0;
+
+  // The server this service is bound to, so load_stats() can fold the
+  // transport-level overload counters (sheds, expiries, queue depth)
+  // into one per-shard view. Borrowed; set by BindRpc.
+  RpcServer* rpc_server_ = nullptr;
 };
 
 }  // namespace keypad

@@ -39,11 +39,22 @@ void KeyServiceClient::CreateKeyAsync(
                     });
 }
 
+namespace {
+// Single-key fetches carry their access op's priority class on the wire:
+// speculative prefetch is sheddable, everything else blocks a user.
+CallContext ContextForOp(AccessOp op) {
+  CallContext ctx;
+  ctx.priority = op == AccessOp::kPrefetch ? RpcPriority::kPrefetch
+                                           : RpcPriority::kDemand;
+  return ctx;
+}
+}  // namespace
+
 Result<Bytes> KeyServiceClient::GetKey(const AuditId& audit_id, AccessOp op) {
   WireValue::Array payload;
   payload.push_back(WireValue(audit_id.ToBytes()));
   payload.push_back(WireValue(static_cast<int64_t>(op)));
-  auto result = router_.Call("key.get", payload);
+  auto result = router_.Call("key.get", payload, ContextForOp(op));
   if (!result.ok()) {
     return result.status();
   }
@@ -55,7 +66,7 @@ void KeyServiceClient::GetKeyAsync(const AuditId& audit_id, AccessOp op,
   WireValue::Array payload;
   payload.push_back(WireValue(audit_id.ToBytes()));
   payload.push_back(WireValue(static_cast<int64_t>(op)));
-  router_.CallAsync("key.get", std::move(payload),
+  router_.CallAsync("key.get", std::move(payload), ContextForOp(op),
                     [done = std::move(done)](Result<WireValue> result) {
                       if (!result.ok()) {
                         done(result.status());
@@ -151,7 +162,13 @@ Result<KeyServiceClient::MultiGetResult> KeyServiceClient::GetKeysTyped(
 void KeyServiceClient::GetKeysTypedAsync(
     const std::vector<MultiGetItem>& items,
     std::function<void(Result<MultiGetResult>)> done) {
-  router_.CallAsync("key.get_multi", MultiGetPayload(items),
+  GetKeysTypedAsync(items, CallContext{}, std::move(done));
+}
+
+void KeyServiceClient::GetKeysTypedAsync(
+    const std::vector<MultiGetItem>& items, const CallContext& ctx,
+    std::function<void(Result<MultiGetResult>)> done) {
+  router_.CallAsync("key.get_multi", MultiGetPayload(items), ctx,
                     [done = std::move(done)](Result<WireValue> result) {
                       if (!result.ok()) {
                         done(result.status());
@@ -251,15 +268,23 @@ WireValue::Array JournalPayload(
 }
 }  // namespace
 
+// Journal uploads are deferrable catch-up traffic: under overload the
+// service sheds them first and the device simply retries the upload on
+// its next reconnect pass — nothing a user is waiting on.
 Status KeyServiceClient::UploadJournal(
     const std::vector<JournalEntry>& entries) {
-  return router_.Call("key.upload_journal", JournalPayload(entries)).status();
+  CallContext ctx;
+  ctx.priority = RpcPriority::kBackground;
+  return router_.Call("key.upload_journal", JournalPayload(entries), ctx)
+      .status();
 }
 
 void KeyServiceClient::UploadJournalAsync(
     const std::vector<JournalEntry>& entries,
     std::function<void(Status)> done) {
-  router_.CallAsync("key.upload_journal", JournalPayload(entries),
+  CallContext ctx;
+  ctx.priority = RpcPriority::kBackground;
+  router_.CallAsync("key.upload_journal", JournalPayload(entries), ctx,
                     [done = std::move(done)](Result<WireValue> result) {
                       done(result.status());
                     });

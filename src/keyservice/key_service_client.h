@@ -63,6 +63,12 @@ class KeyServiceClient : public KeyClient {
   void GetKeysTypedAsync(
       const std::vector<MultiGetItem>& items,
       std::function<void(Result<MultiGetResult>)> done) override;
+  // Context-carrying variant (DESIGN.md §14): the ShardRouter batch
+  // combiner passes the tightest member deadline and the most urgent
+  // member priority so the server sheds the whole RPC correctly.
+  void GetKeysTypedAsync(const std::vector<MultiGetItem>& items,
+                         const CallContext& ctx,
+                         std::function<void(Result<MultiGetResult>)> done);
   Result<GroupFetch> FetchGroup(
       const AuditId& demand_id,
       const std::vector<AuditId>& prefetch_ids) override;

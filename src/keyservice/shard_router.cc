@@ -30,6 +30,15 @@ bool BatchFetchEnabled(bool configured) {
   return configured;
 }
 
+// Priority class a fetch rides the wire with (DESIGN.md §14): only
+// speculative prefetch is sheddable ahead of the rest — every other op
+// that reaches the fetch path (demand fetch, refresh of a key a user
+// holds open) has a user blocked on it.
+RpcPriority PriorityForOp(AccessOp op) {
+  return op == AccessOp::kPrefetch ? RpcPriority::kPrefetch
+                                   : RpcPriority::kDemand;
+}
+
 // Blocking shim over the async scatter paths: issue, then virtually block
 // until the completion lands (the same RunUntilFlag discipline RpcClient
 // uses, so background traffic keeps interleaving).
@@ -80,19 +89,32 @@ void ShardRouter::EnqueueFetch(const AuditId& audit_id, AccessOp op,
     // Ablation path: one key.get RPC per item. Any failure is reported as
     // a per-item outcome; the caller's gather decides what it means.
     OwnerOf(audit_id)->GetKeyAsync(
-        audit_id, op, [done = std::move(done)](Result<Bytes> result) {
+        audit_id, op, [this, done = std::move(done)](Result<Bytes> result) {
+          if (options_.brownout && !result.ok() &&
+              IsRejectedByServer(result.status())) {
+            options_.brownout->NoteOverloadSignal(queue_->Now());
+          }
           done({std::move(result), /*transport=*/false});
         });
     return;
   }
   size_t shard = ring_.ShardFor(audit_id);
-  pending_[shard].push_back({audit_id, op, std::move(done)});
+  // The fetch inherits the stub's RPC deadline as of *now* — members of
+  // a later flush keep the budget they arrived with, so batch-window
+  // stretching never silently grants queued work extra time.
+  SimTime deadline =
+      queue_->Now() + shards_[shard]->rpc()->options().total_deadline;
+  pending_[shard].push_back({audit_id, op, deadline, std::move(done)});
   if (flush_scheduled_.insert(shard).second) {
     // Default window is zero: the flush runs at the same virtual instant,
     // after the current event cascade has finished enqueueing, so every
     // fetch issued in this tick shares the RPC without added latency.
-    queue_->ScheduleAfter(options_.batch_window,
-                          [this, shard] { FlushShard(shard); });
+    // Under brownout the window stretches so more fetches share one RPC.
+    SimDuration window = options_.batch_window;
+    if (options_.brownout) {
+      window = options_.brownout->StretchBatchWindow(window, queue_->Now());
+    }
+    queue_->ScheduleAfter(window, [this, shard] { FlushShard(shard); });
   }
 }
 
@@ -106,15 +128,26 @@ void ShardRouter::FlushShard(size_t shard) {
       std::make_shared<std::vector<PendingFetch>>(std::move(node.mapped()));
   std::vector<MultiGetItem> items;
   items.reserve(batch->size());
+  // The combined RPC is as urgent as its most urgent member and as
+  // patient as its least patient one: tightest deadline, best priority.
+  CallContext ctx;
+  ctx.priority = RpcPriority::kPrefetch;
+  SimTime tightest = (*batch)[0].deadline;
   for (const auto& p : *batch) {
     items.push_back({p.id, p.op});
+    ctx.priority = std::min(ctx.priority, PriorityForOp(p.op));
+    tightest = std::min(tightest, p.deadline);
   }
+  ctx.deadline = tightest;
   ++stats_.batch_rpcs;
   ++stats_.subrequests;
   stats_.batched_keys += items.size();
   shards_[shard]->GetKeysTypedAsync(
-      items, [this, batch](Result<MultiGetResult> result) {
+      items, ctx, [this, batch](Result<MultiGetResult> result) {
         if (!result.ok()) {
+          if (options_.brownout && IsRejectedByServer(result.status())) {
+            options_.brownout->NoteOverloadSignal(queue_->Now());
+          }
           ++stats_.shard_errors;
           for (auto& p : *batch) {
             p.done({result.status(), /*transport=*/true});
@@ -166,13 +199,12 @@ Result<Bytes> ShardRouter::GetKey(const AuditId& audit_id, AccessOp op) {
 void ShardRouter::GetKeyAsync(const AuditId& audit_id, AccessOp op,
                               std::function<void(Result<Bytes>)> done) {
   if (!options_.single_flight) {
-    if (batch_fetch_) {
-      EnqueueFetch(audit_id, op, [done = std::move(done)](FetchOutcome o) {
-        done(std::move(o.key));
-      });
-      return;
-    }
-    OwnerOf(audit_id)->GetKeyAsync(audit_id, op, std::move(done));
+    // EnqueueFetch handles both wire shapes (batched multi-get or the
+    // one-RPC-per-key ablation) and feeds REJECTED replies to the
+    // brownout controller either way.
+    EnqueueFetch(audit_id, op, [done = std::move(done)](FetchOutcome o) {
+      done(std::move(o.key));
+    });
     return;
   }
   FlightKey key(audit_id, static_cast<int>(op));

@@ -36,6 +36,7 @@
 #include "src/keyservice/key_client.h"
 #include "src/keyservice/key_service_client.h"
 #include "src/keyservice/shard_ring.h"
+#include "src/rpc/brownout.h"
 #include "src/sim/event_queue.h"
 
 namespace keypad {
@@ -54,6 +55,11 @@ class ShardRouter : public KeyClient {
     // (default) flushes at the end of the current event tick: everything
     // issued at the same virtual instant shares one RPC, and nothing waits.
     SimDuration batch_window;
+    // Optional client brownout controller (DESIGN.md §14). When set, the
+    // router reports REJECTED replies as overload signals and stretches
+    // the batch window while the brownout is active (more fetches per
+    // RPC, fewer RPCs at the overloaded tier). Borrowed pointer.
+    BrownoutController* brownout = nullptr;
   };
 
   struct Stats {
@@ -130,6 +136,12 @@ class ShardRouter : public KeyClient {
   struct PendingFetch {
     AuditId id;
     AccessOp op;
+    // Absolute deadline this fetch inherited at enqueue time (the stub's
+    // RPC total_deadline from then). The flush puts the batch's tightest
+    // member deadline — and its most urgent member priority — on the
+    // combined key.get_multi wire frame, so the server never sheds a
+    // batch more casually than its most demanding member deserves.
+    SimTime deadline;
     FetchDone done;
   };
 

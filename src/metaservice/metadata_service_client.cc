@@ -125,7 +125,11 @@ Status MetadataServiceClient::UploadJournal(
   }
   WireValue::Array payload;
   payload.push_back(WireValue(std::move(raw)));
-  auto result = router_.Call("meta.upload_journal", std::move(payload));
+  // Journal catch-up is deferrable: under overload the metadata tier
+  // sheds it first and the device re-uploads on its next pass.
+  CallContext ctx;
+  ctx.priority = RpcPriority::kBackground;
+  auto result = router_.Call("meta.upload_journal", std::move(payload), ctx);
   return result.status();
 }
 

@@ -43,18 +43,20 @@ bool RetryableElsewhere(const Status& status) {
 }  // namespace
 
 Result<WireValue> ReplicaRouter::CallOne(size_t idx, const std::string& method,
-                                         const WireValue::Array& payload) {
+                                         const WireValue::Array& payload,
+                                         const CallContext& ctx) {
   // Frame per attempt: the auth tag binds device/method/payload, not the
   // replica, so the same call replays cleanly against any of them (the
   // reply caches key on the dedup frame either way).
   return replicas_[idx]->Call(method,
-                              framer_(method, WireValue::Array(payload)));
+                              framer_(method, WireValue::Array(payload)), ctx);
 }
 
 Result<WireValue> ReplicaRouter::Call(const std::string& method,
-                                      const WireValue::Array& payload) {
+                                      const WireValue::Array& payload,
+                                      const CallContext& ctx) {
   if (replicas_.size() == 1 || queue_ == nullptr) {
-    return CallOne(0, method, payload);
+    return CallOne(0, method, payload, ctx);
   }
   constexpr size_t kNone = static_cast<size_t>(-1);
   const SimTime deadline = queue_->Now() + failover_.budget;
@@ -71,7 +73,7 @@ Result<WireValue> ReplicaRouter::Call(const std::string& method,
   // other degrade into the failover cycle instead of looping.
   int redirect_budget = static_cast<int>(2 * replicas_.size());
   while (true) {
-    Result<WireValue> result = CallOne(idx, method, payload);
+    Result<WireValue> result = CallOne(idx, method, payload, ctx);
     if (result.ok()) {
       leader_hint_ = idx;
       return result;
@@ -130,6 +132,7 @@ Result<WireValue> ReplicaRouter::Call(const std::string& method,
 struct ReplicaRouter::AsyncRoute {
   std::string method;
   WireValue::Array payload;
+  CallContext ctx;
   std::function<void(Result<WireValue>)> done;
   SimTime deadline;
   size_t idx = 0;
@@ -141,15 +144,17 @@ struct ReplicaRouter::AsyncRoute {
 
 void ReplicaRouter::CallAsync(const std::string& method,
                               WireValue::Array payload,
+                              const CallContext& ctx,
                               std::function<void(Result<WireValue>)> done) {
   if (replicas_.size() == 1 || queue_ == nullptr) {
-    replicas_[0]->CallAsync(method, framer_(method, std::move(payload)),
+    replicas_[0]->CallAsync(method, framer_(method, std::move(payload)), ctx,
                             std::move(done));
     return;
   }
   auto route = std::make_shared<AsyncRoute>();
   route->method = method;
   route->payload = std::move(payload);
+  route->ctx = ctx;
   route->done = std::move(done);
   route->deadline = queue_->Now() + failover_.budget;
   route->idx = leader_hint_;
@@ -162,7 +167,7 @@ void ReplicaRouter::StepAsync(std::shared_ptr<AsyncRoute> route) {
   size_t idx = route->idx;
   replicas_[idx]->CallAsync(
       route->method,
-      framer_(route->method, WireValue::Array(route->payload)),
+      framer_(route->method, WireValue::Array(route->payload)), route->ctx,
       [this, route](Result<WireValue> result) {
         if (result.ok()) {
           leader_hint_ = route->idx;

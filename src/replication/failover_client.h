@@ -66,11 +66,24 @@ class ReplicaRouter {
 
   // Replica-aware virtual-blocking call: leader hint, NOT_LEADER redirects,
   // failover cycles, paced retries under the failover budget. Collapses to
-  // a plain single call with one replica.
+  // a plain single call with one replica. The CallContext (priority class,
+  // deadline) rides down into every per-replica attempt's KPR2 frame; a
+  // REJECTED fault (kResourceExhausted) is a real answer from a live
+  // leader, not a failover trigger — it returns straight to the caller.
   Result<WireValue> Call(const std::string& method,
-                         const WireValue::Array& payload);
+                         const WireValue::Array& payload) {
+    return Call(method, payload, CallContext{});
+  }
+  Result<WireValue> Call(const std::string& method,
+                         const WireValue::Array& payload,
+                         const CallContext& ctx);
   // Same state machine, asynchronous.
   void CallAsync(const std::string& method, WireValue::Array payload,
+                 std::function<void(Result<WireValue>)> done) {
+    CallAsync(method, std::move(payload), CallContext{}, std::move(done));
+  }
+  void CallAsync(const std::string& method, WireValue::Array payload,
+                 const CallContext& ctx,
                  std::function<void(Result<WireValue>)> done);
 
   RpcClient* rpc() const { return replicas_.front(); }
@@ -86,7 +99,8 @@ class ReplicaRouter {
 
   // One framed attempt against replica `idx`.
   Result<WireValue> CallOne(size_t idx, const std::string& method,
-                            const WireValue::Array& payload);
+                            const WireValue::Array& payload,
+                            const CallContext& ctx);
   void StepAsync(std::shared_ptr<AsyncRoute> route);
 
   EventQueue* queue_ = nullptr;

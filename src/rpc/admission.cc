@@ -1,0 +1,39 @@
+#include "src/rpc/admission.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace keypad {
+
+const char* RpcPriorityName(RpcPriority p) {
+  switch (p) {
+    case RpcPriority::kDemand:
+      return "demand";
+    case RpcPriority::kPrefetch:
+      return "prefetch";
+    case RpcPriority::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
+bool AdmissionEnabledEnv(bool configured) {
+  const char* env = std::getenv("KEYPAD_ADMISSION");
+  if (env == nullptr || *env == '\0') {
+    return configured;
+  }
+  std::string value(env);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "0" || value == "off" || value == "false" || value == "no") {
+    return false;
+  }
+  if (value == "1" || value == "on" || value == "true" || value == "yes") {
+    return true;
+  }
+  return configured;
+}
+
+}  // namespace keypad

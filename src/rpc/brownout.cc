@@ -1,0 +1,87 @@
+#include "src/rpc/brownout.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace keypad {
+
+BrownoutOptions ApplyBrownoutEnv(BrownoutOptions options) {
+  const char* env = std::getenv("KEYPAD_BROWNOUT");
+  if (env == nullptr || *env == '\0') {
+    return options;
+  }
+  std::string value(env);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "0" || value == "off" || value == "false" || value == "no") {
+    options.enabled = false;
+  } else if (value == "1" || value == "on" || value == "true" ||
+             value == "yes") {
+    options.enabled = true;
+  } else if (value == "stretch") {
+    // Explicit opt-in to the exposure-costly lever: the added
+    // key-seconds show up in Stats, never silently.
+    options.enabled = true;
+    options.stretch_cache_lifetime = true;
+  }
+  return options;
+}
+
+BrownoutController::BrownoutController(BrownoutOptions options)
+    : options_(ApplyBrownoutEnv(options)) {}
+
+void BrownoutController::NoteOverloadSignal(SimTime now) {
+  if (!options_.enabled) {
+    return;
+  }
+  ++stats_.signals;
+  if (now - window_start_ > options_.window) {
+    window_start_ = now;
+    signals_in_window_ = 1;
+  } else {
+    ++signals_in_window_;
+  }
+  if (signals_in_window_ >= options_.signal_threshold) {
+    if (now >= active_until_) {
+      ++stats_.activations;
+    }
+    active_until_ = now + options_.hold;
+  }
+}
+
+SimDuration BrownoutController::StretchBatchWindow(SimDuration base,
+                                                   SimTime now) {
+  if (!active(now)) {
+    return base;
+  }
+  ++stats_.batch_windows_stretched;
+  SimDuration stretched(static_cast<int64_t>(
+      static_cast<double>(base.nanos()) * options_.batch_window_stretch));
+  return std::max(stretched, options_.min_batch_window);
+}
+
+bool BrownoutController::SuppressPrefetch(SimTime now) {
+  if (!options_.suppress_prefetch || !active(now)) {
+    return false;
+  }
+  ++stats_.prefetches_suppressed;
+  return true;
+}
+
+SimDuration BrownoutController::CacheLifetimeForInsert(SimDuration base,
+                                                       SimTime now) {
+  stats_.exposure_base_key_seconds += base.seconds_f();
+  if (!options_.stretch_cache_lifetime || !active(now)) {
+    return base;
+  }
+  SimDuration stretched(static_cast<int64_t>(
+      static_cast<double>(base.nanos()) * options_.cache_lifetime_stretch));
+  ++stats_.cache_inserts_stretched;
+  stats_.exposure_added_key_seconds += (stretched - base).seconds_f();
+  return stretched;
+}
+
+}  // namespace keypad

@@ -1,0 +1,65 @@
+#include "src/rpc/retry_budget.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace keypad {
+
+bool RetryBudgetEnabledEnv(bool configured) {
+  const char* env = std::getenv("KEYPAD_RETRY_BUDGET");
+  if (env == nullptr || *env == '\0') {
+    return configured;
+  }
+  std::string value(env);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "0" || value == "off" || value == "false" || value == "no") {
+    return false;
+  }
+  if (value == "1" || value == "on" || value == "true" || value == "yes") {
+    return true;
+  }
+  return configured;
+}
+
+RetryBudget::RetryBudget(RetryBudgetOptions options)
+    : options_(options),
+      enabled_(RetryBudgetEnabledEnv(options.enabled)),
+      balance_(options.initial_balance) {}
+
+void RetryBudget::OnFirstAttempt() {
+  if (!enabled_) {
+    return;
+  }
+  balance_ = std::min(balance_ + options_.ratio, options_.max_balance);
+}
+
+bool RetryBudget::TryAcquireRetry(SimTime now) {
+  if (!enabled_) {
+    return true;
+  }
+  if (now < rejected_until_) {
+    ++retries_denied_;
+    return false;
+  }
+  if (balance_ < 1.0) {
+    ++retries_denied_;
+    return false;
+  }
+  balance_ -= 1.0;
+  ++retries_allowed_;
+  return true;
+}
+
+void RetryBudget::NoteServerRejected(SimTime now) {
+  if (!enabled_) {
+    return;
+  }
+  ++rejects_observed_;
+  rejected_until_ = std::max(rejected_until_, now + options_.reject_window);
+}
+
+}  // namespace keypad

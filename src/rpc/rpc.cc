@@ -53,6 +53,14 @@ Result<Envelope> ParseEnvelope(const std::string& message) {
 constexpr char kRequestFrameMagic[] = "KPRQ";
 constexpr size_t kRequestFrameLen = 4 + 8 + 8;
 
+// v2 frame (DESIGN.md §14): the dedup key plus the overload-control
+// fields the server sheds on — magic || u64 client id || u64 sequence ||
+// u64 absolute deadline in virtual nanoseconds (0 = none) || u8 priority
+// class. Clients always emit v2; servers accept both (a fleet migrates
+// one device at a time).
+constexpr char kRequestFrameMagicV2[] = "KPR2";
+constexpr size_t kRequestFrameV2Len = 4 + 8 + 8 + 8 + 1;
+
 void AppendU64(std::string& out, uint64_t v) {
   for (int i = 7; i >= 0; --i) {
     out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
@@ -67,18 +75,61 @@ uint64_t ParseU64(const std::string& s, size_t offset) {
   return v;
 }
 
-// Splits a framed request into its dedup key and the inner XML. Requests
-// without a frame (foreign/legacy clients) execute without dedup.
+// Parsed request-frame header (either version). Requests without a frame
+// (foreign/legacy clients) execute without dedup, priority, or deadline.
+struct FrameHeader {
+  ReplyCache::RequestKey key;
+  uint64_t deadline_nanos = 0;  // 0 = no deadline on the wire.
+  RpcPriority priority = RpcPriority::kDemand;
+  size_t inner_offset = 0;  // Where the encoded call starts.
+};
+
+bool ParseFrameHeader(const std::string& request, FrameHeader* header) {
+  if (request.size() >= kRequestFrameV2Len &&
+      request.compare(0, 4, kRequestFrameMagicV2) == 0) {
+    header->key.first = ParseU64(request, 4);
+    header->key.second = ParseU64(request, 12);
+    header->deadline_nanos = ParseU64(request, 20);
+    uint8_t priority = static_cast<uint8_t>(request[28]);
+    // An unknown class from a newer peer degrades to demand — never shed
+    // a request just because we can't classify it.
+    header->priority = priority <= static_cast<uint8_t>(RpcPriority::kBackground)
+                           ? static_cast<RpcPriority>(priority)
+                           : RpcPriority::kDemand;
+    header->inner_offset = kRequestFrameV2Len;
+    return true;
+  }
+  if (request.size() >= kRequestFrameLen &&
+      request.compare(0, 4, kRequestFrameMagic) == 0) {
+    header->key.first = ParseU64(request, 4);
+    header->key.second = ParseU64(request, 12);
+    header->inner_offset = kRequestFrameLen;
+    return true;
+  }
+  return false;
+}
+
+// Splits a framed request into its dedup key and the inner payload.
 bool SplitRequestFrame(const std::string& request,
                        ReplyCache::RequestKey* key, std::string* inner) {
-  if (request.size() < kRequestFrameLen ||
-      request.compare(0, 4, kRequestFrameMagic) != 0) {
+  FrameHeader header;
+  if (!ParseFrameHeader(request, &header)) {
     return false;
   }
-  key->first = ParseU64(request, 4);
-  key->second = ParseU64(request, 12);
-  *inner = request.substr(kRequestFrameLen);
+  *key = header.key;
+  *inner = request.substr(header.inner_offset);
   return true;
+}
+
+// Codec of the encoded call inside a framed request — rejections answer
+// in the request's codec like every other reply (echo rule).
+WireCodec FrameInnerCodec(const std::string& request,
+                          const FrameHeader& header, bool xml_only) {
+  if (xml_only) {
+    return WireCodec::kXml;
+  }
+  return DetectCodec(
+      std::string_view(request).substr(header.inner_offset));
 }
 
 // Process-wide client-id allocator. Construction order inside the
@@ -108,6 +159,69 @@ void RpcServer::EnableChannelSecurity(ChannelLookup lookup,
   channel_rng_ = rng;
 }
 
+void RpcServer::set_admission(AdmissionOptions admission) {
+  admission_ = admission;
+  admission_.enabled = AdmissionEnabledEnv(admission.enabled);
+}
+
+Status RpcServer::AdmitAtArrival(RpcPriority priority,
+                                 uint64_t deadline_nanos) {
+  SimTime now = queue_->Now();
+  SimDuration wait =
+      busy_until_ > now ? busy_until_ - now : SimDuration(0);
+  SimDuration sojourn = wait + service_time_;
+
+  // CoDel-style overload clock: what matters is *sustained* time above
+  // the sojourn target, not an instantaneous burst — a flash crowd that
+  // drains within the interval never sheds anything.
+  if (sojourn > admission_.target_sojourn) {
+    if (!above_target_) {
+      above_target_ = true;
+      above_since_ = now;
+    }
+    if (!overloaded_ && now - above_since_ >= admission_.overload_interval) {
+      overloaded_ = true;
+      ++overload_events_;
+    }
+  } else {
+    above_target_ = false;
+    overloaded_ = false;
+  }
+
+  // Work that would finish past its own deadline is dead on arrival:
+  // reject it now, before it occupies a service slot.
+  if (deadline_nanos != 0 &&
+      (now + sojourn).nanos() > static_cast<int64_t>(deadline_nanos)) {
+    ++deadline_expired_;
+    return ResourceExhaustedError(
+        "rpc: REJECTED expired (would finish past deadline)");
+  }
+
+  uint64_t& shed = priority == RpcPriority::kDemand     ? shed_demand_
+                   : priority == RpcPriority::kPrefetch ? shed_prefetch_
+                                                        : shed_background_;
+  if (queue_depth_ >= admission_.max_queue_depth) {
+    ++shed;
+    return ResourceExhaustedError(std::string("rpc: REJECTED queue full (") +
+                                  RpcPriorityName(priority) + ")");
+  }
+  if (overloaded_) {
+    double slack = priority == RpcPriority::kDemand
+                       ? admission_.demand_slack
+                   : priority == RpcPriority::kPrefetch
+                       ? admission_.prefetch_slack
+                       : admission_.background_slack;
+    double limit =
+        static_cast<double>(admission_.target_sojourn.nanos()) * slack;
+    if (static_cast<double>(sojourn.nanos()) > limit) {
+      ++shed;
+      return ResourceExhaustedError(std::string("rpc: REJECTED overload (") +
+                                    RpcPriorityName(priority) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
 void RpcServer::HandleRequestAsync(const std::string& request_raw,
                                    std::function<void(std::string)> done) {
   if (down_) {
@@ -115,6 +229,22 @@ void RpcServer::HandleRequestAsync(const std::string& request_raw,
     // per-attempt timeout is its only signal.
     ++requests_dropped_;
     return;
+  }
+  // Admission control needs the priority/deadline fields of the request
+  // frame, which sealed envelopes hide inside the ciphertext — those
+  // queue as before and only plaintext-framed requests are shed here.
+  FrameHeader header;
+  bool framed =
+      !IsEnvelope(request_raw) && ParseFrameHeader(request_raw, &header);
+  if (admission_.enabled && framed) {
+    Status verdict = AdmitAtArrival(header.priority, header.deadline_nanos);
+    if (!verdict.ok()) {
+      // Cheap explicit rejection: no busy-clock charge, no handler, no
+      // audit row owed (no key material leaves on a REJECTED reply).
+      done(EncodeFault(FrameInnerCodec(request_raw, header, xml_only_),
+                       std::move(verdict)));
+      return;
+    }
   }
   // Queue the request on this server's busy-clock instead of advancing the
   // global clock: concurrent requests to one server serialize behind its
@@ -125,11 +255,24 @@ void RpcServer::HandleRequestAsync(const std::string& request_raw,
   ++queue_depth_;
   queue_depth_high_water_ = std::max(queue_depth_high_water_, queue_depth_);
   queue_->Schedule(finish, [this, request = request_raw,
-                            done = std::move(done)]() mutable {
+                            done = std::move(done), framed,
+                            header]() mutable {
     --queue_depth_;
     if (down_) {
       // Crashed while the request sat in the service queue.
       ++requests_dropped_;
+      return;
+    }
+    if (admission_.enabled && framed && header.deadline_nanos != 0 &&
+        queue_->Now().nanos() >
+            static_cast<int64_t>(header.deadline_nanos)) {
+      // The deadline passed while the request sat queued: nobody is
+      // waiting for this answer anymore, so skip the handler (and the
+      // seal/unwrap CPU it would charge) and say so cheaply.
+      ++deadline_expired_;
+      done(EncodeFault(FrameInnerCodec(request, header, xml_only_),
+                       ResourceExhaustedError(
+                           "rpc: REJECTED expired (deadline passed in queue)")));
       return;
     }
     ProcessRequest(request, std::move(done));
@@ -241,6 +384,11 @@ struct RpcClient::EncodedRequest {
   WireValue::Array params;
   bool params_retained = false;
   WireCodec codec = WireCodec::kXml;  // Codec the frame was encoded in.
+  // Overload-control fields written into the KPR2 frame. The deadline is
+  // absolute, so every retransmission carries the same remaining budget —
+  // the server sheds stale retries exactly like stale originals.
+  uint64_t deadline_nanos = 0;
+  RpcPriority priority = RpcPriority::kDemand;
   BufferLease framed;
 };
 
@@ -252,6 +400,7 @@ struct RpcClient::AsyncCall {
   std::string method;
   int attempt = 0;
   bool admitted = false;  // Passed the circuit breaker.
+  bool probe = false;     // Half-open canary: exempt from the retry budget.
   bool finished = false;
   SimTime deadline;  // Absolute overall deadline.
   EventQueue::EventId timer = EventQueue::kInvalidEvent;
@@ -264,6 +413,7 @@ RpcClient::RpcClient(EventQueue* queue, NetworkLink* link, RpcServer* server,
       server_(server),
       options_(options),
       breaker_(options.breaker),
+      retry_budget_(options.retry_budget),
       retry_rng_(0),
       client_id_(NextClientId()),
       codec_(options.codec) {
@@ -310,10 +460,19 @@ Result<std::string> RpcClient::OpenResponse(const std::string& response) {
 }
 
 std::shared_ptr<RpcClient::EncodedRequest> RpcClient::Encode(
-    const std::string& method, WireValue::Array params) {
+    const std::string& method, WireValue::Array params,
+    const CallContext& ctx) {
   auto req = std::make_shared<EncodedRequest>();
   req->method = method;
   req->codec = codec_;
+  // The wire deadline is the overall ladder deadline: the tighter of the
+  // caller's context deadline and now + total_deadline.
+  SimTime deadline = queue_->Now() + options_.total_deadline;
+  if (ctx.deadline.has_value() && *ctx.deadline < deadline) {
+    deadline = *ctx.deadline;
+  }
+  req->deadline_nanos = static_cast<uint64_t>(deadline.nanos());
+  req->priority = ctx.priority;
   req->framed = BufferLease(buffer_pool_);
   if (codec_ == WireCodec::kBinary && !binary_confirmed_ && !codec_forced_) {
     // Probe: keep the params so an XML-only peer can be answered with an
@@ -331,9 +490,11 @@ void RpcClient::FrameInto(EncodedRequest& req,
                           const WireValue::Array& params) {
   std::string& out = *req.framed;
   out.clear();
-  out.append(kRequestFrameMagic, 4);
+  out.append(kRequestFrameMagicV2, 4);
   AppendU64(out, client_id_);
   AppendU64(out, next_request_seq_++);
+  AppendU64(out, req.deadline_nanos);
+  out.push_back(static_cast<char>(req.priority));
   EncodeCallInto(req.codec, req.method, params, out);
 }
 
@@ -415,8 +576,25 @@ bool RpcClient::SendAttempt(std::shared_ptr<EncodedRequest> req,
       });
 }
 
+bool IsRejectedByServer(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted &&
+         status.message().find("REJECTED") != std::string::npos;
+}
+
+bool IsRejectedByServer(const Result<WireValue>& result) {
+  return !result.ok() && IsRejectedByServer(result.status());
+}
+
+void RpcClient::NoteCallResult(const Result<WireValue>& result) {
+  if (IsRejectedByServer(result)) {
+    ++calls_rejected_by_server_;
+    retry_budget_.NoteServerRejected(queue_->Now());
+  }
+}
+
 Result<WireValue> RpcClient::Call(const std::string& method,
-                                  WireValue::Array params) {
+                                  WireValue::Array params,
+                                  const CallContext& ctx) {
   ++calls_started_;
   queue_->AdvanceBy(codec_ == WireCodec::kBinary
                         ? options_.client_overhead_binary
@@ -427,13 +605,23 @@ Result<WireValue> RpcClient::Call(const std::string& method,
     // observably back up.
     breaker_.NoteLinkRestored(queue_->Now());
   }
+  bool was_open = breaker_.state() == CircuitBreaker::State::kOpen;
   if (!breaker_.AllowRequest(queue_->Now())) {
     return UnavailableError("rpc: circuit open, rejecting " + method);
   }
+  // Admitted out of the open state = THE half-open probe. It shares the
+  // budget's state but is exempt from its gate: a drained bucket must
+  // not starve the single canary that can close the breaker.
+  bool probe = was_open &&
+               breaker_.state() == CircuitBreaker::State::kHalfOpen;
+  retry_budget_.OnFirstAttempt();
 
-  auto framed = Encode(method, std::move(params));
+  auto framed = Encode(method, std::move(params), ctx);
   auto pending = std::make_shared<PendingCall>();
   SimTime overall_deadline = queue_->Now() + options_.total_deadline;
+  if (ctx.deadline.has_value()) {
+    overall_deadline = std::min(overall_deadline, *ctx.deadline);
+  }
   int max_attempts = std::max(1, options_.retry.max_attempts);
 
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -455,9 +643,16 @@ Result<WireValue> RpcClient::Call(const std::string& method,
         std::min(queue_->Now() + options_.timeout, overall_deadline);
     if (queue_->RunUntilFlag(&pending->done, attempt_deadline)) {
       breaker_.RecordSuccess();
+      NoteCallResult(pending->result);
       return pending->result;
     }
     if (attempt == max_attempts || queue_->Now() >= overall_deadline) {
+      break;
+    }
+    if (!probe && !retry_budget_.TryAcquireRetry(queue_->Now())) {
+      // Budget drained (or the server REJECTED us this window): retrying
+      // into a saturated tier only amplifies the overload. Give up as a
+      // timeout — the breaker sees the failure like any other.
       break;
     }
     SimDuration backoff = BackoffBefore(attempt + 1);
@@ -469,6 +664,7 @@ Result<WireValue> RpcClient::Call(const std::string& method,
       // A straggler response from an earlier attempt landed during the
       // backoff — the call succeeded after all.
       breaker_.RecordSuccess();
+      NoteCallResult(pending->result);
       return pending->result;
     }
   }
@@ -509,6 +705,7 @@ void RpcClient::StartAsyncAttempt(std::shared_ptr<AsyncCall> call) {
   ++call->attempt;
   bool sent = SendAttempt(call->request, call->pending, [this, call] {
     breaker_.RecordSuccess();
+    NoteCallResult(call->pending->result);
     FinishAsync(call, call->pending->result);
   });
   if (!sent) {
@@ -526,6 +723,16 @@ void RpcClient::StartAsyncAttempt(std::shared_ptr<AsyncCall> call) {
       return;
     }
     int max_attempts = std::max(1, options_.retry.max_attempts);
+    if (call->attempt < max_attempts && !call->probe &&
+        !retry_budget_.TryAcquireRetry(queue_->Now())) {
+      // Budget drained (or a REJECTED closed the window): stop the
+      // ladder here instead of feeding the overload.
+      ++calls_timed_out_;
+      breaker_.RecordFailure(queue_->Now());
+      FinishAsync(call, UnavailableError("rpc: retry budget exhausted calling " +
+                                         call->method));
+      return;
+    }
     SimDuration backoff = BackoffBefore(call->attempt + 1);
     if (call->attempt >= max_attempts ||
         queue_->Now() + backoff >= call->deadline) {
@@ -543,6 +750,7 @@ void RpcClient::StartAsyncAttempt(std::shared_ptr<AsyncCall> call) {
 }
 
 void RpcClient::CallAsync(const std::string& method, WireValue::Array params,
+                          const CallContext& ctx,
                           std::function<void(Result<WireValue>)> done) {
   ++calls_started_;
   queue_->AdvanceBy(codec_ == WireCodec::kBinary
@@ -553,10 +761,14 @@ void RpcClient::CallAsync(const std::string& method, WireValue::Array params,
   call->finish = std::move(done);
   call->method = method;
   call->deadline = queue_->Now() + options_.total_deadline;
+  if (ctx.deadline.has_value()) {
+    call->deadline = std::min(call->deadline, *ctx.deadline);
+  }
 
   if (!link_->disconnected()) {
     breaker_.NoteLinkRestored(queue_->Now());
   }
+  bool was_open = breaker_.state() == CircuitBreaker::State::kOpen;
   if (!breaker_.AllowRequest(queue_->Now())) {
     // Preserve the async contract: complete from the queue, never
     // reentrantly from inside CallAsync.
@@ -567,7 +779,10 @@ void RpcClient::CallAsync(const std::string& method, WireValue::Array params,
     return;
   }
   call->admitted = true;
-  call->request = Encode(method, std::move(params));
+  call->probe = was_open &&
+                breaker_.state() == CircuitBreaker::State::kHalfOpen;
+  retry_budget_.OnFirstAttempt();
+  call->request = Encode(method, std::move(params), ctx);
   StartAsyncAttempt(call);
 }
 

@@ -44,13 +44,16 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/cryptocore/secure_random.h"
 #include "src/net/link.h"
 #include "src/net/secure_channel.h"
+#include "src/rpc/admission.h"
 #include "src/rpc/circuit_breaker.h"
 #include "src/rpc/reply_cache.h"
+#include "src/rpc/retry_budget.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/random.h"
 #include "src/util/result.h"
@@ -59,6 +62,17 @@
 #include "src/wire/value.h"
 
 namespace keypad {
+
+// Per-call context a caller threads down to the wire (DESIGN.md §14).
+// The priority class and the remaining deadline ride in the KPR2 request
+// frame so the *server* can shed or expire the request instead of
+// executing work nobody is waiting for anymore.
+struct CallContext {
+  RpcPriority priority = RpcPriority::kDemand;
+  // Optional absolute deadline. The wire deadline is the tighter of this
+  // and now + total_deadline; unset means the RpcOptions deadline alone.
+  std::optional<SimTime> deadline;
+};
 
 class RpcServer {
  public:
@@ -73,7 +87,12 @@ class RpcServer {
 
   // `service_time` is charged (virtually) for every handled request.
   RpcServer(EventQueue* queue, SimDuration service_time)
-      : queue_(queue), service_time_(service_time) {}
+      : queue_(queue), service_time_(service_time) {
+    // KEYPAD_ADMISSION=1 turns admission on even for servers nobody
+    // explicitly configured (the read-path-invariants-under-admission
+    // CI sweep relies on this).
+    admission_.enabled = AdmissionEnabledEnv(admission_.enabled);
+  }
 
   void RegisterMethod(const std::string& name, Handler handler);
   void RegisterAsyncMethod(const std::string& name, AsyncHandler handler);
@@ -115,6 +134,19 @@ class RpcServer {
   // fault that triggers the client's fallback. Tests and ablations only.
   void set_xml_only(bool xml_only) { xml_only_ = xml_only; }
 
+  // Admission control (DESIGN.md §14): bounded queue, CoDel-style
+  // sojourn shedding by priority class, and deadline expiry — all
+  // evaluated against this server's busy clock. Disabled by default (the
+  // legacy unbounded queue); KEYPAD_ADMISSION overrides either way.
+  // Shedding decisions need the priority/deadline from the KPR2 frame,
+  // so only plaintext-framed requests are shed at arrival; sealed
+  // envelopes queue as before (the frame is inside the ciphertext).
+  void set_admission(AdmissionOptions admission);
+  const AdmissionOptions& admission() const { return admission_; }
+  // True while the CoDel clock says the sojourn has been above target
+  // for a full interval — the state in which classes start shedding.
+  bool overloaded() const { return overloaded_; }
+
   ReplyCache& reply_cache() { return reply_cache_; }
   const ReplyCache& reply_cache() const { return reply_cache_; }
 
@@ -129,17 +161,47 @@ class RpcServer {
   // Deepest the service queue ever got — the saturation signal the scale
   // bench records per shard.
   uint64_t queue_depth_high_water() const { return queue_depth_high_water_; }
+  // Requests shed by admission control, by priority class. Shed requests
+  // never reach a handler, never touch the busy clock, and never owe an
+  // audit row — no key material left the service.
+  uint64_t shed_demand() const { return shed_demand_; }
+  uint64_t shed_prefetch() const { return shed_prefetch_; }
+  uint64_t shed_background() const { return shed_background_; }
+  uint64_t requests_shed() const {
+    return shed_demand_ + shed_prefetch_ + shed_background_;
+  }
+  // Requests rejected because their frame deadline was (or would be)
+  // already blown — at arrival or on dequeue.
+  uint64_t deadline_expired() const { return deadline_expired_; }
+  // Transitions into the overloaded state — the brownout signal.
+  uint64_t overload_events() const { return overload_events_; }
 
  private:
   // The post-queueing half of HandleRequestAsync: decode, dedup, dispatch.
   void ProcessRequest(const std::string& request_raw,
                       std::function<void(std::string)> done);
 
+  // Arrival-side admission verdict for a framed plaintext request. A
+  // non-OK status is the REJECTED fault to answer with (and counters
+  // have been bumped); OK means queue it.
+  Status AdmitAtArrival(RpcPriority priority, uint64_t deadline_nanos);
+
   EventQueue* queue_;
   SimDuration service_time_;
   SimTime busy_until_;  // Busy-clock: when the server frees up.
   uint64_t queue_depth_ = 0;
   uint64_t queue_depth_high_water_ = 0;
+  AdmissionOptions admission_;
+  // CoDel state: when the expected sojourn first went above target (unset
+  // = currently below), and whether a full interval has elapsed above.
+  bool above_target_ = false;
+  SimTime above_since_;
+  bool overloaded_ = false;
+  uint64_t shed_demand_ = 0;
+  uint64_t shed_prefetch_ = 0;
+  uint64_t shed_background_ = 0;
+  uint64_t deadline_expired_ = 0;
+  uint64_t overload_events_ = 0;
   std::map<std::string, AsyncHandler> handlers_;
   ChannelLookup channel_lookup_;
   SecureRandom* channel_rng_ = nullptr;
@@ -179,6 +241,10 @@ struct RpcOptions {
   SimDuration total_deadline = SimDuration::Seconds(30);
   RetryOptions retry;
   CircuitBreakerOptions breaker;
+  // Token-bucket cap on the retry-to-first-attempt ratio (DESIGN.md
+  // §14). Off by default (the PR 2 ladder); KEYPAD_RETRY_BUDGET
+  // overrides either way.
+  RetryBudgetOptions retry_budget;
 };
 
 // Resets the process-global RPC client-id allocator. Client ids seed the
@@ -193,14 +259,24 @@ class RpcClient {
 
   // Virtually-blocking call. Returns the server's value, the server's
   // fault, or kUnavailable when the link is known-down (fail-fast), the
-  // circuit breaker is open, or every attempt timed out.
+  // circuit breaker is open, every attempt timed out, or the retry
+  // budget denied the next attempt.
   Result<WireValue> Call(const std::string& method,
-                         WireValue::Array params);
+                         WireValue::Array params) {
+    return Call(method, std::move(params), CallContext{});
+  }
+  Result<WireValue> Call(const std::string& method, WireValue::Array params,
+                         const CallContext& ctx);
 
   // Asynchronous call; `done` fires exactly once — with the response, a
   // fault, or kUnavailable after fail-fast / breaker rejection / the last
   // attempt's timeout.
   void CallAsync(const std::string& method, WireValue::Array params,
+                 std::function<void(Result<WireValue>)> done) {
+    CallAsync(method, std::move(params), CallContext{}, std::move(done));
+  }
+  void CallAsync(const std::string& method, WireValue::Array params,
+                 const CallContext& ctx,
                  std::function<void(Result<WireValue>)> done);
 
   // Re-point the client at a different link (e.g. paired-device failover).
@@ -221,6 +297,7 @@ class RpcClient {
 
   RpcOptions& options() { return options_; }
   CircuitBreaker& breaker() { return breaker_; }
+  const RetryBudget& retry_budget() const { return retry_budget_; }
   // Reuse statistics of the pooled encode buffers.
   const BufferPool::Stats& encode_buffer_stats() const {
     return buffer_pool_->stats();
@@ -237,6 +314,17 @@ class RpcClient {
   uint64_t calls_rejected() const { return breaker_.rejected_count(); }
   // Times this client fell back from a binary probe to XML.
   uint64_t codec_downgrades() const { return codec_downgrades_; }
+  // Calls the server answered with an explicit REJECTED fault
+  // (admission shed or deadline-expired) — the budget window closes on
+  // each so retries stop within it.
+  uint64_t calls_rejected_by_server() const {
+    return calls_rejected_by_server_;
+  }
+  // Retry ladders cut short by the budget (attempt N timed out and the
+  // bucket would not fund attempt N+1).
+  uint64_t retries_budget_denied() const {
+    return retry_budget_.retries_denied();
+  }
 
  private:
   struct PendingCall;
@@ -249,11 +337,17 @@ class RpcClient {
   Result<std::string> OpenResponse(const std::string& response);
 
   // Marshals a call once for its whole retry ladder: dedup frame (client id
-  // + fresh sequence number) and encoded payload assembled in one pooled
-  // buffer. Params are retained inside the request only while an XML
-  // re-frame might still be needed (binary probe not yet confirmed).
+  // + fresh sequence number + deadline + priority) and encoded payload
+  // assembled in one pooled buffer. Params are retained inside the request
+  // only while an XML re-frame might still be needed (binary probe not yet
+  // confirmed).
   std::shared_ptr<EncodedRequest> Encode(const std::string& method,
-                                         WireValue::Array params);
+                                         WireValue::Array params,
+                                         const CallContext& ctx);
+
+  // Observes a completed call's result: a REJECTED fault closes the
+  // retry-budget window (the server explicitly refused the load).
+  void NoteCallResult(const Result<WireValue>& result);
   // (Re-)writes the framed bytes of `req` in its current codec, consuming a
   // fresh sequence number.
   void FrameInto(EncodedRequest& req, const WireValue::Array& params);
@@ -279,6 +373,7 @@ class RpcClient {
   RpcServer* server_;
   RpcOptions options_;
   CircuitBreaker breaker_;
+  RetryBudget retry_budget_;
   SimRandom retry_rng_;
   uint64_t client_id_;
   uint64_t next_request_seq_ = 1;
@@ -296,7 +391,16 @@ class RpcClient {
   uint64_t attempts_started_ = 0;
   uint64_t calls_timed_out_ = 0;
   uint64_t calls_failed_fast_ = 0;
+  uint64_t calls_rejected_by_server_ = 0;
 };
+
+// True when `result` is the server's explicit REJECTED fault (admission
+// shed or deadline-expired): kResourceExhausted with the REJECTED tag.
+// Callers treat it as non-retryable backpressure — the server saw the
+// request and refused it cheaply; no key material moved, no audit row
+// was written.
+bool IsRejectedByServer(const Status& status);
+bool IsRejectedByServer(const Result<WireValue>& result);
 
 }  // namespace keypad
 
