@@ -44,6 +44,7 @@ declare -A json_for=(
   [bench_availability]=/root/repo/BENCH_availability.json
   [bench_durability]=/root/repo/BENCH_durability.json
   [bench_overload]=/root/repo/BENCH_overload.json
+  [bench_auditlog]=/root/repo/BENCH_auditlog.json
 )
 
 for b in /root/repo/build/bench/*; do
@@ -84,6 +85,10 @@ for b in /root/repo/build/bench/*; do
   elif [[ "$name" == "bench_overload" ]]; then
     # Overload robustness: admission control, retry budgets, and brownout
     # at 2x saturation, plus the revocation-storm audit gate (DESIGN.md §14).
+    "$b" "$json" >> "$out" 2>&1
+  elif [[ "$name" == "bench_auditlog" ]]; then
+    # Audit-log lifecycle: truncation soak, checkpoint catch-up vs genesis
+    # replay, cold-tier scrub repair (DESIGN.md §15).
     "$b" "$json" >> "$out" 2>&1
   else
     "$b" >> "$out" 2>&1

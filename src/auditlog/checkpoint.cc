@@ -1,0 +1,100 @@
+#include "src/auditlog/checkpoint.h"
+
+#include <string>
+
+#include "src/cryptocore/hmac.h"
+#include "src/cryptocore/sha256.h"
+
+namespace keypad {
+
+Bytes LogCheckpoint::ComputeHash() const {
+  Bytes material = prev_hash;
+  AppendU64Be(material, id);
+  AppendU64Be(material, start_seq);
+  AppendU64Be(material, end_seq);
+  Append(material, merkle_root);
+  Append(material, chain_seal);
+  return Sha256::HashBytes(material);
+}
+
+void LogCheckpoint::Sign(const Bytes& key) {
+  hash = ComputeHash();
+  signature = HmacSha256(key, hash);
+}
+
+WireValue LogCheckpoint::ToWire() const {
+  WireValue::Struct s;
+  s.emplace("id", WireValue(static_cast<int64_t>(id)));
+  s.emplace("start", WireValue(static_cast<int64_t>(start_seq)));
+  s.emplace("end", WireValue(static_cast<int64_t>(end_seq)));
+  s.emplace("root", WireValue(merkle_root));
+  s.emplace("seal", WireValue(chain_seal));
+  s.emplace("prev", WireValue(prev_hash));
+  s.emplace("hash", WireValue(hash));
+  s.emplace("sig", WireValue(signature));
+  return WireValue(std::move(s));
+}
+
+Result<LogCheckpoint> LogCheckpoint::FromWire(const WireValue& value) {
+  LogCheckpoint ckpt;
+  KP_ASSIGN_OR_RETURN(WireValue id, value.Field("id"));
+  KP_ASSIGN_OR_RETURN(int64_t id_int, id.AsInt());
+  ckpt.id = static_cast<uint64_t>(id_int);
+  KP_ASSIGN_OR_RETURN(WireValue start, value.Field("start"));
+  KP_ASSIGN_OR_RETURN(int64_t start_int, start.AsInt());
+  ckpt.start_seq = static_cast<uint64_t>(start_int);
+  KP_ASSIGN_OR_RETURN(WireValue end, value.Field("end"));
+  KP_ASSIGN_OR_RETURN(int64_t end_int, end.AsInt());
+  ckpt.end_seq = static_cast<uint64_t>(end_int);
+  KP_ASSIGN_OR_RETURN(WireValue root, value.Field("root"));
+  KP_ASSIGN_OR_RETURN(ckpt.merkle_root, root.AsBytes());
+  KP_ASSIGN_OR_RETURN(WireValue seal, value.Field("seal"));
+  KP_ASSIGN_OR_RETURN(ckpt.chain_seal, seal.AsBytes());
+  KP_ASSIGN_OR_RETURN(WireValue prev, value.Field("prev"));
+  KP_ASSIGN_OR_RETURN(ckpt.prev_hash, prev.AsBytes());
+  KP_ASSIGN_OR_RETURN(WireValue hash, value.Field("hash"));
+  KP_ASSIGN_OR_RETURN(ckpt.hash, hash.AsBytes());
+  KP_ASSIGN_OR_RETURN(WireValue sig, value.Field("sig"));
+  KP_ASSIGN_OR_RETURN(ckpt.signature, sig.AsBytes());
+  return ckpt;
+}
+
+Status VerifyCheckpointChain(const std::vector<LogCheckpoint>& checkpoints,
+                             const Bytes& key) {
+  Bytes prev(32, 0);
+  uint64_t expected_start = 0;
+  for (size_t i = 0; i < checkpoints.size(); ++i) {
+    const LogCheckpoint& ckpt = checkpoints[i];
+    if (ckpt.id != i) {
+      return DataLossError("checkpoint chain: id gap at " + std::to_string(i));
+    }
+    if (ckpt.start_seq != expected_start || ckpt.end_seq < ckpt.start_seq) {
+      return DataLossError("checkpoint chain: range gap at " +
+                           std::to_string(i));
+    }
+    if (ckpt.prev_hash != prev) {
+      return DataLossError("checkpoint chain: break at " + std::to_string(i));
+    }
+    if (ckpt.hash != ckpt.ComputeHash()) {
+      return DataLossError("checkpoint chain: hash mismatch at " +
+                           std::to_string(i));
+    }
+    if (!ConstantTimeEquals(ckpt.signature, HmacSha256(key, ckpt.hash))) {
+      return DataLossError("checkpoint chain: bad signature at " +
+                           std::to_string(i));
+    }
+    prev = ckpt.hash;
+    expected_start = ckpt.end_seq;
+  }
+  return Status::Ok();
+}
+
+const Bytes& DefaultCheckpointKey() {
+  static const Bytes* key = [] {
+    return new Bytes(Sha256::HashBytes(
+        Bytes{'k', 'e', 'y', 'p', 'a', 'd', '-', 'c', 'k', 'p', 't'}));
+  }();
+  return *key;
+}
+
+}  // namespace keypad

@@ -1,0 +1,55 @@
+#include "src/auditlog/log_options.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace keypad {
+
+namespace {
+
+bool BoolEnv(const char* name, bool configured) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') {
+    return configured;
+  }
+  std::string value(env);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "0" || value == "off" || value == "false" || value == "no") {
+    return false;
+  }
+  if (value == "1" || value == "on" || value == "true" || value == "yes") {
+    return true;
+  }
+  return configured;
+}
+
+uint64_t U64Env(const char* name, uint64_t configured) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') {
+    return configured;
+  }
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || (end != nullptr && *end != '\0')) {
+    return configured;
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+}  // namespace
+
+SegmentedLogOptions ApplySegmentedLogEnv(SegmentedLogOptions configured) {
+  configured.segment_ops =
+      U64Env("KEYPAD_LOG_SEGMENT_OPS", configured.segment_ops);
+  configured.cold_ship = BoolEnv("KEYPAD_LOG_COLD_SHIP", configured.cold_ship);
+  configured.truncate = BoolEnv("KEYPAD_LOG_TRUNCATE", configured.truncate);
+  if (configured.truncate) {
+    configured.cold_ship = true;
+  }
+  return configured;
+}
+
+}  // namespace keypad

@@ -1,0 +1,42 @@
+// Lifecycle configuration for a segmented log, plus the environment
+// ablation overrides (mirrors KEYPAD_HOTKEY_CACHE / KEYPAD_ADMISSION).
+
+#ifndef SRC_AUDITLOG_LOG_OPTIONS_H_
+#define SRC_AUDITLOG_LOG_OPTIONS_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace keypad {
+
+struct SegmentedLogOptions {
+  // Seal a segment (and emit a signed checkpoint) once at least this many
+  // entries have accumulated past the previous checkpoint, at the next
+  // commit-group boundary. 0 disables segmentation entirely — the seed's
+  // behavior, and the default.
+  uint64_t segment_ops = 0;
+
+  // Ship sealed segments to the attached SegmentStore so a checkpointed
+  // prefix stays fetchable (and bit-rot-repairable) after truncation.
+  bool cold_ship = false;
+
+  // Drop checkpointed prefixes from memory. Only advances over segments
+  // that were actually shipped AND past the durable-watermark anchor (all
+  // in-sync replicas hold the prefix), preserving duplicated-but-never-lost.
+  // Implies cold_ship.
+  bool truncate = false;
+
+  // Checkpoint-signing key; empty selects DefaultCheckpointKey().
+  Bytes signing_key;
+};
+
+// Applies KEYPAD_LOG_SEGMENT_OPS (entry count; 0 disables),
+// KEYPAD_LOG_COLD_SHIP and KEYPAD_LOG_TRUNCATE (0/off/false/no,
+// 1/on/true/yes) on top of the configured defaults, and forces
+// cold_ship on when truncate is on.
+SegmentedLogOptions ApplySegmentedLogEnv(SegmentedLogOptions configured);
+
+}  // namespace keypad
+
+#endif  // SRC_AUDITLOG_LOG_OPTIONS_H_

@@ -1,0 +1,42 @@
+#include "src/auditlog/merkle.h"
+
+#include <utility>
+
+#include "src/cryptocore/sha256.h"
+
+namespace keypad {
+
+Bytes MerkleLeaf(const Bytes& material) {
+  Sha256 hasher;
+  uint8_t tag = 0x00;
+  hasher.Update(&tag, 1);
+  hasher.Update(material);
+  Sha256::Digest digest = hasher.Finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+Bytes MerkleRoot(std::vector<Bytes> leaves) {
+  if (leaves.empty()) {
+    return Bytes(32, 0);
+  }
+  while (leaves.size() > 1) {
+    std::vector<Bytes> next;
+    next.reserve((leaves.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < leaves.size(); i += 2) {
+      Sha256 hasher;
+      uint8_t tag = 0x01;
+      hasher.Update(&tag, 1);
+      hasher.Update(leaves[i]);
+      hasher.Update(leaves[i + 1]);
+      Sha256::Digest digest = hasher.Finish();
+      next.emplace_back(digest.begin(), digest.end());
+    }
+    if (leaves.size() % 2 == 1) {
+      next.push_back(std::move(leaves.back()));
+    }
+    leaves = std::move(next);
+  }
+  return leaves.front();
+}
+
+}  // namespace keypad

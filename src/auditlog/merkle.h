@@ -1,0 +1,33 @@
+// Merkle tree over the entries of one sealed log segment.
+//
+// The hash chain proves ordering but forces a verifier to replay every
+// entry from genesis; a per-segment Merkle root lets it verify any sealed
+// segment in isolation (fetch segment, recompute root, compare against the
+// signed checkpoint) — the incremental-verification primitive the
+// checkpoint records build on.
+//
+// Domain separation: leaves hash 0x00 || material, interior nodes hash
+// 0x01 || left || right, so an attacker cannot pass an interior node off
+// as a leaf (second-preimage structure attack). An empty segment has the
+// all-zero root, matching the chain's genesis seal convention.
+
+#ifndef SRC_AUDITLOG_MERKLE_H_
+#define SRC_AUDITLOG_MERKLE_H_
+
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace keypad {
+
+// Leaf hash for one entry's canonical serialization (the same material the
+// chain seal consumes, without the prev-hash prefix).
+Bytes MerkleLeaf(const Bytes& material);
+
+// Root over leaves in order; odd nodes are promoted unchanged. Empty input
+// yields Bytes(32, 0).
+Bytes MerkleRoot(std::vector<Bytes> leaves);
+
+}  // namespace keypad
+
+#endif  // SRC_AUDITLOG_MERKLE_H_

@@ -1,0 +1,93 @@
+// Cold storage for sealed log segments, on the PR-7 durable-medium seam.
+//
+// A sealed segment is immutable: [start_seq, end_seq) wire-form entries
+// plus the chain seal entering the segment and the Merkle root the signed
+// checkpoint pins. Segments land on a StorageBackend (the integrity-tagged
+// durable medium) and are mirrored to the simulated cloud store, so the
+// scrub pass can repair local bit rot from the replica — an evicted prefix
+// stays fetchable for forensic replay after theft.
+
+#ifndef SRC_AUDITLOG_SEGMENT_STORE_H_
+#define SRC_AUDITLOG_SEGMENT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/blockdev/cloud_store.h"
+#include "src/blockdev/storage_backend.h"
+#include "src/util/result.h"
+#include "src/wire/value.h"
+
+namespace keypad {
+
+struct SealedSegment {
+  std::string tier;  // Namespaces object ids ("key0", "meta", ...).
+  uint64_t index = 0;
+  uint64_t start_seq = 0;
+  uint64_t end_seq = 0;
+  Bytes prev_seal;  // Chain seal entering the segment.
+  Bytes merkle_root;
+  std::vector<WireValue> entries;
+
+  WireValue ToWire() const;
+  static Result<SealedSegment> FromWire(const WireValue& value);
+};
+
+class SegmentStore {
+ public:
+  // `cloud` is optional; without it scrub can detect rot but not repair it.
+  SegmentStore(std::unique_ptr<StorageBackend> backend,
+               SimObjectStore* cloud = nullptr);
+
+  static ObjectId SegmentObjectId(const std::string& tier, uint64_t index);
+  static std::string CloudKey(const std::string& tier, uint64_t index);
+
+  // Durably stores the segment (Apply + Sync) and schedules the cloud
+  // mirror upload. Idempotent: re-putting the same segment rewrites the
+  // same bytes.
+  Status Put(const SealedSegment& segment);
+
+  bool Has(const std::string& tier, uint64_t index) const;
+
+  // Reads from the local medium only (synchronous — safe inside RPC
+  // handlers). Damaged objects surface as errors; run Scrub() to repair.
+  Result<SealedSegment> Get(const std::string& tier, uint64_t index) const;
+
+  // Get with a cloud fallback: on local miss or damage, BlockingGet the
+  // mirror (advances virtual time — forensic/offline callers only) and
+  // repair the local object in place.
+  Result<SealedSegment> FetchWithRepair(const std::string& tier,
+                                        uint64_t index);
+
+  // Scrub pass over every stored segment: re-verify integrity tags and
+  // repair rotten objects from the cloud mirror.
+  struct ScrubReport {
+    uint64_t scanned = 0;
+    uint64_t clean = 0;
+    uint64_t repaired = 0;
+    uint64_t unrepairable = 0;
+  };
+  ScrubReport Scrub();
+
+  StorageBackend* backend() { return backend_.get(); }
+  SimObjectStore* cloud() { return cloud_; }
+  uint64_t puts() const { return puts_; }
+  uint64_t repairs() const { return repairs_; }
+
+ private:
+  Result<SealedSegment> Decode(const Bytes& data) const;
+
+  std::unique_ptr<StorageBackend> backend_;
+  SimObjectStore* cloud_;
+  // Cloud keys by object id, so Scrub can map a damaged object back to its
+  // mirror (the backend scan only yields opaque ids).
+  std::vector<std::pair<ObjectId, std::string>> cloud_keys_;
+  uint64_t puts_ = 0;
+  uint64_t repairs_ = 0;
+};
+
+}  // namespace keypad
+
+#endif  // SRC_AUDITLOG_SEGMENT_STORE_H_

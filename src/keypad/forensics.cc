@@ -180,6 +180,21 @@ CallContext AuditorCallContext() {
   return ctx;
 }
 
+// Authoritative chains get the strongest check the deployment supports:
+// end-to-end from genesis, refetching truncated segments from the cold
+// tier (with cloud repair) and verifying each against its signed
+// checkpoint. A replica that adopted a truncated snapshot without a cold
+// tier of its own can't replay the sealed prefix — there the verified
+// checkpoint chain vouches for it (Verify()).
+template <typename Log>
+Status VerifyChainDeep(const Log& log) {
+  Status deep = log.VerifyFullChain();
+  if (deep.ok() || deep.code() != StatusCode::kUnavailable) {
+    return deep;
+  }
+  return log.Verify();
+}
+
 }  // namespace
 
 const KeyService* ForensicAuditor::Authority(size_t shard) const {
@@ -204,7 +219,7 @@ Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
   // chain must verify independently before any of them contributes records.
   bool key_logs_ok = true;
   for (size_t i = 0; i < key_services_.size(); ++i) {
-    key_logs_ok = key_logs_ok && Authority(i)->log().Verify().ok();
+    key_logs_ok = key_logs_ok && VerifyChainDeep(Authority(i)->log()).ok();
   }
   // Replica chains verify too: a backup holding a broken chain is an audit
   // finding even when the leader's chain is intact.
@@ -223,12 +238,12 @@ Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
                     meta_replica_set_->service(r)->log().Verify().ok();
     }
   }
-  if (!key_logs_ok || !MetaAuthority()->log().Verify().ok()) {
+  if (!key_logs_ok || !VerifyChainDeep(MetaAuthority()->log()).ok()) {
     AuditReport report;
     report.t_loss = t_loss;
     report.cutoff = t_loss - texp;
     report.key_log_verified = key_logs_ok;
-    report.metadata_log_verified = MetaAuthority()->log().Verify().ok();
+    report.metadata_log_verified = VerifyChainDeep(MetaAuthority()->log()).ok();
     report.replica_logs_verified = replicas_ok;
     return Result<AuditReport>(std::move(report));
   }
@@ -287,7 +302,10 @@ Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
   // or a sole survivor (surfaced as evidence; it does not create accesses,
   // so it joins the counters, not the timeline).
   if (meta_replica_set_ != nullptr) {
-    const auto& authoritative = MetaAuthority()->log().records();
+    // AllKnownRecords: the binding index retains truncated-prefix rows, so
+    // an orphan that duplicates a checkpointed (and since-truncated) row
+    // still classifies as a duplicate, matching an untruncated run.
+    const auto authoritative = MetaAuthority()->log().AllKnownRecords();
     for (const OrphanedMetaRecord& orphan : meta_replica_set_->orphaned()) {
       const MetadataRecord& record = orphan.record;
       if (record.device_id != device_id) {
@@ -339,6 +357,68 @@ Result<AuditReport> ForensicAuditor::BuildReport(const std::string& device_id,
   return Result<AuditReport>(std::move(annotated));
 }
 
+Result<std::vector<LogCheckpoint>> RemoteAuditor::FetchCheckpoints(
+    RpcClient* rpc, const char* method, const Bytes& secret) {
+  auto result = rpc->Call(method, FrameAuthedCall(device_id_, secret, method,
+                                                  WireValue::Array()),
+                          AuditorCallContext());
+  if (!result.ok()) {
+    return result.status();
+  }
+  KP_ASSIGN_OR_RETURN(WireValue::Array raw, result->AsArray());
+  std::vector<LogCheckpoint> out;
+  out.reserve(raw.size());
+  for (const auto& raw_ckpt : raw) {
+    KP_ASSIGN_OR_RETURN(LogCheckpoint ckpt, LogCheckpoint::FromWire(raw_ckpt));
+    out.push_back(std::move(ckpt));
+  }
+  KP_RETURN_IF_ERROR(VerifyCheckpointChain(out, DefaultCheckpointKey()));
+  return out;
+}
+
+bool RemoteAuditor::CheckpointsExtendRecorded(RpcClient* rpc,
+                                              const char* method,
+                                              const Bytes& secret,
+                                              uint64_t recorded_count,
+                                              const Bytes& recorded_hash) {
+  if (recorded_count == 0) {
+    // Nothing recorded to anchor on: fall back to the legacy full resync.
+    return false;
+  }
+  auto ckpts = FetchCheckpoints(rpc, method, secret);
+  if (!ckpts.ok() || ckpts->size() < recorded_count) {
+    return false;
+  }
+  // The server's verified chain carries our recorded checkpoint at the same
+  // position with the same hash: its history extends (not replaces) what
+  // this auditor already fetched.
+  return (*ckpts)[recorded_count - 1].hash == recorded_hash;
+}
+
+Status RemoteAuditor::CatchUpFromCheckpoints() {
+  for (size_t shard = 0; shard < key_rpcs_.size(); ++shard) {
+    KP_ASSIGN_OR_RETURN(
+        std::vector<LogCheckpoint> ckpts,
+        FetchCheckpoints(key_rpcs_[shard], "audit.key_checkpoints",
+                         key_secret_));
+    if (ckpts.empty()) {
+      continue;
+    }
+    cursors_[shard] = std::max(cursors_[shard], ckpts.back().end_seq);
+    ckpt_counts_[shard] = ckpts.size();
+    ckpt_hashes_[shard] = ckpts.back().hash;
+  }
+  KP_ASSIGN_OR_RETURN(
+      std::vector<LogCheckpoint> meta_ckpts,
+      FetchCheckpoints(meta_rpc_, "audit.meta_checkpoints", meta_secret_));
+  if (!meta_ckpts.empty()) {
+    meta_cursor_ = std::max(meta_cursor_, meta_ckpts.back().end_seq);
+    meta_ckpt_count_ = meta_ckpts.size();
+    meta_ckpt_hash_ = meta_ckpts.back().hash;
+  }
+  return Status::Ok();
+}
+
 Status RemoteAuditor::Resync(size_t shard, uint64_t server_epoch) {
   ++resyncs_;
   WireValue::Array payload;
@@ -355,6 +435,7 @@ Status RemoteAuditor::Resync(size_t shard, uint64_t server_epoch) {
   KP_ASSIGN_OR_RETURN(int64_t next_seq, next.AsInt());
   KP_ASSIGN_OR_RETURN(WireValue raw, result->Field("entries"));
   KP_ASSIGN_OR_RETURN(WireValue::Array raw_entries, raw.AsArray());
+  entries_fetched_ += raw_entries.size();
   std::vector<AuditLogEntry> fresh;
   for (const auto& raw_entry : raw_entries) {
     KP_ASSIGN_OR_RETURN(AuditLogEntry entry,
@@ -412,6 +493,7 @@ Status RemoteAuditor::MetaResync(uint64_t server_epoch) {
   KP_ASSIGN_OR_RETURN(int64_t next_seq, next.AsInt());
   KP_ASSIGN_OR_RETURN(WireValue raw, result->Field("entries"));
   KP_ASSIGN_OR_RETURN(WireValue::Array raw_records, raw.AsArray());
+  entries_fetched_ += raw_records.size();
   std::vector<MetadataRecord> fresh;
   for (const auto& raw_record : raw_records) {
     KP_ASSIGN_OR_RETURN(MetadataRecord record,
@@ -472,22 +554,44 @@ Status RemoteAuditor::PullMetaTail() {
     KP_ASSIGN_OR_RETURN(int64_t epoch_int, epoch_v.AsInt());
     server_epoch = static_cast<uint64_t>(epoch_int);
   }
+  uint64_t server_ckpt_count = 0;
+  Bytes server_ckpt_hash;
+  if (result->HasField("ckpt_count")) {
+    KP_ASSIGN_OR_RETURN(WireValue count_v, result->Field("ckpt_count"));
+    KP_ASSIGN_OR_RETURN(int64_t count_int, count_v.AsInt());
+    server_ckpt_count = static_cast<uint64_t>(count_int);
+    KP_ASSIGN_OR_RETURN(WireValue hash_v, result->Field("ckpt_hash"));
+    KP_ASSIGN_OR_RETURN(server_ckpt_hash, hash_v.AsBytes());
+  }
   if (static_cast<uint64_t>(next_seq) < meta_cursor_ ||
       server_epoch != meta_epoch_) {
-    // The metadata log moved backwards under the cursor (restore from an
-    // older snapshot) or the service adopted a different history (failover
-    // onto a shorter surviving chain). Refetch from sequence zero and
-    // re-verify the overlap.
-    return MetaResync(server_epoch);
+    // Same disambiguation as the key tier: a restart (possibly with prefix
+    // truncation) of the same chain is proven benign by the checkpoint
+    // chain; anything else is a genuine regression and resyncs.
+    if (static_cast<uint64_t>(next_seq) >= meta_cursor_ &&
+        CheckpointsExtendRecorded(meta_rpc_, "audit.meta_checkpoints",
+                                  meta_secret_, meta_ckpt_count_,
+                                  meta_ckpt_hash_)) {
+      meta_epoch_ = server_epoch;
+      ++benign_restarts_;
+    } else {
+      KP_RETURN_IF_ERROR(MetaResync(server_epoch));
+      meta_ckpt_count_ = server_ckpt_count;
+      meta_ckpt_hash_ = server_ckpt_hash;
+      return Status::Ok();
+    }
   }
   KP_ASSIGN_OR_RETURN(WireValue raw, result->Field("entries"));
   KP_ASSIGN_OR_RETURN(WireValue::Array raw_records, raw.AsArray());
+  entries_fetched_ += raw_records.size();
   for (const auto& raw_record : raw_records) {
     KP_ASSIGN_OR_RETURN(MetadataRecord record,
                         MetadataRecord::FromWire(raw_record));
     meta_cached_.push_back(std::move(record));
   }
   meta_cursor_ = static_cast<uint64_t>(next_seq);
+  meta_ckpt_count_ = server_ckpt_count;
+  meta_ckpt_hash_ = server_ckpt_hash;
   return Status::Ok();
 }
 
@@ -516,24 +620,50 @@ Result<AuditReport> RemoteAuditor::BuildReport(SimTime t_loss,
       KP_ASSIGN_OR_RETURN(int64_t epoch_int, epoch_v.AsInt());
       server_epoch = static_cast<uint64_t>(epoch_int);
     }
+    uint64_t server_ckpt_count = 0;
+    Bytes server_ckpt_hash;
+    if (log_result->HasField("ckpt_count")) {
+      KP_ASSIGN_OR_RETURN(WireValue count_v, log_result->Field("ckpt_count"));
+      KP_ASSIGN_OR_RETURN(int64_t count_int, count_v.AsInt());
+      server_ckpt_count = static_cast<uint64_t>(count_int);
+      KP_ASSIGN_OR_RETURN(WireValue hash_v, log_result->Field("ckpt_hash"));
+      KP_ASSIGN_OR_RETURN(server_ckpt_hash, hash_v.AsBytes());
+    }
     if (static_cast<uint64_t>(next_seq) < cursors_[shard] ||
         server_epoch != epochs_[shard]) {
-      // The log moved backwards under the cursor (restore from an older
-      // snapshot) or the service adopted a different history (restore
-      // epoch changed — e.g. failover onto a shorter surviving chain). The
-      // suffix we just asked for is not trustworthy as an increment;
-      // refetch from sequence zero and re-verify the overlap.
-      KP_RETURN_IF_ERROR(Resync(shard, server_epoch));
-      continue;
+      // The log apparently moved under the cursor: either the cursor ran
+      // past the server (restore from an older snapshot / failover onto a
+      // shorter chain) or the service merely restarted — possibly having
+      // truncated a checkpointed prefix we already hold. Raw sequence
+      // numbers can't tell these apart; the signed checkpoint chain can.
+      if (static_cast<uint64_t>(next_seq) >= cursors_[shard] &&
+          CheckpointsExtendRecorded(key_rpcs_[shard], "audit.key_checkpoints",
+                                    key_secret_, ckpt_counts_[shard],
+                                    ckpt_hashes_[shard])) {
+        // Same chain, extended: adopt the new epoch and keep the cursor.
+        epochs_[shard] = server_epoch;
+        ++benign_restarts_;
+      } else {
+        // Genuinely different (or shorter) history: the suffix we just
+        // asked for is not trustworthy as an increment; refetch from
+        // sequence zero and re-verify the overlap.
+        KP_RETURN_IF_ERROR(Resync(shard, server_epoch));
+        ckpt_counts_[shard] = server_ckpt_count;
+        ckpt_hashes_[shard] = server_ckpt_hash;
+        continue;
+      }
     }
     KP_ASSIGN_OR_RETURN(WireValue raw, log_result->Field("entries"));
     KP_ASSIGN_OR_RETURN(WireValue::Array raw_entries, raw.AsArray());
+    entries_fetched_ += raw_entries.size();
     for (const auto& raw_entry : raw_entries) {
       KP_ASSIGN_OR_RETURN(AuditLogEntry entry,
                           AuditLogEntry::FromWire(raw_entry));
       shard_cached_[shard].push_back(std::move(entry));
     }
     cursors_[shard] = static_cast<uint64_t>(next_seq);
+    ckpt_counts_[shard] = server_ckpt_count;
+    ckpt_hashes_[shard] = server_ckpt_hash;
   }
   // The metadata tier keeps its own incremental cursor: the tail pull
   // notices a restore-from-older-snapshot (or a failover onto a shorter

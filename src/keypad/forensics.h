@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/auditlog/checkpoint.h"
 #include "src/keyservice/key_service.h"
 #include "src/keyservice/replica_set.h"
 #include "src/rpc/rpc.h"
@@ -157,11 +158,22 @@ class RemoteAuditor {
         meta_secret_(std::move(meta_secret)),
         cursors_(key_rpcs_.size(), 0),
         epochs_(key_rpcs_.size(), 0),
-        shard_cached_(key_rpcs_.size()) {}
+        shard_cached_(key_rpcs_.size()),
+        ckpt_counts_(key_rpcs_.size(), 0),
+        ckpt_hashes_(key_rpcs_.size()) {}
 
   // Non-const: advances the per-shard cursors and extends the cached
   // per-device timeline.
   Result<AuditReport> BuildReport(SimTime t_loss, SimDuration texp);
+
+  // Checkpoint-anchored catch-up (DESIGN.md §15): fetches each tier's
+  // signed checkpoint chain, verifies hashes and signatures client-side,
+  // and fast-forwards the cursors to the latest checkpoint — the sealed
+  // prefix is vouched for by the signatures, so a fresh auditor's first
+  // pull is O(tail since last checkpoint) instead of O(log from genesis).
+  // Entries before the cursor are not cached locally; forensic replay of
+  // the sealed prefix goes through audit.*_log_segment instead.
+  Status CatchUpFromCheckpoints();
 
   // Test hooks: where each shard's cursor stands and how much of the
   // device's timeline is cached locally.
@@ -184,6 +196,12 @@ class RemoteAuditor {
   uint64_t resyncs() const { return resyncs_; }
   uint64_t regressed_entries() const { return regressed_entries_; }
   uint64_t overlap_mismatches() const { return overlap_mismatches_; }
+  // Apparent regressions proven benign by checkpoint comparison (service
+  // restart or prefix truncation of the *same* chain — no resync needed).
+  uint64_t benign_restarts() const { return benign_restarts_; }
+  // Total log rows pulled over the audit RPC surface (bench: checkpoint
+  // catch-up vs genesis replay).
+  uint64_t entries_fetched() const { return entries_fetched_; }
 
  private:
   // Re-reads shard's log from sequence 0 after detecting regression, and
@@ -194,6 +212,19 @@ class RemoteAuditor {
   // Advances the metadata cursor by one audit.meta_log_tail round,
   // detecting restore-from-older-snapshot regressions.
   Status PullMetaTail();
+
+  // Fetches and chain-verifies one tier's signed checkpoint list.
+  Result<std::vector<LogCheckpoint>> FetchCheckpoints(RpcClient* rpc,
+                                                      const char* method,
+                                                      const Bytes& secret);
+  // Whether the server's (verified) checkpoint chain extends the prefix
+  // this auditor recorded — the satellite fix: cursor regressions are
+  // disambiguated by checkpoint id/hash, never by raw sequence alone, so a
+  // truncating restart of the same chain is not mistaken for a
+  // restore-from-older-snapshot.
+  bool CheckpointsExtendRecorded(RpcClient* rpc, const char* method,
+                                 const Bytes& secret, uint64_t recorded_count,
+                                 const Bytes& recorded_hash);
 
   std::vector<RpcClient*> key_rpcs_;
   RpcClient* meta_rpc_;
@@ -215,6 +246,14 @@ class RemoteAuditor {
   uint64_t resyncs_ = 0;
   uint64_t regressed_entries_ = 0;
   uint64_t overlap_mismatches_ = 0;
+  // Checkpoint fingerprint last seen per key shard (count + latest hash)
+  // and for the metadata tier, for regression disambiguation.
+  std::vector<uint64_t> ckpt_counts_;
+  std::vector<Bytes> ckpt_hashes_;
+  uint64_t meta_ckpt_count_ = 0;
+  Bytes meta_ckpt_hash_;
+  uint64_t benign_restarts_ = 0;
+  uint64_t entries_fetched_ = 0;
 };
 
 }  // namespace keypad

@@ -1,10 +1,5 @@
 #include "src/keyservice/audit_log.h"
 
-#include <algorithm>
-#include <chrono>
-
-#include "src/cryptocore/sha256.h"
-
 namespace keypad {
 
 std::string_view AccessOpName(AccessOp op) {
@@ -79,7 +74,7 @@ Result<AuditLogEntry> AuditLogEntry::FromWire(const WireValue& value) {
   return entry;
 }
 
-void AuditLog::SerializeEntry(const AuditLogEntry& entry, Bytes* out) {
+void AuditLogCodec::SerializeEntry(const AuditLogEntry& entry, Bytes* out) {
   AppendU64Be(*out, entry.seq);
   AppendU64Be(*out, static_cast<uint64_t>(entry.timestamp.nanos()));
   AppendU64Be(*out, static_cast<uint64_t>(entry.client_time.nanos()));
@@ -97,237 +92,12 @@ uint64_t AuditLog::Append(SimTime timestamp, SimTime client_time,
                           const std::string& device_id,
                           const AuditId& audit_id, AccessOp op) {
   AuditLogEntry entry;
-  entry.seq = entries_.size() + staged_.size();
   entry.timestamp = timestamp;
   entry.client_time = client_time;
   entry.device_id = device_id;
   entry.audit_id = audit_id;
   entry.op = op;
-  uint64_t seq = entry.seq;
-  staged_.push_back(std::move(entry));
-  if (batch_depth_ == 0) {
-    SealStaged();
-  }
-  return seq;
-}
-
-void AuditLog::BeginBatch() { ++batch_depth_; }
-
-size_t AuditLog::CommitBatch() {
-  if (batch_depth_ > 0) {
-    --batch_depth_;
-  }
-  if (batch_depth_ > 0) {
-    return 0;
-  }
-  return SealStaged();
-}
-
-void AuditLog::DiscardStaged() {
-  staged_.clear();
-  batch_depth_ = 0;
-}
-
-size_t AuditLog::SealStaged() {
-  if (staged_.empty()) {
-    return 0;
-  }
-  auto t0 = std::chrono::steady_clock::now();
-  Bytes prev = last_seal();
-  Sha256 hasher;
-  hasher.Update(prev);
-  Bytes material;
-  for (const auto& entry : staged_) {
-    material.clear();
-    SerializeEntry(entry, &material);
-    hasher.Update(material);
-  }
-  Sha256::Digest digest = hasher.Finish();
-  Bytes seal(digest.begin(), digest.end());
-  uint64_t group_start = staged_.front().seq;
-  for (auto& entry : staged_) {
-    entry.group_start = group_start;
-    entry.prev_hash = prev;
-    entry.entry_hash = seal;
-    entries_.push_back(std::move(entry));
-  }
-  size_t sealed = staged_.size();
-  staged_.clear();
-  ++commit_groups_;
-  if (sealed > max_group_size_) {
-    max_group_size_ = sealed;
-  }
-  seal_ns_ += static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
-  return sealed;
-}
-
-std::vector<AuditLogEntry> AuditLog::EntriesSince(SimTime since) const {
-  std::vector<AuditLogEntry> out;
-  for (const auto& entry : entries_) {
-    // Filter on when the access actually happened: for journal-uploaded
-    // entries that is client_time, which may precede the append time.
-    if (entry.client_time >= since) {
-      out.push_back(entry);
-    }
-  }
-  return out;
-}
-
-std::vector<AuditLogEntry> AuditLog::EntriesAfterSeq(uint64_t next_seq) const {
-  if (next_seq >= entries_.size()) {
-    return {};
-  }
-  // Verify() enforces seq == index, so the tail is a direct suffix copy.
-  return std::vector<AuditLogEntry>(
-      entries_.begin() + static_cast<ptrdiff_t>(next_seq), entries_.end());
-}
-
-Status AuditLog::Verify() const {
-  Bytes prev(32, 0);
-  Bytes material;
-  size_t i = 0;
-  while (i < entries_.size()) {
-    // One commit group: the maximal run sharing a group_start, which must
-    // name the run's own first sequence number.
-    if (entries_[i].group_start != i) {
-      return DataLossError("audit log: group start mismatch at " +
-                           std::to_string(i));
-    }
-    Sha256 hasher;
-    hasher.Update(prev);
-    size_t j = i;
-    for (; j < entries_.size() && entries_[j].group_start == i; ++j) {
-      const auto& entry = entries_[j];
-      if (entry.seq != j) {
-        return DataLossError("audit log: sequence gap at " +
-                             std::to_string(j));
-      }
-      if (entry.prev_hash != prev) {
-        return DataLossError("audit log: chain break at " +
-                             std::to_string(j));
-      }
-      material.clear();
-      SerializeEntry(entry, &material);
-      hasher.Update(material);
-    }
-    Sha256::Digest digest = hasher.Finish();
-    Bytes seal(digest.begin(), digest.end());
-    for (size_t k = i; k < j; ++k) {
-      if (entries_[k].entry_hash != seal) {
-        return DataLossError("audit log: hash mismatch at " +
-                             std::to_string(k));
-      }
-    }
-    prev = seal;
-    i = j;
-  }
-  return Status::Ok();
-}
-
-Status AuditLog::LoadVerified(std::vector<AuditLogEntry> entries) {
-  AuditLog candidate;
-  candidate.entries_ = std::move(entries);
-  KP_RETURN_IF_ERROR(candidate.Verify());
-  entries_ = std::move(candidate.entries_);
-  staged_.clear();
-  batch_depth_ = 0;
-  // Rebuild the grouping stats from the group_start runs so load metrics
-  // survive a crash/restart (seal_ns_ is host CPU actually spent by this
-  // process, so it starts over).
-  commit_groups_ = 0;
-  max_group_size_ = 0;
-  for (size_t i = 0; i < entries_.size();) {
-    size_t run = i;
-    while (run < entries_.size() && entries_[run].group_start == i) {
-      ++run;
-    }
-    ++commit_groups_;
-    max_group_size_ = std::max<uint64_t>(max_group_size_, run - i);
-    i = run;
-  }
-  return Status::Ok();
-}
-
-Status AuditLog::AppendReplicated(const std::vector<AuditLogEntry>& entries) {
-  const size_t base = entries_.size();
-  Bytes material;
-  // A delta may overlap the local tail (a rejoined backup restored from a
-  // leader snapshot that already contained the groups now being streamed).
-  // The overlap must match what we hold byte-for-byte — same history, not a
-  // fork — and is then skipped; groups are shipped whole, so the first
-  // genuinely new entry always starts a commit group.
-  size_t skip = 0;
-  while (skip < entries.size() && entries[skip].seq < base) {
-    const auto& incoming = entries[skip];
-    const auto& held = entries_[static_cast<size_t>(incoming.seq)];
-    bool same = incoming.seq == held.seq &&
-                incoming.group_start == held.group_start &&
-                incoming.prev_hash == held.prev_hash &&
-                incoming.entry_hash == held.entry_hash;
-    if (same) {
-      Bytes a, b;
-      SerializeEntry(incoming, &a);
-      SerializeEntry(held, &b);
-      same = a == b;
-    }
-    if (!same) {
-      return DataLossError("audit log: replicated overlap mismatch at " +
-                           std::to_string(incoming.seq));
-    }
-    ++skip;
-  }
-  Bytes prev = last_seal();
-  // First pass: verify the whole suffix before mutating anything.
-  size_t i = skip;
-  std::vector<size_t> group_sizes;
-  while (i < entries.size()) {
-    const size_t start = base + (i - skip);
-    if (entries[i].seq != start || entries[i].group_start != start) {
-      return DataLossError("audit log: replicated suffix not contiguous at " +
-                           std::to_string(start));
-    }
-    Sha256 hasher;
-    hasher.Update(prev);
-    size_t j = i;
-    for (; j < entries.size() && entries[j].group_start == start; ++j) {
-      const auto& entry = entries[j];
-      if (entry.seq != base + (j - skip) || entry.prev_hash != prev) {
-        return DataLossError("audit log: replicated chain break at " +
-                             std::to_string(base + (j - skip)));
-      }
-      material.clear();
-      SerializeEntry(entry, &material);
-      hasher.Update(material);
-    }
-    Sha256::Digest digest = hasher.Finish();
-    Bytes seal(digest.begin(), digest.end());
-    for (size_t k = i; k < j; ++k) {
-      if (entries[k].entry_hash != seal) {
-        return DataLossError("audit log: replicated seal mismatch at " +
-                             std::to_string(base + (k - skip)));
-      }
-    }
-    prev = seal;
-    group_sizes.push_back(j - i);
-    i = j;
-  }
-  for (size_t k = skip; k < entries.size(); ++k) {
-    entries_.push_back(entries[k]);
-  }
-  for (size_t size : group_sizes) {
-    ++commit_groups_;
-    max_group_size_ = std::max<uint64_t>(max_group_size_, size);
-  }
-  return Status::Ok();
-}
-
-void AuditLog::CorruptEntryForTesting(size_t index) {
-  if (index < entries_.size()) {
-    entries_[index].device_id += "-tampered";
-  }
+  return AppendEntry(std::move(entry));
 }
 
 }  // namespace keypad

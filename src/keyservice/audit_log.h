@@ -1,4 +1,5 @@
-// Hash-chained, append-only audit log with group commit.
+// The key tier's hash-chained audit log — a thin adapter over the shared
+// SegmentedLog substrate (src/auditlog/segmented_log.h).
 //
 // Every key-service operation (key creation, key fetch, prefetch batch,
 // eviction notice, revocation) appends one entry. Entries are chained in
@@ -8,20 +9,16 @@
 //   seal = SHA-256(prev_seal || ser(e1) || ser(e2) || ... || ser(eK))
 //
 // where ser(e) is the canonical serialization of one entry. A group of one
-// is byte-identical to the classic per-entry chain
-// entry_hash = SHA-256(prev_hash || ser(e)), so logs written before group
-// commit existed verify unchanged. Grouping turns K chain steps into one
-// streaming SHA-256 pass — the amortization the sharded key service's
+// is byte-identical to the classic per-entry chain, so logs written before
+// group commit existed verify unchanged. Grouping turns K chain steps into
+// one streaming SHA-256 pass — the amortization the sharded key service's
 // commit window exploits (DESIGN.md §8).
 //
 // The paper requires that "the adversary cannot tamper with the contents of
 // the audit log" (§2); the chain plus the service's trusted storage provide
-// that, and the auditor re-verifies the chain before trusting a log.
-//
-// Staged entries (appended under an open batch) are not yet part of the
-// log: they are invisible to entries()/Verify()/snapshots until sealed,
-// and DiscardStaged() models losing them in a crash — correct, because the
-// service never released a key for an unsealed entry.
+// that, and the auditor re-verifies the chain before trusting a log. The
+// substrate adds the lifecycle pieces — Merkle-rooted segments, signed
+// checkpoints, anchored truncation, cold shipping (DESIGN.md §15).
 
 #ifndef SRC_KEYSERVICE_AUDIT_LOG_H_
 #define SRC_KEYSERVICE_AUDIT_LOG_H_
@@ -30,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/auditlog/segmented_log.h"
 #include "src/sim/time.h"
 #include "src/util/bytes.h"
 #include "src/util/ids.h"
@@ -76,7 +74,40 @@ struct AuditLogEntry {
   static Result<AuditLogEntry> FromWire(const WireValue& value);
 };
 
-class AuditLog {
+// The substrate seam: canonical hash material and chain-field access for
+// AuditLogEntry. Serialization order is load-bearing — it reproduces the
+// historical seals bit-for-bit.
+struct AuditLogCodec {
+  using Entry = AuditLogEntry;
+  static constexpr const char* kName = "audit log";
+
+  static uint64_t Seq(const Entry& e) { return e.seq; }
+  static void SetSeq(Entry& e, uint64_t seq) { e.seq = seq; }
+  static uint64_t GroupStart(const Entry& e) { return e.group_start; }
+  static void SetGroupStart(Entry& e, uint64_t start) {
+    e.group_start = start;
+  }
+  static const Bytes& PrevHash(const Entry& e) { return e.prev_hash; }
+  static void SetPrevHash(Entry& e, Bytes prev) {
+    e.prev_hash = std::move(prev);
+  }
+  static const Bytes& EntryHash(const Entry& e) { return e.entry_hash; }
+  static void SetEntryHash(Entry& e, Bytes hash) {
+    e.entry_hash = std::move(hash);
+  }
+  // Canonical per-entry hash material (everything except the chain fields).
+  static void SerializeEntry(const Entry& entry, Bytes* out);
+  static WireValue EntryToWire(const Entry& e) { return e.ToWire(); }
+  static Result<Entry> EntryFromWire(const WireValue& value) {
+    return AuditLogEntry::FromWire(value);
+  }
+  static void CorruptForTesting(Entry& e) { e.device_id += "-tampered"; }
+};
+
+// The adapter adds only the key tier's append signature; everything else —
+// batching, cursors, Verify/LoadVerified/AppendReplicated, checkpoints,
+// truncation, cold fetch — is the substrate, shared with MetadataLog.
+class AuditLog : public SegmentedLog<AuditLogCodec> {
  public:
   // Appends an entry, filling seq and the hash chain. Returns the sequence
   // number assigned. `client_time` defaults to `timestamp`; journal uploads
@@ -87,78 +118,6 @@ class AuditLog {
   uint64_t Append(SimTime timestamp, SimTime client_time,
                   const std::string& device_id, const AuditId& audit_id,
                   AccessOp op);
-
-  // --- Group commit. ------------------------------------------------------
-  // BeginBatch()/CommitBatch() nest: appends between the outermost pair are
-  // staged and sealed together by the outermost CommitBatch as one commit
-  // group. CommitBatch returns how many entries the final seal covered
-  // (0 when the batch merely un-nested or nothing was staged).
-  void BeginBatch();
-  size_t CommitBatch();
-  // Crash path: staged entries vanish (they were never durable) and any
-  // open batch nesting is reset.
-  void DiscardStaged();
-  size_t staged_count() const { return staged_.size(); }
-
-  const std::vector<AuditLogEntry>& entries() const { return entries_; }
-  size_t size() const { return entries_.size(); }
-
-  // Entries with client_time >= since (the auditor's Tloss − Texp cutoff).
-  // Linear in log size by necessity: client_time is not monotone (journal
-  // uploads backdate), so there is nothing to bisect. Incremental auditors
-  // should track a sequence cursor and use EntriesAfterSeq instead.
-  std::vector<AuditLogEntry> EntriesSince(SimTime since) const;
-
-  // Entries with seq >= next_seq — O(result) thanks to seq == index. The
-  // remote auditor passes its cursor (one past the last seq it has seen)
-  // so repeated audits transfer only the new tail.
-  std::vector<AuditLogEntry> EntriesAfterSeq(uint64_t next_seq) const;
-
-  // Recomputes every group seal; kDataLoss on any mismatch.
-  Status Verify() const;
-
-  // Adopts `entries` as the full log after verifying their chain — the
-  // snapshot-restore path. Unlike re-appending (which would re-derive
-  // single-entry groups), this preserves the original commit-group
-  // boundaries, so a restored log hashes exactly as the one snapshotted.
-  Status LoadVerified(std::vector<AuditLogEntry> entries);
-
-  // Replication path (DESIGN.md §9): appends already-sealed commit groups
-  // streamed from a replica-set leader. The suffix must continue this log's
-  // chain exactly — consecutive sequence numbers from size(), each group's
-  // prev_hash equal to the tail seal at that point, and every group seal
-  // recomputing correctly. kDataLoss (and no mutation) on any mismatch, so
-  // a diverged backup can never silently adopt a forked history.
-  Status AppendReplicated(const std::vector<AuditLogEntry>& entries);
-
-  // --- Commit metrics (BENCH_scale.json). ---------------------------------
-  uint64_t commit_groups() const { return commit_groups_; }
-  uint64_t max_group_size() const { return max_group_size_; }
-  // Host CPU nanoseconds spent inside seal passes; divided by size() this
-  // measures the real per-entry append cost group commit amortizes.
-  uint64_t seal_ns() const { return seal_ns_; }
-
-  // Test hook: simulates an attacker with storage access mutating entry i.
-  // (Verify() must subsequently fail.)
-  void CorruptEntryForTesting(size_t index);
-
- private:
-  // Canonical per-entry hash material (everything except the chain fields).
-  static void SerializeEntry(const AuditLogEntry& entry, Bytes* out);
-
-  // Seals all staged entries as one commit group; returns the group size.
-  size_t SealStaged();
-
-  Bytes last_seal() const {
-    return entries_.empty() ? Bytes(32, 0) : entries_.back().entry_hash;
-  }
-
-  std::vector<AuditLogEntry> entries_;
-  std::vector<AuditLogEntry> staged_;
-  int batch_depth_ = 0;
-  uint64_t commit_groups_ = 0;
-  uint64_t max_group_size_ = 0;
-  uint64_t seal_ns_ = 0;
 };
 
 }  // namespace keypad

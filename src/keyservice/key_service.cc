@@ -107,7 +107,30 @@ KeyService::KeyService(EventQueue* queue, uint64_t rng_seed,
       options_(options),
       hot_keys_(HotKeyCacheEnabled(options.hot_key_cache)
                     ? options.hot_key_capacity
-                    : 0) {}
+                    : 0) {
+  options_.log = ApplySegmentedLogEnv(options_.log);
+  log_.Configure(options_.log);
+  if (options_.log.cold_ship) {
+    cold_cloud_ = std::make_unique<SimObjectStore>(queue_);
+    segment_store_ = std::make_unique<SegmentStore>(
+        MakeStorageBackend(DefaultStorageBackendKind()), cold_cloud_.get());
+    log_.set_segment_store(segment_store_.get(), "key");
+  }
+}
+
+std::vector<AuditLogEntry> KeyService::LogSince(SimTime since) const {
+  Result<std::vector<AuditLogEntry>> all =
+      log_.AllEntriesFromSeq(0, /*repair=*/true);
+  std::vector<AuditLogEntry> source =
+      all.ok() ? std::move(all).value() : log_.entries();
+  std::vector<AuditLogEntry> out;
+  for (const auto& entry : source) {
+    if (entry.timestamp >= since) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
 
 void KeyService::ChargeUnwrap(const KeyMapKey& map_key) {
   if (hot_keys_.Touch(map_key)) {
@@ -653,6 +676,17 @@ Bytes KeyService::Snapshot() const {
     log_entries.push_back(entry.ToWire());
   }
   snapshot.emplace("log", WireValue(std::move(log_entries)));
+
+  // Lifecycle state (DESIGN.md §15): the truncation base and the signed
+  // checkpoint chain. Pre-lifecycle snapshots simply lack these fields.
+  snapshot.emplace("log_base",
+                   WireValue(static_cast<int64_t>(log_.base_seq())));
+  snapshot.emplace("log_base_seal", WireValue(log_.base_seal()));
+  WireValue::Array ckpts;
+  for (const auto& ckpt : log_.checkpoints()) {
+    ckpts.push_back(ckpt.ToWire());
+  }
+  snapshot.emplace("ckpts", WireValue(std::move(ckpts)));
   return BinaryEncode(WireValue(std::move(snapshot)));
 }
 
@@ -672,7 +706,31 @@ Status KeyService::Restore(const Bytes& snapshot) {
     log_entries.push_back(std::move(entry));
   }
   AuditLog restored_log;
-  if (!restored_log.LoadVerified(std::move(log_entries)).ok()) {
+  restored_log.Configure(options_.log);
+  if (segment_store_) {
+    restored_log.set_segment_store(segment_store_.get(), "key");
+  }
+  restored_log.set_truncate_anchor(log_.truncate_anchor());
+  Status log_status;
+  if (value.HasField("log_base")) {
+    KP_ASSIGN_OR_RETURN(WireValue base_v, value.Field("log_base"));
+    KP_ASSIGN_OR_RETURN(int64_t base_int, base_v.AsInt());
+    KP_ASSIGN_OR_RETURN(WireValue seal_v, value.Field("log_base_seal"));
+    KP_ASSIGN_OR_RETURN(Bytes base_seal, seal_v.AsBytes());
+    KP_ASSIGN_OR_RETURN(WireValue ckpts_v, value.Field("ckpts"));
+    KP_ASSIGN_OR_RETURN(WireValue::Array raw_ckpts, ckpts_v.AsArray());
+    std::vector<LogCheckpoint> ckpts;
+    for (const auto& raw : raw_ckpts) {
+      KP_ASSIGN_OR_RETURN(LogCheckpoint ckpt, LogCheckpoint::FromWire(raw));
+      ckpts.push_back(std::move(ckpt));
+    }
+    log_status = restored_log.LoadVerifiedWithBase(
+        static_cast<uint64_t>(base_int), std::move(base_seal),
+        std::move(ckpts), std::move(log_entries));
+  } else {
+    log_status = restored_log.LoadVerified(std::move(log_entries));
+  }
+  if (!log_status.ok()) {
     return DataLossError("key service: snapshot log chain mismatch");
   }
 
@@ -909,27 +967,12 @@ void KeyService::BindRpc(RpcServer* server) {
   // Audit surface (the owner/IT console or the drive maker's web service).
   // Authenticated with the device secret: whoever can audit a device can
   // already act for it administratively in this model.
-  install(
-      "audit.key_log_since", false,
-      [this](const std::string& device,
-                    const WireValue::Array& payload) -> Result<WireValue> {
-               if (payload.size() != 1) {
-                 return InvalidArgumentError("audit.key_log_since: bad arity");
-               }
-               KP_ASSIGN_OR_RETURN(int64_t since_ns, payload[0].AsInt());
-               KP_RETURN_IF_ERROR(log_.Verify());
-               WireValue::Array out;
-               for (const auto& entry : log_.EntriesSince(SimTime(since_ns))) {
-                 if (entry.device_id == device) {
-                   out.push_back(entry.ToWire());
-                 }
-               }
-               return WireValue(std::move(out));
-             });
-
+  //
   // Incremental audit: the committed tail with seq >= the caller's cursor,
   // so a repeat auditor transfers (and the service scans) only what's new
-  // instead of re-walking the whole log.
+  // instead of re-walking the whole log. Cursors below the truncation base
+  // are served from the cold tier (each segment re-verified against its
+  // signed checkpoint before any entry leaves the service).
   install(
       "audit.key_log_tail", false,
       [this](const std::string& device,
@@ -938,12 +981,24 @@ void KeyService::BindRpc(RpcServer* server) {
           return InvalidArgumentError("audit.key_log_tail: bad arity");
         }
         KP_ASSIGN_OR_RETURN(int64_t next_seq, payload[0].AsInt());
-        KP_RETURN_IF_ERROR(log_.Verify());
+        // Checkpoints vouch for the sealed prefix; only the tail after the
+        // latest checkpoint is replayed per request.
+        KP_RETURN_IF_ERROR(log_.VerifyTail());
+        uint64_t from = static_cast<uint64_t>(next_seq);
         WireValue::Array entries;
-        for (const auto& entry :
-             log_.EntriesAfterSeq(static_cast<uint64_t>(next_seq))) {
-          if (entry.device_id == device) {
-            entries.push_back(entry.ToWire());
+        if (from < log_.base_seq()) {
+          KP_ASSIGN_OR_RETURN(std::vector<AuditLogEntry> all,
+                              log_.AllEntriesFromSeq(from));
+          for (const auto& entry : all) {
+            if (entry.device_id == device) {
+              entries.push_back(entry.ToWire());
+            }
+          }
+        } else {
+          for (const auto& entry : log_.EntriesAfterSeq(from)) {
+            if (entry.device_id == device) {
+              entries.push_back(entry.ToWire());
+            }
           }
         }
         // "next" covers the whole committed log, not just this device's
@@ -956,7 +1011,55 @@ void KeyService::BindRpc(RpcServer* server) {
         // a plain short read, and trigger an overlap-verified resync.
         out.emplace("epoch",
                     WireValue(static_cast<int64_t>(restore_epoch_)));
+        // Checkpoint fingerprint: count plus latest hash, so an auditor can
+        // tell "server truncated a prefix I already hold" (cursor clamp,
+        // benign) from "server restored an older log" (full resync) by
+        // comparing checkpoint chains instead of raw sequence numbers.
+        const auto& ckpts = log_.checkpoints();
+        out.emplace("ckpt_count",
+                    WireValue(static_cast<int64_t>(ckpts.size())));
+        out.emplace("ckpt_hash",
+                    WireValue(ckpts.empty() ? Bytes() : ckpts.back().hash));
+        out.emplace("base",
+                    WireValue(static_cast<int64_t>(log_.base_seq())));
         return WireValue(std::move(out));
+      });
+
+  // The signed checkpoint chain (all of it — checkpoints are tiny). The
+  // auditor verifies hashes + signatures client-side and uses the chain to
+  // anchor catch-up and to disambiguate truncation from restore.
+  install(
+      "audit.key_checkpoints", false,
+      [this](const std::string&,
+             const WireValue::Array& payload) -> Result<WireValue> {
+        if (!payload.empty()) {
+          return InvalidArgumentError("audit.key_checkpoints: bad arity");
+        }
+        WireValue::Array out;
+        for (const auto& ckpt : log_.checkpoints()) {
+          out.push_back(ckpt.ToWire());
+        }
+        return WireValue(std::move(out));
+      });
+
+  // One sealed cold segment by checkpoint id, for forensic replay of a
+  // truncated prefix. Served from the local medium only (no cloud blocking
+  // inside an RPC); integrity is the caller's job via the signed checkpoint.
+  install(
+      "audit.key_log_segment", false,
+      [this](const std::string&,
+             const WireValue::Array& payload) -> Result<WireValue> {
+        if (payload.size() != 1) {
+          return InvalidArgumentError("audit.key_log_segment: bad arity");
+        }
+        KP_ASSIGN_OR_RETURN(int64_t index, payload[0].AsInt());
+        if (segment_store_ == nullptr) {
+          return UnavailableError("key service: no cold segment tier");
+        }
+        KP_ASSIGN_OR_RETURN(
+            SealedSegment segment,
+            segment_store_->Get("key", static_cast<uint64_t>(index)));
+        return segment.ToWire();
       });
 
   install(

@@ -13,11 +13,15 @@
 #define SRC_KEYSERVICE_KEY_SERVICE_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/auditlog/log_options.h"
+#include "src/auditlog/segment_store.h"
+#include "src/blockdev/cloud_store.h"
 #include "src/cryptocore/secure_random.h"
 #include "src/keyservice/audit_log.h"
 #include "src/keyservice/hot_key_cache.h"
@@ -82,6 +86,10 @@ struct KeyServiceOptions {
   // off (ablation knob).
   bool hot_key_cache = true;
   size_t hot_key_capacity = 4096;
+  // Audit-log lifecycle (DESIGN.md §15): segment size, cold shipping, and
+  // checkpoint-anchored truncation. KEYPAD_LOG_SEGMENT_OPS /
+  // KEYPAD_LOG_COLD_SHIP / KEYPAD_LOG_TRUNCATE override at construction.
+  SegmentedLogOptions log;
 };
 
 class KeyService {
@@ -188,9 +196,11 @@ class KeyService {
   // --- Audit API. ---------------------------------------------------------
 
   const AuditLog& log() const { return log_; }
-  std::vector<AuditLogEntry> LogSince(SimTime since) const {
-    return log_.EntriesSince(since);
-  }
+  // Every committed entry with timestamp >= since, oldest first — including
+  // checkpointed prefixes the log truncated from memory (fetched back from
+  // the cold tier, bit-rot repaired if needed). The forensic full-history
+  // view.
+  std::vector<AuditLogEntry> LogSince(SimTime since) const;
   // Incremental audit: the committed tail with seq >= next_seq.
   std::vector<AuditLogEntry> LogAfterSeq(uint64_t next_seq) const {
     return log_.EntriesAfterSeq(next_seq);
@@ -251,6 +261,10 @@ class KeyService {
       std::function<void(KeyReplDelta, std::function<void()> done)>;
   void set_replicator(Replicator replicator) {
     replicator_ = std::move(replicator);
+    // A replicated log must not truncate past what every peer holds. Block
+    // truncation entirely until the replication engine installs its durable
+    // watermark (set_durable_watermark).
+    log_.set_truncate_anchor([] { return uint64_t{0}; });
   }
   bool replicated() const { return replicator_ != nullptr; }
 
@@ -280,6 +294,17 @@ class KeyService {
   // audit.key_log_tail so a remote auditor can tell "the log under my
   // cursor was replaced" from "the log merely grew" (cursor re-sync).
   uint64_t restore_epoch() const { return restore_epoch_; }
+
+  // The replication engine's truncation anchor: the prefix length known
+  // durable on every replica. The log never truncates beyond it, so a
+  // crashed peer's unacknowledged suffix is always reconcilable.
+  void set_durable_watermark(std::function<uint64_t()> watermark) {
+    log_.set_truncate_anchor(std::move(watermark));
+  }
+
+  // Cold tier for sealed audit segments (present iff cold shipping is on).
+  SegmentStore* segment_store() { return segment_store_.get(); }
+  SimObjectStore* cold_cloud() { return cold_cloud_.get(); }
 
   // Per-shard load metrics for BENCH_scale.json: how well group commit is
   // amortizing the chain.
@@ -380,6 +405,10 @@ class KeyService {
   std::map<std::string, DeviceRecord> devices_;
   std::map<KeyMapKey, KeyRecord> keys_;
   AuditLog log_;
+  // Cold tier (cold_ship only): sealed segments land in a storage backend,
+  // mirrored to a simulated cloud store for bit-rot repair.
+  std::unique_ptr<SimObjectStore> cold_cloud_;
+  std::unique_ptr<SegmentStore> segment_store_;
 
   // Read-path fast caches (DESIGN.md §13).
   HotKeyCache hot_keys_;

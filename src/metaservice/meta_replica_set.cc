@@ -43,6 +43,21 @@ class MetaReplicaSet::Machine : public ReplicatedStateMachine {
     }
     return out;
   }
+  uint64_t ExportBaseSeq() const override {
+    return service_->log().base_seq();
+  }
+  std::vector<ExportedCheckpoint> ExportCheckpoints() const override {
+    const auto& ckpts = service_->log().checkpoints();
+    std::vector<ExportedCheckpoint> out;
+    out.reserve(ckpts.size());
+    for (const auto& ckpt : ckpts) {
+      out.push_back({ckpt.end_seq, ckpt.hash});
+    }
+    return out;
+  }
+  void InstallDurableWatermark(std::function<uint64_t()> watermark) override {
+    service_->set_durable_watermark(std::move(watermark));
+  }
 
  private:
   MetadataService* service_;

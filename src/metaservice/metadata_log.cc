@@ -1,6 +1,6 @@
 #include "src/metaservice/metadata_log.h"
 
-#include "src/cryptocore/sha256.h"
+#include <algorithm>
 
 namespace keypad {
 
@@ -20,19 +20,18 @@ std::string_view MetadataOpName(MetadataOp op) {
   return "unknown";
 }
 
-Bytes MetadataLog::HashRecord(const MetadataRecord& record) {
-  Bytes material = record.prev_hash;
-  AppendU64Be(material, record.seq);
-  AppendU64Be(material, static_cast<uint64_t>(record.timestamp.nanos()));
-  AppendU64Be(material, static_cast<uint64_t>(record.client_time.nanos()));
-  keypad::Append(material, record.device_id);
-  material.push_back(static_cast<uint8_t>(record.op));
-  keypad::Append(material, record.audit_id.ToBytes());
-  keypad::Append(material, record.dir_id.ToBytes());
-  keypad::Append(material, record.parent_dir_id.ToBytes());
-  keypad::Append(material, record.name);
-  keypad::Append(material, record.attr);
-  return Sha256::HashBytes(material);
+void MetadataLogCodec::SerializeEntry(const MetadataRecord& record,
+                                      Bytes* out) {
+  AppendU64Be(*out, record.seq);
+  AppendU64Be(*out, static_cast<uint64_t>(record.timestamp.nanos()));
+  AppendU64Be(*out, static_cast<uint64_t>(record.client_time.nanos()));
+  keypad::Append(*out, record.device_id);
+  out->push_back(static_cast<uint8_t>(record.op));
+  keypad::Append(*out, record.audit_id.ToBytes());
+  keypad::Append(*out, record.dir_id.ToBytes());
+  keypad::Append(*out, record.parent_dir_id.ToBytes());
+  keypad::Append(*out, record.name);
+  keypad::Append(*out, record.attr);
 }
 
 WireValue MetadataRecord::ToWire() const {
@@ -89,26 +88,44 @@ Result<MetadataRecord> MetadataRecord::FromWire(const WireValue& value) {
 }
 
 uint64_t MetadataLog::Append(SimTime timestamp, MetadataRecord record) {
-  record.seq = records_.size();
   record.timestamp = timestamp;
   if (record.client_time == SimTime()) {
     record.client_time = timestamp;
   }
-  record.prev_hash =
-      records_.empty() ? Bytes(32, 0) : records_.back().entry_hash;
-  record.entry_hash = HashRecord(record);
-  records_.push_back(std::move(record));
-  return records_.back().seq;
+  return AppendEntry(std::move(record));
+}
+
+void MetadataLog::IndexRecord(const MetadataRecord& record) {
+  if (record.op == MetadataOp::kMkdir || record.op == MetadataOp::kRenameDir) {
+    dir_index_[{record.device_id, record.dir_id}].push_back(record);
+  } else {
+    file_index_[{record.device_id, record.audit_id}].push_back(record);
+  }
+}
+
+void MetadataLog::OnCommitted(const MetadataRecord& record) {
+  IndexRecord(record);
+}
+
+void MetadataLog::OnReset() {
+  file_index_.clear();
+  dir_index_.clear();
+  for (const MetadataRecord& record : pending_cold_) {
+    IndexRecord(record);
+  }
 }
 
 std::vector<MetadataRecord> MetadataLog::HistoryOf(
     const std::string& device_id, const AuditId& audit_id) const {
   std::vector<MetadataRecord> out;
-  for (const auto& record : records_) {
-    if (record.device_id == device_id && record.audit_id == audit_id &&
-        (record.op == MetadataOp::kCreateFile ||
-         record.op == MetadataOp::kRenameFile ||
-         record.op == MetadataOp::kSetAttr)) {
+  auto it = file_index_.find({device_id, audit_id});
+  if (it == file_index_.end()) {
+    return out;
+  }
+  for (const MetadataRecord& record : it->second) {
+    if (record.op == MetadataOp::kCreateFile ||
+        record.op == MetadataOp::kRenameFile ||
+        record.op == MetadataOp::kSetAttr) {
       out.push_back(record);
     }
   }
@@ -119,13 +136,16 @@ std::optional<MetadataRecord> MetadataLog::LatestBinding(
     const std::string& device_id, const AuditId& audit_id,
     SimTime as_of) const {
   std::optional<MetadataRecord> latest;
-  for (const auto& record : records_) {
+  auto it = file_index_.find({device_id, audit_id});
+  if (it == file_index_.end()) {
+    return latest;
+  }
+  for (const MetadataRecord& record : it->second) {
     if (record.client_time > as_of) {
       continue;
     }
-    if (record.device_id == device_id && record.audit_id == audit_id &&
-        (record.op == MetadataOp::kCreateFile ||
-         record.op == MetadataOp::kRenameFile)) {
+    if (record.op == MetadataOp::kCreateFile ||
+        record.op == MetadataOp::kRenameFile) {
       latest = record;
     }
   }
@@ -135,87 +155,47 @@ std::optional<MetadataRecord> MetadataLog::LatestBinding(
 std::optional<MetadataRecord> MetadataLog::LatestDirBinding(
     const std::string& device_id, const DirId& dir_id, SimTime as_of) const {
   std::optional<MetadataRecord> latest;
-  for (const auto& record : records_) {
+  auto it = dir_index_.find({device_id, dir_id});
+  if (it == dir_index_.end()) {
+    return latest;
+  }
+  for (const MetadataRecord& record : it->second) {
     if (record.client_time > as_of) {
       continue;
     }
-    if (record.device_id == device_id && record.dir_id == dir_id &&
-        (record.op == MetadataOp::kMkdir ||
-         record.op == MetadataOp::kRenameDir)) {
+    if (record.op == MetadataOp::kMkdir ||
+        record.op == MetadataOp::kRenameDir) {
       latest = record;
     }
   }
   return latest;
 }
 
-std::vector<MetadataRecord> MetadataLog::EntriesAfterSeq(
-    uint64_t next_seq) const {
-  if (next_seq >= records_.size()) {
-    return {};
+std::vector<MetadataRecord> MetadataLog::AllKnownRecords() const {
+  std::vector<MetadataRecord> out;
+  for (const auto& [key, bucket] : file_index_) {
+    out.insert(out.end(), bucket.begin(), bucket.end());
   }
-  return std::vector<MetadataRecord>(records_.begin() + next_seq,
-                                     records_.end());
+  for (const auto& [key, bucket] : dir_index_) {
+    out.insert(out.end(), bucket.begin(), bucket.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetadataRecord& a, const MetadataRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
 }
 
-Status MetadataLog::Verify() const {
-  Bytes prev(32, 0);
-  for (size_t i = 0; i < records_.size(); ++i) {
-    const auto& record = records_[i];
-    if (record.seq != i) {
-      return DataLossError("metadata log: sequence gap at " +
-                           std::to_string(i));
-    }
-    if (record.prev_hash != prev) {
-      return DataLossError("metadata log: chain break at " +
-                           std::to_string(i));
-    }
-    if (record.entry_hash != HashRecord(record)) {
-      return DataLossError("metadata log: hash mismatch at " +
-                           std::to_string(i));
-    }
-    prev = record.entry_hash;
-  }
-  return Status::Ok();
-}
-
-Status MetadataLog::LoadVerified(std::vector<MetadataRecord> records) {
-  Bytes prev(32, 0);
-  for (size_t i = 0; i < records.size(); ++i) {
-    const auto& record = records[i];
-    if (record.seq != i || record.prev_hash != prev ||
-        record.entry_hash != HashRecord(record)) {
-      return DataLossError("metadata log: chain mismatch at " +
-                           std::to_string(i));
-    }
-    prev = record.entry_hash;
-  }
-  records_ = std::move(records);
-  return Status::Ok();
-}
-
-Status MetadataLog::AppendReplicated(
-    const std::vector<MetadataRecord>& records) {
-  // Validate the whole suffix before mutating anything: a diverged backup
-  // must reject the delta untouched so the leader can mark it out-of-sync.
-  Bytes prev = records_.empty() ? Bytes(32, 0) : records_.back().entry_hash;
-  uint64_t seq = records_.size();
-  for (const auto& record : records) {
-    if (record.seq != seq || record.prev_hash != prev ||
-        record.entry_hash != HashRecord(record)) {
-      return DataLossError("metadata log: replicated suffix diverges at " +
-                           std::to_string(seq));
-    }
-    prev = record.entry_hash;
-    ++seq;
-  }
-  records_.insert(records_.end(), records.begin(), records.end());
-  return Status::Ok();
-}
-
-void MetadataLog::CorruptRecordForTesting(size_t index) {
-  if (index < records_.size()) {
-    records_[index].name += "-tampered";
-  }
+Status MetadataLog::RestoreWithColdIndex(
+    std::vector<MetadataRecord> cold, uint64_t base_seq, Bytes base_seal,
+    std::vector<LogCheckpoint> checkpoints,
+    std::vector<MetadataRecord> suffix) {
+  pending_cold_ = std::move(cold);
+  Status status = LoadVerifiedWithBase(base_seq, std::move(base_seal),
+                                       std::move(checkpoints),
+                                       std::move(suffix));
+  pending_cold_.clear();
+  return status;
 }
 
 }  // namespace keypad

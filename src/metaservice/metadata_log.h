@@ -1,4 +1,5 @@
-// Append-only, hash-chained metadata log.
+// Append-only, hash-chained metadata log — a thin adapter over the shared
+// SegmentedLog substrate (src/auditlog/segmented_log.h).
 //
 // The metadata service records every namespace event (file create, file
 // rename, mkdir, directory rename, attribute change) as an immutable
@@ -6,15 +7,29 @@
 // thief cannot overwrite the user's metadata with bogus information after
 // theft" (§3.1): post-theft records accumulate *after* the genuine ones and
 // are distinguishable by timestamp.
+//
+// Every record is its own commit group, so the substrate's group seal
+// degenerates to the classic per-record chain
+// entry_hash = SHA-256(prev_hash || ser(record)) — bit-identical to the
+// hashes this log wrote before the substrate existed.
+//
+// Namespace queries (HistoryOf/LatestBinding/LatestDirBinding) are served
+// from a per-(device, id) binding index maintained on commit instead of
+// full-log scans. The index deliberately survives truncation: bindings are
+// live namespace state (like the roots map), while the chain suffix in
+// memory is bounded by the substrate's checkpoint lifecycle.
 
 #ifndef SRC_METASERVICE_METADATA_LOG_H_
 #define SRC_METASERVICE_METADATA_LOG_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/auditlog/segmented_log.h"
 #include "src/sim/time.h"
 #include "src/util/bytes.h"
 #include "src/util/ids.h"
@@ -52,12 +67,40 @@ struct MetadataRecord {
   static Result<MetadataRecord> FromWire(const WireValue& value);
 };
 
-class MetadataLog {
+// The substrate seam for MetadataRecord. Group start is the record's own
+// seq (per-record chain); serialization order is load-bearing — together
+// with the substrate's prev-seal prefix it reproduces the historical
+// SHA-256(prev_hash || seq || ts || cts || device || op || ids || name ||
+// attr) record hashes bit-for-bit.
+struct MetadataLogCodec {
+  using Entry = MetadataRecord;
+  static constexpr const char* kName = "metadata log";
+
+  static uint64_t Seq(const Entry& e) { return e.seq; }
+  static void SetSeq(Entry& e, uint64_t seq) { e.seq = seq; }
+  static uint64_t GroupStart(const Entry& e) { return e.seq; }
+  static void SetGroupStart(Entry&, uint64_t) {}
+  static const Bytes& PrevHash(const Entry& e) { return e.prev_hash; }
+  static void SetPrevHash(Entry& e, Bytes prev) {
+    e.prev_hash = std::move(prev);
+  }
+  static const Bytes& EntryHash(const Entry& e) { return e.entry_hash; }
+  static void SetEntryHash(Entry& e, Bytes hash) {
+    e.entry_hash = std::move(hash);
+  }
+  static void SerializeEntry(const Entry& record, Bytes* out);
+  static WireValue EntryToWire(const Entry& e) { return e.ToWire(); }
+  static Result<Entry> EntryFromWire(const WireValue& value) {
+    return MetadataRecord::FromWire(value);
+  }
+  static void CorruptForTesting(Entry& e) { e.name += "-tampered"; }
+};
+
+class MetadataLog : public SegmentedLog<MetadataLogCodec> {
  public:
   uint64_t Append(SimTime timestamp, MetadataRecord record);
 
-  const std::vector<MetadataRecord>& records() const { return records_; }
-  size_t size() const { return records_.size(); }
+  const std::vector<MetadataRecord>& records() const { return entries(); }
 
   // All records for one file's audit ID, oldest first.
   std::vector<MetadataRecord> HistoryOf(const std::string& device_id,
@@ -73,33 +116,37 @@ class MetadataLog {
                                                  const DirId& dir_id,
                                                  SimTime as_of) const;
 
-  // Records with seq >= next_seq — O(result) thanks to seq == index. The
-  // remote auditor passes its cursor (one past the last seq it has seen)
-  // so repeated audits transfer only the new tail (parity with
-  // AuditLog::EntriesAfterSeq).
-  std::vector<MetadataRecord> EntriesAfterSeq(uint64_t next_seq) const;
+  // Every record ever committed, oldest first, including prefixes the
+  // substrate truncated from the chain — served from the binding index,
+  // which retains namespace state for exactly this reason (the forensic
+  // auditor's cold-inclusive view).
+  std::vector<MetadataRecord> AllKnownRecords() const;
 
-  Status Verify() const;
+  // Truncation-aware restore: `cold` carries the pre-base records for the
+  // binding index (namespace state), the rest restores the chain itself.
+  Status RestoreWithColdIndex(std::vector<MetadataRecord> cold,
+                              uint64_t base_seq, Bytes base_seal,
+                              std::vector<LogCheckpoint> checkpoints,
+                              std::vector<MetadataRecord> suffix);
 
-  // Adopts `records` as the full log after verifying their chain — the
-  // snapshot-restore path. kDataLoss (and no mutation) on any mismatch.
-  Status LoadVerified(std::vector<MetadataRecord> records);
+  void CorruptRecordForTesting(size_t index) { CorruptEntryForTesting(index); }
 
-  // Replication path (DESIGN.md §10): appends already-hashed records
-  // streamed from a replica-set leader. The suffix must continue this
-  // log's chain exactly — consecutive sequence numbers from size(), each
-  // record's prev_hash equal to the tail hash at that point, and every
-  // record hash recomputing correctly. kDataLoss (and no mutation) on any
-  // mismatch, so a diverged backup can never silently adopt a forked
-  // history.
-  Status AppendReplicated(const std::vector<MetadataRecord>& records);
-
-  void CorruptRecordForTesting(size_t index);
+ protected:
+  void OnCommitted(const MetadataRecord& record) override;
+  void OnReset() override;
 
  private:
-  static Bytes HashRecord(const MetadataRecord& record);
+  void IndexRecord(const MetadataRecord& record);
 
-  std::vector<MetadataRecord> records_;
+  // Binding index: file records by (device, audit id), directory records
+  // by (device, dir id), each bucket in log order. Together the buckets
+  // hold every record (all five ops land in exactly one bucket).
+  std::map<std::pair<std::string, AuditId>, std::vector<MetadataRecord>>
+      file_index_;
+  std::map<std::pair<std::string, DirId>, std::vector<MetadataRecord>>
+      dir_index_;
+  // Records to seed the index with during the next OnReset (restore path).
+  std::vector<MetadataRecord> pending_cold_;
 };
 
 }  // namespace keypad

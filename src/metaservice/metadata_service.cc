@@ -71,7 +71,21 @@ Result<MetaReplDelta> MetaReplDelta::FromWire(const WireValue& value) {
 
 MetadataService::MetadataService(EventQueue* queue, uint64_t rng_seed,
                                  const PairingParams& group)
-    : queue_(queue), rng_(rng_seed), pkg_(group, rng_) {}
+    : queue_(queue), rng_(rng_seed), pkg_(group, rng_) {
+  ConfigureLog(ApplySegmentedLogEnv({}));
+}
+
+void MetadataService::ConfigureLog(SegmentedLogOptions options) {
+  log_.Configure(options);
+  if (options.cold_ship && segment_store_ == nullptr) {
+    cold_cloud_ = std::make_unique<SimObjectStore>(queue_);
+    segment_store_ = std::make_unique<SegmentStore>(
+        MakeStorageBackend(DefaultStorageBackendKind()), cold_cloud_.get());
+  }
+  if (segment_store_ != nullptr) {
+    log_.set_segment_store(segment_store_.get(), "meta");
+  }
+}
 
 Bytes MetadataService::RegisterDevice(const std::string& device_id) {
   DeviceRecord record;
@@ -428,28 +442,77 @@ Bytes MetadataService::Snapshot() const {
     log_records.push_back(record.ToWire());
   }
   snapshot.emplace("log", WireValue(std::move(log_records)));
+
+  // Lifecycle state (DESIGN.md §15): truncation base, the signed checkpoint
+  // chain, and the pre-base binding records — namespace state the truncated
+  // chain prefix carried. Pre-lifecycle snapshots simply lack these fields.
+  snapshot.emplace("log_base",
+                   WireValue(static_cast<int64_t>(log_.base_seq())));
+  snapshot.emplace("log_base_seal", WireValue(log_.base_seal()));
+  WireValue::Array ckpts;
+  for (const auto& ckpt : log_.checkpoints()) {
+    ckpts.push_back(ckpt.ToWire());
+  }
+  snapshot.emplace("ckpts", WireValue(std::move(ckpts)));
+  WireValue::Array cold_bindings;
+  if (log_.base_seq() > 0) {
+    for (const auto& record : log_.AllKnownRecords()) {
+      if (record.seq < log_.base_seq()) {
+        cold_bindings.push_back(record.ToWire());
+      }
+    }
+  }
+  snapshot.emplace("cold_bindings", WireValue(std::move(cold_bindings)));
   return BinaryEncode(WireValue(std::move(snapshot)));
 }
 
 Status MetadataService::Restore(const Bytes& snapshot) {
   KP_ASSIGN_OR_RETURN(WireValue value, BinaryDecode(snapshot));
 
-  // Rebuild the log first and verify its chain before touching anything.
-  // Re-appending recomputes every hash from the record contents, so a
-  // tampered snapshot fails the final-digest comparison below.
+  // Rebuild the log first and verify its chain (checkpoint signatures
+  // included) before touching anything.
   KP_ASSIGN_OR_RETURN(WireValue log_value, value.Field("log"));
   KP_ASSIGN_OR_RETURN(WireValue::Array raw_log, log_value.AsArray());
-  MetadataLog restored_log;
+  std::vector<MetadataRecord> log_records;
   for (const auto& raw : raw_log) {
     KP_ASSIGN_OR_RETURN(MetadataRecord record, MetadataRecord::FromWire(raw));
-    restored_log.Append(record.timestamp, record);
+    log_records.push_back(std::move(record));
   }
-  if (!raw_log.empty()) {
-    KP_ASSIGN_OR_RETURN(MetadataRecord last,
-                        MetadataRecord::FromWire(raw_log.back()));
-    if (restored_log.records().back().entry_hash != last.entry_hash) {
-      return DataLossError("metadata service: snapshot log chain mismatch");
+  MetadataLog restored_log;
+  restored_log.Configure(log_.log_options());
+  if (segment_store_) {
+    restored_log.set_segment_store(segment_store_.get(), "meta");
+  }
+  restored_log.set_truncate_anchor(log_.truncate_anchor());
+  Status log_status;
+  if (value.HasField("log_base")) {
+    KP_ASSIGN_OR_RETURN(WireValue base_v, value.Field("log_base"));
+    KP_ASSIGN_OR_RETURN(int64_t base_int, base_v.AsInt());
+    KP_ASSIGN_OR_RETURN(WireValue seal_v, value.Field("log_base_seal"));
+    KP_ASSIGN_OR_RETURN(Bytes base_seal, seal_v.AsBytes());
+    KP_ASSIGN_OR_RETURN(WireValue ckpts_v, value.Field("ckpts"));
+    KP_ASSIGN_OR_RETURN(WireValue::Array raw_ckpts, ckpts_v.AsArray());
+    std::vector<LogCheckpoint> ckpts;
+    for (const auto& raw : raw_ckpts) {
+      KP_ASSIGN_OR_RETURN(LogCheckpoint ckpt, LogCheckpoint::FromWire(raw));
+      ckpts.push_back(std::move(ckpt));
     }
+    std::vector<MetadataRecord> cold;
+    KP_ASSIGN_OR_RETURN(WireValue cold_v, value.Field("cold_bindings"));
+    KP_ASSIGN_OR_RETURN(WireValue::Array raw_cold, cold_v.AsArray());
+    for (const auto& raw : raw_cold) {
+      KP_ASSIGN_OR_RETURN(MetadataRecord record,
+                          MetadataRecord::FromWire(raw));
+      cold.push_back(std::move(record));
+    }
+    log_status = restored_log.RestoreWithColdIndex(
+        std::move(cold), static_cast<uint64_t>(base_int),
+        std::move(base_seal), std::move(ckpts), std::move(log_records));
+  } else {
+    log_status = restored_log.LoadVerified(std::move(log_records));
+  }
+  if (!log_status.ok()) {
+    return DataLossError("metadata service: snapshot log chain mismatch");
   }
 
   std::map<std::string, DeviceRecord> devices;
@@ -712,12 +775,26 @@ void MetadataService::BindRpc(RpcServer* server) {
           return InvalidArgumentError("audit.meta_log_tail: bad arity");
         }
         KP_ASSIGN_OR_RETURN(int64_t next_seq, payload[0].AsInt());
-        KP_RETURN_IF_ERROR(log_.Verify());
+        // Checkpoints vouch for the sealed prefix; only the tail after the
+        // latest checkpoint is replayed per request. Cursors below the
+        // truncation base are served from the cold tier, each segment
+        // re-verified against its signed checkpoint first.
+        KP_RETURN_IF_ERROR(log_.VerifyTail());
+        uint64_t from = static_cast<uint64_t>(next_seq);
         WireValue::Array records;
-        for (const auto& record :
-             log_.EntriesAfterSeq(static_cast<uint64_t>(next_seq))) {
-          if (record.device_id == device) {
-            records.push_back(record.ToWire());
+        if (from < log_.base_seq()) {
+          KP_ASSIGN_OR_RETURN(std::vector<MetadataRecord> all,
+                              log_.AllEntriesFromSeq(from));
+          for (const auto& record : all) {
+            if (record.device_id == device) {
+              records.push_back(record.ToWire());
+            }
+          }
+        } else {
+          for (const auto& record : log_.EntriesAfterSeq(from)) {
+            if (record.device_id == device) {
+              records.push_back(record.ToWire());
+            }
           }
         }
         // "next" covers the whole log, not just this device's rows, so the
@@ -730,7 +807,52 @@ void MetadataService::BindRpc(RpcServer* server) {
         // a plain short read, and trigger an overlap-verified resync.
         out.emplace("epoch",
                     WireValue(static_cast<int64_t>(restore_epoch_)));
+        // Checkpoint fingerprint: count plus latest hash, so an auditor can
+        // tell a server-side truncation (benign cursor clamp) from a
+        // restore-from-older-snapshot (full resync) by comparing chains.
+        const auto& ckpts = log_.checkpoints();
+        out.emplace("ckpt_count",
+                    WireValue(static_cast<int64_t>(ckpts.size())));
+        out.emplace("ckpt_hash",
+                    WireValue(ckpts.empty() ? Bytes() : ckpts.back().hash));
+        out.emplace("base",
+                    WireValue(static_cast<int64_t>(log_.base_seq())));
         return WireValue(std::move(out));
+      });
+
+  // The signed checkpoint chain; the auditor verifies it client-side and
+  // uses it to anchor catch-up and disambiguate truncation from restore.
+  install(
+      "audit.meta_checkpoints", false,
+      [this](const std::string&,
+             const WireValue::Array& payload) -> Result<WireValue> {
+        if (!payload.empty()) {
+          return InvalidArgumentError("audit.meta_checkpoints: bad arity");
+        }
+        WireValue::Array out;
+        for (const auto& ckpt : log_.checkpoints()) {
+          out.push_back(ckpt.ToWire());
+        }
+        return WireValue(std::move(out));
+      });
+
+  // One sealed cold segment by checkpoint id, for forensic replay of a
+  // truncated prefix. Local medium only (no cloud blocking inside an RPC).
+  install(
+      "audit.meta_log_segment", false,
+      [this](const std::string&,
+             const WireValue::Array& payload) -> Result<WireValue> {
+        if (payload.size() != 1) {
+          return InvalidArgumentError("audit.meta_log_segment: bad arity");
+        }
+        KP_ASSIGN_OR_RETURN(int64_t index, payload[0].AsInt());
+        if (segment_store_ == nullptr) {
+          return UnavailableError("metadata service: no cold segment tier");
+        }
+        KP_ASSIGN_OR_RETURN(
+            SealedSegment segment,
+            segment_store_->Get("meta", static_cast<uint64_t>(index)));
+        return segment.ToWire();
       });
 }
 

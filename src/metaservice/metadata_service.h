@@ -14,9 +14,13 @@
 #define SRC_METASERVICE_METADATA_SERVICE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/auditlog/log_options.h"
+#include "src/auditlog/segment_store.h"
+#include "src/blockdev/cloud_store.h"
 #include "src/ibe/bf_ibe.h"
 #include "src/metaservice/metadata_log.h"
 #include "src/rpc/rpc.h"
@@ -136,6 +140,23 @@ class MetadataService {
   Bytes Snapshot() const;
   Status Restore(const Bytes& snapshot);
 
+  // --- Audit-log lifecycle (DESIGN.md §15). -------------------------------
+
+  // Applies segment/truncation/cold-ship options to the metadata log and
+  // stands up the cold segment tier if shipping is on. The constructor
+  // applies the KEYPAD_LOG_* environment knobs by default; call this to
+  // override in-process (before the first append).
+  void ConfigureLog(SegmentedLogOptions options);
+
+  // The replication engine's truncation anchor (see KeyService).
+  void set_durable_watermark(std::function<uint64_t()> watermark) {
+    log_.set_truncate_anchor(std::move(watermark));
+  }
+
+  // Cold tier for sealed metadata segments (present iff cold shipping on).
+  SegmentStore* segment_store() { return segment_store_.get(); }
+  SimObjectStore* cold_cloud() { return cold_cloud_.get(); }
+
   // --- Replication hooks (DESIGN.md §10). ---------------------------------
 
   // Wires this service into a replica set as a potential leader. After a
@@ -150,6 +171,9 @@ class MetadataService {
       std::function<void(MetaReplDelta, std::function<void()> done)>;
   void set_replicator(Replicator replicator) {
     replicator_ = std::move(replicator);
+    // Block truncation until the replication engine installs its durable
+    // watermark: a replicated log must not drop what a peer still needs.
+    log_.set_truncate_anchor([] { return uint64_t{0}; });
   }
   bool replicated() const { return replicator_ != nullptr; }
 
@@ -211,6 +235,10 @@ class MetadataService {
   std::map<std::string, DeviceRecord> devices_;
   std::map<std::string, DirId> roots_;  // device -> root dir id.
   MetadataLog log_;
+  // Cold tier (cold_ship only): sealed segments land in a storage backend,
+  // mirrored to a simulated cloud store for bit-rot repair.
+  std::unique_ptr<SimObjectStore> cold_cloud_;
+  std::unique_ptr<SegmentStore> segment_store_;
 
   // Replication state (replica sets only).
   Replicator replicator_;

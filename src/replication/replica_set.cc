@@ -59,6 +59,22 @@ void ReplicaSetEngine::AddReplica(ReplicatedStateMachine* machine,
                 std::function<void()> done) {
         Ship(i, std::move(delta), entry_count, std::move(done));
       });
+  machine->InstallDurableWatermark(
+      [this, i]() -> uint64_t { return DurableWatermarkFor(i); });
+}
+
+uint64_t ReplicaSetEngine::DurableWatermarkFor(size_t i) const {
+  const Replica& replica = *replicas_[i];
+  if (replica.acked.size() != replicas_.size()) {
+    return 0;  // Pre-Start(): nothing is known durable anywhere.
+  }
+  uint64_t watermark = replica.machine->LogSize();
+  for (size_t j = 0; j < replicas_.size(); ++j) {
+    if (j != i) {
+      watermark = std::min(watermark, replica.acked[j]);
+    }
+  }
+  return watermark;
 }
 
 void ReplicaSetEngine::Start() {
@@ -86,6 +102,7 @@ void ReplicaSetEngine::Start() {
     replica.view_leader = 0;
     replica.epoch = 1;
     replica.in_sync.assign(n, true);
+    replica.acked.assign(n, 0);
     if (i == 0) {
       StartRenewals(0, /*immediately=*/false);
     } else {
@@ -285,6 +302,10 @@ void ReplicaSetEngine::RegisterHandlers(size_t i) {
         if (from < replica.in_sync.size()) {
           replica.in_sync[from] = true;
         }
+        if (from < replica.acked.size()) {
+          // The rejoiner just told us exactly how much chain it holds.
+          replica.acked[from] = tail;
+        }
         return WireValue(true);
       });
 }
@@ -324,6 +345,9 @@ void ReplicaSetEngine::Promote(size_t i) {
   replica.epoch += 1;
   replica.view_leader = i;
   replica.in_sync.assign(replicas_.size(), true);
+  // A fresh leader has acknowledged nothing to anyone yet; its first
+  // successful ship round re-establishes the durable watermark.
+  replica.acked.assign(replicas_.size(), 0);
   if (replica.promote_event != EventQueue::kInvalidEvent) {
     queue_->Cancel(replica.promote_event);
     replica.promote_event = EventQueue::kInvalidEvent;
@@ -472,6 +496,8 @@ void ReplicaSetEngine::StartShipRound(size_t i) {
     round->done = std::move(ship.done);
     uint64_t generation = replica.generation;
     Claim mine = ClaimOf(i);
+    // An acked delta leaves the target holding our full chain as of now.
+    const uint64_t shipped_size = mine.log_size;
     for (size_t j : targets) {
       WireValue::Array params;
       params.push_back(WireValue(static_cast<int64_t>(i)));
@@ -480,12 +506,17 @@ void ReplicaSetEngine::StartShipRound(size_t i) {
       params.push_back(ship.delta);
       ClientTo(i, j)->CallAsync(
           "repl.append", std::move(params),
-          [this, i, j, generation, round](Result<WireValue> result) {
+          [this, i, j, generation, round,
+           shipped_size](Result<WireValue> result) {
             Replica& replica = *replicas_[i];
             bool live = replica.generation == generation;
             if (live) {
               if (result.ok()) {
                 ++stats_.append_acks;
+                if (j < replica.acked.size() &&
+                    replica.acked[j] < shipped_size) {
+                  replica.acked[j] = shipped_size;
+                }
               } else {
                 ++stats_.append_failures;
                 if (result.status().code() ==
@@ -623,24 +654,58 @@ void ReplicaSetEngine::FetchAndReconcile(size_t i, size_t leader,
           StandAsCandidate(i);
           return;
         }
-        // Divergence detection: everything past the longest common prefix
-        // of the two chains is sealed-but-orphaned — surfaced to the
-        // forensic auditor, never silently dropped (it may duplicate rows
-        // the surviving chain also carries; duplicated, not lost).
+        // Divergence detection: everything past the longest *proven*
+        // common prefix of the two chains is sealed-but-orphaned —
+        // surfaced to the forensic auditor, never silently dropped (it
+        // may duplicate rows the surviving chain also carries;
+        // duplicated, not lost). Two proofs compose, by absolute chain
+        // sequence (either side may have truncated a checkpointed
+        // prefix out of memory, DESIGN.md §15):
+        //  (a) equal checkpoint records pin the whole segment prefix
+        //      they cover, even when one side no longer holds those
+        //      entries in memory;
+        //  (b) an entry-aligned scan over the overlap both sides still
+        //      hold extends the proof — equal wire entries at the same
+        //      chain position imply an identical prefix below them,
+        //      because every entry seals over its predecessor.
         std::vector<WireValue> local = replica.machine->ExportEntries();
+        const uint64_t local_base = replica.machine->ExportBaseSeq();
+        const std::vector<ReplicatedStateMachine::ExportedCheckpoint>
+            local_ckpts = replica.machine->ExportCheckpoints();
         Status restored = replica.machine->Restore(*snap);
         if (!restored.ok()) {
           StandAsCandidate(i);
           return;
         }
         std::vector<WireValue> adopted = replica.machine->ExportEntries();
-        size_t lcp = 0;
-        while (lcp < local.size() && lcp < adopted.size() &&
-               local[lcp] == adopted[lcp]) {
-          ++lcp;
+        const uint64_t adopted_base = replica.machine->ExportBaseSeq();
+        const std::vector<ReplicatedStateMachine::ExportedCheckpoint>
+            adopted_ckpts = replica.machine->ExportCheckpoints();
+        uint64_t common = 0;
+        size_t c = 0;
+        while (c < local_ckpts.size() && c < adopted_ckpts.size() &&
+               local_ckpts[c].end_seq == adopted_ckpts[c].end_seq &&
+               local_ckpts[c].hash == adopted_ckpts[c].hash) {
+          ++c;
         }
-        for (size_t k = lcp; k < local.size(); ++k) {
-          orphaned_.push_back({i, std::move(local[k])});
+        if (c > 0) {
+          common = local_ckpts[c - 1].end_seq;
+        }
+        const uint64_t local_end = local_base + local.size();
+        const uint64_t overlap_lo = std::max(local_base, adopted_base);
+        const uint64_t overlap_hi =
+            std::min(local_end, adopted_base + adopted.size());
+        uint64_t scan = overlap_lo;
+        while (scan < overlap_hi &&
+               local[scan - local_base] == adopted[scan - adopted_base]) {
+          ++scan;
+        }
+        if (scan > overlap_lo) {
+          common = std::max(common, scan);
+        }
+        for (uint64_t s = std::max(common, local_base); s < local_end;
+             ++s) {
+          orphaned_.push_back({i, std::move(local[s - local_base])});
           ++stats_.orphaned_entries;
         }
         AdoptLeader(i, leader, epoch);

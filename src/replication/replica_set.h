@@ -176,6 +176,12 @@ class ReplicaSetEngine {
     bool crashed = false;
     // Leader-side view of which peers are in the synchronous-ack set.
     std::vector<bool> in_sync;
+    // Leader-side: the chain length each peer is known to have durably
+    // applied (updated on append acks and rejoins). The minimum over the
+    // peers is this replica's durable watermark — the truncation anchor
+    // handed to the tier (DESIGN.md §15): a segmented log never drops an
+    // entry some replica has not yet acknowledged.
+    std::vector<uint64_t> acked;
     // Bumped on crash/step-down so stale async callbacks self-cancel.
     uint64_t generation = 0;
     // Leader-side ship pipeline: one round in flight, rest queued (keeps
@@ -193,6 +199,10 @@ class ReplicaSetEngine {
   };
   static bool ClaimWins(const Claim& a, const Claim& b);
   Claim ClaimOf(size_t i) const;
+
+  // Truncation anchor for replica i: min chain length acknowledged across
+  // every peer (own LogSize when sole replica; 0 until Start()).
+  uint64_t DurableWatermarkFor(size_t i) const;
 
   RpcClient* ClientTo(size_t from, size_t to) const {
     return clients_[from * replicas_.size() + to].get();

@@ -72,8 +72,37 @@ class ReplicatedStateMachine {
   virtual void InstallReplicator(ShipFn ship) = 0;
   virtual void InstallServeGate(std::function<Status()> gate) = 0;
 
-  // Canonical wire form of every log entry, for divergence detection.
+  // Canonical wire form of every *in-memory* log entry, for divergence
+  // detection. Entry k describes chain position ExportBaseSeq() + k: a
+  // tier with checkpoint-anchored truncation (DESIGN.md §15) exports only
+  // the retained suffix, and the engine aligns the two exports by absolute
+  // sequence instead of by position.
   virtual std::vector<WireValue> ExportEntries() const = 0;
+
+  // --- Truncation support (DESIGN.md §15). Tiers without a segmented log
+  //     keep the defaults: base 0, no checkpoints, watermark ignored. ------
+
+  // Absolute sequence of ExportEntries()[0]; 0 when nothing was truncated.
+  virtual uint64_t ExportBaseSeq() const { return 0; }
+
+  // One checkpoint fingerprint per sealed segment, in chain order. Two
+  // replicas agreeing on a checkpoint hash agree on the whole prefix it
+  // covers — how reconciliation proves a common prefix it can no longer
+  // compare entry-by-entry (one side truncated it).
+  struct ExportedCheckpoint {
+    uint64_t end_seq = 0;
+    Bytes hash;
+  };
+  virtual std::vector<ExportedCheckpoint> ExportCheckpoints() const {
+    return {};
+  }
+
+  // Engine-installed truncation anchor: the log-prefix length known durable
+  // (acknowledged) on every replica. A tier that truncates must never drop
+  // entries past the watermark — the duplicated-but-never-lost orphan
+  // invariant depends on a crashed peer's unacknowledged suffix surviving
+  // reconciliation.
+  virtual void InstallDurableWatermark(std::function<uint64_t()>) {}
 };
 
 }  // namespace keypad
